@@ -1,0 +1,178 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_dlopen` — WAMR-crun with vs. without shared dynamic-library
+//!   loading (§III-C integration aspect 1);
+//! * `ablation_inplace` — in-place interpretation vs. forced eager lowering
+//!   at the Wasm-core level (the memory/speed trade);
+//! * `ablation_module_cache` — Wasmtime's content-addressed code cache,
+//!   cold vs. warm (the Fig. 9 crossover mechanism);
+//! * `ablation_pause` — OCI sandboxes (pause container + external shim) vs.
+//!   runwasi sandboxes (shim-is-the-container).
+//!
+//! Each ablation prints its measured effect once, then times the underlying
+//! experiment.
+
+use std::sync::Arc;
+
+use containerd_sim::RuntimeClass;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{mb, measure_memory, new_cluster, Config, Workload};
+use mwc_bench::{bench_workload, BENCH_DENSITY};
+use wamr_crun::{wamr_crun_runtime, WamrCrunConfig};
+use wasm_core::{decode_module, ExecTier, Imports, Instance, InstanceConfig};
+
+/// Steady-state metrics average for wamr-crun under a given integration
+/// config (both ablation toggles live in [`WamrCrunConfig`]).
+fn wamr_memory(w: &Workload, config: WamrCrunConfig) -> u64 {
+    let mut cluster = new_cluster(&[], w).expect("cluster");
+    let rt = wamr_crun_runtime(cluster.kernel.clone(), config);
+    cluster.register_class("wamr-ablate", RuntimeClass::Oci { runtime: rt });
+    cluster
+        .pull_image(workloads::wasm_microservice_image(Config::WamrCrun.image_ref(), &w.wasm))
+        .expect("image");
+    let warm = cluster
+        .deploy("warm", Config::WamrCrun.image_ref(), "wamr-ablate", 1)
+        .expect("warm");
+    cluster.teardown(warm).expect("warm teardown");
+    let d = cluster
+        .deploy("a", Config::WamrCrun.image_ref(), "wamr-ablate", BENCH_DENSITY)
+        .expect("deploy");
+    cluster.average_working_set(&d).expect("metrics")
+}
+
+fn ablation_dlopen(c: &mut Criterion) {
+    let w = bench_workload();
+    let shared = wamr_memory(&w, WamrCrunConfig::default());
+    let private = wamr_memory(
+        &w,
+        WamrCrunConfig { dynamic_lib_loading: false, share_modules: false, ..Default::default() },
+    );
+    println!(
+        "\nablation_dlopen: shared {:.2} MB/ctr vs static/private {:.2} MB/ctr (+{:.1}%)",
+        mb(shared),
+        mb(private),
+        (private as f64 / shared as f64 - 1.0) * 100.0
+    );
+    c.bench_function("ablation_dlopen_shared", |b| {
+        b.iter(|| std::hint::black_box(wamr_memory(&w, WamrCrunConfig::default())))
+    });
+    c.bench_function("ablation_dlopen_private", |b| {
+        b.iter(|| {
+            std::hint::black_box(wamr_memory(
+                &w,
+                WamrCrunConfig {
+                    dynamic_lib_loading: false,
+                    share_modules: false,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+}
+
+fn ablation_inplace(c: &mut Criterion) {
+    let bytes = workloads::microservice_module(&bench_workload().wasm);
+    let module = Arc::new(decode_module(bytes).expect("decode"));
+    let run = |tier: ExecTier| {
+        let imports = Imports::new().func("wasi_snapshot_preview1", "fd_write", |_, _| {
+            Ok(vec![wasm_core::Value::I32(0)])
+        });
+        let mut inst = Instance::instantiate(
+            Arc::clone(&module),
+            imports,
+            InstanceConfig { tier, fuel: Some(100_000_000), ..Default::default() },
+        )
+        .expect("instantiate");
+        inst.run_start().expect("run");
+        inst.stats()
+    };
+    let a = run(ExecTier::InPlace);
+    let b = run(ExecTier::Lowered);
+    println!(
+        "\nablation_inplace: side-tables {} B vs lowered code {} B ({}x code expansion)",
+        a.side_table_bytes,
+        b.lowered_bytes,
+        b.lowered_bytes / module.code_size().max(1)
+    );
+    c.bench_function("ablation_inplace_interp", |x| {
+        x.iter(|| std::hint::black_box(run(ExecTier::InPlace)))
+    });
+    c.bench_function("ablation_inplace_lowered", |x| {
+        x.iter(|| std::hint::black_box(run(ExecTier::Lowered)))
+    });
+}
+
+fn ablation_module_cache(c: &mut Criterion) {
+    let w = bench_workload();
+    // Cold: fresh cluster, no warm-up pod → the first container compiles.
+    let cold = {
+        let mut cluster = new_cluster(&[Config::CrunWasmtime], &w).expect("cluster");
+        let d = cluster
+            .deploy("c", Config::CrunWasmtime.image_ref(), Config::CrunWasmtime.class_name(), BENCH_DENSITY)
+            .expect("deploy");
+        cluster.measure_startup(&[&d]).total()
+    };
+    // Warm: a warm-up pod leaves the cache populated → all hits.
+    let warm = {
+        let mut cluster = new_cluster(&[Config::CrunWasmtime], &w).expect("cluster");
+        let warm = cluster
+            .deploy("w", Config::CrunWasmtime.image_ref(), Config::CrunWasmtime.class_name(), 1)
+            .expect("warm");
+        cluster.teardown(warm).expect("teardown");
+        let d = cluster
+            .deploy("c", Config::CrunWasmtime.image_ref(), Config::CrunWasmtime.class_name(), BENCH_DENSITY)
+            .expect("deploy");
+        cluster.measure_startup(&[&d]).total()
+    };
+    println!(
+        "\nablation_module_cache: cold {} vs warm {} (cache saves {:.1}%)",
+        cold,
+        warm,
+        (1.0 - warm.as_nanos() as f64 / cold.as_nanos() as f64) * 100.0
+    );
+    c.bench_function("ablation_module_cache_warm", |b| {
+        b.iter(|| {
+            let mut cluster = new_cluster(&[Config::CrunWasmtime], &w).expect("cluster");
+            let d = cluster
+                .deploy(
+                    "c",
+                    Config::CrunWasmtime.image_ref(),
+                    Config::CrunWasmtime.class_name(),
+                    BENCH_DENSITY,
+                )
+                .expect("deploy");
+            std::hint::black_box(cluster.measure_startup(&[&d]).total())
+        })
+    });
+}
+
+fn ablation_pause(c: &mut Criterion) {
+    let w = bench_workload();
+    let oci = measure_memory(Config::WamrCrun, BENCH_DENSITY, &w).expect("oci");
+    let runwasi = measure_memory(Config::ShimWasmtime, BENCH_DENSITY, &w).expect("runwasi");
+    println!(
+        "\nablation_pause: OCI sandbox (pause in pod, shim outside) metrics {:.2} / free {:.2} MB;\n\
+         runwasi sandbox (shim is the pod) metrics {:.2} / free {:.2} MB;\n\
+         free-vs-metrics gap: OCI {:.2} MB vs runwasi {:.2} MB — the external shim is\n\
+         exactly the memory the metrics-server cannot see",
+        mb(oci.metrics_avg),
+        mb(oci.free_per_pod),
+        mb(runwasi.metrics_avg),
+        mb(runwasi.free_per_pod),
+        mb(oci.free_per_pod - oci.metrics_avg),
+        mb(runwasi.free_per_pod - runwasi.metrics_avg),
+    );
+    c.bench_function("ablation_pause_oci_sandbox", |b| {
+        b.iter(|| std::hint::black_box(measure_memory(Config::WamrCrun, BENCH_DENSITY, &w)))
+    });
+    c.bench_function("ablation_pause_runwasi_sandbox", |b| {
+        b.iter(|| std::hint::black_box(measure_memory(Config::ShimWasmtime, BENCH_DENSITY, &w)))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_dlopen, ablation_inplace, ablation_module_cache, ablation_pause
+}
+criterion_main!(ablations);

@@ -1,0 +1,124 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench regenerates its table/figure at bench-sized density inside
+//! the timing loop (the measured quantity is the end-to-end simulation of
+//! that experiment) and prints the resulting series once up front so a
+//! bench run doubles as a figure regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, measure_memory, measure_startup, mb, Config};
+use mwc_bench::{bench_workload, figure_configs, BENCH_DENSITY};
+
+fn print_once(title: &str, rows: &[(Config, f64)], unit: &str) {
+    println!("\n{title} (bench density {BENCH_DENSITY})");
+    for (c, v) in rows {
+        println!("  {:<28} {v:>10.2} {unit}", c.label());
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n{}", figures::table1());
+    c.bench_function("table1_stack", |b| b.iter(figures::table1));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n{}", figures::table2());
+    c.bench_function("table2_overview", |b| b.iter(figures::table2));
+}
+
+fn memory_figure_bench(c: &mut Criterion, id: &str, figure: u8, use_free: bool) {
+    let w = bench_workload();
+    let configs = figure_configs(figure);
+    let rows: Vec<(Config, f64)> = configs
+        .iter()
+        .map(|&cfg| {
+            let s = measure_memory(cfg, BENCH_DENSITY, &w).expect("measure");
+            (cfg, mb(if use_free { s.free_per_pod } else { s.metrics_avg }))
+        })
+        .collect();
+    print_once(id, &rows, "MB/ctr");
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            for &cfg in &configs {
+                std::hint::black_box(measure_memory(cfg, BENCH_DENSITY, &w).expect("measure"));
+            }
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    memory_figure_bench(c, "fig3_memory_crun_metrics", 3, false);
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    memory_figure_bench(c, "fig4_memory_crun_free", 4, true);
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    memory_figure_bench(c, "fig5_memory_runwasi", 5, true);
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    memory_figure_bench(c, "fig6_memory_python_metrics", 6, false);
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    memory_figure_bench(c, "fig7_memory_python_free", 7, true);
+}
+
+fn startup_figure_bench(c: &mut Criterion, id: &str, density: usize) {
+    let w = bench_workload();
+    let rows: Vec<(Config, f64)> = Config::ALL
+        .iter()
+        .map(|&cfg| {
+            let s = measure_startup(cfg, density, &w).expect("measure");
+            (cfg, s.total.as_secs_f64())
+        })
+        .collect();
+    print_once(id, &rows, "s (simulated)");
+    // Benching all nine configurations per iteration is slow; time the
+    // contribution + the closest competitor.
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            for cfg in [Config::WamrCrun, Config::ShimWasmtime] {
+                std::hint::black_box(measure_startup(cfg, density, &w).expect("measure"));
+            }
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    startup_figure_bench(c, "fig8_startup_10", 10);
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // The paper uses 400; contention already shows at bench scale.
+    startup_figure_bench(c, "fig9_startup_dense", 48);
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let w = bench_workload();
+    let rows: Vec<(Config, f64)> = Config::ALL
+        .iter()
+        .map(|&cfg| {
+            let s = measure_memory(cfg, BENCH_DENSITY, &w).expect("measure");
+            (cfg, mb(s.free_per_pod))
+        })
+        .collect();
+    print_once("fig10_overview", &rows, "MB/ctr");
+    c.bench_function("fig10_overview", |b| {
+        b.iter(|| {
+            for &cfg in Config::ALL.iter() {
+                std::hint::black_box(measure_memory(cfg, BENCH_DENSITY, &w).expect("measure"));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = figures_group;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_fig3, bench_fig4, bench_fig5,
+              bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_fig10
+}
+criterion_main!(figures_group);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the Wasm substrate: the pipeline stages whose costs
+//! the engine profiles model (decode, validate, side-table build, lowering,
+//! execution on both tiers).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wasm_core::interp::SideTable;
+use wasm_core::lowered::lower_function;
+use wasm_core::{
+    decode_module, validate_module, ExecTier, Imports, Instance, InstanceConfig, Value,
+};
+use workloads::MicroserviceConfig;
+
+fn module_bytes() -> Vec<u8> {
+    workloads::microservice_module(&MicroserviceConfig {
+        loop_iterations: 200,
+        ..MicroserviceConfig::default()
+    })
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = module_bytes();
+    let mut g = c.benchmark_group("wasm_decode");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("decode_module", |b| {
+        b.iter(|| std::hint::black_box(decode_module(bytes.clone()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let module = decode_module(module_bytes()).unwrap();
+    let mut g = c.benchmark_group("wasm_validate");
+    g.throughput(Throughput::Bytes(module.code_size()));
+    g.bench_function("validate_module", |b| {
+        b.iter(|| validate_module(std::hint::black_box(&module)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_side_tables(c: &mut Criterion) {
+    let module = decode_module(module_bytes()).unwrap();
+    c.bench_function("side_table_build_all", |b| {
+        b.iter(|| {
+            for body in &module.bodies {
+                std::hint::black_box(SideTable::build(&body.code).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let module = decode_module(module_bytes()).unwrap();
+    let imported = module.num_imported_funcs();
+    c.bench_function("lower_all_functions", |b| {
+        b.iter(|| {
+            for i in 0..module.funcs.len() as u32 {
+                std::hint::black_box(lower_function(&module, imported + i).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let module = Arc::new(decode_module(module_bytes()).unwrap());
+    for (name, tier) in [("exec_inplace", ExecTier::InPlace), ("exec_lowered", ExecTier::Lowered)]
+    {
+        let module = Arc::clone(&module);
+        c.bench_function(name, move |b| {
+            b.iter(|| {
+                let imports = Imports::new().func(
+                    "wasi_snapshot_preview1",
+                    "fd_write",
+                    |_, _| Ok(vec![Value::I32(0)]),
+                );
+                let mut inst = Instance::instantiate(
+                    Arc::clone(&module),
+                    imports,
+                    InstanceConfig { tier, fuel: Some(50_000_000), ..Default::default() },
+                )
+                .unwrap();
+                inst.run_start().unwrap();
+                std::hint::black_box(inst.stats())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = wasm_core_benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decode, bench_validate, bench_side_tables, bench_lowering, bench_execution
+}
+criterion_main!(wasm_core_benches);

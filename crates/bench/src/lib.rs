@@ -1,0 +1,68 @@
+//! # mwc-bench — benchmark support for the paper's tables and figures
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `figures` — one bench group per paper table/figure (Table I/II, Figs.
+//!   3–10), each running the corresponding experiment at bench-sized
+//!   density and printing the measured series once before timing;
+//! * `ablations` — the DESIGN.md ablations: dlopen page sharing on/off,
+//!   Wasmtime's code cache on/off, in-place vs. lowered execution, and
+//!   OCI-vs-runwasi sandbox accounting;
+//! * `wasm_core` — microbenchmarks of the Wasm substrate (decode, validate,
+//!   side-table build, lowering, execution on both tiers).
+//!
+//! This library provides the shared workload helpers so the benches stay
+//! declarative.
+
+use harness::{Config, Workload};
+use workloads::MicroserviceConfig;
+
+/// Bench-sized density: large enough to exercise sharing and contention,
+/// small enough for Criterion's repeated sampling.
+pub const BENCH_DENSITY: usize = 6;
+
+/// A workload with a small guest loop: bench iterations measure the
+/// simulator, not the guest's startup slice.
+pub fn bench_workload() -> Workload {
+    Workload {
+        wasm: MicroserviceConfig { loop_iterations: 50, ..MicroserviceConfig::default() },
+        ..Default::default()
+    }
+}
+
+/// The configurations each memory figure compares.
+pub fn figure_configs(figure: u8) -> Vec<Config> {
+    match figure {
+        3 | 4 => vec![
+            Config::WamrCrun,
+            Config::CrunWasmtime,
+            Config::CrunWasmer,
+            Config::CrunWasmEdge,
+        ],
+        5 => vec![
+            Config::WamrCrun,
+            Config::ShimWasmtime,
+            Config::ShimWasmer,
+            Config::ShimWasmEdge,
+        ],
+        6 | 7 => vec![
+            Config::WamrCrun,
+            Config::ShimWasmtime,
+            Config::CrunPython,
+            Config::RuncPython,
+        ],
+        _ => Config::ALL.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_configs_cover_ours() {
+        for fig in [3u8, 4, 5, 6, 7, 8, 9, 10] {
+            assert!(figure_configs(fig).contains(&Config::WamrCrun), "fig {fig}");
+        }
+    }
+}

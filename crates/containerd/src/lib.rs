@@ -1,0 +1,19 @@
+//! # containerd-sim — high-level runtime: daemon, shims, CRI
+//!
+//! The containerd layer from the paper's Figure 1: a resident daemon
+//! process exposing the Container Runtime Interface to kubelet, spawning a
+//! shim per pod (serialized on the task-service lock), and routing
+//! containers either through `containerd-shim-runc-v2` to a low-level OCI
+//! runtime (crun / runC — including the paper's WAMR-crun) or directly to a
+//! runwasi shim embedding a Wasm engine.
+
+pub mod cri;
+pub mod sandbox_api;
+pub mod shim;
+
+pub use cri::{Containerd, CriContainer, RuntimeClass, Sandbox, TASK_SERVICE_LOCK};
+pub use sandbox_api::{SandboxContainer, WasmSandbox, WasmSandboxer};
+pub use shim::{
+    all_shims, install_shims, runwasi_shim, Shim, ShimProfile, SHIM_RUNC_V2, SHIM_WASMEDGE,
+    SHIM_WASMER, SHIM_WASMTIME,
+};

@@ -1,0 +1,571 @@
+//! End-to-end Wasm execution inside a simulated container process.
+//!
+//! [`execute_wasm`] performs the *real* pipeline — read module bytes from
+//! the VFS, decode, validate, (eagerly compile), instantiate with WASI, run
+//! `_start` — while charging every resident byte to the process in the
+//! simulated kernel and emitting the DES latency steps each stage costs.
+//! The container runtimes (crun handlers) and the runwasi shims are thin
+//! wrappers around this function; the figures fall out of what it charges.
+
+use bytes::Bytes;
+use simkernel::{Duration, FileId, Kernel, KernelResult, MapKind, Pid, Step};
+use wasi_sys::WasiCtx;
+use wasm_core::{decode_module, ExecStats, Instance, InstanceConfig, Trap};
+
+use crate::profile::{EngineKind, EngineProfile};
+
+/// Dynamic-linker cost per KiB of library mapped.
+const LINK_NS_PER_KIB: u64 = 12;
+/// Relocation cost per KiB when loading compiled code from cache.
+const RELOC_NS_PER_KIB: u64 = 60;
+
+/// WASI configuration extracted from the OCI spec (paper §III-C item 2).
+#[derive(Debug, Clone, Default)]
+pub struct WasiSpec {
+    pub args: Vec<String>,
+    pub env: Vec<(String, String)>,
+    /// (guest path, VFS path prefix) preopened directories.
+    pub preopens: Vec<(String, String)>,
+}
+
+/// How the engine is embedded: through its stock C API (crun handlers link
+/// the shared library with default configuration) or as a trimmed Rust
+/// crate (the runwasi shims).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Embedding {
+    /// Stock C-API embedding with default configuration.
+    #[default]
+    CApi,
+    /// Trimmed crate embedding (leaner baseline, as runwasi configures).
+    Crate,
+}
+
+/// Sharing options for [`execute_wasm_opts`] — the ablation knobs for the
+/// paper's integration aspects (DESIGN.md `ablation_dlopen`).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Map the engine library shared (dlopen semantics). When false, the
+    /// engine text is charged privately per container, modeling a
+    /// statically-linked build whose pages do not share.
+    pub share_lib: bool,
+    /// Map the module from the page cache. When false, the module bytes are
+    /// copied into a private buffer, as engines that slurp the file do.
+    pub share_module: bool,
+    /// Embedding flavor (baseline/per-instance footprint selection).
+    pub embedding: Embedding,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { share_lib: true, share_module: true, embedding: Embedding::CApi }
+    }
+}
+
+/// Result of running a module inside a container process.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// Latency steps for the DES startup program, in order.
+    pub steps: Vec<Step>,
+    /// Captured stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Captured stderr bytes.
+    pub stderr: Vec<u8>,
+    /// Guest exit code (0 when `_start` returns normally).
+    pub exit_code: i32,
+    /// Execution statistics from the Wasm core.
+    pub stats: ExecStats,
+    /// Whether Wasmtime's code cache was hit for this module.
+    pub cache_hit: bool,
+}
+
+/// Install the four engine shared libraries (and the Wasmtime cache
+/// directory marker) into the VFS. Idempotent.
+pub fn install_engines(kernel: &Kernel) -> KernelResult<()> {
+    for kind in EngineKind::ALL {
+        let p = kind.profile();
+        kernel.ensure_file(p.lib_path, simkernel::vfs::FileContent::Synthetic(p.lib_size))?;
+    }
+    Ok(())
+}
+
+fn io_step(bytes: u64) -> Step {
+    Step::disk_read(bytes)
+}
+
+/// FNV-1a over module bytes: the content-addressed cache key.
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Execute `module_file` with engine `profile` inside process `pid`.
+///
+/// All resident memory is charged to `pid`'s cgroup via the kernel; the
+/// mappings stay alive after this returns (the container keeps running).
+/// The returned steps describe the startup latency contribution.
+///
+/// Note on concurrency: page-cache state is applied at deploy order, so of
+/// N simultaneously starting containers the first pays the cold-read I/O
+/// and the rest hit the cache — a close approximation of N readers blocking
+/// on one fill.
+pub fn execute_wasm(
+    kernel: &Kernel,
+    pid: Pid,
+    profile: &EngineProfile,
+    module_file: FileId,
+    wasi: &WasiSpec,
+    fuel: u64,
+) -> KernelResult<EngineRun> {
+    execute_wasm_opts(kernel, pid, profile, module_file, wasi, fuel, ExecOptions::default())
+}
+
+/// [`execute_wasm`] with explicit sharing options.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_wasm_opts(
+    kernel: &Kernel,
+    pid: Pid,
+    profile: &EngineProfile,
+    module_file: FileId,
+    wasi: &WasiSpec,
+    fuel: u64,
+    opts: ExecOptions,
+) -> KernelResult<EngineRun> {
+    let mut steps = Vec::new();
+
+    // --- dlopen the engine library -------------------------------------
+    let lib = kernel.lookup(profile.lib_path)?;
+    let lib_resident = profile.lib_resident();
+    if opts.share_lib {
+        let cold_lib = kernel.file_cached(lib)? < lib_resident;
+        let lib_map =
+            kernel.mmap_labeled(pid, profile.lib_size, MapKind::FileShared(lib), profile.name)?;
+        kernel.touch(pid, lib_map, lib_resident)?;
+        if cold_lib {
+            steps.push(io_step(lib_resident));
+        }
+    } else {
+        // Ablation: no page sharing — every container carries the engine
+        // text privately.
+        let lib_map =
+            kernel.mmap_labeled(pid, profile.lib_size, MapKind::AnonPrivate, profile.name)?;
+        kernel.touch(pid, lib_map, lib_resident)?;
+        steps.push(io_step(lib_resident));
+    }
+    steps.push(Step::Cpu(Duration::from_nanos(profile.lib_size / 1024 * LINK_NS_PER_KIB)));
+
+    // Engine-private baseline heap (embedding-dependent).
+    let (baseline_bytes, per_instance) = match opts.embedding {
+        Embedding::CApi => (profile.runtime_baseline, profile.per_instance_overhead),
+        Embedding::Crate => (profile.embedded_baseline, profile.embedded_per_instance),
+    };
+    let baseline =
+        kernel.mmap_labeled(pid, baseline_bytes, MapKind::AnonPrivate, "engine-heap")?;
+    kernel.touch(pid, baseline, baseline_bytes)?;
+    steps.push(Step::Cpu(profile.init));
+    steps.push(Step::Io(match opts.embedding {
+        Embedding::CApi => profile.load_io,
+        Embedding::Crate => profile.embedded_load_io,
+    }));
+
+    // --- load the module -----------------------------------------------
+    let module_size = kernel.file_size(module_file)?;
+    if opts.share_module {
+        let cold_module = kernel.file_cached(module_file)? < module_size;
+        let module_map = kernel.mmap_labeled(
+            pid,
+            module_size,
+            MapKind::FileShared(module_file),
+            "module.wasm",
+        )?;
+        kernel.touch(pid, module_map, module_size)?;
+        if cold_module {
+            steps.push(io_step(module_size));
+        }
+    } else {
+        // Ablation: the engine copies the module into a private buffer.
+        let module_map =
+            kernel.mmap_labeled(pid, module_size, MapKind::AnonPrivate, "module-copy")?;
+        kernel.touch(pid, module_map, module_size)?;
+        steps.push(io_step(module_size));
+    }
+    let bytes: Bytes = kernel
+        .read_file(pid, module_file)?
+        .ok_or_else(|| simkernel::KernelError::InvalidState("module has no content".into()))?;
+
+    // Decode + validate (validation happens inside instantiate; its cost
+    // is charged here, per container, for every engine).
+    let module = std::sync::Arc::new(
+        decode_module(bytes.clone())
+            .map_err(|e| simkernel::KernelError::InvalidState(format!("bad module: {e}")))?,
+    );
+    steps.push(Step::Cpu(Duration::from_nanos(
+        module_size * profile.validate_ns_per_byte,
+    )));
+
+    // --- WASI context ----------------------------------------------------
+    let mut ctx = WasiCtx::new(kernel.clone(), pid).args(wasi.args.iter().cloned()).envs(
+        wasi.env.iter().cloned(),
+    );
+    for (guest, host) in &wasi.preopens {
+        ctx = ctx.preopen(guest.clone(), host.clone());
+    }
+    let stdout = ctx.stdout_handle();
+    let stderr = ctx.stderr_handle();
+
+    // --- instantiate (and compile, for eager tiers) ---------------------
+    let config = InstanceConfig { tier: profile.tier, fuel: Some(fuel), ..Default::default() };
+    let mut inst = Instance::instantiate(module, ctx.into_imports(), config)
+        .map_err(|e| simkernel::KernelError::InvalidState(format!("instantiate: {e}")))?;
+    steps.push(Step::Cpu(profile.instantiate));
+
+    // --- run _start -------------------------------------------------------
+    let exit_code = match inst.run_start() {
+        Ok(()) => 0,
+        Err(Trap::Exit(code)) => code,
+        Err(t) => {
+            return Err(simkernel::KernelError::InvalidState(format!("guest trapped: {t}")))
+        }
+    };
+    let stats = inst.stats();
+    steps.push(Step::Cpu(Duration::from_nanos(
+        stats.instrs_retired * profile.exec_ns_per_instr,
+    )));
+
+    // --- charge what the run actually built -----------------------------
+    let mut cache_hit = false;
+    if profile.eager_compile() {
+        let code_bytes = (stats.lowered_bytes as f64 * profile.code_metadata_factor) as u64;
+        if profile.code_cache {
+            let key = content_hash(&bytes);
+            let cache_path = format!("{}/{key:016x}.cwasm", profile.cache_dir);
+            match kernel.lookup(&cache_path) {
+                Ok(artifact) => {
+                    // Cache hit: skip compilation, pay artifact load +
+                    // relocation. Relocation COW-writes the code pages, so
+                    // they end up private anon — the artifact mapping IS the
+                    // code memory (only the metadata share is charged
+                    // separately below).
+                    cache_hit = true;
+                    let cold = kernel.file_cached(artifact)? < stats.lowered_bytes;
+                    let m = kernel.mmap_labeled(
+                        pid,
+                        stats.lowered_bytes,
+                        MapKind::FileCow(artifact),
+                        "code-cache",
+                    )?;
+                    kernel.touch(pid, m, stats.lowered_bytes)?;
+                    kernel.cow_write(pid, m, stats.lowered_bytes)?;
+                    if cold {
+                        steps.push(io_step(stats.lowered_bytes));
+                    }
+                    steps.push(Step::Cpu(Duration::from_nanos(
+                        stats.lowered_bytes / 1024 * RELOC_NS_PER_KIB,
+                    )));
+                }
+                Err(_) => {
+                    steps.push(Step::Cpu(Duration::from_nanos(
+                        module_size * profile.compile_ns_per_byte,
+                    )));
+                    kernel.create_file(
+                        &cache_path,
+                        simkernel::vfs::FileContent::Synthetic(stats.lowered_bytes),
+                    )?;
+                }
+            }
+        } else {
+            steps.push(Step::Cpu(Duration::from_nanos(
+                module_size * profile.compile_ns_per_byte,
+            )));
+        }
+        // On a cache hit the raw code bytes already live in the COW'd
+        // artifact mapping; only the codegen metadata share remains.
+        let anon_code = if cache_hit {
+            code_bytes.saturating_sub(stats.lowered_bytes)
+        } else {
+            code_bytes
+        };
+        let code_map =
+            kernel.mmap_labeled(pid, anon_code.max(4096), MapKind::AnonPrivate, "jit-code")?;
+        kernel.touch(pid, code_map, anon_code.max(4096))?;
+    } else {
+        // In-place interpretation: only the control side-tables.
+        if stats.side_table_bytes > 0 {
+            let m = kernel.mmap_labeled(
+                pid,
+                stats.side_table_bytes,
+                MapKind::AnonPrivate,
+                "side-tables",
+            )?;
+            kernel.touch(pid, m, stats.side_table_bytes)?;
+        }
+    }
+
+    // Instance overhead + linear memory (the real Vec the instance holds).
+    let overhead =
+        kernel.mmap_labeled(pid, per_instance, MapKind::AnonPrivate, "instance-meta")?;
+    kernel.touch(pid, overhead, per_instance)?;
+    if let Some(mem) = inst.memory() {
+        let bytes = mem.size_bytes() as u64;
+        if bytes > 0 {
+            let m = kernel.mmap_labeled(pid, bytes, MapKind::AnonPrivate, "linear-memory")?;
+            kernel.touch(pid, m, bytes)?;
+        }
+    }
+
+    let stdout = stdout.borrow().clone();
+    let stderr = stderr.borrow().clone();
+    Ok(EngineRun { steps, stdout, stderr, exit_code, stats, cache_hit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::{Kernel, KernelConfig};
+    use wasm_core::{FuncType, ModuleBuilder, ValType};
+
+    /// Minimal WASI microservice: print a line, spin a bounded loop, exit 0.
+    fn microservice_bytes() -> Vec<u8> {
+        let mut b = ModuleBuilder::new();
+        let fd_write = b.import_func(
+            "wasi_snapshot_preview1",
+            "fd_write",
+            FuncType::new(vec![ValType::I32; 4], vec![ValType::I32]),
+        );
+        let mem = b.memory(1, Some(4));
+        b.export_memory("memory", mem);
+        b.data(0, &b"service ready\n"[..]);
+        b.data(16, &[0u8, 0, 0, 0, 14, 0, 0, 0][..]);
+        let start = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.i32_const(1).i32_const(16).i32_const(1).i32_const(24).call(fd_write).drop_();
+            // Bounded warm-up loop.
+            let i = f.local(ValType::I32);
+            f.i32_const(5000).local_set(i);
+            f.block(wasm_core::types::BlockType::Empty, |f| {
+                f.loop_(wasm_core::types::BlockType::Empty, |f| {
+                    f.local_get(i).op(wasm_core::Instruction::I32Eqz).br_if(1);
+                    f.local_get(i).i32_const(1).op(wasm_core::Instruction::I32Sub).local_set(i);
+                    f.br(0);
+                });
+            });
+        });
+        b.export_func("_start", start);
+        b.build_bytes()
+    }
+
+    fn setup() -> (Kernel, FileId) {
+        let kernel = Kernel::boot(KernelConfig::default());
+        install_engines(&kernel).unwrap();
+        let module = kernel
+            .create_file(
+                "/images/microservice/app.wasm",
+                simkernel::vfs::FileContent::Bytes(Bytes::from(microservice_bytes())),
+            )
+            .unwrap();
+        (kernel, module)
+    }
+
+    fn run_one(kernel: &Kernel, module: FileId, kind: EngineKind, name: &str) -> (Pid, EngineRun) {
+        let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, name).unwrap();
+        let pid = kernel.spawn(name, cg).unwrap();
+        let run = execute_wasm(
+            kernel,
+            pid,
+            kind.profile(),
+            module,
+            &WasiSpec { args: vec!["app".into()], ..Default::default() },
+            100_000_000,
+        )
+        .unwrap();
+        (pid, run)
+    }
+
+    #[test]
+    fn all_engines_run_the_microservice() {
+        let (kernel, module) = setup();
+        for kind in EngineKind::ALL {
+            let (_, run) = run_one(&kernel, module, kind, kind.profile().name);
+            assert_eq!(run.exit_code, 0, "{kind:?}");
+            assert_eq!(run.stdout, b"service ready\n", "{kind:?}");
+            assert!(run.stats.instrs_retired > 10_000, "{kind:?} ran the loop");
+            assert!(!run.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn wamr_uses_least_memory() {
+        let (kernel, module) = setup();
+        let mut rss = std::collections::BTreeMap::new();
+        for kind in EngineKind::ALL {
+            let (pid, _) = run_one(&kernel, module, kind, kind.profile().name);
+            // Private footprint: anon bytes only (shared lib discounted).
+            let cg = kernel.proc_cgroup(pid).unwrap();
+            rss.insert(kind, kernel.cgroup_stat(cg).unwrap().anon_bytes);
+        }
+        let wamr = rss[&EngineKind::Wamr];
+        for kind in [EngineKind::Wasmtime, EngineKind::Wasmer, EngineKind::WasmEdge] {
+            assert!(
+                rss[&kind] > wamr * 3,
+                "{kind:?}: {} vs wamr {}",
+                rss[&kind],
+                wamr
+            );
+        }
+        assert!(rss[&EngineKind::Wasmer] > rss[&EngineKind::Wasmtime]);
+    }
+
+    #[test]
+    fn library_pages_shared_across_containers() {
+        let (kernel, module) = setup();
+        let before = kernel.free().buff_cache;
+        run_one(&kernel, module, EngineKind::Wamr, "c1");
+        let after_one = kernel.free().buff_cache;
+        run_one(&kernel, module, EngineKind::Wamr, "c2");
+        let after_two = kernel.free().buff_cache;
+        assert!(after_one > before, "first container faults the library in");
+        assert_eq!(after_one, after_two, "second container adds no cache");
+    }
+
+    #[test]
+    fn wasmtime_cache_hits_on_second_container() {
+        let (kernel, module) = setup();
+        let (_, first) = run_one(&kernel, module, EngineKind::Wasmtime, "c1");
+        assert!(!first.cache_hit);
+        let (_, second) = run_one(&kernel, module, EngineKind::Wasmtime, "c2");
+        assert!(second.cache_hit);
+        // A hit replaces the big compile CPU step with a small relocation:
+        let cpu = |run: &EngineRun| -> u64 {
+            run.steps
+                .iter()
+                .map(|s| match s {
+                    Step::Cpu(d) => d.as_nanos(),
+                    _ => 0,
+                })
+                .sum()
+        };
+        // The saving equals roughly the compile step (other fixed costs —
+        // dlopen/link, engine init — are shared by both runs).
+        let compile_ns =
+            kernel.file_size(module).unwrap() * EngineKind::Wasmtime.profile().compile_ns_per_byte;
+        let saved = cpu(&first) - cpu(&second);
+        assert!(
+            saved > compile_ns / 2,
+            "expected ~compile-sized saving: saved {saved}, compile {compile_ns}"
+        );
+    }
+
+    #[test]
+    fn cold_start_pays_io_warm_does_not() {
+        let (kernel, module) = setup();
+        let (_, first) = run_one(&kernel, module, EngineKind::WasmEdge, "c1");
+        let (_, second) = run_one(&kernel, module, EngineKind::WasmEdge, "c2");
+        let io = |run: &EngineRun| -> u64 {
+            run.steps
+                .iter()
+                .map(|s| match s {
+                    Step::Io(d) => d.as_nanos(),
+                    _ => 0,
+                })
+                .sum()
+        };
+        // The warm run keeps only the fixed per-container load I/O; the
+        // cold run additionally reads the library and module from disk.
+        let fixed = EngineKind::WasmEdge.profile().load_io.as_nanos();
+        assert!(io(&first) > fixed);
+        assert_eq!(io(&second), fixed);
+    }
+
+    #[test]
+    fn crate_embedding_is_leaner_than_c_api() {
+        let (kernel, module) = setup();
+        let profile = EngineKind::Wasmtime.profile();
+        let run_with = |name: &str, embedding: crate::exec::Embedding| {
+            let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, name).unwrap();
+            let pid = kernel.spawn(name, cg).unwrap();
+            execute_wasm_opts(
+                &kernel,
+                pid,
+                profile,
+                module,
+                &WasiSpec::default(),
+                100_000_000,
+                ExecOptions { embedding, ..Default::default() },
+            )
+            .unwrap();
+            kernel.cgroup_stat(cg).unwrap().anon_bytes
+        };
+        let capi = run_with("capi", crate::exec::Embedding::CApi);
+        let lean = run_with("crate", crate::exec::Embedding::Crate);
+        assert!(
+            lean + profile.runtime_baseline / 2 < capi,
+            "crate embedding {lean} should be far below C API {capi}"
+        );
+    }
+
+    #[test]
+    fn wamr_aot_profile_trades_memory_for_speed() {
+        let (kernel, module) = setup();
+        let run_profile = |name: &str, profile: &crate::profile::EngineProfile| {
+            let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, name).unwrap();
+            let pid = kernel.spawn(name, cg).unwrap();
+            let run = execute_wasm(&kernel, pid, profile, module, &WasiSpec::default(), 100_000_000)
+                .unwrap();
+            (kernel.cgroup_stat(cg).unwrap().anon_bytes, run.stats)
+        };
+        let (interp_mem, interp_stats) = run_profile("wamr-i", &crate::profile::WAMR);
+        let (aot_mem, aot_stats) = run_profile("wamr-a", &crate::profile::WAMR_AOT);
+        assert!(aot_mem > interp_mem, "AOT carries compiled code: {aot_mem} vs {interp_mem}");
+        assert!(aot_stats.lowered_bytes > 0 && interp_stats.lowered_bytes == 0);
+        assert!(interp_stats.side_table_bytes > 0 && aot_stats.side_table_bytes == 0);
+        // Same logical work either way.
+        assert_eq!(aot_stats.host_calls, interp_stats.host_calls);
+    }
+
+    #[test]
+    fn wasi_args_reach_the_guest() {
+        // A guest that exits with argc.
+        let mut b = ModuleBuilder::new();
+        let sizes = b.import_func(
+            "wasi_snapshot_preview1",
+            "args_sizes_get",
+            FuncType::new(vec![ValType::I32; 2], vec![ValType::I32]),
+        );
+        let exit = b.import_func(
+            "wasi_snapshot_preview1",
+            "proc_exit",
+            FuncType::new(vec![ValType::I32], vec![]),
+        );
+        let mem = b.memory(1, None);
+        b.export_memory("memory", mem);
+        let start = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.i32_const(0).i32_const(4).call(sizes).drop_();
+            f.i32_const(0).i32_load(0).call(exit);
+        });
+        b.export_func("_start", start);
+        let kernel = Kernel::boot(KernelConfig::default());
+        install_engines(&kernel).unwrap();
+        let module = kernel
+            .create_file(
+                "/images/argc/app.wasm",
+                simkernel::vfs::FileContent::Bytes(Bytes::from(b.build_bytes())),
+            )
+            .unwrap();
+        let pid = kernel.spawn("argc", Kernel::ROOT_CGROUP).unwrap();
+        let run = execute_wasm(
+            &kernel,
+            pid,
+            EngineKind::Wamr.profile(),
+            module,
+            &WasiSpec {
+                args: vec!["app".into(), "-v".into(), "--x".into()],
+                ..Default::default()
+            },
+            10_000_000,
+        )
+        .unwrap();
+        assert_eq!(run.exit_code, 3);
+    }
+}

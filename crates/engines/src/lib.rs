@@ -1,0 +1,31 @@
+//! # engines — the four WebAssembly runtime profiles
+//!
+//! The paper benchmarks four engines — WAMR 2.1.0, Wasmtime 23.0.1,
+//! Wasmer 4.3.5 and WasmEdge 0.14.0 — embedded in container runtimes. Here
+//! each engine is a [`profile::EngineProfile`] over the **same** real Wasm
+//! core (`wasm-core`), differing in the design choices that drive the
+//! paper's results:
+//!
+//! * **execution tier** — WAMR interprets bytecode in place (tiny
+//!   per-instance footprint); the others eagerly lower every function to
+//!   wide internal code (measured, real bytes) plus codegen metadata;
+//! * **library size** — the engine `.so` mapped shared into each container
+//!   process, resident **once** machine-wide in the page cache (1.2 MB for
+//!   WAMR versus 22–38 MB for the JIT engines);
+//! * **runtime baseline** — private heap the engine allocates at init;
+//! * **code cache** — Wasmtime's content-addressed on-disk cache, which
+//!   skips compile *time* (but not private code memory) for repeated
+//!   modules — the mechanism behind the paper's Fig. 9 crossover;
+//! * **cost model** — init/compile/validate/execute latencies that become
+//!   DES steps in the startup programs.
+//!
+//! [`exec::execute_wasm`] is the single entry point the container runtimes
+//! and runwasi shims use: it performs the real work (decode → validate →
+//! (compile) → instantiate → run under WASI) while charging every byte to
+//! the simulated kernel and emitting the latency step list.
+
+pub mod exec;
+pub mod profile;
+
+pub use exec::{execute_wasm, execute_wasm_opts, install_engines, Embedding, EngineRun, ExecOptions, WasiSpec};
+pub use profile::{EngineKind, EngineProfile};

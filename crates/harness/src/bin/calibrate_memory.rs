@@ -1,0 +1,13 @@
+//! Calibration helper: print both memory observers for every runtime
+//! configuration at one density. Used while tuning the profile constants
+//! against the paper's bands (DESIGN.md "Calibration").
+
+use harness::{measure_memory, Config, Workload, mb};
+fn main() {
+    let w = Workload::default();
+    println!("{:<28} {:>10} {:>10}", "config", "metricsMB", "freeMB");
+    for c in Config::ALL {
+        let s = measure_memory(c, 16, &w).unwrap();
+        println!("{:<28} {:>10.2} {:>10.2}", c.label(), mb(s.metrics_avg), mb(s.free_per_pod));
+    }
+}

@@ -1,0 +1,11 @@
+//! Calibration helper: print the startup figures at the paper's two
+//! densities. Used while tuning the latency cost model.
+
+use harness::{figures_startup, Workload};
+fn main() {
+    let w = Workload::default();
+    for n in [10usize, 400] {
+        let t = figures_startup(&w, n).unwrap();
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate Figure 10 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig10(&workload, &figures::PAPER_DENSITIES).expect("figure 10");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig10") {
+        println!("CSV written to {}", path.display());
+    }
+}

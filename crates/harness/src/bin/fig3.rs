@@ -1,0 +1,13 @@
+//! Regenerate Figure 3 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig3(&workload, &figures::PAPER_DENSITIES).expect("figure 3");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig3") {
+        println!("CSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate Figure 4 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig4(&workload, &figures::PAPER_DENSITIES).expect("figure 4");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig4") {
+        println!("CSV written to {}", path.display());
+    }
+}

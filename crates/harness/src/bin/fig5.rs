@@ -1,0 +1,13 @@
+//! Regenerate Figure 5 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig5(&workload, &figures::PAPER_DENSITIES).expect("figure 5");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig5") {
+        println!("CSV written to {}", path.display());
+    }
+}

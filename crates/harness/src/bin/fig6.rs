@@ -1,0 +1,13 @@
+//! Regenerate Figure 6 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig6(&workload, &figures::PAPER_DENSITIES).expect("figure 6");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig6") {
+        println!("CSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate Figure 7 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig7(&workload, &figures::PAPER_DENSITIES).expect("figure 7");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig7") {
+        println!("CSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate Figure 8 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig8(&workload).expect("figure 8");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig8") {
+        println!("CSV written to {}", path.display());
+    }
+}

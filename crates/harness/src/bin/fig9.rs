@@ -1,0 +1,13 @@
+//! Regenerate Figure 9 of the paper.
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig9(&workload).expect("figure 9");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig9") {
+        println!("CSV written to {}", path.display());
+    }
+}

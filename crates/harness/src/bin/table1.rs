@@ -1,0 +1,5 @@
+//! Print Table I (software stack).
+
+fn main() {
+    println!("{}", harness::figures::table1());
+}

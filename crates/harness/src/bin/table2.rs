@@ -1,0 +1,5 @@
+//! Print Table II (experiments overview).
+
+fn main() {
+    println!("{}", harness::figures::table2());
+}

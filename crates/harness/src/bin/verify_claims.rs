@@ -1,0 +1,27 @@
+//! Check every quantitative claim of the paper against this reproduction.
+//!
+//! Usage: `cargo run --release -p harness --bin verify_claims [--quick]`
+//! `--quick` uses smaller densities (8/64) for a fast smoke run; the full
+//! run uses the paper's 10 and 400.
+
+use harness::claims::{check_memory_claims, check_startup_claims, render_claims};
+use harness::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (densities, small_n, large_n): (Vec<usize>, usize, usize) =
+        if quick { (vec![8, 64], 8, 64) } else { (vec![10, 100, 400], 10, 400) };
+    let workload = Workload::default();
+
+    let mut all = Vec::new();
+    all.extend(check_memory_claims(&workload, &densities).expect("memory claims"));
+    all.extend(check_startup_claims(&workload, small_n, large_n).expect("startup claims"));
+    let (text, passed) = render_claims(&all);
+    println!("{text}");
+    if passed {
+        println!("All {} claims hold.", all.len());
+    } else {
+        println!("Some claims FAILED.");
+        std::process::exit(1);
+    }
+}

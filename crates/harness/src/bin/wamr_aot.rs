@@ -1,0 +1,111 @@
+//! §VI future work, "advanced runtime optimizations": what happens to the
+//! paper's trade-off if the crun-embedded WAMR enables its AOT compiler?
+//!
+//! WAMR-AOT keeps the tiny library and baseline but eagerly lowers every
+//! function like the JIT engines. Measured against the paper's
+//! interpreter-mode integration and the closest competitor:
+//!
+//! * memory: AOT pays real compiled-code bytes per container (the measured
+//!   lowering of the module) — still far under Wasmtime, above the
+//!   interpreter build;
+//! * startup: at low density AOT's compile cost hurts; under contention its
+//!   faster execution wins back some of Fig. 9's crun-Wasmtime gap.
+//!
+//! Usage: `cargo run --release -p harness --bin wamr_aot`
+
+use container_runtimes::handler::{
+    resolve_module, wasi_spec_from_oci, ContainerHandler, HandlerOutcome, PauseHandler,
+};
+use container_runtimes::profile::CRUN;
+use container_runtimes::LowLevelRuntime;
+use containerd_sim::RuntimeClass;
+use engines::profile::WAMR_AOT;
+use engines::{execute_wasm, EngineKind};
+use harness::{mb, measure_memory, measure_startup, new_cluster, Config, Workload};
+use oci_spec_lite::{Bundle, RuntimeSpec};
+use simkernel::{Kernel, KernelResult, Pid};
+
+/// A crun handler running WAMR in AOT mode.
+struct WamrAotHandler;
+
+impl ContainerHandler for WamrAotHandler {
+    fn name(&self) -> &str {
+        "wamr-aot"
+    }
+
+    fn matches(&self, spec: &RuntimeSpec, _bundle: &Bundle) -> bool {
+        spec.wants_wasm()
+    }
+
+    fn execute(
+        &self,
+        kernel: &Kernel,
+        pid: Pid,
+        bundle: &Bundle,
+        spec: &RuntimeSpec,
+    ) -> KernelResult<HandlerOutcome> {
+        let module = resolve_module(bundle, spec)?;
+        let wasi = wasi_spec_from_oci(bundle, spec);
+        let run = execute_wasm(kernel, pid, &WAMR_AOT, module, &wasi, engines::profile::DEFAULT_STARTUP_FUEL)?;
+        Ok(HandlerOutcome { steps: run.steps, stdout: run.stdout, exit_code: run.exit_code })
+    }
+}
+
+fn measure_aot(workload: &Workload, density: usize) -> (u64, f64) {
+    let mut cluster = new_cluster(&[], workload).expect("cluster");
+    let mut rt = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+    rt.register_handler(Box::new(WamrAotHandler));
+    rt.register_handler(Box::new(PauseHandler));
+    cluster.register_class("crun-wamr-aot", RuntimeClass::Oci { runtime: rt });
+    cluster
+        .pull_image(workloads::wasm_microservice_image(
+            Config::WamrCrun.image_ref(),
+            &workload.wasm,
+        ))
+        .expect("image");
+    let warm = cluster
+        .deploy("warm", Config::WamrCrun.image_ref(), "crun-wamr-aot", 1)
+        .expect("warm");
+    cluster.teardown(warm).expect("teardown");
+    let d = cluster
+        .deploy("aot", Config::WamrCrun.image_ref(), "crun-wamr-aot", density)
+        .expect("deploy");
+    let metrics = cluster.average_working_set(&d).expect("metrics");
+    let startup = cluster.measure_startup(&[&d]).total().as_secs_f64();
+    (metrics, startup)
+}
+
+fn main() {
+    let workload = Workload::default();
+    for density in [10usize, 400] {
+        println!("--- density {density} pods ---");
+        let interp_mem = measure_memory(Config::WamrCrun, density, &workload).expect("interp");
+        let interp_start = measure_startup(Config::WamrCrun, density, &workload).expect("interp");
+        let (aot_mem, aot_start) = measure_aot(&workload, density);
+        let wt_mem = measure_memory(Config::CrunWasmtime, density, &workload).expect("wt");
+        let wt_start = measure_startup(Config::CrunWasmtime, density, &workload).expect("wt");
+        println!(
+            "{:<26} {:>12} {:>12}",
+            "integration", "metrics MB", "startup s"
+        );
+        println!(
+            "{:<26} {:>12.2} {:>12.2}",
+            "crun-wamr (interp, paper)",
+            mb(interp_mem.metrics_avg),
+            interp_start.total.as_secs_f64()
+        );
+        println!("{:<26} {:>12.2} {:>12.2}", "crun-wamr-aot (future)", mb(aot_mem), aot_start);
+        println!(
+            "{:<26} {:>12.2} {:>12.2}\n",
+            "crun-wasmtime (reference)",
+            mb(wt_mem.metrics_avg),
+            wt_start.total.as_secs_f64()
+        );
+    }
+    println!(
+        "AOT narrows the dense-deployment startup gap to crun-Wasmtime at the\n\
+         cost of per-container code memory — the optimization space §VI leaves\n\
+         for future work, quantified."
+    );
+    let _ = EngineKind::Wamr;
+}

@@ -1,0 +1,192 @@
+//! The nine runtime configurations the paper evaluates.
+
+use container_runtimes::handler::{PauseHandler, WasmEngineHandler};
+use container_runtimes::profile::{CRUN, RUNC};
+use container_runtimes::LowLevelRuntime;
+use containerd_sim::RuntimeClass;
+use engines::EngineKind;
+use k8s_sim::Cluster;
+use pyrt::PythonHandler;
+use simkernel::KernelResult;
+use wamr_crun::{WamrCrunConfig, WamrHandler};
+use workloads::{
+    python_microservice_image, wasm_microservice_image, MicroserviceConfig, PythonScriptConfig,
+};
+
+/// One bar/row of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Config {
+    /// The paper's contribution: WAMR embedded in crun.
+    WamrCrun,
+    // Existing Wasm integrations in crun (Fig. 3/4).
+    CrunWasmtime,
+    CrunWasmer,
+    CrunWasmEdge,
+    // runwasi shims (Fig. 5).
+    ShimWasmtime,
+    ShimWasmer,
+    ShimWasmEdge,
+    // Non-Wasm baselines (Fig. 6/7).
+    CrunPython,
+    RuncPython,
+}
+
+impl Config {
+    /// All nine configurations, in the paper's presentation order.
+    pub const ALL: [Config; 9] = [
+        Config::WamrCrun,
+        Config::CrunWasmtime,
+        Config::CrunWasmer,
+        Config::CrunWasmEdge,
+        Config::ShimWasmtime,
+        Config::ShimWasmer,
+        Config::ShimWasmEdge,
+        Config::CrunPython,
+        Config::RuncPython,
+    ];
+
+    /// Label as it appears in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::WamrCrun => "crun-wamr (ours)",
+            Config::CrunWasmtime => "crun-wasmtime",
+            Config::CrunWasmer => "crun-wasmer",
+            Config::CrunWasmEdge => "crun-wasmedge",
+            Config::ShimWasmtime => "containerd-shim-wasmtime",
+            Config::ShimWasmer => "containerd-shim-wasmer",
+            Config::ShimWasmEdge => "containerd-shim-wasmedge",
+            Config::CrunPython => "crun-python",
+            Config::RuncPython => "runc-python",
+        }
+    }
+
+    /// Runtime-class name registered with containerd.
+    pub fn class_name(self) -> &'static str {
+        match self {
+            Config::WamrCrun => "crun-wamr",
+            Config::CrunWasmtime => "crun-wasmtime",
+            Config::CrunWasmer => "crun-wasmer",
+            Config::CrunWasmEdge => "crun-wasmedge",
+            Config::ShimWasmtime => "runwasi-wasmtime",
+            Config::ShimWasmer => "runwasi-wasmer",
+            Config::ShimWasmEdge => "runwasi-wasmedge",
+            Config::CrunPython => "crun-python",
+            Config::RuncPython => "runc-python",
+        }
+    }
+
+    /// Is this the paper's contribution?
+    pub fn is_ours(self) -> bool {
+        self == Config::WamrCrun
+    }
+
+    /// Does this configuration run Wasm (vs. native Python)?
+    pub fn is_wasm(self) -> bool {
+        !matches!(self, Config::CrunPython | Config::RuncPython)
+    }
+
+    /// Image reference the configuration deploys.
+    pub fn image_ref(self) -> &'static str {
+        if self.is_wasm() {
+            "registry.local/microservice-wasm:v1"
+        } else {
+            "registry.local/microservice-python:v1"
+        }
+    }
+
+    /// Register this configuration's runtime class (and its image, if not
+    /// yet pulled) on a cluster.
+    pub fn install(self, cluster: &mut Cluster, workload: &Workload) -> KernelResult<()> {
+        let kernel = cluster.kernel.clone();
+        let fuel = engines::profile::DEFAULT_STARTUP_FUEL;
+        let class = match self {
+            Config::WamrCrun => {
+                let mut rt = LowLevelRuntime::new(kernel, &CRUN);
+                rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+                rt.register_handler(Box::new(PauseHandler));
+                RuntimeClass::Oci { runtime: rt }
+            }
+            Config::CrunWasmtime | Config::CrunWasmer | Config::CrunWasmEdge => {
+                let engine = match self {
+                    Config::CrunWasmtime => EngineKind::Wasmtime,
+                    Config::CrunWasmer => EngineKind::Wasmer,
+                    _ => EngineKind::WasmEdge,
+                };
+                let mut rt = LowLevelRuntime::new(kernel, &CRUN);
+                rt.register_handler(Box::new(WasmEngineHandler::new(engine)));
+                rt.register_handler(Box::new(PauseHandler));
+                RuntimeClass::Oci { runtime: rt }
+            }
+            Config::ShimWasmtime => {
+                RuntimeClass::Runwasi { engine: EngineKind::Wasmtime, fuel }
+            }
+            Config::ShimWasmer => RuntimeClass::Runwasi { engine: EngineKind::Wasmer, fuel },
+            Config::ShimWasmEdge => {
+                RuntimeClass::Runwasi { engine: EngineKind::WasmEdge, fuel }
+            }
+            Config::CrunPython | Config::RuncPython => {
+                pyrt::install_python(&cluster.kernel)?;
+                let profile = if self == Config::CrunPython { &CRUN } else { &RUNC };
+                let mut rt = LowLevelRuntime::new(kernel, profile);
+                rt.register_handler(Box::new(PythonHandler::default()));
+                rt.register_handler(Box::new(PauseHandler));
+                RuntimeClass::Oci { runtime: rt }
+            }
+        };
+        cluster.register_class(self.class_name(), class);
+
+        // Pull the image (idempotent thanks to the layer store).
+        let image = if self.is_wasm() {
+            wasm_microservice_image(self.image_ref(), &workload.wasm)
+        } else {
+            python_microservice_image(self.image_ref(), &workload.python)
+        };
+        cluster.pull_image(image)?;
+        Ok(())
+    }
+}
+
+/// The benchmark workload pair (Wasm module + Python script).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Workload {
+    pub wasm: MicroserviceConfig,
+    pub python: PythonScriptConfig,
+}
+
+
+impl Workload {
+    /// A workload with a tiny guest startup loop. Memory mechanisms are
+    /// unchanged (linear memory, code size, interpreter heaps); only the
+    /// executed-instruction count shrinks, so debug-mode tests stay fast.
+    /// Startup-latency *calibration* requires [`Workload::default`].
+    pub fn light() -> Workload {
+        Workload {
+            wasm: MicroserviceConfig { loop_iterations: 50, ..MicroserviceConfig::default() },
+            python: PythonScriptConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_classes_are_unique() {
+        let mut labels: Vec<_> = Config::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9);
+        let mut classes: Vec<_> = Config::ALL.iter().map(|c| c.class_name()).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), 9);
+    }
+
+    #[test]
+    fn exactly_one_ours() {
+        assert_eq!(Config::ALL.iter().filter(|c| c.is_ours()).count(), 1);
+        assert_eq!(Config::ALL.iter().filter(|c| !c.is_wasm()).count(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # harness — experiment drivers regenerating the paper's evaluation
+//!
+//! One function per table/figure ([`figures`]), the nine runtime
+//! configurations ([`config`]), the measurement methodology ([`runner`]),
+//! and the paper's quantitative claims as executable checks ([`claims`]).
+//!
+//! Binaries (`cargo run -p harness --bin figN`) print the corresponding
+//! table and write a CSV under `target/experiments/`.
+
+pub mod claims;
+pub mod config;
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use config::{Config, Workload};
+pub use report::{mb, Table};
+pub use runner::{
+    deploy_density, measure_memory, measure_startup, new_cluster, warmup, MemorySample,
+    StartupSample,
+};
+
+use simkernel::KernelResult;
+
+/// Startup figure at an arbitrary density (used by the claim checks).
+pub fn figures_startup(workload: &Workload, n: usize) -> KernelResult<Table> {
+    let mut table = Table::new(
+        format!("Time to start {n} concurrent containers"),
+        vec![format!("{n} pods")],
+        "s",
+    );
+    for config in Config::ALL {
+        let sample = measure_startup(config, n, workload)?;
+        table.row(config.label(), vec![sample.total.as_secs_f64()], config.is_ours());
+    }
+    Ok(table)
+}

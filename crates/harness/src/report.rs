@@ -1,0 +1,137 @@
+//! Table formatting and CSV output for the figure binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Bytes → MB (the unit of the paper's memory figures).
+pub fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// A generic figure table: one row per runtime configuration, one numeric
+/// column per density (or a single column for startup figures).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<TableRow>,
+    /// Unit shown in the header ("MB/container", "s").
+    pub unit: &'static str,
+}
+
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    pub label: String,
+    pub values: Vec<f64>,
+    /// Highlighted ("our work's results are labeled in red").
+    pub ours: bool,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, columns: Vec<String>, unit: &'static str) -> Table {
+        Table { title: title.into(), columns, rows: Vec::new(), unit }
+    }
+
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>, ours: bool) {
+        self.rows.push(TableRow { label: label.into(), values, ours });
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.len()));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len() + 2)
+            .chain([12])
+            .max()
+            .unwrap_or(12);
+        let _ = write!(out, "{:label_w$}", "runtime");
+        for c in &self.columns {
+            let _ = write!(out, "{:>14}", format!("{c} [{}]", self.unit));
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let marker = if r.ours { "* " } else { "  " };
+            let _ = write!(out, "{:label_w$}", format!("{marker}{}", r.label));
+            for v in &r.values {
+                let _ = write!(out, "{:>14.2}", v);
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "(* = our work: WAMR embedded in crun)");
+        out
+    }
+
+    /// Write as CSV (for plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "runtime");
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out, ",ours");
+        for r in &self.rows {
+            let _ = write!(out, "{}", r.label);
+            for v in &r.values {
+                let _ = write!(out, ",{v:.4}");
+            }
+            let _ = writeln!(out, ",{}", r.ours);
+        }
+        out
+    }
+
+    /// Write the CSV beside the repo's other experiment outputs.
+    pub fn save_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("target/experiments");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Value lookup by row label (for assertions and claim checks).
+    pub fn value(&self, label_contains: &str, col: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label.contains(label_contains))
+            .and_then(|r| r.values.get(col))
+            .copied()
+    }
+
+    /// The highlighted row.
+    pub fn ours(&self) -> Option<&TableRow> {
+        self.rows.iter().find(|r| r.ours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversion() {
+        assert!((mb(10 << 20) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new(
+            "Fig X",
+            vec!["10".into(), "100".into()],
+            "MB",
+        );
+        t.row("crun-wamr (ours)", vec![5.5, 5.4], true);
+        t.row("crun-wasmtime", vec![15.1, 15.0], false);
+        let text = t.render();
+        assert!(text.contains("* crun-wamr"));
+        assert!(text.contains("15.10"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("runtime,10,100,ours"));
+        assert!(csv.contains("crun-wasmtime,15.1000,15.0000,false"));
+        assert_eq!(t.value("wamr", 1), Some(5.4));
+        assert!(t.ours().unwrap().ours);
+    }
+}

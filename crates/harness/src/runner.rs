@@ -1,0 +1,148 @@
+//! Experiment execution: deploy → observe → tear down.
+//!
+//! Methodology follows §IV-A of the paper:
+//!
+//! * memory per container is the average over the 10–400 concurrently
+//!   deployed containers, via both observers (metrics-server working set;
+//!   `free` system deltas divided by container count);
+//! * startup time is the span from beginning the deployment to the last
+//!   container's workload reaching its ready state (DES makespan);
+//! * every measurement runs on a freshly booted cluster, with one warm-up
+//!   pod deployed and removed first so that shared artifacts (binaries,
+//!   libraries, module layers, code caches) are in steady page-cache state
+//!   — matching a cluster that has been running workloads, and making the
+//!   per-container deviation negligible as the paper reports.
+
+use k8s_sim::{Cluster, Deployment};
+use simkernel::{Duration, KernelResult};
+
+use crate::config::{Config, Workload};
+
+/// One memory observation.
+#[derive(Debug, Clone, Copy)]
+pub struct MemorySample {
+    pub config: Config,
+    pub density: usize,
+    /// Average metrics-server working set per pod, bytes.
+    pub metrics_avg: u64,
+    /// System-level (`free`) growth per pod, bytes.
+    pub free_per_pod: u64,
+}
+
+/// One startup observation.
+#[derive(Debug, Clone, Copy)]
+pub struct StartupSample {
+    pub config: Config,
+    pub density: usize,
+    /// Time to start all containers' workload executions.
+    pub total: Duration,
+}
+
+/// Boot a cluster with the given configurations installed.
+pub fn new_cluster(configs: &[Config], workload: &Workload) -> KernelResult<Cluster> {
+    let mut cluster = Cluster::bootstrap()?;
+    for c in configs {
+        c.install(&mut cluster, workload)?;
+    }
+    Ok(cluster)
+}
+
+/// Deploy one warm-up pod and tear it down, leaving caches warm.
+pub fn warmup(cluster: &mut Cluster, config: Config) -> KernelResult<()> {
+    let d = cluster.deploy("warmup", config.image_ref(), config.class_name(), 1)?;
+    cluster.teardown(d)?;
+    Ok(())
+}
+
+/// Deploy `density` pods of `config` on a fresh, warmed cluster and return
+/// the deployment together with its cluster.
+pub fn deploy_density(
+    config: Config,
+    density: usize,
+    workload: &Workload,
+) -> KernelResult<(Cluster, Deployment)> {
+    let mut cluster = new_cluster(&[config], workload)?;
+    warmup(&mut cluster, config)?;
+    let d = cluster.deploy("bench", config.image_ref(), config.class_name(), density)?;
+    Ok((cluster, d))
+}
+
+/// Measure both memory observers at one (config, density) point.
+pub fn measure_memory(
+    config: Config,
+    density: usize,
+    workload: &Workload,
+) -> KernelResult<MemorySample> {
+    if density == 0 {
+        return Err(simkernel::KernelError::InvalidState(
+            "density must be at least 1".into(),
+        ));
+    }
+    let mut cluster = new_cluster(&[config], workload)?;
+    warmup(&mut cluster, config)?;
+    let free_before = cluster.free().used_with_cache();
+    let d = cluster.deploy("bench", config.image_ref(), config.class_name(), density)?;
+    let metrics_avg = cluster.average_working_set(&d)?;
+    let free_after = cluster.free().used_with_cache();
+    let free_per_pod = free_after.saturating_sub(free_before) / density as u64;
+    Ok(MemorySample { config, density, metrics_avg, free_per_pod })
+}
+
+/// Measure the startup makespan at one (config, density) point.
+pub fn measure_startup(
+    config: Config,
+    density: usize,
+    workload: &Workload,
+) -> KernelResult<StartupSample> {
+    if density == 0 {
+        return Err(simkernel::KernelError::InvalidState(
+            "density must be at least 1".into(),
+        ));
+    }
+    let (cluster, d) = deploy_density(config, density, workload)?;
+    let outcome = cluster.measure_startup(&[&d]);
+    Ok(StartupSample { config, density, total: outcome.total() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sample_shape() {
+        let w = Workload::light();
+        let s = measure_memory(Config::WamrCrun, 5, &w).unwrap();
+        assert!(s.metrics_avg > 1 << 20, "metrics {}", s.metrics_avg);
+        assert!(
+            s.free_per_pod > s.metrics_avg,
+            "free {} should exceed metrics {}",
+            s.free_per_pod,
+            s.metrics_avg
+        );
+    }
+
+    #[test]
+    fn startup_sample_shape() {
+        let w = Workload::light();
+        let s = measure_startup(Config::WamrCrun, 5, &w).unwrap();
+        let secs = s.total.as_secs_f64();
+        assert!(secs > 0.5 && secs < 30.0, "{secs}");
+    }
+
+    #[test]
+    fn densities_scale_free_but_not_metrics_much() {
+        let w = Workload::light();
+        let a = measure_memory(Config::WamrCrun, 4, &w).unwrap();
+        let b = measure_memory(Config::WamrCrun, 16, &w).unwrap();
+        // Per-container metrics are roughly density-independent (§IV-B).
+        let ratio = a.metrics_avg as f64 / b.metrics_avg as f64;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn density_zero_is_rejected() {
+        let w = Workload::light();
+        assert!(measure_memory(Config::WamrCrun, 0, &w).is_err());
+        assert!(measure_startup(Config::WamrCrun, 0, &w).is_err());
+    }
+}

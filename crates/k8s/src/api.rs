@@ -1,0 +1,86 @@
+//! Kubernetes API objects (the subset the experiments use).
+
+use simkernel::{CgroupId, SimTime, Step};
+
+/// A pod specification: one container per pod, as in the paper's
+/// experiments (Table II: "1 container per pod").
+#[derive(Debug, Clone)]
+pub struct PodSpec {
+    pub name: String,
+    /// Image reference for the single container.
+    pub image: String,
+    /// Runtime class name registered with containerd.
+    pub runtime_class: String,
+    /// Optional memory limit (resources.limits.memory).
+    pub memory_limit: Option<u64>,
+}
+
+/// Pod lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodPhase {
+    Pending,
+    Running,
+    Failed,
+    Terminated,
+}
+
+/// A deployed pod's record.
+#[derive(Debug)]
+pub struct PodRecord {
+    pub spec: PodSpec,
+    pub phase: PodPhase,
+    /// The pod's cgroup (what the metrics-server scrapes).
+    pub pod_cgroup: CgroupId,
+    /// When the scheduler dispatched this pod to the kubelet.
+    pub dispatched_at: SimTime,
+    /// The pod's startup program (for the DES latency run).
+    pub steps: Vec<Step>,
+    /// Captured workload stdout.
+    pub stdout: Vec<u8>,
+}
+
+/// A set of pods deployed together (the paper's 10–400 container runs).
+#[derive(Debug, Default)]
+pub struct Deployment {
+    pub pods: Vec<PodRecord>,
+}
+
+impl Deployment {
+    pub fn len(&self) -> usize {
+        self.pods.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pods.is_empty()
+    }
+
+    pub fn running(&self) -> usize {
+        self.pods.iter().filter(|p| p.phase == PodPhase::Running).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_counts() {
+        let mut d = Deployment::default();
+        assert!(d.is_empty());
+        d.pods.push(PodRecord {
+            spec: PodSpec {
+                name: "p".into(),
+                image: "i".into(),
+                runtime_class: "c".into(),
+                memory_limit: None,
+            },
+            phase: PodPhase::Running,
+            pod_cgroup: CgroupId(1),
+            dispatched_at: SimTime::ZERO,
+            steps: vec![],
+            stdout: vec![],
+        });
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.running(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The single-node cluster: kernel + containerd + kubelet, wired together.
+//!
+//! [`Cluster`] is the experiment entry point: register runtime classes and
+//! images, deploy N identical pods (the paper's 10–400 densities), measure
+//! startup with the DES, read both memory observers, tear down.
+
+use containerd_sim::{Containerd, RuntimeClass};
+use oci_spec_lite::{ImageBuilder, ImageStore};
+use simkernel::{
+    CgroupId, Duration, FreeReport, Kernel, KernelConfig, KernelResult, Sim, SimOutcome,
+    SimTime, TaskSpec,
+};
+
+use crate::api::{Deployment, PodSpec};
+use crate::kubelet::{Kubelet, NodeConfig};
+
+/// A booted single-node Kubernetes cluster.
+pub struct Cluster {
+    pub kernel: Kernel,
+    pub containerd: Containerd,
+    pub kubelet: Kubelet,
+    pub system_cgroup: CgroupId,
+    pub kubepods: CgroupId,
+}
+
+impl Cluster {
+    /// Boot with the paper's testbed shape (20 cores, 256 GiB) and the
+    /// 500-pod kubelet extension.
+    pub fn bootstrap() -> KernelResult<Cluster> {
+        Cluster::bootstrap_with(KernelConfig::default(), NodeConfig::paper_extension())
+    }
+
+    /// Boot with explicit kernel/node configuration.
+    pub fn bootstrap_with(kcfg: KernelConfig, ncfg: NodeConfig) -> KernelResult<Cluster> {
+        let kernel = Kernel::boot(kcfg);
+        engines::install_engines(&kernel)?;
+        container_runtimes::profile::install_runtimes(&kernel)?;
+        let system_cgroup = kernel.cgroup_create(Kernel::ROOT_CGROUP, "system.slice")?;
+        let kubepods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "kubepods")?;
+        let containerd =
+            Containerd::boot(kernel.clone(), system_cgroup, kubepods, ImageStore::new())?;
+        let kubelet = Kubelet::start(kernel.clone(), system_cgroup, ncfg)?;
+        Ok(Cluster { kernel, containerd, kubelet, system_cgroup, kubepods })
+    }
+
+    /// Register a runtime class.
+    pub fn register_class(&mut self, name: &str, class: RuntimeClass) {
+        self.containerd.register_class(name, class);
+    }
+
+    /// Pull an image.
+    pub fn pull_image(&mut self, builder: ImageBuilder) -> KernelResult<String> {
+        self.containerd.pull_image(builder)
+    }
+
+    /// The `free(1)` observer.
+    pub fn free(&self) -> FreeReport {
+        self.kernel.free()
+    }
+
+    /// Deploy `n` identical pods of `image` under `runtime_class`.
+    ///
+    /// Pods are dispatched at the scheduler/API rate; state effects (memory,
+    /// processes) are applied immediately, while the latency program of each
+    /// pod is recorded for [`Cluster::measure_startup`].
+    pub fn deploy(
+        &mut self,
+        name_prefix: &str,
+        image: &str,
+        runtime_class: &str,
+        n: usize,
+    ) -> KernelResult<Deployment> {
+        let mut deployment = Deployment::default();
+        let gap = Duration::from_secs_f64(1.0 / self.kubelet.config.dispatch_per_sec);
+        for i in 0..n {
+            let dispatched_at = SimTime::ZERO + gap.scaled(i as u64);
+            let spec = PodSpec {
+                name: format!("{name_prefix}-{i}"),
+                image: image.to_string(),
+                runtime_class: runtime_class.to_string(),
+                memory_limit: None,
+            };
+            let record = self.kubelet.sync_pod(&mut self.containerd, spec, dispatched_at)?;
+            deployment.pods.push(record);
+        }
+        Ok(deployment)
+    }
+
+    /// Run the DES over one or more deployments' startup programs. The
+    /// outcome's total is the paper's "time to start N containers" (start
+    /// of deployment to the last container's workload executing).
+    pub fn measure_startup(&self, deployments: &[&Deployment]) -> SimOutcome {
+        let tasks: Vec<TaskSpec> = deployments
+            .iter()
+            .flat_map(|d| d.pods.iter())
+            .map(|p| TaskSpec {
+                name: p.spec.name.clone(),
+                start_at: p.dispatched_at,
+                steps: p.steps.clone(),
+            })
+            .collect();
+        Sim::new(self.kernel.cores()).run(tasks)
+    }
+
+    /// Average metrics-server working set per pod.
+    pub fn average_working_set(&self, deployment: &Deployment) -> KernelResult<u64> {
+        crate::metrics::average_working_set(&self.kernel, deployment)
+    }
+
+    /// Tear down a deployment completely.
+    pub fn teardown(&mut self, deployment: Deployment) -> KernelResult<()> {
+        for pod in deployment.pods {
+            self.kubelet.remove_pod(&mut self.containerd, &pod.spec.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use container_runtimes::handler::PauseHandler;
+    use container_runtimes::profile::CRUN;
+    use container_runtimes::LowLevelRuntime;
+    use wamr_crun::{WamrCrunConfig, WamrHandler};
+
+    fn microservice() -> Vec<u8> {
+        wasm_core::builder::demo_wasi_module("svc up\n")
+    }
+
+    fn cluster_with_wamr() -> Cluster {
+        let mut cluster = Cluster::bootstrap().unwrap();
+        let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+        crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+        crun.register_handler(Box::new(PauseHandler));
+        cluster.register_class("crun-wamr", RuntimeClass::Oci { runtime: crun });
+        cluster
+            .pull_image(
+                ImageBuilder::new("svc:v1")
+                    .entrypoint(["/app/main.wasm".to_string()])
+                    .file("/app/main.wasm", microservice()),
+            )
+            .unwrap();
+        cluster
+    }
+
+    #[test]
+    fn deploy_measure_teardown() {
+        let mut cluster = cluster_with_wamr();
+        let free_before = cluster.free().used_with_cache();
+        let d = cluster.deploy("web", "svc:v1", "crun-wamr", 10).unwrap();
+        assert_eq!(d.running(), 10);
+        assert_eq!(d.pods[0].stdout, b"svc up\n");
+
+        // Metrics-server average is nonzero and per-pod deviation small.
+        let avg = cluster.average_working_set(&d).unwrap();
+        assert!(avg > 1 << 20, "avg {avg}");
+        let dev = crate::metrics::working_set_stddev(&cluster.kernel, &d).unwrap();
+        assert!(dev < 300.0 * 1024.0, "stddev {dev} (paper: < 0.1 MB, first pod pays cache)");
+
+        // free sees more than metrics (shims, kubelet growth, kernel).
+        let free_after = cluster.free().used_with_cache();
+        let free_per_pod = (free_after - free_before) / 10;
+        assert!(free_per_pod > avg, "free {free_per_pod} vs metrics {avg}");
+
+        // Startup makespan: dispatch of 10 pods at 20/s plus pipeline.
+        let outcome = cluster.measure_startup(&[&d]);
+        let total = outcome.total().as_secs_f64();
+        assert!(total > 1.0 && total < 10.0, "total {total}s");
+
+        cluster.teardown(d).unwrap();
+        assert_eq!(cluster.kubelet.pod_count(), 0);
+    }
+
+    #[test]
+    fn max_pods_enforced() {
+        let mut cluster = Cluster::bootstrap_with(
+            KernelConfig::default(),
+            NodeConfig { max_pods: 3, ..Default::default() },
+        )
+        .unwrap();
+        let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+        crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+        crun.register_handler(Box::new(PauseHandler));
+        cluster.register_class("crun-wamr", RuntimeClass::Oci { runtime: crun });
+        cluster
+            .pull_image(
+                ImageBuilder::new("svc:v1")
+                    .entrypoint(["/app/main.wasm".to_string()])
+                    .file("/app/main.wasm", microservice()),
+            )
+            .unwrap();
+        let err = cluster.deploy("web", "svc:v1", "crun-wamr", 4).unwrap_err();
+        assert!(err.to_string().contains("max-pods"));
+    }
+
+    #[test]
+    fn stock_kubelet_cannot_run_the_density_experiment() {
+        // The paper's experiments need up to 400 pods on one node — beyond
+        // the stock limit of 110, hence the §III-C extension.
+        assert!(NodeConfig::default().max_pods < 400);
+        assert!(NodeConfig::paper_extension().max_pods >= 400);
+    }
+}

@@ -1,0 +1,23 @@
+//! # k8s-sim — the Kubernetes layer: kubelet, metrics-server, cluster
+//!
+//! The top of the paper's Figure 1 stack: a single-node cluster (the
+//! testbed is one 20-core/256 GiB machine) whose kubelet drives containerd
+//! through the CRI, with the §III-C extension raising max-pods to 500 so
+//! that the 400-container density experiments can run.
+//!
+//! Two observers produce the paper's memory numbers:
+//! * [`metrics`] — the metrics-server reading per-pod cgroup working sets
+//!   ("measured by Kubernetes", Figs. 3 and 6);
+//! * [`simkernel::Kernel::free`] — the system-wide `free(1)` reading
+//!   ("measured by the OS", Figs. 4, 5 and 7), which also sees shim
+//!   processes, daemon growth, kernel overhead and the page cache.
+
+pub mod api;
+pub mod cluster;
+pub mod kubelet;
+pub mod metrics;
+
+pub use api::{Deployment, PodPhase, PodRecord, PodSpec};
+pub use cluster::Cluster;
+pub use kubelet::{Kubelet, NodeConfig, POD_INFRA_BYTES};
+pub use metrics::{average_working_set, scrape, working_set_stddev, PodMetrics};

@@ -1,0 +1,26 @@
+//! # oci-spec-lite — OCI runtime/image types, bundles, and JSON
+//!
+//! The Open Container Initiative layer of the reproduction:
+//!
+//! * [`json`] — a from-scratch JSON parser/serializer (`serde_json` is not
+//!   in the offline dependency set), with deterministic output;
+//! * [`spec`] — the runtime-spec subset (`config.json`): process, root,
+//!   mounts, namespaces, cgroups path, memory limits, annotations —
+//!   including the `module.wasm.image/variant` annotation that routes a
+//!   container to crun's Wasm handler;
+//! * [`image`] — image store with overlay-style layer sharing;
+//! * [`bundle`] — bundle creation: real `config.json` bytes written to and
+//!   parsed back from the simulated filesystem.
+
+pub mod bundle;
+pub mod image;
+pub mod json;
+pub mod spec;
+
+pub use bundle::Bundle;
+pub use image::{Image, ImageBuilder, ImageConfig, ImageStore, LayerFile};
+pub use json::{parse as parse_json, JsonError, Value};
+pub use spec::{
+    LinuxSpec, MemoryResources, MountSpec, ProcessSpec, RootSpec, RuntimeSpec,
+    WASM_VARIANT_ANNOTATION,
+};

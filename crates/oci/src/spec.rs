@@ -1,0 +1,342 @@
+//! OCI runtime specification types (the subset the paper's stack uses),
+//! with hand-written JSON (de)serialization against [`crate::json`].
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, JsonError, Value};
+
+/// The annotation crun uses to dispatch a container to a Wasm handler
+/// (the `module.wasm.image/variant=compat` convention).
+pub const WASM_VARIANT_ANNOTATION: &str = "module.wasm.image/variant";
+
+/// `process` object: what to execute.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcessSpec {
+    pub args: Vec<String>,
+    /// `KEY=VALUE` strings, as in the OCI spec.
+    pub env: Vec<String>,
+    pub cwd: String,
+    pub terminal: bool,
+}
+
+impl ProcessSpec {
+    /// Parse `env` entries into pairs (ill-formed entries are skipped).
+    pub fn env_pairs(&self) -> Vec<(String, String)> {
+        self.env
+            .iter()
+            .filter_map(|e| e.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
+            .collect()
+    }
+}
+
+/// `root` object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RootSpec {
+    pub path: String,
+    pub readonly: bool,
+}
+
+/// One `mounts` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MountSpec {
+    pub destination: String,
+    pub source: String,
+    pub fstype: String,
+    pub options: Vec<String>,
+}
+
+/// `linux.resources.memory`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryResources {
+    pub limit: Option<u64>,
+}
+
+/// `linux` object subset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinuxSpec {
+    /// Namespace type names ("pid", "mount", "network", ...).
+    pub namespaces: Vec<String>,
+    pub cgroups_path: String,
+    pub memory: MemoryResources,
+}
+
+/// A `config.json` runtime specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuntimeSpec {
+    pub oci_version: String,
+    pub process: ProcessSpec,
+    pub root: RootSpec,
+    pub hostname: String,
+    pub mounts: Vec<MountSpec>,
+    pub annotations: BTreeMap<String, String>,
+    pub linux: LinuxSpec,
+}
+
+impl RuntimeSpec {
+    /// A sensible default spec for a container executing `args`.
+    pub fn for_command(id: &str, args: Vec<String>) -> RuntimeSpec {
+        RuntimeSpec {
+            oci_version: "1.0.2".to_string(),
+            process: ProcessSpec { args, env: Vec::new(), cwd: "/".into(), terminal: false },
+            root: RootSpec { path: "rootfs".into(), readonly: true },
+            hostname: id.to_string(),
+            mounts: vec![MountSpec {
+                destination: "/proc".into(),
+                source: "proc".into(),
+                fstype: "proc".into(),
+                options: vec![],
+            }],
+            annotations: BTreeMap::new(),
+            linux: LinuxSpec {
+                namespaces: vec![
+                    "pid".into(),
+                    "mount".into(),
+                    "network".into(),
+                    "uts".into(),
+                    "ipc".into(),
+                    "cgroup".into(),
+                ],
+                cgroups_path: format!("/kubepods/{id}"),
+                memory: MemoryResources::default(),
+            },
+        }
+    }
+
+    /// Does this spec request the Wasm handler? True when the variant
+    /// annotation is set or the entrypoint names a `.wasm` file.
+    pub fn wants_wasm(&self) -> bool {
+        self.annotations.get(WASM_VARIANT_ANNOTATION).map(String::as_str) == Some("compat")
+            || self
+                .process
+                .args
+                .first()
+                .map(|a| a.ends_with(".wasm"))
+                .unwrap_or(false)
+    }
+
+    /// Serialize to `config.json` bytes.
+    pub fn to_json(&self) -> String {
+        let mounts = Value::Array(
+            self.mounts
+                .iter()
+                .map(|m| {
+                    Value::object([
+                        ("destination", Value::from(m.destination.clone())),
+                        ("source", Value::from(m.source.clone())),
+                        ("type", Value::from(m.fstype.clone())),
+                        ("options", Value::strings(m.options.iter().cloned())),
+                    ])
+                })
+                .collect(),
+        );
+        let namespaces = Value::Array(
+            self.linux
+                .namespaces
+                .iter()
+                .map(|n| Value::object([("type", Value::from(n.clone()))]))
+                .collect(),
+        );
+        let mut linux = vec![
+            ("cgroupsPath", Value::from(self.linux.cgroups_path.clone())),
+            ("namespaces", namespaces),
+        ];
+        if let Some(limit) = self.linux.memory.limit {
+            linux.push((
+                "resources",
+                Value::object([(
+                    "memory",
+                    Value::object([("limit", Value::from(limit))]),
+                )]),
+            ));
+        }
+        let annotations = Value::Object(
+            self.annotations
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(v.clone())))
+                .collect(),
+        );
+        Value::object([
+            ("ociVersion", Value::from(self.oci_version.clone())),
+            (
+                "process",
+                Value::object([
+                    ("terminal", Value::from(self.process.terminal)),
+                    ("args", Value::strings(self.process.args.iter().cloned())),
+                    ("env", Value::strings(self.process.env.iter().cloned())),
+                    ("cwd", Value::from(self.process.cwd.clone())),
+                ]),
+            ),
+            (
+                "root",
+                Value::object([
+                    ("path", Value::from(self.root.path.clone())),
+                    ("readonly", Value::from(self.root.readonly)),
+                ]),
+            ),
+            ("hostname", Value::from(self.hostname.clone())),
+            ("mounts", mounts),
+            ("annotations", annotations),
+            ("linux", Value::object(linux)),
+        ])
+        .to_json()
+    }
+
+    /// Parse `config.json` bytes.
+    pub fn from_json(input: &str) -> Result<RuntimeSpec, JsonError> {
+        let v = parse(input)?;
+        let process = v.get("process").cloned().unwrap_or(Value::Null);
+        let root = v.get("root").cloned().unwrap_or(Value::Null);
+        let linux = v.get("linux").cloned().unwrap_or(Value::Null);
+        let mounts = v
+            .get("mounts")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .map(|m| MountSpec {
+                        destination: m
+                            .get("destination")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        source: m
+                            .get("source")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        fstype: m
+                            .get("type")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        options: m.str_list("options"),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let annotations = v
+            .get("annotations")
+            .and_then(Value::as_object)
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let namespaces = linux
+            .get("namespaces")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|n| n.get("type").and_then(Value::as_str).map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let limit = linux
+            .get("resources")
+            .and_then(|r| r.get("memory"))
+            .and_then(|m| m.get("limit"))
+            .and_then(Value::as_u64);
+        Ok(RuntimeSpec {
+            oci_version: v
+                .get("ociVersion")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            process: ProcessSpec {
+                args: process.str_list("args"),
+                env: process.str_list("env"),
+                cwd: process
+                    .get("cwd")
+                    .and_then(Value::as_str)
+                    .unwrap_or("/")
+                    .to_string(),
+                terminal: process
+                    .get("terminal")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            },
+            root: RootSpec {
+                path: root
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .unwrap_or("rootfs")
+                    .to_string(),
+                readonly: root.get("readonly").and_then(Value::as_bool).unwrap_or(false),
+            },
+            hostname: v
+                .get("hostname")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            mounts,
+            annotations,
+            linux: LinuxSpec {
+                namespaces,
+                cgroups_path: linux
+                    .get("cgroupsPath")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                memory: MemoryResources { limit },
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_default_spec() {
+        let mut spec = RuntimeSpec::for_command("web-1", vec!["/app/main.wasm".into()]);
+        spec.process.env = vec!["PORT=8080".into(), "MODE=prod".into()];
+        spec.annotations
+            .insert(WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
+        spec.linux.memory.limit = Some(64 << 20);
+        let json = spec.to_json();
+        let back = RuntimeSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn env_pairs_parsed() {
+        let p = ProcessSpec {
+            env: vec!["A=1".into(), "B=x=y".into(), "BROKEN".into()],
+            ..Default::default()
+        };
+        assert_eq!(
+            p.env_pairs(),
+            vec![("A".to_string(), "1".to_string()), ("B".to_string(), "x=y".to_string())]
+        );
+    }
+
+    #[test]
+    fn wasm_dispatch_detection() {
+        let mut spec = RuntimeSpec::for_command("c", vec!["/usr/bin/python3".into()]);
+        assert!(!spec.wants_wasm());
+        spec.annotations
+            .insert(WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
+        assert!(spec.wants_wasm());
+
+        let spec2 = RuntimeSpec::for_command("c", vec!["/app/svc.wasm".into()]);
+        assert!(spec2.wants_wasm(), "entrypoint extension triggers dispatch");
+    }
+
+    #[test]
+    fn missing_fields_default() {
+        let spec = RuntimeSpec::from_json("{}").unwrap();
+        assert_eq!(spec.process.cwd, "/");
+        assert_eq!(spec.root.path, "rootfs");
+        assert!(spec.mounts.is_empty());
+        assert!(!spec.wants_wasm());
+    }
+
+    #[test]
+    fn memory_limit_survives() {
+        let mut spec = RuntimeSpec::for_command("c", vec!["x".into()]);
+        spec.linux.memory.limit = Some(128 << 20);
+        let back = RuntimeSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.linux.memory.limit, Some(128 << 20));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the OCI layer: JSON round-trips over arbitrary
+//! values, and runtime-spec round-trips over arbitrary specs.
+
+
+use oci_spec_lite::json::{parse, Value};
+use oci_spec_lite::{
+    LinuxSpec, MemoryResources, MountSpec, ProcessSpec, RootSpec, RuntimeSpec,
+};
+use proptest::prelude::*;
+
+fn arb_json(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        // Integers in the f64-exact range round-trip precisely.
+        (-1_000_000_000i64..1_000_000_000).prop_map(|v| Value::Number(v as f64)),
+        "[a-zA-Z0-9 _./\\-]{0,24}".prop_map(Value::String),
+        // Strings exercising escapes.
+        proptest::collection::vec(
+            prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('\t'),
+                Just('é'),
+                Just('世'),
+                proptest::char::range('a', 'z'),
+            ],
+            0..12
+        )
+        .prop_map(|cs| Value::String(cs.into_iter().collect())),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_json(depth - 1);
+    prop_oneof![
+        leaf,
+        proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Value::Array),
+        proptest::collection::btree_map("[a-z]{1,8}", inner, 0..4).prop_map(Value::Object),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn json_roundtrip(v in arb_json(3)) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,64}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(input in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(s) = std::str::from_utf8(&input) {
+            let _ = parse(s);
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_spec()(
+        args in proptest::collection::vec("[a-zA-Z0-9_./\\-]{1,20}", 1..4),
+        env in proptest::collection::vec(("[A-Z_]{1,10}", "[a-zA-Z0-9:/]{0,16}"), 0..4),
+        cwd in "/[a-z]{0,10}",
+        terminal in any::<bool>(),
+        readonly in any::<bool>(),
+        hostname in "[a-z0-9\\-]{1,12}",
+        limit in proptest::option::of(1u64..(1 << 32)),
+        n_mounts in 0usize..3,
+        annotations in proptest::collection::btree_map(
+            "[a-z.]{1,16}", "[a-z0-9]{0,8}", 0..3
+        ),
+    ) -> RuntimeSpec {
+        RuntimeSpec {
+            oci_version: "1.0.2".into(),
+            process: ProcessSpec {
+                args,
+                env: env.into_iter().map(|(k, v)| format!("{k}={v}")).collect(),
+                cwd,
+                terminal,
+            },
+            root: RootSpec { path: "rootfs".into(), readonly },
+            hostname,
+            mounts: (0..n_mounts)
+                .map(|i| MountSpec {
+                    destination: format!("/mnt/{i}"),
+                    source: format!("src{i}"),
+                    fstype: "tmpfs".into(),
+                    options: vec!["ro".into()],
+                })
+                .collect(),
+            annotations,
+            linux: LinuxSpec {
+                namespaces: vec!["pid".into(), "mount".into(), "network".into()],
+                cgroups_path: "/kubepods/p".into(),
+                memory: MemoryResources { limit },
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn runtime_spec_roundtrip(spec in arb_spec()) {
+        let json = spec.to_json();
+        let back = RuntimeSpec::from_json(&json).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+}

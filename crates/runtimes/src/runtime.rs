@@ -1,0 +1,443 @@
+//! The low-level OCI runtime lifecycle: create → start → kill → delete.
+//!
+//! `create` runs a *transient* runtime process (crun/runc/youki) that
+//! parses the bundle's real `config.json` off the simulated filesystem,
+//! creates the container cgroup, spawns the container init process, and
+//! unshare()s its namespaces. `start` dispatches the workload to the first
+//! matching [`ContainerHandler`], which executes it inside the container
+//! process. The runtime process exits after each operation, exactly as the
+//! real binaries do — so the steady-state memory the experiments measure
+//! contains only container (and pause) processes.
+
+use oci_spec_lite::{Bundle, RuntimeSpec};
+use simkernel::proc::NamespaceKind;
+use simkernel::{
+    CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step,
+};
+
+use crate::handler::{ContainerHandler, HandlerOutcome};
+use crate::profile::RuntimeProfile;
+
+/// Lifecycle state (OCI runtime spec §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    Created,
+    Running,
+    Stopped,
+}
+
+/// A container managed by a low-level runtime.
+#[derive(Debug)]
+pub struct Container {
+    pub id: String,
+    /// The container init process.
+    pub pid: Pid,
+    /// The container's own cgroup (child of the pod cgroup).
+    pub cgroup: CgroupId,
+    pub state: ContainerState,
+    /// Accumulated DES startup steps (create + start + workload).
+    pub steps: Vec<Step>,
+    /// Captured workload stdout.
+    pub stdout: Vec<u8>,
+    /// Name of the handler that ran the workload.
+    pub handler: String,
+}
+
+/// Ambient context for runtime invocations.
+#[derive(Debug, Clone)]
+pub struct RuntimeCtx {
+    /// Cgroup the transient runtime processes run in (the runtime/system
+    /// slice — *not* the pod cgroup; this split is why metrics-server and
+    /// `free` disagree).
+    pub runtime_cgroup: CgroupId,
+}
+
+/// A low-level OCI runtime with registered workload handlers.
+pub struct LowLevelRuntime {
+    kernel: Kernel,
+    profile: &'static RuntimeProfile,
+    handlers: Vec<Box<dyn ContainerHandler>>,
+}
+
+impl LowLevelRuntime {
+    pub fn new(kernel: Kernel, profile: &'static RuntimeProfile) -> Self {
+        LowLevelRuntime { kernel, profile, handlers: Vec::new() }
+    }
+
+    /// Register a workload handler. Order matters: first match wins.
+    pub fn register_handler(&mut self, handler: Box<dyn ContainerHandler>) -> &mut Self {
+        self.handlers.push(handler);
+        self
+    }
+
+    pub fn profile(&self) -> &'static RuntimeProfile {
+        self.profile
+    }
+
+    pub fn handler_names(&self) -> Vec<&str> {
+        self.handlers.iter().map(|h| h.name()).collect()
+    }
+
+    /// Run a transient runtime process for one lifecycle operation and
+    /// account its footprint/latency; the process exits before returning.
+    fn transient_runtime_op(
+        &self,
+        ctx: &RuntimeCtx,
+        op: &str,
+        steps: &mut Vec<Step>,
+        body: impl FnOnce(&Kernel, Pid, &mut Vec<Step>) -> KernelResult<()>,
+    ) -> KernelResult<()> {
+        let kernel = &self.kernel;
+        let p = self.profile;
+        let rt_pid = kernel.spawn(&format!("{}:{op}", p.name), ctx.runtime_cgroup)?;
+        // Exec: map the runtime binary; first exec pays the cold read.
+        let bin = kernel.lookup(p.binary_path)?;
+        let resident = p.binary_resident();
+        let cold = kernel.file_cached(bin)? < resident;
+        let map = kernel.mmap_labeled(rt_pid, p.binary_size, MapKind::FileShared(bin), p.name)?;
+        kernel.touch(rt_pid, map, resident)?;
+        if cold {
+            steps.push(Step::disk_read(resident));
+        }
+        steps.push(Step::Cpu(p.exec));
+        steps.push(Step::Io(p.op_io));
+        let heap = kernel.mmap_labeled(rt_pid, p.startup_heap, MapKind::AnonPrivate, "rt-heap")?;
+        kernel.touch(rt_pid, heap, p.startup_heap)?;
+
+        let result = body(kernel, rt_pid, steps);
+
+        kernel.exit(rt_pid, 0)?;
+        kernel.reap(rt_pid)?;
+        result
+    }
+
+    /// OCI `create`: parse the config, build the cgroup, spawn the init
+    /// process, unshare namespaces, apply resource limits.
+    pub fn create(
+        &self,
+        ctx: &RuntimeCtx,
+        id: &str,
+        bundle: &Bundle,
+        pod_cgroup: CgroupId,
+    ) -> KernelResult<Container> {
+        let p = self.profile;
+        let mut steps = Vec::new();
+        let mut spec_slot: Option<RuntimeSpec> = None;
+        let mut pid_slot: Option<Pid> = None;
+        let mut cg_slot: Option<CgroupId> = None;
+
+        let op_result = self.transient_runtime_op(ctx, "create", &mut steps, |kernel, rt_pid, steps| {
+            // Parse the real config.json bytes off the VFS.
+            let spec = bundle.load_spec(kernel, rt_pid)?;
+            let config_kib = kernel.file_size(bundle.config_file)?.div_ceil(1024);
+            steps.push(Step::Cpu(Duration::from_nanos(config_kib * p.parse_ns_per_kib)));
+
+            // Container cgroup under the pod, with the spec's memory limit.
+            let cgroup = kernel.cgroup_create(pod_cgroup, id)?;
+            cg_slot = Some(cgroup);
+            if let Some(limit) = spec.linux.memory.limit {
+                kernel.cgroup_set_limit(cgroup, Some(limit))?;
+            }
+            steps.push(Step::Cpu(p.cgroup_setup));
+
+            // Container init process: a fork of the runtime, so it shares
+            // the runtime binary text and keeps a small private residual.
+            let pid = kernel.spawn(&format!("container:{id}"), cgroup)?;
+            pid_slot = Some(pid);
+            let kinds = namespace_kinds(&spec.linux.namespaces);
+            kernel.unshare(pid, &kinds)?;
+            steps.push(Step::Cpu(p.create_sandbox));
+
+            spec_slot = Some(spec);
+            Ok(())
+        });
+        if let Err(e) = op_result {
+            // Failures after the container pid/cgroup exist must not leak.
+            self.cleanup_partial(pid_slot, cg_slot);
+            return Err(e);
+        }
+
+        let _ = spec_slot;
+        Ok(Container {
+            id: id.to_string(),
+            pid: pid_slot.expect("set in create body"),
+            cgroup: cg_slot.expect("set in create body"),
+            state: ContainerState::Created,
+            steps,
+            stdout: Vec::new(),
+            handler: String::new(),
+        })
+    }
+
+    /// Best-effort teardown of a partially-created container (used by
+    /// error paths so failures cannot leak processes or cgroups).
+    fn cleanup_partial(&self, pid: Option<Pid>, cgroup: Option<CgroupId>) {
+        if let Some(p) = pid {
+            let _ = self.kernel.exit(p, 1);
+            let _ = self.kernel.reap(p);
+        }
+        if let Some(cg) = cgroup {
+            let _ = self.kernel.cgroup_remove(cg);
+        }
+    }
+
+    /// OCI `start`: dispatch the workload to the first matching handler.
+    pub fn start(
+        &self,
+        ctx: &RuntimeCtx,
+        container: &mut Container,
+        bundle: &Bundle,
+    ) -> KernelResult<()> {
+        if container.state != ContainerState::Created {
+            return Err(KernelError::InvalidState(format!(
+                "container {} is {:?}, expected Created",
+                container.id, container.state
+            )));
+        }
+        let p = self.profile;
+        let mut steps = Vec::new();
+        let mut outcome_slot: Option<HandlerOutcome> = None;
+        let mut handler_name = String::new();
+
+        self.transient_runtime_op(ctx, "start", &mut steps, |kernel, rt_pid, steps| {
+            let spec = bundle.load_spec(kernel, rt_pid)?;
+            let handler = self
+                .handlers
+                .iter()
+                .find(|h| h.matches(&spec, bundle))
+                .ok_or_else(|| {
+                    KernelError::InvalidState(format!(
+                        "no handler for container {} (args {:?})",
+                        container.id, spec.process.args
+                    ))
+                })?;
+            handler_name = handler.name().to_string();
+            // In-process handlers (crun's Wasm handlers) keep the runtime's
+            // image resident in the container process — its (shared) binary
+            // text and a private residual. exec()ing handlers (Python,
+            // pause) replace the image entirely and map their own binaries.
+            if handler.in_process() {
+                let bin = kernel.lookup(p.binary_path)?;
+                let text = kernel.mmap_labeled(
+                    container.pid,
+                    p.binary_size,
+                    MapKind::FileShared(bin),
+                    p.name,
+                )?;
+                kernel.touch(container.pid, text, p.binary_resident())?;
+                if p.container_residual > 0 {
+                    let res = kernel.mmap_labeled(
+                        container.pid,
+                        p.container_residual,
+                        MapKind::AnonPrivate,
+                        "rt-residual",
+                    )?;
+                    kernel.touch(container.pid, res, p.container_residual)?;
+                }
+            }
+            let outcome = handler.execute(kernel, container.pid, bundle, &spec)?;
+            steps.extend(outcome.steps.iter().cloned());
+            outcome_slot = Some(outcome);
+            Ok(())
+        })?;
+
+        let outcome = outcome_slot.expect("set in start body");
+        container.steps.extend(steps);
+        container.stdout = outcome.stdout;
+        container.handler = handler_name;
+        container.state = ContainerState::Running;
+        Ok(())
+    }
+
+    /// OCI `kill` + `delete`: stop the init process and remove the cgroup.
+    pub fn delete(&self, container: &mut Container) -> KernelResult<()> {
+        if container.state == ContainerState::Running
+            || container.state == ContainerState::Created
+        {
+            // The init process may already be gone (OOM-killed by the
+            // kernel); delete must still reap it and remove the cgroup.
+            if matches!(
+                self.kernel.proc_state(container.pid),
+                Ok(simkernel::ProcState::Running)
+            ) {
+                self.kernel.exit(container.pid, 0)?;
+            }
+            if self.kernel.proc_state(container.pid).is_ok() {
+                self.kernel.reap(container.pid)?;
+            }
+        }
+        self.kernel.cgroup_remove(container.cgroup)?;
+        container.state = ContainerState::Stopped;
+        Ok(())
+    }
+}
+
+/// Map OCI namespace names to kernel namespace kinds.
+fn namespace_kinds(names: &[String]) -> Vec<NamespaceKind> {
+    names
+        .iter()
+        .filter_map(|n| match n.as_str() {
+            "pid" => Some(NamespaceKind::Pid),
+            "mount" => Some(NamespaceKind::Mount),
+            "network" => Some(NamespaceKind::Network),
+            "uts" => Some(NamespaceKind::Uts),
+            "ipc" => Some(NamespaceKind::Ipc),
+            "cgroup" => Some(NamespaceKind::Cgroup),
+            "user" => Some(NamespaceKind::User),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::{PauseHandler, WasmEngineHandler};
+    use crate::profile::{install_runtimes, CRUN, RUNC};
+    use engines::EngineKind;
+    use oci_spec_lite::{ImageBuilder, ImageStore};
+    use simkernel::{Kernel, KernelConfig};
+
+    fn microservice() -> Vec<u8> {
+        wasm_core::builder::demo_wasi_module("ready\n")
+    }
+
+    fn setup(kernel: &Kernel) -> (Bundle, RuntimeSpec) {
+        engines::install_engines(kernel).unwrap();
+        install_runtimes(kernel).unwrap();
+        let mut store = ImageStore::new();
+        let image = store
+            .register(
+                kernel,
+                ImageBuilder::new("svc:v1")
+                    .entrypoint(["/app/main.wasm".to_string()])
+                    .file("/app/main.wasm", microservice()),
+            )
+            .unwrap()
+            .clone();
+        let spec = RuntimeSpec::for_command("c1", image.command());
+        let bundle = Bundle::create(kernel, "c1", &image, &spec).unwrap();
+        (bundle, spec)
+    }
+
+    fn ctx(kernel: &Kernel) -> RuntimeCtx {
+        RuntimeCtx {
+            runtime_cgroup: kernel.cgroup_create(Kernel::ROOT_CGROUP, "system").unwrap(),
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_with_wamr_handler() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let (bundle, _) = setup(&kernel);
+        let ctx = ctx(&kernel);
+        let pods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "kubepods").unwrap();
+        let pod = kernel.cgroup_create(pods, "pod-1").unwrap();
+
+        let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+        rt.register_handler(Box::new(WasmEngineHandler::new(EngineKind::Wamr)));
+
+        let mut c = rt.create(&ctx, "c1", &bundle, pod).unwrap();
+        assert_eq!(c.state, ContainerState::Created);
+        // The init process exists but maps nothing until `start` selects a
+        // handler (exec()ing handlers replace the image entirely).
+        assert_eq!(kernel.proc_rss(c.pid).unwrap(), 0);
+
+        rt.start(&ctx, &mut c, &bundle).unwrap();
+        assert_eq!(c.state, ContainerState::Running);
+        assert_eq!(c.handler, "wamr");
+        assert_eq!(c.stdout, b"ready\n");
+        assert!(!c.steps.is_empty());
+
+        // Workload memory landed in the pod subtree.
+        let pod_ws = kernel.cgroup_working_set(pod).unwrap();
+        assert!(pod_ws > 500 << 10, "pod working set {pod_ws}");
+        // Transient runtime processes are gone.
+        assert_eq!(kernel.live_procs(), 1, "only the container init remains");
+
+        rt.delete(&mut c).unwrap();
+        assert_eq!(c.state, ContainerState::Stopped);
+        assert_eq!(kernel.live_procs(), 0);
+    }
+
+    #[test]
+    fn start_requires_created_state() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let (bundle, _) = setup(&kernel);
+        let ctx = ctx(&kernel);
+        let pod = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pod").unwrap();
+        let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+        rt.register_handler(Box::new(WasmEngineHandler::new(EngineKind::Wamr)));
+        let mut c = rt.create(&ctx, "c1", &bundle, pod).unwrap();
+        rt.start(&ctx, &mut c, &bundle).unwrap();
+        assert!(rt.start(&ctx, &mut c, &bundle).is_err(), "double start rejected");
+    }
+
+    #[test]
+    fn no_handler_is_an_error() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let (bundle, _) = setup(&kernel);
+        let ctx = ctx(&kernel);
+        let pod = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pod").unwrap();
+        let rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+        let mut c = rt.create(&ctx, "c1", &bundle, pod).unwrap();
+        let err = rt.start(&ctx, &mut c, &bundle).unwrap_err();
+        assert!(matches!(err, KernelError::InvalidState(_)));
+    }
+
+    #[test]
+    fn handler_priority_order() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let (bundle, _) = setup(&kernel);
+        let ctx = ctx(&kernel);
+        let pod = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pod").unwrap();
+        let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+        // Both match .wasm entrypoints; the first registered wins.
+        rt.register_handler(Box::new(WasmEngineHandler::new(EngineKind::WasmEdge)));
+        rt.register_handler(Box::new(WasmEngineHandler::new(EngineKind::Wamr)));
+        let mut c = rt.create(&ctx, "c1", &bundle, pod).unwrap();
+        rt.start(&ctx, &mut c, &bundle).unwrap();
+        assert_eq!(c.handler, "wasmedge");
+    }
+
+    #[test]
+    fn runc_costs_more_than_crun() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let (bundle, _) = setup(&kernel);
+        let ctx = ctx(&kernel);
+        let pods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pods").unwrap();
+
+        let cpu_total = |c: &Container| -> u64 {
+            c.steps
+                .iter()
+                .map(|s| match s {
+                    Step::Cpu(d) => d.as_nanos(),
+                    _ => 0,
+                })
+                .sum()
+        };
+
+        let pod_a = kernel.cgroup_create(pods, "a").unwrap();
+        let mut crun = LowLevelRuntime::new(kernel.clone(), &CRUN);
+        crun.register_handler(Box::new(PauseHandler));
+        let mut image_store = ImageStore::new();
+        let pause_img = image_store
+            .register(&kernel, ImageBuilder::new("pause:3.9"))
+            .unwrap()
+            .clone();
+        let pause_spec = RuntimeSpec::for_command("p", vec!["/pause".to_string()]);
+        let pause_bundle_a = Bundle::create(&kernel, "pa", &pause_img, &pause_spec).unwrap();
+        let mut ca = crun.create(&ctx, "pa", &pause_bundle_a, pod_a).unwrap();
+        crun.start(&ctx, &mut ca, &pause_bundle_a).unwrap();
+
+        let pod_b = kernel.cgroup_create(pods, "b").unwrap();
+        let mut runc = LowLevelRuntime::new(kernel.clone(), &RUNC);
+        runc.register_handler(Box::new(PauseHandler));
+        let pause_bundle_b = Bundle::create(&kernel, "pb", &pause_img, &pause_spec).unwrap();
+        let mut cb = runc.create(&ctx, "pb", &pause_bundle_b, pod_b).unwrap();
+        runc.start(&ctx, &mut cb, &pause_bundle_b).unwrap();
+
+        assert!(cpu_total(&cb) > cpu_total(&ca), "runc slower than crun");
+        let _ = bundle;
+    }
+}

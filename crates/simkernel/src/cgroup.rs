@@ -1,0 +1,364 @@
+//! cgroup v2 memory controller.
+//!
+//! The Kubernetes metrics-server observer in the reproduction reads per-pod
+//! cgroup *working set* — `memory.current` minus reclaimable file pages —
+//! which is exactly what kubelet's cAdvisor exports in the paper's setup.
+//! Charging follows Linux semantics:
+//!
+//! * anonymous pages are charged to the faulting process's cgroup;
+//! * page-cache pages are charged to the cgroup that first faults them in,
+//!   and **stay** charged there even when other cgroups use them — the
+//!   mechanism by which a shared WAMR library charged to the first container
+//!   makes every later container look (and be) cheap;
+//! * `memory.current` is hierarchical: a charge anywhere in a subtree is
+//!   visible at every ancestor.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a cgroup in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CgroupId(pub u64);
+
+/// Memory statistics for one cgroup (subtree-inclusive, like cgroup v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStat {
+    /// `memory.current`: all charged bytes in the subtree.
+    pub current: u64,
+    /// Anonymous bytes in the subtree.
+    pub anon_bytes: u64,
+    /// Page-cache bytes charged to the subtree.
+    pub file_bytes: u64,
+    /// Kernel-side bytes (task structs, kernel stacks, page tables).
+    pub kernel_bytes: u64,
+}
+
+impl MemStat {
+    /// The metrics-server "working set": everything except file pages that
+    /// could be reclaimed (we treat unmapped file cache as reclaimable; the
+    /// kernel tells us the mapped share via `mapped_file_bytes`).
+    pub fn working_set(&self, mapped_file_bytes: u64) -> u64 {
+        let reclaimable = self.file_bytes.saturating_sub(mapped_file_bytes);
+        self.current.saturating_sub(reclaimable)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cgroup {
+    name: String,
+    parent: Option<CgroupId>,
+    children: Vec<CgroupId>,
+    /// Subtree-inclusive counters (maintained on every charge/uncharge by
+    /// walking ancestors, so reads are O(1)).
+    stat: MemStat,
+    /// Mapped file bytes in the subtree (for working-set computation).
+    mapped_file: u64,
+    /// `memory.max`: `None` means unlimited.
+    limit: Option<u64>,
+    /// Number of processes directly in this cgroup.
+    procs: u64,
+    /// Times this cgroup's limit triggered an OOM.
+    oom_events: u64,
+}
+
+/// The cgroup hierarchy.
+#[derive(Debug)]
+pub struct CgroupTree {
+    next_id: u64,
+    groups: BTreeMap<CgroupId, Cgroup>,
+    root: CgroupId,
+}
+
+/// What kind of memory a charge is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargeKind {
+    Anon,
+    File,
+    Kernel,
+}
+
+impl CgroupTree {
+    pub fn new() -> Self {
+        let root = CgroupId(0);
+        let mut groups = BTreeMap::new();
+        groups.insert(
+            root,
+            Cgroup {
+                name: "/".to_string(),
+                parent: None,
+                children: Vec::new(),
+                stat: MemStat::default(),
+                mapped_file: 0,
+                limit: None,
+                procs: 0,
+                oom_events: 0,
+            },
+        );
+        CgroupTree { next_id: 1, groups, root }
+    }
+
+    pub fn root(&self) -> CgroupId {
+        self.root
+    }
+
+    pub fn exists(&self, id: CgroupId) -> bool {
+        self.groups.contains_key(&id)
+    }
+
+    pub fn create(&mut self, parent: CgroupId, name: &str) -> Option<CgroupId> {
+        if !self.groups.contains_key(&parent) {
+            return None;
+        }
+        let id = CgroupId(self.next_id);
+        self.next_id += 1;
+        self.groups.insert(
+            id,
+            Cgroup {
+                name: name.to_string(),
+                parent: Some(parent),
+                children: Vec::new(),
+                stat: MemStat::default(),
+                mapped_file: 0,
+                limit: None,
+                procs: 0,
+                oom_events: 0,
+            },
+        );
+        self.groups.get_mut(&parent).unwrap().children.push(id);
+        Some(id)
+    }
+
+    /// Remove an empty leaf cgroup. Fails (returns false) if it has
+    /// processes, children, or remaining charges.
+    pub fn remove(&mut self, id: CgroupId) -> bool {
+        if id == self.root {
+            return false;
+        }
+        let Some(g) = self.groups.get(&id) else { return false };
+        if g.procs > 0 || !g.children.is_empty() || g.stat.current > 0 {
+            return false;
+        }
+        let parent = g.parent;
+        self.groups.remove(&id);
+        if let Some(p) = parent {
+            if let Some(pg) = self.groups.get_mut(&p) {
+                pg.children.retain(|c| *c != id);
+            }
+        }
+        true
+    }
+
+    pub fn set_limit(&mut self, id: CgroupId, limit: Option<u64>) -> bool {
+        match self.groups.get_mut(&id) {
+            Some(g) => {
+                g.limit = limit;
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn limit(&self, id: CgroupId) -> Option<u64> {
+        self.groups.get(&id).and_then(|g| g.limit)
+    }
+
+    pub fn stat(&self, id: CgroupId) -> Option<MemStat> {
+        self.groups.get(&id).map(|g| g.stat)
+    }
+
+    /// Mapped file bytes in the subtree (the non-reclaimable file share).
+    pub fn mapped_file(&self, id: CgroupId) -> Option<u64> {
+        self.groups.get(&id).map(|g| g.mapped_file)
+    }
+
+    /// Metrics-server working set for a cgroup.
+    pub fn working_set(&self, id: CgroupId) -> Option<u64> {
+        let g = self.groups.get(&id)?;
+        Some(g.stat.working_set(g.mapped_file))
+    }
+
+    pub fn oom_events(&self, id: CgroupId) -> Option<u64> {
+        self.groups.get(&id).map(|g| g.oom_events)
+    }
+
+    pub fn name(&self, id: CgroupId) -> Option<&str> {
+        self.groups.get(&id).map(|g| g.name.as_str())
+    }
+
+    pub fn parent(&self, id: CgroupId) -> Option<CgroupId> {
+        self.groups.get(&id).and_then(|g| g.parent)
+    }
+
+    pub fn children(&self, id: CgroupId) -> Vec<CgroupId> {
+        self.groups.get(&id).map(|g| g.children.clone()).unwrap_or_default()
+    }
+
+    pub fn proc_attached(&mut self, id: CgroupId) {
+        if let Some(g) = self.groups.get_mut(&id) {
+            g.procs += 1;
+        }
+    }
+
+    pub fn proc_detached(&mut self, id: CgroupId) {
+        if let Some(g) = self.groups.get_mut(&id) {
+            g.procs = g.procs.saturating_sub(1);
+        }
+    }
+
+    /// Would charging `bytes` to `id` exceed any limit on the path to root?
+    /// Returns the first offending cgroup and its limit.
+    pub fn check_limit(&self, id: CgroupId, bytes: u64) -> Option<(CgroupId, u64)> {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let g = self.groups.get(&c)?;
+            if let Some(lim) = g.limit {
+                if g.stat.current.saturating_add(bytes) > lim {
+                    return Some((c, lim));
+                }
+            }
+            cur = g.parent;
+        }
+        None
+    }
+
+    pub fn record_oom(&mut self, id: CgroupId) {
+        if let Some(g) = self.groups.get_mut(&id) {
+            g.oom_events += 1;
+        }
+    }
+
+    /// Charge `bytes` of `kind` to `id` and all its ancestors.
+    /// The caller is responsible for limit checks (via [`CgroupTree::check_limit`]).
+    pub fn charge(&mut self, id: CgroupId, kind: ChargeKind, bytes: u64) -> bool {
+        if !self.groups.contains_key(&id) {
+            return false;
+        }
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let g = self.groups.get_mut(&c).expect("ancestor exists");
+            g.stat.current += bytes;
+            match kind {
+                ChargeKind::Anon => g.stat.anon_bytes += bytes,
+                ChargeKind::File => g.stat.file_bytes += bytes,
+                ChargeKind::Kernel => g.stat.kernel_bytes += bytes,
+            }
+            cur = g.parent;
+        }
+        true
+    }
+
+    /// Reverse of [`CgroupTree::charge`].
+    pub fn uncharge(&mut self, id: CgroupId, kind: ChargeKind, bytes: u64) -> bool {
+        if !self.groups.contains_key(&id) {
+            return false;
+        }
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let g = self.groups.get_mut(&c).expect("ancestor exists");
+            g.stat.current = g.stat.current.saturating_sub(bytes);
+            match kind {
+                ChargeKind::Anon => g.stat.anon_bytes = g.stat.anon_bytes.saturating_sub(bytes),
+                ChargeKind::File => g.stat.file_bytes = g.stat.file_bytes.saturating_sub(bytes),
+                ChargeKind::Kernel => {
+                    g.stat.kernel_bytes = g.stat.kernel_bytes.saturating_sub(bytes)
+                }
+            }
+            cur = g.parent;
+        }
+        true
+    }
+
+    /// Adjust the subtree's mapped-file counter (can be negative).
+    pub fn adjust_mapped_file(&mut self, id: CgroupId, delta: i64) {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(g) = self.groups.get_mut(&c) else { break };
+            if delta >= 0 {
+                g.mapped_file += delta as u64;
+            } else {
+                g.mapped_file = g.mapped_file.saturating_sub((-delta) as u64);
+            }
+            cur = g.parent;
+        }
+    }
+}
+
+impl Default for CgroupTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_charge_propagates() {
+        let mut t = CgroupTree::new();
+        let pods = t.create(t.root(), "kubepods").unwrap();
+        let pod = t.create(pods, "pod-1").unwrap();
+        assert!(t.charge(pod, ChargeKind::Anon, 4096));
+        assert_eq!(t.stat(pod).unwrap().current, 4096);
+        assert_eq!(t.stat(pods).unwrap().current, 4096);
+        assert_eq!(t.stat(t.root()).unwrap().current, 4096);
+        assert!(t.uncharge(pod, ChargeKind::Anon, 4096));
+        assert_eq!(t.stat(t.root()).unwrap().current, 0);
+    }
+
+    #[test]
+    fn working_set_excludes_reclaimable_file() {
+        let mut t = CgroupTree::new();
+        let cg = t.create(t.root(), "c").unwrap();
+        t.charge(cg, ChargeKind::Anon, 10_000);
+        t.charge(cg, ChargeKind::File, 8_000);
+        t.adjust_mapped_file(cg, 3_000);
+        // current = 18_000; reclaimable file = 8000 - 3000 = 5000.
+        assert_eq!(t.working_set(cg).unwrap(), 13_000);
+    }
+
+    #[test]
+    fn limits_are_hierarchical() {
+        let mut t = CgroupTree::new();
+        let parent = t.create(t.root(), "p").unwrap();
+        let child = t.create(parent, "c").unwrap();
+        t.set_limit(parent, Some(8192));
+        assert!(t.check_limit(child, 4096).is_none());
+        t.charge(child, ChargeKind::Anon, 8192);
+        let (victim, lim) = t.check_limit(child, 1).unwrap();
+        assert_eq!(victim, parent);
+        assert_eq!(lim, 8192);
+    }
+
+    #[test]
+    fn removal_rules() {
+        let mut t = CgroupTree::new();
+        let g = t.create(t.root(), "g").unwrap();
+        t.proc_attached(g);
+        assert!(!t.remove(g), "non-empty cgroup must not be removable");
+        t.proc_detached(g);
+        t.charge(g, ChargeKind::File, 100);
+        assert!(!t.remove(g), "charged cgroup must not be removable");
+        t.uncharge(g, ChargeKind::File, 100);
+        assert!(t.remove(g));
+        assert!(!t.remove(t.root()), "root is permanent");
+    }
+
+    #[test]
+    fn oom_events_recorded() {
+        let mut t = CgroupTree::new();
+        let g = t.create(t.root(), "g").unwrap();
+        assert_eq!(t.oom_events(g), Some(0));
+        t.record_oom(g);
+        t.record_oom(g);
+        assert_eq!(t.oom_events(g), Some(2));
+    }
+
+    #[test]
+    fn mapped_file_adjustment_saturates() {
+        let mut t = CgroupTree::new();
+        let g = t.create(t.root(), "g").unwrap();
+        t.adjust_mapped_file(g, 100);
+        t.adjust_mapped_file(g, -500);
+        assert_eq!(t.mapped_file(g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,527 @@
+//! Discrete-event simulation of concurrent startup work.
+//!
+//! Container startup in the paper is a fleet of near-identical workflows
+//! (kubelet sync → sandbox → shim spawn → runtime exec → engine init →
+//! module compile → first instruction) racing over 20 cores and a handful of
+//! serialization points (the containerd task service, the image store). The
+//! density crossovers in Figs. 8–9 are contention effects, so we simulate
+//! them with:
+//!
+//! * a **processor-sharing CPU model**: `n` runnable tasks on `c` cores each
+//!   progress at rate `min(1, c/n)` — the standard fluid approximation of a
+//!   fair scheduler, which is both deterministic and accurate at this scale;
+//! * **FIFO locks**: a task that reaches [`Step::Acquire`] either takes the
+//!   lock and continues or parks until the holder reaches
+//!   [`Step::Release`];
+//! * **I/O delays** that occupy no core (disk latency, RPC round-trips).
+//!
+//! Tasks are plain step lists, so every layer of the container stack can
+//! append its contribution to a startup program without knowing about the
+//! simulator.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::time::{Duration, SimTime};
+
+/// Identifier of a task inside one simulation run (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Identifier of a simulated lock (e.g. the containerd task-service mutex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId(pub u32);
+
+/// Simulated disk bandwidth for cold reads (NVMe-class). Single source of
+/// truth for every layer that models a cold file read.
+pub const DISK_BYTES_PER_SEC: u64 = 500 << 20;
+
+/// One unit of work in a task's startup program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// CPU-bound work: contends for cores under processor sharing.
+    Cpu(Duration),
+    /// Off-CPU delay (disk, network, sleep): elapses in parallel freely.
+    Io(Duration),
+    /// Block until the lock is available, then hold it.
+    Acquire(LockId),
+    /// Release a held lock, waking the first waiter.
+    Release(LockId),
+}
+
+impl Step {
+    /// An I/O step for a cold read of `bytes` from disk.
+    pub fn disk_read(bytes: u64) -> Step {
+        Step::Io(Duration::from_nanos(
+            bytes.saturating_mul(1_000_000_000) / DISK_BYTES_PER_SEC,
+        ))
+    }
+}
+
+/// A task: a named program starting at a given instant.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    pub name: String,
+    pub start_at: SimTime,
+    pub steps: Vec<Step>,
+}
+
+impl TaskSpec {
+    pub fn new(name: impl Into<String>) -> Self {
+        TaskSpec { name: name.into(), start_at: SimTime::ZERO, steps: Vec::new() }
+    }
+
+    pub fn starting_at(mut self, t: SimTime) -> Self {
+        self.start_at = t;
+        self
+    }
+
+    pub fn cpu(mut self, d: Duration) -> Self {
+        self.steps.push(Step::Cpu(d));
+        self
+    }
+
+    pub fn io(mut self, d: Duration) -> Self {
+        self.steps.push(Step::Io(d));
+        self
+    }
+
+    pub fn acquire(mut self, l: LockId) -> Self {
+        self.steps.push(Step::Acquire(l));
+        self
+    }
+
+    pub fn release(mut self, l: LockId) -> Self {
+        self.steps.push(Step::Release(l));
+        self
+    }
+
+    /// Total CPU demand of the program (for reports).
+    pub fn cpu_demand(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for s in &self.steps {
+            if let Step::Cpu(d) = s {
+                total += *d;
+            }
+        }
+        total
+    }
+}
+
+/// Completion record for one task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    pub id: TaskId,
+    pub name: String,
+    pub started: SimTime,
+    pub finished: SimTime,
+}
+
+impl TaskResult {
+    pub fn elapsed(&self) -> Duration {
+        self.finished - self.started
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    pub results: Vec<TaskResult>,
+    /// Instant the last task finished.
+    pub makespan: SimTime,
+}
+
+impl SimOutcome {
+    /// Finish time of the last task — the paper's "time to start N
+    /// containers" metric (deploy begins at t=0).
+    pub fn total(&self) -> Duration {
+        self.makespan - SimTime::ZERO
+    }
+
+    pub fn mean_elapsed(&self) -> Duration {
+        if self.results.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u64 = self.results.iter().map(|r| r.elapsed().as_nanos()).sum();
+        Duration(sum / self.results.len() as u64)
+    }
+
+    pub fn max_elapsed(&self) -> Duration {
+        self.results.iter().map(|r| r.elapsed()).max().unwrap_or(Duration::ZERO)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Waiting for `start_at`.
+    Pending,
+    /// Executing a CPU step (`remaining` tracks progress).
+    Running,
+    /// In an I/O step ending at the stored instant.
+    Sleeping(SimTime),
+    /// Parked on a lock's wait queue.
+    Blocked(LockId),
+    Finished,
+}
+
+struct TaskRt {
+    spec: TaskSpec,
+    state: TaskState,
+    /// Index of the current step.
+    pc: usize,
+    /// Remaining nanoseconds of the current CPU step (fluid model).
+    remaining: f64,
+    finished_at: SimTime,
+}
+
+/// The simulator. Construct with the core count, then [`Sim::run`].
+#[derive(Debug, Clone)]
+pub struct Sim {
+    cores: u32,
+}
+
+impl Sim {
+    pub fn new(cores: u32) -> Sim {
+        assert!(cores > 0, "need at least one core");
+        Sim { cores }
+    }
+
+    /// Run every task to completion and report per-task finish times.
+    ///
+    /// Panics if a task releases a lock it does not hold (a programming
+    /// error in a startup program) or if the task set deadlocks.
+    pub fn run(&self, tasks: Vec<TaskSpec>) -> SimOutcome {
+        let mut rts: Vec<TaskRt> = tasks
+            .into_iter()
+            .map(|spec| TaskRt {
+                state: TaskState::Pending,
+                pc: 0,
+                remaining: 0.0,
+                finished_at: SimTime::ZERO,
+                spec,
+            })
+            .collect();
+        let n = rts.len();
+        let mut lock_holder: BTreeMap<LockId, usize> = BTreeMap::new();
+        let mut lock_waiters: BTreeMap<LockId, VecDeque<usize>> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        let mut finished = 0usize;
+
+        // Admit tasks that start at t=0 and process their zero-width steps.
+        for i in 0..n {
+            if rts[i].spec.start_at <= now {
+                admit(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+            }
+        }
+
+        const EPS: f64 = 1e-6;
+        while finished < n {
+            // Current processor-sharing rate.
+            let runnable: Vec<usize> = (0..n)
+                .filter(|&i| rts[i].state == TaskState::Running)
+                .collect();
+            let rate = if runnable.is_empty() {
+                0.0
+            } else {
+                (self.cores as f64 / runnable.len() as f64).min(1.0)
+            };
+
+            // Candidate next events.
+            let mut next: Option<SimTime> = None;
+            let mut consider = |t: SimTime| {
+                next = Some(match next {
+                    Some(cur) if cur <= t => cur,
+                    _ => t,
+                });
+            };
+            for &i in &runnable {
+                let dt = (rts[i].remaining / rate).ceil().max(0.0);
+                consider(now + Duration(dt as u64));
+            }
+            for rt in rts.iter() {
+                match rt.state {
+                    TaskState::Sleeping(end) => consider(end),
+                    TaskState::Pending => consider(rt.spec.start_at.max(now)),
+                    _ => {}
+                }
+            }
+            let next = next.unwrap_or_else(|| {
+                panic!("deadlock: {} of {} tasks blocked on locks", n - finished, n)
+            });
+            let dt = (next - now).as_nanos() as f64;
+
+            // Progress CPU work.
+            for &i in &runnable {
+                rts[i].remaining -= dt * rate;
+            }
+            now = next;
+
+            // Completions and wakeups, in task-id order for determinism.
+            for i in 0..n {
+                match rts[i].state {
+                    TaskState::Running if rts[i].remaining <= EPS => {
+                        rts[i].pc += 1;
+                        advance(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                    }
+                    TaskState::Sleeping(end) if end <= now => {
+                        rts[i].pc += 1;
+                        advance(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                    }
+                    TaskState::Pending if rts[i].spec.start_at <= now => {
+                        admit(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let makespan = rts.iter().map(|r| r.finished_at).max().unwrap_or(SimTime::ZERO);
+        let results = rts
+            .into_iter()
+            .enumerate()
+            .map(|(i, rt)| TaskResult {
+                id: TaskId(i),
+                name: rt.spec.name,
+                started: rt.spec.start_at,
+                finished: rt.finished_at,
+            })
+            .collect();
+        SimOutcome { results, makespan }
+    }
+}
+
+fn admit(
+    rts: &mut [TaskRt],
+    i: usize,
+    now: SimTime,
+    holders: &mut BTreeMap<LockId, usize>,
+    waiters: &mut BTreeMap<LockId, VecDeque<usize>>,
+    finished: &mut usize,
+) {
+    rts[i].state = TaskState::Running; // placeholder; advance() fixes it up
+    advance(rts, i, now, holders, waiters, finished);
+}
+
+/// Drive task `i` through consecutive zero-width steps until it lands in a
+/// waiting state (CPU work, sleep, block) or finishes. Lock releases hand
+/// the lock to the first waiter; woken tasks are advanced iteratively via a
+/// worklist (a recursive hand-off would overflow the stack when hundreds of
+/// waiters hold zero-width critical sections).
+fn advance(
+    rts: &mut [TaskRt],
+    start: usize,
+    now: SimTime,
+    holders: &mut BTreeMap<LockId, usize>,
+    waiters: &mut BTreeMap<LockId, VecDeque<usize>>,
+    finished: &mut usize,
+) {
+    let mut worklist: VecDeque<usize> = VecDeque::from([start]);
+    while let Some(i) = worklist.pop_front() {
+        loop {
+            let pc = rts[i].pc;
+            let step = rts[i].spec.steps.get(pc).cloned();
+            match step {
+                None => {
+                    rts[i].state = TaskState::Finished;
+                    rts[i].finished_at = now;
+                    *finished += 1;
+                    break;
+                }
+                Some(Step::Cpu(d)) => {
+                    if d == Duration::ZERO {
+                        rts[i].pc += 1;
+                        continue;
+                    }
+                    rts[i].state = TaskState::Running;
+                    rts[i].remaining = d.as_nanos() as f64;
+                    break;
+                }
+                Some(Step::Io(d)) => {
+                    if d == Duration::ZERO {
+                        rts[i].pc += 1;
+                        continue;
+                    }
+                    rts[i].state = TaskState::Sleeping(now + d);
+                    break;
+                }
+                Some(Step::Acquire(l)) => {
+                    if let Some(&holder) = holders.get(&l) {
+                        debug_assert_ne!(holder, i, "recursive lock acquisition");
+                        waiters.entry(l).or_default().push_back(i);
+                        rts[i].state = TaskState::Blocked(l);
+                        break;
+                    }
+                    holders.insert(l, i);
+                    rts[i].pc += 1;
+                }
+                Some(Step::Release(l)) => {
+                    let holder = holders.remove(&l);
+                    assert_eq!(holder, Some(i), "task released a lock it does not hold");
+                    rts[i].pc += 1;
+                    if let Some(q) = waiters.get_mut(&l) {
+                        if let Some(next) = q.pop_front() {
+                            holders.insert(l, next);
+                            rts[next].pc += 1;
+                            // Wake the waiter; it continues past its Acquire.
+                            worklist.push_back(next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn single_task_cpu() {
+        let out = Sim::new(4).run(vec![TaskSpec::new("t").cpu(ms(100))]);
+        assert_eq!(out.total(), ms(100));
+        assert_eq!(out.results[0].elapsed(), ms(100));
+    }
+
+    #[test]
+    fn parallel_tasks_within_core_count_do_not_contend() {
+        let tasks = (0..4).map(|i| TaskSpec::new(format!("t{i}")).cpu(ms(100))).collect();
+        let out = Sim::new(4).run(tasks);
+        assert_eq!(out.total(), ms(100));
+    }
+
+    #[test]
+    fn oversubscription_stretches_cpu_time() {
+        // 8 tasks × 100ms on 4 cores: each runs at rate 0.5 → 200ms.
+        let tasks = (0..8).map(|i| TaskSpec::new(format!("t{i}")).cpu(ms(100))).collect();
+        let out = Sim::new(4).run(tasks);
+        assert_eq!(out.total(), ms(200));
+    }
+
+    #[test]
+    fn io_does_not_contend() {
+        let tasks = (0..100).map(|i| TaskSpec::new(format!("t{i}")).io(ms(50))).collect();
+        let out = Sim::new(1).run(tasks);
+        assert_eq!(out.total(), ms(50));
+    }
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        let l = LockId(1);
+        let tasks: Vec<_> = (0..4)
+            .map(|i| TaskSpec::new(format!("t{i}")).acquire(l).cpu(ms(10)).release(l))
+            .collect();
+        let out = Sim::new(8).run(tasks);
+        // Fully serialized: 4 × 10ms.
+        assert_eq!(out.total(), ms(40));
+    }
+
+    #[test]
+    fn lock_fifo_order() {
+        let l = LockId(1);
+        let tasks: Vec<_> = (0..3)
+            .map(|i| TaskSpec::new(format!("t{i}")).acquire(l).cpu(ms(10)).release(l))
+            .collect();
+        let out = Sim::new(8).run(tasks);
+        let finishes: Vec<u64> = out.results.iter().map(|r| r.finished.as_nanos()).collect();
+        assert!(finishes[0] < finishes[1] && finishes[1] < finishes[2]);
+    }
+
+    #[test]
+    fn mixed_cpu_io_pipeline() {
+        let out = Sim::new(2).run(vec![TaskSpec::new("t").cpu(ms(10)).io(ms(20)).cpu(ms(10))]);
+        assert_eq!(out.total(), ms(40));
+    }
+
+    #[test]
+    fn staggered_starts() {
+        let t0 = TaskSpec::new("a").cpu(ms(100));
+        let t1 = TaskSpec::new("b").starting_at(SimTime::ZERO + ms(50)).cpu(ms(100));
+        let out = Sim::new(1).run(vec![t0, t1]);
+        // a runs alone 50ms (50 left), then they share: each at 0.5 rate.
+        // a finishes at 50 + 100 = 150ms; b has 50ms left, finishes at 200ms.
+        assert_eq!(out.results[0].finished, SimTime::ZERO + ms(150));
+        assert_eq!(out.results[1].finished, SimTime::ZERO + ms(200));
+        assert_eq!(out.results[1].elapsed(), ms(150));
+    }
+
+    #[test]
+    fn work_conservation_under_contention() {
+        // Total CPU demand 40 × 100ms = 4s on 20 cores → ≥ 200ms; PS gives
+        // exactly 200ms since all tasks are identical.
+        let tasks = (0..40).map(|i| TaskSpec::new(format!("t{i}")).cpu(ms(100))).collect();
+        let out = Sim::new(20).run(tasks);
+        assert_eq!(out.total(), ms(200));
+    }
+
+    #[test]
+    fn zero_width_steps_are_free() {
+        let l = LockId(9);
+        let out = Sim::new(1).run(vec![TaskSpec::new("t")
+            .cpu(Duration::ZERO)
+            .io(Duration::ZERO)
+            .acquire(l)
+            .release(l)]);
+        assert_eq!(out.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_run() {
+        let out = Sim::new(1).run(vec![]);
+        assert_eq!(out.total(), Duration::ZERO);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn determinism() {
+        let build = || {
+            let l = LockId(1);
+            (0..50)
+                .map(|i| {
+                    TaskSpec::new(format!("t{i}"))
+                        .cpu(ms(3 + (i % 7)))
+                        .acquire(l)
+                        .cpu(ms(1))
+                        .release(l)
+                        .io(ms(10))
+                        .cpu(ms(5))
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = Sim::new(4).run(build());
+        let b = Sim::new(4).run(build());
+        for (x, y) in a.results.iter().zip(b.results.iter()) {
+            assert_eq!(x.finished, y.finished);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "released a lock")]
+    fn release_without_hold_panics() {
+        Sim::new(1).run(vec![TaskSpec::new("t").release(LockId(1))]);
+    }
+
+    #[test]
+    fn long_zero_width_handoff_chain_does_not_overflow() {
+        // 5000 tasks with zero-width critical sections: a recursive wake
+        // chain would blow the stack; the worklist must not.
+        let l = LockId(1);
+        let tasks: Vec<_> = (0..5000)
+            .map(|i| TaskSpec::new(format!("t{i}")).acquire(l).release(l))
+            .collect();
+        let out = Sim::new(4).run(tasks);
+        assert_eq!(out.total(), Duration::ZERO);
+        assert_eq!(out.results.len(), 5000);
+    }
+
+    #[test]
+    fn mean_and_max_elapsed() {
+        let tasks = vec![TaskSpec::new("a").cpu(ms(10)), TaskSpec::new("b").cpu(ms(30))];
+        let out = Sim::new(2).run(tasks);
+        assert_eq!(out.max_elapsed(), ms(30));
+        assert_eq!(out.mean_elapsed(), ms(20));
+    }
+}

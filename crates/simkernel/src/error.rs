@@ -1,0 +1,69 @@
+//! Kernel error type shared by all simkernel subsystems.
+
+use std::fmt;
+
+use crate::cgroup::CgroupId;
+use crate::mem::MappingId;
+use crate::proc::Pid;
+use crate::vfs::FileId;
+
+/// Errors returned by kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Referenced a PID that does not exist or has exited.
+    NoSuchProcess(Pid),
+    /// Referenced an unknown mapping in a process address space.
+    NoSuchMapping(Pid, MappingId),
+    /// Referenced an unknown cgroup.
+    NoSuchCgroup(CgroupId),
+    /// Referenced an unknown file.
+    NoSuchFile(FileId),
+    /// Path lookup failed.
+    PathNotFound(String),
+    /// Path already exists (exclusive create).
+    PathExists(String),
+    /// A cgroup memory limit was exceeded; the named cgroup was OOM-killed.
+    OutOfMemory { cgroup: CgroupId, requested: u64, limit: u64 },
+    /// Physical memory exhausted machine-wide.
+    PhysicalExhausted { requested: u64, available: u64 },
+    /// Operation on a process in the wrong state (e.g. exec after exit).
+    InvalidState(String),
+    /// Attempt to remove a cgroup that still has processes or children.
+    CgroupBusy(CgroupId),
+    /// Touch/advise beyond the end of a mapping.
+    MappingOverflow { mapping: MappingId, len: u64, offset: u64 },
+}
+
+/// Convenience alias used throughout the kernel.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchProcess(p) => write!(f, "no such process: {p:?}"),
+            KernelError::NoSuchMapping(p, m) => {
+                write!(f, "no mapping {m:?} in process {p:?}")
+            }
+            KernelError::NoSuchCgroup(c) => write!(f, "no such cgroup: {c:?}"),
+            KernelError::NoSuchFile(id) => write!(f, "no such file: {id:?}"),
+            KernelError::PathNotFound(p) => write!(f, "path not found: {p}"),
+            KernelError::PathExists(p) => write!(f, "path exists: {p}"),
+            KernelError::OutOfMemory { cgroup, requested, limit } => write!(
+                f,
+                "cgroup {cgroup:?} OOM: requested {requested} bytes over limit {limit}"
+            ),
+            KernelError::PhysicalExhausted { requested, available } => write!(
+                f,
+                "physical memory exhausted: requested {requested}, available {available}"
+            ),
+            KernelError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            KernelError::CgroupBusy(c) => write!(f, "cgroup busy: {c:?}"),
+            KernelError::MappingOverflow { mapping, len, offset } => write!(
+                f,
+                "access at {offset} beyond mapping {mapping:?} of length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

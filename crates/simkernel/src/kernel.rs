@@ -1,0 +1,1197 @@
+//! The kernel facade: processes + memory + cgroups + VFS + simulated clock.
+//!
+//! [`Kernel`] is a cheaply clonable handle (all layers of the container stack
+//! share one kernel). All state lives behind a single `parking_lot` mutex —
+//! the workloads are deployment-scale, not lock-contention-scale, and one
+//! lock keeps cross-subsystem invariants (physical conservation, hierarchical
+//! charging) trivially atomic.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::cgroup::{CgroupId, CgroupTree, ChargeKind, MemStat};
+use crate::error::{KernelError, KernelResult};
+use crate::mem::{round_up_pages, MapKind, Mapping, MappingId};
+use crate::proc::{NamespaceKind, Pid, ProcState, Process};
+use crate::time::{Duration, SimTime};
+use crate::vfs::{FileContent, FileId, Vfs};
+
+/// Page size used for rounding (matches the paper's x86-64 testbed).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Static kernel parameters.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Physical RAM. The paper's node has 256 GiB.
+    pub ram_bytes: u64,
+    /// CPU cores. The paper's node has 20.
+    pub cores: u32,
+    /// Fixed kernel overhead per process: task struct, kernel stack, fd
+    /// table, signal handling. ~24 KiB is a reasonable Linux figure.
+    pub proc_kernel_base: u64,
+    /// Page-table overhead: one 8-byte PTE per resident 4 KiB page, plus
+    /// upper levels — we charge `rss / page_table_divisor` rounded to pages.
+    pub page_table_divisor: u64,
+    /// Memory the booted system uses before any workload (kernel image,
+    /// systemd, sshd, ...). Visible to `free`, not to pod cgroups.
+    pub boot_used_bytes: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            ram_bytes: 256 << 30,
+            cores: 20,
+            proc_kernel_base: 24 << 10,
+            page_table_divisor: 512,
+            boot_used_bytes: 600 << 20,
+        }
+    }
+}
+
+/// Output of the `free(1)` observer.
+///
+/// `used` follows modern `free`: anonymous + kernel memory, excluding the
+/// page cache. The paper's system-level numbers are deltas of
+/// [`FreeReport::used_with_cache`], which is why `free` reports up to 42%
+/// more than the metrics-server — it sees shim processes, kernel overhead,
+/// and cache growth that per-pod cgroups do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeReport {
+    pub total: u64,
+    pub used: u64,
+    pub buff_cache: u64,
+    pub free: u64,
+    pub available: u64,
+}
+
+impl FreeReport {
+    /// `used + buff/cache`: the system-footprint measure the paper's
+    /// `free`-based figures are built from.
+    pub fn used_with_cache(&self) -> u64 {
+        self.used + self.buff_cache
+    }
+}
+
+#[derive(Debug)]
+struct KernelState {
+    cfg: KernelConfig,
+    clock: SimTime,
+    vfs: Vfs,
+    cgroups: CgroupTree,
+    procs: std::collections::BTreeMap<Pid, Process>,
+    next_pid: u64,
+    /// Machine-wide anonymous bytes (all processes).
+    total_anon: u64,
+    /// Machine-wide kernel-overhead bytes.
+    total_kernel: u64,
+}
+
+/// Handle to the simulated kernel. Clone freely.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    state: Arc<Mutex<KernelState>>,
+}
+
+impl Kernel {
+    /// The root cgroup always exists.
+    pub const ROOT_CGROUP: CgroupId = CgroupId(0);
+
+    /// Boot a kernel with the given configuration.
+    pub fn boot(cfg: KernelConfig) -> Kernel {
+        assert!(cfg.ram_bytes > cfg.boot_used_bytes, "RAM must exceed boot footprint");
+        assert!(cfg.cores > 0);
+        let state = KernelState {
+            clock: SimTime::ZERO,
+            vfs: Vfs::new(),
+            cgroups: CgroupTree::new(),
+            procs: std::collections::BTreeMap::new(),
+            next_pid: 1,
+            total_anon: 0,
+            total_kernel: cfg.boot_used_bytes,
+            cfg,
+        };
+        Kernel { state: Arc::new(Mutex::new(state)) }
+    }
+
+    /// Number of simulated cores (drives the DES scheduler).
+    pub fn cores(&self) -> u32 {
+        self.state.lock().cfg.cores
+    }
+
+    pub fn ram_bytes(&self) -> u64 {
+        self.state.lock().cfg.ram_bytes
+    }
+
+    // ---------------------------------------------------------------- clock
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.state.lock().clock
+    }
+
+    /// Advance the simulated clock.
+    pub fn advance(&self, d: Duration) {
+        let mut st = self.state.lock();
+        st.clock += d;
+    }
+
+    // -------------------------------------------------------------- cgroups
+
+    pub fn cgroup_create(&self, parent: CgroupId, name: &str) -> KernelResult<CgroupId> {
+        let mut st = self.state.lock();
+        st.cgroups.create(parent, name).ok_or(KernelError::NoSuchCgroup(parent))
+    }
+
+    /// Remove a cgroup. Processes and anon/kernel charges must be gone;
+    /// lingering page-cache charges are reparented, as Linux does.
+    pub fn cgroup_remove(&self, cg: CgroupId) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        let stat = st.cgroups.stat(cg).ok_or(KernelError::NoSuchCgroup(cg))?;
+        let children = st.cgroups.children(cg);
+        let has_procs = st.procs.values().any(|p| p.cgroup == cg && p.is_alive());
+        if has_procs || !children.is_empty() || stat.anon_bytes > 0 || stat.kernel_bytes > 0 {
+            return Err(KernelError::CgroupBusy(cg));
+        }
+        let parent = st.cgroups.parent(cg).ok_or(KernelError::CgroupBusy(cg))?;
+        // Reparent page-cache charges: move the local file charge up. The
+        // ancestors already include it, so only the removed node's local
+        // share needs re-pointing on the file objects.
+        if stat.file_bytes > 0 {
+            st.cgroups.uncharge(cg, ChargeKind::File, stat.file_bytes);
+            st.cgroups.charge(parent, ChargeKind::File, stat.file_bytes);
+            let ids: Vec<FileId> = st
+                .vfs
+                .list_prefix("")
+                .filter(|f| f.charged_to == Some(cg))
+                .map(|f| f.id)
+                .collect();
+            for id in ids {
+                st.vfs.get_mut(id).expect("listed file exists").charged_to = Some(parent);
+            }
+        }
+        if st.cgroups.remove(cg) {
+            Ok(())
+        } else {
+            Err(KernelError::CgroupBusy(cg))
+        }
+    }
+
+    pub fn cgroup_set_limit(&self, cg: CgroupId, limit: Option<u64>) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        if st.cgroups.set_limit(cg, limit) {
+            Ok(())
+        } else {
+            Err(KernelError::NoSuchCgroup(cg))
+        }
+    }
+
+    pub fn cgroup_stat(&self, cg: CgroupId) -> KernelResult<MemStat> {
+        self.state.lock().cgroups.stat(cg).ok_or(KernelError::NoSuchCgroup(cg))
+    }
+
+    /// The metrics-server reading for a cgroup: its working set in bytes.
+    pub fn cgroup_working_set(&self, cg: CgroupId) -> KernelResult<u64> {
+        self.state.lock().cgroups.working_set(cg).ok_or(KernelError::NoSuchCgroup(cg))
+    }
+
+    pub fn cgroup_oom_events(&self, cg: CgroupId) -> KernelResult<u64> {
+        self.state.lock().cgroups.oom_events(cg).ok_or(KernelError::NoSuchCgroup(cg))
+    }
+
+    // ------------------------------------------------------------ processes
+
+    /// Spawn a process into `cgroup`.
+    pub fn spawn(&self, name: &str, cgroup: CgroupId) -> KernelResult<Pid> {
+        self.spawn_child(name, None, cgroup)
+    }
+
+    /// Spawn with an explicit parent (fork/exec chains in the runtimes).
+    pub fn spawn_child(
+        &self,
+        name: &str,
+        parent: Option<Pid>,
+        cgroup: CgroupId,
+    ) -> KernelResult<Pid> {
+        let mut st = self.state.lock();
+        if !st.cgroups.exists(cgroup) {
+            return Err(KernelError::NoSuchCgroup(cgroup));
+        }
+        if let Some(p) = parent {
+            if !st.procs.get(&p).map(|pr| pr.is_alive()).unwrap_or(false) {
+                return Err(KernelError::NoSuchProcess(p));
+            }
+        }
+        let pid = Pid(st.next_pid);
+        st.next_pid += 1;
+        let base = st.cfg.proc_kernel_base;
+        st.charge_kernel(cgroup, base)?;
+        let mut proc = Process::new(pid, name, parent, cgroup);
+        proc.kernel_charged = base;
+        st.procs.insert(pid, proc);
+        st.cgroups.proc_attached(cgroup);
+        Ok(pid)
+    }
+
+    /// Create fresh namespaces owned by a process (runtime `create` step).
+    pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        // Namespaces cost slab memory; ~4 KiB apiece is the right order.
+        let extra = 4096 * kinds.len() as u64;
+        let cg = st.alive(pid)?.cgroup;
+        st.charge_kernel(cg, extra)?;
+        let p = st.alive_mut(pid)?;
+        p.owned_namespaces.extend_from_slice(kinds);
+        p.kernel_charged += extra;
+        Ok(())
+    }
+
+    /// Move a live process to another cgroup. Its anon and kernel charges
+    /// migrate; page-cache charges stay where they were faulted (Linux).
+    pub fn move_process(&self, pid: Pid, to: CgroupId) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        if !st.cgroups.exists(to) {
+            return Err(KernelError::NoSuchCgroup(to));
+        }
+        let (from, anon, kernel, mapped) = {
+            let p = st.alive(pid)?;
+            let mapped: u64 = p.mappings().map(|m| m.touched_file).sum();
+            (p.cgroup, p.anon_bytes(), p.kernel_charged, mapped)
+        };
+        if from == to {
+            return Ok(());
+        }
+        st.cgroups.uncharge(from, ChargeKind::Anon, anon);
+        st.cgroups.uncharge(from, ChargeKind::Kernel, kernel);
+        st.cgroups.adjust_mapped_file(from, -(mapped as i64));
+        st.cgroups.charge(to, ChargeKind::Anon, anon);
+        st.cgroups.charge(to, ChargeKind::Kernel, kernel);
+        st.cgroups.adjust_mapped_file(to, mapped as i64);
+        st.cgroups.proc_detached(from);
+        st.cgroups.proc_attached(to);
+        st.alive_mut(pid)?.cgroup = to;
+        Ok(())
+    }
+
+    /// Exit a process: tear down its address space and uncharge everything
+    /// except page-cache residency (which persists machine-wide).
+    pub fn exit(&self, pid: Pid, code: i32) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        st.teardown(pid)?;
+        st.procs.get_mut(&pid).expect("torn down").state = ProcState::Exited(code);
+        Ok(())
+    }
+
+    /// Kernel OOM-kill: like exit, but recorded as such.
+    pub fn oom_kill(&self, pid: Pid) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        st.teardown(pid)?;
+        st.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
+        Ok(())
+    }
+
+    /// Forget an exited process entirely.
+    pub fn reap(&self, pid: Pid) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        match st.procs.get(&pid) {
+            Some(p) if !p.is_alive() => {
+                st.procs.remove(&pid);
+                Ok(())
+            }
+            Some(_) => Err(KernelError::InvalidState(format!("{pid:?} still running"))),
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    pub fn proc_state(&self, pid: Pid) -> KernelResult<ProcState> {
+        self.state
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|p| p.state)
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    pub fn proc_rss(&self, pid: Pid) -> KernelResult<u64> {
+        self.state
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|p| p.rss())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    pub fn proc_cgroup(&self, pid: Pid) -> KernelResult<CgroupId> {
+        self.state
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|p| p.cgroup)
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Number of live processes.
+    pub fn live_procs(&self) -> usize {
+        self.state.lock().procs.values().filter(|p| p.is_alive()).count()
+    }
+
+    // --------------------------------------------------------------- memory
+
+    /// Reserve a region. Nothing is committed until [`Kernel::touch`].
+    pub fn mmap(&self, pid: Pid, len: u64, kind: MapKind) -> KernelResult<MappingId> {
+        self.mmap_labeled(pid, len, kind, "")
+    }
+
+    /// Reserve a region with a debug label.
+    pub fn mmap_labeled(
+        &self,
+        pid: Pid,
+        len: u64,
+        kind: MapKind,
+        label: &str,
+    ) -> KernelResult<MappingId> {
+        let mut st = self.state.lock();
+        if let Some(fid) = kind.file() {
+            let f = st.vfs.get_mut(fid).ok_or(KernelError::NoSuchFile(fid))?;
+            f.map_refs += 1;
+        }
+        let p = st.alive_mut(pid)?;
+        let id = p.alloc_mapping_id();
+        p.mappings.insert(
+            id,
+            Mapping {
+                id,
+                kind,
+                len,
+                committed_anon: 0,
+                touched_file: 0,
+                label: label.to_string(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Fault in `bytes` of a mapping (from its start, idempotent): commits
+    /// anon pages or faults file pages into the shared page cache.
+    ///
+    /// On a cgroup limit breach the faulting process is OOM-killed and
+    /// `OutOfMemory` is returned.
+    pub fn touch(&self, pid: Pid, mapping: MappingId, bytes: u64) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        st.touch_inner(pid, mapping, bytes, false)
+    }
+
+    /// Write to a copy-on-write file mapping: the written range becomes
+    /// private anonymous memory.
+    pub fn cow_write(&self, pid: Pid, mapping: MappingId, bytes: u64) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        st.touch_inner(pid, mapping, bytes, true)
+    }
+
+    /// Grow an existing mapping's reservation (e.g. `memory.grow`).
+    pub fn mremap(&self, pid: Pid, mapping: MappingId, new_len: u64) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        let p = st.alive_mut(pid)?;
+        let m = p.mappings.get_mut(&mapping).ok_or(KernelError::NoSuchMapping(pid, mapping))?;
+        if new_len < m.committed_anon + m.touched_file {
+            return Err(KernelError::InvalidState("mremap below committed size".into()));
+        }
+        m.len = new_len;
+        Ok(())
+    }
+
+    /// Unmap a region, uncharging this process's share.
+    pub fn munmap(&self, pid: Pid, mapping: MappingId) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        let (cg, m) = {
+            let p = st.alive_mut(pid)?;
+            let m = p
+                .mappings
+                .remove(&mapping)
+                .ok_or(KernelError::NoSuchMapping(pid, mapping))?;
+            (p.cgroup, m)
+        };
+        st.release_mapping(pid, cg, &m);
+        st.recompute_page_tables(pid)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ vfs
+
+    /// Create a file with real or synthetic content.
+    pub fn create_file(&self, path: &str, content: FileContent) -> KernelResult<FileId> {
+        let mut st = self.state.lock();
+        st.vfs
+            .create(path, content)
+            .ok_or_else(|| KernelError::PathExists(path.to_string()))
+    }
+
+    /// Idempotent install: create the file if the path is free, otherwise
+    /// return the existing file untouched (binaries, libraries, stdlib
+    /// trees installed once per node).
+    pub fn ensure_file(&self, path: &str, content: FileContent) -> KernelResult<FileId> {
+        let mut st = self.state.lock();
+        if let Some(existing) = st.vfs.lookup(path) {
+            return Ok(existing);
+        }
+        st.vfs
+            .create(path, content)
+            .ok_or_else(|| KernelError::PathExists(path.to_string()))
+    }
+
+    /// Replace a file's content (drops its cache).
+    pub fn overwrite_file(&self, id: FileId, content: FileContent) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        let charged = st.vfs.get(id).and_then(|f| f.charged_to);
+        let evicted = st.vfs.overwrite(id, content).ok_or(KernelError::NoSuchFile(id))?;
+        if evicted > 0 {
+            if let Some(cg) = charged {
+                st.cgroups.uncharge(cg, ChargeKind::File, evicted);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn lookup(&self, path: &str) -> KernelResult<FileId> {
+        self.state
+            .lock()
+            .vfs
+            .lookup(path)
+            .ok_or_else(|| KernelError::PathNotFound(path.to_string()))
+    }
+
+    pub fn file_size(&self, id: FileId) -> KernelResult<u64> {
+        self.state.lock().vfs.get(id).map(|f| f.size()).ok_or(KernelError::NoSuchFile(id))
+    }
+
+    pub fn file_path(&self, id: FileId) -> KernelResult<String> {
+        self.state
+            .lock()
+            .vfs
+            .get(id)
+            .map(|f| f.path.clone())
+            .ok_or(KernelError::NoSuchFile(id))
+    }
+
+    /// Read a whole file on behalf of `pid`: faults it into the page cache
+    /// (charging the first toucher's cgroup) and returns real bytes if the
+    /// file has them.
+    pub fn read_file(&self, pid: Pid, id: FileId) -> KernelResult<Option<Bytes>> {
+        let mut st = self.state.lock();
+        let cg = st.alive(pid)?.cgroup;
+        if let Err(e) = st.fault_file(cg, id, u64::MAX) {
+            if let KernelError::OutOfMemory { .. } = e {
+                // As in Linux, breaching memory.max on a page-cache fault
+                // OOM-kills the reading process.
+                st.teardown(pid)?;
+                st.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
+            }
+            return Err(e);
+        }
+        let f = st.vfs.get(id).ok_or(KernelError::NoSuchFile(id))?;
+        Ok(f.content.bytes().cloned())
+    }
+
+    /// Bytes of a file currently in the page cache.
+    pub fn file_cached(&self, id: FileId) -> KernelResult<u64> {
+        self.state
+            .lock()
+            .vfs
+            .get(id)
+            .map(|f| f.cached_bytes)
+            .ok_or(KernelError::NoSuchFile(id))
+    }
+
+    /// Drop a file's page cache (used by teardown paths between repetitions).
+    pub fn evict_file(&self, id: FileId) -> KernelResult<u64> {
+        let mut st = self.state.lock();
+        let f = st.vfs.get_mut(id).ok_or(KernelError::NoSuchFile(id))?;
+        let evicted = f.cached_bytes;
+        let charged = f.charged_to.take();
+        f.cached_bytes = 0;
+        if let Some(cg) = charged {
+            st.cgroups.uncharge(cg, ChargeKind::File, evicted);
+        }
+        Ok(evicted)
+    }
+
+    /// Delete a file, dropping any cache.
+    pub fn remove_file(&self, id: FileId) -> KernelResult<()> {
+        let mut st = self.state.lock();
+        let charged = st.vfs.get(id).and_then(|f| f.charged_to);
+        let (_f, cached) = st.vfs.remove(id).ok_or(KernelError::NoSuchFile(id))?;
+        if cached > 0 {
+            if let Some(cg) = charged {
+                st.cgroups.uncharge(cg, ChargeKind::File, cached);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ observers
+
+    /// The `free(1)` observer.
+    pub fn free(&self) -> FreeReport {
+        let st = self.state.lock();
+        let total = st.cfg.ram_bytes;
+        let used = st.total_anon + st.total_kernel;
+        let buff_cache = st.vfs.total_cached();
+        let free = total.saturating_sub(used + buff_cache);
+        FreeReport { total, used, buff_cache, free, available: free + buff_cache }
+    }
+
+    /// Snapshot of every live process: (pid, name, cgroup, rss).
+    pub fn ps(&self) -> Vec<(Pid, String, CgroupId, u64)> {
+        let st = self.state.lock();
+        st.procs
+            .values()
+            .filter(|p| p.is_alive())
+            .map(|p| (p.pid, p.name.clone(), p.cgroup, p.rss()))
+            .collect()
+    }
+}
+
+impl KernelState {
+    fn alive(&self, pid: Pid) -> KernelResult<&Process> {
+        match self.procs.get(&pid) {
+            Some(p) if p.is_alive() => Ok(p),
+            Some(_) => Err(KernelError::InvalidState(format!("{pid:?} not running"))),
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    fn alive_mut(&mut self, pid: Pid) -> KernelResult<&mut Process> {
+        match self.procs.get_mut(&pid) {
+            Some(p) if p.is_alive() => Ok(p),
+            Some(_) => Err(KernelError::InvalidState(format!("{pid:?} not running"))),
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Charge kernel bytes with physical-pressure handling. Kernel memory
+    /// counts toward `memory.max`, as in cgroup v2.
+    fn charge_kernel(&mut self, cg: CgroupId, bytes: u64) -> KernelResult<()> {
+        if let Some((victim, limit)) = self.cgroups.check_limit(cg, bytes) {
+            self.cgroups.record_oom(victim);
+            return Err(KernelError::OutOfMemory { cgroup: victim, requested: bytes, limit });
+        }
+        self.ensure_physical(bytes)?;
+        self.cgroups.charge(cg, ChargeKind::Kernel, bytes);
+        self.total_kernel += bytes;
+        Ok(())
+    }
+
+    /// Make room for `bytes` of new residency, evicting unmapped page cache
+    /// if needed.
+    fn ensure_physical(&mut self, bytes: u64) -> KernelResult<()> {
+        let resident = self
+            .total_anon
+            .saturating_add(self.total_kernel)
+            .saturating_add(self.vfs.total_cached());
+        let total = self.cfg.ram_bytes;
+        if resident.saturating_add(bytes) <= total {
+            return Ok(());
+        }
+        let mut need = resident.saturating_add(bytes) - total;
+        let victims: Vec<FileId> = self.vfs.evictable().collect();
+        for fid in victims {
+            if need == 0 {
+                break;
+            }
+            let f = self.vfs.get_mut(fid).expect("evictable file exists");
+            let evicted = f.cached_bytes;
+            let charged = f.charged_to.take();
+            f.cached_bytes = 0;
+            if let Some(cg) = charged {
+                self.cgroups.uncharge(cg, ChargeKind::File, evicted);
+            }
+            need = need.saturating_sub(evicted);
+        }
+        if need > 0 {
+            return Err(KernelError::PhysicalExhausted {
+                requested: bytes,
+                available: total.saturating_sub(self.total_anon + self.total_kernel),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fault up to `limit` bytes of a file into the page cache, charging the
+    /// first-toucher cgroup. Returns newly cached bytes.
+    fn fault_file(&mut self, cg: CgroupId, id: FileId, limit: u64) -> KernelResult<u64> {
+        let (size, cached) = {
+            let f = self.vfs.get(id).ok_or(KernelError::NoSuchFile(id))?;
+            (f.size(), f.cached_bytes)
+        };
+        let target = round_up_pages(size.min(limit), PAGE_SIZE).min(round_up_pages(size, PAGE_SIZE));
+        if cached >= target {
+            return Ok(0);
+        }
+        // ensure_physical may evict page cache — including THIS file if it
+        // is unmapped — so the resident snapshot must be re-read until it is
+        // stable, or the charge delta would be computed against stale state
+        // (undercharging the cgroup and corrupting later uncharges).
+        let mut fresh = cached;
+        loop {
+            self.ensure_physical(target - fresh)?;
+            let now_cached = self.vfs.get(id).ok_or(KernelError::NoSuchFile(id))?.cached_bytes;
+            if now_cached == fresh {
+                break;
+            }
+            fresh = now_cached;
+        }
+        let delta = target - fresh;
+        let charge_to = {
+            let f = self.vfs.get_mut(id).expect("checked above");
+            *f.charged_to.get_or_insert(cg)
+        };
+        // Page-cache charges count toward memory.max too (cgroup v2).
+        if let Some((victim, limit)) = self.cgroups.check_limit(charge_to, delta) {
+            self.cgroups.record_oom(victim);
+            return Err(KernelError::OutOfMemory { cgroup: victim, requested: delta, limit });
+        }
+        let f = self.vfs.get_mut(id).expect("checked above");
+        f.cached_bytes = target;
+        self.cgroups.charge(charge_to, ChargeKind::File, delta);
+        Ok(delta)
+    }
+
+    fn touch_inner(
+        &mut self,
+        pid: Pid,
+        mapping: MappingId,
+        bytes: u64,
+        cow: bool,
+    ) -> KernelResult<()> {
+        let (cg, kind, len, committed_anon, touched_file) = {
+            let p = self.alive(pid)?;
+            let m = p.mapping(mapping).ok_or(KernelError::NoSuchMapping(pid, mapping))?;
+            (p.cgroup, m.kind, m.len, m.committed_anon, m.touched_file)
+        };
+        if bytes > len {
+            return Err(KernelError::MappingOverflow { mapping, len, offset: bytes });
+        }
+        let rounded = round_up_pages(bytes, PAGE_SIZE).min(round_up_pages(len, PAGE_SIZE));
+        match (kind, cow) {
+            (MapKind::AnonPrivate, _) | (MapKind::FileCow(_), true) => {
+                let target = rounded;
+                if target <= committed_anon {
+                    return Ok(());
+                }
+                let delta = target - committed_anon;
+                if let Some((victim_cg, limit)) = self.cgroups.check_limit(cg, delta) {
+                    self.cgroups.record_oom(victim_cg);
+                    self.teardown(pid)?;
+                    self.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
+                    return Err(KernelError::OutOfMemory {
+                        cgroup: victim_cg,
+                        requested: delta,
+                        limit,
+                    });
+                }
+                self.ensure_physical(delta)?;
+                self.cgroups.charge(cg, ChargeKind::Anon, delta);
+                self.total_anon += delta;
+                let p = self.alive_mut(pid)?;
+                let m = p.mappings.get_mut(&mapping).expect("checked");
+                m.committed_anon = target;
+                // COW: the written range is no longer backed by the file
+                // for this process — the file share must not be counted
+                // twice in RSS / mapped_file / working set.
+                if cow {
+                    let overlap = m.touched_file.min(target);
+                    if overlap > 0 {
+                        m.touched_file -= overlap;
+                        self.cgroups.adjust_mapped_file(cg, -(overlap as i64));
+                    }
+                }
+            }
+            (MapKind::FileShared(fid), _) | (MapKind::FileCow(fid), false) => {
+                if let Err(e) = self.fault_file(cg, fid, rounded) {
+                    if let KernelError::OutOfMemory { .. } = e {
+                        // Page-cache charge breached memory.max: the kernel
+                        // OOM-kills the faulting process, as with anon.
+                        self.teardown(pid)?;
+                        self.procs.get_mut(&pid).expect("torn down").state =
+                            ProcState::OomKilled;
+                    }
+                    return Err(e);
+                }
+                let target = rounded;
+                if target <= touched_file {
+                    return Ok(());
+                }
+                let delta = target - touched_file;
+                self.cgroups.adjust_mapped_file(cg, delta as i64);
+                let p = self.alive_mut(pid)?;
+                p.mappings.get_mut(&mapping).expect("checked").touched_file = target;
+            }
+        }
+        if let Err(e) = self.recompute_page_tables(pid) {
+            // Keep accounting consistent: a page-table allocation failure
+            // rolls the just-committed mapping back before propagating.
+            let (cg2, m) = {
+                let p = self.alive(pid)?;
+                (p.cgroup, p.mapping(mapping).cloned())
+            };
+            if let Some(m) = m {
+                // Uncharge without touching map_refs: the mapping remains.
+                if m.committed_anon > 0 {
+                    self.cgroups.uncharge(cg2, ChargeKind::Anon, m.committed_anon);
+                    self.total_anon = self.total_anon.saturating_sub(m.committed_anon);
+                }
+                if m.touched_file > 0 {
+                    self.cgroups.adjust_mapped_file(cg2, -(m.touched_file as i64));
+                }
+                let p = self.alive_mut(pid)?;
+                if let Some(mm) = p.mappings.get_mut(&mapping) {
+                    mm.committed_anon = 0;
+                    mm.touched_file = 0;
+                }
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Release one mapping's charges for a process.
+    fn release_mapping(&mut self, _pid: Pid, cg: CgroupId, m: &Mapping) {
+        if m.committed_anon > 0 {
+            self.cgroups.uncharge(cg, ChargeKind::Anon, m.committed_anon);
+            self.total_anon = self.total_anon.saturating_sub(m.committed_anon);
+        }
+        if m.touched_file > 0 {
+            self.cgroups.adjust_mapped_file(cg, -(m.touched_file as i64));
+        }
+        if let Some(fid) = m.kind.file() {
+            if let Some(f) = self.vfs.get_mut(fid) {
+                f.map_refs = f.map_refs.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Recharge page-table overhead to match current RSS.
+    fn recompute_page_tables(&mut self, pid: Pid) -> KernelResult<()> {
+        let (cg, rss, base, old_total) = {
+            let p = self.alive(pid)?;
+            (p.cgroup, p.rss(), self.cfg.proc_kernel_base, p.kernel_charged)
+        };
+        let ns_extra = {
+            let p = self.alive(pid)?;
+            4096 * p.owned_namespaces.len() as u64
+        };
+        let pt = round_up_pages(rss / self.cfg.page_table_divisor, PAGE_SIZE);
+        let new_total = base + ns_extra + pt;
+        if new_total > old_total {
+            let delta = new_total - old_total;
+            self.ensure_physical(delta)?;
+            self.cgroups.charge(cg, ChargeKind::Kernel, delta);
+            self.total_kernel += delta;
+        } else if new_total < old_total {
+            let delta = old_total - new_total;
+            self.cgroups.uncharge(cg, ChargeKind::Kernel, delta);
+            self.total_kernel = self.total_kernel.saturating_sub(delta);
+        }
+        self.alive_mut(pid)?.kernel_charged = new_total;
+        Ok(())
+    }
+
+    /// Tear down a live process: unmap everything and uncharge kernel bytes.
+    fn teardown(&mut self, pid: Pid) -> KernelResult<()> {
+        let (cg, kernel, mappings) = {
+            let p = self.alive_mut(pid)?;
+            let maps: Vec<Mapping> = std::mem::take(&mut p.mappings).into_values().collect();
+            (p.cgroup, p.kernel_charged, maps)
+        };
+        for m in &mappings {
+            self.release_mapping(pid, cg, m);
+        }
+        self.cgroups.uncharge(cg, ChargeKind::Kernel, kernel);
+        self.total_kernel = self.total_kernel.saturating_sub(kernel);
+        self.cgroups.proc_detached(cg);
+        let p = self.procs.get_mut(&pid).expect("exists");
+        p.kernel_charged = 0;
+        Ok(())
+    }
+}
+
+/// Re-export for doc examples.
+pub use crate::vfs::FileContent as KernelFileContent;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::boot(KernelConfig {
+            ram_bytes: 1 << 30,
+            cores: 4,
+            proc_kernel_base: 24 << 10,
+            page_table_divisor: 512,
+            boot_used_bytes: 64 << 20,
+        })
+    }
+
+    #[test]
+    fn boot_state() {
+        let k = kernel();
+        let f = k.free();
+        assert_eq!(f.total, 1 << 30);
+        assert_eq!(f.used, 64 << 20);
+        assert_eq!(f.buff_cache, 0);
+        assert_eq!(k.now(), SimTime::ZERO);
+        k.advance(Duration::from_secs(1));
+        assert_eq!(k.now().as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn anon_touch_charges_cgroup_and_free() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let before = k.free().used;
+        let m = k.mmap(pid, 10 << 20, MapKind::AnonPrivate).unwrap();
+        // Reservation alone commits nothing.
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
+        k.touch(pid, m, 1 << 20).unwrap();
+        let stat = k.cgroup_stat(cg).unwrap();
+        assert_eq!(stat.anon_bytes, 1 << 20);
+        assert!(k.free().used >= before + (1 << 20));
+        // Touch is idempotent.
+        k.touch(pid, m, 1 << 20).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 1 << 20);
+        assert_eq!(k.proc_rss(pid).unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn shared_file_pages_counted_once() {
+        let k = kernel();
+        let lib = k
+            .create_file("/usr/lib/libwamr.so", FileContent::Synthetic(1 << 20))
+            .unwrap();
+        let cg_a = k.cgroup_create(Kernel::ROOT_CGROUP, "a").unwrap();
+        let cg_b = k.cgroup_create(Kernel::ROOT_CGROUP, "b").unwrap();
+        let pa = k.spawn("a", cg_a).unwrap();
+        let pb = k.spawn("b", cg_b).unwrap();
+        let ma = k.mmap(pa, 1 << 20, MapKind::FileShared(lib)).unwrap();
+        let mb = k.mmap(pb, 1 << 20, MapKind::FileShared(lib)).unwrap();
+        k.touch(pa, ma, 1 << 20).unwrap();
+        k.touch(pb, mb, 1 << 20).unwrap();
+        // Physically resident once.
+        assert_eq!(k.free().buff_cache, 1 << 20);
+        // First toucher charged, second free (Linux first-touch rule).
+        assert_eq!(k.cgroup_stat(cg_a).unwrap().file_bytes, 1 << 20);
+        assert_eq!(k.cgroup_stat(cg_b).unwrap().file_bytes, 0);
+        // But both count it in their RSS.
+        assert!(k.proc_rss(pa).unwrap() >= 1 << 20);
+        assert!(k.proc_rss(pb).unwrap() >= 1 << 20);
+    }
+
+    #[test]
+    fn exit_releases_anon_but_not_page_cache() {
+        let k = kernel();
+        let lib = k.create_file("/lib.so", FileContent::Synthetic(512 << 10)).unwrap();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m1 = k.mmap(pid, 1 << 20, MapKind::AnonPrivate).unwrap();
+        let m2 = k.mmap(pid, 512 << 10, MapKind::FileShared(lib)).unwrap();
+        k.touch(pid, m1, 1 << 20).unwrap();
+        k.touch(pid, m2, 512 << 10).unwrap();
+        k.exit(pid, 0).unwrap();
+        assert_eq!(k.proc_state(pid).unwrap(), ProcState::Exited(0));
+        let stat = k.cgroup_stat(cg).unwrap();
+        assert_eq!(stat.anon_bytes, 0);
+        assert_eq!(stat.kernel_bytes, 0);
+        // Page cache persists after exit (warm cache for the next container).
+        assert_eq!(k.free().buff_cache, 512 << 10);
+        assert_eq!(stat.file_bytes, 512 << 10);
+    }
+
+    #[test]
+    fn oom_kill_on_limit() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        k.cgroup_set_limit(cg, Some(1 << 20)).unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m = k.mmap(pid, 8 << 20, MapKind::AnonPrivate).unwrap();
+        let err = k.touch(pid, m, 4 << 20).unwrap_err();
+        assert!(matches!(err, KernelError::OutOfMemory { .. }));
+        assert_eq!(k.proc_state(pid).unwrap(), ProcState::OomKilled);
+        assert_eq!(k.cgroup_oom_events(cg).unwrap(), 1);
+        // Charges rolled back.
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
+    }
+
+    #[test]
+    fn page_cache_evicted_under_pressure() {
+        let k = Kernel::boot(KernelConfig {
+            ram_bytes: 64 << 20,
+            cores: 1,
+            proc_kernel_base: 4096,
+            page_table_divisor: 512,
+            boot_used_bytes: 1 << 20,
+        });
+        let f = k.create_file("/big", FileContent::Synthetic(20 << 20)).unwrap();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        k.read_file(pid, f).unwrap();
+        assert_eq!(k.free().buff_cache, 20 << 20);
+        // Allocate enough anon to force eviction of the (unmapped) cache.
+        let m = k.mmap(pid, 50 << 20, MapKind::AnonPrivate).unwrap();
+        k.touch(pid, m, 50 << 20).unwrap();
+        assert_eq!(k.free().buff_cache, 0);
+        assert_eq!(k.cgroup_stat(cg).unwrap().file_bytes, 0);
+    }
+
+    #[test]
+    fn fault_file_charge_survives_self_eviction() {
+        // Pressure forces ensure_physical to evict the very file being
+        // faulted; the cgroup charge must match the final cached bytes.
+        let k = Kernel::boot(KernelConfig {
+            ram_bytes: 76 << 20,
+            cores: 1,
+            proc_kernel_base: 4096,
+            page_table_divisor: 512,
+            boot_used_bytes: 1 << 20,
+        });
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let f = k.create_file("/big", FileContent::Synthetic(40 << 20)).unwrap();
+        // Partially cache the file (8 MiB), unmapped → evictable.
+        let m = k.mmap(pid, 40 << 20, MapKind::FileShared(f)).unwrap();
+        k.touch(pid, m, 8 << 20).unwrap();
+        k.munmap(pid, m).unwrap();
+        // Fill RAM so the full read must evict the stale 8 MiB first.
+        let hog = k.mmap(pid, 30 << 20, MapKind::AnonPrivate).unwrap();
+        k.touch(pid, hog, 30 << 20).unwrap();
+        k.read_file(pid, f).unwrap();
+        // Charge equals residency exactly — no undercharge.
+        assert_eq!(k.file_cached(f).unwrap(), 40 << 20);
+        assert_eq!(k.cgroup_stat(cg).unwrap().file_bytes, 40 << 20);
+        // And the uncharge path stays balanced.
+        k.evict_file(f).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().file_bytes, 0);
+    }
+
+    #[test]
+    fn physical_exhaustion_errors() {
+        let k = Kernel::boot(KernelConfig {
+            ram_bytes: 16 << 20,
+            cores: 1,
+            proc_kernel_base: 4096,
+            page_table_divisor: 512,
+            boot_used_bytes: 1 << 20,
+        });
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m = k.mmap(pid, 64 << 20, MapKind::AnonPrivate).unwrap();
+        let err = k.touch(pid, m, 64 << 20).unwrap_err();
+        assert!(matches!(err, KernelError::PhysicalExhausted { .. }));
+    }
+
+    #[test]
+    fn working_set_tracks_mapped_file() {
+        let k = kernel();
+        let lib = k.create_file("/lib.so", FileContent::Synthetic(1 << 20)).unwrap();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        // Read-only: cache charged but reclaimable, so working set ~ kernel.
+        k.read_file(pid, lib).unwrap();
+        let ws_unmapped = k.cgroup_working_set(cg).unwrap();
+        // Map it: now it counts in the working set.
+        let m = k.mmap(pid, 1 << 20, MapKind::FileShared(lib)).unwrap();
+        k.touch(pid, m, 1 << 20).unwrap();
+        let ws_mapped = k.cgroup_working_set(cg).unwrap();
+        assert!(ws_mapped >= ws_unmapped + (1 << 20) - PAGE_SIZE);
+    }
+
+    #[test]
+    fn move_process_migrates_charges() {
+        let k = kernel();
+        let a = k.cgroup_create(Kernel::ROOT_CGROUP, "a").unwrap();
+        let b = k.cgroup_create(Kernel::ROOT_CGROUP, "b").unwrap();
+        let pid = k.spawn("p", a).unwrap();
+        let m = k.mmap(pid, 1 << 20, MapKind::AnonPrivate).unwrap();
+        k.touch(pid, m, 1 << 20).unwrap();
+        k.move_process(pid, b).unwrap();
+        assert_eq!(k.cgroup_stat(a).unwrap().anon_bytes, 0);
+        assert_eq!(k.cgroup_stat(b).unwrap().anon_bytes, 1 << 20);
+        assert_eq!(k.proc_cgroup(pid).unwrap(), b);
+    }
+
+    #[test]
+    fn cgroup_remove_reparents_cache_charge() {
+        let k = kernel();
+        let parent = k.cgroup_create(Kernel::ROOT_CGROUP, "pods").unwrap();
+        let pod = k.cgroup_create(parent, "pod").unwrap();
+        let f = k.create_file("/img", FileContent::Synthetic(1 << 20)).unwrap();
+        let pid = k.spawn("p", pod).unwrap();
+        k.read_file(pid, f).unwrap();
+        k.exit(pid, 0).unwrap();
+        k.reap(pid).unwrap();
+        assert_eq!(k.cgroup_stat(pod).unwrap().file_bytes, 1 << 20);
+        k.cgroup_remove(pod).unwrap();
+        // Charge survives at the parent.
+        assert_eq!(k.cgroup_stat(parent).unwrap().file_bytes, 1 << 20);
+        assert_eq!(k.free().buff_cache, 1 << 20);
+    }
+
+    #[test]
+    fn unshare_charges_namespace_slab() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let before = k.cgroup_stat(cg).unwrap().kernel_bytes;
+        k.unshare(pid, &NamespaceKind::ALL).unwrap();
+        let after = k.cgroup_stat(cg).unwrap().kernel_bytes;
+        assert_eq!(after - before, 7 * 4096);
+    }
+
+    #[test]
+    fn reap_requires_exit() {
+        let k = kernel();
+        let pid = k.spawn("p", Kernel::ROOT_CGROUP).unwrap();
+        assert!(k.reap(pid).is_err());
+        k.exit(pid, 3).unwrap();
+        k.reap(pid).unwrap();
+        assert!(matches!(k.proc_state(pid), Err(KernelError::NoSuchProcess(_))));
+    }
+
+    #[test]
+    fn mapping_overflow_rejected() {
+        let k = kernel();
+        let pid = k.spawn("p", Kernel::ROOT_CGROUP).unwrap();
+        let m = k.mmap(pid, 4096, MapKind::AnonPrivate).unwrap();
+        assert!(matches!(
+            k.touch(pid, m, 8192),
+            Err(KernelError::MappingOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn mremap_grows_reservation_only() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m = k.mmap(pid, 64 << 10, MapKind::AnonPrivate).unwrap();
+        k.touch(pid, m, 64 << 10).unwrap();
+        k.mremap(pid, m, 256 << 10).unwrap();
+        // Reservation grew; nothing extra committed yet.
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 64 << 10);
+        k.touch(pid, m, 256 << 10).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 256 << 10);
+        // Shrinking below the committed size is rejected.
+        assert!(k.mremap(pid, m, 128 << 10).is_err());
+    }
+
+    #[test]
+    fn overwrite_file_drops_cache_and_uncharges() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let f = k.create_file("/f", FileContent::Synthetic(1 << 20)).unwrap();
+        k.read_file(pid, f).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().file_bytes, 1 << 20);
+        k.overwrite_file(f, FileContent::Synthetic(4096)).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().file_bytes, 0);
+        assert_eq!(k.free().buff_cache, 0);
+        assert_eq!(k.file_size(f).unwrap(), 4096);
+    }
+
+    #[test]
+    fn evict_file_returns_bytes() {
+        let k = kernel();
+        let pid = k.spawn("p", Kernel::ROOT_CGROUP).unwrap();
+        let f = k.create_file("/f", FileContent::Synthetic(256 << 10)).unwrap();
+        k.read_file(pid, f).unwrap();
+        assert_eq!(k.evict_file(f).unwrap(), 256 << 10);
+        assert_eq!(k.evict_file(f).unwrap(), 0, "second evict is a no-op");
+        assert_eq!(k.file_cached(f).unwrap(), 0);
+    }
+
+    #[test]
+    fn ps_lists_live_processes_with_rss() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let a = k.spawn("alpha", cg).unwrap();
+        let b = k.spawn("beta", cg).unwrap();
+        let m = k.mmap(a, 1 << 20, MapKind::AnonPrivate).unwrap();
+        k.touch(a, m, 1 << 20).unwrap();
+        k.exit(b, 0).unwrap();
+        let ps = k.ps();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].0, a);
+        assert_eq!(ps[0].1, "alpha");
+        assert_eq!(ps[0].3, 1 << 20);
+    }
+
+    #[test]
+    fn cow_write_turns_file_pages_private() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let f = k.create_file("/data", FileContent::Synthetic(128 << 10)).unwrap();
+        let m = k.mmap(pid, 128 << 10, MapKind::FileCow(f)).unwrap();
+        // Reading shares the page cache...
+        k.touch(pid, m, 128 << 10).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
+        assert_eq!(k.cgroup_stat(cg).unwrap().file_bytes, 128 << 10);
+        // ...writing makes private anonymous copies.
+        k.cow_write(pid, m, 64 << 10).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 64 << 10);
+    }
+
+    #[test]
+    fn cow_write_does_not_double_count() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let f = k.create_file("/data", FileContent::Synthetic(128 << 10)).unwrap();
+        let m = k.mmap(pid, 128 << 10, MapKind::FileCow(f)).unwrap();
+        k.touch(pid, m, 128 << 10).unwrap(); // read: file-backed share
+        let rss_read = k.proc_rss(pid).unwrap();
+        k.cow_write(pid, m, 128 << 10).unwrap(); // write all: private copies
+        // RSS stays flat (pages replaced, not added), anon replaces the
+        // mapped-file share in the working set.
+        assert_eq!(k.proc_rss(pid).unwrap(), rss_read);
+        let stat = k.cgroup_stat(cg).unwrap();
+        assert_eq!(stat.anon_bytes, 128 << 10);
+        assert_eq!(k.cgroup_working_set(cg).unwrap() - stat.kernel_bytes, 128 << 10);
+    }
+
+    #[test]
+    fn kernel_and_file_charges_respect_memory_max() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        k.cgroup_set_limit(cg, Some(64 << 10)).unwrap();
+        // Kernel charge at spawn counts toward the limit.
+        let p1 = k.spawn("a", cg).unwrap(); // 24 KiB base
+        let p2 = k.spawn("b", cg).unwrap();
+        let err = k.spawn("c", cg).unwrap_err(); // 72 KiB > 64 KiB
+        assert!(matches!(err, KernelError::OutOfMemory { .. }));
+        let _ = (p1, p2);
+        // Page-cache faults count too.
+        let cg2 = k.cgroup_create(Kernel::ROOT_CGROUP, "c2").unwrap();
+        k.cgroup_set_limit(cg2, Some(64 << 10)).unwrap();
+        let pid = k.spawn("r", cg2).unwrap();
+        let f = k.create_file("/big", FileContent::Synthetic(1 << 20)).unwrap();
+        assert!(matches!(
+            k.read_file(pid, f),
+            Err(KernelError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn munmap_releases() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m = k.mmap(pid, 1 << 20, MapKind::AnonPrivate).unwrap();
+        k.touch(pid, m, 1 << 20).unwrap();
+        k.munmap(pid, m).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
+        assert_eq!(k.proc_rss(pid).unwrap(), 0);
+    }
+}

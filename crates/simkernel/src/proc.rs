@@ -1,0 +1,158 @@
+//! Processes: address spaces, namespaces, and kernel-side overhead.
+//!
+//! Each simulated process carries the kernel bookkeeping a real Linux task
+//! does: a task struct + kernel stack, and page tables proportional to the
+//! mapped address space. That overhead is charged to the process's cgroup as
+//! kernel memory, and it is a real contributor to the gap between the
+//! `free(1)` observer and the metrics-server observer in the paper — shim
+//! processes live *outside* the pod cgroups, so their footprint shows up in
+//! `free` but not in per-pod metrics.
+
+use std::collections::BTreeMap;
+
+use crate::cgroup::CgroupId;
+use crate::mem::{Mapping, MappingId};
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+/// Lifecycle state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    Running,
+    /// Exited with a code; address space already torn down.
+    Exited(i32),
+    /// Killed by the kernel for exceeding a cgroup memory limit.
+    OomKilled,
+}
+
+/// Linux namespace kinds a container runtime creates per container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NamespaceKind {
+    Pid,
+    Mount,
+    Network,
+    Uts,
+    Ipc,
+    Cgroup,
+    User,
+}
+
+impl NamespaceKind {
+    /// The full set a typical OCI runtime configures.
+    pub const ALL: [NamespaceKind; 7] = [
+        NamespaceKind::Pid,
+        NamespaceKind::Mount,
+        NamespaceKind::Network,
+        NamespaceKind::Uts,
+        NamespaceKind::Ipc,
+        NamespaceKind::Cgroup,
+        NamespaceKind::User,
+    ];
+}
+
+/// A simulated process.
+#[derive(Debug)]
+pub struct Process {
+    pub pid: Pid,
+    pub name: String,
+    pub parent: Option<Pid>,
+    pub cgroup: CgroupId,
+    pub state: ProcState,
+    /// Namespaces this process owns (created fresh for it, not inherited).
+    pub owned_namespaces: Vec<NamespaceKind>,
+    pub(crate) next_mapping: u64,
+    pub(crate) mappings: BTreeMap<MappingId, Mapping>,
+    /// Kernel bytes currently charged for this process (base + page tables).
+    pub(crate) kernel_charged: u64,
+}
+
+impl Process {
+    pub(crate) fn new(pid: Pid, name: &str, parent: Option<Pid>, cgroup: CgroupId) -> Self {
+        Process {
+            pid,
+            name: name.to_string(),
+            parent,
+            cgroup,
+            state: ProcState::Running,
+            owned_namespaces: Vec::new(),
+            next_mapping: 0,
+            mappings: BTreeMap::new(),
+            kernel_charged: 0,
+        }
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.state == ProcState::Running
+    }
+
+    /// Resident set size: private anon + touched shared file pages.
+    pub fn rss(&self) -> u64 {
+        self.mappings.values().map(|m| m.rss()).sum()
+    }
+
+    /// Total reserved virtual address space.
+    pub fn vsz(&self) -> u64 {
+        self.mappings.values().map(|m| m.len).sum()
+    }
+
+    /// Private anonymous bytes only (what the process "owns" exclusively).
+    pub fn anon_bytes(&self) -> u64 {
+        self.mappings.values().map(|m| m.committed_anon).sum()
+    }
+
+    pub fn mappings(&self) -> impl Iterator<Item = &Mapping> {
+        self.mappings.values()
+    }
+
+    pub fn mapping(&self, id: MappingId) -> Option<&Mapping> {
+        self.mappings.get(&id)
+    }
+
+    pub(crate) fn alloc_mapping_id(&mut self) -> MappingId {
+        let id = MappingId(self.next_mapping);
+        self.next_mapping += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MapKind;
+
+    #[test]
+    fn rss_and_vsz() {
+        let mut p = Process::new(Pid(1), "t", None, CgroupId(0));
+        let id = p.alloc_mapping_id();
+        p.mappings.insert(
+            id,
+            Mapping {
+                id,
+                kind: MapKind::AnonPrivate,
+                len: 1 << 20,
+                committed_anon: 4096,
+                touched_file: 0,
+                label: "heap".into(),
+            },
+        );
+        assert_eq!(p.rss(), 4096);
+        assert_eq!(p.vsz(), 1 << 20);
+        assert_eq!(p.anon_bytes(), 4096);
+        assert!(p.is_alive());
+    }
+
+    #[test]
+    fn mapping_ids_unique() {
+        let mut p = Process::new(Pid(1), "t", None, CgroupId(0));
+        let a = p.alloc_mapping_id();
+        let b = p.alloc_mapping_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn namespace_set_is_complete() {
+        assert_eq!(NamespaceKind::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests for the kernel substrate: accounting conservation under
+//! arbitrary operation sequences, and determinism/work-conservation of the
+//! discrete-event scheduler.
+
+use proptest::prelude::*;
+use simkernel::{
+    Duration, Kernel, KernelConfig, MapKind, Sim, Step, TaskSpec,
+};
+
+/// Random memory-lifecycle actions executed against one kernel.
+#[derive(Debug, Clone)]
+enum Action {
+    Spawn,
+    ExitNewest,
+    MmapAnon { bytes: u32 },
+    TouchAll,
+    CreateFile { kb: u16 },
+    ReadNewestFile,
+    MapNewestFileShared,
+    RemoveNewestFile,
+    MoveNewestProc,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        Just(Action::Spawn),
+        Just(Action::ExitNewest),
+        (1u32..(4 << 20)).prop_map(|bytes| Action::MmapAnon { bytes }),
+        Just(Action::TouchAll),
+        (1u16..512).prop_map(|kb| Action::CreateFile { kb }),
+        Just(Action::ReadNewestFile),
+        Just(Action::MapNewestFileShared),
+        Just(Action::RemoveNewestFile),
+        Just(Action::MoveNewestProc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn accounting_conserves_under_random_ops(actions in proptest::collection::vec(arb_action(), 1..60)) {
+        let kernel = Kernel::boot(KernelConfig {
+            ram_bytes: 2 << 30,
+            cores: 4,
+            proc_kernel_base: 16 << 10,
+            page_table_divisor: 512,
+            boot_used_bytes: 8 << 20,
+        });
+        let cg_a = kernel.cgroup_create(Kernel::ROOT_CGROUP, "a").unwrap();
+        let cg_b = kernel.cgroup_create(Kernel::ROOT_CGROUP, "b").unwrap();
+        let mut procs = Vec::new();
+        let mut maps: Vec<(simkernel::Pid, simkernel::MappingId, u64)> = Vec::new();
+        let mut files = Vec::new();
+        let mut file_no = 0u32;
+
+        for a in &actions {
+            match a {
+                Action::Spawn => {
+                    procs.push(kernel.spawn("p", cg_a).unwrap());
+                }
+                Action::ExitNewest => {
+                    if let Some(pid) = procs.pop() {
+                        kernel.exit(pid, 0).unwrap();
+                        kernel.reap(pid).unwrap();
+                        maps.retain(|(p, _, _)| *p != pid);
+                    }
+                }
+                Action::MmapAnon { bytes } => {
+                    if let Some(&pid) = procs.last() {
+                        let m = kernel.mmap(pid, *bytes as u64, MapKind::AnonPrivate).unwrap();
+                        maps.push((pid, m, *bytes as u64));
+                    }
+                }
+                Action::TouchAll => {
+                    for (pid, m, len) in &maps {
+                        // Ignore OOM kills (the process may be gone after).
+                        let _ = kernel.touch(*pid, *m, *len);
+                    }
+                    maps.retain(|(p, _, _)| {
+                        matches!(kernel.proc_state(*p), Ok(simkernel::ProcState::Running))
+                    });
+                    procs.retain(|p| {
+                        matches!(kernel.proc_state(*p), Ok(simkernel::ProcState::Running))
+                    });
+                }
+                Action::CreateFile { kb } => {
+                    file_no += 1;
+                    let id = kernel
+                        .create_file(
+                            &format!("/f{file_no}"),
+                            simkernel::vfs::FileContent::Synthetic(*kb as u64 * 1024),
+                        )
+                        .unwrap();
+                    files.push(id);
+                }
+                Action::ReadNewestFile => {
+                    if let (Some(&pid), Some(&f)) = (procs.last(), files.last()) {
+                        let _ = kernel.read_file(pid, f);
+                    }
+                }
+                Action::MapNewestFileShared => {
+                    if let (Some(&pid), Some(&f)) = (procs.last(), files.last()) {
+                        let size = kernel.file_size(f).unwrap();
+                        let m = kernel.mmap(pid, size, MapKind::FileShared(f)).unwrap();
+                        let _ = kernel.touch(pid, m, size);
+                    }
+                }
+                Action::RemoveNewestFile => {
+                    if let Some(f) = files.pop() {
+                        // May be mapped; removal drops cache and uncharges.
+                        let _ = kernel.remove_file(f);
+                    }
+                }
+                Action::MoveNewestProc => {
+                    if let Some(&pid) = procs.last() {
+                        kernel.move_process(pid, cg_b).unwrap();
+                    }
+                }
+            }
+
+            // INVARIANTS after every action:
+            let free = kernel.free();
+            // 1. Physical conservation.
+            prop_assert_eq!(free.total, free.used + free.buff_cache + free.free);
+            // 2. Hierarchy: root cgroup sees at least each child's charge.
+            let root = kernel.cgroup_stat(Kernel::ROOT_CGROUP).unwrap();
+            let a_stat = kernel.cgroup_stat(cg_a).unwrap();
+            let b_stat = kernel.cgroup_stat(cg_b).unwrap();
+            prop_assert!(root.current >= a_stat.current);
+            prop_assert!(root.current >= b_stat.current);
+            prop_assert!(root.current >= a_stat.current + b_stat.current);
+            // 3. Working sets never exceed memory.current.
+            prop_assert!(kernel.cgroup_working_set(cg_a).unwrap() <= a_stat.current);
+        }
+
+        // Teardown: exiting everything releases all anon+kernel charges.
+        for pid in procs {
+            kernel.exit(pid, 0).unwrap();
+        }
+        let a_stat = kernel.cgroup_stat(cg_a).unwrap();
+        let b_stat = kernel.cgroup_stat(cg_b).unwrap();
+        prop_assert_eq!(a_stat.anon_bytes, 0);
+        prop_assert_eq!(b_stat.anon_bytes, 0);
+        prop_assert_eq!(a_stat.kernel_bytes, 0);
+        prop_assert_eq!(b_stat.kernel_bytes, 0);
+    }
+}
+
+// Random DES task sets.
+prop_compose! {
+    fn arb_task(max_lock: u32)(
+        segments in proptest::collection::vec(
+            prop_oneof![
+                (1u64..200_000_000).prop_map(|ns| (0u8, ns)),
+                (1u64..200_000_000).prop_map(|ns| (1u8, ns)),
+                (0..max_lock).prop_map(|l| (2u8, l as u64)),
+            ],
+            1..8,
+        ),
+        start_ms in 0u64..500,
+    ) -> TaskSpec {
+        let mut t = TaskSpec::new("t").starting_at(simkernel::SimTime(start_ms * 1_000_000));
+        for (kind, v) in segments {
+            t = match kind {
+                0 => t.cpu(Duration::from_nanos(v)),
+                1 => t.io(Duration::from_nanos(v)),
+                _ => {
+                    let l = simkernel::LockId(v as u32);
+                    t.acquire(l).cpu(Duration::from_millis(1)).release(l)
+                }
+            };
+        }
+        t
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn des_is_deterministic_and_work_conserving(
+        tasks in proptest::collection::vec(arb_task(3), 1..24),
+        cores in 1u32..8,
+    ) {
+        let sim = Sim::new(cores);
+        let a = sim.run(tasks.clone());
+        let b = sim.run(tasks.clone());
+        for (x, y) in a.results.iter().zip(b.results.iter()) {
+            prop_assert_eq!(x.finished, y.finished, "deterministic");
+        }
+        // Work conservation bounds: makespan ≥ max single-task critical
+        // path, and ≥ total CPU / cores (steps after last start).
+        let total_cpu: u64 = tasks.iter().map(|t| t.cpu_demand().as_nanos()).sum();
+        let longest: u64 = tasks
+            .iter()
+            .map(|t| {
+                t.start_at.as_nanos()
+                    + t.steps
+                        .iter()
+                        .map(|s| match s {
+                            Step::Cpu(d) | Step::Io(d) => d.as_nanos(),
+                            _ => 0,
+                        })
+                        .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(a.makespan.as_nanos() >= total_cpu / cores as u64);
+        prop_assert!(a.makespan.as_nanos() + 2 >= longest, "{} vs {}", a.makespan.as_nanos(), longest);
+        // All finish times are at/after their start times.
+        for (r, t) in a.results.iter().zip(&tasks) {
+            prop_assert!(r.finished >= t.start_at);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the WASI layer: argument/environment marshalling
+//! round-trips through guest memory for arbitrary inputs, and fd-table
+//! operations never corrupt state.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use simkernel::{Kernel, KernelConfig};
+use wasi_sys::WasiCtx;
+use wasm_core::{FuncType, Instance, InstanceConfig, ModuleBuilder, ValType};
+
+/// A guest that calls args_sizes_get + args_get and leaves the raw argv
+/// buffer in memory for the host to inspect.
+fn args_probe_module() -> Arc<wasm_core::Module> {
+    let mut b = ModuleBuilder::new();
+    let sizes = b.import_func(
+        "wasi_snapshot_preview1",
+        "args_sizes_get",
+        FuncType::new(vec![ValType::I32; 2], vec![ValType::I32]),
+    );
+    let get = b.import_func(
+        "wasi_snapshot_preview1",
+        "args_get",
+        FuncType::new(vec![ValType::I32; 2], vec![ValType::I32]),
+    );
+    let mem = b.memory(4, None);
+    b.export_memory("memory", mem);
+    let f = b.func(FuncType::new(vec![], vec![ValType::I32]), |f| {
+        f.i32_const(0).i32_const(4).call(sizes).drop_();
+        f.i32_const(16).i32_const(4096).call(get).drop_();
+        f.i32_const(0).i32_load(0); // argc
+    });
+    b.export_func("probe", f);
+    Arc::new(b.build())
+}
+
+fn arg_strategy() -> impl Strategy<Value = String> {
+    // Arguments without NUL (the C ABI boundary) up to 40 chars, including
+    // multibyte characters.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z'),
+            proptest::char::range('0', '9'),
+            Just('-'),
+            Just('/'),
+            Just('é'),
+            Just('世'),
+        ],
+        0..40,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn argv_roundtrips_for_arbitrary_arguments(
+        args in proptest::collection::vec(arg_strategy(), 1..8)
+    ) {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let pid = kernel.spawn("t", Kernel::ROOT_CGROUP).unwrap();
+        let ctx = WasiCtx::new(kernel, pid).args(args.clone());
+        let mut inst = Instance::instantiate(
+            args_probe_module(),
+            ctx.into_imports(),
+            InstanceConfig::default(),
+        )
+        .unwrap();
+        let out = inst.invoke("probe", &[]).unwrap();
+        prop_assert_eq!(out[0], wasm_core::Value::I32(args.len() as i32));
+        // Walk the argv pointers and compare each NUL-terminated string.
+        let mem = inst.memory().unwrap();
+        for (i, expected) in args.iter().enumerate() {
+            let ptr = mem.load_u32(16 + 4 * i as u32, 0).unwrap();
+            let bytes = mem.read_bytes(ptr, expected.len() as u32 + 1).unwrap();
+            prop_assert_eq!(&bytes[..expected.len()], expected.as_bytes());
+            prop_assert_eq!(bytes[expected.len()], 0, "NUL terminator");
+        }
+    }
+
+    #[test]
+    fn environ_sizes_are_consistent(
+        env in proptest::collection::vec(("[A-Z_]{1,12}", arg_strategy()), 0..6)
+    ) {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let pid = kernel.spawn("t", Kernel::ROOT_CGROUP).unwrap();
+        let expected_buf: u32 =
+            env.iter().map(|(k, v)| (k.len() + v.len() + 2) as u32).sum();
+        let count = env.len() as u32;
+
+        let mut b = ModuleBuilder::new();
+        let sizes = b.import_func(
+            "wasi_snapshot_preview1",
+            "environ_sizes_get",
+            FuncType::new(vec![ValType::I32; 2], vec![ValType::I32]),
+        );
+        let mem = b.memory(1, None);
+        b.export_memory("memory", mem);
+        let f = b.func(FuncType::new(vec![], vec![ValType::I64]), |f| {
+            f.i32_const(0).i32_const(8).call(sizes).drop_();
+            // pack count and buf size into one i64
+            f.i32_const(0)
+                .i32_load(0)
+                .op(wasm_core::Instruction::I64ExtendI32U)
+                .i64_const(32)
+                .op(wasm_core::Instruction::I64Shl);
+            f.i32_const(8).i32_load(0).op(wasm_core::Instruction::I64ExtendI32U);
+            f.op(wasm_core::Instruction::I64Or);
+        });
+        b.export_func("probe", f);
+        let ctx = WasiCtx::new(kernel, pid).envs(env);
+        let mut inst = Instance::instantiate(
+            Arc::new(b.build()),
+            ctx.into_imports(),
+            InstanceConfig::default(),
+        )
+        .unwrap();
+        let out = inst.invoke("probe", &[]).unwrap();
+        let packed = out[0].as_i64().unwrap() as u64;
+        prop_assert_eq!((packed >> 32) as u32, count);
+        prop_assert_eq!(packed as u32, expected_buf);
+    }
+
+    #[test]
+    fn random_get_fills_exactly_len_bytes(len in 0u32..512, seed in any::<u64>()) {
+        let kernel = Kernel::boot(KernelConfig::default());
+        let pid = kernel.spawn("t", Kernel::ROOT_CGROUP).unwrap();
+        let mut b = ModuleBuilder::new();
+        let random = b.import_func(
+            "wasi_snapshot_preview1",
+            "random_get",
+            FuncType::new(vec![ValType::I32; 2], vec![ValType::I32]),
+        );
+        let mem = b.memory(1, None);
+        b.export_memory("memory", mem);
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            f.i32_const(64).local_get(0).call(random);
+        });
+        b.export_func("probe", f);
+        let ctx = WasiCtx::new(kernel, pid).random_seed(seed);
+        let mut inst = Instance::instantiate(
+            Arc::new(b.build()),
+            ctx.into_imports(),
+            InstanceConfig::default(),
+        )
+        .unwrap();
+        let out = inst.invoke("probe", &[wasm_core::Value::I32(len as i32)]).unwrap();
+        prop_assert_eq!(out[0], wasm_core::Value::I32(0), "errno success");
+        // Bytes beyond the requested length stay zero.
+        let mem = inst.memory().unwrap();
+        let after = mem.read_bytes(64 + len, 16).unwrap();
+        prop_assert!(after.iter().all(|b| *b == 0));
+    }
+}

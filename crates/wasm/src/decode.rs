@@ -1,0 +1,443 @@
+//! Binary decoder (spec §5): bytes → [`Module`].
+//!
+//! Function bodies are taken as zero-copy [`Bytes`] slices of the input so
+//! that an in-place interpreter over a page-cache-shared module binary
+//! allocates essentially nothing — the property the WAMR profile measures.
+
+use bytes::Bytes;
+
+use crate::error::DecodeError;
+use crate::instr::{read_instr, Instruction};
+use crate::leb128;
+use crate::module::{
+    ConstExpr, DataSegment, ElementSegment, Export, ExportDesc, FuncBody, Global, Import,
+    ImportDesc, Module,
+};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+const MAGIC: &[u8; 4] = b"\0asm";
+const VERSION: u32 = 1;
+
+struct Reader {
+    data: Bytes,
+    pos: usize,
+}
+
+impl Reader {
+    fn new(data: Bytes) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<Bytes, DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = self.data.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let (v, n) = leb128::read_u32(&self.data[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn valtype(&mut self) -> Result<ValType, DecodeError> {
+        ValType::from_byte(self.byte()?)
+    }
+
+    fn limits(&mut self) -> Result<Limits, DecodeError> {
+        match self.byte()? {
+            0x00 => Ok(Limits::new(self.u32()?, None)),
+            0x01 => {
+                let min = self.u32()?;
+                let max = self.u32()?;
+                Ok(Limits::new(min, Some(max)))
+            }
+            other => Err(DecodeError::BadLimitsFlag(other)),
+        }
+    }
+
+    fn table_type(&mut self) -> Result<TableType, DecodeError> {
+        let elem = self.byte()?;
+        if elem != 0x70 {
+            return Err(DecodeError::Malformed(format!(
+                "table element type must be funcref, got 0x{elem:02x}"
+            )));
+        }
+        Ok(TableType { limits: self.limits()? })
+    }
+
+    fn global_type(&mut self) -> Result<GlobalType, DecodeError> {
+        let value = self.valtype()?;
+        let mutable = match self.byte()? {
+            0x00 => false,
+            0x01 => true,
+            other => return Err(DecodeError::BadMutability(other)),
+        };
+        Ok(GlobalType { value, mutable })
+    }
+
+    /// A constant expression: one const-ish instruction followed by `end`.
+    fn const_expr(&mut self) -> Result<ConstExpr, DecodeError> {
+        let (instr, n) = read_instr(&self.data[self.pos..])?;
+        self.pos += n;
+        let expr = match instr {
+            Instruction::I32Const(v) => ConstExpr::I32(v),
+            Instruction::I64Const(v) => ConstExpr::I64(v),
+            Instruction::F32Const(v) => ConstExpr::F32(v),
+            Instruction::F64Const(v) => ConstExpr::F64(v),
+            Instruction::GlobalGet(i) => ConstExpr::GlobalGet(i),
+            other => {
+                return Err(DecodeError::Malformed(format!(
+                    "non-constant instruction in const expression: {other:?}"
+                )))
+            }
+        };
+        let (end, n) = read_instr(&self.data[self.pos..])?;
+        self.pos += n;
+        if end != Instruction::End {
+            return Err(DecodeError::Malformed("const expression must end with `end`".into()));
+        }
+        Ok(expr)
+    }
+}
+
+/// Decode a complete module binary.
+pub fn decode_module(bytes: impl Into<Bytes>) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes.into());
+    if r.take(4)?.as_ref() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u32::from_le_bytes(r.take(4)?.as_ref().try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+
+    let mut m = Module::default();
+    let mut last_section = 0u8;
+    let mut func_types: Option<Vec<u32>> = None;
+
+    while r.remaining() > 0 {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let body_start = r.pos;
+        if id > 11 {
+            return Err(DecodeError::UnknownSection(id));
+        }
+        if id != 0 {
+            if id <= last_section {
+                return Err(DecodeError::SectionOrder(id));
+            }
+            last_section = id;
+        }
+        match id {
+            0 => {
+                let end = body_start + size;
+                if end > r.data.len() {
+                    return Err(DecodeError::UnexpectedEof);
+                }
+                let name = r.name()?;
+                // The name may (maliciously) extend past the declared
+                // section size; that is a malformed section, not a panic.
+                let payload = r.take(end.checked_sub(r.pos).ok_or(
+                    DecodeError::SectionSizeMismatch {
+                        declared: size as u32,
+                        actual: (r.pos - body_start) as u32,
+                    },
+                )?)?;
+                m.customs.push((name, payload));
+            }
+            1 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let tag = r.byte()?;
+                    if tag != 0x60 {
+                        return Err(DecodeError::Malformed(format!(
+                            "function type must begin with 0x60, got 0x{tag:02x}"
+                        )));
+                    }
+                    let np = r.u32()?;
+                    let mut params = Vec::with_capacity(np as usize);
+                    for _ in 0..np {
+                        params.push(r.valtype()?);
+                    }
+                    let nr = r.u32()?;
+                    let mut results = Vec::with_capacity(nr as usize);
+                    for _ in 0..nr {
+                        results.push(r.valtype()?);
+                    }
+                    m.types.push(FuncType::new(params, results));
+                }
+            }
+            2 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let module = r.name()?;
+                    let name = r.name()?;
+                    let desc = match r.byte()? {
+                        0x00 => ImportDesc::Func(r.u32()?),
+                        0x01 => ImportDesc::Table(r.table_type()?),
+                        0x02 => ImportDesc::Memory(MemoryType { limits: r.limits()? }),
+                        0x03 => ImportDesc::Global(r.global_type()?),
+                        other => return Err(DecodeError::BadKind(other)),
+                    };
+                    m.imports.push(Import { module, name, desc });
+                }
+            }
+            3 => {
+                let count = r.u32()?;
+                let mut v = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    v.push(r.u32()?);
+                }
+                func_types = Some(v);
+            }
+            4 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    m.tables.push(r.table_type()?);
+                }
+            }
+            5 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    m.memories.push(MemoryType { limits: r.limits()? });
+                }
+            }
+            6 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let ty = r.global_type()?;
+                    let init = r.const_expr()?;
+                    m.globals.push(Global { ty, init });
+                }
+            }
+            7 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let name = r.name()?;
+                    let desc = match r.byte()? {
+                        0x00 => ExportDesc::Func(r.u32()?),
+                        0x01 => ExportDesc::Table(r.u32()?),
+                        0x02 => ExportDesc::Memory(r.u32()?),
+                        0x03 => ExportDesc::Global(r.u32()?),
+                        other => return Err(DecodeError::BadKind(other)),
+                    };
+                    m.exports.push(Export { name, desc });
+                }
+            }
+            8 => {
+                m.start = Some(r.u32()?);
+            }
+            9 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let table = r.u32()?;
+                    let offset = r.const_expr()?;
+                    let n = r.u32()?;
+                    let mut funcs = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        funcs.push(r.u32()?);
+                    }
+                    m.elements.push(ElementSegment { table, offset, funcs });
+                }
+            }
+            10 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let body_size = r.u32()? as usize;
+                    let body_end = r.pos + body_size;
+                    if body_end > r.data.len() {
+                        return Err(DecodeError::UnexpectedEof);
+                    }
+                    let n_locals = r.u32()?;
+                    let mut locals = Vec::with_capacity(n_locals as usize);
+                    let mut total: u64 = 0;
+                    for _ in 0..n_locals {
+                        let count = r.u32()?;
+                        let ty = r.valtype()?;
+                        total += count as u64;
+                        if total > 1_000_000 {
+                            return Err(DecodeError::Malformed("too many locals".into()));
+                        }
+                        locals.push((count, ty));
+                    }
+                    if r.pos > body_end {
+                        return Err(DecodeError::UnexpectedEof);
+                    }
+                    let code = r.take(body_end - r.pos)?;
+                    if code.last() != Some(&0x0b) {
+                        return Err(DecodeError::Malformed(
+                            "function body must end with `end`".into(),
+                        ));
+                    }
+                    m.bodies.push(FuncBody { locals, code });
+                }
+            }
+            11 => {
+                let count = r.u32()?;
+                for _ in 0..count {
+                    let memory = r.u32()?;
+                    let offset = r.const_expr()?;
+                    let n = r.u32()? as usize;
+                    let bytes = r.take(n)?;
+                    m.data.push(DataSegment { memory, offset, bytes });
+                }
+            }
+            _ => unreachable!("id checked above"),
+        }
+        let consumed = r.pos - body_start;
+        if consumed != size {
+            return Err(DecodeError::SectionSizeMismatch {
+                declared: size as u32,
+                actual: consumed as u32,
+            });
+        }
+    }
+
+    let funcs = func_types.unwrap_or_default();
+    if funcs.len() != m.bodies.len() {
+        return Err(DecodeError::FuncCodeMismatch {
+            funcs: funcs.len() as u32,
+            bodies: m.bodies.len() as u32,
+        });
+    }
+    m.funcs = funcs;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny hand-assembled module: `(module (func (export "f") (result i32)
+    /// i32.const 7))`.
+    fn tiny() -> Vec<u8> {
+        let mut b = vec![];
+        b.extend_from_slice(b"\0asm");
+        b.extend_from_slice(&1u32.to_le_bytes());
+        // Type section: 1 type, () -> (i32).
+        b.extend_from_slice(&[1, 5, 1, 0x60, 0, 1, 0x7f]);
+        // Function section: 1 func of type 0.
+        b.extend_from_slice(&[3, 2, 1, 0]);
+        // Export section: "f" -> func 0.
+        b.extend_from_slice(&[7, 5, 1, 1, b'f', 0, 0]);
+        // Code section: one body: no locals, i32.const 7, end.
+        b.extend_from_slice(&[10, 6, 1, 4, 0, 0x41, 7, 0x0b]);
+        b
+    }
+
+    #[test]
+    fn decode_tiny() {
+        let m = decode_module(tiny()).unwrap();
+        assert_eq!(m.types.len(), 1);
+        assert_eq!(m.types[0], FuncType::new(vec![], vec![ValType::I32]));
+        assert_eq!(m.funcs, vec![0]);
+        assert_eq!(m.exported_func("f"), Some(0));
+        assert_eq!(m.bodies[0].code.as_ref(), &[0x41, 7, 0x0b]);
+    }
+
+    #[test]
+    fn bad_magic() {
+        assert_eq!(decode_module(&b"xasm\x01\0\0\0"[..]), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version() {
+        let mut b = tiny();
+        b[4] = 2;
+        assert_eq!(decode_module(b), Err(DecodeError::BadVersion(2)));
+    }
+
+    #[test]
+    fn section_order_enforced() {
+        let mut b = vec![];
+        b.extend_from_slice(b"\0asm");
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&[3, 2, 1, 0]); // function section first
+        b.extend_from_slice(&[1, 5, 1, 0x60, 0, 1, 0x7f]); // then type: invalid
+        assert_eq!(decode_module(b), Err(DecodeError::SectionOrder(1)));
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let mut b = tiny();
+        // Inflate the declared size of the type section.
+        b[9] = 6;
+        assert!(matches!(
+            decode_module(b),
+            Err(DecodeError::SectionSizeMismatch { .. }) | Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn func_code_mismatch() {
+        let mut b = vec![];
+        b.extend_from_slice(b"\0asm");
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&[1, 5, 1, 0x60, 0, 1, 0x7f]);
+        b.extend_from_slice(&[3, 2, 1, 0]); // declares one function
+        // no code section
+        assert_eq!(
+            decode_module(b),
+            Err(DecodeError::FuncCodeMismatch { funcs: 1, bodies: 0 })
+        );
+    }
+
+    #[test]
+    fn truncated_module() {
+        let mut b = tiny();
+        b.truncate(b.len() - 2);
+        assert!(decode_module(b).is_err());
+    }
+
+    #[test]
+    fn empty_module_ok() {
+        let mut b = vec![];
+        b.extend_from_slice(b"\0asm");
+        b.extend_from_slice(&1u32.to_le_bytes());
+        let m = decode_module(b).unwrap();
+        assert_eq!(m, Module::default());
+    }
+
+    #[test]
+    fn custom_sections_preserved() {
+        let mut b = vec![];
+        b.extend_from_slice(b"\0asm");
+        b.extend_from_slice(&1u32.to_le_bytes());
+        // custom section: size 6, name "nm" (len 2), payload [1,2,3].
+        b.extend_from_slice(&[0, 6, 2, b'n', b'm', 1, 2, 3]);
+        let m = decode_module(b).unwrap();
+        assert_eq!(m.customs.len(), 1);
+        assert_eq!(m.customs[0].0, "nm");
+        assert_eq!(m.customs[0].1.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_copy_bodies() {
+        let src = Bytes::from(tiny());
+        let m = decode_module(src.clone()).unwrap();
+        // The body is a slice of the original allocation, not a copy.
+        let body_ptr = m.bodies[0].code.as_ref().as_ptr() as usize;
+        let src_range = src.as_ref().as_ptr() as usize..src.as_ref().as_ptr() as usize + src.len();
+        assert!(src_range.contains(&body_ptr));
+    }
+}

@@ -1,0 +1,516 @@
+//! Module instantiation and invocation.
+//!
+//! An [`Instance`] owns the runtime state (linear memory, globals, table,
+//! host imports) and executes through one of two tiers:
+//!
+//! * [`ExecTier::InPlace`] — the WAMR-style classic interpreter
+//!   ([`crate::interp`]): executes raw code bytes directly, building only a
+//!   small per-function control side-table on first call;
+//! * [`ExecTier::Lowered`] — the JIT/AOT-style tier ([`crate::lowered`]):
+//!   every function is eagerly compiled at instantiation into a wide,
+//!   jump-resolved internal representation that executes faster but costs
+//!   compile time and memory.
+//!
+//! [`ExecStats`] exposes exactly the quantities the engine profiles charge
+//! to the simulated kernel: side-table bytes, lowered-code bytes, and
+//! retired instructions (the engines' execution-time model).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::interp;
+use crate::lowered::{self, LoweredFunc};
+use crate::memory::LinearMemory;
+use crate::module::{ConstExpr, ImportDesc, Module};
+use crate::types::ValType;
+use crate::values::{Slot, Trap, Value};
+
+/// Execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTier {
+    /// Interpret raw bytecode in place (small, slower per instruction).
+    InPlace,
+    /// Eagerly lower all functions to internal code (large, faster).
+    Lowered,
+}
+
+/// Instantiation/execution options.
+#[derive(Debug, Clone)]
+pub struct InstanceConfig {
+    pub tier: ExecTier,
+    /// Optional instruction budget; `Trap::OutOfFuel` when exhausted.
+    pub fuel: Option<u64>,
+    /// Maximum call depth before `Trap::StackOverflow`.
+    pub max_call_depth: usize,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> Self {
+        InstanceConfig { tier: ExecTier::InPlace, fuel: None, max_call_depth: 1024 }
+    }
+}
+
+/// A host (import) function: receives the instance memory and arguments.
+pub type HostFunc = Box<dyn FnMut(&mut Option<LinearMemory>, &[Value]) -> Result<Vec<Value>, Trap>>;
+
+/// Named host imports for instantiation.
+#[derive(Default)]
+pub struct Imports {
+    funcs: BTreeMap<(String, String), HostFunc>,
+}
+
+impl Imports {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a host function as `module.name`.
+    pub fn func(
+        mut self,
+        module: &str,
+        name: &str,
+        f: impl FnMut(&mut Option<LinearMemory>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+    ) -> Self {
+        self.funcs.insert((module.to_string(), name.to_string()), Box::new(f));
+        self
+    }
+
+    pub fn register(
+        &mut self,
+        module: &str,
+        name: &str,
+        f: HostFunc,
+    ) {
+        self.funcs.insert((module.to_string(), name.to_string()), f);
+    }
+}
+
+/// Execution statistics — the engines' memory/time accounting interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Work units retired across all invocations. Deliberately
+    /// tier-dependent: the in-place interpreter counts every dispatched
+    /// bytecode (including `block`/`end` bookkeeping it must execute), the
+    /// lowered tier counts its compiled instructions — mirroring how real
+    /// interpreters do more dispatch work than compiled code for the same
+    /// program. The engine time models multiply this by per-tier costs.
+    pub instrs_retired: u64,
+    /// Calls into host (WASI) functions.
+    pub host_calls: u64,
+    /// Bytes of control side-tables built by the in-place tier.
+    pub side_table_bytes: u64,
+    /// Bytes of lowered internal code built by the lowered tier.
+    pub lowered_bytes: u64,
+    /// High-water mark of the operand stack, in slots.
+    pub peak_stack_slots: u64,
+}
+
+/// Errors during instantiation (before any code runs).
+#[derive(Debug)]
+pub enum InstantiateError {
+    /// No import provided for `module.name`.
+    MissingImport(String, String),
+    /// Imported memories/tables/globals are not supported by this embedder.
+    UnsupportedImport(String),
+    /// An active segment falls outside its target.
+    SegmentOutOfBounds(&'static str),
+    /// The module failed validation.
+    Invalid(crate::error::ValidationError),
+    /// Start function trapped.
+    StartTrapped(Trap),
+}
+
+impl std::fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstantiateError::MissingImport(m, n) => write!(f, "missing import {m}.{n}"),
+            InstantiateError::UnsupportedImport(s) => write!(f, "unsupported import: {s}"),
+            InstantiateError::SegmentOutOfBounds(what) => {
+                write!(f, "active {what} segment out of bounds")
+            }
+            InstantiateError::Invalid(e) => write!(f, "validation failed: {e}"),
+            InstantiateError::StartTrapped(t) => write!(f, "start function trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+/// A live module instance.
+pub struct Instance {
+    pub(crate) module: Arc<Module>,
+    pub(crate) config: InstanceConfig,
+    pub(crate) memory: Option<LinearMemory>,
+    pub(crate) globals: Vec<Slot>,
+    pub(crate) global_types: Vec<ValType>,
+    pub(crate) table: Vec<Option<u32>>,
+    pub(crate) host_funcs: Vec<Option<HostFunc>>,
+    /// Lazily built control side-tables (in-place tier), per local function.
+    pub(crate) side_tables: Vec<Option<Arc<interp::SideTable>>>,
+    /// Eagerly compiled functions (lowered tier), per local function.
+    pub(crate) lowered: Vec<Option<Arc<LoweredFunc>>>,
+    pub(crate) stats: ExecStats,
+    pub(crate) fuel: Option<u64>,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("funcs", &self.module.num_funcs())
+            .field("tier", &self.config.tier)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Instance {
+    /// Validate and instantiate a module with the given imports.
+    pub fn instantiate(
+        module: Arc<Module>,
+        mut imports: Imports,
+        config: InstanceConfig,
+    ) -> Result<Instance, InstantiateError> {
+        crate::validate::validate_module(&module).map_err(InstantiateError::Invalid)?;
+
+        // Resolve imports. Only function imports are supported by this
+        // embedder (all WASI modules import functions only).
+        let mut host_funcs = Vec::new();
+        for imp in &module.imports {
+            match &imp.desc {
+                ImportDesc::Func(_) => {
+                    let key = (imp.module.clone(), imp.name.clone());
+                    let f = imports.funcs.remove(&key).ok_or_else(|| {
+                        InstantiateError::MissingImport(imp.module.clone(), imp.name.clone())
+                    })?;
+                    host_funcs.push(Some(f));
+                }
+                other => {
+                    return Err(InstantiateError::UnsupportedImport(format!("{other:?}")))
+                }
+            }
+        }
+
+        // Memory.
+        let memory = module.memories.first().map(|mt| LinearMemory::new(mt.limits));
+
+        // Globals.
+        let mut globals = Vec::with_capacity(module.globals.len());
+        let mut global_types = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let slot = match g.init {
+                ConstExpr::I32(v) => Slot::from_i32(v),
+                ConstExpr::I64(v) => Slot::from_i64(v),
+                ConstExpr::F32(v) => Slot::from_f32(v),
+                ConstExpr::F64(v) => Slot::from_f64(v),
+                // Validation restricts global.get initializers to imported
+                // globals, which this embedder does not support.
+                ConstExpr::GlobalGet(_) => {
+                    return Err(InstantiateError::UnsupportedImport("global.get init".into()))
+                }
+            };
+            globals.push(slot);
+            global_types.push(g.ty.value);
+        }
+
+        // Table + element segments.
+        let mut table: Vec<Option<u32>> = module
+            .tables
+            .first()
+            .map(|t| vec![None; t.limits.min as usize])
+            .unwrap_or_default();
+        for seg in &module.elements {
+            let offset = match seg.offset {
+                ConstExpr::I32(v) => v as u32 as usize,
+                _ => return Err(InstantiateError::SegmentOutOfBounds("element")),
+            };
+            let end = offset + seg.funcs.len();
+            if end > table.len() {
+                return Err(InstantiateError::SegmentOutOfBounds("element"));
+            }
+            for (i, f) in seg.funcs.iter().enumerate() {
+                table[offset + i] = Some(*f);
+            }
+        }
+
+        let n_local_funcs = module.funcs.len();
+        let mut inst = Instance {
+            fuel: config.fuel,
+            config,
+            memory,
+            globals,
+            global_types,
+            table,
+            host_funcs,
+            side_tables: vec![None; n_local_funcs],
+            lowered: vec![None; n_local_funcs],
+            stats: ExecStats::default(),
+            module,
+        };
+
+        // Data segments.
+        for seg in &inst.module.data.clone() {
+            let offset = match seg.offset {
+                ConstExpr::I32(v) => v as u32,
+                _ => return Err(InstantiateError::SegmentOutOfBounds("data")),
+            };
+            let mem = inst
+                .memory
+                .as_mut()
+                .ok_or(InstantiateError::SegmentOutOfBounds("data"))?;
+            mem.write_bytes(offset, &seg.bytes)
+                .map_err(|_| InstantiateError::SegmentOutOfBounds("data"))?;
+        }
+
+        // Lowered tier compiles everything up front — that is the point.
+        if inst.config.tier == ExecTier::Lowered {
+            inst.compile_all();
+        }
+
+        // Run the start function if present.
+        if let Some(start) = inst.module.start {
+            inst.invoke_index(start, &[]).map_err(InstantiateError::StartTrapped)?;
+        }
+
+        Ok(inst)
+    }
+
+    /// Eagerly lower every local function (the compile phase of the
+    /// JIT/AOT-profile engines). Idempotent.
+    pub fn compile_all(&mut self) {
+        let module = Arc::clone(&self.module);
+        for i in 0..module.funcs.len() {
+            if self.lowered[i].is_none() {
+                let func_idx = module.num_imported_funcs() + i as u32;
+                let lf = lowered::lower_function(&module, func_idx)
+                    .expect("validated function lowers");
+                self.stats.lowered_bytes += lf.memory_bytes();
+                self.lowered[i] = Some(Arc::new(lf));
+            }
+        }
+    }
+
+    /// The module this instance runs.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Remaining fuel, if a budget was configured.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Top up or set the instruction budget.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.fuel = fuel;
+    }
+
+    /// Access the linear memory (e.g. for test assertions).
+    pub fn memory(&self) -> Option<&LinearMemory> {
+        self.memory.as_ref()
+    }
+
+    /// Read a global by index (combined space; this embedder has no
+    /// imported globals, so indices match the module's own).
+    pub fn global(&self, idx: u32) -> Option<Value> {
+        let slot = *self.globals.get(idx as usize)?;
+        let ty = *self.global_types.get(idx as usize)?;
+        Some(Value::from_slot(slot, ty))
+    }
+
+    /// Invoke an exported function by name.
+    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let idx = self
+            .module
+            .exported_func(name)
+            .ok_or_else(|| Trap::HostError(format!("no exported function {name:?}")))?;
+        self.invoke_index(idx, args)
+    }
+
+    /// Invoke a function by index in the combined function space.
+    pub fn invoke_index(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        // Check the signature eagerly so both tiers agree on errors.
+        let ft = self
+            .module
+            .func_type(func_idx)
+            .ok_or_else(|| Trap::HostError(format!("no function {func_idx}")))?;
+        if ft.params.len() != args.len()
+            || ft.params.iter().zip(args).any(|(p, a)| *p != a.ty())
+        {
+            return Err(Trap::HostError(format!(
+                "argument mismatch: expected {}, got {} args",
+                ft,
+                args.len()
+            )));
+        }
+        match self.config.tier {
+            ExecTier::InPlace => interp::invoke(self, func_idx, args),
+            ExecTier::Lowered => lowered::invoke(self, func_idx, args),
+        }
+    }
+
+    /// Call `_start` (the WASI entry point). `Trap::Exit(0)` is success.
+    pub fn run_start(&mut self) -> Result<(), Trap> {
+        match self.invoke("_start", &[]) {
+            Ok(_) => Ok(()),
+            Err(Trap::Exit(0)) => Ok(()),
+            Err(t) => Err(t),
+        }
+    }
+
+    /// Call a host (imported) function by its function index. Used by both
+    /// executors; takes the closure out to avoid aliasing the instance.
+    pub(crate) fn call_host(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let slot = func_idx as usize;
+        let mut f = self.host_funcs[slot]
+            .take()
+            .ok_or_else(|| Trap::HostError(format!("host function {func_idx} re-entered")))?;
+        let result = f(&mut self.memory, args);
+        self.host_funcs[slot] = Some(f);
+        self.stats.host_calls += 1;
+        result
+    }
+
+    /// Burn fuel for `n` instructions.
+    #[inline]
+    pub(crate) fn burn(&mut self, n: u64) -> Result<(), Trap> {
+        self.stats.instrs_retired += n;
+        if let Some(fuel) = &mut self.fuel {
+            if *fuel < n {
+                *fuel = 0;
+                return Err(Trap::OutOfFuel);
+            }
+            *fuel -= n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::FuncType;
+
+    fn add_module() -> Arc<Module> {
+        let mut b = ModuleBuilder::new();
+        let add = b.func(
+            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+            |f| {
+                f.local_get(0).local_get(1).op(crate::instr::Instruction::I32Add);
+            },
+        );
+        b.export_func("add", add);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn instantiate_and_invoke_both_tiers() {
+        for tier in [ExecTier::InPlace, ExecTier::Lowered] {
+            let cfg = InstanceConfig { tier, ..Default::default() };
+            let mut inst = Instance::instantiate(add_module(), Imports::new(), cfg).unwrap();
+            let out = inst.invoke("add", &[Value::I32(2), Value::I32(40)]).unwrap();
+            assert_eq!(out, vec![Value::I32(42)]);
+        }
+    }
+
+    #[test]
+    fn missing_import_reported() {
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "f", FuncType::new(vec![], vec![]));
+        let err = Instance::instantiate(
+            Arc::new(b.build()),
+            Imports::new(),
+            InstanceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, InstantiateError::MissingImport(_, _)));
+    }
+
+    #[test]
+    fn host_function_called() {
+        let mut b = ModuleBuilder::new();
+        let log = b.import_func("env", "log", FuncType::new(vec![ValType::I32], vec![]));
+        let f = b.func(FuncType::new(vec![], vec![]), |fb| {
+            fb.i32_const(7).call(log);
+        });
+        b.export_func("go", f);
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let calls2 = calls.clone();
+        let imports = Imports::new().func("env", "log", move |_, args| {
+            calls2.borrow_mut().push(args[0]);
+            Ok(vec![])
+        });
+        let mut inst =
+            Instance::instantiate(Arc::new(b.build()), imports, InstanceConfig::default())
+                .unwrap();
+        inst.invoke("go", &[]).unwrap();
+        assert_eq!(&*calls.borrow(), &[Value::I32(7)]);
+        assert_eq!(inst.stats().host_calls, 1);
+    }
+
+    #[test]
+    fn data_segments_applied() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.data(32, &b"xyz"[..]);
+        let inst =
+            Instance::instantiate(Arc::new(b.build()), Imports::new(), InstanceConfig::default())
+                .unwrap();
+        assert_eq!(inst.memory().unwrap().read_bytes(32, 3).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn data_segment_oob_rejected() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.data(65534, &b"xyz"[..]);
+        let err = Instance::instantiate(
+            Arc::new(b.build()),
+            Imports::new(),
+            InstanceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, InstantiateError::SegmentOutOfBounds("data")));
+    }
+
+    #[test]
+    fn argument_mismatch_rejected() {
+        let mut inst =
+            Instance::instantiate(add_module(), Imports::new(), InstanceConfig::default())
+                .unwrap();
+        assert!(inst.invoke("add", &[Value::I32(1)]).is_err());
+        assert!(inst.invoke("add", &[Value::I64(1), Value::I64(2)]).is_err());
+        assert!(inst.invoke("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn lowered_tier_reports_compiled_bytes() {
+        let cfg = InstanceConfig { tier: ExecTier::Lowered, ..Default::default() };
+        let inst = Instance::instantiate(add_module(), Imports::new(), cfg).unwrap();
+        assert!(inst.stats().lowered_bytes > 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![]), |fb| {
+            fb.loop_(crate::types::BlockType::Empty, |fb| {
+                fb.br(0);
+            });
+        });
+        b.export_func("spin", f);
+        let module = Arc::new(b.build());
+        for tier in [ExecTier::InPlace, ExecTier::Lowered] {
+            let cfg = InstanceConfig { tier, fuel: Some(10_000), ..Default::default() };
+            let mut inst =
+                Instance::instantiate(Arc::clone(&module), Imports::new(), cfg).unwrap();
+            assert_eq!(inst.invoke("spin", &[]), Err(Trap::OutOfFuel));
+            assert_eq!(inst.fuel_remaining(), Some(0));
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! The in-place bytecode interpreter (the WAMR-profile execution tier).
+//!
+//! Executes **directly from the raw code bytes** of the decoded module — no
+//! per-function code expansion at all. The only derived structure is a small
+//! control [`SideTable`] per function (offsets of matching `end`/`else` for
+//! each opener), built lazily on a function's first call and cached on the
+//! instance. This is how WAMR's classic interpreter keeps per-instance
+//! memory near zero, which — multiplied by 400 containers — is the paper's
+//! headline result.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::instr::{read_instr, Instruction};
+use crate::instance::Instance;
+use crate::module::Module;
+use crate::numeric::{exec_simple, Simple};
+use crate::types::BlockType;
+use crate::values::{Slot, Trap, Value};
+
+/// One control-structure record: where its `else`/`end` live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideEntry {
+    /// Byte offset of the `block`/`loop`/`if` opcode.
+    pub at: u32,
+    /// Byte offset of the matching `end` opcode.
+    pub end: u32,
+    /// Byte offset just past the matching `else` opcode (`u32::MAX` = none).
+    pub else_: u32,
+}
+
+/// Per-function control side-table, sorted by opener offset.
+#[derive(Debug, Clone, Default)]
+pub struct SideTable {
+    entries: Vec<SideEntry>,
+}
+
+impl SideTable {
+    /// Scan a function body and record every opener's matching offsets.
+    pub fn build(code: &[u8]) -> Result<SideTable, Trap> {
+        let mut entries: Vec<SideEntry> = Vec::new();
+        let mut open: Vec<usize> = Vec::new();
+        let mut pos = 0usize;
+        while pos < code.len() {
+            let (instr, n) = read_instr(&code[pos..])
+                .map_err(|e| Trap::HostError(format!("side-table scan: {e}")))?;
+            match instr {
+                Instruction::Block(_) | Instruction::Loop(_) | Instruction::If(_) => {
+                    open.push(entries.len());
+                    entries.push(SideEntry { at: pos as u32, end: 0, else_: u32::MAX });
+                }
+                Instruction::Else => {
+                    let idx = *open.last().expect("validated: else inside if");
+                    entries[idx].else_ = (pos + 1) as u32;
+                }
+                Instruction::End => {
+                    if let Some(idx) = open.pop() {
+                        entries[idx].end = pos as u32;
+                    }
+                    // The final `end` (empty stack) closes the function.
+                }
+                _ => {}
+            }
+            pos += n;
+        }
+        Ok(SideTable { entries })
+    }
+
+    /// Look up the entry for the opener at byte offset `at`.
+    #[inline]
+    pub fn lookup(&self, at: u32) -> SideEntry {
+        let i = self
+            .entries
+            .binary_search_by_key(&at, |e| e.at)
+            .expect("every opener has an entry");
+        self.entries[i]
+    }
+
+    /// Approximate resident size — what the WAMR profile charges per
+    /// function for control metadata.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<SideEntry>()) as u64
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    is_loop: bool,
+    /// Offset of the matching `end` opcode (function end for the implicit
+    /// outermost label).
+    end_pc: usize,
+    /// Loop continuation: offset just past the `loop` opcode+blocktype.
+    cont_pc: usize,
+    /// Absolute operand-stack height under this label's params.
+    height: usize,
+    /// Values a branch to this label carries.
+    br_arity: usize,
+}
+
+struct Frame {
+    code: Bytes,
+    side: Arc<SideTable>,
+    pc: usize,
+    locals: Vec<Slot>,
+    labels: Vec<Label>,
+    /// Operand-stack height at function entry (after args were consumed).
+    base: usize,
+    results: usize,
+}
+
+/// Block signature sizes (params, results) for a block type.
+fn block_arity(module: &Module, bt: BlockType) -> (usize, usize) {
+    match bt {
+        BlockType::Empty => (0, 0),
+        BlockType::Value(_) => (0, 1),
+        BlockType::Func(idx) => {
+            let ft = &module.types[idx as usize];
+            (ft.params.len(), ft.results.len())
+        }
+    }
+}
+
+/// Get or lazily build the side table for a local function.
+fn side_table(inst: &mut Instance, local_idx: usize) -> Result<Arc<SideTable>, Trap> {
+    if let Some(t) = &inst.side_tables[local_idx] {
+        return Ok(Arc::clone(t));
+    }
+    let code = inst.module.bodies[local_idx].code.clone();
+    let table = Arc::new(SideTable::build(&code)?);
+    inst.stats.side_table_bytes += table.memory_bytes();
+    inst.side_tables[local_idx] = Some(Arc::clone(&table));
+    Ok(table)
+}
+
+fn make_frame(
+    inst: &mut Instance,
+    func_idx: u32,
+    args: Vec<Slot>,
+    base: usize,
+) -> Result<Frame, Trap> {
+    let imported = inst.module.num_imported_funcs();
+    let local_idx = (func_idx - imported) as usize;
+    let body = &inst.module.bodies[local_idx];
+    let ft = inst.module.func_type(func_idx).expect("validated");
+    let results = ft.results.len();
+    let mut locals = args;
+    locals.resize(locals.len() + body.local_count() as usize, Slot(0));
+    let code = body.code.clone();
+    let side = side_table(inst, local_idx)?;
+    let func_label = Label {
+        is_loop: false,
+        end_pc: code.len().saturating_sub(1),
+        cont_pc: 0,
+        height: base,
+        br_arity: results,
+    };
+    Ok(Frame { code, side, pc: 0, locals, labels: vec![func_label], base, results })
+}
+
+/// Invoke `func_idx` with typed arguments through the in-place interpreter.
+pub(crate) fn invoke(
+    inst: &mut Instance,
+    func_idx: u32,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
+    let imported = inst.module.num_imported_funcs();
+    if func_idx < imported {
+        return inst.call_host(func_idx, args);
+    }
+    let result_types = inst.module.func_type(func_idx).expect("validated").results.clone();
+
+    let mut stack: Vec<Slot> = Vec::with_capacity(64);
+    let arg_slots: Vec<Slot> = args.iter().map(|v| v.to_slot()).collect();
+    let mut frames = vec![make_frame(inst, func_idx, arg_slots, 0)?];
+
+    'outer: loop {
+        let frame = frames.last_mut().expect("at least one frame");
+        // Function epilogue: natural fall-through past the final `end`, or a
+        // branch that jumped past it.
+        if frame.pc >= frame.code.len() {
+            let results = frame.results;
+            let base = frame.base;
+            let split = stack.len() - results;
+            let tail: Vec<Slot> = stack.split_off(split);
+            stack.truncate(base);
+            stack.extend(tail);
+            frames.pop();
+            if frames.is_empty() {
+                break 'outer;
+            }
+            continue;
+        }
+
+        let at = frame.pc;
+        let (instr, n) = read_instr(&frame.code[at..])
+            .map_err(|e| Trap::HostError(format!("decode during execution: {e}")))?;
+        frame.pc += n;
+        inst.burn(1)?;
+        if stack.len() as u64 > inst.stats.peak_stack_slots {
+            inst.stats.peak_stack_slots = stack.len() as u64;
+        }
+
+        // Fast path: simple instructions shared with the lowered tier.
+        // (Re-borrow pieces to satisfy the borrow checker.)
+        {
+            let frame = frames.last_mut().expect("frame");
+            match exec_simple(
+                &instr,
+                &mut stack,
+                &mut frame.locals,
+                &mut inst.globals,
+                &mut inst.memory,
+            )? {
+                Simple::Done => continue,
+                Simple::NotSimple => {}
+            }
+        }
+
+        match instr {
+            Instruction::Unreachable => return Err(Trap::Unreachable),
+            Instruction::Block(bt) => {
+                let (params, results) = block_arity(&inst.module, bt);
+                let frame = frames.last_mut().expect("frame");
+                let entry = frame.side.lookup(at as u32);
+                frame.labels.push(Label {
+                    is_loop: false,
+                    end_pc: entry.end as usize,
+                    cont_pc: 0,
+                    height: stack.len() - params,
+                    br_arity: results,
+                });
+            }
+            Instruction::Loop(bt) => {
+                let (params, _results) = block_arity(&inst.module, bt);
+                let frame = frames.last_mut().expect("frame");
+                let entry = frame.side.lookup(at as u32);
+                frame.labels.push(Label {
+                    is_loop: true,
+                    end_pc: entry.end as usize,
+                    cont_pc: frame.pc,
+                    height: stack.len() - params,
+                    br_arity: params,
+                });
+            }
+            Instruction::If(bt) => {
+                let cond = stack.pop().expect("validated").i32();
+                let (params, results) = block_arity(&inst.module, bt);
+                let frame = frames.last_mut().expect("frame");
+                let entry = frame.side.lookup(at as u32);
+                if cond != 0 {
+                    frame.labels.push(Label {
+                        is_loop: false,
+                        end_pc: entry.end as usize,
+                        cont_pc: 0,
+                        height: stack.len() - params,
+                        br_arity: results,
+                    });
+                } else if entry.else_ != u32::MAX {
+                    frame.pc = entry.else_ as usize;
+                    frame.labels.push(Label {
+                        is_loop: false,
+                        end_pc: entry.end as usize,
+                        cont_pc: 0,
+                        height: stack.len() - params,
+                        br_arity: results,
+                    });
+                } else {
+                    // No else: skip the whole construct.
+                    frame.pc = entry.end as usize + 1;
+                }
+            }
+            Instruction::Else => {
+                // End of the then-branch: jump to the matching `end`.
+                let frame = frames.last_mut().expect("frame");
+                let label = frame.labels.last().expect("validated: else has label");
+                frame.pc = label.end_pc;
+            }
+            Instruction::End => {
+                let frame = frames.last_mut().expect("frame");
+                frame.labels.pop();
+                // Function return is handled by the pc >= len check.
+            }
+            Instruction::Br(depth) => {
+                branch(frames.last_mut().expect("frame"), &mut stack, depth);
+            }
+            Instruction::BrIf(depth) => {
+                let cond = stack.pop().expect("validated").i32();
+                if cond != 0 {
+                    branch(frames.last_mut().expect("frame"), &mut stack, depth);
+                }
+            }
+            Instruction::BrTable(data) => {
+                let idx = stack.pop().expect("validated").u32() as usize;
+                let depth = data.targets.get(idx).copied().unwrap_or(data.default);
+                branch(frames.last_mut().expect("frame"), &mut stack, depth);
+            }
+            Instruction::Return => {
+                let frame = frames.last_mut().expect("frame");
+                // Jump past the function's final end; epilogue handles it.
+                frame.pc = frame.code.len();
+                let results = frame.results;
+                let height = frame.base;
+                let split = stack.len() - results;
+                let tail: Vec<Slot> = stack.split_off(split);
+                stack.truncate(height);
+                stack.extend(tail);
+                frame.labels.clear();
+            }
+            Instruction::Call(f) => {
+                call(inst, &mut frames, &mut stack, f)?;
+            }
+            Instruction::CallIndirect { type_idx, .. } => {
+                let elem = stack.pop().expect("validated").u32() as usize;
+                let f = resolve_indirect(inst, type_idx, elem)?;
+                call(inst, &mut frames, &mut stack, f)?;
+            }
+            other => unreachable!("simple instruction fell through: {other:?}"),
+        }
+    }
+
+    Ok(result_types
+        .iter()
+        .zip(stack)
+        .map(|(t, s)| Value::from_slot(s, *t))
+        .collect())
+}
+
+/// Resolve a `call_indirect` target and check its signature.
+fn resolve_indirect(inst: &Instance, type_idx: u32, elem: usize) -> Result<u32, Trap> {
+    let entry = inst.table.get(elem).ok_or(Trap::TableOutOfBounds)?;
+    let f = entry.ok_or(Trap::UninitializedElement)?;
+    let expected = &inst.module.types[type_idx as usize];
+    let actual = inst.module.func_type(f).ok_or(Trap::UninitializedElement)?;
+    if actual != expected {
+        return Err(Trap::IndirectCallTypeMismatch);
+    }
+    Ok(f)
+}
+
+/// Perform a branch to `depth` within the current frame.
+fn branch(frame: &mut Frame, stack: &mut Vec<Slot>, depth: u32) {
+    let li = frame.labels.len() - 1 - depth as usize;
+    let label = frame.labels[li];
+    let split = stack.len() - label.br_arity;
+    let tail: Vec<Slot> = stack.split_off(split);
+    stack.truncate(label.height);
+    stack.extend(tail);
+    if label.is_loop {
+        frame.pc = label.cont_pc;
+        frame.labels.truncate(li + 1);
+    } else {
+        frame.pc = label.end_pc + 1;
+        frame.labels.truncate(li);
+    }
+}
+
+/// Call a function (host or Wasm) from inside the interpreter loop.
+fn call(
+    inst: &mut Instance,
+    frames: &mut Vec<Frame>,
+    stack: &mut Vec<Slot>,
+    func_idx: u32,
+) -> Result<(), Trap> {
+    let imported = inst.module.num_imported_funcs();
+    if func_idx < imported {
+        // Host calls need the typed signature; clone it once here (the hot
+        // Wasm→Wasm path below avoids the allocation entirely).
+        let ft = inst.module.func_type(func_idx).expect("validated").clone();
+        let split = stack.len() - ft.params.len();
+        let arg_slots: Vec<Slot> = stack.split_off(split);
+        let args: Vec<Value> = ft
+            .params
+            .iter()
+            .zip(&arg_slots)
+            .map(|(t, s)| Value::from_slot(*s, *t))
+            .collect();
+        let results = inst.call_host(func_idx, &args)?;
+        if results.len() != ft.results.len() {
+            return Err(Trap::HostError(format!(
+                "host function returned {} values, expected {}",
+                results.len(),
+                ft.results.len()
+            )));
+        }
+        stack.extend(results.into_iter().map(Value::to_slot));
+        Ok(())
+    } else {
+        if frames.len() >= inst.config.max_call_depth {
+            return Err(Trap::StackOverflow);
+        }
+        let n_params = inst.module.func_type(func_idx).expect("validated").params.len();
+        let split = stack.len() - n_params;
+        let args: Vec<Slot> = stack.split_off(split);
+        let base = stack.len();
+        let frame = make_frame(inst, func_idx, args, base)?;
+        frames.push(frame);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instance::{Imports, Instance, InstanceConfig};
+    use crate::types::{FuncType, ValType};
+
+    fn instantiate(b: ModuleBuilder) -> Instance {
+        Instance::instantiate(Arc::new(b.build()), Imports::new(), InstanceConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn side_table_structure() {
+        // block / if / else / end / end / end(function)
+        let mut b = ModuleBuilder::new();
+        b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            f.block(BlockType::Value(ValType::I32), |f| {
+                f.local_get(0);
+                f.if_else(
+                    BlockType::Value(ValType::I32),
+                    |f| {
+                        f.i32_const(1);
+                    },
+                    |f| {
+                        f.i32_const(2);
+                    },
+                );
+            });
+        });
+        let m = b.build();
+        let table = SideTable::build(&m.bodies[0].code).unwrap();
+        assert_eq!(table.len(), 2);
+        let code = &m.bodies[0].code;
+        let outer = table.lookup(0);
+        assert_eq!(code[outer.end as usize], 0x0b);
+        assert_eq!(outer.else_, u32::MAX);
+        assert!(table.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn factorial_loop() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            let acc = f.local(ValType::I32);
+            f.i32_const(1).local_set(acc);
+            f.block(BlockType::Empty, |f| {
+                f.loop_(BlockType::Empty, |f| {
+                    f.local_get(0).op(Instruction::I32Eqz).br_if(1);
+                    f.local_get(acc).local_get(0).op(Instruction::I32Mul).local_set(acc);
+                    f.local_get(0).i32_const(1).op(Instruction::I32Sub).local_set(0);
+                    f.br(0);
+                });
+            });
+            f.local_get(acc);
+        });
+        b.export_func("fact", f);
+        let mut inst = instantiate(b);
+        let out = inst.invoke("fact", &[Value::I32(6)]).unwrap();
+        assert_eq!(out, vec![Value::I32(720)]);
+        assert!(inst.stats().instrs_retired > 30);
+        assert!(inst.stats().lowered_bytes == 0, "in-place tier compiles nothing");
+        assert!(inst.stats().side_table_bytes > 0);
+    }
+
+    #[test]
+    fn recursive_fibonacci() {
+        let mut b = ModuleBuilder::new();
+        let fib_sig = FuncType::new(vec![ValType::I32], vec![ValType::I32]);
+        // Declared index of the (only) local function is 0.
+        let fib = b.func(fib_sig, |f| {
+            f.local_get(0).i32_const(2).op(Instruction::I32LtS);
+            f.if_else(
+                BlockType::Value(ValType::I32),
+                |f| {
+                    f.local_get(0);
+                },
+                |f| {
+                    f.local_get(0).i32_const(1).op(Instruction::I32Sub).call(0);
+                    f.local_get(0).i32_const(2).op(Instruction::I32Sub).call(0);
+                    f.op(Instruction::I32Add);
+                },
+            );
+        });
+        b.export_func("fib", fib);
+        let mut inst = instantiate(b);
+        assert_eq!(inst.invoke("fib", &[Value::I32(10)]).unwrap(), vec![Value::I32(55)]);
+    }
+
+    #[test]
+    fn br_table_dispatch() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            f.block(BlockType::Value(ValType::I32), |f| {
+                f.block(BlockType::Empty, |f| {
+                    f.block(BlockType::Empty, |f| {
+                        // Arms 0 and 1 target the two empty blocks; the
+                        // default reuses arm 1.
+                        f.local_get(0).br_table(vec![0, 1], 1);
+                    });
+                    // case 0
+                    f.i32_const(100).br(1);
+                });
+                // case 1 and default
+                f.i32_const(200);
+            });
+        });
+        b.export_func("dispatch", f);
+        let mut inst = instantiate(b);
+        assert_eq!(inst.invoke("dispatch", &[Value::I32(0)]).unwrap(), vec![Value::I32(100)]);
+        assert_eq!(inst.invoke("dispatch", &[Value::I32(1)]).unwrap(), vec![Value::I32(200)]);
+        assert_eq!(inst.invoke("dispatch", &[Value::I32(9)]).unwrap(), vec![Value::I32(200)]);
+    }
+
+    #[test]
+    fn early_return() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            f.local_get(0);
+            f.if_else(
+                BlockType::Empty,
+                |f| {
+                    f.i32_const(1).return_();
+                },
+                |_| {},
+            );
+            f.i32_const(0);
+        });
+        b.export_func("sign", f);
+        let mut inst = instantiate(b);
+        assert_eq!(inst.invoke("sign", &[Value::I32(5)]).unwrap(), vec![Value::I32(1)]);
+        assert_eq!(inst.invoke("sign", &[Value::I32(0)]).unwrap(), vec![Value::I32(0)]);
+    }
+
+    #[test]
+    fn br_to_function_label_returns() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![ValType::I32]), |f| {
+            f.i32_const(9).br(0);
+        });
+        b.export_func("f", f);
+        let mut inst = instantiate(b);
+        assert_eq!(inst.invoke("f", &[]).unwrap(), vec![Value::I32(9)]);
+    }
+
+    #[test]
+    fn call_indirect_through_table() {
+        let mut b = ModuleBuilder::new();
+        let sig = FuncType::new(vec![ValType::I32], vec![ValType::I32]);
+        let double = b.func(sig.clone(), |f| {
+            f.local_get(0).i32_const(2).op(Instruction::I32Mul);
+        });
+        let triple = b.func(sig.clone(), |f| {
+            f.local_get(0).i32_const(3).op(Instruction::I32Mul);
+        });
+        b.table(2, Some(2));
+        b.elem(0, vec![double, triple]);
+        let sig_idx_holder = sig;
+        let caller = b.func(
+            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+            move |f| {
+                let _ = &sig_idx_holder;
+                f.local_get(0); // argument
+                f.local_get(1); // table index
+                f.call_indirect(0);
+            },
+        );
+        b.export_func("apply", caller);
+        let mut inst = instantiate(b);
+        assert_eq!(
+            inst.invoke("apply", &[Value::I32(21), Value::I32(0)]).unwrap(),
+            vec![Value::I32(42)]
+        );
+        assert_eq!(
+            inst.invoke("apply", &[Value::I32(14), Value::I32(1)]).unwrap(),
+            vec![Value::I32(42)]
+        );
+        // Out-of-bounds table index traps.
+        assert_eq!(
+            inst.invoke("apply", &[Value::I32(1), Value::I32(7)]),
+            Err(Trap::TableOutOfBounds)
+        );
+    }
+
+    #[test]
+    fn unreachable_traps() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.op(Instruction::Unreachable);
+        });
+        b.export_func("boom", f);
+        let mut inst = instantiate(b);
+        assert_eq!(inst.invoke("boom", &[]), Err(Trap::Unreachable));
+    }
+
+    #[test]
+    fn deep_recursion_overflows() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.call(0);
+        });
+        b.export_func("recur", f);
+        let mut inst = instantiate(b);
+        assert_eq!(inst.invoke("recur", &[]), Err(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn side_table_cached_across_calls() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![ValType::I32]), |f| {
+            f.block(BlockType::Value(ValType::I32), |f| {
+                f.i32_const(3);
+            });
+        });
+        b.export_func("f", f);
+        let mut inst = instantiate(b);
+        inst.invoke("f", &[]).unwrap();
+        let bytes_once = inst.stats().side_table_bytes;
+        inst.invoke("f", &[]).unwrap();
+        assert_eq!(inst.stats().side_table_bytes, bytes_once, "built once, reused");
+    }
+}

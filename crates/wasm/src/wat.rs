@@ -1,0 +1,295 @@
+//! WAT-style text rendering of modules — a debugging aid for inspecting
+//! builder output and decoded binaries (`wasm-objdump` stand-in).
+//!
+//! The output follows the WebAssembly text format closely enough to be read
+//! by a human familiar with `.wat`; it is not meant to be reparsed.
+
+use std::fmt::Write as _;
+
+use crate::instr::{read_instr, Instruction};
+use crate::module::{ConstExpr, ExportDesc, ImportDesc, Module};
+use crate::types::{BlockType, FuncType, ValType};
+
+fn fmt_functype(ft: &FuncType) -> String {
+    let mut s = String::new();
+    if !ft.params.is_empty() {
+        s.push_str(" (param");
+        for p in &ft.params {
+            let _ = write!(s, " {p}");
+        }
+        s.push(')');
+    }
+    if !ft.results.is_empty() {
+        s.push_str(" (result");
+        for r in &ft.results {
+            let _ = write!(s, " {r}");
+        }
+        s.push(')');
+    }
+    s
+}
+
+fn fmt_blocktype(m: &Module, bt: BlockType) -> String {
+    match bt {
+        BlockType::Empty => String::new(),
+        BlockType::Value(t) => format!(" (result {t})"),
+        BlockType::Func(idx) => m
+            .types
+            .get(idx as usize)
+            .map(fmt_functype)
+            .unwrap_or_else(|| format!(" (type {idx})")),
+    }
+}
+
+fn fmt_const(e: &ConstExpr) -> String {
+    match e {
+        ConstExpr::I32(v) => format!("(i32.const {v})"),
+        ConstExpr::I64(v) => format!("(i64.const {v})"),
+        ConstExpr::F32(v) => format!("(f32.const {v})"),
+        ConstExpr::F64(v) => format!("(f64.const {v})"),
+        ConstExpr::GlobalGet(i) => format!("(global.get {i})"),
+    }
+}
+
+/// The flat text-format mnemonic of one instruction.
+pub fn mnemonic(m: &Module, i: &Instruction) -> String {
+    use Instruction as I;
+    match i {
+        I::Block(bt) => format!("block{}", fmt_blocktype(m, *bt)),
+        I::Loop(bt) => format!("loop{}", fmt_blocktype(m, *bt)),
+        I::If(bt) => format!("if{}", fmt_blocktype(m, *bt)),
+        I::Else => "else".into(),
+        I::End => "end".into(),
+        I::Br(d) => format!("br {d}"),
+        I::BrIf(d) => format!("br_if {d}"),
+        I::BrTable(t) => {
+            let mut s = String::from("br_table");
+            for x in &t.targets {
+                let _ = write!(s, " {x}");
+            }
+            let _ = write!(s, " {}", t.default);
+            s
+        }
+        I::Call(f) => format!("call {f}"),
+        I::CallIndirect { type_idx, .. } => format!("call_indirect (type {type_idx})"),
+        I::LocalGet(i) => format!("local.get {i}"),
+        I::LocalSet(i) => format!("local.set {i}"),
+        I::LocalTee(i) => format!("local.tee {i}"),
+        I::GlobalGet(i) => format!("global.get {i}"),
+        I::GlobalSet(i) => format!("global.set {i}"),
+        I::I32Const(v) => format!("i32.const {v}"),
+        I::I64Const(v) => format!("i64.const {v}"),
+        I::F32Const(v) => format!("f32.const {v}"),
+        I::F64Const(v) => format!("f64.const {v}"),
+        I::I32Load(a) => format!("i32.load offset={}", a.offset),
+        I::I64Load(a) => format!("i64.load offset={}", a.offset),
+        I::F32Load(a) => format!("f32.load offset={}", a.offset),
+        I::F64Load(a) => format!("f64.load offset={}", a.offset),
+        I::I32Store(a) => format!("i32.store offset={}", a.offset),
+        I::I64Store(a) => format!("i64.store offset={}", a.offset),
+        I::F32Store(a) => format!("f32.store offset={}", a.offset),
+        I::F64Store(a) => format!("f64.store offset={}", a.offset),
+        other => {
+            // Mechanical conversion of the enum variant covers the numeric
+            // instruction space: split CamelCase words, lowercase, join the
+            // first word with '.' and the rest with '_' ("I32TruncF64S" →
+            // "i32.trunc_f64_s", "MemoryGrow" → "memory.grow").
+            let name = format!("{other:?}");
+            let name = name.split(['(', ' ', '{']).next().unwrap_or(&name);
+            let mut words: Vec<String> = Vec::new();
+            for c in name.chars() {
+                if c.is_ascii_uppercase() || words.is_empty() {
+                    words.push(c.to_ascii_lowercase().to_string());
+                } else {
+                    words.last_mut().expect("non-empty").push(c);
+                }
+            }
+            // Digits glue to the previous word ("i32"), and a lone trailing
+            // letter ("S"/"U") is a sign suffix.
+            let mut merged: Vec<String> = Vec::new();
+            for w in words {
+                match merged.last_mut() {
+                    Some(last) if w.chars().all(|c| c.is_ascii_digit()) => last.push_str(&w),
+                    _ => merged.push(w),
+                }
+            }
+            match merged.len() {
+                0 | 1 => merged.concat(),
+                _ => format!("{}.{}", merged[0], merged[1..].join("_")),
+            }
+        }
+    }
+}
+
+/// Render a whole module as WAT-style text.
+pub fn render(m: &Module) -> String {
+    let mut out = String::from("(module\n");
+    for (i, t) in m.types.iter().enumerate() {
+        let _ = writeln!(out, "  (type (;{i};) (func{}))", fmt_functype(t));
+    }
+    for imp in &m.imports {
+        let desc = match &imp.desc {
+            ImportDesc::Func(t) => format!("(func (type {t}))"),
+            ImportDesc::Table(t) => format!("(table {} funcref)", t.limits.min),
+            ImportDesc::Memory(mt) => format!("(memory {})", mt.limits.min),
+            ImportDesc::Global(g) => format!("(global {})", g.value),
+        };
+        let _ = writeln!(out, "  (import \"{}\" \"{}\" {desc})", imp.module, imp.name);
+    }
+    for mem in &m.memories {
+        match mem.limits.max {
+            Some(max) => {
+                let _ = writeln!(out, "  (memory {} {max})", mem.limits.min);
+            }
+            None => {
+                let _ = writeln!(out, "  (memory {})", mem.limits.min);
+            }
+        }
+    }
+    for t in &m.tables {
+        let _ = writeln!(out, "  (table {} funcref)", t.limits.min);
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        let ty = if g.ty.mutable {
+            format!("(mut {})", g.ty.value)
+        } else {
+            g.ty.value.to_string()
+        };
+        let _ = writeln!(out, "  (global (;{i};) {ty} {})", fmt_const(&g.init));
+    }
+    let imported = m.num_imported_funcs();
+    for (li, body) in m.bodies.iter().enumerate() {
+        let func_idx = imported + li as u32;
+        let ft = m.func_type(func_idx).cloned().unwrap_or_default();
+        let _ = writeln!(out, "  (func (;{func_idx};){}", fmt_functype(&ft));
+        let locals = body.expand_locals();
+        if !locals.is_empty() {
+            let names: Vec<String> = locals.iter().map(ValType::to_string).collect();
+            let _ = writeln!(out, "    (local {})", names.join(" "));
+        }
+        let mut depth = 2usize;
+        let mut pos = 0usize;
+        while pos < body.code.len() {
+            let Ok((instr, n)) = read_instr(&body.code[pos..]) else { break };
+            pos += n;
+            if matches!(instr, Instruction::End | Instruction::Else) {
+                depth = depth.saturating_sub(1).max(2);
+            }
+            // The function's final `end` closes the (func ...) form.
+            if pos >= body.code.len() && instr == Instruction::End {
+                break;
+            }
+            let _ = writeln!(out, "{}{}", "  ".repeat(depth), mnemonic(m, &instr));
+            if matches!(
+                instr,
+                Instruction::Block(_) | Instruction::Loop(_) | Instruction::If(_)
+                    | Instruction::Else
+            ) {
+                depth += 1;
+            }
+        }
+        out.push_str("  )\n");
+    }
+    for e in &m.exports {
+        let desc = match e.desc {
+            ExportDesc::Func(i) => format!("(func {i})"),
+            ExportDesc::Table(i) => format!("(table {i})"),
+            ExportDesc::Memory(i) => format!("(memory {i})"),
+            ExportDesc::Global(i) => format!("(global {i})"),
+        };
+        let _ = writeln!(out, "  (export \"{}\" {desc})", e.name);
+    }
+    if let Some(s) = m.start {
+        let _ = writeln!(out, "  (start {s})");
+    }
+    for d in &m.data {
+        let _ = writeln!(
+            out,
+            "  (data {} \"{}\")",
+            fmt_const(&d.offset),
+            d.bytes
+                .iter()
+                .map(|b| {
+                    if b.is_ascii_graphic() && *b != b'"' && *b != b'\\' {
+                        (*b as char).to_string()
+                    } else {
+                        format!("\\{b:02x}")
+                    }
+                })
+                .collect::<String>()
+        );
+    }
+    out.push_str(")\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::{BlockType, FuncType};
+
+    fn sample() -> Module {
+        let mut b = ModuleBuilder::new();
+        let log = b.import_func("env", "log", FuncType::new(vec![ValType::I32], vec![]));
+        let mem = b.memory(1, Some(4));
+        b.export_memory("memory", mem);
+        b.data(8, &b"hi\"\\x"[..]);
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            let acc = f.local(ValType::I64);
+            let _ = acc;
+            f.block(BlockType::Value(ValType::I32), |f| {
+                f.local_get(0).i32_const(1).op(Instruction::I32Add);
+                f.local_get(0).call(log);
+            });
+        });
+        b.export_func("inc", f);
+        b.build()
+    }
+
+    #[test]
+    fn renders_structure() {
+        let text = render(&sample());
+        assert!(text.starts_with("(module\n"));
+        assert!(text.contains("(import \"env\" \"log\" (func (type"));
+        assert!(text.contains("(memory 1 4)"));
+        assert!(text.contains("(export \"inc\" (func 1))"));
+        assert!(text.contains("(local i64)"));
+        assert!(text.contains("i32.add"));
+        assert!(text.contains("local.get 0"));
+        assert!(text.contains("call 0"));
+        assert!(text.contains("block (result i32)"));
+        assert!(text.trim_end().ends_with(')'));
+    }
+
+    #[test]
+    fn data_segments_escaped() {
+        let text = render(&sample());
+        assert!(text.contains("(data (i32.const 8) \"hi\\22\\5cx\")"), "{text}");
+    }
+
+    #[test]
+    fn mnemonics_snake_case() {
+        let m = Module::default();
+        assert_eq!(mnemonic(&m, &Instruction::I32Add), "i32.add");
+        assert_eq!(mnemonic(&m, &Instruction::I64ShrU), "i64.shr_u");
+        assert_eq!(mnemonic(&m, &Instruction::F64PromoteF32), "f64.promote_f32");
+        assert_eq!(mnemonic(&m, &Instruction::MemoryGrow), "memory.grow");
+        assert_eq!(mnemonic(&m, &Instruction::Unreachable), "unreachable");
+        assert_eq!(mnemonic(&m, &Instruction::Br(3)), "br 3");
+    }
+
+    #[test]
+    fn indentation_tracks_nesting() {
+        let mut b = ModuleBuilder::new();
+        b.func(FuncType::new(vec![], vec![]), |f| {
+            f.block(BlockType::Empty, |f| {
+                f.loop_(BlockType::Empty, |f| {
+                    f.op(Instruction::Nop);
+                });
+            });
+        });
+        let text = render(&b.build());
+        assert!(text.contains("        nop"), "nop doubly indented:\n{text}");
+    }
+}

@@ -1,0 +1,235 @@
+//! The Wasm microservice module generator.
+
+use wasm_core::types::BlockType;
+use wasm_core::{FuncType, Instruction, ModuleBuilder, ValType};
+
+/// Shape of the generated microservice.
+#[derive(Debug, Clone)]
+pub struct MicroserviceConfig {
+    /// Minimum linear memory pages (64 KiB each). wasi-libc's default
+    /// layout for a small C program commits ~2.5 MB.
+    pub memory_pages: u32,
+    pub max_memory_pages: Option<u32>,
+    /// Extra real functions (validated and, on eager engines, compiled),
+    /// modeling linked-in libc code.
+    pub code_padding_funcs: u32,
+    /// Bounded startup-work loop iterations before the ready message.
+    pub loop_iterations: i32,
+    /// The readiness line written to stdout.
+    pub ready_message: &'static str,
+}
+
+impl Default for MicroserviceConfig {
+    fn default() -> Self {
+        MicroserviceConfig {
+            memory_pages: 40, // 2.5 MiB
+            max_memory_pages: Some(256),
+            code_padding_funcs: 48,
+            loop_iterations: 2_000,
+            ready_message: "microservice ready\n",
+        }
+    }
+}
+
+impl MicroserviceConfig {
+    /// A heavier application for the §IV-D/F "impact of different
+    /// applications" discussion: more code, more memory, more work.
+    pub fn compute_heavy() -> Self {
+        MicroserviceConfig {
+            memory_pages: 160, // 10 MiB
+            max_memory_pages: Some(1024),
+            code_padding_funcs: 160,
+            loop_iterations: 20_000,
+            ready_message: "compute service ready\n",
+        }
+    }
+
+    /// A memory-hungry application (large arena touched at startup).
+    pub fn memory_heavy() -> Self {
+        MicroserviceConfig {
+            memory_pages: 240, // 15 MiB
+            max_memory_pages: Some(2048),
+            code_padding_funcs: 48,
+            loop_iterations: 4_000,
+            ready_message: "cache service ready\n",
+        }
+    }
+}
+
+/// Build the microservice module binary.
+///
+/// Layout: WASI imports, linear memory, the ready-message data segment, an
+/// iovec, `code_padding_funcs` arithmetic helper functions (two of which the
+/// startup loop actually calls), and `_start`:
+///
+/// ```text
+/// _start:
+///   acc = 0
+///   for i in 0..loop_iterations { acc = mix(acc, i) }   // real work
+///   store acc (defeats dead-code elimination)
+///   fd_write(1, iovec, 1, nwritten)                     // ready message
+/// ```
+pub fn microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let fd_write = b.import_func(
+        "wasi_snapshot_preview1",
+        "fd_write",
+        FuncType::new(vec![ValType::I32; 4], vec![ValType::I32]),
+    );
+    let mem = b.memory(cfg.memory_pages, cfg.max_memory_pages);
+    b.export_memory("memory", mem);
+
+    let msg = cfg.ready_message.as_bytes().to_vec();
+    let msg_len = msg.len() as i32;
+    b.data(64, msg);
+    // iovec { ptr: 64, len } at 16; nwritten at 32.
+    let mut iov = Vec::new();
+    iov.extend_from_slice(&64i32.to_le_bytes());
+    iov.extend_from_slice(&msg_len.to_le_bytes());
+    b.data(16, iov);
+
+    let bin_sig = FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]);
+
+    // Padding functions: real, distinct arithmetic bodies.
+    let mut padding = Vec::with_capacity(cfg.code_padding_funcs as usize);
+    for i in 0..cfg.code_padding_funcs {
+        let k = i as i32;
+        let f = b.func(bin_sig.clone(), move |f| {
+            // A body of ~0.5 KiB of distinct straight-line arithmetic per
+            // function, with per-function constants so no two bodies are
+            // identical (defeats any hash-consing shortcut a compiler tier
+            // might take).
+            f.local_get(0)
+                .i32_const(k.wrapping_mul(2654435761u32 as i32) | 1)
+                .op(Instruction::I32Mul);
+            for round in 0..24 {
+                let c = (k + round).wrapping_mul(40503) ^ 0x5bd1e995;
+                f.local_get(1)
+                    .i32_const(c)
+                    .op(Instruction::I32Add)
+                    .op(Instruction::I32Xor);
+                f.i32_const(((k + round) % 13) + 1)
+                    .op(Instruction::I32Rotl)
+                    .local_get(0)
+                    .op(Instruction::I32Add);
+                f.local_get(1)
+                    .i32_const((round % 7) + 1)
+                    .op(Instruction::I32ShrU)
+                    .op(Instruction::I32Xor);
+            }
+        });
+        padding.push(f);
+    }
+    let mix_a = padding.first().copied();
+    let mix_b = padding.get(1).copied();
+
+    let start = b.func(FuncType::new(vec![], vec![]), |f| {
+        let acc = f.local(ValType::I32);
+        let i = f.local(ValType::I32);
+        f.i32_const(cfg.loop_iterations).local_set(i);
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                f.local_get(i).op(Instruction::I32Eqz).br_if(1);
+                // acc = mix(acc, i) — through real calls when padding exists.
+                match (mix_a, mix_b) {
+                    (Some(a), Some(bf)) => {
+                        f.local_get(acc).local_get(i).call(a);
+                        f.local_get(i).call(bf);
+                        f.local_set(acc);
+                    }
+                    _ => {
+                        f.local_get(acc)
+                            .local_get(i)
+                            .op(Instruction::I32Add)
+                            .i32_const(2654435761u32 as i32)
+                            .op(Instruction::I32Mul)
+                            .local_set(acc);
+                    }
+                }
+                f.local_get(i).i32_const(1).op(Instruction::I32Sub).local_set(i);
+                f.br(0);
+            });
+        });
+        // Store the accumulator so the loop is observable.
+        f.i32_const(48).local_get(acc).i32_store(0);
+        // fd_write(1, 16, 1, 32)
+        f.i32_const(1).i32_const(16).i32_const(1).i32_const(32).call(fd_write).drop_();
+    });
+    b.export_func("_start", start);
+    b.build_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wasm_core::{decode_module, validate_module, ExecTier, Imports, Instance, InstanceConfig};
+
+    fn run(cfg: &MicroserviceConfig, tier: ExecTier) -> (Vec<u8>, wasm_core::ExecStats) {
+        let bytes = microservice_module(cfg);
+        let module = Arc::new(decode_module(bytes).unwrap());
+        let out = std::rc::Rc::new(std::cell::RefCell::new(Vec::<u8>::new()));
+        let out2 = out.clone();
+        let imports = Imports::new().func(
+            "wasi_snapshot_preview1",
+            "fd_write",
+            move |mem, args| {
+                let m = mem.as_mut().expect("memory");
+                let iovs = args[1].as_i32().unwrap() as u32;
+                let base = m.load_u32(iovs, 0).unwrap();
+                let len = m.load_u32(iovs, 4).unwrap();
+                out2.borrow_mut().extend_from_slice(m.read_bytes(base, len).unwrap());
+                Ok(vec![wasm_core::Value::I32(0)])
+            },
+        );
+        let mut inst = Instance::instantiate(
+            module,
+            imports,
+            InstanceConfig { tier, fuel: Some(100_000_000), ..Default::default() },
+        )
+        .unwrap();
+        inst.run_start().unwrap();
+        let stats = inst.stats();
+        let bytes = out.borrow().clone();
+        drop(inst);
+        (bytes, stats)
+    }
+
+    #[test]
+    fn module_validates() {
+        let bytes = microservice_module(&MicroserviceConfig::default());
+        let module = decode_module(bytes).unwrap();
+        validate_module(&module).unwrap();
+        assert!(module.code_size() > 4_000, "padding produces real code");
+        assert_eq!(module.memories[0].limits.min, 40);
+    }
+
+    #[test]
+    fn runs_on_both_tiers_with_same_output() {
+        let cfg = MicroserviceConfig::default();
+        let (out_a, stats_a) = run(&cfg, ExecTier::InPlace);
+        let (out_b, stats_b) = run(&cfg, ExecTier::Lowered);
+        assert_eq!(out_a, b"microservice ready\n");
+        assert_eq!(out_a, out_b);
+        assert!(stats_a.instrs_retired > 10_000, "{stats_a:?}");
+        // Same logical work on both tiers.
+        assert_eq!(stats_a.host_calls, stats_b.host_calls);
+    }
+
+    #[test]
+    fn heavier_configs_scale() {
+        let small = microservice_module(&MicroserviceConfig::default());
+        let heavy = microservice_module(&MicroserviceConfig::compute_heavy());
+        assert!(heavy.len() > 2 * small.len());
+        let (_, s_small) = run(&MicroserviceConfig::default(), ExecTier::InPlace);
+        let (_, s_heavy) = run(&MicroserviceConfig::compute_heavy(), ExecTier::InPlace);
+        assert!(s_heavy.instrs_retired > 5 * s_small.instrs_retired);
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let a = microservice_module(&MicroserviceConfig::default());
+        let b = microservice_module(&MicroserviceConfig::default());
+        assert_eq!(a, b, "same config, same binary (content-addressed caches rely on it)");
+    }
+}

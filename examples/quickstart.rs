@@ -1,0 +1,53 @@
+//! Quickstart: boot a simulated Kubernetes cluster, deploy Wasm
+//! microservices through the WAMR-in-crun integration, and read both memory
+//! observers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use memwasm::harness::{new_cluster, warmup, Config, Workload};
+use memwasm::k8s_sim::working_set_stddev;
+
+fn main() {
+    let workload = Workload::default();
+    let config = Config::WamrCrun;
+
+    // A single-node cluster shaped like the paper's testbed (20 cores,
+    // 256 GiB, kubelet max-pods raised to 500) with the WAMR-crun runtime
+    // class registered and the microservice image pulled.
+    let mut cluster = new_cluster(&[config], &workload).expect("cluster");
+    warmup(&mut cluster, config).expect("warmup");
+
+    let free_before = cluster.free().used_with_cache();
+    let deployment = cluster
+        .deploy("web", config.image_ref(), config.class_name(), 25)
+        .expect("deploy");
+
+    println!("deployed {} pods, {} running", deployment.len(), deployment.running());
+    println!(
+        "first pod stdout: {:?}",
+        String::from_utf8_lossy(&deployment.pods[0].stdout)
+    );
+
+    // Observer 1: the Kubernetes metrics-server (per-pod working set).
+    let avg = cluster.average_working_set(&deployment).expect("metrics");
+    let dev = working_set_stddev(&cluster.kernel, &deployment).expect("stddev");
+    println!(
+        "metrics-server: {:.2} MB/container (stddev {:.3} MB)",
+        avg as f64 / (1 << 20) as f64,
+        dev / (1 << 20) as f64
+    );
+
+    // Observer 2: the OS (`free`), which also sees shims, daemons, kernel
+    // overhead and the page cache.
+    let free_after = cluster.free().used_with_cache();
+    let per_pod = (free_after - free_before) / deployment.len() as u64;
+    println!("free(1):        {:.2} MB/container", per_pod as f64 / (1 << 20) as f64);
+
+    // Startup: time from deployment start until the last container's
+    // workload is executing (the paper's Figs. 8-9 metric).
+    let outcome = cluster.measure_startup(&[&deployment]);
+    println!("time to start all {} containers: {}", deployment.len(), outcome.total());
+
+    cluster.teardown(deployment).expect("teardown");
+    println!("torn down; node is empty again");
+}

@@ -1,0 +1,81 @@
+//! The containerd Sandbox API / Kuasar future-integration (paper §V): many
+//! Wasm containers hosted by ONE sandbox process per pod, compared against
+//! the paper's WAMR-crun (one engine per container process).
+//!
+//! With the paper's 1-container-per-pod experiments the two integration
+//! points are nearly equivalent; with multi-container pods the sandboxer
+//! amortizes the engine baseline — the "new iteration of our benchmarking
+//! and integration work" the paper anticipates.
+//!
+//! Run with: `cargo run --release --example sandbox_api`
+
+use memwasm::container_runtimes::handler::PauseHandler;
+use memwasm::container_runtimes::profile::CRUN;
+use memwasm::container_runtimes::{LowLevelRuntime, RuntimeCtx};
+use memwasm::containerd_sim::WasmSandboxer;
+use memwasm::engines::EngineKind;
+use memwasm::harness::mb;
+use memwasm::oci_spec_lite::{Bundle, ImageStore, RuntimeSpec};
+use memwasm::simkernel::Kernel;
+use memwasm::wamr_crun::{WamrCrunConfig, WamrHandler};
+use memwasm::workloads::{wasm_microservice_image, MicroserviceConfig};
+
+const CONTAINERS_PER_POD: usize = 6;
+
+fn main() {
+    let cluster = memwasm::k8s_sim::Cluster::bootstrap().expect("cluster");
+    let kernel = cluster.kernel.clone();
+    let mut store = ImageStore::new();
+    let image = store
+        .register(
+            &kernel,
+            wasm_microservice_image("svc:v1", &MicroserviceConfig::default()),
+        )
+        .expect("image")
+        .clone();
+
+    // --- A: the paper's integration — one WAMR-crun container process per
+    // container, all in one pod cgroup.
+    let pod_a = kernel.cgroup_create(cluster.kubepods, "pod-crun").unwrap();
+    let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+    rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+    rt.register_handler(Box::new(PauseHandler));
+    let ctx = RuntimeCtx { runtime_cgroup: cluster.system_cgroup };
+    for i in 0..CONTAINERS_PER_POD {
+        let id = format!("a{i}");
+        let mut spec = RuntimeSpec::for_command(&id, image.command());
+        for (k, v) in &image.config.annotations {
+            spec.annotations.insert(k.clone(), v.clone());
+        }
+        let bundle = Bundle::create(&kernel, &id, &image, &spec).unwrap();
+        let mut c = rt.create(&ctx, &id, &bundle, pod_a).unwrap();
+        rt.start(&ctx, &mut c, &bundle).unwrap();
+    }
+    let a = kernel.cgroup_working_set(pod_a).unwrap();
+
+    // --- B: the Sandbox API — one sandbox process hosting every container.
+    let pod_b = kernel.cgroup_create(cluster.kubepods, "pod-sandbox").unwrap();
+    let sandboxer = WasmSandboxer::new(kernel.clone(), EngineKind::Wamr);
+    let mut sandbox = sandboxer.create_sandbox("pod-sandbox", pod_b).unwrap();
+    for i in 0..CONTAINERS_PER_POD {
+        sandboxer.add_container(&mut sandbox, &format!("b{i}"), &image).unwrap();
+    }
+    assert!(sandbox.containers().iter().all(|c| c.stdout == b"microservice ready\n"));
+    let b = kernel.cgroup_working_set(pod_b).unwrap();
+
+    println!("{CONTAINERS_PER_POD} Wasm containers in one pod:");
+    println!("  WAMR-crun (engine per container):   {:>7.2} MB pod working set", mb(a));
+    println!("  Sandbox API (one engine per pod):   {:>7.2} MB pod working set", mb(b));
+    println!(
+        "  sandboxer saves {:.1}% by amortizing the engine baseline + process\n\
+         overhead across the pod's containers",
+        (1.0 - b as f64 / a as f64) * 100.0
+    );
+    println!(
+        "\nAt the paper's 1 container/pod the difference shrinks to the\n\
+         process/pause overhead — matching §V's assessment that the Sandbox\n\
+         API 'could provide significant real-world improvements' for denser\n\
+         pod shapes.",
+    );
+    let _ = Kernel::ROOT_CGROUP;
+}

@@ -1,0 +1,68 @@
+//! Using the Wasm core directly: build a module programmatically, run it on
+//! both execution tiers, and compare their memory/speed trade-off — the
+//! engine-level mechanism behind the paper's results, without any container
+//! machinery.
+//!
+//! Run with: `cargo run --example wasm_embedding`
+
+use std::sync::Arc;
+
+use memwasm::wasm_core::{
+    decode_module, validate_module, ExecTier, FuncType, Imports, Instance, InstanceConfig,
+    ModuleBuilder, ValType, Value,
+};
+
+fn main() {
+    // A module computing gcd(a, b), assembled with the builder.
+    let mut b = ModuleBuilder::new();
+    let sig = FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]);
+    let gcd = b.func(sig, |f| {
+        use memwasm::wasm_core::types::BlockType;
+        use memwasm::wasm_core::Instruction as I;
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                // if b == 0 { break }
+                f.local_get(1).op(I::I32Eqz).br_if(1);
+                // (a, b) = (b, a % b)
+                let t = 1; // reuse param slot via a temp pattern
+                let _ = t;
+                let tmp = f.local(ValType::I32);
+                f.local_get(1).local_set(tmp);
+                f.local_get(0).local_get(1).op(I::I32RemU).local_set(1);
+                f.local_get(tmp).local_set(0);
+                f.br(0);
+            });
+        });
+        f.local_get(0);
+    });
+    b.export_func("gcd", gcd);
+    let bytes = b.build_bytes();
+    println!("module binary: {} bytes", bytes.len());
+
+    let module = Arc::new(decode_module(bytes).expect("decode"));
+    validate_module(&module).expect("validate");
+
+    for tier in [ExecTier::InPlace, ExecTier::Lowered] {
+        let mut inst = Instance::instantiate(
+            Arc::clone(&module),
+            Imports::new(),
+            InstanceConfig { tier, ..Default::default() },
+        )
+        .expect("instantiate");
+        let out = inst
+            .invoke("gcd", &[Value::I32(3528), Value::I32(3780)])
+            .expect("run");
+        let stats = inst.stats();
+        println!(
+            "{tier:?}: gcd(3528, 3780) = {:?} | instrs {} | side-tables {} B | lowered code {} B",
+            out[0], stats.instrs_retired, stats.side_table_bytes, stats.lowered_bytes
+        );
+    }
+    println!(
+        "\nIn-place interpretation (WAMR's strategy) keeps per-instance memory\n\
+         to a few bytes of control side-tables; the lowered tier (Wasmtime/\n\
+         Wasmer/WasmEdge strategy) trades an order of magnitude more memory\n\
+         for faster execution — multiplied by 400 containers, that is the\n\
+         paper's headline result."
+    );
+}

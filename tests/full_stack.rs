@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: full pod lifecycles through every layer.
+
+use memwasm::container_runtimes::handler::PauseHandler;
+use memwasm::container_runtimes::profile::CRUN;
+use memwasm::container_runtimes::LowLevelRuntime;
+use memwasm::containerd_sim::RuntimeClass;
+use memwasm::harness::{measure_memory, new_cluster, warmup, Config, Workload};
+use memwasm::k8s_sim::Cluster;
+use memwasm::pyrt::PythonHandler;
+use memwasm::simkernel::ProcState;
+use memwasm::wamr_crun::{WamrCrunConfig, WamrHandler};
+use memwasm::workloads::{wasm_microservice_image, MicroserviceConfig};
+
+#[test]
+fn deploy_runs_the_real_microservice() {
+    let w = Workload::light();
+    let mut cluster = new_cluster(&[Config::WamrCrun], &w).unwrap();
+    let d = cluster
+        .deploy("svc", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 3)
+        .unwrap();
+    for pod in &d.pods {
+        assert_eq!(pod.stdout, b"microservice ready\n", "{}", pod.spec.name);
+    }
+    cluster.teardown(d).unwrap();
+}
+
+#[test]
+fn teardown_restores_memory_baseline() {
+    let w = Workload::light();
+    let mut cluster = new_cluster(&[Config::WamrCrun], &w).unwrap();
+    warmup(&mut cluster, Config::WamrCrun).unwrap();
+    let before = cluster.free().used;
+    let procs_before = cluster.kernel.live_procs();
+    let d = cluster
+        .deploy("svc", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 10)
+        .unwrap();
+    assert!(cluster.free().used > before);
+    cluster.teardown(d).unwrap();
+    // Anonymous memory fully released; page cache may stay warm.
+    let after = cluster.free().used;
+    assert!(
+        after.saturating_sub(before) < 6 << 20,
+        "resident leak: before {before}, after {after} (kubelet/daemon growth only)"
+    );
+    assert_eq!(cluster.kernel.live_procs(), procs_before);
+}
+
+#[test]
+fn multiple_runtime_classes_coexist_on_one_cluster() {
+    let w = Workload::light();
+    let mut cluster =
+        new_cluster(&[Config::WamrCrun, Config::ShimWasmtime, Config::CrunPython], &w).unwrap();
+    let wamr = cluster
+        .deploy("a", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 3)
+        .unwrap();
+    let shim = cluster
+        .deploy("b", Config::ShimWasmtime.image_ref(), Config::ShimWasmtime.class_name(), 3)
+        .unwrap();
+    let py = cluster
+        .deploy("c", Config::CrunPython.image_ref(), Config::CrunPython.class_name(), 3)
+        .unwrap();
+    let a = cluster.average_working_set(&wamr).unwrap();
+    let b = cluster.average_working_set(&shim).unwrap();
+    let c = cluster.average_working_set(&py).unwrap();
+    assert!(a < b && a < c, "ours lightest: {a} vs shim {b} vs python {c}");
+    for d in [wamr, shim, py] {
+        cluster.teardown(d).unwrap();
+    }
+}
+
+#[test]
+fn oom_killed_container_via_memory_limit() {
+    // Deploy through the low-level runtime with a tiny memory limit; the
+    // kernel must OOM-kill the container when the workload commits memory.
+    let cluster = Cluster::bootstrap().unwrap();
+    let kernel = cluster.kernel.clone();
+    memwasm::engines::install_engines(&kernel).unwrap();
+    let mut store = memwasm::oci_spec_lite::ImageStore::new();
+    let image = store
+        .register(
+            &kernel,
+            wasm_microservice_image("tiny:v1", &MicroserviceConfig::default()),
+        )
+        .unwrap()
+        .clone();
+    let mut spec = memwasm::oci_spec_lite::RuntimeSpec::for_command("oom", image.command());
+    for (k, v) in &image.config.annotations {
+        spec.annotations.insert(k.clone(), v.clone());
+    }
+    spec.linux.memory.limit = Some(1 << 20); // 1 MiB: far below the module's 2.5 MiB memory
+    let bundle = memwasm::oci_spec_lite::Bundle::create(&kernel, "oom", &image, &spec).unwrap();
+
+    let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+    rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+    rt.register_handler(Box::new(PauseHandler));
+    let ctx = memwasm::container_runtimes::RuntimeCtx {
+        runtime_cgroup: kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "sys").unwrap(),
+    };
+    let pod = kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "pod-oom").unwrap();
+    let mut c = rt.create(&ctx, "oom", &bundle, pod).unwrap();
+    let container_pid = c.pid;
+    let err = rt.start(&ctx, &mut c, &bundle).unwrap_err();
+    assert!(
+        matches!(err, memwasm::simkernel::KernelError::OutOfMemory { .. }),
+        "expected OOM, got {err}"
+    );
+    assert_eq!(kernel.proc_state(container_pid).unwrap(), ProcState::OomKilled);
+    assert!(kernel.cgroup_oom_events(c.cgroup).unwrap() >= 1);
+}
+
+#[test]
+fn invalid_module_fails_cleanly() {
+    let cluster = Cluster::bootstrap().unwrap();
+    let kernel = cluster.kernel.clone();
+    memwasm::engines::install_engines(&kernel).unwrap();
+    let mut store = memwasm::oci_spec_lite::ImageStore::new();
+    let image = store
+        .register(
+            &kernel,
+            memwasm::oci_spec_lite::ImageBuilder::new("bad:v1")
+                .entrypoint(["/app/bad.wasm".to_string()])
+                .annotation(memwasm::oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
+                .file("/app/bad.wasm", &b"this is not wasm"[..]),
+        )
+        .unwrap()
+        .clone();
+    let spec = memwasm::oci_spec_lite::RuntimeSpec::for_command("bad", image.command());
+    let bundle = memwasm::oci_spec_lite::Bundle::create(&kernel, "bad", &image, &spec).unwrap();
+    let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
+    rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+    let ctx = memwasm::container_runtimes::RuntimeCtx {
+        runtime_cgroup: kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "sys").unwrap(),
+    };
+    let pod = kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "pod-bad").unwrap();
+    let mut c = rt.create(&ctx, "bad", &bundle, pod).unwrap();
+    assert!(rt.start(&ctx, &mut c, &bundle).is_err());
+}
+
+#[test]
+fn python_handler_in_hybrid_runtime_prefers_first_match() {
+    // A runtime with both WAMR and Python handlers routes by spec.
+    let w = Workload::light();
+    let mut cluster = new_cluster(&[Config::CrunPython], &w).unwrap();
+    let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+    crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+    crun.register_handler(Box::new(PythonHandler::default()));
+    crun.register_handler(Box::new(PauseHandler));
+    cluster.register_class("hybrid", RuntimeClass::Oci { runtime: crun });
+    let d = cluster
+        .deploy("py", Config::CrunPython.image_ref(), "hybrid", 2)
+        .unwrap();
+    assert_eq!(d.pods[0].stdout, b"microservice ready\n");
+    cluster.teardown(d).unwrap();
+}
+
+#[test]
+fn density_does_not_change_per_container_memory() {
+    // §IV-B: "memory overhead per container does not vary significantly
+    // between different deployment sizes".
+    let w = Workload::light();
+    let small = measure_memory(Config::WamrCrun, 5, &w).unwrap();
+    let large = measure_memory(Config::WamrCrun, 40, &w).unwrap();
+    let ratio = small.metrics_avg as f64 / large.metrics_avg as f64;
+    assert!((0.85..1.2).contains(&ratio), "metrics ratio {ratio}");
+}
+
+#[test]
+fn failed_pod_sync_rolls_back_cleanly() {
+    // A broken image (invalid Wasm) must not leak sandboxes, processes, or
+    // cgroups when the kubelet's sync fails mid-pipeline.
+    let w = Workload::light();
+    let mut cluster = new_cluster(&[Config::WamrCrun], &w).unwrap();
+    cluster
+        .pull_image(
+            memwasm::oci_spec_lite::ImageBuilder::new("broken:v1")
+                .entrypoint(["/app/bad.wasm".to_string()])
+                .annotation(memwasm::oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
+                .file("/app/bad.wasm", &b"garbage"[..]),
+        )
+        .unwrap();
+    let procs_before = cluster.kernel.live_procs();
+    let used_before = cluster.free().used;
+
+    let err = cluster.deploy("bad", "broken:v1", Config::WamrCrun.class_name(), 1);
+    assert!(err.is_err(), "broken module must fail the deployment");
+
+    assert_eq!(cluster.kernel.live_procs(), procs_before, "no leaked processes");
+    assert_eq!(cluster.kubelet.pod_count(), 0, "no leaked pod records");
+    let leaked = cluster.free().used.saturating_sub(used_before);
+    assert!(leaked < 1 << 20, "no leaked anon memory: {leaked} bytes");
+    // The node still works afterwards.
+    let d = cluster
+        .deploy("ok", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 2)
+        .unwrap();
+    assert_eq!(d.running(), 2);
+    cluster.teardown(d).unwrap();
+}

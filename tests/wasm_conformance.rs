@@ -1,0 +1,272 @@
+//! Wasm-core conformance: spec-behaviour checks run on BOTH execution
+//! tiers, so the in-place interpreter and the lowered executor must agree
+//! with the spec and with each other.
+
+use std::sync::Arc;
+
+use memwasm::wasm_core::types::BlockType;
+use memwasm::wasm_core::{
+    ExecTier, FuncType, Imports, Instance, InstanceConfig, Instruction as I, ModuleBuilder,
+    Trap, ValType, Value,
+};
+
+fn run_both(
+    build: impl Fn() -> ModuleBuilder,
+    func: &str,
+    args: &[Value],
+) -> [Result<Vec<Value>, Trap>; 2] {
+    [ExecTier::InPlace, ExecTier::Lowered].map(|tier| {
+        let module = Arc::new(build().build());
+        let mut inst = Instance::instantiate(
+            module,
+            Imports::new(),
+            InstanceConfig { tier, fuel: Some(10_000_000), ..Default::default() },
+        )
+        .expect("instantiate");
+        inst.invoke(func, args)
+    })
+}
+
+fn expect_both(build: impl Fn() -> ModuleBuilder, func: &str, args: &[Value], want: Value) {
+    let [a, b] = run_both(build, func, args);
+    assert_eq!(a.as_deref(), Ok(&[want][..]), "in-place");
+    assert_eq!(b.as_deref(), Ok(&[want][..]), "lowered");
+}
+
+fn expect_trap(build: impl Fn() -> ModuleBuilder, func: &str, args: &[Value], want: Trap) {
+    let [a, b] = run_both(build, func, args);
+    assert_eq!(a, Err(want.clone()), "in-place");
+    assert_eq!(b, Err(want), "lowered");
+}
+
+#[test]
+fn wrapping_integer_arithmetic() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(
+            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+            |f| {
+                f.local_get(0).local_get(1).op(I::I32Mul);
+            },
+        );
+        b.export_func("mul", f);
+        b
+    };
+    expect_both(build, "mul", &[Value::I32(i32::MAX), Value::I32(2)], Value::I32(-2));
+}
+
+#[test]
+fn division_traps_on_both_tiers() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(
+            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+            |f| {
+                f.local_get(0).local_get(1).op(I::I32DivS);
+            },
+        );
+        b.export_func("div", f);
+        b
+    };
+    expect_trap(build, "div", &[Value::I32(1), Value::I32(0)], Trap::IntegerDivideByZero);
+    expect_trap(
+        build,
+        "div",
+        &[Value::I32(i32::MIN), Value::I32(-1)],
+        Trap::IntegerOverflow,
+    );
+    expect_both(build, "div", &[Value::I32(-7), Value::I32(2)], Value::I32(-3));
+}
+
+#[test]
+fn float_to_int_conversions() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![ValType::F64], vec![ValType::I32]), |f| {
+            f.local_get(0).op(I::I32TruncF64S);
+        });
+        b.export_func("trunc", f);
+        b
+    };
+    expect_both(build, "trunc", &[Value::F64(-3.99)], Value::I32(-3));
+    expect_trap(build, "trunc", &[Value::F64(f64::NAN)], Trap::InvalidConversionToInteger);
+    expect_trap(build, "trunc", &[Value::F64(3e10)], Trap::IntegerOverflow);
+}
+
+#[test]
+fn memory_grow_and_bounds() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, Some(2));
+        let f = b.func(FuncType::new(vec![], vec![ValType::I32]), |f| {
+            // grow(1) returns old size 1; grow(5) fails with -1; sum = 0.
+            f.i32_const(1).op(I::MemoryGrow);
+            f.i32_const(5).op(I::MemoryGrow);
+            f.op(I::I32Add);
+        });
+        b.export_func("grow", f);
+        let oob = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            f.local_get(0).i32_load(0);
+        });
+        b.export_func("load", oob);
+        b
+    };
+    expect_both(build, "grow", &[], Value::I32(0));
+    expect_trap(build, "load", &[Value::I32(70 << 10)], Trap::MemoryOutOfBounds);
+    expect_both(build, "load", &[Value::I32(0)], Value::I32(0));
+}
+
+#[test]
+fn globals_and_start_function() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let g = b.global(
+            ValType::I64,
+            true,
+            memwasm::wasm_core::module::ConstExpr::I64(5),
+        );
+        let init = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.global_get(g).op(I::I64Const(37)).op(I::I64Add).global_set(g);
+        });
+        b.start(init);
+        let read = b.func(FuncType::new(vec![], vec![ValType::I64]), |f| {
+            f.global_get(g);
+        });
+        b.export_func("read", read);
+        b
+    };
+    expect_both(build, "read", &[], Value::I64(42));
+}
+
+#[test]
+fn block_results_flow_through_branches() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            f.block(BlockType::Value(ValType::I32), |f| {
+                // Either branch carries an i32 out of the block.
+                f.i32_const(111);
+                f.local_get(0).br_if(0);
+                f.drop_();
+                f.i32_const(222);
+            });
+        });
+        b.export_func("pick", f);
+        b
+    };
+    expect_both(build, "pick", &[Value::I32(1)], Value::I32(111));
+    expect_both(build, "pick", &[Value::I32(0)], Value::I32(222));
+}
+
+#[test]
+fn loop_branch_carries_params_to_loop_head() {
+    // A loop with a block-type from the type section (params via Func).
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        // Countdown using a loop whose label is branched to with br_if.
+        let f = b.func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), |f| {
+            let sum = f.local(ValType::I32);
+            f.block(BlockType::Empty, |f| {
+                f.loop_(BlockType::Empty, |f| {
+                    f.local_get(0).op(I::I32Eqz).br_if(1);
+                    f.local_get(sum).local_get(0).op(I::I32Add).local_set(sum);
+                    f.local_get(0).i32_const(1).op(I::I32Sub).local_set(0);
+                    f.br(0);
+                });
+            });
+            f.local_get(sum);
+        });
+        b.export_func("sum", f);
+        b
+    };
+    expect_both(build, "sum", &[Value::I32(1000)], Value::I32(500500));
+}
+
+#[test]
+fn nan_propagation_bitpatterns_agree() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(
+            FuncType::new(vec![ValType::F64, ValType::F64], vec![ValType::I64]),
+            |f| {
+                f.local_get(0).local_get(1).op(I::F64Min).op(I::I64ReinterpretF64);
+            },
+        );
+        b.export_func("minbits", f);
+        b
+    };
+    let [a, b] = run_both(build, "minbits", &[Value::F64(f64::NAN), Value::F64(1.0)]);
+    assert_eq!(a, b, "tiers agree on NaN bit patterns");
+}
+
+#[test]
+fn select_and_shift_semantics() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(
+            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+            |f| {
+                // select(a << 33, a >> 1, cond=b)
+                f.local_get(0).i32_const(33).op(I::I32Shl);
+                f.local_get(0).i32_const(1).op(I::I32ShrU);
+                f.local_get(1);
+                f.op(I::Select);
+            },
+        );
+        b.export_func("f", f);
+        b
+    };
+    // Shift count masked: 1 << 33 == 2.
+    expect_both(build, "f", &[Value::I32(1), Value::I32(1)], Value::I32(2));
+    expect_both(build, "f", &[Value::I32(8), Value::I32(0)], Value::I32(4));
+}
+
+#[test]
+fn call_indirect_type_mismatch_traps() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let sig_i32 = FuncType::new(vec![], vec![ValType::I32]);
+        let sig_i64 = FuncType::new(vec![], vec![ValType::I64]);
+        let f_i64 = b.func(sig_i64, |f| {
+            f.op(I::I64Const(1));
+        });
+        b.table(1, Some(1));
+        b.elem(0, vec![f_i64]);
+        let sig_i32_idx_holder = sig_i32.clone();
+        let caller = b.func(sig_i32, move |f| {
+            let _ = &sig_i32_idx_holder;
+            // type index 0 is () -> i64... depends on interning order; use
+            // call_indirect with the *other* signature's type idx.
+            f.i32_const(0).call_indirect(1);
+        });
+        b.export_func("call", caller);
+        b
+    };
+    // Type index 1 is () -> (i32) (interned second); the table holds an
+    // () -> (i64) function: mismatch.
+    expect_trap(build, "call", &[], Trap::IndirectCallTypeMismatch);
+}
+
+#[test]
+fn fuel_limits_agree() {
+    let build = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.loop_(BlockType::Empty, |f| {
+                f.br(0);
+            });
+        });
+        b.export_func("spin", f);
+        b
+    };
+    for tier in [ExecTier::InPlace, ExecTier::Lowered] {
+        let module = Arc::new(build().build());
+        let mut inst = Instance::instantiate(
+            module,
+            Imports::new(),
+            InstanceConfig { tier, fuel: Some(1_000), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(inst.invoke("spin", &[]), Err(Trap::OutOfFuel), "{tier:?}");
+    }
+}
