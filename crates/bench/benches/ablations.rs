@@ -10,13 +10,13 @@
 //!   runwasi sandboxes (shim-is-the-container).
 //!
 //! Each ablation prints its measured effect once, then times the underlying
-//! experiment.
+//! experiment on the `mwc_bench::timing` harness.
 
 use std::sync::Arc;
 
 use containerd_sim::RuntimeClass;
-use criterion::{criterion_group, criterion_main, Criterion};
 use harness::{mb, measure_memory, new_cluster, Config, Workload};
+use mwc_bench::timing::bench;
 use mwc_bench::{bench_workload, BENCH_DENSITY};
 use wamr_crun::{wamr_crun_runtime, WamrCrunConfig};
 use wasm_core::{decode_module, ExecTier, Imports, Instance, InstanceConfig};
@@ -30,9 +30,8 @@ fn wamr_memory(w: &Workload, config: WamrCrunConfig) -> u64 {
     cluster
         .pull_image(workloads::wasm_microservice_image(Config::WamrCrun.image_ref(), &w.wasm))
         .expect("image");
-    let warm = cluster
-        .deploy("warm", Config::WamrCrun.image_ref(), "wamr-ablate", 1)
-        .expect("warm");
+    let warm =
+        cluster.deploy("warm", Config::WamrCrun.image_ref(), "wamr-ablate", 1).expect("warm");
     cluster.teardown(warm).expect("warm teardown");
     let d = cluster
         .deploy("a", Config::WamrCrun.image_ref(), "wamr-ablate", BENCH_DENSITY)
@@ -40,7 +39,7 @@ fn wamr_memory(w: &Workload, config: WamrCrunConfig) -> u64 {
     cluster.average_working_set(&d).expect("metrics")
 }
 
-fn ablation_dlopen(c: &mut Criterion) {
+fn ablation_dlopen() {
     let w = bench_workload();
     let shared = wamr_memory(&w, WamrCrunConfig::default());
     let private = wamr_memory(
@@ -53,30 +52,27 @@ fn ablation_dlopen(c: &mut Criterion) {
         mb(private),
         (private as f64 / shared as f64 - 1.0) * 100.0
     );
-    c.bench_function("ablation_dlopen_shared", |b| {
-        b.iter(|| std::hint::black_box(wamr_memory(&w, WamrCrunConfig::default())))
+    bench("ablation_dlopen_shared", || {
+        std::hint::black_box(wamr_memory(&w, WamrCrunConfig::default()))
     });
-    c.bench_function("ablation_dlopen_private", |b| {
-        b.iter(|| {
-            std::hint::black_box(wamr_memory(
-                &w,
-                WamrCrunConfig {
-                    dynamic_lib_loading: false,
-                    share_modules: false,
-                    ..Default::default()
-                },
-            ))
-        })
+    bench("ablation_dlopen_private", || {
+        std::hint::black_box(wamr_memory(
+            &w,
+            WamrCrunConfig {
+                dynamic_lib_loading: false,
+                share_modules: false,
+                ..Default::default()
+            },
+        ))
     });
 }
 
-fn ablation_inplace(c: &mut Criterion) {
+fn ablation_inplace() {
     let bytes = workloads::microservice_module(&bench_workload().wasm);
     let module = Arc::new(decode_module(bytes).expect("decode"));
     let run = |tier: ExecTier| {
-        let imports = Imports::new().func("wasi_snapshot_preview1", "fd_write", |_, _| {
-            Ok(vec![wasm_core::Value::I32(0)])
-        });
+        let imports = Imports::new()
+            .func("wasi_snapshot_preview1", "fd_write", |_, _| Ok(vec![wasm_core::Value::I32(0)]));
         let mut inst = Instance::instantiate(
             Arc::clone(&module),
             imports,
@@ -94,21 +90,22 @@ fn ablation_inplace(c: &mut Criterion) {
         b.lowered_bytes,
         b.lowered_bytes / module.code_size().max(1)
     );
-    c.bench_function("ablation_inplace_interp", |x| {
-        x.iter(|| std::hint::black_box(run(ExecTier::InPlace)))
-    });
-    c.bench_function("ablation_inplace_lowered", |x| {
-        x.iter(|| std::hint::black_box(run(ExecTier::Lowered)))
-    });
+    bench("ablation_inplace_interp", || std::hint::black_box(run(ExecTier::InPlace)));
+    bench("ablation_inplace_lowered", || std::hint::black_box(run(ExecTier::Lowered)));
 }
 
-fn ablation_module_cache(c: &mut Criterion) {
+fn ablation_module_cache() {
     let w = bench_workload();
     // Cold: fresh cluster, no warm-up pod → the first container compiles.
     let cold = {
         let mut cluster = new_cluster(&[Config::CrunWasmtime], &w).expect("cluster");
         let d = cluster
-            .deploy("c", Config::CrunWasmtime.image_ref(), Config::CrunWasmtime.class_name(), BENCH_DENSITY)
+            .deploy(
+                "c",
+                Config::CrunWasmtime.image_ref(),
+                Config::CrunWasmtime.class_name(),
+                BENCH_DENSITY,
+            )
             .expect("deploy");
         cluster.measure_startup(&[&d]).total()
     };
@@ -120,7 +117,12 @@ fn ablation_module_cache(c: &mut Criterion) {
             .expect("warm");
         cluster.teardown(warm).expect("teardown");
         let d = cluster
-            .deploy("c", Config::CrunWasmtime.image_ref(), Config::CrunWasmtime.class_name(), BENCH_DENSITY)
+            .deploy(
+                "c",
+                Config::CrunWasmtime.image_ref(),
+                Config::CrunWasmtime.class_name(),
+                BENCH_DENSITY,
+            )
             .expect("deploy");
         cluster.measure_startup(&[&d]).total()
     };
@@ -130,23 +132,21 @@ fn ablation_module_cache(c: &mut Criterion) {
         warm,
         (1.0 - warm.as_nanos() as f64 / cold.as_nanos() as f64) * 100.0
     );
-    c.bench_function("ablation_module_cache_warm", |b| {
-        b.iter(|| {
-            let mut cluster = new_cluster(&[Config::CrunWasmtime], &w).expect("cluster");
-            let d = cluster
-                .deploy(
-                    "c",
-                    Config::CrunWasmtime.image_ref(),
-                    Config::CrunWasmtime.class_name(),
-                    BENCH_DENSITY,
-                )
-                .expect("deploy");
-            std::hint::black_box(cluster.measure_startup(&[&d]).total())
-        })
+    bench("ablation_module_cache_warm", || {
+        let mut cluster = new_cluster(&[Config::CrunWasmtime], &w).expect("cluster");
+        let d = cluster
+            .deploy(
+                "c",
+                Config::CrunWasmtime.image_ref(),
+                Config::CrunWasmtime.class_name(),
+                BENCH_DENSITY,
+            )
+            .expect("deploy");
+        std::hint::black_box(cluster.measure_startup(&[&d]).total())
     });
 }
 
-fn ablation_pause(c: &mut Criterion) {
+fn ablation_pause() {
     let w = bench_workload();
     let oci = measure_memory(Config::WamrCrun, BENCH_DENSITY, &w).expect("oci");
     let runwasi = measure_memory(Config::ShimWasmtime, BENCH_DENSITY, &w).expect("runwasi");
@@ -162,17 +162,17 @@ fn ablation_pause(c: &mut Criterion) {
         mb(oci.free_per_pod - oci.metrics_avg),
         mb(runwasi.free_per_pod - runwasi.metrics_avg),
     );
-    c.bench_function("ablation_pause_oci_sandbox", |b| {
-        b.iter(|| std::hint::black_box(measure_memory(Config::WamrCrun, BENCH_DENSITY, &w)))
+    bench("ablation_pause_oci_sandbox", || {
+        std::hint::black_box(measure_memory(Config::WamrCrun, BENCH_DENSITY, &w))
     });
-    c.bench_function("ablation_pause_runwasi_sandbox", |b| {
-        b.iter(|| std::hint::black_box(measure_memory(Config::ShimWasmtime, BENCH_DENSITY, &w)))
+    bench("ablation_pause_runwasi_sandbox", || {
+        std::hint::black_box(measure_memory(Config::ShimWasmtime, BENCH_DENSITY, &w))
     });
 }
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = ablation_dlopen, ablation_inplace, ablation_module_cache, ablation_pause
+fn main() {
+    ablation_dlopen();
+    ablation_inplace();
+    ablation_module_cache();
+    ablation_pause();
 }
-criterion_main!(ablations);

@@ -1,12 +1,12 @@
-//! One Criterion bench per paper table/figure.
+//! One bench per paper table/figure, on the `mwc_bench::timing` harness.
 //!
 //! Each bench regenerates its table/figure at bench-sized density inside
 //! the timing loop (the measured quantity is the end-to-end simulation of
 //! that experiment) and prints the resulting series once up front so a
 //! bench run doubles as a figure regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use harness::{figures, measure_memory, measure_startup, mb, Config};
+use harness::{figures, mb, measure_memory, measure_startup, Config};
+use mwc_bench::timing::bench;
 use mwc_bench::{bench_workload, figure_configs, BENCH_DENSITY};
 
 fn print_once(title: &str, rows: &[(Config, f64)], unit: &str) {
@@ -16,17 +16,17 @@ fn print_once(title: &str, rows: &[(Config, f64)], unit: &str) {
     }
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1() {
     println!("\n{}", figures::table1());
-    c.bench_function("table1_stack", |b| b.iter(figures::table1));
+    bench("table1_stack", figures::table1);
 }
 
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2() {
     println!("\n{}", figures::table2());
-    c.bench_function("table2_overview", |b| b.iter(figures::table2));
+    bench("table2_overview", figures::table2);
 }
 
-fn memory_figure_bench(c: &mut Criterion, id: &str, figure: u8, use_free: bool) {
+fn memory_figure_bench(id: &str, figure: u8, use_free: bool) {
     let w = bench_workload();
     let configs = figure_configs(figure);
     let rows: Vec<(Config, f64)> = configs
@@ -37,36 +37,14 @@ fn memory_figure_bench(c: &mut Criterion, id: &str, figure: u8, use_free: bool) 
         })
         .collect();
     print_once(id, &rows, "MB/ctr");
-    c.bench_function(id, |b| {
-        b.iter(|| {
-            for &cfg in &configs {
-                std::hint::black_box(measure_memory(cfg, BENCH_DENSITY, &w).expect("measure"));
-            }
-        })
+    bench(id, || {
+        for &cfg in &configs {
+            std::hint::black_box(measure_memory(cfg, BENCH_DENSITY, &w).expect("measure"));
+        }
     });
 }
 
-fn bench_fig3(c: &mut Criterion) {
-    memory_figure_bench(c, "fig3_memory_crun_metrics", 3, false);
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    memory_figure_bench(c, "fig4_memory_crun_free", 4, true);
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    memory_figure_bench(c, "fig5_memory_runwasi", 5, true);
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    memory_figure_bench(c, "fig6_memory_python_metrics", 6, false);
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    memory_figure_bench(c, "fig7_memory_python_free", 7, true);
-}
-
-fn startup_figure_bench(c: &mut Criterion, id: &str, density: usize) {
+fn startup_figure_bench(id: &str, density: usize) {
     let w = bench_workload();
     let rows: Vec<(Config, f64)> = Config::ALL
         .iter()
@@ -78,25 +56,14 @@ fn startup_figure_bench(c: &mut Criterion, id: &str, density: usize) {
     print_once(id, &rows, "s (simulated)");
     // Benching all nine configurations per iteration is slow; time the
     // contribution + the closest competitor.
-    c.bench_function(id, |b| {
-        b.iter(|| {
-            for cfg in [Config::WamrCrun, Config::ShimWasmtime] {
-                std::hint::black_box(measure_startup(cfg, density, &w).expect("measure"));
-            }
-        })
+    bench(id, || {
+        for cfg in [Config::WamrCrun, Config::ShimWasmtime] {
+            std::hint::black_box(measure_startup(cfg, density, &w).expect("measure"));
+        }
     });
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    startup_figure_bench(c, "fig8_startup_10", 10);
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    // The paper uses 400; contention already shows at bench scale.
-    startup_figure_bench(c, "fig9_startup_dense", 48);
-}
-
-fn bench_fig10(c: &mut Criterion) {
+fn bench_fig10() {
     let w = bench_workload();
     let rows: Vec<(Config, f64)> = Config::ALL
         .iter()
@@ -106,19 +73,23 @@ fn bench_fig10(c: &mut Criterion) {
         })
         .collect();
     print_once("fig10_overview", &rows, "MB/ctr");
-    c.bench_function("fig10_overview", |b| {
-        b.iter(|| {
-            for &cfg in Config::ALL.iter() {
-                std::hint::black_box(measure_memory(cfg, BENCH_DENSITY, &w).expect("measure"));
-            }
-        })
+    bench("fig10_overview", || {
+        for &cfg in Config::ALL.iter() {
+            std::hint::black_box(measure_memory(cfg, BENCH_DENSITY, &w).expect("measure"));
+        }
     });
 }
 
-criterion_group! {
-    name = figures_group;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_table2, bench_fig3, bench_fig4, bench_fig5,
-              bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_fig10
+fn main() {
+    bench_table1();
+    bench_table2();
+    memory_figure_bench("fig3_memory_crun_metrics", 3, false);
+    memory_figure_bench("fig4_memory_crun_free", 4, true);
+    memory_figure_bench("fig5_memory_runwasi", 5, true);
+    memory_figure_bench("fig6_memory_python_metrics", 6, false);
+    memory_figure_bench("fig7_memory_python_free", 7, true);
+    startup_figure_bench("fig8_startup_10", 10);
+    // The paper uses 400; contention already shows at bench scale.
+    startup_figure_bench("fig9_startup_dense", 48);
+    bench_fig10();
 }
-criterion_main!(figures_group);

@@ -1,10 +1,10 @@
 //! Microbenchmarks of the Wasm substrate: the pipeline stages whose costs
 //! the engine profiles model (decode, validate, side-table build, lowering,
-//! execution on both tiers).
+//! execution on both tiers). Runs on the `mwc_bench::timing` harness.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mwc_bench::timing::bench;
 use wasm_core::interp::SideTable;
 use wasm_core::lowered::lower_function;
 use wasm_core::{
@@ -19,77 +19,60 @@ fn module_bytes() -> Vec<u8> {
     })
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     let bytes = module_bytes();
-    let mut g = c.benchmark_group("wasm_decode");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("decode_module", |b| {
-        b.iter(|| std::hint::black_box(decode_module(bytes.clone()).unwrap()))
-    });
-    g.finish();
+    println!("wasm_decode ({} module bytes)", bytes.len());
+    bench("decode_module", || std::hint::black_box(decode_module(bytes.clone()).unwrap()));
 }
 
-fn bench_validate(c: &mut Criterion) {
+fn bench_validate() {
     let module = decode_module(module_bytes()).unwrap();
-    let mut g = c.benchmark_group("wasm_validate");
-    g.throughput(Throughput::Bytes(module.code_size()));
-    g.bench_function("validate_module", |b| {
-        b.iter(|| validate_module(std::hint::black_box(&module)).unwrap())
-    });
-    g.finish();
+    println!("wasm_validate ({} code bytes)", module.code_size());
+    bench("validate_module", || validate_module(std::hint::black_box(&module)).unwrap());
 }
 
-fn bench_side_tables(c: &mut Criterion) {
+fn bench_side_tables() {
     let module = decode_module(module_bytes()).unwrap();
-    c.bench_function("side_table_build_all", |b| {
-        b.iter(|| {
-            for body in &module.bodies {
-                std::hint::black_box(SideTable::build(&body.code).unwrap());
-            }
-        })
+    bench("side_table_build_all", || {
+        for body in &module.bodies {
+            std::hint::black_box(SideTable::build(&body.code).unwrap());
+        }
     });
 }
 
-fn bench_lowering(c: &mut Criterion) {
+fn bench_lowering() {
     let module = decode_module(module_bytes()).unwrap();
     let imported = module.num_imported_funcs();
-    c.bench_function("lower_all_functions", |b| {
-        b.iter(|| {
-            for i in 0..module.funcs.len() as u32 {
-                std::hint::black_box(lower_function(&module, imported + i).unwrap());
-            }
-        })
+    bench("lower_all_functions", || {
+        for i in 0..module.funcs.len() as u32 {
+            std::hint::black_box(lower_function(&module, imported + i).unwrap());
+        }
     });
 }
 
-fn bench_execution(c: &mut Criterion) {
+fn bench_execution() {
     let module = Arc::new(decode_module(module_bytes()).unwrap());
-    for (name, tier) in [("exec_inplace", ExecTier::InPlace), ("exec_lowered", ExecTier::Lowered)]
-    {
+    for (name, tier) in [("exec_inplace", ExecTier::InPlace), ("exec_lowered", ExecTier::Lowered)] {
         let module = Arc::clone(&module);
-        c.bench_function(name, move |b| {
-            b.iter(|| {
-                let imports = Imports::new().func(
-                    "wasi_snapshot_preview1",
-                    "fd_write",
-                    |_, _| Ok(vec![Value::I32(0)]),
-                );
-                let mut inst = Instance::instantiate(
-                    Arc::clone(&module),
-                    imports,
-                    InstanceConfig { tier, fuel: Some(50_000_000), ..Default::default() },
-                )
-                .unwrap();
-                inst.run_start().unwrap();
-                std::hint::black_box(inst.stats())
-            })
+        bench(name, move || {
+            let imports = Imports::new()
+                .func("wasi_snapshot_preview1", "fd_write", |_, _| Ok(vec![Value::I32(0)]));
+            let mut inst = Instance::instantiate(
+                Arc::clone(&module),
+                imports,
+                InstanceConfig { tier, fuel: Some(50_000_000), ..Default::default() },
+            )
+            .unwrap();
+            inst.run_start().unwrap();
+            std::hint::black_box(inst.stats())
         });
     }
 }
 
-criterion_group! {
-    name = wasm_core_benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_decode, bench_validate, bench_side_tables, bench_lowering, bench_execution
+fn main() {
+    bench_decode();
+    bench_validate();
+    bench_side_tables();
+    bench_lowering();
+    bench_execution();
 }
-criterion_main!(wasm_core_benches);

@@ -103,10 +103,15 @@ impl Containerd {
         )?;
         let daemon_pid = kernel.spawn("containerd", system_cgroup)?;
         let bin = kernel.lookup(DAEMON_BINARY)?;
-        let map =
-            kernel.mmap_labeled(daemon_pid, DAEMON_BINARY_SIZE, MapKind::FileShared(bin), "containerd")?;
+        let map = kernel.mmap_labeled(
+            daemon_pid,
+            DAEMON_BINARY_SIZE,
+            MapKind::FileShared(bin),
+            "containerd",
+        )?;
         kernel.touch(daemon_pid, map, DAEMON_BINARY_SIZE / 2)?;
-        let heap = kernel.mmap_labeled(daemon_pid, DAEMON_HEAP, MapKind::AnonPrivate, "daemon-heap")?;
+        let heap =
+            kernel.mmap_labeled(daemon_pid, DAEMON_HEAP, MapKind::AnonPrivate, "daemon-heap")?;
         kernel.touch(daemon_pid, heap, DAEMON_HEAP)?;
 
         let pause_image = images
@@ -145,9 +150,12 @@ impl Containerd {
 
     /// Charge daemon metadata growth.
     fn grow_daemon(&self, bytes: u64) -> KernelResult<()> {
-        let m = self
-            .kernel
-            .mmap_labeled(self.daemon_pid, bytes, MapKind::AnonPrivate, "daemon-meta")?;
+        let m = self.kernel.mmap_labeled(
+            self.daemon_pid,
+            bytes,
+            MapKind::AnonPrivate,
+            "daemon-meta",
+        )?;
         self.kernel.touch(self.daemon_pid, m, bytes)
     }
 
@@ -224,13 +232,8 @@ impl Containerd {
                         )));
                     }
                 };
-                let shim = spawn_shim(
-                    &self.kernel,
-                    profile,
-                    pod_cgroup,
-                    TASK_SERVICE_LOCK,
-                    &mut steps,
-                )?;
+                let shim =
+                    spawn_shim(&self.kernel, profile, pod_cgroup, TASK_SERVICE_LOCK, &mut steps)?;
                 // The shim holds the sandbox itself (no pause process); a
                 // small allocation models its sandbox bookkeeping.
                 let m = self.kernel.mmap_labeled(
@@ -301,8 +304,7 @@ impl Containerd {
         let oci = match class {
             RuntimeClass::Oci { runtime } => {
                 let ctx = RuntimeCtx { runtime_cgroup: self.system_cgroup };
-                let mut c = match runtime.create(&ctx, container_id, &bundle, sandbox.pod_cgroup)
-                {
+                let mut c = match runtime.create(&ctx, container_id, &bundle, sandbox.pod_cgroup) {
                     Ok(c) => c,
                     Err(e) => {
                         // A failed create must leave the container id
@@ -448,8 +450,7 @@ mod tests {
         install_runtimes(&kernel).unwrap();
         let system = kernel.cgroup_create(Kernel::ROOT_CGROUP, "system").unwrap();
         let kubepods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "kubepods").unwrap();
-        let mut cd =
-            Containerd::boot(kernel.clone(), system, kubepods, ImageStore::new()).unwrap();
+        let mut cd = Containerd::boot(kernel.clone(), system, kubepods, ImageStore::new()).unwrap();
 
         // Classes: wamr-crun and a runwasi example.
         let mut crun = LowLevelRuntime::new(kernel.clone(), &CRUN);

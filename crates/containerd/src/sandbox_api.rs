@@ -17,9 +17,7 @@
 use container_runtimes::handler::wasi_spec_from_oci;
 use engines::{execute_wasm_opts, Embedding, EngineKind, ExecOptions};
 use oci_spec_lite::{Bundle, Image, RuntimeSpec};
-use simkernel::{
-    CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step,
-};
+use simkernel::{CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step};
 
 /// A sandbox hosting multiple Wasm containers in one process.
 pub struct WasmSandbox {
@@ -62,15 +60,14 @@ impl WasmSandboxer {
 
     /// Create a pod sandbox: one process in the pod cgroup, engine loaded
     /// lazily on the first container.
-    pub fn create_sandbox(
-        &self,
-        pod_id: &str,
-        pod_cgroup: CgroupId,
-    ) -> KernelResult<WasmSandbox> {
+    pub fn create_sandbox(&self, pod_id: &str, pod_cgroup: CgroupId) -> KernelResult<WasmSandbox> {
         let pid = self.kernel.spawn(&format!("wasm-sandbox:{pod_id}"), pod_cgroup)?;
-        let base =
-            self.kernel
-                .mmap_labeled(pid, SANDBOX_PROCESS_BASE, MapKind::AnonPrivate, "sandbox-base")?;
+        let base = self.kernel.mmap_labeled(
+            pid,
+            SANDBOX_PROCESS_BASE,
+            MapKind::AnonPrivate,
+            "sandbox-base",
+        )?;
         self.kernel.touch(pid, base, SANDBOX_PROCESS_BASE)?;
         Ok(WasmSandbox {
             pod_id: pod_id.to_string(),
@@ -104,7 +101,8 @@ impl WasmSandboxer {
                 spec.process.args
             )));
         }
-        let bundle = Bundle::create(&self.kernel, &format!("{}-{id}", sandbox.pod_id), image, &spec)?;
+        let bundle =
+            Bundle::create(&self.kernel, &format!("{}-{id}", sandbox.pod_id), image, &spec)?;
         let resolved = container_runtimes::handler::resolve_module(&bundle, &spec);
         let module = match resolved {
             Ok(m) => m,
@@ -198,7 +196,7 @@ fn instance_only(
     wasi: &engines::WasiSpec,
     fuel: u64,
 ) -> KernelResult<engines::EngineRun> {
-    use bytes::Bytes;
+    use bytelite::Bytes;
     use wasm_core::{decode_module, Instance, InstanceConfig, Trap};
 
     let profile = engine.profile();
@@ -245,11 +243,20 @@ fn instance_only(
         let m = kernel.mmap_labeled(pid, code_bytes, MapKind::AnonPrivate, "jit-code")?;
         kernel.touch(pid, m, code_bytes)?;
     } else if stats.side_table_bytes > 0 {
-        let m = kernel.mmap_labeled(pid, stats.side_table_bytes, MapKind::AnonPrivate, "side-tables")?;
+        let m = kernel.mmap_labeled(
+            pid,
+            stats.side_table_bytes,
+            MapKind::AnonPrivate,
+            "side-tables",
+        )?;
         kernel.touch(pid, m, stats.side_table_bytes)?;
     }
-    let meta =
-        kernel.mmap_labeled(pid, profile.embedded_per_instance, MapKind::AnonPrivate, "instance-meta")?;
+    let meta = kernel.mmap_labeled(
+        pid,
+        profile.embedded_per_instance,
+        MapKind::AnonPrivate,
+        "instance-meta",
+    )?;
     kernel.touch(pid, meta, profile.embedded_per_instance)?;
     if let Some(mem) = inst.memory() {
         let bytes = mem.size_bytes() as u64;

@@ -129,7 +129,8 @@ pub fn spawn_shim(
     let bin = kernel.lookup(profile.binary_path)?;
     let resident = (profile.binary_size as f64 * profile.binary_resident_fraction) as u64;
     let cold = kernel.file_cached(bin)? < resident;
-    let map = kernel.mmap_labeled(pid, profile.binary_size, MapKind::FileShared(bin), profile.name)?;
+    let map =
+        kernel.mmap_labeled(pid, profile.binary_size, MapKind::FileShared(bin), profile.name)?;
     kernel.touch(pid, map, resident)?;
     let heap = kernel.mmap_labeled(pid, profile.private_base, MapKind::AnonPrivate, "shim-heap")?;
     kernel.touch(pid, heap, profile.private_base)?;

@@ -245,10 +245,7 @@ mod tests {
         let pod = w.kernel.cgroup_create(w.pods, "pod-h").unwrap();
         let spec = RuntimeSpec::for_command("pause", vec!["/pause".to_string()]);
         let mut store = ImageStore::new();
-        let pause_img = store
-            .register(&w.kernel, ImageBuilder::new("pause:3.9"))
-            .unwrap()
-            .clone();
+        let pause_img = store.register(&w.kernel, ImageBuilder::new("pause:3.9")).unwrap().clone();
         let bundle = Bundle::create(&w.kernel, "pause-h", &pause_img, &spec).unwrap();
         let mut c = rt.create(&w.ctx, "pause-h", &bundle, pod).unwrap();
         rt.start(&w.ctx, &mut c, &bundle).unwrap();

@@ -7,10 +7,10 @@
 //! The container runtimes (crun handlers) and the runwasi shims are thin
 //! wrappers around this function; the figures fall out of what it charges.
 
-use bytes::Bytes;
+use bytelite::Bytes;
 use simkernel::{Duration, FileId, Kernel, KernelResult, MapKind, Pid, Step};
 use wasi_sys::WasiCtx;
-use wasm_core::{decode_module, ExecStats, Instance, InstanceConfig, Trap};
+use wasm_core::{ArtifactCache, ExecStats, Instance, InstanceConfig, Trap};
 
 use crate::profile::{EngineKind, EngineProfile};
 
@@ -162,8 +162,7 @@ pub fn execute_wasm_opts(
         Embedding::CApi => (profile.runtime_baseline, profile.per_instance_overhead),
         Embedding::Crate => (profile.embedded_baseline, profile.embedded_per_instance),
     };
-    let baseline =
-        kernel.mmap_labeled(pid, baseline_bytes, MapKind::AnonPrivate, "engine-heap")?;
+    let baseline = kernel.mmap_labeled(pid, baseline_bytes, MapKind::AnonPrivate, "engine-heap")?;
     kernel.touch(pid, baseline, baseline_bytes)?;
     steps.push(Step::Cpu(profile.init));
     steps.push(Step::Io(match opts.embedding {
@@ -196,20 +195,20 @@ pub fn execute_wasm_opts(
         .read_file(pid, module_file)?
         .ok_or_else(|| simkernel::KernelError::InvalidState("module has no content".into()))?;
 
-    // Decode + validate (validation happens inside instantiate; its cost
-    // is charged here, per container, for every engine).
-    let module = std::sync::Arc::new(
-        decode_module(bytes.clone())
-            .map_err(|e| simkernel::KernelError::InvalidState(format!("bad module: {e}")))?,
-    );
-    steps.push(Step::Cpu(Duration::from_nanos(
-        module_size * profile.validate_ns_per_byte,
-    )));
+    // Decode + validate through the process-wide artifact cache: the host
+    // decodes and validates each distinct module once and shares the
+    // result across containers, clusters, and worker threads. The
+    // *simulated* validation cost is unchanged — still charged here, per
+    // container, for every engine.
+    let module = ArtifactCache::global()
+        .get_or_decode(&bytes)
+        .map_err(|e| simkernel::KernelError::InvalidState(format!("bad module: {e}")))?;
+    steps.push(Step::Cpu(Duration::from_nanos(module_size * profile.validate_ns_per_byte)));
 
     // --- WASI context ----------------------------------------------------
-    let mut ctx = WasiCtx::new(kernel.clone(), pid).args(wasi.args.iter().cloned()).envs(
-        wasi.env.iter().cloned(),
-    );
+    let mut ctx = WasiCtx::new(kernel.clone(), pid)
+        .args(wasi.args.iter().cloned())
+        .envs(wasi.env.iter().cloned());
     for (guest, host) in &wasi.preopens {
         ctx = ctx.preopen(guest.clone(), host.clone());
     }
@@ -218,7 +217,9 @@ pub fn execute_wasm_opts(
 
     // --- instantiate (and compile, for eager tiers) ---------------------
     let config = InstanceConfig { tier: profile.tier, fuel: Some(fuel), ..Default::default() };
-    let mut inst = Instance::instantiate(module, ctx.into_imports(), config)
+    // The cache validated the module on insertion; skip re-validating per
+    // container.
+    let mut inst = Instance::instantiate_prevalidated(module, ctx.into_imports(), config)
         .map_err(|e| simkernel::KernelError::InvalidState(format!("instantiate: {e}")))?;
     steps.push(Step::Cpu(profile.instantiate));
 
@@ -226,14 +227,10 @@ pub fn execute_wasm_opts(
     let exit_code = match inst.run_start() {
         Ok(()) => 0,
         Err(Trap::Exit(code)) => code,
-        Err(t) => {
-            return Err(simkernel::KernelError::InvalidState(format!("guest trapped: {t}")))
-        }
+        Err(t) => return Err(simkernel::KernelError::InvalidState(format!("guest trapped: {t}"))),
     };
     let stats = inst.stats();
-    steps.push(Step::Cpu(Duration::from_nanos(
-        stats.instrs_retired * profile.exec_ns_per_instr,
-    )));
+    steps.push(Step::Cpu(Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr)));
 
     // --- charge what the run actually built -----------------------------
     let mut cache_hit = false;
@@ -277,17 +274,12 @@ pub fn execute_wasm_opts(
                 }
             }
         } else {
-            steps.push(Step::Cpu(Duration::from_nanos(
-                module_size * profile.compile_ns_per_byte,
-            )));
+            steps.push(Step::Cpu(Duration::from_nanos(module_size * profile.compile_ns_per_byte)));
         }
         // On a cache hit the raw code bytes already live in the COW'd
         // artifact mapping; only the codegen metadata share remains.
-        let anon_code = if cache_hit {
-            code_bytes.saturating_sub(stats.lowered_bytes)
-        } else {
-            code_bytes
-        };
+        let anon_code =
+            if cache_hit { code_bytes.saturating_sub(stats.lowered_bytes) } else { code_bytes };
         let code_map =
             kernel.mmap_labeled(pid, anon_code.max(4096), MapKind::AnonPrivate, "jit-code")?;
         kernel.touch(pid, code_map, anon_code.max(4096))?;
@@ -305,8 +297,7 @@ pub fn execute_wasm_opts(
     }
 
     // Instance overhead + linear memory (the real Vec the instance holds).
-    let overhead =
-        kernel.mmap_labeled(pid, per_instance, MapKind::AnonPrivate, "instance-meta")?;
+    let overhead = kernel.mmap_labeled(pid, per_instance, MapKind::AnonPrivate, "instance-meta")?;
     kernel.touch(pid, overhead, per_instance)?;
     if let Some(mem) = inst.memory() {
         let bytes = mem.size_bytes() as u64;
@@ -407,12 +398,7 @@ mod tests {
         }
         let wamr = rss[&EngineKind::Wamr];
         for kind in [EngineKind::Wasmtime, EngineKind::Wasmer, EngineKind::WasmEdge] {
-            assert!(
-                rss[&kind] > wamr * 3,
-                "{kind:?}: {} vs wamr {}",
-                rss[&kind],
-                wamr
-            );
+            assert!(rss[&kind] > wamr * 3, "{kind:?}: {} vs wamr {}", rss[&kind], wamr);
         }
         assert!(rss[&EngineKind::Wasmer] > rss[&EngineKind::Wasmtime]);
     }
@@ -511,8 +497,9 @@ mod tests {
         let run_profile = |name: &str, profile: &crate::profile::EngineProfile| {
             let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, name).unwrap();
             let pid = kernel.spawn(name, cg).unwrap();
-            let run = execute_wasm(&kernel, pid, profile, module, &WasiSpec::default(), 100_000_000)
-                .unwrap();
+            let run =
+                execute_wasm(&kernel, pid, profile, module, &WasiSpec::default(), 100_000_000)
+                    .unwrap();
             (kernel.cgroup_stat(cg).unwrap().anon_bytes, run.stats)
         };
         let (interp_mem, interp_stats) = run_profile("wamr-i", &crate::profile::WAMR);
@@ -559,10 +546,7 @@ mod tests {
             pid,
             EngineKind::Wamr.profile(),
             module,
-            &WasiSpec {
-                args: vec!["app".into(), "-v".into(), "--x".into()],
-                ..Default::default()
-            },
+            &WasiSpec { args: vec!["app".into(), "-v".into(), "--x".into()], ..Default::default() },
             10_000_000,
         )
         .unwrap();

@@ -27,5 +27,7 @@
 pub mod exec;
 pub mod profile;
 
-pub use exec::{execute_wasm, execute_wasm_opts, install_engines, Embedding, EngineRun, ExecOptions, WasiSpec};
+pub use exec::{
+    execute_wasm, execute_wasm_opts, install_engines, Embedding, EngineRun, ExecOptions, WasiSpec,
+};
 pub use profile::{EngineKind, EngineProfile};

@@ -11,7 +11,7 @@
 //!
 //! Usage: `cargo run --release -p harness --bin app_impact`
 
-use harness::{measure_memory, mb, Config, Workload};
+use harness::{mb, measure_memory, Config, Workload};
 use workloads::{MicroserviceConfig, PythonScriptConfig};
 
 fn main() {

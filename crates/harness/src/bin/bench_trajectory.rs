@@ -1,0 +1,124 @@
+//! Time every figure sweep through the serial and parallel drivers and
+//! write the machine-readable perf trajectory to `BENCH_harness.json`.
+//!
+//! Each sweep is the exact cell grid its figure binary runs; the serial
+//! pass pins the driver to one worker, the parallel pass uses the default
+//! worker count ([`harness::worker_count`], overridable with
+//! `HARNESS_THREADS`). Output records wall-clock per sweep, speedup, and
+//! parallel throughput in cells/second, so future PRs can diff harness
+//! performance without re-deriving the methodology.
+//!
+//! Usage: `cargo run --release -p harness --bin bench_trajectory`
+//! (`BENCH_DENSITIES=4,16` shrinks the memory grids for a quick pass).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use harness::figures::PAPER_DENSITIES;
+use harness::{run_cells_on, worker_count, Cell, Config, Workload};
+
+struct Sweep {
+    name: &'static str,
+    cells: Vec<Cell>,
+}
+
+struct Timing {
+    name: &'static str,
+    cells: usize,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+fn densities() -> Vec<usize> {
+    if let Ok(v) = std::env::var("BENCH_DENSITIES") {
+        let parsed: Vec<usize> =
+            v.split(',').filter_map(|d| d.trim().parse().ok()).filter(|&d| d >= 1).collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    PAPER_DENSITIES.to_vec()
+}
+
+fn sweeps(densities: &[usize]) -> Vec<Sweep> {
+    let crun_wasm =
+        [Config::WamrCrun, Config::CrunWasmtime, Config::CrunWasmer, Config::CrunWasmEdge];
+    let shims = [Config::WamrCrun, Config::ShimWasmtime, Config::ShimWasmer, Config::ShimWasmEdge];
+    let python = [Config::WamrCrun, Config::ShimWasmtime, Config::CrunPython, Config::RuncPython];
+    let small_n = *densities.first().expect("at least one density");
+    let large_n = *densities.last().expect("at least one density");
+    vec![
+        Sweep { name: "fig3_4", cells: Cell::memory_grid(&crun_wasm, densities) },
+        Sweep { name: "fig5", cells: Cell::memory_grid(&shims, densities) },
+        Sweep { name: "fig6_7", cells: Cell::memory_grid(&python, densities) },
+        Sweep {
+            name: "fig8",
+            cells: Config::ALL.iter().map(|&c| Cell::startup(c, small_n)).collect(),
+        },
+        Sweep {
+            name: "fig9",
+            cells: Config::ALL.iter().map(|&c| Cell::startup(c, large_n)).collect(),
+        },
+        Sweep { name: "fig10", cells: Cell::memory_grid(&Config::ALL, densities) },
+    ]
+}
+
+fn time_sweep(sweep: &Sweep, workload: &Workload, threads: usize) -> Timing {
+    let t = Instant::now();
+    run_cells_on(&sweep.cells, workload, 1).expect("serial sweep");
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    run_cells_on(&sweep.cells, workload, threads).expect("parallel sweep");
+    let parallel_s = t.elapsed().as_secs_f64();
+    Timing { name: sweep.name, cells: sweep.cells.len(), serial_s, parallel_s }
+}
+
+/// Hand-rolled JSON (the workspace is std-only by design).
+fn render_json(threads: usize, timings: &[Timing]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"sweeps\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let speedup = t.serial_s / t.parallel_s.max(1e-9);
+        let cells_per_s = t.cells as f64 / t.parallel_s.max(1e-9);
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"cells\": {}, \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"speedup\": {:.2}, \"parallel_cells_per_s\": {:.2}}}",
+            t.name, t.cells, t.serial_s, t.parallel_s, speedup, cells_per_s
+        );
+        out.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let densities = densities();
+    let workload = Workload::default();
+    let sweeps = sweeps(&densities);
+    let threads = worker_count(sweeps.iter().map(|s| s.cells.len()).max().unwrap_or(1));
+
+    println!("densities {densities:?}, parallel workers {threads}\n");
+    println!(
+        "{:<8} {:>6} {:>10} {:>12} {:>9} {:>9}",
+        "sweep", "cells", "serial s", "parallel s", "speedup", "cells/s"
+    );
+    let mut timings = Vec::new();
+    for sweep in &sweeps {
+        let t = time_sweep(sweep, &workload, threads);
+        println!(
+            "{:<8} {:>6} {:>10.2} {:>12.2} {:>8.2}x {:>9.2}",
+            t.name,
+            t.cells,
+            t.serial_s,
+            t.parallel_s,
+            t.serial_s / t.parallel_s.max(1e-9),
+            t.cells as f64 / t.parallel_s.max(1e-9)
+        );
+        timings.push(t);
+    }
+
+    let json = render_json(threads, &timings);
+    std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
+    println!("\nwrote BENCH_harness.json");
+}

@@ -2,7 +2,7 @@
 //! configuration at one density. Used while tuning the profile constants
 //! against the paper's bands (DESIGN.md "Calibration").
 
-use harness::{measure_memory, Config, Workload, mb};
+use harness::{mb, measure_memory, Config, Workload};
 fn main() {
     let w = Workload::default();
     println!("{:<28} {:>10} {:>10}", "config", "metricsMB", "freeMB");

@@ -8,14 +8,30 @@ fn main() {
     println!("module size = {} bytes", bytes.len());
     let module = Arc::new(decode_module(bytes).unwrap());
     println!("code size = {}", module.code_size());
-    let imports = instance::Imports::new().func("wasi_snapshot_preview1", "fd_write", |_, _| Ok(vec![Value::I32(0)]));
-    let mut inst = Instance::instantiate(module.clone(), imports, InstanceConfig { fuel: Some(1_000_000_000), ..Default::default() }).unwrap();
+    let imports = instance::Imports::new()
+        .func("wasi_snapshot_preview1", "fd_write", |_, _| Ok(vec![Value::I32(0)]));
+    let mut inst = Instance::instantiate(
+        module.clone(),
+        imports,
+        InstanceConfig { fuel: Some(1_000_000_000), ..Default::default() },
+    )
+    .unwrap();
     inst.run_start().unwrap();
     println!("instrs (inplace) = {}", inst.stats().instrs_retired);
-    let imports = instance::Imports::new().func("wasi_snapshot_preview1", "fd_write", |_, _| Ok(vec![Value::I32(0)]));
-    let mut inst = Instance::instantiate(module, imports, InstanceConfig { tier: ExecTier::Lowered, fuel: Some(1_000_000_000), ..Default::default() }).unwrap();
+    let imports = instance::Imports::new()
+        .func("wasi_snapshot_preview1", "fd_write", |_, _| Ok(vec![Value::I32(0)]));
+    let mut inst = Instance::instantiate(
+        module,
+        imports,
+        InstanceConfig { tier: ExecTier::Lowered, fuel: Some(1_000_000_000), ..Default::default() },
+    )
+    .unwrap();
     inst.run_start().unwrap();
-    println!("instrs (lowered) = {} lowered_bytes = {}", inst.stats().instrs_retired, inst.stats().lowered_bytes);
+    println!(
+        "instrs (lowered) = {} lowered_bytes = {}",
+        inst.stats().instrs_retired,
+        inst.stats().lowered_bytes
+    );
     // python ops
     let src = workloads::python_microservice_script(&workloads::PythonScriptConfig::default());
     let program = pyrt::parse(&src).unwrap();

@@ -15,10 +15,13 @@ use container_runtimes::handler::PauseHandler;
 use container_runtimes::profile::{CRUN, YOUKI};
 use container_runtimes::LowLevelRuntime;
 use containerd_sim::RuntimeClass;
-use harness::{measure_memory, mb, new_cluster, Config, Workload};
+use harness::{mb, measure_memory, new_cluster, Config, Workload};
 use wamr_crun::{WamrCrunConfig, WamrHandler};
 
-fn wamr_in(profile: &'static container_runtimes::RuntimeProfile, workload: &Workload) -> (u64, u64) {
+fn wamr_in(
+    profile: &'static container_runtimes::RuntimeProfile,
+    workload: &Workload,
+) -> (u64, u64) {
     let mut cluster = new_cluster(&[], workload).expect("cluster");
     let mut rt = LowLevelRuntime::new(cluster.kernel.clone(), profile);
     rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
@@ -30,14 +33,10 @@ fn wamr_in(profile: &'static container_runtimes::RuntimeProfile, workload: &Work
             &workload.wasm,
         ))
         .expect("image");
-    let warm = cluster
-        .deploy("warm", Config::WamrCrun.image_ref(), "q2", 1)
-        .expect("warm");
+    let warm = cluster.deploy("warm", Config::WamrCrun.image_ref(), "q2", 1).expect("warm");
     cluster.teardown(warm).expect("teardown");
     let before = cluster.free().used_with_cache();
-    let d = cluster
-        .deploy("q2", Config::WamrCrun.image_ref(), "q2", 20)
-        .expect("deploy");
+    let d = cluster.deploy("q2", Config::WamrCrun.image_ref(), "q2", 20).expect("deploy");
     let metrics = cluster.average_working_set(&d).expect("metrics");
     let free = (cluster.free().used_with_cache() - before) / 20;
     (metrics, free)
@@ -64,10 +63,7 @@ fn main() {
         }
         println!("{name:<18} {:>12.2} {:>12.2}", m, mb(s.free_per_pod));
     }
-    println!(
-        "\n→ {} has the highest memory-saving potential, matching §III-B's choice.\n",
-        best.0
-    );
+    println!("\n→ {} has the highest memory-saving potential, matching §III-B's choice.\n", best.0);
 
     println!("Design question 2: which integration point for WAMR?\n");
     println!("{:<26} {:>12} {:>12}", "integration", "metrics MB", "free MB");

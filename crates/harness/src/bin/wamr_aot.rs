@@ -21,7 +21,7 @@ use container_runtimes::LowLevelRuntime;
 use containerd_sim::RuntimeClass;
 use engines::profile::WAMR_AOT;
 use engines::{execute_wasm, EngineKind};
-use harness::{mb, measure_memory, measure_startup, new_cluster, Config, Workload};
+use harness::{mb, measure_cell, new_cluster, Config, Observe, Workload};
 use oci_spec_lite::{Bundle, RuntimeSpec};
 use simkernel::{Kernel, KernelResult, Pid};
 
@@ -46,7 +46,14 @@ impl ContainerHandler for WamrAotHandler {
     ) -> KernelResult<HandlerOutcome> {
         let module = resolve_module(bundle, spec)?;
         let wasi = wasi_spec_from_oci(bundle, spec);
-        let run = execute_wasm(kernel, pid, &WAMR_AOT, module, &wasi, engines::profile::DEFAULT_STARTUP_FUEL)?;
+        let run = execute_wasm(
+            kernel,
+            pid,
+            &WAMR_AOT,
+            module,
+            &wasi,
+            engines::profile::DEFAULT_STARTUP_FUEL,
+        )?;
         Ok(HandlerOutcome { steps: run.steps, stdout: run.stdout, exit_code: run.exit_code })
     }
 }
@@ -63,9 +70,8 @@ fn measure_aot(workload: &Workload, density: usize) -> (u64, f64) {
             &workload.wasm,
         ))
         .expect("image");
-    let warm = cluster
-        .deploy("warm", Config::WamrCrun.image_ref(), "crun-wamr-aot", 1)
-        .expect("warm");
+    let warm =
+        cluster.deploy("warm", Config::WamrCrun.image_ref(), "crun-wamr-aot", 1).expect("warm");
     cluster.teardown(warm).expect("teardown");
     let d = cluster
         .deploy("aot", Config::WamrCrun.image_ref(), "crun-wamr-aot", density)
@@ -79,15 +85,15 @@ fn main() {
     let workload = Workload::default();
     for density in [10usize, 400] {
         println!("--- density {density} pods ---");
-        let interp_mem = measure_memory(Config::WamrCrun, density, &workload).expect("interp");
-        let interp_start = measure_startup(Config::WamrCrun, density, &workload).expect("interp");
+        // One deployment per integration yields both observers.
+        let interp =
+            measure_cell(Config::WamrCrun, density, &workload, Observe::Both).expect("interp");
+        let (interp_mem, interp_start) =
+            (interp.memory.expect("memory"), interp.startup.expect("startup"));
         let (aot_mem, aot_start) = measure_aot(&workload, density);
-        let wt_mem = measure_memory(Config::CrunWasmtime, density, &workload).expect("wt");
-        let wt_start = measure_startup(Config::CrunWasmtime, density, &workload).expect("wt");
-        println!(
-            "{:<26} {:>12} {:>12}",
-            "integration", "metrics MB", "startup s"
-        );
+        let wt = measure_cell(Config::CrunWasmtime, density, &workload, Observe::Both).expect("wt");
+        let (wt_mem, wt_start) = (wt.memory.expect("memory"), wt.startup.expect("startup"));
+        println!("{:<26} {:>12} {:>12}", "integration", "metrics MB", "startup s");
         println!(
             "{:<26} {:>12.2} {:>12.2}",
             "crun-wamr (interp, paper)",

@@ -41,11 +41,11 @@ pub fn check_memory_claims(
     densities: &[usize],
 ) -> KernelResult<Vec<ClaimResult>> {
     let mut out = Vec::new();
-    let fig3 = figures::fig3(workload, densities)?;
-    let fig4 = figures::fig4(workload, densities)?;
+    // Figs 3+4 and 6+7 plot the two observers of the same grids, so each
+    // pair shares one grid run (half the deployments, identical values).
+    let (fig3, fig4) = figures::figs3_4(workload, densities)?;
     let fig5 = figures::fig5(workload, densities)?;
-    let fig6 = figures::fig6(workload, densities)?;
-    let fig7 = figures::fig7(workload, densities)?;
+    let (fig6, fig7) = figures::figs6_7(workload, densities)?;
 
     // Fig 3: ours ≥ 50% below every other crun Wasm runtime, all densities.
     {
@@ -204,7 +204,9 @@ pub fn check_startup_claims(
     out.push(ClaimResult::check(
         "fig8_ours_beats_other_crun_at_10",
         worst_margin >= 2.0,
-        format!("ours faster than every other crun Wasm runtime by ≥{worst_margin:.1}% (paper ≥2.66%)"),
+        format!(
+            "ours faster than every other crun Wasm runtime by ≥{worst_margin:.1}% (paper ≥2.66%)"
+        ),
     ));
     let py_margin = ["crun-python", "runc-python"]
         .iter()

@@ -117,13 +117,9 @@ impl Config {
                 rt.register_handler(Box::new(PauseHandler));
                 RuntimeClass::Oci { runtime: rt }
             }
-            Config::ShimWasmtime => {
-                RuntimeClass::Runwasi { engine: EngineKind::Wasmtime, fuel }
-            }
+            Config::ShimWasmtime => RuntimeClass::Runwasi { engine: EngineKind::Wasmtime, fuel },
             Config::ShimWasmer => RuntimeClass::Runwasi { engine: EngineKind::Wasmer, fuel },
-            Config::ShimWasmEdge => {
-                RuntimeClass::Runwasi { engine: EngineKind::WasmEdge, fuel }
-            }
+            Config::ShimWasmEdge => RuntimeClass::Runwasi { engine: EngineKind::WasmEdge, fuel },
             Config::CrunPython | Config::RuncPython => {
                 pyrt::install_python(&cluster.kernel)?;
                 let profile = if self == Config::CrunPython { &CRUN } else { &RUNC };
@@ -147,13 +143,11 @@ impl Config {
 }
 
 /// The benchmark workload pair (Wasm module + Python script).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Workload {
     pub wasm: MicroserviceConfig,
     pub python: PythonScriptConfig,
 }
-
 
 impl Workload {
     /// A workload with a tiny guest startup loop. Memory mechanisms are

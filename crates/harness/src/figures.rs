@@ -8,14 +8,50 @@
 use simkernel::KernelResult;
 
 use crate::config::{Config, Workload};
+use crate::parallel::{run_cells, Cell};
 use crate::report::{mb, Table};
-use crate::runner::{measure_memory, measure_startup};
+use crate::runner::MemorySample;
 
 /// The paper's deployment densities (Table II: 10 to 400 containers).
 pub const PAPER_DENSITIES: [usize; 3] = [10, 100, 400];
 
 fn density_columns(densities: &[usize]) -> Vec<String> {
     densities.iter().map(|d| format!("{d} pods")).collect()
+}
+
+/// Run the (configs × densities) memory grid through the parallel driver
+/// and return the samples in grid order (config-major, as the serial loops
+/// produced them).
+fn memory_grid(
+    configs: &[Config],
+    densities: &[usize],
+    workload: &Workload,
+) -> KernelResult<Vec<MemorySample>> {
+    let cells = Cell::memory_grid(configs, densities);
+    Ok(run_cells(&cells, workload)?.into_iter().map(|c| c.memory.expect("memory cell")).collect())
+}
+
+/// Assemble one figure table from a grid-ordered sample list.
+fn memory_table(
+    title: &str,
+    configs: &[Config],
+    densities: &[usize],
+    samples: &[MemorySample],
+    use_free: bool,
+) -> Table {
+    let mut table = Table::new(title, density_columns(densities), "MB/ctr");
+    let mut it = samples.iter();
+    for &config in configs {
+        let values = densities
+            .iter()
+            .map(|_| {
+                let s = it.next().expect("one sample per grid cell");
+                mb(if use_free { s.free_per_pod } else { s.metrics_avg })
+            })
+            .collect();
+        table.row(config.label(), values, config.is_ours());
+    }
+    table
 }
 
 fn memory_figure(
@@ -25,39 +61,41 @@ fn memory_figure(
     workload: &Workload,
     use_free: bool,
 ) -> KernelResult<Table> {
-    let unit = "MB/ctr";
-    let mut table = Table::new(title, density_columns(densities), unit);
-    for &config in configs {
-        let mut values = Vec::with_capacity(densities.len());
-        for &d in densities {
-            let sample = measure_memory(config, d, workload)?;
-            values.push(mb(if use_free { sample.free_per_pod } else { sample.metrics_avg }));
-        }
-        table.row(config.label(), values, config.is_ours());
-    }
-    Ok(table)
+    let samples = memory_grid(configs, densities, workload)?;
+    Ok(memory_table(title, configs, densities, &samples, use_free))
 }
+
+const FIG3_TITLE: &str =
+    "Figure 3: Avg memory/container, Wasm runtimes in crun (Kubernetes metrics-server)";
+const FIG4_TITLE: &str = "Figure 4: Avg memory/container, Wasm runtimes in crun (Linux free)";
+const FIG6_TITLE: &str =
+    "Figure 6: Avg memory/container vs Python containers (Kubernetes metrics-server)";
+const FIG7_TITLE: &str = "Figure 7: Avg memory/container vs Python containers (Linux free)";
+
+const FIG3_4_CONFIGS: [Config; 4] =
+    [Config::WamrCrun, Config::CrunWasmtime, Config::CrunWasmer, Config::CrunWasmEdge];
+const FIG6_7_CONFIGS: [Config; 4] =
+    [Config::WamrCrun, Config::ShimWasmtime, Config::CrunPython, Config::RuncPython];
 
 /// Fig. 3: memory per container, Wasm runtimes in crun, metrics-server.
 pub fn fig3(workload: &Workload, densities: &[usize]) -> KernelResult<Table> {
-    memory_figure(
-        "Figure 3: Avg memory/container, Wasm runtimes in crun (Kubernetes metrics-server)",
-        &[Config::WamrCrun, Config::CrunWasmtime, Config::CrunWasmer, Config::CrunWasmEdge],
-        densities,
-        workload,
-        false,
-    )
+    memory_figure(FIG3_TITLE, &FIG3_4_CONFIGS, densities, workload, false)
 }
 
 /// Fig. 4: same configurations, measured by the OS (`free`).
 pub fn fig4(workload: &Workload, densities: &[usize]) -> KernelResult<Table> {
-    memory_figure(
-        "Figure 4: Avg memory/container, Wasm runtimes in crun (Linux free)",
-        &[Config::WamrCrun, Config::CrunWasmtime, Config::CrunWasmer, Config::CrunWasmEdge],
-        densities,
-        workload,
-        true,
-    )
+    memory_figure(FIG4_TITLE, &FIG3_4_CONFIGS, densities, workload, true)
+}
+
+/// Figs. 3 and 4 from **one** grid run: both figures observe the same
+/// configurations, differing only in which observer column they plot, and
+/// [`MemorySample`] carries both observers from a single deployment.
+pub fn figs3_4(workload: &Workload, densities: &[usize]) -> KernelResult<(Table, Table)> {
+    let samples = memory_grid(&FIG3_4_CONFIGS, densities, workload)?;
+    Ok((
+        memory_table(FIG3_TITLE, &FIG3_4_CONFIGS, densities, &samples, false),
+        memory_table(FIG4_TITLE, &FIG3_4_CONFIGS, densities, &samples, true),
+    ))
 }
 
 /// Fig. 5: runwasi shims vs. our integration (`free`).
@@ -74,31 +112,29 @@ pub fn fig5(workload: &Workload, densities: &[usize]) -> KernelResult<Table> {
 /// Fig. 6: ours vs. Python containers (metrics-server). The paper also
 /// quotes containerd-shim-wasmtime (the second-best Wasm runtime) here.
 pub fn fig6(workload: &Workload, densities: &[usize]) -> KernelResult<Table> {
-    memory_figure(
-        "Figure 6: Avg memory/container vs Python containers (Kubernetes metrics-server)",
-        &[Config::WamrCrun, Config::ShimWasmtime, Config::CrunPython, Config::RuncPython],
-        densities,
-        workload,
-        false,
-    )
+    memory_figure(FIG6_TITLE, &FIG6_7_CONFIGS, densities, workload, false)
 }
 
 /// Fig. 7: same comparison via `free`.
 pub fn fig7(workload: &Workload, densities: &[usize]) -> KernelResult<Table> {
-    memory_figure(
-        "Figure 7: Avg memory/container vs Python containers (Linux free)",
-        &[Config::WamrCrun, Config::ShimWasmtime, Config::CrunPython, Config::RuncPython],
-        densities,
-        workload,
-        true,
-    )
+    memory_figure(FIG7_TITLE, &FIG6_7_CONFIGS, densities, workload, true)
+}
+
+/// Figs. 6 and 7 from one grid run (same sharing as [`figs3_4`]).
+pub fn figs6_7(workload: &Workload, densities: &[usize]) -> KernelResult<(Table, Table)> {
+    let samples = memory_grid(&FIG6_7_CONFIGS, densities, workload)?;
+    Ok((
+        memory_table(FIG6_TITLE, &FIG6_7_CONFIGS, densities, &samples, false),
+        memory_table(FIG7_TITLE, &FIG6_7_CONFIGS, densities, &samples, true),
+    ))
 }
 
 fn startup_figure(title: &str, n: usize, workload: &Workload) -> KernelResult<Table> {
     let mut table = Table::new(title, vec![format!("{n} pods")], "s");
-    for config in Config::ALL {
-        let sample = measure_startup(config, n, workload)?;
-        table.row(config.label(), vec![sample.total.as_secs_f64()], config.is_ours());
+    let cells: Vec<Cell> = Config::ALL.iter().map(|&c| Cell::startup(c, n)).collect();
+    for sample in run_cells(&cells, workload)? {
+        let s = sample.startup.expect("startup cell");
+        table.row(s.config.label(), vec![s.total.as_secs_f64()], s.config.is_ours());
     }
     Ok(table)
 }
@@ -121,11 +157,11 @@ pub fn fig10(workload: &Workload, densities: &[usize]) -> KernelResult<Table> {
         vec!["mean".to_string()],
         "MB/ctr",
     );
+    let samples = memory_grid(&Config::ALL, densities, workload)?;
+    let mut it = samples.iter();
     for config in Config::ALL {
-        let mut total = 0.0;
-        for &d in densities {
-            total += mb(measure_memory(config, d, workload)?.free_per_pod);
-        }
+        let total: f64 =
+            densities.iter().map(|_| mb(it.next().expect("sample").free_per_pod)).sum();
         table.row(config.label(), vec![total / densities.len() as f64], config.is_ours());
     }
     Ok(table)
@@ -137,10 +173,7 @@ pub fn table1() -> String {
         ("Linux", "5.4.0-187-generic (simulated kernel substrate)".to_string()),
         ("Kubernetes", "1.27.0 (k8s-sim)".to_string()),
         ("containerd", "1.7.x (containerd-sim)".to_string()),
-        (
-            "runC",
-            container_runtimes::profile::RUNC.version.to_string(),
-        ),
+        ("runC", container_runtimes::profile::RUNC.version.to_string()),
         ("crun", container_runtimes::profile::CRUN.version.to_string()),
         ("WAMR", engines::profile::WAMR.version.to_string()),
         ("WasmEdge", engines::profile::WASMEDGE.version.to_string()),
@@ -164,7 +197,12 @@ pub fn table2() -> String {
         ("Fig 3/4", "Memory", "crun", "WAMR, WasmEdge, Wasmer, Wasmtime"),
         ("Fig 5", "Memory", "crun, containerd (runwasi)", "WAMR, WasmEdge, Wasmer, Wasmtime"),
         ("Fig 6/7", "Memory", "crun, runC", "WAMR, Python"),
-        ("Fig 8/9", "Latency", "crun, runC, containerd", "WAMR, WasmEdge, Wasmer, Wasmtime, Python"),
+        (
+            "Fig 8/9",
+            "Latency",
+            "crun, runC, containerd",
+            "WAMR, WasmEdge, Wasmer, Wasmtime, Python",
+        ),
     ];
     out.push_str(&format!(
         "{:<9} {:<8} {:<28} {}\n",

@@ -10,14 +10,16 @@
 pub mod claims;
 pub mod config;
 pub mod figures;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 
 pub use config::{Config, Workload};
+pub use parallel::{run_cells, run_cells_on, worker_count, Cell};
 pub use report::{mb, Table};
 pub use runner::{
-    deploy_density, measure_memory, measure_startup, new_cluster, warmup, MemorySample,
-    StartupSample,
+    deploy_density, measure_cell, measure_memory, measure_startup, new_cluster, warmup, CellSample,
+    MemorySample, Observe, StartupSample,
 };
 
 use simkernel::KernelResult;
@@ -29,9 +31,10 @@ pub fn figures_startup(workload: &Workload, n: usize) -> KernelResult<Table> {
         vec![format!("{n} pods")],
         "s",
     );
-    for config in Config::ALL {
-        let sample = measure_startup(config, n, workload)?;
-        table.row(config.label(), vec![sample.total.as_secs_f64()], config.is_ours());
+    let cells: Vec<Cell> = Config::ALL.iter().map(|&c| Cell::startup(c, n)).collect();
+    for sample in run_cells(&cells, workload)? {
+        let s = sample.startup.expect("startup cell");
+        table.row(s.config.label(), vec![s.total.as_secs_f64()], s.config.is_ours());
     }
     Ok(table)
 }

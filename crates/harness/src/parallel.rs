@@ -1,0 +1,151 @@
+//! Work-stealing parallel experiment driver.
+//!
+//! An experiment grid is a list of independent [`Cell`]s — (configuration,
+//! density, observers) points, each measured on its own freshly booted
+//! cluster with its own discrete-event simulation. Cells share **no**
+//! mutable simulation state, so they can run on worker threads; the only
+//! process-wide state they touch is behind locks and affects host CPU
+//! only (the `wasm-core` module-artifact cache and the `workloads` image
+//! memo), never the simulated measurements.
+//!
+//! Determinism: results are merged back **in grid order**, so the sample
+//! sequence — and therefore every rendered table and CSV byte — is
+//! identical to a serial run regardless of worker count or scheduling.
+//! `HARNESS_THREADS=1` forces the serial path (also used by the
+//! determinism tests as the reference).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use simkernel::KernelResult;
+
+use crate::config::{Config, Workload};
+use crate::runner::{measure_cell, CellSample, Observe};
+
+/// One independent measurement point of an experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    pub config: Config,
+    pub density: usize,
+    pub observe: Observe,
+}
+
+impl Cell {
+    pub fn memory(config: Config, density: usize) -> Cell {
+        Cell { config, density, observe: Observe::Memory }
+    }
+
+    pub fn startup(config: Config, density: usize) -> Cell {
+        Cell { config, density, observe: Observe::Startup }
+    }
+
+    pub fn both(config: Config, density: usize) -> Cell {
+        Cell { config, density, observe: Observe::Both }
+    }
+
+    /// The full (configs × densities) memory grid, in grid order.
+    pub fn memory_grid(configs: &[Config], densities: &[usize]) -> Vec<Cell> {
+        configs.iter().flat_map(|&c| densities.iter().map(move |&d| Cell::memory(c, d))).collect()
+    }
+}
+
+/// How many workers to use for a grid of `cells` cells: the
+/// `HARNESS_THREADS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism — never more workers
+/// than cells.
+pub fn worker_count(cells: usize) -> usize {
+    let cap = cells.max(1);
+    if let Ok(v) = std::env::var("HARNESS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n.min(cap);
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(cap)
+}
+
+/// Measure every cell, fanning out over [`worker_count`] workers, and
+/// return the samples in grid order.
+pub fn run_cells(cells: &[Cell], workload: &Workload) -> KernelResult<Vec<CellSample>> {
+    run_cells_on(cells, workload, worker_count(cells.len()))
+}
+
+/// [`run_cells`] with an explicit worker count (1 = serial in the calling
+/// thread). Output is identical for every `threads` value.
+pub fn run_cells_on(
+    cells: &[Cell],
+    workload: &Workload,
+    threads: usize,
+) -> KernelResult<Vec<CellSample>> {
+    if threads <= 1 || cells.len() <= 1 {
+        return cells
+            .iter()
+            .map(|c| measure_cell(c.config, c.density, workload, c.observe))
+            .collect();
+    }
+
+    // Work stealing via a shared claim counter: each worker repeatedly
+    // claims the next unclaimed cell index, so long cells (density 400)
+    // don't leave workers idle the way static chunking would.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<KernelResult<CellSample>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cells.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let result = measure_cell(cell.config, cell.density, workload, cell.observe);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+
+    // Merge in grid order. Propagating the first error *in grid order*
+    // (not completion order) keeps failures deterministic too.
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every claimed slot is filled before scope exit")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_respects_env_and_cells() {
+        // Never more workers than cells, regardless of the machine.
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_a_small_grid() {
+        let w = Workload::light();
+        let cells = Cell::memory_grid(&[Config::WamrCrun, Config::CrunWasmtime], &[2, 4]);
+        let serial = run_cells_on(&cells, &w, 1).unwrap();
+        let parallel = run_cells_on(&cells, &w, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.config, p.config);
+            assert_eq!(s.density, p.density);
+            let (sm, pm) = (s.memory.unwrap(), p.memory.unwrap());
+            assert_eq!(sm.metrics_avg, pm.metrics_avg);
+            assert_eq!(sm.free_per_pod, pm.free_per_pod);
+        }
+    }
+
+    #[test]
+    fn errors_surface_deterministically() {
+        let w = Workload::light();
+        let cells = vec![Cell::memory(Config::WamrCrun, 2), Cell::memory(Config::WamrCrun, 0)];
+        assert!(run_cells_on(&cells, &w, 1).is_err());
+        assert!(run_cells_on(&cells, &w, 2).is_err());
+    }
+}

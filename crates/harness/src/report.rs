@@ -41,13 +41,7 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
         let _ = writeln!(out, "{}", "=".repeat(self.title.len()));
-        let label_w = self
-            .rows
-            .iter()
-            .map(|r| r.label.len() + 2)
-            .chain([12])
-            .max()
-            .unwrap_or(12);
+        let label_w = self.rows.iter().map(|r| r.label.len() + 2).chain([12]).max().unwrap_or(12);
         let _ = write!(out, "{:label_w$}", "runtime");
         for c in &self.columns {
             let _ = write!(out, "{:>14}", format!("{c} [{}]", self.unit));
@@ -118,11 +112,7 @@ mod tests {
 
     #[test]
     fn render_and_csv() {
-        let mut t = Table::new(
-            "Fig X",
-            vec!["10".into(), "100".into()],
-            "MB",
-        );
+        let mut t = Table::new("Fig X", vec!["10".into(), "100".into()], "MB");
         t.row("crun-wamr (ours)", vec![5.5, 5.4], true);
         t.row("crun-wasmtime", vec![15.1, 15.0], false);
         let text = t.render();

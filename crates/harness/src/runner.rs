@@ -38,6 +38,38 @@ pub struct StartupSample {
     pub total: Duration,
 }
 
+/// Which observers to run at a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Observe {
+    Memory,
+    Startup,
+    /// Both observers from the *same* deployment: memory observation reads
+    /// cluster state and startup is a pure DES replay of the recorded
+    /// latency programs, so neither perturbs the other.
+    Both,
+}
+
+impl Observe {
+    pub fn wants_memory(self) -> bool {
+        matches!(self, Observe::Memory | Observe::Both)
+    }
+
+    pub fn wants_startup(self) -> bool {
+        matches!(self, Observe::Startup | Observe::Both)
+    }
+}
+
+/// The observations from one grid cell's deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSample {
+    pub config: Config,
+    pub density: usize,
+    /// Present iff the cell's [`Observe`] wanted memory.
+    pub memory: Option<MemorySample>,
+    /// Present iff the cell's [`Observe`] wanted startup.
+    pub startup: Option<StartupSample>,
+}
+
 /// Boot a cluster with the given configurations installed.
 pub fn new_cluster(configs: &[Config], workload: &Workload) -> KernelResult<Cluster> {
     let mut cluster = Cluster::bootstrap()?;
@@ -67,25 +99,53 @@ pub fn deploy_density(
     Ok((cluster, d))
 }
 
+/// Measure one (config, density) grid cell from a **single** deployment.
+///
+/// Builds a fresh warmed cluster, deploys once, and runs the requested
+/// observers against that one deployment. Memory observation (`free`
+/// deltas + metrics-server scrape) only reads cluster state, and startup
+/// observation is a pure DES replay of the recorded per-pod latency
+/// programs, so the two observers cannot perturb each other: a `Both` cell
+/// yields byte-identical samples to running [`measure_memory`] and
+/// [`measure_startup`] separately, at half the deployments.
+pub fn measure_cell(
+    config: Config,
+    density: usize,
+    workload: &Workload,
+    observe: Observe,
+) -> KernelResult<CellSample> {
+    if density == 0 {
+        return Err(simkernel::KernelError::InvalidState("density must be at least 1".into()));
+    }
+    let mut cluster = new_cluster(&[config], workload)?;
+    warmup(&mut cluster, config)?;
+    let free_before = cluster.free().used_with_cache();
+    let d = cluster.deploy("bench", config.image_ref(), config.class_name(), density)?;
+    let memory = if observe.wants_memory() {
+        let metrics_avg = cluster.average_working_set(&d)?;
+        let free_after = cluster.free().used_with_cache();
+        let free_per_pod = free_after.saturating_sub(free_before) / density as u64;
+        Some(MemorySample { config, density, metrics_avg, free_per_pod })
+    } else {
+        None
+    };
+    let startup = if observe.wants_startup() {
+        let outcome = cluster.measure_startup(&[&d]);
+        Some(StartupSample { config, density, total: outcome.total() })
+    } else {
+        None
+    };
+    Ok(CellSample { config, density, memory, startup })
+}
+
 /// Measure both memory observers at one (config, density) point.
 pub fn measure_memory(
     config: Config,
     density: usize,
     workload: &Workload,
 ) -> KernelResult<MemorySample> {
-    if density == 0 {
-        return Err(simkernel::KernelError::InvalidState(
-            "density must be at least 1".into(),
-        ));
-    }
-    let mut cluster = new_cluster(&[config], workload)?;
-    warmup(&mut cluster, config)?;
-    let free_before = cluster.free().used_with_cache();
-    let d = cluster.deploy("bench", config.image_ref(), config.class_name(), density)?;
-    let metrics_avg = cluster.average_working_set(&d)?;
-    let free_after = cluster.free().used_with_cache();
-    let free_per_pod = free_after.saturating_sub(free_before) / density as u64;
-    Ok(MemorySample { config, density, metrics_avg, free_per_pod })
+    let cell = measure_cell(config, density, workload, Observe::Memory)?;
+    Ok(cell.memory.expect("Observe::Memory yields a memory sample"))
 }
 
 /// Measure the startup makespan at one (config, density) point.
@@ -94,14 +154,8 @@ pub fn measure_startup(
     density: usize,
     workload: &Workload,
 ) -> KernelResult<StartupSample> {
-    if density == 0 {
-        return Err(simkernel::KernelError::InvalidState(
-            "density must be at least 1".into(),
-        ));
-    }
-    let (cluster, d) = deploy_density(config, density, workload)?;
-    let outcome = cluster.measure_startup(&[&d]);
-    Ok(StartupSample { config, density, total: outcome.total() })
+    let cell = measure_cell(config, density, workload, Observe::Startup)?;
+    Ok(cell.startup.expect("Observe::Startup yields a startup sample"))
 }
 
 #[cfg(test)]
@@ -144,5 +198,26 @@ mod tests {
         let w = Workload::light();
         assert!(measure_memory(Config::WamrCrun, 0, &w).is_err());
         assert!(measure_startup(Config::WamrCrun, 0, &w).is_err());
+        assert!(measure_cell(Config::WamrCrun, 0, &w, Observe::Both).is_err());
+    }
+
+    #[test]
+    fn both_observers_match_separate_runs() {
+        let w = Workload::light();
+        let cell = measure_cell(Config::WamrCrun, 5, &w, Observe::Both).unwrap();
+        let m = measure_memory(Config::WamrCrun, 5, &w).unwrap();
+        let s = measure_startup(Config::WamrCrun, 5, &w).unwrap();
+        let cm = cell.memory.unwrap();
+        assert_eq!((cm.metrics_avg, cm.free_per_pod), (m.metrics_avg, m.free_per_pod));
+        assert_eq!(cell.startup.unwrap().total, s.total);
+    }
+
+    #[test]
+    fn observe_gating() {
+        let w = Workload::light();
+        let c = measure_cell(Config::WamrCrun, 2, &w, Observe::Memory).unwrap();
+        assert!(c.memory.is_some() && c.startup.is_none());
+        let c = measure_cell(Config::WamrCrun, 2, &w, Observe::Startup).unwrap();
+        assert!(c.memory.is_none() && c.startup.is_some());
     }
 }

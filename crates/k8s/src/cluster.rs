@@ -7,8 +7,8 @@
 use containerd_sim::{Containerd, RuntimeClass};
 use oci_spec_lite::{ImageBuilder, ImageStore};
 use simkernel::{
-    CgroupId, Duration, FreeReport, Kernel, KernelConfig, KernelResult, Sim, SimOutcome,
-    SimTime, TaskSpec,
+    CgroupId, Duration, FreeReport, Kernel, KernelConfig, KernelResult, Sim, SimOutcome, SimTime,
+    TaskSpec,
 };
 
 use crate::api::{Deployment, PodSpec};

@@ -84,14 +84,19 @@ pub struct Kubelet {
 
 impl Kubelet {
     /// Start the kubelet daemon in the system cgroup.
-    pub fn start(kernel: Kernel, system_cgroup: CgroupId, config: NodeConfig) -> KernelResult<Kubelet> {
+    pub fn start(
+        kernel: Kernel,
+        system_cgroup: CgroupId,
+        config: NodeConfig,
+    ) -> KernelResult<Kubelet> {
         kernel.ensure_file(
             KUBELET_BINARY,
             simkernel::vfs::FileContent::Synthetic(KUBELET_BINARY_SIZE),
         )?;
         let pid = kernel.spawn("kubelet", system_cgroup)?;
         let bin = kernel.lookup(KUBELET_BINARY)?;
-        let map = kernel.mmap_labeled(pid, KUBELET_BINARY_SIZE, MapKind::FileShared(bin), "kubelet")?;
+        let map =
+            kernel.mmap_labeled(pid, KUBELET_BINARY_SIZE, MapKind::FileShared(bin), "kubelet")?;
         kernel.touch(pid, map, KUBELET_BINARY_SIZE / 3)?;
         let heap = kernel.mmap_labeled(pid, KUBELET_HEAP, MapKind::AnonPrivate, "kubelet-heap")?;
         kernel.touch(pid, heap, KUBELET_HEAP)?;
@@ -122,11 +127,8 @@ impl Kubelet {
                 self.config.max_pods
             )));
         }
-        let mut steps = vec![
-            Step::Io(cost::API_DISPATCH),
-            Step::Io(cost::QUEUE_IO),
-            Step::Cpu(cost::SYNC_CPU),
-        ];
+        let mut steps =
+            vec![Step::Io(cost::API_DISPATCH), Step::Io(cost::QUEUE_IO), Step::Cpu(cost::SYNC_CPU)];
 
         // RunPodSandbox (CRI RPC + containerd work).
         steps.push(Step::Io(cost::CRI_RPC));
@@ -138,14 +140,14 @@ impl Kubelet {
         steps.push(Step::Io(cost::VOLUMES_IO));
 
         // Pod infrastructure charged to the pod cgroup.
-        let pod_cgroup = containerd
-            .sandbox(&spec.name)
-            .expect("sandbox just created")
-            .pod_cgroup;
+        let pod_cgroup = containerd.sandbox(&spec.name).expect("sandbox just created").pod_cgroup;
         let infra_pid = self.kernel.spawn(&format!("pod-infra:{}", spec.name), pod_cgroup)?;
-        let infra =
-            self.kernel
-                .mmap_labeled(infra_pid, POD_INFRA_BYTES, MapKind::AnonPrivate, "pod-infra")?;
+        let infra = self.kernel.mmap_labeled(
+            infra_pid,
+            POD_INFRA_BYTES,
+            MapKind::AnonPrivate,
+            "pod-infra",
+        )?;
         self.kernel.touch(infra_pid, infra, POD_INFRA_BYTES)?;
         self.infra_procs.insert(spec.name.clone(), infra_pid);
 
@@ -189,14 +191,7 @@ impl Kubelet {
             .unwrap_or_default();
 
         self.pods_synced += 1;
-        Ok(PodRecord {
-            spec,
-            phase: PodPhase::Running,
-            pod_cgroup,
-            dispatched_at,
-            steps,
-            stdout,
-        })
+        Ok(PodRecord { spec, phase: PodPhase::Running, pod_cgroup, dispatched_at, steps, stdout })
     }
 
     /// Tear a pod down: remove the sandbox and the infra charge.

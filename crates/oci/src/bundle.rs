@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use bytelite::Bytes;
 use simkernel::vfs::FileContent;
 use simkernel::{FileId, Kernel, KernelError, KernelResult};
 
@@ -40,17 +40,12 @@ impl Bundle {
         let json = spec.to_json();
         let config_file =
             kernel.create_file(&config_path, FileContent::Bytes(Bytes::from(json)))?;
-        let rootfs: BTreeMap<String, FileId> = image
-            .files
-            .iter()
-            .map(|f| (f.guest_path.clone(), f.file))
-            .collect();
+        let rootfs: BTreeMap<String, FileId> =
+            image.files.iter().map(|f| (f.guest_path.clone(), f.file)).collect();
         let host_paths = image
             .files
             .iter()
-            .filter_map(|f| {
-                kernel.file_path(f.file).ok().map(|p| (f.guest_path.clone(), p))
-            })
+            .filter_map(|f| kernel.file_path(f.file).ok().map(|p| (f.guest_path.clone(), p)))
             .collect();
         Ok(Bundle { path, config_file, rootfs, host_paths })
     }
@@ -118,10 +113,7 @@ mod tests {
     fn duplicate_bundle_id_rejected() {
         let kernel = Kernel::boot(KernelConfig::default());
         let mut store = ImageStore::new();
-        let image = store
-            .register(&kernel, ImageBuilder::new("svc:v1"))
-            .unwrap()
-            .clone();
+        let image = store.register(&kernel, ImageBuilder::new("svc:v1")).unwrap().clone();
         let spec = RuntimeSpec::for_command("c1", vec!["x".into()]);
         Bundle::create(&kernel, "c1", &image, &spec).unwrap();
         assert!(Bundle::create(&kernel, "c1", &image, &spec).is_err());

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use bytelite::Bytes;
 use simkernel::vfs::FileContent;
 use simkernel::{FileId, Kernel, KernelError, KernelResult};
 
@@ -196,9 +196,7 @@ mod tests {
     fn layers_shared_across_pulls() {
         let k = kernel();
         let mut store = ImageStore::new();
-        let build = || {
-            ImageBuilder::new("img:v1").file("/app/a.wasm", &b"\0asm1234"[..])
-        };
+        let build = || ImageBuilder::new("img:v1").file("/app/a.wasm", &b"\0asm1234"[..]);
         let first = store.register(&k, build()).unwrap().file("/app/a.wasm").unwrap().file;
         let second = store.register(&k, build()).unwrap().file("/app/a.wasm").unwrap().file;
         assert_eq!(first, second, "re-pull reuses the stored layer file");

@@ -348,8 +348,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(cp)
@@ -508,10 +507,7 @@ mod tests {
 
     #[test]
     fn object_builder() {
-        let v = Value::object([
-            ("name", Value::from("crun")),
-            ("count", Value::from(3i64)),
-        ]);
+        let v = Value::object([("name", Value::from("crun")), ("count", Value::from(3i64))]);
         assert_eq!(v.to_json(), r#"{"count":3,"name":"crun"}"#);
     }
 

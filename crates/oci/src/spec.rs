@@ -106,12 +106,7 @@ impl RuntimeSpec {
     /// annotation is set or the entrypoint names a `.wasm` file.
     pub fn wants_wasm(&self) -> bool {
         self.annotations.get(WASM_VARIANT_ANNOTATION).map(String::as_str) == Some("compat")
-            || self
-                .process
-                .args
-                .first()
-                .map(|a| a.ends_with(".wasm"))
-                .unwrap_or(false)
+            || self.process.args.first().map(|a| a.ends_with(".wasm")).unwrap_or(false)
     }
 
     /// Serialize to `config.json` bytes.
@@ -143,17 +138,11 @@ impl RuntimeSpec {
         if let Some(limit) = self.linux.memory.limit {
             linux.push((
                 "resources",
-                Value::object([(
-                    "memory",
-                    Value::object([("limit", Value::from(limit))]),
-                )]),
+                Value::object([("memory", Value::object([("limit", Value::from(limit))]))]),
             ));
         }
         let annotations = Value::Object(
-            self.annotations
-                .iter()
-                .map(|(k, v)| (k.clone(), Value::from(v.clone())))
-                .collect(),
+            self.annotations.iter().map(|(k, v)| (k.clone(), Value::from(v.clone()))).collect(),
         );
         Value::object([
             ("ociVersion", Value::from(self.oci_version.clone())),
@@ -245,29 +234,14 @@ impl RuntimeSpec {
             process: ProcessSpec {
                 args: process.str_list("args"),
                 env: process.str_list("env"),
-                cwd: process
-                    .get("cwd")
-                    .and_then(Value::as_str)
-                    .unwrap_or("/")
-                    .to_string(),
-                terminal: process
-                    .get("terminal")
-                    .and_then(Value::as_bool)
-                    .unwrap_or(false),
+                cwd: process.get("cwd").and_then(Value::as_str).unwrap_or("/").to_string(),
+                terminal: process.get("terminal").and_then(Value::as_bool).unwrap_or(false),
             },
             root: RootSpec {
-                path: root
-                    .get("path")
-                    .and_then(Value::as_str)
-                    .unwrap_or("rootfs")
-                    .to_string(),
+                path: root.get("path").and_then(Value::as_str).unwrap_or("rootfs").to_string(),
                 readonly: root.get("readonly").and_then(Value::as_bool).unwrap_or(false),
             },
-            hostname: v
-                .get("hostname")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_string(),
+            hostname: v.get("hostname").and_then(Value::as_str).unwrap_or_default().to_string(),
             mounts,
             annotations,
             linux: LinuxSpec {
@@ -291,8 +265,7 @@ mod tests {
     fn roundtrip_default_spec() {
         let mut spec = RuntimeSpec::for_command("web-1", vec!["/app/main.wasm".into()]);
         spec.process.env = vec!["PORT=8080".into(), "MODE=prod".into()];
-        spec.annotations
-            .insert(WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
+        spec.annotations.insert(WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
         spec.linux.memory.limit = Some(64 << 20);
         let json = spec.to_json();
         let back = RuntimeSpec::from_json(&json).unwrap();
@@ -315,8 +288,7 @@ mod tests {
     fn wasm_dispatch_detection() {
         let mut spec = RuntimeSpec::for_command("c", vec!["/usr/bin/python3".into()]);
         assert!(!spec.wants_wasm());
-        spec.annotations
-            .insert(WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
+        spec.annotations.insert(WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
         assert!(spec.wants_wasm());
 
         let spec2 = RuntimeSpec::for_command("c", vec!["/app/svc.wasm".into()]);

@@ -46,21 +46,10 @@ pub enum Stmt {
     AugAssign(String, BinOp, Expr),
     IndexAssign(Expr, Expr, Expr),
     Expr(Expr),
-    If {
-        branches: Vec<(Expr, Vec<Stmt>)>,
-        else_body: Vec<Stmt>,
-    },
+    If { branches: Vec<(Expr, Vec<Stmt>)>, else_body: Vec<Stmt> },
     While(Expr, Vec<Stmt>),
-    For {
-        var: String,
-        iter: Expr,
-        body: Vec<Stmt>,
-    },
-    Def {
-        name: String,
-        params: Vec<String>,
-        body: Vec<Stmt>,
-    },
+    For { var: String, iter: Expr, body: Vec<Stmt> },
+    Def { name: String, params: Vec<String>, body: Vec<Stmt> },
     Return(Option<Expr>),
     Break,
     Continue,
@@ -82,9 +71,7 @@ impl Program {
             1 + match e {
                 Expr::Attr(o, _) | Expr::Neg(o) | Expr::Not(o) => expr_nodes(o),
                 Expr::Bin(_, a, b) | Expr::Index(a, b) => expr_nodes(a) + expr_nodes(b),
-                Expr::Call(f, args) => {
-                    expr_nodes(f) + args.iter().map(expr_nodes).sum::<usize>()
-                }
+                Expr::Call(f, args) => expr_nodes(f) + args.iter().map(expr_nodes).sum::<usize>(),
                 Expr::List(items) => items.iter().map(expr_nodes).sum(),
                 _ => 0,
             }
@@ -121,7 +108,10 @@ mod tests {
     fn node_counting() {
         let p = Program {
             body: vec![
-                Stmt::Assign("x".into(), Expr::Bin(BinOp::Add, Box::new(Expr::Int(1)), Box::new(Expr::Int(2)))),
+                Stmt::Assign(
+                    "x".into(),
+                    Expr::Bin(BinOp::Add, Box::new(Expr::Int(1)), Box::new(Expr::Int(2))),
+                ),
                 Stmt::Return(Some(Expr::Name("x".into()))),
             ],
         };

@@ -151,8 +151,8 @@ impl ContainerHandler for PythonHandler {
             .map_err(|_| KernelError::InvalidState("script is not UTF-8".into()))?;
 
         // Parse (real) and charge code objects.
-        let program = parse(source)
-            .map_err(|e| KernelError::InvalidState(format!("python parse: {e}")))?;
+        let program =
+            parse(source).map_err(|e| KernelError::InvalidState(format!("python parse: {e}")))?;
         let nodes = program.node_count() as u64;
         steps.push(Step::Cpu(Duration::from_nanos(nodes * p.parse_ns_per_node)));
         let code_bytes = (nodes * p.bytes_per_ast_node).max(4096);
@@ -160,21 +160,13 @@ impl ContainerHandler for PythonHandler {
         kernel.touch(pid, code, code_bytes)?;
 
         // Execute (real).
-        let argv: Vec<String> = spec
-            .process
-            .args
-            .iter()
-            .skip_while(|a| a.contains("python"))
-            .cloned()
-            .collect();
-        let mut interp =
-            Interp::new(argv, spec.process.env_pairs()).with_fuel(self.fuel);
+        let argv: Vec<String> =
+            spec.process.args.iter().skip_while(|a| a.contains("python")).cloned().collect();
+        let mut interp = Interp::new(argv, spec.process.env_pairs()).with_fuel(self.fuel);
         let exit_code = match interp.run(&program) {
             Ok(code) => code,
             Err(PyError::Exit(code)) => code,
-            Err(e) => {
-                return Err(KernelError::InvalidState(format!("python runtime: {e}")))
-            }
+            Err(e) => return Err(KernelError::InvalidState(format!("python runtime: {e}"))),
         };
         let stats = interp.stats();
         steps.push(Step::Cpu(Duration::from_nanos(stats.ops * p.exec_ns_per_op)));
@@ -276,10 +268,7 @@ print(\"service ready\", total)
         let p2 = kernel.spawn("py2", cg2).unwrap();
         let out2 = h.execute(&kernel, p2, &bundle, &spec).unwrap();
         assert_eq!(kernel.free().buff_cache, cache_after_one, "no new cache");
-        assert!(
-            !out2.steps.iter().any(|s| matches!(s, Step::Io(_))),
-            "warm start has no I/O"
-        );
+        assert!(!out2.steps.iter().any(|s| matches!(s, Step::Io(_))), "warm start has no I/O");
     }
 
     #[test]

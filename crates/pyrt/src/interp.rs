@@ -201,9 +201,7 @@ impl Interp {
                     "time" => "time",
                     "math" => "math",
                     "json" => "json",
-                    other => {
-                        return Err(PyError::Runtime(format!("no module named {other}")))
-                    }
+                    other => return Err(PyError::Runtime(format!("no module named {other}"))),
                 };
                 self.assign(name.clone(), PyValue::Module(module), &mut locals);
                 Ok(Flow::Normal)
@@ -305,10 +303,9 @@ impl Interp {
                         v
                     }
                     PyValue::List(l) => l.borrow().clone(),
-                    PyValue::Str(s) => s
-                        .chars()
-                        .map(|c| PyValue::Str(Rc::new(c.to_string())))
-                        .collect(),
+                    PyValue::Str(s) => {
+                        s.chars().map(|c| PyValue::Str(Rc::new(c.to_string()))).collect()
+                    }
                     other => {
                         return Err(PyError::Runtime(format!(
                             "{} is not iterable",
@@ -384,19 +381,20 @@ impl Interp {
             return Ok(v.clone());
         }
         match name {
-            "print" | "range" | "len" | "str" | "int" | "float" | "abs" | "sum" | "min"
-            | "max" => Ok(PyValue::Builtin(match name {
-                "print" => "print",
-                "range" => "range",
-                "len" => "len",
-                "str" => "str",
-                "int" => "int",
-                "float" => "float",
-                "abs" => "abs",
-                "sum" => "sum",
-                "min" => "min",
-                _ => "max",
-            })),
+            "print" | "range" | "len" | "str" | "int" | "float" | "abs" | "sum" | "min" | "max" => {
+                Ok(PyValue::Builtin(match name {
+                    "print" => "print",
+                    "range" => "range",
+                    "len" => "len",
+                    "str" => "str",
+                    "int" => "int",
+                    "float" => "float",
+                    "abs" => "abs",
+                    "sum" => "sum",
+                    "min" => "min",
+                    _ => "max",
+                }))
+            }
             _ => Err(PyError::Runtime(format!("name {name:?} is not defined"))),
         }
     }
@@ -503,9 +501,7 @@ impl Interp {
                                 vals.push(self.eval(a, locals)?);
                             }
                             if vals.len() != 1 {
-                                return Err(PyError::Runtime(
-                                    "append takes one argument".into(),
-                                ));
+                                return Err(PyError::Runtime("append takes one argument".into()));
                             }
                             self.alloc(1);
                             list.borrow_mut().push(vals.pop().expect("one"));
@@ -583,9 +579,7 @@ impl Interp {
             },
             "str" => {
                 self.alloc(1);
-                Ok(PyValue::Str(Rc::new(
-                    args.first().map(to_display).unwrap_or_default(),
-                )))
+                Ok(PyValue::Str(Rc::new(args.first().map(to_display).unwrap_or_default())))
             }
             "int" => match args.first() {
                 Some(PyValue::Int(v)) => Ok(PyValue::Int(*v)),
@@ -884,11 +878,9 @@ fn py_cmp(a: &PyValue, b: &PyValue) -> Result<std::cmp::Ordering, PyError> {
         (x, y) if is_num(x) && is_num(y) => as_f64(x)
             .partial_cmp(&as_f64(y))
             .ok_or_else(|| PyError::Runtime("NaN comparison".into())),
-        (x, y) => Err(PyError::Runtime(format!(
-            "cannot compare {} and {}",
-            type_name(x),
-            type_name(y)
-        ))),
+        (x, y) => {
+            Err(PyError::Runtime(format!("cannot compare {} and {}", type_name(x), type_name(y))))
+        }
     }
 }
 
@@ -1041,7 +1033,8 @@ print(s, len(s), s[1], s * 2)
 
     #[test]
     fn os_getenv() {
-        let program = parse("import os\nprint(os.getenv(\"MODE\"))\nprint(os.getenv(\"NOPE\"))").unwrap();
+        let program =
+            parse("import os\nprint(os.getenv(\"MODE\"))\nprint(os.getenv(\"NOPE\"))").unwrap();
         let mut interp = Interp::new(vec![], vec![("MODE".into(), "prod".into())]);
         interp.run(&program).unwrap();
         assert_eq!(interp.stdout, b"prod\nNone\n");

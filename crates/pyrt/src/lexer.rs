@@ -134,9 +134,7 @@ fn lex_line(mut s: &str, line: usize, out: &mut Vec<Tok>) -> Result<(), LexError
             continue;
         }
         if c.is_ascii_digit() {
-            let end = s
-                .find(|c: char| !(c.is_ascii_digit() || c == '.'))
-                .unwrap_or(s.len());
+            let end = s.find(|c: char| !(c.is_ascii_digit() || c == '.')).unwrap_or(s.len());
             let text = &s[..end];
             s = &s[end..];
             if text.contains('.') {
@@ -153,9 +151,7 @@ fn lex_line(mut s: &str, line: usize, out: &mut Vec<Tok>) -> Result<(), LexError
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
-            let end = s
-                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-                .unwrap_or(s.len());
+            let end = s.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).unwrap_or(s.len());
             let word = &s[..end];
             s = &s[end..];
             out.push(match word {

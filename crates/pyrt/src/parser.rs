@@ -114,9 +114,7 @@ impl Parser {
                     loop {
                         match self.bump() {
                             Tok::Name(n) => params.push(n),
-                            other => {
-                                return self.err(format!("expected parameter, got {other:?}"))
-                            }
+                            other => return self.err(format!("expected parameter, got {other:?}")),
                         }
                         if !self.eat(&Tok::Comma) {
                             break;

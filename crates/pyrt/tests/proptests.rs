@@ -1,9 +1,11 @@
 //! Property tests for the mini-Python: generated arithmetic programs are
 //! evaluated by the interpreter and checked against a Rust reference, and
-//! the lexer/parser never panic on arbitrary input.
+//! the lexer/parser never panic on arbitrary input. Runs on the offline
+//! `simkernel::prop` harness.
 
-use proptest::prelude::*;
 use pyrt::{parse, Interp, PyError};
+use simkernel::prop::check;
+use simkernel::rng::SplitMix64;
 
 /// A random integer expression with a reference value, built bottom-up so
 /// every generated program is semantically valid (no division by zero).
@@ -13,87 +15,98 @@ struct ExprCase {
     value: i64,
 }
 
-fn arb_expr(depth: u32) -> BoxedStrategy<ExprCase> {
-    let leaf = (-1000i64..1000)
-        .prop_map(|v| ExprCase { src: format!("({v})"), value: v })
-        .boxed();
-    if depth == 0 {
-        return leaf;
+fn gen_expr(g: &mut SplitMix64, depth: u32) -> ExprCase {
+    if depth == 0 || g.index(3) == 0 {
+        let v = g.range_i64(-1000, 1000);
+        return ExprCase { src: format!("({v})"), value: v };
     }
-    let sub = arb_expr(depth - 1);
-    let sub2 = arb_expr(depth - 1);
-    prop_oneof![
-        leaf,
-        (sub, sub2, 0u8..5).prop_map(|(a, b, op)| {
-            match op {
-                0 => ExprCase {
-                    src: format!("({} + {})", a.src, b.src),
-                    value: a.value.wrapping_add(b.value),
-                },
-                1 => ExprCase {
-                    src: format!("({} - {})", a.src, b.src),
-                    value: a.value.wrapping_sub(b.value),
-                },
-                2 => ExprCase {
-                    src: format!("({} * {})", a.src, b.src),
-                    value: a.value.wrapping_mul(b.value),
-                },
-                // Floor-div and mod by a nonzero constant (Python semantics:
-                // div_euclid/rem_euclid for positive divisors).
-                3 => ExprCase {
-                    src: format!("({} // 7)", a.src),
-                    value: a.value.div_euclid(7),
-                },
-                _ => ExprCase {
-                    src: format!("({} % 13)", a.src),
-                    value: a.value.rem_euclid(13),
-                },
+    let a = gen_expr(g, depth - 1);
+    match g.index(5) {
+        0 => {
+            let b = gen_expr(g, depth - 1);
+            ExprCase {
+                src: format!("({} + {})", a.src, b.src),
+                value: a.value.wrapping_add(b.value),
             }
-        }),
-    ]
-    .boxed()
+        }
+        1 => {
+            let b = gen_expr(g, depth - 1);
+            ExprCase {
+                src: format!("({} - {})", a.src, b.src),
+                value: a.value.wrapping_sub(b.value),
+            }
+        }
+        2 => {
+            let b = gen_expr(g, depth - 1);
+            ExprCase {
+                src: format!("({} * {})", a.src, b.src),
+                value: a.value.wrapping_mul(b.value),
+            }
+        }
+        // Floor-div and mod by a nonzero constant (Python semantics:
+        // div_euclid/rem_euclid for positive divisors).
+        3 => ExprCase { src: format!("({} // 7)", a.src), value: a.value.div_euclid(7) },
+        _ => ExprCase { src: format!("({} % 13)", a.src), value: a.value.rem_euclid(13) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn expressions_match_reference(case in arb_expr(4)) {
+#[test]
+fn expressions_match_reference() {
+    check("expressions_match_reference", 256, |g| {
+        let case = gen_expr(g, 4);
         let src = format!("print({})", case.src);
         let program = parse(&src).unwrap();
         let mut interp = Interp::new(vec![], vec![]);
         interp.run(&program).unwrap();
         let out = String::from_utf8(interp.stdout.clone()).unwrap();
-        prop_assert_eq!(out.trim(), case.value.to_string());
-    }
+        assert_eq!(out.trim(), case.value.to_string());
+    });
+}
 
-    #[test]
-    fn lexer_and_parser_never_panic(src in "\\PC{0,120}") {
+#[test]
+fn lexer_and_parser_never_panic() {
+    const SOUP: &[char] = &[
+        'p', 'r', 'i', 'n', 't', 'd', 'e', 'f', '(', ')', ':', '=', '+', '-', '*', '/', '%', '#',
+        '"', '\'', ' ', '\n', '\t', '0', '7', '_', 'é', '!', '<', '>',
+    ];
+    check("lexer_and_parser_never_panic", 512, |g| {
+        let src = g.string_upto(SOUP, 0, 120);
         let _ = parse(&src);
-    }
+    });
+}
 
-    #[test]
-    fn loops_sum_matches_closed_form(n in 0i64..300, step in 1i64..5) {
-        let src = format!(
-            "total = 0\nfor i in range(0, {n}, {step}):\n    total += i\nprint(total)"
-        );
+#[test]
+fn loops_sum_matches_closed_form() {
+    check("loops_sum_matches_closed_form", 128, |g| {
+        let n = g.range_i64(0, 300);
+        let step = g.range_i64(1, 5);
+        let src =
+            format!("total = 0\nfor i in range(0, {n}, {step}):\n    total += i\nprint(total)");
         let program = parse(&src).unwrap();
         let mut interp = Interp::new(vec![], vec![]);
         interp.run(&program).unwrap();
         let expected: i64 = (0..n).step_by(step as usize).sum();
         let out = String::from_utf8(interp.stdout.clone()).unwrap();
-        prop_assert_eq!(out.trim(), expected.to_string());
-    }
+        assert_eq!(out.trim(), expected.to_string());
+    });
+}
 
-    #[test]
-    fn fuel_always_terminates(fuel in 10u64..5000) {
+#[test]
+fn fuel_always_terminates() {
+    check("fuel_always_terminates", 64, |g| {
+        let fuel = g.range_u64(10, 5000);
         let program = parse("while True:\n    pass").unwrap();
         let mut interp = Interp::new(vec![], vec![]).with_fuel(fuel);
-        prop_assert_eq!(interp.run(&program), Err(PyError::FuelExhausted));
-        prop_assert!(interp.stats().ops <= fuel + 2);
-    }
+        assert_eq!(interp.run(&program), Err(PyError::FuelExhausted));
+        assert!(interp.stats().ops <= fuel + 2);
+    });
+}
 
-    #[test]
-    fn functions_compose(a in -100i64..100, b in -100i64..100) {
+#[test]
+fn functions_compose() {
+    check("functions_compose", 128, |g| {
+        let a = g.range_i64(-100, 100);
+        let b = g.range_i64(-100, 100);
         let src = format!(
             "def f(x):\n    return x * 2 + 1\n\ndef g(x):\n    return f(x) - 3\n\nprint(g({a}) + f({b}))"
         );
@@ -102,6 +115,6 @@ proptest! {
         interp.run(&program).unwrap();
         let expected = (a * 2 + 1 - 3) + (b * 2 + 1);
         let out = String::from_utf8(interp.stdout.clone()).unwrap();
-        prop_assert_eq!(out.trim(), expected.to_string());
-    }
+        assert_eq!(out.trim(), expected.to_string());
+    });
 }

@@ -57,9 +57,7 @@ pub fn resolve_module(bundle: &Bundle, spec: &RuntimeSpec) -> KernelResult<simke
         .args
         .first()
         .ok_or_else(|| KernelError::InvalidState("empty entrypoint".into()))?;
-    bundle
-        .resolve(entry)
-        .ok_or_else(|| KernelError::PathNotFound(format!("{entry} not in rootfs")))
+    bundle.resolve(entry).ok_or_else(|| KernelError::PathNotFound(format!("{entry} not in rootfs")))
 }
 
 /// Build the WASI configuration from the OCI process spec — the paper's
@@ -183,10 +181,8 @@ mod tests {
             .unwrap()
             .clone();
         let mut spec = RuntimeSpec::for_command("c1", image.command());
-        spec.annotations.insert(
-            oci_spec_lite::WASM_VARIANT_ANNOTATION.to_string(),
-            "compat".to_string(),
-        );
+        spec.annotations
+            .insert(oci_spec_lite::WASM_VARIANT_ANNOTATION.to_string(), "compat".to_string());
         let bundle = Bundle::create(&kernel, "c1", &image, &spec).unwrap();
         (kernel, bundle, spec)
     }

@@ -117,10 +117,7 @@ impl RuntimeProfile {
 pub fn install_runtimes(kernel: &simkernel::Kernel) -> simkernel::KernelResult<()> {
     for kind in [RuntimeKind::Crun, RuntimeKind::Runc, RuntimeKind::Youki] {
         let p = kind.profile();
-        kernel.ensure_file(
-            p.binary_path,
-            simkernel::vfs::FileContent::Synthetic(p.binary_size),
-        )?;
+        kernel.ensure_file(p.binary_path, simkernel::vfs::FileContent::Synthetic(p.binary_size))?;
     }
     Ok(())
 }

@@ -11,9 +11,7 @@
 
 use oci_spec_lite::{Bundle, RuntimeSpec};
 use simkernel::proc::NamespaceKind;
-use simkernel::{
-    CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step,
-};
+use simkernel::{CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step};
 
 use crate::handler::{ContainerHandler, HandlerOutcome};
 use crate::profile::RuntimeProfile;
@@ -126,31 +124,32 @@ impl LowLevelRuntime {
         let mut pid_slot: Option<Pid> = None;
         let mut cg_slot: Option<CgroupId> = None;
 
-        let op_result = self.transient_runtime_op(ctx, "create", &mut steps, |kernel, rt_pid, steps| {
-            // Parse the real config.json bytes off the VFS.
-            let spec = bundle.load_spec(kernel, rt_pid)?;
-            let config_kib = kernel.file_size(bundle.config_file)?.div_ceil(1024);
-            steps.push(Step::Cpu(Duration::from_nanos(config_kib * p.parse_ns_per_kib)));
+        let op_result =
+            self.transient_runtime_op(ctx, "create", &mut steps, |kernel, rt_pid, steps| {
+                // Parse the real config.json bytes off the VFS.
+                let spec = bundle.load_spec(kernel, rt_pid)?;
+                let config_kib = kernel.file_size(bundle.config_file)?.div_ceil(1024);
+                steps.push(Step::Cpu(Duration::from_nanos(config_kib * p.parse_ns_per_kib)));
 
-            // Container cgroup under the pod, with the spec's memory limit.
-            let cgroup = kernel.cgroup_create(pod_cgroup, id)?;
-            cg_slot = Some(cgroup);
-            if let Some(limit) = spec.linux.memory.limit {
-                kernel.cgroup_set_limit(cgroup, Some(limit))?;
-            }
-            steps.push(Step::Cpu(p.cgroup_setup));
+                // Container cgroup under the pod, with the spec's memory limit.
+                let cgroup = kernel.cgroup_create(pod_cgroup, id)?;
+                cg_slot = Some(cgroup);
+                if let Some(limit) = spec.linux.memory.limit {
+                    kernel.cgroup_set_limit(cgroup, Some(limit))?;
+                }
+                steps.push(Step::Cpu(p.cgroup_setup));
 
-            // Container init process: a fork of the runtime, so it shares
-            // the runtime binary text and keeps a small private residual.
-            let pid = kernel.spawn(&format!("container:{id}"), cgroup)?;
-            pid_slot = Some(pid);
-            let kinds = namespace_kinds(&spec.linux.namespaces);
-            kernel.unshare(pid, &kinds)?;
-            steps.push(Step::Cpu(p.create_sandbox));
+                // Container init process: a fork of the runtime, so it shares
+                // the runtime binary text and keeps a small private residual.
+                let pid = kernel.spawn(&format!("container:{id}"), cgroup)?;
+                pid_slot = Some(pid);
+                let kinds = namespace_kinds(&spec.linux.namespaces);
+                kernel.unshare(pid, &kinds)?;
+                steps.push(Step::Cpu(p.create_sandbox));
 
-            spec_slot = Some(spec);
-            Ok(())
-        });
+                spec_slot = Some(spec);
+                Ok(())
+            });
         if let Err(e) = op_result {
             // Failures after the container pid/cgroup exist must not leak.
             self.cleanup_partial(pid_slot, cg_slot);
@@ -201,11 +200,8 @@ impl LowLevelRuntime {
 
         self.transient_runtime_op(ctx, "start", &mut steps, |kernel, rt_pid, steps| {
             let spec = bundle.load_spec(kernel, rt_pid)?;
-            let handler = self
-                .handlers
-                .iter()
-                .find(|h| h.matches(&spec, bundle))
-                .ok_or_else(|| {
+            let handler =
+                self.handlers.iter().find(|h| h.matches(&spec, bundle)).ok_or_else(|| {
                     KernelError::InvalidState(format!(
                         "no handler for container {} (args {:?})",
                         container.id, spec.process.args
@@ -251,15 +247,11 @@ impl LowLevelRuntime {
 
     /// OCI `kill` + `delete`: stop the init process and remove the cgroup.
     pub fn delete(&self, container: &mut Container) -> KernelResult<()> {
-        if container.state == ContainerState::Running
-            || container.state == ContainerState::Created
+        if container.state == ContainerState::Running || container.state == ContainerState::Created
         {
             // The init process may already be gone (OOM-killed by the
             // kernel); delete must still reap it and remove the cgroup.
-            if matches!(
-                self.kernel.proc_state(container.pid),
-                Ok(simkernel::ProcState::Running)
-            ) {
+            if matches!(self.kernel.proc_state(container.pid), Ok(simkernel::ProcState::Running)) {
                 self.kernel.exit(container.pid, 0)?;
             }
             if self.kernel.proc_state(container.pid).is_ok() {
@@ -321,9 +313,7 @@ mod tests {
     }
 
     fn ctx(kernel: &Kernel) -> RuntimeCtx {
-        RuntimeCtx {
-            runtime_cgroup: kernel.cgroup_create(Kernel::ROOT_CGROUP, "system").unwrap(),
-        }
+        RuntimeCtx { runtime_cgroup: kernel.cgroup_create(Kernel::ROOT_CGROUP, "system").unwrap() }
     }
 
     #[test]
@@ -421,10 +411,8 @@ mod tests {
         let mut crun = LowLevelRuntime::new(kernel.clone(), &CRUN);
         crun.register_handler(Box::new(PauseHandler));
         let mut image_store = ImageStore::new();
-        let pause_img = image_store
-            .register(&kernel, ImageBuilder::new("pause:3.9"))
-            .unwrap()
-            .clone();
+        let pause_img =
+            image_store.register(&kernel, ImageBuilder::new("pause:3.9")).unwrap().clone();
         let pause_spec = RuntimeSpec::for_command("p", vec!["/pause".to_string()]);
         let pause_bundle_a = Bundle::create(&kernel, "pa", &pause_img, &pause_spec).unwrap();
         let mut ca = crun.create(&ctx, "pa", &pause_bundle_a, pod_a).unwrap();

@@ -51,9 +51,7 @@ pub enum Step {
 impl Step {
     /// An I/O step for a cold read of `bytes` from disk.
     pub fn disk_read(bytes: u64) -> Step {
-        Step::Io(Duration::from_nanos(
-            bytes.saturating_mul(1_000_000_000) / DISK_BYTES_PER_SEC,
-        ))
+        Step::Io(Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / DISK_BYTES_PER_SEC))
     }
 }
 
@@ -216,9 +214,8 @@ impl Sim {
         const EPS: f64 = 1e-6;
         while finished < n {
             // Current processor-sharing rate.
-            let runnable: Vec<usize> = (0..n)
-                .filter(|&i| rts[i].state == TaskState::Running)
-                .collect();
+            let runnable: Vec<usize> =
+                (0..n).filter(|&i| rts[i].state == TaskState::Running).collect();
             let rate = if runnable.is_empty() {
                 0.0
             } else {
@@ -260,11 +257,25 @@ impl Sim {
                 match rts[i].state {
                     TaskState::Running if rts[i].remaining <= EPS => {
                         rts[i].pc += 1;
-                        advance(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                        advance(
+                            &mut rts,
+                            i,
+                            now,
+                            &mut lock_holder,
+                            &mut lock_waiters,
+                            &mut finished,
+                        );
                     }
                     TaskState::Sleeping(end) if end <= now => {
                         rts[i].pc += 1;
-                        advance(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                        advance(
+                            &mut rts,
+                            i,
+                            now,
+                            &mut lock_holder,
+                            &mut lock_waiters,
+                            &mut finished,
+                        );
                     }
                     TaskState::Pending if rts[i].spec.start_at <= now => {
                         admit(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
@@ -509,9 +520,8 @@ mod tests {
         // 5000 tasks with zero-width critical sections: a recursive wake
         // chain would blow the stack; the worklist must not.
         let l = LockId(1);
-        let tasks: Vec<_> = (0..5000)
-            .map(|i| TaskSpec::new(format!("t{i}")).acquire(l).release(l))
-            .collect();
+        let tasks: Vec<_> =
+            (0..5000).map(|i| TaskSpec::new(format!("t{i}")).acquire(l).release(l)).collect();
         let out = Sim::new(4).run(tasks);
         assert_eq!(out.total(), Duration::ZERO);
         assert_eq!(out.results.len(), 5000);

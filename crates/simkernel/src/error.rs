@@ -48,20 +48,17 @@ impl fmt::Display for KernelError {
             KernelError::NoSuchFile(id) => write!(f, "no such file: {id:?}"),
             KernelError::PathNotFound(p) => write!(f, "path not found: {p}"),
             KernelError::PathExists(p) => write!(f, "path exists: {p}"),
-            KernelError::OutOfMemory { cgroup, requested, limit } => write!(
-                f,
-                "cgroup {cgroup:?} OOM: requested {requested} bytes over limit {limit}"
-            ),
-            KernelError::PhysicalExhausted { requested, available } => write!(
-                f,
-                "physical memory exhausted: requested {requested}, available {available}"
-            ),
+            KernelError::OutOfMemory { cgroup, requested, limit } => {
+                write!(f, "cgroup {cgroup:?} OOM: requested {requested} bytes over limit {limit}")
+            }
+            KernelError::PhysicalExhausted { requested, available } => {
+                write!(f, "physical memory exhausted: requested {requested}, available {available}")
+            }
             KernelError::InvalidState(s) => write!(f, "invalid state: {s}"),
             KernelError::CgroupBusy(c) => write!(f, "cgroup busy: {c:?}"),
-            KernelError::MappingOverflow { mapping, len, offset } => write!(
-                f,
-                "access at {offset} beyond mapping {mapping:?} of length {len}"
-            ),
+            KernelError::MappingOverflow { mapping, len, offset } => {
+                write!(f, "access at {offset} beyond mapping {mapping:?} of length {len}")
+            }
         }
     }
 }

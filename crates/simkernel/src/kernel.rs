@@ -1,15 +1,15 @@
 //! The kernel facade: processes + memory + cgroups + VFS + simulated clock.
 //!
 //! [`Kernel`] is a cheaply clonable handle (all layers of the container stack
-//! share one kernel). All state lives behind a single `parking_lot` mutex —
+//! share one kernel). All state lives behind a single `std::sync` mutex —
 //! the workloads are deployment-scale, not lock-contention-scale, and one
 //! lock keeps cross-subsystem invariants (physical conservation, hierarchical
 //! charging) trivially atomic.
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use bytelite::Bytes;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::cgroup::{CgroupId, CgroupTree, ChargeKind, MemStat};
 use crate::error::{KernelError, KernelResult};
@@ -99,6 +99,13 @@ impl Kernel {
     /// The root cgroup always exists.
     pub const ROOT_CGROUP: CgroupId = CgroupId(0);
 
+    /// Lock the kernel state. Poisoning is ignored: the state is a plain
+    /// value and a panicking worker thread (parallel experiment driver)
+    /// must not wedge every other worker sharing this kernel.
+    fn st(&self) -> MutexGuard<'_, KernelState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Boot a kernel with the given configuration.
     pub fn boot(cfg: KernelConfig) -> Kernel {
         assert!(cfg.ram_bytes > cfg.boot_used_bytes, "RAM must exceed boot footprint");
@@ -118,37 +125,37 @@ impl Kernel {
 
     /// Number of simulated cores (drives the DES scheduler).
     pub fn cores(&self) -> u32 {
-        self.state.lock().cfg.cores
+        self.st().cfg.cores
     }
 
     pub fn ram_bytes(&self) -> u64 {
-        self.state.lock().cfg.ram_bytes
+        self.st().cfg.ram_bytes
     }
 
     // ---------------------------------------------------------------- clock
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.state.lock().clock
+        self.st().clock
     }
 
     /// Advance the simulated clock.
     pub fn advance(&self, d: Duration) {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         st.clock += d;
     }
 
     // -------------------------------------------------------------- cgroups
 
     pub fn cgroup_create(&self, parent: CgroupId, name: &str) -> KernelResult<CgroupId> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         st.cgroups.create(parent, name).ok_or(KernelError::NoSuchCgroup(parent))
     }
 
     /// Remove a cgroup. Processes and anon/kernel charges must be gone;
     /// lingering page-cache charges are reparented, as Linux does.
     pub fn cgroup_remove(&self, cg: CgroupId) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let stat = st.cgroups.stat(cg).ok_or(KernelError::NoSuchCgroup(cg))?;
         let children = st.cgroups.children(cg);
         let has_procs = st.procs.values().any(|p| p.cgroup == cg && p.is_alive());
@@ -162,12 +169,8 @@ impl Kernel {
         if stat.file_bytes > 0 {
             st.cgroups.uncharge(cg, ChargeKind::File, stat.file_bytes);
             st.cgroups.charge(parent, ChargeKind::File, stat.file_bytes);
-            let ids: Vec<FileId> = st
-                .vfs
-                .list_prefix("")
-                .filter(|f| f.charged_to == Some(cg))
-                .map(|f| f.id)
-                .collect();
+            let ids: Vec<FileId> =
+                st.vfs.list_prefix("").filter(|f| f.charged_to == Some(cg)).map(|f| f.id).collect();
             for id in ids {
                 st.vfs.get_mut(id).expect("listed file exists").charged_to = Some(parent);
             }
@@ -180,7 +183,7 @@ impl Kernel {
     }
 
     pub fn cgroup_set_limit(&self, cg: CgroupId, limit: Option<u64>) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         if st.cgroups.set_limit(cg, limit) {
             Ok(())
         } else {
@@ -189,16 +192,16 @@ impl Kernel {
     }
 
     pub fn cgroup_stat(&self, cg: CgroupId) -> KernelResult<MemStat> {
-        self.state.lock().cgroups.stat(cg).ok_or(KernelError::NoSuchCgroup(cg))
+        self.st().cgroups.stat(cg).ok_or(KernelError::NoSuchCgroup(cg))
     }
 
     /// The metrics-server reading for a cgroup: its working set in bytes.
     pub fn cgroup_working_set(&self, cg: CgroupId) -> KernelResult<u64> {
-        self.state.lock().cgroups.working_set(cg).ok_or(KernelError::NoSuchCgroup(cg))
+        self.st().cgroups.working_set(cg).ok_or(KernelError::NoSuchCgroup(cg))
     }
 
     pub fn cgroup_oom_events(&self, cg: CgroupId) -> KernelResult<u64> {
-        self.state.lock().cgroups.oom_events(cg).ok_or(KernelError::NoSuchCgroup(cg))
+        self.st().cgroups.oom_events(cg).ok_or(KernelError::NoSuchCgroup(cg))
     }
 
     // ------------------------------------------------------------ processes
@@ -215,7 +218,7 @@ impl Kernel {
         parent: Option<Pid>,
         cgroup: CgroupId,
     ) -> KernelResult<Pid> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         if !st.cgroups.exists(cgroup) {
             return Err(KernelError::NoSuchCgroup(cgroup));
         }
@@ -237,7 +240,7 @@ impl Kernel {
 
     /// Create fresh namespaces owned by a process (runtime `create` step).
     pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         // Namespaces cost slab memory; ~4 KiB apiece is the right order.
         let extra = 4096 * kinds.len() as u64;
         let cg = st.alive(pid)?.cgroup;
@@ -251,7 +254,7 @@ impl Kernel {
     /// Move a live process to another cgroup. Its anon and kernel charges
     /// migrate; page-cache charges stay where they were faulted (Linux).
     pub fn move_process(&self, pid: Pid, to: CgroupId) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         if !st.cgroups.exists(to) {
             return Err(KernelError::NoSuchCgroup(to));
         }
@@ -278,7 +281,7 @@ impl Kernel {
     /// Exit a process: tear down its address space and uncharge everything
     /// except page-cache residency (which persists machine-wide).
     pub fn exit(&self, pid: Pid, code: i32) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         st.teardown(pid)?;
         st.procs.get_mut(&pid).expect("torn down").state = ProcState::Exited(code);
         Ok(())
@@ -286,7 +289,7 @@ impl Kernel {
 
     /// Kernel OOM-kill: like exit, but recorded as such.
     pub fn oom_kill(&self, pid: Pid) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         st.teardown(pid)?;
         st.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
         Ok(())
@@ -294,7 +297,7 @@ impl Kernel {
 
     /// Forget an exited process entirely.
     pub fn reap(&self, pid: Pid) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         match st.procs.get(&pid) {
             Some(p) if !p.is_alive() => {
                 st.procs.remove(&pid);
@@ -306,35 +309,20 @@ impl Kernel {
     }
 
     pub fn proc_state(&self, pid: Pid) -> KernelResult<ProcState> {
-        self.state
-            .lock()
-            .procs
-            .get(&pid)
-            .map(|p| p.state)
-            .ok_or(KernelError::NoSuchProcess(pid))
+        self.st().procs.get(&pid).map(|p| p.state).ok_or(KernelError::NoSuchProcess(pid))
     }
 
     pub fn proc_rss(&self, pid: Pid) -> KernelResult<u64> {
-        self.state
-            .lock()
-            .procs
-            .get(&pid)
-            .map(|p| p.rss())
-            .ok_or(KernelError::NoSuchProcess(pid))
+        self.st().procs.get(&pid).map(|p| p.rss()).ok_or(KernelError::NoSuchProcess(pid))
     }
 
     pub fn proc_cgroup(&self, pid: Pid) -> KernelResult<CgroupId> {
-        self.state
-            .lock()
-            .procs
-            .get(&pid)
-            .map(|p| p.cgroup)
-            .ok_or(KernelError::NoSuchProcess(pid))
+        self.st().procs.get(&pid).map(|p| p.cgroup).ok_or(KernelError::NoSuchProcess(pid))
     }
 
     /// Number of live processes.
     pub fn live_procs(&self) -> usize {
-        self.state.lock().procs.values().filter(|p| p.is_alive()).count()
+        self.st().procs.values().filter(|p| p.is_alive()).count()
     }
 
     // --------------------------------------------------------------- memory
@@ -352,7 +340,7 @@ impl Kernel {
         kind: MapKind,
         label: &str,
     ) -> KernelResult<MappingId> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         if let Some(fid) = kind.file() {
             let f = st.vfs.get_mut(fid).ok_or(KernelError::NoSuchFile(fid))?;
             f.map_refs += 1;
@@ -361,14 +349,7 @@ impl Kernel {
         let id = p.alloc_mapping_id();
         p.mappings.insert(
             id,
-            Mapping {
-                id,
-                kind,
-                len,
-                committed_anon: 0,
-                touched_file: 0,
-                label: label.to_string(),
-            },
+            Mapping { id, kind, len, committed_anon: 0, touched_file: 0, label: label.to_string() },
         );
         Ok(id)
     }
@@ -379,20 +360,20 @@ impl Kernel {
     /// On a cgroup limit breach the faulting process is OOM-killed and
     /// `OutOfMemory` is returned.
     pub fn touch(&self, pid: Pid, mapping: MappingId, bytes: u64) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         st.touch_inner(pid, mapping, bytes, false)
     }
 
     /// Write to a copy-on-write file mapping: the written range becomes
     /// private anonymous memory.
     pub fn cow_write(&self, pid: Pid, mapping: MappingId, bytes: u64) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         st.touch_inner(pid, mapping, bytes, true)
     }
 
     /// Grow an existing mapping's reservation (e.g. `memory.grow`).
     pub fn mremap(&self, pid: Pid, mapping: MappingId, new_len: u64) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let p = st.alive_mut(pid)?;
         let m = p.mappings.get_mut(&mapping).ok_or(KernelError::NoSuchMapping(pid, mapping))?;
         if new_len < m.committed_anon + m.touched_file {
@@ -404,13 +385,10 @@ impl Kernel {
 
     /// Unmap a region, uncharging this process's share.
     pub fn munmap(&self, pid: Pid, mapping: MappingId) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let (cg, m) = {
             let p = st.alive_mut(pid)?;
-            let m = p
-                .mappings
-                .remove(&mapping)
-                .ok_or(KernelError::NoSuchMapping(pid, mapping))?;
+            let m = p.mappings.remove(&mapping).ok_or(KernelError::NoSuchMapping(pid, mapping))?;
             (p.cgroup, m)
         };
         st.release_mapping(pid, cg, &m);
@@ -422,28 +400,24 @@ impl Kernel {
 
     /// Create a file with real or synthetic content.
     pub fn create_file(&self, path: &str, content: FileContent) -> KernelResult<FileId> {
-        let mut st = self.state.lock();
-        st.vfs
-            .create(path, content)
-            .ok_or_else(|| KernelError::PathExists(path.to_string()))
+        let mut st = self.st();
+        st.vfs.create(path, content).ok_or_else(|| KernelError::PathExists(path.to_string()))
     }
 
     /// Idempotent install: create the file if the path is free, otherwise
     /// return the existing file untouched (binaries, libraries, stdlib
     /// trees installed once per node).
     pub fn ensure_file(&self, path: &str, content: FileContent) -> KernelResult<FileId> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         if let Some(existing) = st.vfs.lookup(path) {
             return Ok(existing);
         }
-        st.vfs
-            .create(path, content)
-            .ok_or_else(|| KernelError::PathExists(path.to_string()))
+        st.vfs.create(path, content).ok_or_else(|| KernelError::PathExists(path.to_string()))
     }
 
     /// Replace a file's content (drops its cache).
     pub fn overwrite_file(&self, id: FileId, content: FileContent) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let charged = st.vfs.get(id).and_then(|f| f.charged_to);
         let evicted = st.vfs.overwrite(id, content).ok_or(KernelError::NoSuchFile(id))?;
         if evicted > 0 {
@@ -455,31 +429,22 @@ impl Kernel {
     }
 
     pub fn lookup(&self, path: &str) -> KernelResult<FileId> {
-        self.state
-            .lock()
-            .vfs
-            .lookup(path)
-            .ok_or_else(|| KernelError::PathNotFound(path.to_string()))
+        self.st().vfs.lookup(path).ok_or_else(|| KernelError::PathNotFound(path.to_string()))
     }
 
     pub fn file_size(&self, id: FileId) -> KernelResult<u64> {
-        self.state.lock().vfs.get(id).map(|f| f.size()).ok_or(KernelError::NoSuchFile(id))
+        self.st().vfs.get(id).map(|f| f.size()).ok_or(KernelError::NoSuchFile(id))
     }
 
     pub fn file_path(&self, id: FileId) -> KernelResult<String> {
-        self.state
-            .lock()
-            .vfs
-            .get(id)
-            .map(|f| f.path.clone())
-            .ok_or(KernelError::NoSuchFile(id))
+        self.st().vfs.get(id).map(|f| f.path.clone()).ok_or(KernelError::NoSuchFile(id))
     }
 
     /// Read a whole file on behalf of `pid`: faults it into the page cache
     /// (charging the first toucher's cgroup) and returns real bytes if the
     /// file has them.
     pub fn read_file(&self, pid: Pid, id: FileId) -> KernelResult<Option<Bytes>> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let cg = st.alive(pid)?.cgroup;
         if let Err(e) = st.fault_file(cg, id, u64::MAX) {
             if let KernelError::OutOfMemory { .. } = e {
@@ -496,17 +461,12 @@ impl Kernel {
 
     /// Bytes of a file currently in the page cache.
     pub fn file_cached(&self, id: FileId) -> KernelResult<u64> {
-        self.state
-            .lock()
-            .vfs
-            .get(id)
-            .map(|f| f.cached_bytes)
-            .ok_or(KernelError::NoSuchFile(id))
+        self.st().vfs.get(id).map(|f| f.cached_bytes).ok_or(KernelError::NoSuchFile(id))
     }
 
     /// Drop a file's page cache (used by teardown paths between repetitions).
     pub fn evict_file(&self, id: FileId) -> KernelResult<u64> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let f = st.vfs.get_mut(id).ok_or(KernelError::NoSuchFile(id))?;
         let evicted = f.cached_bytes;
         let charged = f.charged_to.take();
@@ -519,7 +479,7 @@ impl Kernel {
 
     /// Delete a file, dropping any cache.
     pub fn remove_file(&self, id: FileId) -> KernelResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.st();
         let charged = st.vfs.get(id).and_then(|f| f.charged_to);
         let (_f, cached) = st.vfs.remove(id).ok_or(KernelError::NoSuchFile(id))?;
         if cached > 0 {
@@ -534,7 +494,7 @@ impl Kernel {
 
     /// The `free(1)` observer.
     pub fn free(&self) -> FreeReport {
-        let st = self.state.lock();
+        let st = self.st();
         let total = st.cfg.ram_bytes;
         let used = st.total_anon + st.total_kernel;
         let buff_cache = st.vfs.total_cached();
@@ -544,7 +504,7 @@ impl Kernel {
 
     /// Snapshot of every live process: (pid, name, cgroup, rss).
     pub fn ps(&self) -> Vec<(Pid, String, CgroupId, u64)> {
-        let st = self.state.lock();
+        let st = self.st();
         st.procs
             .values()
             .filter(|p| p.is_alive())
@@ -625,7 +585,8 @@ impl KernelState {
             let f = self.vfs.get(id).ok_or(KernelError::NoSuchFile(id))?;
             (f.size(), f.cached_bytes)
         };
-        let target = round_up_pages(size.min(limit), PAGE_SIZE).min(round_up_pages(size, PAGE_SIZE));
+        let target =
+            round_up_pages(size.min(limit), PAGE_SIZE).min(round_up_pages(size, PAGE_SIZE));
         if cached >= target {
             return Ok(0);
         }
@@ -714,8 +675,7 @@ impl KernelState {
                         // Page-cache charge breached memory.max: the kernel
                         // OOM-kills the faulting process, as with anon.
                         self.teardown(pid)?;
-                        self.procs.get_mut(&pid).expect("torn down").state =
-                            ProcState::OomKilled;
+                        self.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
                     }
                     return Err(e);
                 }
@@ -868,9 +828,7 @@ mod tests {
     #[test]
     fn shared_file_pages_counted_once() {
         let k = kernel();
-        let lib = k
-            .create_file("/usr/lib/libwamr.so", FileContent::Synthetic(1 << 20))
-            .unwrap();
+        let lib = k.create_file("/usr/lib/libwamr.so", FileContent::Synthetic(1 << 20)).unwrap();
         let cg_a = k.cgroup_create(Kernel::ROOT_CGROUP, "a").unwrap();
         let cg_b = k.cgroup_create(Kernel::ROOT_CGROUP, "b").unwrap();
         let pa = k.spawn("a", cg_a).unwrap();
@@ -1064,10 +1022,7 @@ mod tests {
         let k = kernel();
         let pid = k.spawn("p", Kernel::ROOT_CGROUP).unwrap();
         let m = k.mmap(pid, 4096, MapKind::AnonPrivate).unwrap();
-        assert!(matches!(
-            k.touch(pid, m, 8192),
-            Err(KernelError::MappingOverflow { .. })
-        ));
+        assert!(matches!(k.touch(pid, m, 8192), Err(KernelError::MappingOverflow { .. })));
     }
 
     #[test]
@@ -1153,8 +1108,8 @@ mod tests {
         k.touch(pid, m, 128 << 10).unwrap(); // read: file-backed share
         let rss_read = k.proc_rss(pid).unwrap();
         k.cow_write(pid, m, 128 << 10).unwrap(); // write all: private copies
-        // RSS stays flat (pages replaced, not added), anon replaces the
-        // mapped-file share in the working set.
+                                                 // RSS stays flat (pages replaced, not added), anon replaces the
+                                                 // mapped-file share in the working set.
         assert_eq!(k.proc_rss(pid).unwrap(), rss_read);
         let stat = k.cgroup_stat(cg).unwrap();
         assert_eq!(stat.anon_bytes, 128 << 10);
@@ -1177,10 +1132,7 @@ mod tests {
         k.cgroup_set_limit(cg2, Some(64 << 10)).unwrap();
         let pid = k.spawn("r", cg2).unwrap();
         let f = k.create_file("/big", FileContent::Synthetic(1 << 20)).unwrap();
-        assert!(matches!(
-            k.read_file(pid, f),
-            Err(KernelError::OutOfMemory { .. })
-        ));
+        assert!(matches!(k.read_file(pid, f), Err(KernelError::OutOfMemory { .. })));
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub mod error;
 pub mod kernel;
 pub mod mem;
 pub mod proc;
+pub mod prop;
+pub mod rng;
 pub mod time;
 pub mod vfs;
 

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use bytelite::Bytes;
 
 use crate::cgroup::CgroupId;
 
@@ -150,10 +150,7 @@ impl Vfs {
     /// Files with cached pages and no live mappings, in id order
     /// (deterministic eviction order).
     pub fn evictable(&self) -> impl Iterator<Item = FileId> + '_ {
-        self.files
-            .values()
-            .filter(|f| f.map_refs == 0 && f.cached_bytes > 0)
-            .map(|f| f.id)
+        self.files.values().filter(|f| f.map_refs == 0 && f.cached_bytes > 0).map(|f| f.id)
     }
 
     pub fn len(&self) -> usize {

@@ -1,11 +1,10 @@
 //! Property tests for the kernel substrate: accounting conservation under
 //! arbitrary operation sequences, and determinism/work-conservation of the
-//! discrete-event scheduler.
+//! discrete-event scheduler. Runs on the offline `simkernel::prop` harness.
 
-use proptest::prelude::*;
-use simkernel::{
-    Duration, Kernel, KernelConfig, MapKind, Sim, Step, TaskSpec,
-};
+use simkernel::prop::check;
+use simkernel::rng::SplitMix64;
+use simkernel::{Duration, Kernel, KernelConfig, MapKind, Sim, Step, TaskSpec};
 
 /// Random memory-lifecycle actions executed against one kernel.
 #[derive(Debug, Clone)]
@@ -21,24 +20,24 @@ enum Action {
     MoveNewestProc,
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        Just(Action::Spawn),
-        Just(Action::ExitNewest),
-        (1u32..(4 << 20)).prop_map(|bytes| Action::MmapAnon { bytes }),
-        Just(Action::TouchAll),
-        (1u16..512).prop_map(|kb| Action::CreateFile { kb }),
-        Just(Action::ReadNewestFile),
-        Just(Action::MapNewestFileShared),
-        Just(Action::RemoveNewestFile),
-        Just(Action::MoveNewestProc),
-    ]
+fn gen_action(g: &mut SplitMix64) -> Action {
+    match g.index(9) {
+        0 => Action::Spawn,
+        1 => Action::ExitNewest,
+        2 => Action::MmapAnon { bytes: g.range_u64(1, 4 << 20) as u32 },
+        3 => Action::TouchAll,
+        4 => Action::CreateFile { kb: g.range_u64(1, 512) as u16 },
+        5 => Action::ReadNewestFile,
+        6 => Action::MapNewestFileShared,
+        7 => Action::RemoveNewestFile,
+        _ => Action::MoveNewestProc,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn accounting_conserves_under_random_ops(actions in proptest::collection::vec(arb_action(), 1..60)) {
+#[test]
+fn accounting_conserves_under_random_ops() {
+    check("accounting_conserves_under_random_ops", 64, |g| {
+        let actions: Vec<Action> = (0..1 + g.index(59)).map(|_| gen_action(g)).collect();
         let kernel = Kernel::boot(KernelConfig {
             ram_bytes: 2 << 30,
             cores: 4,
@@ -121,16 +120,16 @@ proptest! {
             // INVARIANTS after every action:
             let free = kernel.free();
             // 1. Physical conservation.
-            prop_assert_eq!(free.total, free.used + free.buff_cache + free.free);
+            assert_eq!(free.total, free.used + free.buff_cache + free.free);
             // 2. Hierarchy: root cgroup sees at least each child's charge.
             let root = kernel.cgroup_stat(Kernel::ROOT_CGROUP).unwrap();
             let a_stat = kernel.cgroup_stat(cg_a).unwrap();
             let b_stat = kernel.cgroup_stat(cg_b).unwrap();
-            prop_assert!(root.current >= a_stat.current);
-            prop_assert!(root.current >= b_stat.current);
-            prop_assert!(root.current >= a_stat.current + b_stat.current);
+            assert!(root.current >= a_stat.current);
+            assert!(root.current >= b_stat.current);
+            assert!(root.current >= a_stat.current + b_stat.current);
             // 3. Working sets never exceed memory.current.
-            prop_assert!(kernel.cgroup_working_set(cg_a).unwrap() <= a_stat.current);
+            assert!(kernel.cgroup_working_set(cg_a).unwrap() <= a_stat.current);
         }
 
         // Teardown: exiting everything releases all anon+kernel charges.
@@ -139,53 +138,40 @@ proptest! {
         }
         let a_stat = kernel.cgroup_stat(cg_a).unwrap();
         let b_stat = kernel.cgroup_stat(cg_b).unwrap();
-        prop_assert_eq!(a_stat.anon_bytes, 0);
-        prop_assert_eq!(b_stat.anon_bytes, 0);
-        prop_assert_eq!(a_stat.kernel_bytes, 0);
-        prop_assert_eq!(b_stat.kernel_bytes, 0);
-    }
+        assert_eq!(a_stat.anon_bytes, 0);
+        assert_eq!(b_stat.anon_bytes, 0);
+        assert_eq!(a_stat.kernel_bytes, 0);
+        assert_eq!(b_stat.kernel_bytes, 0);
+    });
 }
 
 // Random DES task sets.
-prop_compose! {
-    fn arb_task(max_lock: u32)(
-        segments in proptest::collection::vec(
-            prop_oneof![
-                (1u64..200_000_000).prop_map(|ns| (0u8, ns)),
-                (1u64..200_000_000).prop_map(|ns| (1u8, ns)),
-                (0..max_lock).prop_map(|l| (2u8, l as u64)),
-            ],
-            1..8,
-        ),
-        start_ms in 0u64..500,
-    ) -> TaskSpec {
-        let mut t = TaskSpec::new("t").starting_at(simkernel::SimTime(start_ms * 1_000_000));
-        for (kind, v) in segments {
-            t = match kind {
-                0 => t.cpu(Duration::from_nanos(v)),
-                1 => t.io(Duration::from_nanos(v)),
-                _ => {
-                    let l = simkernel::LockId(v as u32);
-                    t.acquire(l).cpu(Duration::from_millis(1)).release(l)
-                }
-            };
-        }
-        t
+fn gen_task(g: &mut SplitMix64, max_lock: u32) -> TaskSpec {
+    let start_ms = g.range_u64(0, 500);
+    let mut t = TaskSpec::new("t").starting_at(simkernel::SimTime(start_ms * 1_000_000));
+    for _ in 0..1 + g.index(7) {
+        t = match g.index(3) {
+            0 => t.cpu(Duration::from_nanos(g.range_u64(1, 200_000_000))),
+            1 => t.io(Duration::from_nanos(g.range_u64(1, 200_000_000))),
+            _ => {
+                let l = simkernel::LockId(g.range_u64(0, max_lock as u64) as u32);
+                t.acquire(l).cpu(Duration::from_millis(1)).release(l)
+            }
+        };
     }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn des_is_deterministic_and_work_conserving(
-        tasks in proptest::collection::vec(arb_task(3), 1..24),
-        cores in 1u32..8,
-    ) {
+#[test]
+fn des_is_deterministic_and_work_conserving() {
+    check("des_is_deterministic_and_work_conserving", 48, |g| {
+        let tasks: Vec<TaskSpec> = (0..1 + g.index(23)).map(|_| gen_task(g, 3)).collect();
+        let cores = g.range_u64(1, 8) as u32;
         let sim = Sim::new(cores);
         let a = sim.run(tasks.clone());
         let b = sim.run(tasks.clone());
         for (x, y) in a.results.iter().zip(b.results.iter()) {
-            prop_assert_eq!(x.finished, y.finished, "deterministic");
+            assert_eq!(x.finished, y.finished, "deterministic");
         }
         // Work conservation bounds: makespan ≥ max single-task critical
         // path, and ≥ total CPU / cores (steps after last start).
@@ -204,11 +190,11 @@ proptest! {
             })
             .max()
             .unwrap_or(0);
-        prop_assert!(a.makespan.as_nanos() >= total_cpu / cores as u64);
-        prop_assert!(a.makespan.as_nanos() + 2 >= longest, "{} vs {}", a.makespan.as_nanos(), longest);
+        assert!(a.makespan.as_nanos() >= total_cpu / cores as u64);
+        assert!(a.makespan.as_nanos() + 2 >= longest, "{} vs {}", a.makespan.as_nanos(), longest);
         // All finish times are at/after their start times.
         for (r, t) in a.results.iter().zip(&tasks) {
-            prop_assert!(r.finished >= t.start_at);
+            assert!(r.finished >= t.start_at);
         }
-    }
+    });
 }

@@ -40,8 +40,7 @@ impl WasiState {
     pub fn resolve(&self, dir_fd: usize, rel_path: &str) -> Option<String> {
         let entry = self.fds.get(dir_fd)?.as_ref()?;
         let FdEntry::PreopenDir { guest_path } = entry else { return None };
-        let (gp, host_prefix) =
-            self.preopens.iter().find(|(g, _)| g == guest_path)?;
+        let (gp, host_prefix) = self.preopens.iter().find(|(g, _)| g == guest_path)?;
         let _ = gp;
         let mut p = host_prefix.trim_end_matches('/').to_string();
         p.push('/');

@@ -81,8 +81,7 @@ pub(crate) fn build_imports(state: Rc<RefCell<WasiState>>) -> Imports {
                 let m = mem(memory)?;
                 let s = st.borrow();
                 let count = s.env.len() as u32;
-                let buf: u32 =
-                    s.env.iter().map(|(k, v)| (k.len() + v.len() + 2) as u32).sum();
+                let buf: u32 = s.env.iter().map(|(k, v)| (k.len() + v.len() + 2) as u32).sum();
                 m.store_u32(i32_arg(args, 0)?, 0, count)?;
                 m.store_u32(i32_arg(args, 1)?, 0, buf)?;
                 ok(Errno::Success)
@@ -405,9 +404,7 @@ mod tests {
 
     use simkernel::vfs::FileContent;
     use simkernel::{Kernel, KernelConfig};
-    use wasm_core::{
-        FuncType, Instance, InstanceConfig, ModuleBuilder, Trap, ValType, Value,
-    };
+    use wasm_core::{FuncType, Instance, InstanceConfig, ModuleBuilder, Trap, ValType, Value};
 
     use crate::WasiCtx;
 
@@ -455,8 +452,7 @@ mod tests {
     #[test]
     fn environ_written() {
         let mut b = ModuleBuilder::new();
-        let sizes =
-            b.import_func("wasi_snapshot_preview1", "environ_sizes_get", wasi_sig(2));
+        let sizes = b.import_func("wasi_snapshot_preview1", "environ_sizes_get", wasi_sig(2));
         let get = b.import_func("wasi_snapshot_preview1", "environ_get", wasi_sig(2));
         let mem = b.memory(1, None);
         b.export_memory("memory", mem);
@@ -510,7 +506,7 @@ mod tests {
         kernel
             .create_file(
                 "/containers/c1/rootfs/data/config.txt",
-                FileContent::Bytes(bytes::Bytes::from_static(b"threads=4")),
+                FileContent::Bytes(bytelite::Bytes::from_static(b"threads=4")),
             )
             .unwrap();
 

@@ -1,10 +1,12 @@
 //! Property tests for the WASI layer: argument/environment marshalling
 //! round-trips through guest memory for arbitrary inputs, and fd-table
-//! operations never corrupt state.
+//! operations never corrupt state. Runs on the offline `simkernel::prop`
+//! harness.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use simkernel::prop::check;
+use simkernel::rng::SplitMix64;
 use simkernel::{Kernel, KernelConfig};
 use wasi_sys::WasiCtx;
 use wasm_core::{FuncType, Instance, InstanceConfig, ModuleBuilder, ValType};
@@ -34,29 +36,17 @@ fn args_probe_module() -> Arc<wasm_core::Module> {
     Arc::new(b.build())
 }
 
-fn arg_strategy() -> impl Strategy<Value = String> {
-    // Arguments without NUL (the C ABI boundary) up to 40 chars, including
-    // multibyte characters.
-    proptest::collection::vec(
-        prop_oneof![
-            proptest::char::range('a', 'z'),
-            proptest::char::range('0', '9'),
-            Just('-'),
-            Just('/'),
-            Just('é'),
-            Just('世'),
-        ],
-        0..40,
-    )
-    .prop_map(|cs| cs.into_iter().collect())
+/// Arguments without NUL (the C ABI boundary) up to 40 chars, including
+/// multibyte characters.
+fn gen_arg(g: &mut SplitMix64) -> String {
+    const CHARS: &[char] = &['a', 'f', 'k', 'p', 'z', '0', '4', '9', '-', '/', 'é', '世'];
+    g.string_upto(CHARS, 0, 40)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn argv_roundtrips_for_arbitrary_arguments(
-        args in proptest::collection::vec(arg_strategy(), 1..8)
-    ) {
+#[test]
+fn argv_roundtrips_for_arbitrary_arguments() {
+    check("argv_roundtrips_for_arbitrary_arguments", 64, |g| {
+        let args: Vec<String> = (0..1 + g.index(7)).map(|_| gen_arg(g)).collect();
         let kernel = Kernel::boot(KernelConfig::default());
         let pid = kernel.spawn("t", Kernel::ROOT_CGROUP).unwrap();
         let ctx = WasiCtx::new(kernel, pid).args(args.clone());
@@ -67,25 +57,27 @@ proptest! {
         )
         .unwrap();
         let out = inst.invoke("probe", &[]).unwrap();
-        prop_assert_eq!(out[0], wasm_core::Value::I32(args.len() as i32));
+        assert_eq!(out[0], wasm_core::Value::I32(args.len() as i32));
         // Walk the argv pointers and compare each NUL-terminated string.
         let mem = inst.memory().unwrap();
         for (i, expected) in args.iter().enumerate() {
             let ptr = mem.load_u32(16 + 4 * i as u32, 0).unwrap();
             let bytes = mem.read_bytes(ptr, expected.len() as u32 + 1).unwrap();
-            prop_assert_eq!(&bytes[..expected.len()], expected.as_bytes());
-            prop_assert_eq!(bytes[expected.len()], 0, "NUL terminator");
+            assert_eq!(&bytes[..expected.len()], expected.as_bytes());
+            assert_eq!(bytes[expected.len()], 0, "NUL terminator");
         }
-    }
+    });
+}
 
-    #[test]
-    fn environ_sizes_are_consistent(
-        env in proptest::collection::vec(("[A-Z_]{1,12}", arg_strategy()), 0..6)
-    ) {
+#[test]
+fn environ_sizes_are_consistent() {
+    check("environ_sizes_are_consistent", 64, |g| {
+        const KEY: &[char] = &['A', 'G', 'M', 'T', 'Z', '_'];
+        let env: Vec<(String, String)> =
+            (0..g.index(6)).map(|_| (g.string_upto(KEY, 1, 13), gen_arg(g))).collect();
         let kernel = Kernel::boot(KernelConfig::default());
         let pid = kernel.spawn("t", Kernel::ROOT_CGROUP).unwrap();
-        let expected_buf: u32 =
-            env.iter().map(|(k, v)| (k.len() + v.len() + 2) as u32).sum();
+        let expected_buf: u32 = env.iter().map(|(k, v)| (k.len() + v.len() + 2) as u32).sum();
         let count = env.len() as u32;
 
         let mut b = ModuleBuilder::new();
@@ -117,12 +109,16 @@ proptest! {
         .unwrap();
         let out = inst.invoke("probe", &[]).unwrap();
         let packed = out[0].as_i64().unwrap() as u64;
-        prop_assert_eq!((packed >> 32) as u32, count);
-        prop_assert_eq!(packed as u32, expected_buf);
-    }
+        assert_eq!((packed >> 32) as u32, count);
+        assert_eq!(packed as u32, expected_buf);
+    });
+}
 
-    #[test]
-    fn random_get_fills_exactly_len_bytes(len in 0u32..512, seed in any::<u64>()) {
+#[test]
+fn random_get_fills_exactly_len_bytes() {
+    check("random_get_fills_exactly_len_bytes", 64, |g| {
+        let len = g.range_u64(0, 512) as u32;
+        let seed = g.next_u64();
         let kernel = Kernel::boot(KernelConfig::default());
         let pid = kernel.spawn("t", Kernel::ROOT_CGROUP).unwrap();
         let mut b = ModuleBuilder::new();
@@ -145,10 +141,10 @@ proptest! {
         )
         .unwrap();
         let out = inst.invoke("probe", &[wasm_core::Value::I32(len as i32)]).unwrap();
-        prop_assert_eq!(out[0], wasm_core::Value::I32(0), "errno success");
+        assert_eq!(out[0], wasm_core::Value::I32(0), "errno success");
         // Bytes beyond the requested length stay zero.
         let mem = inst.memory().unwrap();
         let after = mem.read_bytes(64 + len, 16).unwrap();
-        prop_assert!(after.iter().all(|b| *b == 0));
-    }
+        assert!(after.iter().all(|b| *b == 0));
+    });
 }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use bytelite::Bytes;
 
 use crate::encode::encode_module;
 use crate::instr::{write_instr, BrTableData, Instruction, MemArg};
@@ -44,10 +44,7 @@ impl ModuleBuilder {
     /// Import a function. Must precede all local function definitions
     /// (imports come first in the index space). Returns the function index.
     pub fn import_func(&mut self, module: &str, name: &str, ft: FuncType) -> u32 {
-        assert!(
-            self.module.funcs.is_empty(),
-            "imports must be declared before local functions"
-        );
+        assert!(self.module.funcs.is_empty(), "imports must be declared before local functions");
         let t = self.type_idx(ft);
         self.module.imports.push(Import {
             module: module.to_string(),
@@ -97,16 +94,12 @@ impl ModuleBuilder {
     }
 
     pub fn export_memory(&mut self, name: &str, idx: u32) -> &mut Self {
-        self.module
-            .exports
-            .push(Export { name: name.to_string(), desc: ExportDesc::Memory(idx) });
+        self.module.exports.push(Export { name: name.to_string(), desc: ExportDesc::Memory(idx) });
         self
     }
 
     pub fn export_global(&mut self, name: &str, idx: u32) -> &mut Self {
-        self.module
-            .exports
-            .push(Export { name: name.to_string(), desc: ExportDesc::Global(idx) });
+        self.module.exports.push(Export { name: name.to_string(), desc: ExportDesc::Global(idx) });
         self
     }
 

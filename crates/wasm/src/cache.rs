@@ -1,0 +1,240 @@
+//! Process-wide content-addressed module-artifact cache.
+//!
+//! Every simulated engine decodes + validates the same workload module
+//! bytes for every container it starts. On the *simulated* side that work
+//! is correctly charged per container (each container's DES task pays the
+//! decode/validate steps), but on the *host* side re-decoding an identical
+//! module hundreds of times per experiment grid cell is pure waste. This
+//! cache shares one decoded, validated [`Module`] per distinct byte string
+//! across all clusters and worker threads in the process.
+//!
+//! Keys are FNV-1a content hashes; each bucket stores the full original
+//! bytes so hash collisions degrade to byte comparison, never to a wrong
+//! module. Hit/miss counters are exposed through [`CacheStats`] so the
+//! harness can assert cache effectiveness (the experiment grids reuse a
+//! handful of workload images across hundreds of containers, so hit rates
+//! above 90% are expected and tested).
+//!
+//! Modules returned by [`ArtifactCache::get_or_decode`] are **validated**:
+//! callers may instantiate them through
+//! [`Instance::instantiate_prevalidated`](crate::Instance::instantiate_prevalidated)
+//! to skip the per-instance re-validation pass.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bytelite::Bytes;
+
+use crate::error::{DecodeError, ValidationError};
+use crate::module::Module;
+
+/// FNV-1a over the module bytes: cheap, deterministic, good dispersion for
+/// content addressing (the same scheme the simulated Wasmtime code cache
+/// uses on the DES side).
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a module could not enter the cache.
+#[derive(Debug)]
+pub enum ArtifactError {
+    Decode(DecodeError),
+    Invalid(ValidationError),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Decode(e) => write!(f, "module failed to decode: {e}"),
+            ArtifactError::Invalid(e) => write!(f, "module failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A content-addressed map from module bytes to decoded+validated modules.
+#[derive(Default)]
+pub struct ArtifactCache {
+    /// hash → entries with that hash. Collisions are resolved by comparing
+    /// the stored bytes, so two distinct modules never alias.
+    inner: Mutex<HashMap<u64, Vec<(Bytes, Arc<Module>)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// The process-wide cache shared by every engine and worker thread.
+    pub fn global() -> &'static ArtifactCache {
+        static GLOBAL: OnceLock<ArtifactCache> = OnceLock::new();
+        GLOBAL.get_or_init(ArtifactCache::new)
+    }
+
+    /// Look up `bytes`, decoding and validating on first sight. Returns a
+    /// shared handle to the one `Module` for this byte string.
+    pub fn get_or_decode(&self, bytes: &Bytes) -> Result<Arc<Module>, ArtifactError> {
+        let key = content_hash(bytes);
+        if let Some(found) = self.lookup(key, bytes) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        // Decode outside the lock: misses are rare and decoding under the
+        // lock would serialize every worker on the first cell of a grid.
+        let module = crate::decode::decode_module(bytes.clone()).map_err(ArtifactError::Decode)?;
+        crate::validate::validate_module(&module).map_err(ArtifactError::Invalid)?;
+        let module = Arc::new(module);
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let bucket = inner.entry(key).or_default();
+        // Another worker may have decoded the same bytes concurrently; keep
+        // the first entry so every caller shares one Arc.
+        if let Some((_, existing)) = bucket.iter().find(|(b, _)| b == bytes) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(existing));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        bucket.push((bytes.clone(), Arc::clone(&module)));
+        Ok(module)
+    }
+
+    fn lookup(&self, key: u64, bytes: &Bytes) -> Option<Arc<Module>> {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.get(&key)?.iter().find(|(b, _)| b == bytes).map(|(_, m)| Arc::clone(m))
+    }
+
+    /// Number of distinct modules cached.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters since construction (or [`reset_stats`]).
+    ///
+    /// [`reset_stats`]: ArtifactCache::reset_stats
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the hit/miss counters (entries stay). Lets tests measure the
+    /// hit rate of one workload phase in isolation.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drop all entries and counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.clear();
+        drop(inner);
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::FuncType;
+    use crate::ValType;
+
+    fn module_bytes(marker: i32) -> Bytes {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![ValType::I32]), |f| {
+            f.i32_const(marker);
+        });
+        b.export_func("f", f);
+        Bytes::from(crate::encode::encode_module(&b.build()))
+    }
+
+    #[test]
+    fn same_bytes_share_one_module() {
+        let cache = ArtifactCache::new();
+        let bytes = module_bytes(7);
+        let a = cache.get_or_decode(&bytes).unwrap();
+        let b = cache.get_or_decode(&bytes.clone()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same bytes must yield the same Arc");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_bytes_get_distinct_entries() {
+        let cache = ArtifactCache::new();
+        let a = cache.get_or_decode(&module_bytes(1)).unwrap();
+        let b = cache.get_or_decode(&module_bytes(2)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalid_modules_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let garbage = Bytes::from(&b"\x00asm\x01\x00\x00\x00\xff"[..]);
+        assert!(cache.get_or_decode(&garbage).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn hit_rate_reflects_reuse() {
+        let cache = ArtifactCache::new();
+        let bytes = module_bytes(3);
+        for _ in 0..10 {
+            cache.get_or_decode(&bytes).unwrap();
+        }
+        assert!(cache.stats().hit_rate() >= 0.9);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cached_modules_instantiate_prevalidated() {
+        let cache = ArtifactCache::new();
+        let module = cache.get_or_decode(&module_bytes(11)).unwrap();
+        let mut inst = crate::Instance::instantiate_prevalidated(
+            module,
+            crate::Imports::new(),
+            crate::InstanceConfig::default(),
+        )
+        .unwrap();
+        let out = inst.invoke("f", &[]).unwrap();
+        assert_eq!(out, vec![crate::Value::I32(11)]);
+    }
+}

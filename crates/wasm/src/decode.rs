@@ -4,7 +4,7 @@
 //! that an in-place interpreter over a page-cache-shared module binary
 //! allocates essentially nothing — the property the WAMR profile measures.
 
-use bytes::Bytes;
+use bytelite::Bytes;
 
 use crate::error::DecodeError;
 use crate::instr::{read_instr, Instruction};
@@ -157,12 +157,11 @@ pub fn decode_module(bytes: impl Into<Bytes>) -> Result<Module, DecodeError> {
                 let name = r.name()?;
                 // The name may (maliciously) extend past the declared
                 // section size; that is a malformed section, not a panic.
-                let payload = r.take(end.checked_sub(r.pos).ok_or(
-                    DecodeError::SectionSizeMismatch {
+                let payload =
+                    r.take(end.checked_sub(r.pos).ok_or(DecodeError::SectionSizeMismatch {
                         declared: size as u32,
                         actual: (r.pos - body_start) as u32,
-                    },
-                )?)?;
+                    })?)?;
                 m.customs.push((name, payload));
             }
             1 => {
@@ -395,11 +394,8 @@ mod tests {
         b.extend_from_slice(&1u32.to_le_bytes());
         b.extend_from_slice(&[1, 5, 1, 0x60, 0, 1, 0x7f]);
         b.extend_from_slice(&[3, 2, 1, 0]); // declares one function
-        // no code section
-        assert_eq!(
-            decode_module(b),
-            Err(DecodeError::FuncCodeMismatch { funcs: 1, bodies: 0 })
-        );
+                                            // no code section
+        assert_eq!(decode_module(b), Err(DecodeError::FuncCodeMismatch { funcs: 1, bodies: 0 }));
     }
 
     #[test]

@@ -248,7 +248,7 @@ mod tests {
     use crate::decode::decode_module;
     use crate::module::{DataSegment, Export, FuncBody, Global, Import};
     use crate::types::{FuncType, MemoryType, ValType};
-    use bytes::Bytes;
+    use bytelite::Bytes;
 
     #[test]
     fn empty_module() {

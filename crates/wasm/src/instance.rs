@@ -75,12 +75,7 @@ impl Imports {
         self
     }
 
-    pub fn register(
-        &mut self,
-        module: &str,
-        name: &str,
-        f: HostFunc,
-    ) {
+    pub fn register(&mut self, module: &str, name: &str, f: HostFunc) {
         self.funcs.insert((module.to_string(), name.to_string()), f);
     }
 }
@@ -151,6 +146,13 @@ pub struct Instance {
     pub(crate) lowered: Vec<Option<Arc<LoweredFunc>>>,
     pub(crate) stats: ExecStats,
     pub(crate) fuel: Option<u64>,
+    /// Reusable operand stack: cleared and handed to the interpreter on
+    /// each invocation so repeated invokes don't reallocate.
+    pub(crate) value_stack: Vec<Slot>,
+    /// Recycled `locals` buffers from popped interpreter frames.
+    pub(crate) locals_pool: Vec<Vec<Slot>>,
+    /// Recycled label stacks from popped interpreter frames.
+    pub(crate) labels_pool: Vec<Vec<interp::Label>>,
 }
 
 impl std::fmt::Debug for Instance {
@@ -167,11 +169,22 @@ impl Instance {
     /// Validate and instantiate a module with the given imports.
     pub fn instantiate(
         module: Arc<Module>,
-        mut imports: Imports,
+        imports: Imports,
         config: InstanceConfig,
     ) -> Result<Instance, InstantiateError> {
         crate::validate::validate_module(&module).map_err(InstantiateError::Invalid)?;
+        Instance::instantiate_prevalidated(module, imports, config)
+    }
 
+    /// Instantiate a module that is already known to be valid — e.g. one
+    /// obtained from [`crate::ArtifactCache::get_or_decode`], which
+    /// validates on insertion. Skips the per-instance validation pass; the
+    /// caller vouches for validity (an invalid module may panic mid-run).
+    pub fn instantiate_prevalidated(
+        module: Arc<Module>,
+        mut imports: Imports,
+        config: InstanceConfig,
+    ) -> Result<Instance, InstantiateError> {
         // Resolve imports. Only function imports are supported by this
         // embedder (all WASI modules import functions only).
         let mut host_funcs = Vec::new();
@@ -184,9 +197,7 @@ impl Instance {
                     })?;
                     host_funcs.push(Some(f));
                 }
-                other => {
-                    return Err(InstantiateError::UnsupportedImport(format!("{other:?}")))
-                }
+                other => return Err(InstantiateError::UnsupportedImport(format!("{other:?}"))),
             }
         }
 
@@ -213,11 +224,8 @@ impl Instance {
         }
 
         // Table + element segments.
-        let mut table: Vec<Option<u32>> = module
-            .tables
-            .first()
-            .map(|t| vec![None; t.limits.min as usize])
-            .unwrap_or_default();
+        let mut table: Vec<Option<u32>> =
+            module.tables.first().map(|t| vec![None; t.limits.min as usize]).unwrap_or_default();
         for seg in &module.elements {
             let offset = match seg.offset {
                 ConstExpr::I32(v) => v as u32 as usize,
@@ -245,6 +253,9 @@ impl Instance {
             lowered: vec![None; n_local_funcs],
             stats: ExecStats::default(),
             module,
+            value_stack: Vec::new(),
+            locals_pool: Vec::new(),
+            labels_pool: Vec::new(),
         };
 
         // Data segments.
@@ -253,10 +264,7 @@ impl Instance {
                 ConstExpr::I32(v) => v as u32,
                 _ => return Err(InstantiateError::SegmentOutOfBounds("data")),
             };
-            let mem = inst
-                .memory
-                .as_mut()
-                .ok_or(InstantiateError::SegmentOutOfBounds("data"))?;
+            let mem = inst.memory.as_mut().ok_or(InstantiateError::SegmentOutOfBounds("data"))?;
             mem.write_bytes(offset, &seg.bytes)
                 .map_err(|_| InstantiateError::SegmentOutOfBounds("data"))?;
         }
@@ -281,8 +289,8 @@ impl Instance {
         for i in 0..module.funcs.len() {
             if self.lowered[i].is_none() {
                 let func_idx = module.num_imported_funcs() + i as u32;
-                let lf = lowered::lower_function(&module, func_idx)
-                    .expect("validated function lowers");
+                let lf =
+                    lowered::lower_function(&module, func_idx).expect("validated function lowers");
                 self.stats.lowered_bytes += lf.memory_bytes();
                 self.lowered[i] = Some(Arc::new(lf));
             }
@@ -338,9 +346,7 @@ impl Instance {
             .module
             .func_type(func_idx)
             .ok_or_else(|| Trap::HostError(format!("no function {func_idx}")))?;
-        if ft.params.len() != args.len()
-            || ft.params.iter().zip(args).any(|(p, a)| *p != a.ty())
-        {
+        if ft.params.len() != args.len() || ft.params.iter().zip(args).any(|(p, a)| *p != a.ty()) {
             return Err(Trap::HostError(format!(
                 "argument mismatch: expected {}, got {} args",
                 ft,
@@ -398,12 +404,10 @@ mod tests {
 
     fn add_module() -> Arc<Module> {
         let mut b = ModuleBuilder::new();
-        let add = b.func(
-            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
-            |f| {
+        let add =
+            b.func(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]), |f| {
                 f.local_get(0).local_get(1).op(crate::instr::Instruction::I32Add);
-            },
-        );
+            });
         b.export_func("add", add);
         Arc::new(b.build())
     }
@@ -422,12 +426,9 @@ mod tests {
     fn missing_import_reported() {
         let mut b = ModuleBuilder::new();
         b.import_func("env", "f", FuncType::new(vec![], vec![]));
-        let err = Instance::instantiate(
-            Arc::new(b.build()),
-            Imports::new(),
-            InstanceConfig::default(),
-        )
-        .unwrap_err();
+        let err =
+            Instance::instantiate(Arc::new(b.build()), Imports::new(), InstanceConfig::default())
+                .unwrap_err();
         assert!(matches!(err, InstantiateError::MissingImport(_, _)));
     }
 
@@ -446,8 +447,7 @@ mod tests {
             Ok(vec![])
         });
         let mut inst =
-            Instance::instantiate(Arc::new(b.build()), imports, InstanceConfig::default())
-                .unwrap();
+            Instance::instantiate(Arc::new(b.build()), imports, InstanceConfig::default()).unwrap();
         inst.invoke("go", &[]).unwrap();
         assert_eq!(&*calls.borrow(), &[Value::I32(7)]);
         assert_eq!(inst.stats().host_calls, 1);
@@ -469,20 +469,16 @@ mod tests {
         let mut b = ModuleBuilder::new();
         b.memory(1, None);
         b.data(65534, &b"xyz"[..]);
-        let err = Instance::instantiate(
-            Arc::new(b.build()),
-            Imports::new(),
-            InstanceConfig::default(),
-        )
-        .unwrap_err();
+        let err =
+            Instance::instantiate(Arc::new(b.build()), Imports::new(), InstanceConfig::default())
+                .unwrap_err();
         assert!(matches!(err, InstantiateError::SegmentOutOfBounds("data")));
     }
 
     #[test]
     fn argument_mismatch_rejected() {
         let mut inst =
-            Instance::instantiate(add_module(), Imports::new(), InstanceConfig::default())
-                .unwrap();
+            Instance::instantiate(add_module(), Imports::new(), InstanceConfig::default()).unwrap();
         assert!(inst.invoke("add", &[Value::I32(1)]).is_err());
         assert!(inst.invoke("add", &[Value::I64(1), Value::I64(2)]).is_err());
         assert!(inst.invoke("nope", &[]).is_err());
@@ -507,8 +503,7 @@ mod tests {
         let module = Arc::new(b.build());
         for tier in [ExecTier::InPlace, ExecTier::Lowered] {
             let cfg = InstanceConfig { tier, fuel: Some(10_000), ..Default::default() };
-            let mut inst =
-                Instance::instantiate(Arc::clone(&module), Imports::new(), cfg).unwrap();
+            let mut inst = Instance::instantiate(Arc::clone(&module), Imports::new(), cfg).unwrap();
             assert_eq!(inst.invoke("spin", &[]), Err(Trap::OutOfFuel));
             assert_eq!(inst.fuel_remaining(), Some(0));
         }

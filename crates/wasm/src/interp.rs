@@ -10,10 +10,10 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytelite::Bytes;
 
-use crate::instr::{read_instr, Instruction};
 use crate::instance::Instance;
+use crate::instr::{read_instr, Instruction};
 use crate::module::Module;
 use crate::numeric::{exec_simple, Simple};
 use crate::types::BlockType;
@@ -70,10 +70,8 @@ impl SideTable {
     /// Look up the entry for the opener at byte offset `at`.
     #[inline]
     pub fn lookup(&self, at: u32) -> SideEntry {
-        let i = self
-            .entries
-            .binary_search_by_key(&at, |e| e.at)
-            .expect("every opener has an entry");
+        let i =
+            self.entries.binary_search_by_key(&at, |e| e.at).expect("every opener has an entry");
         self.entries[i]
     }
 
@@ -93,7 +91,7 @@ impl SideTable {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Label {
+pub(crate) struct Label {
     is_loop: bool,
     /// Offset of the matching `end` opcode (function end for the implicit
     /// outermost label).
@@ -141,10 +139,15 @@ fn side_table(inst: &mut Instance, local_idx: usize) -> Result<Arc<SideTable>, T
     Ok(table)
 }
 
+/// Most recycled buffers kept per pool. Deep recursion can pop hundreds of
+/// frames at once; keeping a bounded stash is enough to make steady-state
+/// call chains allocation-free without hoarding memory.
+const POOL_CAP: usize = 64;
+
 fn make_frame(
     inst: &mut Instance,
     func_idx: u32,
-    args: Vec<Slot>,
+    args: &[Slot],
     base: usize,
 ) -> Result<Frame, Trap> {
     let imported = inst.module.num_imported_funcs();
@@ -152,7 +155,9 @@ fn make_frame(
     let body = &inst.module.bodies[local_idx];
     let ft = inst.module.func_type(func_idx).expect("validated");
     let results = ft.results.len();
-    let mut locals = args;
+    let mut locals = inst.locals_pool.pop().unwrap_or_default();
+    locals.clear();
+    locals.extend_from_slice(args);
     locals.resize(locals.len() + body.local_count() as usize, Slot(0));
     let code = body.code.clone();
     let side = side_table(inst, local_idx)?;
@@ -163,7 +168,32 @@ fn make_frame(
         height: base,
         br_arity: results,
     };
-    Ok(Frame { code, side, pc: 0, locals, labels: vec![func_label], base, results })
+    let mut labels = inst.labels_pool.pop().unwrap_or_default();
+    labels.clear();
+    labels.push(func_label);
+    Ok(Frame { code, side, pc: 0, locals, labels, base, results })
+}
+
+/// Return a popped frame's buffers to the instance pools for reuse.
+fn recycle_frame(inst: &mut Instance, frame: Frame) {
+    if inst.locals_pool.len() < POOL_CAP {
+        inst.locals_pool.push(frame.locals);
+    }
+    if inst.labels_pool.len() < POOL_CAP {
+        inst.labels_pool.push(frame.labels);
+    }
+}
+
+/// Move the top `arity` stack slots down to `dest` and drop everything in
+/// between — the branch/return stack adjustment, without the temporary
+/// vector a `split_off` would allocate.
+#[inline]
+fn shift_down(stack: &mut Vec<Slot>, dest: usize, arity: usize) {
+    let src = stack.len() - arity;
+    if src > dest {
+        stack.copy_within(src.., dest);
+    }
+    stack.truncate(dest + arity);
 }
 
 /// Invoke `func_idx` with typed arguments through the in-place interpreter.
@@ -178,9 +208,30 @@ pub(crate) fn invoke(
     }
     let result_types = inst.module.func_type(func_idx).expect("validated").results.clone();
 
-    let mut stack: Vec<Slot> = Vec::with_capacity(64);
+    // Borrow the instance's reusable operand stack for this invocation so
+    // repeated invokes share one allocation (host functions cannot re-enter
+    // the interpreter, so the stack is never borrowed twice).
+    let mut stack = std::mem::take(&mut inst.value_stack);
+    stack.clear();
+    stack.reserve(64);
+    let outcome = run(inst, &mut stack, func_idx, args);
+    let result = outcome.map(|()| {
+        result_types.iter().zip(stack.drain(..)).map(|(t, s)| Value::from_slot(s, *t)).collect()
+    });
+    stack.clear();
+    inst.value_stack = stack;
+    result
+}
+
+/// The interpreter main loop, operating on a borrowed operand stack.
+fn run(
+    inst: &mut Instance,
+    stack: &mut Vec<Slot>,
+    func_idx: u32,
+    args: &[Value],
+) -> Result<(), Trap> {
     let arg_slots: Vec<Slot> = args.iter().map(|v| v.to_slot()).collect();
-    let mut frames = vec![make_frame(inst, func_idx, arg_slots, 0)?];
+    let mut frames = vec![make_frame(inst, func_idx, &arg_slots, 0)?];
 
     'outer: loop {
         let frame = frames.last_mut().expect("at least one frame");
@@ -189,11 +240,9 @@ pub(crate) fn invoke(
         if frame.pc >= frame.code.len() {
             let results = frame.results;
             let base = frame.base;
-            let split = stack.len() - results;
-            let tail: Vec<Slot> = stack.split_off(split);
-            stack.truncate(base);
-            stack.extend(tail);
-            frames.pop();
+            shift_down(stack, base, results);
+            let done = frames.pop().expect("frame being popped");
+            recycle_frame(inst, done);
             if frames.is_empty() {
                 break 'outer;
             }
@@ -215,7 +264,7 @@ pub(crate) fn invoke(
             let frame = frames.last_mut().expect("frame");
             match exec_simple(
                 &instr,
-                &mut stack,
+                stack,
                 &mut frame.locals,
                 &mut inst.globals,
                 &mut inst.memory,
@@ -290,48 +339,39 @@ pub(crate) fn invoke(
                 // Function return is handled by the pc >= len check.
             }
             Instruction::Br(depth) => {
-                branch(frames.last_mut().expect("frame"), &mut stack, depth);
+                branch(frames.last_mut().expect("frame"), stack, depth);
             }
             Instruction::BrIf(depth) => {
                 let cond = stack.pop().expect("validated").i32();
                 if cond != 0 {
-                    branch(frames.last_mut().expect("frame"), &mut stack, depth);
+                    branch(frames.last_mut().expect("frame"), stack, depth);
                 }
             }
             Instruction::BrTable(data) => {
                 let idx = stack.pop().expect("validated").u32() as usize;
                 let depth = data.targets.get(idx).copied().unwrap_or(data.default);
-                branch(frames.last_mut().expect("frame"), &mut stack, depth);
+                branch(frames.last_mut().expect("frame"), stack, depth);
             }
             Instruction::Return => {
                 let frame = frames.last_mut().expect("frame");
                 // Jump past the function's final end; epilogue handles it.
                 frame.pc = frame.code.len();
-                let results = frame.results;
-                let height = frame.base;
-                let split = stack.len() - results;
-                let tail: Vec<Slot> = stack.split_off(split);
-                stack.truncate(height);
-                stack.extend(tail);
+                shift_down(stack, frame.base, frame.results);
                 frame.labels.clear();
             }
             Instruction::Call(f) => {
-                call(inst, &mut frames, &mut stack, f)?;
+                call(inst, &mut frames, stack, f)?;
             }
             Instruction::CallIndirect { type_idx, .. } => {
                 let elem = stack.pop().expect("validated").u32() as usize;
                 let f = resolve_indirect(inst, type_idx, elem)?;
-                call(inst, &mut frames, &mut stack, f)?;
+                call(inst, &mut frames, stack, f)?;
             }
             other => unreachable!("simple instruction fell through: {other:?}"),
         }
     }
 
-    Ok(result_types
-        .iter()
-        .zip(stack)
-        .map(|(t, s)| Value::from_slot(s, *t))
-        .collect())
+    Ok(())
 }
 
 /// Resolve a `call_indirect` target and check its signature.
@@ -350,10 +390,7 @@ fn resolve_indirect(inst: &Instance, type_idx: u32, elem: usize) -> Result<u32, 
 fn branch(frame: &mut Frame, stack: &mut Vec<Slot>, depth: u32) {
     let li = frame.labels.len() - 1 - depth as usize;
     let label = frame.labels[li];
-    let split = stack.len() - label.br_arity;
-    let tail: Vec<Slot> = stack.split_off(split);
-    stack.truncate(label.height);
-    stack.extend(tail);
+    shift_down(stack, label.height, label.br_arity);
     if label.is_loop {
         frame.pc = label.cont_pc;
         frame.labels.truncate(li + 1);
@@ -376,13 +413,9 @@ fn call(
         // Wasm→Wasm path below avoids the allocation entirely).
         let ft = inst.module.func_type(func_idx).expect("validated").clone();
         let split = stack.len() - ft.params.len();
-        let arg_slots: Vec<Slot> = stack.split_off(split);
-        let args: Vec<Value> = ft
-            .params
-            .iter()
-            .zip(&arg_slots)
-            .map(|(t, s)| Value::from_slot(*s, *t))
-            .collect();
+        let args: Vec<Value> =
+            ft.params.iter().zip(&stack[split..]).map(|(t, s)| Value::from_slot(*s, *t)).collect();
+        stack.truncate(split);
         let results = inst.call_host(func_idx, &args)?;
         if results.len() != ft.results.len() {
             return Err(Trap::HostError(format!(
@@ -399,9 +432,10 @@ fn call(
         }
         let n_params = inst.module.func_type(func_idx).expect("validated").params.len();
         let split = stack.len() - n_params;
-        let args: Vec<Slot> = stack.split_off(split);
-        let base = stack.len();
-        let frame = make_frame(inst, func_idx, args, base)?;
+        // Arguments become the callee's locals directly from the stack top;
+        // make_frame copies them into a pooled buffer, no temporary vector.
+        let frame = make_frame(inst, func_idx, &stack[split..], split)?;
+        stack.truncate(split);
         frames.push(frame);
         Ok(())
     }
@@ -565,15 +599,13 @@ mod tests {
         b.table(2, Some(2));
         b.elem(0, vec![double, triple]);
         let sig_idx_holder = sig;
-        let caller = b.func(
-            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
-            move |f| {
+        let caller =
+            b.func(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]), move |f| {
                 let _ = &sig_idx_holder;
                 f.local_get(0); // argument
                 f.local_get(1); // table index
                 f.call_indirect(0);
-            },
-        );
+            });
         b.export_func("apply", caller);
         let mut inst = instantiate(b);
         assert_eq!(

@@ -25,6 +25,7 @@
 //! engines crate charges their measured allocations to the simulated kernel.
 
 pub mod builder;
+pub mod cache;
 pub mod decode;
 pub mod encode;
 pub mod error;
@@ -38,10 +39,11 @@ pub mod module;
 pub(crate) mod numeric;
 pub mod types;
 pub mod validate;
-pub mod wat;
 pub mod values;
+pub mod wat;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
+pub use cache::{ArtifactCache, CacheStats};
 pub use decode::decode_module;
 pub use encode::encode_module;
 pub use error::{DecodeError, ValidationError};

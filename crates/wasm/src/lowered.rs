@@ -11,8 +11,8 @@
 
 use std::sync::Arc;
 
-use crate::instr::{read_instr, Instruction};
 use crate::instance::Instance;
+use crate::instr::{read_instr, Instruction};
 use crate::module::Module;
 use crate::numeric::{exec_simple, Simple};
 use crate::types::BlockType;
@@ -53,7 +53,9 @@ pub enum LInstr {
     /// Function return.
     Return,
     Call(u32),
-    CallIndirect { type_idx: u32 },
+    CallIndirect {
+        type_idx: u32,
+    },
 }
 
 /// A function compiled to the lowered representation.
@@ -142,43 +144,168 @@ fn simple_effect(module: &Module, i: &Instruction) -> (u32, u32) {
         I::LocalGet(_) | I::GlobalGet(_) => (0, 1),
         I::LocalSet(_) | I::GlobalSet(_) => (1, 0),
         I::LocalTee(_) => (1, 1),
-        I::I32Load(_) | I::I64Load(_) | I::F32Load(_) | I::F64Load(_) | I::I32Load8S(_)
-        | I::I32Load8U(_) | I::I32Load16S(_) | I::I32Load16U(_) | I::I64Load8S(_)
-        | I::I64Load8U(_) | I::I64Load16S(_) | I::I64Load16U(_) | I::I64Load32S(_)
+        I::I32Load(_)
+        | I::I64Load(_)
+        | I::F32Load(_)
+        | I::F64Load(_)
+        | I::I32Load8S(_)
+        | I::I32Load8U(_)
+        | I::I32Load16S(_)
+        | I::I32Load16U(_)
+        | I::I64Load8S(_)
+        | I::I64Load8U(_)
+        | I::I64Load16S(_)
+        | I::I64Load16U(_)
+        | I::I64Load32S(_)
         | I::I64Load32U(_) => (1, 1),
-        I::I32Store(_) | I::I64Store(_) | I::F32Store(_) | I::F64Store(_) | I::I32Store8(_)
-        | I::I32Store16(_) | I::I64Store8(_) | I::I64Store16(_) | I::I64Store32(_) => (2, 0),
+        I::I32Store(_)
+        | I::I64Store(_)
+        | I::F32Store(_)
+        | I::F64Store(_)
+        | I::I32Store8(_)
+        | I::I32Store16(_)
+        | I::I64Store8(_)
+        | I::I64Store16(_)
+        | I::I64Store32(_) => (2, 0),
         I::MemorySize => (0, 1),
         I::MemoryGrow => (1, 1),
         I::I32Const(_) | I::I64Const(_) | I::F32Const(_) | I::F64Const(_) => (0, 1),
         I::I32Eqz | I::I64Eqz => (1, 1),
         // All binary relops and binops pop 2 push 1; unops pop 1 push 1;
         // conversions pop 1 push 1. Distinguish by arity groups:
-        I::I32Eq | I::I32Ne | I::I32LtS | I::I32LtU | I::I32GtS | I::I32GtU | I::I32LeS
-        | I::I32LeU | I::I32GeS | I::I32GeU | I::I64Eq | I::I64Ne | I::I64LtS | I::I64LtU
-        | I::I64GtS | I::I64GtU | I::I64LeS | I::I64LeU | I::I64GeS | I::I64GeU | I::F32Eq
-        | I::F32Ne | I::F32Lt | I::F32Gt | I::F32Le | I::F32Ge | I::F64Eq | I::F64Ne
-        | I::F64Lt | I::F64Gt | I::F64Le | I::F64Ge => (2, 1),
-        I::I32Add | I::I32Sub | I::I32Mul | I::I32DivS | I::I32DivU | I::I32RemS | I::I32RemU
-        | I::I32And | I::I32Or | I::I32Xor | I::I32Shl | I::I32ShrS | I::I32ShrU | I::I32Rotl
-        | I::I32Rotr | I::I64Add | I::I64Sub | I::I64Mul | I::I64DivS | I::I64DivU
-        | I::I64RemS | I::I64RemU | I::I64And | I::I64Or | I::I64Xor | I::I64Shl | I::I64ShrS
-        | I::I64ShrU | I::I64Rotl | I::I64Rotr | I::F32Add | I::F32Sub | I::F32Mul | I::F32Div
-        | I::F32Min | I::F32Max | I::F32Copysign | I::F64Add | I::F64Sub | I::F64Mul
-        | I::F64Div | I::F64Min | I::F64Max | I::F64Copysign => (2, 1),
-        I::I32Clz | I::I32Ctz | I::I32Popcnt | I::I64Clz | I::I64Ctz | I::I64Popcnt
-        | I::F32Abs | I::F32Neg | I::F32Ceil | I::F32Floor | I::F32Trunc | I::F32Nearest
-        | I::F32Sqrt | I::F64Abs | I::F64Neg | I::F64Ceil | I::F64Floor | I::F64Trunc
-        | I::F64Nearest | I::F64Sqrt => (1, 1),
-        I::I32WrapI64 | I::I32TruncF32S | I::I32TruncF32U | I::I32TruncF64S | I::I32TruncF64U
-        | I::I64ExtendI32S | I::I64ExtendI32U | I::I64TruncF32S | I::I64TruncF32U
-        | I::I64TruncF64S | I::I64TruncF64U | I::F32ConvertI32S | I::F32ConvertI32U
-        | I::F32ConvertI64S | I::F32ConvertI64U | I::F32DemoteF64 | I::F64ConvertI32S
-        | I::F64ConvertI32U | I::F64ConvertI64S | I::F64ConvertI64U | I::F64PromoteF32
-        | I::I32ReinterpretF32 | I::I64ReinterpretF64 | I::F32ReinterpretI32
+        I::I32Eq
+        | I::I32Ne
+        | I::I32LtS
+        | I::I32LtU
+        | I::I32GtS
+        | I::I32GtU
+        | I::I32LeS
+        | I::I32LeU
+        | I::I32GeS
+        | I::I32GeU
+        | I::I64Eq
+        | I::I64Ne
+        | I::I64LtS
+        | I::I64LtU
+        | I::I64GtS
+        | I::I64GtU
+        | I::I64LeS
+        | I::I64LeU
+        | I::I64GeS
+        | I::I64GeU
+        | I::F32Eq
+        | I::F32Ne
+        | I::F32Lt
+        | I::F32Gt
+        | I::F32Le
+        | I::F32Ge
+        | I::F64Eq
+        | I::F64Ne
+        | I::F64Lt
+        | I::F64Gt
+        | I::F64Le
+        | I::F64Ge => (2, 1),
+        I::I32Add
+        | I::I32Sub
+        | I::I32Mul
+        | I::I32DivS
+        | I::I32DivU
+        | I::I32RemS
+        | I::I32RemU
+        | I::I32And
+        | I::I32Or
+        | I::I32Xor
+        | I::I32Shl
+        | I::I32ShrS
+        | I::I32ShrU
+        | I::I32Rotl
+        | I::I32Rotr
+        | I::I64Add
+        | I::I64Sub
+        | I::I64Mul
+        | I::I64DivS
+        | I::I64DivU
+        | I::I64RemS
+        | I::I64RemU
+        | I::I64And
+        | I::I64Or
+        | I::I64Xor
+        | I::I64Shl
+        | I::I64ShrS
+        | I::I64ShrU
+        | I::I64Rotl
+        | I::I64Rotr
+        | I::F32Add
+        | I::F32Sub
+        | I::F32Mul
+        | I::F32Div
+        | I::F32Min
+        | I::F32Max
+        | I::F32Copysign
+        | I::F64Add
+        | I::F64Sub
+        | I::F64Mul
+        | I::F64Div
+        | I::F64Min
+        | I::F64Max
+        | I::F64Copysign => (2, 1),
+        I::I32Clz
+        | I::I32Ctz
+        | I::I32Popcnt
+        | I::I64Clz
+        | I::I64Ctz
+        | I::I64Popcnt
+        | I::F32Abs
+        | I::F32Neg
+        | I::F32Ceil
+        | I::F32Floor
+        | I::F32Trunc
+        | I::F32Nearest
+        | I::F32Sqrt
+        | I::F64Abs
+        | I::F64Neg
+        | I::F64Ceil
+        | I::F64Floor
+        | I::F64Trunc
+        | I::F64Nearest
+        | I::F64Sqrt => (1, 1),
+        I::I32WrapI64
+        | I::I32TruncF32S
+        | I::I32TruncF32U
+        | I::I32TruncF64S
+        | I::I32TruncF64U
+        | I::I64ExtendI32S
+        | I::I64ExtendI32U
+        | I::I64TruncF32S
+        | I::I64TruncF32U
+        | I::I64TruncF64S
+        | I::I64TruncF64U
+        | I::F32ConvertI32S
+        | I::F32ConvertI32U
+        | I::F32ConvertI64S
+        | I::F32ConvertI64U
+        | I::F32DemoteF64
+        | I::F64ConvertI32S
+        | I::F64ConvertI32U
+        | I::F64ConvertI64S
+        | I::F64ConvertI64U
+        | I::F64PromoteF32
+        | I::I32ReinterpretF32
+        | I::I64ReinterpretF64
+        | I::F32ReinterpretI32
         | I::F64ReinterpretI64 => (1, 1),
-        I::Unreachable | I::Block(_) | I::Loop(_) | I::If(_) | I::Else | I::End | I::Br(_)
-        | I::BrIf(_) | I::BrTable(_) | I::Return | I::Call(_) | I::CallIndirect { .. } => {
+        I::Unreachable
+        | I::Block(_)
+        | I::Loop(_)
+        | I::If(_)
+        | I::Else
+        | I::End
+        | I::Br(_)
+        | I::BrIf(_)
+        | I::BrTable(_)
+        | I::Return
+        | I::Call(_)
+        | I::CallIndirect { .. } => {
             let _ = module;
             unreachable!("not a simple instruction: {i:?}")
         }
@@ -329,10 +456,8 @@ pub fn lower_function(module: &Module, func_idx: u32) -> Result<LoweredFunc, Str
                         data.default,
                         height,
                     );
-                    instrs.push(LInstr::BranchTable(Box::new(BranchTableData {
-                        targets,
-                        default,
-                    })));
+                    instrs
+                        .push(LInstr::BranchTable(Box::new(BranchTableData { targets, default })));
                     live = false;
                 }
             }
@@ -445,7 +570,13 @@ pub(crate) fn invoke(
         match li {
             LInstr::Simple(i) => {
                 let frame = frames.last_mut().expect("frame");
-                match exec_simple(i, &mut stack, &mut frame.locals, &mut inst.globals, &mut inst.memory)? {
+                match exec_simple(
+                    i,
+                    &mut stack,
+                    &mut frame.locals,
+                    &mut inst.globals,
+                    &mut inst.memory,
+                )? {
                     Simple::Done => {}
                     Simple::NotSimple => unreachable!("lowering keeps only simple ops"),
                 }
@@ -501,11 +632,7 @@ pub(crate) fn invoke(
         }
     }
 
-    Ok(result_types
-        .iter()
-        .zip(stack)
-        .map(|(t, s)| Value::from_slot(s, *t))
-        .collect())
+    Ok(result_types.iter().zip(stack).map(|(t, s)| Value::from_slot(s, *t)).collect())
 }
 
 #[inline]
@@ -568,12 +695,8 @@ fn call(
         let ft = inst.module.func_type(func_idx).expect("validated").clone();
         let split = stack.len() - ft.params.len();
         let arg_slots: Vec<Slot> = stack.split_off(split);
-        let args: Vec<Value> = ft
-            .params
-            .iter()
-            .zip(&arg_slots)
-            .map(|(t, s)| Value::from_slot(*s, *t))
-            .collect();
+        let args: Vec<Value> =
+            ft.params.iter().zip(&arg_slots).map(|(t, s)| Value::from_slot(*s, *t)).collect();
         let results = inst.call_host(func_idx, &args)?;
         if results.len() != ft.results.len() {
             return Err(Trap::HostError(format!(

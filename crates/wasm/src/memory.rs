@@ -73,7 +73,12 @@ impl LinearMemory {
 
     /// Write `N` bytes at `addr + offset`.
     #[inline]
-    pub fn write<const N: usize>(&mut self, addr: u32, offset: u32, v: [u8; N]) -> Result<(), Trap> {
+    pub fn write<const N: usize>(
+        &mut self,
+        addr: u32,
+        offset: u32,
+        v: [u8; N],
+    ) -> Result<(), Trap> {
         let start = self.range(addr, offset, N)?;
         self.data[start..start + N].copy_from_slice(&v);
         Ok(())

@@ -1,13 +1,13 @@
 //! The decoded module structure (spec §2.5).
 //!
-//! Function bodies are kept as **raw expression bytes** (`bytes::Bytes`,
+//! Function bodies are kept as **raw expression bytes** (`bytelite::Bytes`,
 //! zero-copy slices of the module binary). This mirrors WAMR's classic
 //! interpreter, which executes bytecode in place: keeping bodies un-expanded
 //! is precisely the memory property the paper's WAMR-in-crun integration
 //! exploits, and the lowering tier ([`crate::lowered`]) is the explicit,
 //! memory-hungry alternative.
 
-use bytes::Bytes;
+use bytelite::Bytes;
 
 use crate::types::{FuncType, GlobalType, MemoryType, TableType, ValType};
 
@@ -129,31 +129,19 @@ impl Module {
     /// Number of imported functions (they precede local ones in the index
     /// space).
     pub fn num_imported_funcs(&self) -> u32 {
-        self.imports
-            .iter()
-            .filter(|i| matches!(i.desc, ImportDesc::Func(_)))
-            .count() as u32
+        self.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Func(_))).count() as u32
     }
 
     pub fn num_imported_globals(&self) -> u32 {
-        self.imports
-            .iter()
-            .filter(|i| matches!(i.desc, ImportDesc::Global(_)))
-            .count() as u32
+        self.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Global(_))).count() as u32
     }
 
     pub fn num_imported_tables(&self) -> u32 {
-        self.imports
-            .iter()
-            .filter(|i| matches!(i.desc, ImportDesc::Table(_)))
-            .count() as u32
+        self.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Table(_))).count() as u32
     }
 
     pub fn num_imported_memories(&self) -> u32 {
-        self.imports
-            .iter()
-            .filter(|i| matches!(i.desc, ImportDesc::Memory(_)))
-            .count() as u32
+        self.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Memory(_))).count() as u32
     }
 
     /// Total size of the function index space.

@@ -540,13 +540,11 @@ mod tests {
             .unwrap()
             .f32();
         assert!(r.is_nan());
-        let r = run1(Instruction::F64Min, &[Slot::from_f64(-0.0), Slot::from_f64(0.0)])
-            .unwrap()
-            .f64();
+        let r =
+            run1(Instruction::F64Min, &[Slot::from_f64(-0.0), Slot::from_f64(0.0)]).unwrap().f64();
         assert!(r.is_sign_negative());
-        let r = run1(Instruction::F64Max, &[Slot::from_f64(-0.0), Slot::from_f64(0.0)])
-            .unwrap()
-            .f64();
+        let r =
+            run1(Instruction::F64Max, &[Slot::from_f64(-0.0), Slot::from_f64(0.0)]).unwrap().f64();
         assert!(r.is_sign_positive());
     }
 
@@ -613,18 +611,12 @@ mod tests {
             run1(Instruction::I32WrapI64, &[Slot::from_i64(0x1_0000_0005)]).unwrap().i32(),
             5
         );
-        assert_eq!(
-            run1(Instruction::I64ExtendI32S, &[Slot::from_i32(-1)]).unwrap().i64(),
-            -1
-        );
+        assert_eq!(run1(Instruction::I64ExtendI32S, &[Slot::from_i32(-1)]).unwrap().i64(), -1);
         assert_eq!(
             run1(Instruction::I64ExtendI32U, &[Slot::from_i32(-1)]).unwrap().u64(),
             0xffff_ffff
         );
-        assert_eq!(
-            run1(Instruction::I32TruncF64S, &[Slot::from_f64(-3.9)]).unwrap().i32(),
-            -3
-        );
+        assert_eq!(run1(Instruction::I32TruncF64S, &[Slot::from_f64(-3.9)]).unwrap().i32(), -3);
         assert_eq!(
             run1(Instruction::I32TruncF64S, &[Slot::from_f64(f64::NAN)]),
             Err(Trap::InvalidConversionToInteger)

@@ -48,7 +48,10 @@ impl<'m> ModuleCtx<'m> {
         self.module.types.get(idx as usize).ok_or(ValidationError::UnknownType(idx))
     }
 
-    fn block_signature(&self, bt: BlockType) -> Result<(Vec<ValType>, Vec<ValType>), ValidationError> {
+    fn block_signature(
+        &self,
+        bt: BlockType,
+    ) -> Result<(Vec<ValType>, Vec<ValType>), ValidationError> {
         Ok(match bt {
             BlockType::Empty => (vec![], vec![]),
             BlockType::Value(t) => (vec![], vec![t]),
@@ -426,27 +429,87 @@ impl<'m> FuncValidator<'m> {
             I::F64Const(_) => self.push(F64),
             I::I32Eqz => self.testop(I32)?,
             I::I64Eqz => self.testop(I64)?,
-            I::I32Eq | I::I32Ne | I::I32LtS | I::I32LtU | I::I32GtS | I::I32GtU | I::I32LeS
-            | I::I32LeU | I::I32GeS | I::I32GeU => self.relop(I32)?,
-            I::I64Eq | I::I64Ne | I::I64LtS | I::I64LtU | I::I64GtS | I::I64GtU | I::I64LeS
-            | I::I64LeU | I::I64GeS | I::I64GeU => self.relop(I64)?,
+            I::I32Eq
+            | I::I32Ne
+            | I::I32LtS
+            | I::I32LtU
+            | I::I32GtS
+            | I::I32GtU
+            | I::I32LeS
+            | I::I32LeU
+            | I::I32GeS
+            | I::I32GeU => self.relop(I32)?,
+            I::I64Eq
+            | I::I64Ne
+            | I::I64LtS
+            | I::I64LtU
+            | I::I64GtS
+            | I::I64GtU
+            | I::I64LeS
+            | I::I64LeU
+            | I::I64GeS
+            | I::I64GeU => self.relop(I64)?,
             I::F32Eq | I::F32Ne | I::F32Lt | I::F32Gt | I::F32Le | I::F32Ge => self.relop(F32)?,
             I::F64Eq | I::F64Ne | I::F64Lt | I::F64Gt | I::F64Le | I::F64Ge => self.relop(F64)?,
             I::I32Clz | I::I32Ctz | I::I32Popcnt => self.unop(I32)?,
             I::I64Clz | I::I64Ctz | I::I64Popcnt => self.unop(I64)?,
-            I::I32Add | I::I32Sub | I::I32Mul | I::I32DivS | I::I32DivU | I::I32RemS
-            | I::I32RemU | I::I32And | I::I32Or | I::I32Xor | I::I32Shl | I::I32ShrS
-            | I::I32ShrU | I::I32Rotl | I::I32Rotr => self.binop(I32)?,
-            I::I64Add | I::I64Sub | I::I64Mul | I::I64DivS | I::I64DivU | I::I64RemS
-            | I::I64RemU | I::I64And | I::I64Or | I::I64Xor | I::I64Shl | I::I64ShrS
-            | I::I64ShrU | I::I64Rotl | I::I64Rotr => self.binop(I64)?,
-            I::F32Abs | I::F32Neg | I::F32Ceil | I::F32Floor | I::F32Trunc | I::F32Nearest
+            I::I32Add
+            | I::I32Sub
+            | I::I32Mul
+            | I::I32DivS
+            | I::I32DivU
+            | I::I32RemS
+            | I::I32RemU
+            | I::I32And
+            | I::I32Or
+            | I::I32Xor
+            | I::I32Shl
+            | I::I32ShrS
+            | I::I32ShrU
+            | I::I32Rotl
+            | I::I32Rotr => self.binop(I32)?,
+            I::I64Add
+            | I::I64Sub
+            | I::I64Mul
+            | I::I64DivS
+            | I::I64DivU
+            | I::I64RemS
+            | I::I64RemU
+            | I::I64And
+            | I::I64Or
+            | I::I64Xor
+            | I::I64Shl
+            | I::I64ShrS
+            | I::I64ShrU
+            | I::I64Rotl
+            | I::I64Rotr => self.binop(I64)?,
+            I::F32Abs
+            | I::F32Neg
+            | I::F32Ceil
+            | I::F32Floor
+            | I::F32Trunc
+            | I::F32Nearest
             | I::F32Sqrt => self.unop(F32)?,
-            I::F64Abs | I::F64Neg | I::F64Ceil | I::F64Floor | I::F64Trunc | I::F64Nearest
+            I::F64Abs
+            | I::F64Neg
+            | I::F64Ceil
+            | I::F64Floor
+            | I::F64Trunc
+            | I::F64Nearest
             | I::F64Sqrt => self.unop(F64)?,
-            I::F32Add | I::F32Sub | I::F32Mul | I::F32Div | I::F32Min | I::F32Max
+            I::F32Add
+            | I::F32Sub
+            | I::F32Mul
+            | I::F32Div
+            | I::F32Min
+            | I::F32Max
             | I::F32Copysign => self.binop(F32)?,
-            I::F64Add | I::F64Sub | I::F64Mul | I::F64Div | I::F64Min | I::F64Max
+            I::F64Add
+            | I::F64Sub
+            | I::F64Mul
+            | I::F64Div
+            | I::F64Min
+            | I::F64Max
             | I::F64Copysign => self.binop(F64)?,
             I::I32WrapI64 => self.cvtop(I64, I32)?,
             I::I32TruncF32S | I::I32TruncF32U => self.cvtop(F32, I32)?,
@@ -518,9 +581,7 @@ pub fn validate_module(module: &Module) -> Result<(), ValidationError> {
                 }
             }
             ImportDesc::Memory(m) => {
-                if !m.limits.is_valid()
-                    || m.limits.min > 65536
-                    || m.limits.max.unwrap_or(0) > 65536
+                if !m.limits.is_valid() || m.limits.min > 65536 || m.limits.max.unwrap_or(0) > 65536
                 {
                     return Err(ValidationError::BadLimits);
                 }
@@ -682,10 +743,7 @@ mod tests {
         b.func(ft(vec![], vec![ValType::I32]), |f| {
             f.op(Instruction::I32Add); // nothing on the stack
         });
-        assert!(matches!(
-            validate_module(&b.build()),
-            Err(ValidationError::TypeMismatch { .. })
-        ));
+        assert!(matches!(validate_module(&b.build()), Err(ValidationError::TypeMismatch { .. })));
     }
 
     #[test]
@@ -775,10 +833,7 @@ mod tests {
                 offset: 0,
             }));
         });
-        assert!(matches!(
-            validate_module(&b.build()),
-            Err(ValidationError::BadAlignment { .. })
-        ));
+        assert!(matches!(validate_module(&b.build()), Err(ValidationError::BadAlignment { .. })));
     }
 
     #[test]
@@ -796,10 +851,7 @@ mod tests {
         let f0 = b.func(ft(vec![], vec![]), |_| {});
         b.export_func("x", f0);
         b.export_func("x", f0);
-        assert!(matches!(
-            validate_module(&b.build()),
-            Err(ValidationError::DuplicateExport(_))
-        ));
+        assert!(matches!(validate_module(&b.build()), Err(ValidationError::DuplicateExport(_))));
     }
 
     #[test]

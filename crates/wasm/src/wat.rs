@@ -33,11 +33,9 @@ fn fmt_blocktype(m: &Module, bt: BlockType) -> String {
     match bt {
         BlockType::Empty => String::new(),
         BlockType::Value(t) => format!(" (result {t})"),
-        BlockType::Func(idx) => m
-            .types
-            .get(idx as usize)
-            .map(fmt_functype)
-            .unwrap_or_else(|| format!(" (type {idx})")),
+        BlockType::Func(idx) => {
+            m.types.get(idx as usize).map(fmt_functype).unwrap_or_else(|| format!(" (type {idx})"))
+        }
     }
 }
 
@@ -150,11 +148,8 @@ pub fn render(m: &Module) -> String {
         let _ = writeln!(out, "  (table {} funcref)", t.limits.min);
     }
     for (i, g) in m.globals.iter().enumerate() {
-        let ty = if g.ty.mutable {
-            format!("(mut {})", g.ty.value)
-        } else {
-            g.ty.value.to_string()
-        };
+        let ty =
+            if g.ty.mutable { format!("(mut {})", g.ty.value) } else { g.ty.value.to_string() };
         let _ = writeln!(out, "  (global (;{i};) {ty} {})", fmt_const(&g.init));
     }
     let imported = m.num_imported_funcs();
@@ -182,7 +177,9 @@ pub fn render(m: &Module) -> String {
             let _ = writeln!(out, "{}{}", "  ".repeat(depth), mnemonic(m, &instr));
             if matches!(
                 instr,
-                Instruction::Block(_) | Instruction::Loop(_) | Instruction::If(_)
+                Instruction::Block(_)
+                    | Instruction::Loop(_)
+                    | Instruction::If(_)
                     | Instruction::Else
             ) {
                 depth += 1;

@@ -1,4 +1,5 @@
-//! Property-based tests for the Wasm core:
+//! Property-based tests for the Wasm core (on the offline `simkernel::prop`
+//! harness):
 //!
 //! * LEB128 round-trips for the full value ranges;
 //! * instruction encode/decode round-trips over arbitrary instructions;
@@ -9,7 +10,8 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use simkernel::prop::check;
+use simkernel::rng::SplitMix64;
 use wasm_core::instr::{read_instr, write_instr, BrTableData, MemArg};
 use wasm_core::module::{ConstExpr, DataSegment, Export, ExportDesc, FuncBody, Global};
 use wasm_core::types::{BlockType, GlobalType, Limits, MemoryType};
@@ -18,158 +20,157 @@ use wasm_core::{
     InstanceConfig, Instruction as I, Module, ModuleBuilder, ValType, Value,
 };
 
-proptest! {
-    #[test]
-    fn leb128_u32_roundtrip(v in any::<u32>()) {
+#[test]
+fn leb128_u32_roundtrip() {
+    check("leb128_u32_roundtrip", 256, |g| {
+        let v = g.next_u32();
         let mut buf = Vec::new();
         leb128::write_u32(&mut buf, v);
         let (got, n) = leb128::read_u32(&buf).unwrap();
-        prop_assert_eq!(got, v);
-        prop_assert_eq!(n, buf.len());
+        assert_eq!(got, v);
+        assert_eq!(n, buf.len());
+    });
+    // Edge values the uniform stream is unlikely to hit.
+    for v in [0u32, 1, 127, 128, u32::MAX] {
+        let mut buf = Vec::new();
+        leb128::write_u32(&mut buf, v);
+        assert_eq!(leb128::read_u32(&buf).unwrap(), (v, buf.len()));
     }
+}
 
-    #[test]
-    fn leb128_i64_roundtrip(v in any::<i64>()) {
+#[test]
+fn leb128_i64_roundtrip() {
+    check("leb128_i64_roundtrip", 256, |g| {
+        let v = g.next_i64();
         let mut buf = Vec::new();
         leb128::write_i64(&mut buf, v);
         let (got, n) = leb128::read_i64(&buf).unwrap();
-        prop_assert_eq!(got, v);
-        prop_assert_eq!(n, buf.len());
+        assert_eq!(got, v);
+        assert_eq!(n, buf.len());
+    });
+    for v in [0i64, -1, 63, 64, -64, -65, i64::MIN, i64::MAX] {
+        let mut buf = Vec::new();
+        leb128::write_i64(&mut buf, v);
+        assert_eq!(leb128::read_i64(&buf).unwrap(), (v, buf.len()));
     }
+}
 
-    #[test]
-    fn leb128_rejects_truncation(v in 128u32..) {
+#[test]
+fn leb128_rejects_truncation() {
+    check("leb128_rejects_truncation", 256, |g| {
+        let v = g.range_u64(128, u32::MAX as u64 + 1) as u32;
         let mut buf = Vec::new();
         leb128::write_u32(&mut buf, v);
         buf.pop();
-        prop_assert!(leb128::read_u32(&buf).is_err());
+        assert!(leb128::read_u32(&buf).is_err());
+    });
+}
+
+fn gen_instruction(g: &mut SplitMix64) -> I {
+    match g.index(26) {
+        0 => I::Unreachable,
+        1 => I::Nop,
+        2 => I::Drop,
+        3 => I::Select,
+        4 => I::Return,
+        5 => I::End,
+        6 => I::MemorySize,
+        7 => I::MemoryGrow,
+        8 => I::Br(g.next_u32()),
+        9 => I::BrIf(g.next_u32()),
+        10 => I::Call(g.next_u32()),
+        11 => I::LocalGet(g.next_u32()),
+        12 => I::GlobalSet(g.next_u32()),
+        13 => I::I32Const(g.next_i32()),
+        14 => I::I64Const(g.next_i64()),
+        15 => I::F32Const(g.next_f32()),
+        16 => I::F64Const(g.next_f64()),
+        17 => I::I32Load(MemArg { align: g.next_u32(), offset: g.next_u32() }),
+        18 => I::I64Store(MemArg { align: g.next_u32(), offset: g.next_u32() }),
+        19 => {
+            let targets = (0..g.index(8)).map(|_| g.next_u32()).collect();
+            I::BrTable(Box::new(BrTableData { targets, default: g.next_u32() }))
+        }
+        20 => I::Block(*g.choose(&[
+            BlockType::Empty,
+            BlockType::Value(ValType::I32),
+            BlockType::Value(ValType::F64),
+        ])),
+        21 => I::I32Add,
+        22 => I::I64Rotr,
+        23 => I::F32Sqrt,
+        24 => I::F64Copysign,
+        25 => I::I32TruncF64U,
+        _ => I::F64ReinterpretI64,
     }
 }
 
-fn arb_instruction() -> impl Strategy<Value = I> {
-    prop_oneof![
-        Just(I::Unreachable),
-        Just(I::Nop),
-        Just(I::Drop),
-        Just(I::Select),
-        Just(I::Return),
-        Just(I::End),
-        Just(I::MemorySize),
-        Just(I::MemoryGrow),
-        any::<u32>().prop_map(I::Br),
-        any::<u32>().prop_map(I::BrIf),
-        any::<u32>().prop_map(I::Call),
-        any::<u32>().prop_map(I::LocalGet),
-        any::<u32>().prop_map(I::GlobalSet),
-        any::<i32>().prop_map(I::I32Const),
-        any::<i64>().prop_map(I::I64Const),
-        any::<f32>().prop_map(I::F32Const),
-        any::<f64>().prop_map(I::F64Const),
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(align, offset)| I::I32Load(MemArg { align, offset })),
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(align, offset)| I::I64Store(MemArg { align, offset })),
-        (proptest::collection::vec(any::<u32>(), 0..8), any::<u32>()).prop_map(
-            |(targets, default)| I::BrTable(Box::new(BrTableData { targets, default }))
-        ),
-        prop_oneof![
-            Just(BlockType::Empty),
-            Just(BlockType::Value(ValType::I32)),
-            Just(BlockType::Value(ValType::F64)),
-        ]
-        .prop_map(I::Block),
-        Just(I::I32Add),
-        Just(I::I64Rotr),
-        Just(I::F32Sqrt),
-        Just(I::F64Copysign),
-        Just(I::I32TruncF64U),
-        Just(I::F64ReinterpretI64),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn instruction_roundtrip(i in arb_instruction()) {
+#[test]
+fn instruction_roundtrip() {
+    check("instruction_roundtrip", 512, |g| {
+        let i = gen_instruction(g);
         let mut buf = Vec::new();
         write_instr(&mut buf, &i);
         let (got, n) = read_instr(&buf).unwrap();
-        prop_assert_eq!(n, buf.len());
+        assert_eq!(n, buf.len());
         // NaN payloads survive bitwise; compare via re-encoding.
         let mut buf2 = Vec::new();
         write_instr(&mut buf2, &got);
-        prop_assert_eq!(buf, buf2);
-    }
+        assert_eq!(buf, buf2);
+    });
 }
 
-fn arb_valtype() -> impl Strategy<Value = ValType> {
-    prop_oneof![
-        Just(ValType::I32),
-        Just(ValType::I64),
-        Just(ValType::F32),
-        Just(ValType::F64)
-    ]
+fn gen_valtype(g: &mut SplitMix64) -> ValType {
+    *g.choose(&[ValType::I32, ValType::I64, ValType::F32, ValType::F64])
 }
 
-prop_compose! {
-    fn arb_functype()(
-        params in proptest::collection::vec(arb_valtype(), 0..5),
-        results in proptest::collection::vec(arb_valtype(), 0..2),
-    ) -> FuncType {
-        FuncType::new(params, results)
-    }
+fn gen_functype(g: &mut SplitMix64) -> FuncType {
+    let params = (0..g.index(5)).map(|_| gen_valtype(g)).collect();
+    let results = (0..g.index(2)).map(|_| gen_valtype(g)).collect();
+    FuncType::new(params, results)
 }
 
 /// An arbitrary structurally-plausible module (not necessarily valid — the
 /// round-trip property only needs well-formed encoding).
-fn arb_module() -> impl Strategy<Value = Module> {
-    (
-        proptest::collection::vec(arb_functype(), 1..4),
-        proptest::collection::vec(any::<u8>(), 0..64),
-        proptest::collection::vec((any::<u16>(), any::<bool>()), 0..3),
-        any::<bool>(),
-    )
-        .prop_map(|(types, data, globals, with_memory)| {
-            let mut m = Module::default();
-            let ntypes = types.len() as u32;
-            m.types = types;
-            // One function per type, with a trivial body.
-            for t in 0..ntypes {
-                m.funcs.push(t);
-                m.bodies.push(FuncBody {
-                    locals: vec![(2, ValType::I32)],
-                    code: bytes::Bytes::from_static(&[0x00, 0x0b]), // unreachable; end
-                });
-            }
-            if with_memory {
-                m.memories.push(MemoryType { limits: Limits::new(1, Some(4)) });
-                m.data.push(DataSegment {
-                    memory: 0,
-                    offset: ConstExpr::I32(0),
-                    bytes: bytes::Bytes::from(data),
-                });
-            }
-            for (i, (v, mutable)) in globals.into_iter().enumerate() {
-                m.globals.push(Global {
-                    ty: GlobalType { value: ValType::I64, mutable },
-                    init: ConstExpr::I64(v as i64),
-                });
-                m.exports.push(Export {
-                    name: format!("g{i}"),
-                    desc: ExportDesc::Global(i as u32),
-                });
-            }
-            m
-        })
+fn gen_module(g: &mut SplitMix64) -> Module {
+    let mut m = Module::default();
+    let ntypes = 1 + g.index(3) as u32;
+    m.types = (0..ntypes).map(|_| gen_functype(g)).collect();
+    // One function per type, with a trivial body.
+    for t in 0..ntypes {
+        m.funcs.push(t);
+        m.bodies.push(FuncBody {
+            locals: vec![(2, ValType::I32)],
+            code: bytelite::Bytes::from_static(&[0x00, 0x0b]), // unreachable; end
+        });
+    }
+    if g.next_bool() {
+        let data: Vec<u8> = (0..g.index(64)).map(|_| g.next_u32() as u8).collect();
+        m.memories.push(MemoryType { limits: Limits::new(1, Some(4)) });
+        m.data.push(DataSegment {
+            memory: 0,
+            offset: ConstExpr::I32(0),
+            bytes: bytelite::Bytes::from(data),
+        });
+    }
+    for i in 0..g.index(3) {
+        m.globals.push(Global {
+            ty: GlobalType { value: ValType::I64, mutable: g.next_bool() },
+            init: ConstExpr::I64(g.next_u32() as u16 as i64),
+        });
+        m.exports.push(Export { name: format!("g{i}"), desc: ExportDesc::Global(i as u32) });
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn module_roundtrip(m in arb_module()) {
+#[test]
+fn module_roundtrip() {
+    check("module_roundtrip", 64, |g| {
+        let m = gen_module(g);
         let bytes = encode_module(&m);
         let back = decode_module(bytes).unwrap();
-        prop_assert_eq!(back, m);
-    }
+        assert_eq!(back, m);
+    });
 }
 
 /// A random straight-line arithmetic program over two i32 params: a list of
@@ -186,70 +187,64 @@ enum Op {
     IfPositiveNegate,
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            any::<i32>().prop_map(Op::Add),
-            any::<i32>().prop_map(Op::Sub),
-            any::<i32>().prop_map(Op::Mul),
-            any::<i32>().prop_map(Op::Xor),
-            Just(Op::RotlParam1),
-            Just(Op::AddParam0),
-            (0u32..31).prop_map(Op::ShrU),
-            Just(Op::IfPositiveNegate),
-        ],
-        1..40,
-    )
+fn gen_program(g: &mut SplitMix64) -> Vec<Op> {
+    let len = 1 + g.index(39);
+    (0..len)
+        .map(|_| match g.index(8) {
+            0 => Op::Add(g.next_i32()),
+            1 => Op::Sub(g.next_i32()),
+            2 => Op::Mul(g.next_i32()),
+            3 => Op::Xor(g.next_i32()),
+            4 => Op::RotlParam1,
+            5 => Op::AddParam0,
+            6 => Op::ShrU(g.range_u64(0, 31) as u32),
+            _ => Op::IfPositiveNegate,
+        })
+        .collect()
 }
 
 fn build_program_module(prog: &[Op]) -> Module {
     let mut b = ModuleBuilder::new();
-    let f = b.func(
-        FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
-        |f| {
-            let acc = f.local(ValType::I32);
-            f.local_get(0).local_set(acc);
-            for op in prog {
-                match op {
-                    Op::Add(c) => {
-                        f.local_get(acc).i32_const(*c).op(I::I32Add).local_set(acc);
-                    }
-                    Op::Sub(c) => {
-                        f.local_get(acc).i32_const(*c).op(I::I32Sub).local_set(acc);
-                    }
-                    Op::Mul(c) => {
-                        f.local_get(acc).i32_const(*c).op(I::I32Mul).local_set(acc);
-                    }
-                    Op::Xor(c) => {
-                        f.local_get(acc).i32_const(*c).op(I::I32Xor).local_set(acc);
-                    }
-                    Op::RotlParam1 => {
-                        f.local_get(acc).local_get(1).op(I::I32Rotl).local_set(acc);
-                    }
-                    Op::AddParam0 => {
-                        f.local_get(acc).local_get(0).op(I::I32Add).local_set(acc);
-                    }
-                    Op::ShrU(c) => {
-                        f.local_get(acc)
-                            .i32_const(*c as i32)
-                            .op(I::I32ShrU)
-                            .local_set(acc);
-                    }
-                    Op::IfPositiveNegate => {
-                        f.local_get(acc).i32_const(0).op(I::I32GtS);
-                        f.if_else(
-                            BlockType::Empty,
-                            |f| {
-                                f.i32_const(0).local_get(acc).op(I::I32Sub).local_set(acc);
-                            },
-                            |_| {},
-                        );
-                    }
+    let f = b.func(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]), |f| {
+        let acc = f.local(ValType::I32);
+        f.local_get(0).local_set(acc);
+        for op in prog {
+            match op {
+                Op::Add(c) => {
+                    f.local_get(acc).i32_const(*c).op(I::I32Add).local_set(acc);
+                }
+                Op::Sub(c) => {
+                    f.local_get(acc).i32_const(*c).op(I::I32Sub).local_set(acc);
+                }
+                Op::Mul(c) => {
+                    f.local_get(acc).i32_const(*c).op(I::I32Mul).local_set(acc);
+                }
+                Op::Xor(c) => {
+                    f.local_get(acc).i32_const(*c).op(I::I32Xor).local_set(acc);
+                }
+                Op::RotlParam1 => {
+                    f.local_get(acc).local_get(1).op(I::I32Rotl).local_set(acc);
+                }
+                Op::AddParam0 => {
+                    f.local_get(acc).local_get(0).op(I::I32Add).local_set(acc);
+                }
+                Op::ShrU(c) => {
+                    f.local_get(acc).i32_const(*c as i32).op(I::I32ShrU).local_set(acc);
+                }
+                Op::IfPositiveNegate => {
+                    f.local_get(acc).i32_const(0).op(I::I32GtS);
+                    f.if_else(
+                        BlockType::Empty,
+                        |f| {
+                            f.i32_const(0).local_get(acc).op(I::I32Sub).local_set(acc);
+                        },
+                        |_| {},
+                    );
                 }
             }
-            f.local_get(acc);
-        },
-    );
+        }
+        f.local_get(acc);
+    });
     b.export_func("run", f);
     b.build()
 }
@@ -278,14 +273,12 @@ fn reference_eval(prog: &[Op], p0: i32, p1: i32) -> i32 {
     acc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-    #[test]
-    fn tiers_match_each_other_and_the_reference(
-        prog in arb_program(),
-        p0 in any::<i32>(),
-        p1 in any::<i32>(),
-    ) {
+#[test]
+fn tiers_match_each_other_and_the_reference() {
+    check("tiers_match_each_other_and_the_reference", 96, |g| {
+        let prog = gen_program(g);
+        let p0 = g.next_i32();
+        let p1 = g.next_i32();
         let module = Arc::new(build_program_module(&prog));
         validate_module(&module).unwrap();
         let expected = reference_eval(&prog, p0, p1);
@@ -294,17 +287,21 @@ proptest! {
                 Arc::clone(&module),
                 Imports::new(),
                 InstanceConfig { tier, fuel: Some(1_000_000), ..Default::default() },
-            ).unwrap();
+            )
+            .unwrap();
             let out = inst.invoke("run", &[Value::I32(p0), Value::I32(p1)]).unwrap();
-            prop_assert_eq!(&out[..], &[Value::I32(expected)][..], "{:?}", tier);
+            assert_eq!(&out[..], &[Value::I32(expected)][..], "{tier:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn encode_decode_of_generated_programs(prog in arb_program()) {
+#[test]
+fn encode_decode_of_generated_programs() {
+    check("encode_decode_of_generated_programs", 96, |g| {
+        let prog = gen_program(g);
         let module = build_program_module(&prog);
         let bytes = encode_module(&module);
         let back = decode_module(bytes).unwrap();
-        prop_assert_eq!(back, module);
-    }
+        assert_eq!(back, module);
+    });
 }

@@ -20,7 +20,7 @@
 pub mod module;
 pub mod python;
 
-pub use module::{microservice_module, MicroserviceConfig};
+pub use module::{microservice_module, microservice_module_bytes, MicroserviceConfig};
 pub use python::{python_microservice_script, PythonScriptConfig};
 
 use oci_spec_lite::ImageBuilder;
@@ -31,7 +31,10 @@ pub fn wasm_microservice_image(reference: &str, cfg: &MicroserviceConfig) -> Ima
         .entrypoint(["/app/main.wasm".to_string()])
         .annotation(oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
         .env("SERVICE_NAME", "microservice")
-        .file("/app/main.wasm", microservice_module(cfg))
+        // Memoized: every image built from the same config shares one
+        // zero-copy byte string (which also keeps the engine-side module
+        // artifact cache hot — identical bytes, identical content hash).
+        .file("/app/main.wasm", microservice_module_bytes(cfg))
 }
 
 /// The Python microservice image.
@@ -54,10 +57,7 @@ mod tests {
         let mut store = oci_spec_lite::ImageStore::new();
         let img = store.register(&kernel, b).unwrap();
         assert_eq!(img.command(), vec!["/app/main.wasm"]);
-        assert!(img
-            .config
-            .annotations
-            .contains_key(oci_spec_lite::WASM_VARIANT_ANNOTATION));
+        assert!(img.config.annotations.contains_key(oci_spec_lite::WASM_VARIANT_ANNOTATION));
 
         let b = python_microservice_image("py:v1", &PythonScriptConfig::default());
         let img = store.register(&kernel, b).unwrap();

@@ -1,10 +1,14 @@
 //! The Wasm microservice module generator.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use bytelite::Bytes;
 use wasm_core::types::BlockType;
 use wasm_core::{FuncType, Instruction, ModuleBuilder, ValType};
 
 /// Shape of the generated microservice.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MicroserviceConfig {
     /// Minimum linear memory pages (64 KiB each). wasi-libc's default
     /// layout for a small C program commits ~2.5 MB.
@@ -70,6 +74,28 @@ impl MicroserviceConfig {
 ///   fd_write(1, iovec, 1, nwritten)                     // ready message
 /// ```
 pub fn microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {
+    microservice_module_bytes(cfg).to_vec()
+}
+
+/// Memoized form of [`microservice_module`]: generation is deterministic
+/// (same config, same binary — see the `deterministic_bytes` test), so each
+/// distinct config is assembled and encoded once per process and every
+/// image built from it shares the same zero-copy [`Bytes`]. Experiment
+/// grids deploy hundreds of containers from a handful of configs; without
+/// the memo each deployment re-runs the module builder.
+pub fn microservice_module_bytes(cfg: &MicroserviceConfig) -> Bytes {
+    static MEMO: Mutex<Option<HashMap<MicroserviceConfig, Bytes>>> = Mutex::new(None);
+    let mut memo = MEMO.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let memo = memo.get_or_insert_with(HashMap::new);
+    if let Some(bytes) = memo.get(cfg) {
+        return bytes.clone();
+    }
+    let bytes = Bytes::from(build_microservice_module(cfg));
+    memo.insert(cfg.clone(), bytes.clone());
+    bytes
+}
+
+fn build_microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {
     let mut b = ModuleBuilder::new();
     let fd_write = b.import_func(
         "wasi_snapshot_preview1",
@@ -104,10 +130,7 @@ pub fn microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {
                 .op(Instruction::I32Mul);
             for round in 0..24 {
                 let c = (k + round).wrapping_mul(40503) ^ 0x5bd1e995;
-                f.local_get(1)
-                    .i32_const(c)
-                    .op(Instruction::I32Add)
-                    .op(Instruction::I32Xor);
+                f.local_get(1).i32_const(c).op(Instruction::I32Add).op(Instruction::I32Xor);
                 f.i32_const(((k + round) % 13) + 1)
                     .op(Instruction::I32Rotl)
                     .local_get(0)
@@ -170,18 +193,15 @@ mod tests {
         let module = Arc::new(decode_module(bytes).unwrap());
         let out = std::rc::Rc::new(std::cell::RefCell::new(Vec::<u8>::new()));
         let out2 = out.clone();
-        let imports = Imports::new().func(
-            "wasi_snapshot_preview1",
-            "fd_write",
-            move |mem, args| {
+        let imports =
+            Imports::new().func("wasi_snapshot_preview1", "fd_write", move |mem, args| {
                 let m = mem.as_mut().expect("memory");
                 let iovs = args[1].as_i32().unwrap() as u32;
                 let base = m.load_u32(iovs, 0).unwrap();
                 let len = m.load_u32(iovs, 4).unwrap();
                 out2.borrow_mut().extend_from_slice(m.read_bytes(base, len).unwrap());
                 Ok(vec![wasm_core::Value::I32(0)])
-            },
-        );
+            });
         let mut inst = Instance::instantiate(
             module,
             imports,
@@ -224,6 +244,17 @@ mod tests {
         let (_, s_small) = run(&MicroserviceConfig::default(), ExecTier::InPlace);
         let (_, s_heavy) = run(&MicroserviceConfig::compute_heavy(), ExecTier::InPlace);
         assert!(s_heavy.instrs_retired > 5 * s_small.instrs_retired);
+    }
+
+    #[test]
+    fn memoized_bytes_are_shared_and_correct() {
+        let cfg = MicroserviceConfig::default();
+        let a = microservice_module_bytes(&cfg);
+        let b = microservice_module_bytes(&cfg);
+        assert_eq!(a.as_ptr(), b.as_ptr(), "same config must share one allocation");
+        assert_eq!(&a[..], &microservice_module(&cfg)[..]);
+        let heavy = microservice_module_bytes(&MicroserviceConfig::compute_heavy());
+        assert_ne!(&a[..], &heavy[..]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example density_sweep`
 
-use memwasm::harness::{measure_memory, measure_startup, mb, Config, Workload};
+use memwasm::harness::{mb, measure_cell, Config, Observe, Workload};
 
 fn main() {
     let workload = Workload::default();
@@ -17,8 +17,9 @@ fn main() {
     );
     let mut first_metric = None;
     for density in [10usize, 50, 100, 200, 400] {
-        let memory = measure_memory(config, density, &workload).expect("memory");
-        let startup = measure_startup(config, density, &workload).expect("startup");
+        // Both observers from one deployment per density.
+        let cell = measure_cell(config, density, &workload, Observe::Both).expect("cell");
+        let (memory, startup) = (cell.memory.expect("memory"), cell.startup.expect("startup"));
         let per_pod_ms = startup.total.as_secs_f64() * 1000.0 / density as f64;
         println!(
             "{:>8} {:>14.2} {:>12.2} {:>12.2} {:>14.1}",

@@ -45,14 +45,8 @@ fn main() {
     let wasm_pods = cluster.deploy("wasm", "hybrid-wasm:v1", "crun-hybrid", 5).expect("wasm");
     let py_pods = cluster.deploy("py", "hybrid-py:v1", "crun-hybrid", 5).expect("python");
 
-    println!(
-        "wasm pod stdout:   {:?}",
-        String::from_utf8_lossy(&wasm_pods.pods[0].stdout)
-    );
-    println!(
-        "python pod stdout: {:?}",
-        String::from_utf8_lossy(&py_pods.pods[0].stdout)
-    );
+    println!("wasm pod stdout:   {:?}", String::from_utf8_lossy(&wasm_pods.pods[0].stdout));
+    println!("python pod stdout: {:?}", String::from_utf8_lossy(&py_pods.pods[0].stdout));
 
     let wasm_avg = cluster.average_working_set(&wasm_pods).expect("metrics");
     let py_avg = cluster.average_working_set(&py_pods).expect("metrics");

@@ -30,10 +30,7 @@ fn main() {
 
     let mut store = ImageStore::new();
     let image = store
-        .register(
-            &kernel,
-            wasm_microservice_image("svc:v1", &MicroserviceConfig::default()),
-        )
+        .register(&kernel, wasm_microservice_image("svc:v1", &MicroserviceConfig::default()))
         .unwrap()
         .clone();
 
@@ -52,9 +49,8 @@ fn main() {
         }
         let bundle = Bundle::create(&kernel, &id, &image, &spec).unwrap();
         let pod = kernel.cgroup_create(tenant_a, &format!("pod-{id}")).unwrap();
-        let result = rt
-            .create(&ctx, &id, &bundle, pod)
-            .and_then(|mut c| rt.start(&ctx, &mut c, &bundle));
+        let result =
+            rt.create(&ctx, &id, &bundle, pod).and_then(|mut c| rt.start(&ctx, &mut c, &bundle));
         match result {
             Ok(()) => fitted += 1,
             Err(KernelError::OutOfMemory { .. }) => break,

@@ -18,15 +18,11 @@ fn main() {
     warmup(&mut cluster, config).expect("warmup");
 
     let free_before = cluster.free().used_with_cache();
-    let deployment = cluster
-        .deploy("web", config.image_ref(), config.class_name(), 25)
-        .expect("deploy");
+    let deployment =
+        cluster.deploy("web", config.image_ref(), config.class_name(), 25).expect("deploy");
 
     println!("deployed {} pods, {} running", deployment.len(), deployment.running());
-    println!(
-        "first pod stdout: {:?}",
-        String::from_utf8_lossy(&deployment.pods[0].stdout)
-    );
+    println!("first pod stdout: {:?}", String::from_utf8_lossy(&deployment.pods[0].stdout));
 
     // Observer 1: the Kubernetes metrics-server (per-pod working set).
     let avg = cluster.average_working_set(&deployment).expect("metrics");

@@ -5,31 +5,22 @@
 //!
 //! Run with: `cargo run --release --example runtime_shootout [density]`
 
-use memwasm::harness::{measure_memory, measure_startup, mb, Config, Workload};
+use memwasm::harness::{mb, measure_cell, Config, Observe, Workload};
 
 fn main() {
-    let density: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .filter(|d| *d >= 1)
-        .unwrap_or(20);
+    let density: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).filter(|d| *d >= 1).unwrap_or(20);
     let workload = Workload::default();
 
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "runtime", "metrics MB", "free MB", "startup s"
-    );
+    println!("{:<28} {:>12} {:>12} {:>12}", "runtime", "metrics MB", "free MB", "startup s");
     let mut ours = None;
     let mut rows = Vec::new();
     for config in Config::ALL {
-        let memory = measure_memory(config, density, &workload).expect("memory");
-        let startup = measure_startup(config, density, &workload).expect("startup");
-        let row = (
-            config,
-            mb(memory.metrics_avg),
-            mb(memory.free_per_pod),
-            startup.total.as_secs_f64(),
-        );
+        // Both observers from one deployment per configuration.
+        let cell = measure_cell(config, density, &workload, Observe::Both).expect("cell");
+        let (memory, startup) = (cell.memory.expect("memory"), cell.startup.expect("startup"));
+        let row =
+            (config, mb(memory.metrics_avg), mb(memory.free_per_pod), startup.total.as_secs_f64());
         if config.is_ours() {
             ours = Some(row.1);
         }

@@ -27,10 +27,7 @@ fn main() {
     let kernel = cluster.kernel.clone();
     let mut store = ImageStore::new();
     let image = store
-        .register(
-            &kernel,
-            wasm_microservice_image("svc:v1", &MicroserviceConfig::default()),
-        )
+        .register(&kernel, wasm_microservice_image("svc:v1", &MicroserviceConfig::default()))
         .expect("image")
         .clone();
 

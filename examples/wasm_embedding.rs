@@ -49,9 +49,7 @@ fn main() {
             InstanceConfig { tier, ..Default::default() },
         )
         .expect("instantiate");
-        let out = inst
-            .invoke("gcd", &[Value::I32(3528), Value::I32(3780)])
-            .expect("run");
+        let out = inst.invoke("gcd", &[Value::I32(3528), Value::I32(3780)]).expect("run");
         let stats = inst.stats();
         println!(
             "{tier:?}: gcd(3528, 3780) = {:?} | instrs {} | side-tables {} B | lowered code {} B",

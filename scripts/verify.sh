@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification entrypoint: everything a PR must keep green.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "verify: OK"

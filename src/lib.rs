@@ -31,7 +31,8 @@
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
-//! Criterion benchmarks regenerating each table and figure.
+//! benchmarks regenerating each table and figure (in-tree timing harness;
+//! no external bench dependency).
 
 pub use container_runtimes;
 pub use containerd_sim;

@@ -1,0 +1,36 @@
+//! Effectiveness of the process-wide module-artifact cache across a figure
+//! sweep: a grid re-deploys the same handful of workload images hundreds of
+//! times, so nearly every decode+validate should be a cache hit.
+//!
+//! This lives in its own integration-test binary (one test function) so the
+//! global cache counters aren't perturbed by unrelated tests running in the
+//! same process.
+
+use memwasm::harness::{figures, Config, Workload};
+use memwasm::wasm_core::ArtifactCache;
+
+#[test]
+fn artifact_cache_hit_rate_exceeds_90_percent_across_a_sweep() {
+    let w = Workload::light();
+    let cache = ArtifactCache::global();
+    cache.clear();
+
+    // A reduced fig10-shaped sweep: all nine configurations × two
+    // densities, both observers' samples from each deployment.
+    figures::fig10(&w, &[4, 10]).unwrap();
+
+    let stats = cache.stats();
+    let total = stats.hits + stats.misses;
+    // 7 Wasm configs × (1 warmup + 4 + 10 pods) = 105 decode requests for
+    // one distinct module byte string.
+    assert!(total >= 100, "expected a full sweep of lookups, saw {total}");
+    assert_eq!(stats.misses, 1, "one distinct module in the sweep: {stats:?}");
+    assert!(
+        stats.hit_rate() > 0.9,
+        "hit rate {:.3} (hits {}, misses {})",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses
+    );
+    assert_eq!(cache.len(), 1);
+}

@@ -77,10 +77,7 @@ fn oom_killed_container_via_memory_limit() {
     memwasm::engines::install_engines(&kernel).unwrap();
     let mut store = memwasm::oci_spec_lite::ImageStore::new();
     let image = store
-        .register(
-            &kernel,
-            wasm_microservice_image("tiny:v1", &MicroserviceConfig::default()),
-        )
+        .register(&kernel, wasm_microservice_image("tiny:v1", &MicroserviceConfig::default()))
         .unwrap()
         .clone();
     let mut spec = memwasm::oci_spec_lite::RuntimeSpec::for_command("oom", image.command());
@@ -94,7 +91,9 @@ fn oom_killed_container_via_memory_limit() {
     rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     rt.register_handler(Box::new(PauseHandler));
     let ctx = memwasm::container_runtimes::RuntimeCtx {
-        runtime_cgroup: kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "sys").unwrap(),
+        runtime_cgroup: kernel
+            .cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "sys")
+            .unwrap(),
     };
     let pod = kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "pod-oom").unwrap();
     let mut c = rt.create(&ctx, "oom", &bundle, pod).unwrap();
@@ -129,7 +128,9 @@ fn invalid_module_fails_cleanly() {
     let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
     rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     let ctx = memwasm::container_runtimes::RuntimeCtx {
-        runtime_cgroup: kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "sys").unwrap(),
+        runtime_cgroup: kernel
+            .cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "sys")
+            .unwrap(),
     };
     let pod = kernel.cgroup_create(memwasm::simkernel::Kernel::ROOT_CGROUP, "pod-bad").unwrap();
     let mut c = rt.create(&ctx, "bad", &bundle, pod).unwrap();
@@ -146,9 +147,7 @@ fn python_handler_in_hybrid_runtime_prefers_first_match() {
     crun.register_handler(Box::new(PythonHandler::default()));
     crun.register_handler(Box::new(PauseHandler));
     cluster.register_class("hybrid", RuntimeClass::Oci { runtime: crun });
-    let d = cluster
-        .deploy("py", Config::CrunPython.image_ref(), "hybrid", 2)
-        .unwrap();
+    let d = cluster.deploy("py", Config::CrunPython.image_ref(), "hybrid", 2).unwrap();
     assert_eq!(d.pods[0].stdout, b"microservice ready\n");
     cluster.teardown(d).unwrap();
 }

@@ -1,0 +1,74 @@
+//! The parallel driver's central guarantee: fanning an experiment grid
+//! across worker threads changes wall-clock only — the sample sequence and
+//! every rendered CSV byte are identical to the serial path.
+
+use memwasm::harness::{figures, run_cells_on, Cell, CellSample, Config, Observe, Workload};
+
+fn grid() -> Vec<Cell> {
+    let configs = [Config::WamrCrun, Config::CrunWasmtime, Config::CrunPython];
+    let densities = [2usize, 5];
+    configs
+        .iter()
+        .flat_map(|&c| {
+            densities.iter().map(move |&d| Cell { config: c, density: d, observe: Observe::Both })
+        })
+        .collect()
+}
+
+fn assert_samples_identical(serial: &[CellSample], parallel: &[CellSample]) {
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel) {
+        assert_eq!(s.config, p.config);
+        assert_eq!(s.density, p.density);
+        let (sm, pm) = (s.memory.unwrap(), p.memory.unwrap());
+        assert_eq!(sm.metrics_avg, pm.metrics_avg, "{:?}@{}", s.config, s.density);
+        assert_eq!(sm.free_per_pod, pm.free_per_pod, "{:?}@{}", s.config, s.density);
+        let (ss, ps) = (s.startup.unwrap(), p.startup.unwrap());
+        assert_eq!(ss.total, ps.total, "{:?}@{}", s.config, s.density);
+    }
+}
+
+#[test]
+fn parallel_samples_match_serial_in_grid_order() {
+    let w = Workload::light();
+    let cells = grid();
+    let serial = run_cells_on(&cells, &w, 1).unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = run_cells_on(&cells, &w, threads).unwrap();
+        assert_samples_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn figure_csv_bytes_are_identical_across_drivers() {
+    // HARNESS_THREADS steers the driver the figure functions use; both
+    // comparisons live in this one test so the env var is never mutated
+    // concurrently.
+    let w = Workload::light();
+    let densities = [2usize, 4];
+
+    std::env::set_var("HARNESS_THREADS", "1");
+    let serial_fig5 = figures::fig5(&w, &densities).unwrap();
+    let (serial_fig3, serial_fig4) = figures::figs3_4(&w, &densities).unwrap();
+
+    std::env::set_var("HARNESS_THREADS", "4");
+    let parallel_fig5 = figures::fig5(&w, &densities).unwrap();
+    let (parallel_fig3, parallel_fig4) = figures::figs3_4(&w, &densities).unwrap();
+    std::env::remove_var("HARNESS_THREADS");
+
+    assert_eq!(serial_fig5.to_csv().into_bytes(), parallel_fig5.to_csv().into_bytes());
+    assert_eq!(serial_fig3.to_csv().into_bytes(), parallel_fig3.to_csv().into_bytes());
+    assert_eq!(serial_fig4.to_csv().into_bytes(), parallel_fig4.to_csv().into_bytes());
+    assert_eq!(serial_fig5.render(), parallel_fig5.render());
+}
+
+#[test]
+fn paired_figures_match_their_standalone_forms() {
+    // figs3_4 shares one grid run; the standalone fig3/fig4 run their own
+    // grids. Same cells, same samples, same bytes.
+    let w = Workload::light();
+    let densities = [3usize];
+    let (f3, f4) = figures::figs3_4(&w, &densities).unwrap();
+    assert_eq!(f3.to_csv(), figures::fig3(&w, &densities).unwrap().to_csv());
+    assert_eq!(f4.to_csv(), figures::fig4(&w, &densities).unwrap().to_csv());
+}

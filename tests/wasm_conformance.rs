@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use memwasm::wasm_core::types::BlockType;
 use memwasm::wasm_core::{
-    ExecTier, FuncType, Imports, Instance, InstanceConfig, Instruction as I, ModuleBuilder,
-    Trap, ValType, Value,
+    ExecTier, FuncType, Imports, Instance, InstanceConfig, Instruction as I, ModuleBuilder, Trap,
+    ValType, Value,
 };
 
 fn run_both(
@@ -43,12 +43,9 @@ fn expect_trap(build: impl Fn() -> ModuleBuilder, func: &str, args: &[Value], wa
 fn wrapping_integer_arithmetic() {
     let build = || {
         let mut b = ModuleBuilder::new();
-        let f = b.func(
-            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
-            |f| {
-                f.local_get(0).local_get(1).op(I::I32Mul);
-            },
-        );
+        let f = b.func(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]), |f| {
+            f.local_get(0).local_get(1).op(I::I32Mul);
+        });
         b.export_func("mul", f);
         b
     };
@@ -59,22 +56,14 @@ fn wrapping_integer_arithmetic() {
 fn division_traps_on_both_tiers() {
     let build = || {
         let mut b = ModuleBuilder::new();
-        let f = b.func(
-            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
-            |f| {
-                f.local_get(0).local_get(1).op(I::I32DivS);
-            },
-        );
+        let f = b.func(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]), |f| {
+            f.local_get(0).local_get(1).op(I::I32DivS);
+        });
         b.export_func("div", f);
         b
     };
     expect_trap(build, "div", &[Value::I32(1), Value::I32(0)], Trap::IntegerDivideByZero);
-    expect_trap(
-        build,
-        "div",
-        &[Value::I32(i32::MIN), Value::I32(-1)],
-        Trap::IntegerOverflow,
-    );
+    expect_trap(build, "div", &[Value::I32(i32::MIN), Value::I32(-1)], Trap::IntegerOverflow);
     expect_both(build, "div", &[Value::I32(-7), Value::I32(2)], Value::I32(-3));
 }
 
@@ -120,11 +109,7 @@ fn memory_grow_and_bounds() {
 fn globals_and_start_function() {
     let build = || {
         let mut b = ModuleBuilder::new();
-        let g = b.global(
-            ValType::I64,
-            true,
-            memwasm::wasm_core::module::ConstExpr::I64(5),
-        );
+        let g = b.global(ValType::I64, true, memwasm::wasm_core::module::ConstExpr::I64(5));
         let init = b.func(FuncType::new(vec![], vec![]), |f| {
             f.global_get(g).op(I::I64Const(37)).op(I::I64Add).global_set(g);
         });
@@ -186,12 +171,9 @@ fn loop_branch_carries_params_to_loop_head() {
 fn nan_propagation_bitpatterns_agree() {
     let build = || {
         let mut b = ModuleBuilder::new();
-        let f = b.func(
-            FuncType::new(vec![ValType::F64, ValType::F64], vec![ValType::I64]),
-            |f| {
-                f.local_get(0).local_get(1).op(I::F64Min).op(I::I64ReinterpretF64);
-            },
-        );
+        let f = b.func(FuncType::new(vec![ValType::F64, ValType::F64], vec![ValType::I64]), |f| {
+            f.local_get(0).local_get(1).op(I::F64Min).op(I::I64ReinterpretF64);
+        });
         b.export_func("minbits", f);
         b
     };
@@ -203,16 +185,13 @@ fn nan_propagation_bitpatterns_agree() {
 fn select_and_shift_semantics() {
     let build = || {
         let mut b = ModuleBuilder::new();
-        let f = b.func(
-            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
-            |f| {
-                // select(a << 33, a >> 1, cond=b)
-                f.local_get(0).i32_const(33).op(I::I32Shl);
-                f.local_get(0).i32_const(1).op(I::I32ShrU);
-                f.local_get(1);
-                f.op(I::Select);
-            },
-        );
+        let f = b.func(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]), |f| {
+            // select(a << 33, a >> 1, cond=b)
+            f.local_get(0).i32_const(33).op(I::I32Shl);
+            f.local_get(0).i32_const(1).op(I::I32ShrU);
+            f.local_get(1);
+            f.op(I::Select);
+        });
         b.export_func("f", f);
         b
     };
