@@ -2,8 +2,10 @@
 //!
 //! Implements the CRI verbs kubelet uses — `RunPodSandbox`,
 //! `CreateContainer`, `StartContainer`, `RemovePodSandbox` — over the
-//! simulated kernel. Each verb returns the DES latency steps it cost so the
-//! kubelet can assemble per-pod startup programs.
+//! simulated kernel. Each verb records the DES latency steps it cost into
+//! the caller's [`StepTrace`] (tagged with the lifecycle [`Phase`] they
+//! belong to) so the kubelet can assemble per-pod startup programs and the
+//! harness can break startup down per phase.
 //!
 //! Runtime classes mirror the paper's Figure 1: an OCI class routes through
 //! the `containerd-shim-runc-v2` shim to a low-level runtime (crun, runC),
@@ -16,8 +18,10 @@ use container_runtimes::handler::{resolve_module, wasi_spec_from_oci};
 use container_runtimes::{Container, ContainerState, LowLevelRuntime, RuntimeCtx};
 use engines::{execute_wasm_opts, Embedding, EngineKind, ExecOptions};
 use oci_spec_lite::{Bundle, Image, ImageStore, RuntimeSpec};
+use simkernel::image::charge_anon;
 use simkernel::{
-    CgroupId, Duration, Kernel, KernelError, KernelResult, LockId, MapKind, Pid, Step,
+    lifecycle, CgroupId, Duration, Kernel, KernelError, KernelResult, Lifecycle, LockId, Phase,
+    Pid, ProcessImage, Step, StepTrace,
 };
 
 use crate::shim::{install_shims, runwasi_shim, spawn_shim, Shim, SHIM_RUNC_V2};
@@ -46,7 +50,9 @@ pub enum RuntimeClass {
 pub struct CriContainer {
     pub id: String,
     pub image: String,
-    pub state: ContainerState,
+    /// Position in the shared OCI lifecycle state machine — the same
+    /// machine `LowLevelRuntime` containers use.
+    pub state: Lifecycle,
     pub stdout: Vec<u8>,
     /// Present for OCI-class containers (init process of the container).
     oci: Option<Container>,
@@ -101,18 +107,13 @@ impl Containerd {
             DAEMON_BINARY,
             simkernel::vfs::FileContent::Synthetic(DAEMON_BINARY_SIZE),
         )?;
-        let daemon_pid = kernel.spawn("containerd", system_cgroup)?;
-        let bin = kernel.lookup(DAEMON_BINARY)?;
-        let map = kernel.mmap_labeled(
-            daemon_pid,
-            DAEMON_BINARY_SIZE,
-            MapKind::FileShared(bin),
-            "containerd",
-        )?;
-        kernel.touch(daemon_pid, map, DAEMON_BINARY_SIZE / 2)?;
-        let heap =
-            kernel.mmap_labeled(daemon_pid, DAEMON_HEAP, MapKind::AnonPrivate, "daemon-heap")?;
-        kernel.touch(daemon_pid, heap, DAEMON_HEAP)?;
+        // Resident daemon: half its binary text plus the Go heap. Ownership
+        // moves to the Containerd value (the node never stops it).
+        let daemon_pid = ProcessImage::spawn(&kernel, "containerd", system_cgroup)
+            .text(DAEMON_BINARY, DAEMON_BINARY_SIZE, DAEMON_BINARY_SIZE / 2, "containerd")
+            .heap(DAEMON_HEAP, "daemon-heap")
+            .build()?
+            .detach();
 
         let pause_image = images
             .register(&kernel, oci_spec_lite::ImageBuilder::new("registry.k8s.io/pause:3.9"))?
@@ -150,17 +151,17 @@ impl Containerd {
 
     /// Charge daemon metadata growth.
     fn grow_daemon(&self, bytes: u64) -> KernelResult<()> {
-        let m = self.kernel.mmap_labeled(
-            self.daemon_pid,
-            bytes,
-            MapKind::AnonPrivate,
-            "daemon-meta",
-        )?;
-        self.kernel.touch(self.daemon_pid, m, bytes)
+        charge_anon(&self.kernel, self.daemon_pid, bytes, "daemon-meta")
     }
 
-    /// CRI RunPodSandbox: pod cgroup, shim, pause container.
-    pub fn run_pod_sandbox(&mut self, pod_id: &str, class_name: &str) -> KernelResult<Vec<Step>> {
+    /// CRI RunPodSandbox: pod cgroup, shim, pause container. All recorded
+    /// work lands in [`Phase::Sandbox`].
+    pub fn run_pod_sandbox(
+        &mut self,
+        pod_id: &str,
+        class_name: &str,
+        trace: &mut StepTrace,
+    ) -> KernelResult<()> {
         if self.sandboxes.contains_key(pod_id) {
             return Err(KernelError::InvalidState(format!("sandbox {pod_id} exists")));
         }
@@ -168,20 +169,28 @@ impl Containerd {
             .classes
             .get(class_name)
             .ok_or_else(|| KernelError::InvalidState(format!("no runtime class {class_name}")))?;
-        let mut steps = vec![Step::Cpu(Duration::from_micros(900))]; // CRI handling
+        trace.push(Phase::Sandbox, Step::Cpu(Duration::from_micros(900))); // CRI handling
         self.grow_daemon(DAEMON_GROWTH_PER_POD)?;
         let pod_cgroup = self.kernel.cgroup_create(self.kubepods, pod_id)?;
 
         let (shim, pause, pause_bundle) = match class {
             RuntimeClass::Oci { runtime } => {
-                // Shim in the system cgroup: invisible to pod metrics.
-                let shim = spawn_shim(
+                // Shim in the system cgroup: invisible to pod metrics. Its
+                // guard owns the process until the sandbox is committed, so
+                // every failure path below reaps it on drop.
+                let shim = match spawn_shim(
                     &self.kernel,
                     &SHIM_RUNC_V2,
                     self.system_cgroup,
                     TASK_SERVICE_LOCK,
-                    &mut steps,
-                )?;
+                    trace,
+                ) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        let _ = self.kernel.cgroup_remove(pod_cgroup);
+                        return Err(e);
+                    }
+                };
                 // Pause container through the low-level runtime. Failures
                 // past this point must not leak the shim or the pod cgroup.
                 let pause_result = (|| {
@@ -211,14 +220,15 @@ impl Containerd {
                 let (mut pause, bundle) = match pause_result {
                     Ok(v) => v,
                     Err(e) => {
-                        let _ = self.kernel.exit(shim.pid, 1);
-                        let _ = self.kernel.reap(shim.pid);
+                        drop(shim);
                         let _ = self.kernel.cgroup_remove(pod_cgroup);
                         return Err(e);
                     }
                 };
-                steps.append(&mut pause.steps);
-                (shim, Some(pause), Some(bundle))
+                // The pause container's runtime steps are sandbox assembly
+                // from the pod's point of view: retag them wholesale.
+                trace.extend(Phase::Sandbox, std::mem::take(&mut pause.trace).into_steps());
+                (Shim { pid: shim.detach(), profile: &SHIM_RUNC_V2 }, Some(pause), Some(bundle))
             }
             RuntimeClass::Runwasi { engine, .. } => {
                 // Shim in the pod cgroup: it will host the Wasm instance.
@@ -233,18 +243,22 @@ impl Containerd {
                     }
                 };
                 let shim =
-                    spawn_shim(&self.kernel, profile, pod_cgroup, TASK_SERVICE_LOCK, &mut steps)?;
+                    match spawn_shim(&self.kernel, profile, pod_cgroup, TASK_SERVICE_LOCK, trace) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            let _ = self.kernel.cgroup_remove(pod_cgroup);
+                            return Err(e);
+                        }
+                    };
                 // The shim holds the sandbox itself (no pause process); a
                 // small allocation models its sandbox bookkeeping.
-                let m = self.kernel.mmap_labeled(
-                    shim.pid,
-                    160 << 10,
-                    MapKind::AnonPrivate,
-                    "sandbox-meta",
-                )?;
-                self.kernel.touch(shim.pid, m, 160 << 10)?;
-                steps.push(Step::Cpu(Duration::from_micros(400)));
-                (shim, None, None)
+                if let Err(e) = shim.charge_heap(160 << 10, "sandbox-meta") {
+                    drop(shim);
+                    let _ = self.kernel.cgroup_remove(pod_cgroup);
+                    return Err(e);
+                }
+                trace.push(Phase::Sandbox, Step::Cpu(Duration::from_micros(400)));
+                (Shim { pid: shim.detach(), profile }, None, None)
             }
         };
 
@@ -260,7 +274,7 @@ impl Containerd {
                 containers: BTreeMap::new(),
             },
         );
-        Ok(steps)
+        Ok(())
     }
 
     /// CRI CreateContainer: bundle + (for OCI classes) runtime `create`.
@@ -270,7 +284,8 @@ impl Containerd {
         container_id: &str,
         image_ref: &str,
         memory_limit: Option<u64>,
-    ) -> KernelResult<Vec<Step>> {
+        trace: &mut StepTrace,
+    ) -> KernelResult<()> {
         let image = self.images.get(image_ref)?.clone();
         self.grow_daemon(DAEMON_GROWTH_PER_CONTAINER)?;
         let sandbox = self
@@ -293,12 +308,10 @@ impl Containerd {
         let bundle = Bundle::create(&self.kernel, container_id, &image, &spec)?;
 
         // Snapshot preparation + metadata, under the task lock.
-        let mut steps = vec![
-            Step::Acquire(TASK_SERVICE_LOCK),
-            Step::Cpu(Duration::from_micros(1_200)),
-            Step::Release(TASK_SERVICE_LOCK),
-            Step::Io(Duration::from_micros(800)),
-        ];
+        trace.push(Phase::RuntimeOp, Step::Acquire(TASK_SERVICE_LOCK));
+        trace.push(Phase::RuntimeOp, Step::Cpu(Duration::from_micros(1_200)));
+        trace.push(Phase::RuntimeOp, Step::Release(TASK_SERVICE_LOCK));
+        trace.push(Phase::RuntimeOp, Step::Io(Duration::from_micros(800)));
 
         let class = self.classes.get(&sandbox.class).expect("class checked at sandbox");
         let oci = match class {
@@ -313,7 +326,7 @@ impl Containerd {
                         return Err(e);
                     }
                 };
-                steps.append(&mut c.steps);
+                trace.append(&mut c.trace);
                 Some(c)
             }
             RuntimeClass::Runwasi { .. } => None,
@@ -324,18 +337,23 @@ impl Containerd {
             CriContainer {
                 id: container_id.to_string(),
                 image: image_ref.to_string(),
-                state: ContainerState::Created,
+                state: Lifecycle::new(),
                 stdout: Vec::new(),
                 oci,
                 bundle,
                 spec,
             },
         );
-        Ok(steps)
+        Ok(())
     }
 
     /// CRI StartContainer: dispatch the workload.
-    pub fn start_container(&mut self, pod_id: &str, container_id: &str) -> KernelResult<Vec<Step>> {
+    pub fn start_container(
+        &mut self,
+        pod_id: &str,
+        container_id: &str,
+        trace: &mut StepTrace,
+    ) -> KernelResult<()> {
         let sandbox = self
             .sandboxes
             .get_mut(pod_id)
@@ -345,28 +363,27 @@ impl Containerd {
             .containers
             .get_mut(container_id)
             .ok_or_else(|| KernelError::InvalidState(format!("no container {container_id}")))?;
-        if container.state != ContainerState::Created {
+        if !lifecycle::legal(container.state.state(), ContainerState::Running) {
             return Err(KernelError::InvalidState(format!(
                 "container {container_id} is {:?}",
-                container.state
+                container.state.state()
             )));
         }
         let class = self.classes.get(&sandbox.class).expect("class checked at sandbox");
-        let mut steps = Vec::new();
         match class {
             RuntimeClass::Oci { runtime } => {
                 let ctx = RuntimeCtx { runtime_cgroup: self.system_cgroup };
                 let oci = container.oci.as_mut().expect("oci class has container");
-                let before = oci.steps.len();
+                let before = oci.trace.len();
                 runtime.start(&ctx, oci, &container.bundle)?;
-                steps.extend(oci.steps[before..].iter().cloned());
+                trace.extend_entries(&oci.trace.entries()[before..]);
                 container.stdout = oci.stdout.clone();
             }
             RuntimeClass::Runwasi { engine, fuel } => {
                 // The shim executes the module in-process.
                 let module = resolve_module(&container.bundle, &container.spec)?;
                 let wasi = wasi_spec_from_oci(&container.bundle, &container.spec);
-                let run = execute_wasm_opts(
+                let mut run = execute_wasm_opts(
                     &self.kernel,
                     shim_pid,
                     engine.profile(),
@@ -375,24 +392,26 @@ impl Containerd {
                     *fuel,
                     ExecOptions { embedding: Embedding::Crate, ..Default::default() },
                 )?;
-                steps.extend(run.steps);
+                trace.append(&mut run.trace);
                 container.stdout = run.stdout;
             }
         }
-        container.state = ContainerState::Running;
-        Ok(steps)
+        container.state.transition(ContainerState::Running, container_id)?;
+        Ok(())
     }
 
     /// CRI RemovePodSandbox: stop containers, pause, and the shim.
     ///
-    /// Teardown is best-effort: every resource is attempted even when an
-    /// earlier one fails (a mid-teardown error must not strand the rest);
-    /// the first error is reported after everything has been tried.
+    /// Idempotent: removing a sandbox that does not exist (already removed,
+    /// or never fully created) is a successful no-op, so rollback paths can
+    /// call it unconditionally. Teardown is best-effort: every resource is
+    /// attempted even when an earlier one fails (a mid-teardown error must
+    /// not strand the rest); the first error is reported after everything
+    /// has been tried.
     pub fn remove_pod_sandbox(&mut self, pod_id: &str) -> KernelResult<()> {
-        let mut sandbox = self
-            .sandboxes
-            .remove(pod_id)
-            .ok_or_else(|| KernelError::InvalidState(format!("no sandbox {pod_id}")))?;
+        let Some(mut sandbox) = self.sandboxes.remove(pod_id) else {
+            return Ok(());
+        };
         let class = self.classes.get(&sandbox.class).expect("class checked at sandbox");
         let mut first_err: Option<KernelError> = None;
         let mut note = |r: KernelResult<()>| {
@@ -479,27 +498,36 @@ mod tests {
     #[test]
     fn oci_class_full_pod_lifecycle() {
         let mut cd = boot();
-        let steps = cd.run_pod_sandbox("pod-1", "crun-wamr").unwrap();
-        assert!(steps.iter().any(|s| matches!(s, Step::Acquire(_))));
-        cd.create_container("pod-1", "c1", "svc:v1", None).unwrap();
-        cd.start_container("pod-1", "c1").unwrap();
+        let mut trace = StepTrace::new();
+        cd.run_pod_sandbox("pod-1", "crun-wamr", &mut trace).unwrap();
+        assert!(trace.steps().iter().any(|s| matches!(s, Step::Acquire(_))));
+        assert!(
+            trace.entries().iter().all(|(p, _)| *p == Phase::Sandbox),
+            "RunPodSandbox work (shim, pause) is all sandbox-phase"
+        );
+        cd.create_container("pod-1", "c1", "svc:v1", None, &mut trace).unwrap();
+        cd.start_container("pod-1", "c1", &mut trace).unwrap();
         let sandbox = cd.sandbox("pod-1").unwrap();
         let c = sandbox.container("c1").unwrap();
         assert_eq!(c.state, ContainerState::Running);
         assert_eq!(c.stdout, b"on\n");
+        // The start carried engine work: later phases are represented too.
+        assert!(trace.entries().iter().any(|(p, _)| *p == Phase::Exec));
         // Pod working set includes pause + wasm workload.
         let ws = cd.pod_working_set("pod-1").unwrap();
         assert!(ws > 500 << 10, "{ws}");
         cd.remove_pod_sandbox("pod-1").unwrap();
         assert!(cd.sandbox("pod-1").is_none());
+        cd.remove_pod_sandbox("pod-1").unwrap(); // idempotent
     }
 
     #[test]
     fn runwasi_class_runs_in_shim() {
         let mut cd = boot();
-        cd.run_pod_sandbox("pod-2", "runwasi-wasmtime").unwrap();
-        cd.create_container("pod-2", "c1", "svc:v1", None).unwrap();
-        cd.start_container("pod-2", "c1").unwrap();
+        let mut trace = StepTrace::new();
+        cd.run_pod_sandbox("pod-2", "runwasi-wasmtime", &mut trace).unwrap();
+        cd.create_container("pod-2", "c1", "svc:v1", None, &mut trace).unwrap();
+        cd.start_container("pod-2", "c1", &mut trace).unwrap();
         let c = cd.sandbox("pod-2").unwrap().container("c1").unwrap();
         assert_eq!(c.stdout, b"on\n");
         // The shim lives in the pod cgroup: its heavy base is visible to
@@ -512,8 +540,8 @@ mod tests {
     #[test]
     fn shim_placement_differs_between_classes() {
         let mut cd = boot();
-        cd.run_pod_sandbox("a", "crun-wamr").unwrap();
-        cd.run_pod_sandbox("b", "runwasi-wasmtime").unwrap();
+        cd.run_pod_sandbox("a", "crun-wamr", &mut StepTrace::new()).unwrap();
+        cd.run_pod_sandbox("b", "runwasi-wasmtime", &mut StepTrace::new()).unwrap();
         let oci_ws = cd.pod_working_set("a").unwrap();
         let wasi_ws = cd.pod_working_set("b").unwrap();
         // The runwasi pod carries its shim; the OCI pod only pause.
@@ -523,19 +551,20 @@ mod tests {
     #[test]
     fn unknown_class_and_duplicate_sandbox() {
         let mut cd = boot();
-        assert!(cd.run_pod_sandbox("p", "nope").is_err());
-        cd.run_pod_sandbox("p", "crun-wamr").unwrap();
-        assert!(cd.run_pod_sandbox("p", "crun-wamr").is_err());
+        assert!(cd.run_pod_sandbox("p", "nope", &mut StepTrace::new()).is_err());
+        cd.run_pod_sandbox("p", "crun-wamr", &mut StepTrace::new()).unwrap();
+        assert!(cd.run_pod_sandbox("p", "crun-wamr", &mut StepTrace::new()).is_err());
     }
 
     #[test]
     fn start_requires_create() {
         let mut cd = boot();
-        cd.run_pod_sandbox("p", "crun-wamr").unwrap();
-        assert!(cd.start_container("p", "ghost").is_err());
-        cd.create_container("p", "c", "svc:v1", None).unwrap();
-        cd.start_container("p", "c").unwrap();
-        assert!(cd.start_container("p", "c").is_err(), "double start");
+        let mut trace = StepTrace::new();
+        cd.run_pod_sandbox("p", "crun-wamr", &mut trace).unwrap();
+        assert!(cd.start_container("p", "ghost", &mut trace).is_err());
+        cd.create_container("p", "c", "svc:v1", None, &mut trace).unwrap();
+        cd.start_container("p", "c", &mut trace).unwrap();
+        assert!(cd.start_container("p", "c", &mut trace).is_err(), "double start");
     }
 
     #[test]
@@ -548,24 +577,25 @@ mod tests {
         rt.register_handler(Box::new(WasmEngineHandler::new(EngineKind::Wamr)));
         cd.register_class("no-pause", RuntimeClass::Oci { runtime: rt });
         let procs_before = cd.kernel.live_procs();
-        let err = cd.run_pod_sandbox("leaky", "no-pause");
+        let err = cd.run_pod_sandbox("leaky", "no-pause", &mut StepTrace::new());
         assert!(err.is_err(), "pause start must fail without a pause handler");
         assert_eq!(cd.kernel.live_procs(), procs_before, "no leaked processes");
         // The pod id is reusable afterwards (cgroup fully removed).
-        cd.run_pod_sandbox("leaky", "crun-wamr").unwrap();
+        cd.run_pod_sandbox("leaky", "crun-wamr", &mut StepTrace::new()).unwrap();
         cd.remove_pod_sandbox("leaky").unwrap();
     }
 
     #[test]
     fn teardown_releases_everything() {
         let mut cd = boot();
-        cd.run_pod_sandbox("p", "crun-wamr").unwrap();
-        cd.create_container("p", "c", "svc:v1", None).unwrap();
-        cd.start_container("p", "c").unwrap();
+        let mut trace = StepTrace::new();
+        cd.run_pod_sandbox("p", "crun-wamr", &mut trace).unwrap();
+        cd.create_container("p", "c", "svc:v1", None, &mut trace).unwrap();
+        cd.start_container("p", "c", &mut trace).unwrap();
         cd.remove_pod_sandbox("p").unwrap();
         // The pod name (and its cgroup path) is reusable after removal,
         // which requires every per-pod resource to have been released.
-        cd.run_pod_sandbox("p", "crun-wamr").unwrap();
+        cd.run_pod_sandbox("p", "crun-wamr", &mut StepTrace::new()).unwrap();
         cd.remove_pod_sandbox("p").unwrap();
     }
 }

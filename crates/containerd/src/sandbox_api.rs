@@ -17,7 +17,11 @@
 use container_runtimes::handler::wasi_spec_from_oci;
 use engines::{execute_wasm_opts, Embedding, EngineKind, ExecOptions};
 use oci_spec_lite::{Bundle, Image, RuntimeSpec};
-use simkernel::{CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step};
+use simkernel::image::{charge_anon, map_shared};
+use simkernel::{
+    CgroupId, Duration, Kernel, KernelError, KernelResult, Phase, Pid, ProcessImage, Step,
+    StepTrace,
+};
 
 /// A sandbox hosting multiple Wasm containers in one process.
 pub struct WasmSandbox {
@@ -30,8 +34,9 @@ pub struct WasmSandbox {
     engine_loaded: bool,
     /// Bundles owned by this sandbox (destroyed with it).
     bundles: Vec<Bundle>,
-    /// Steps accumulated across sandbox + container startups.
-    pub steps: Vec<Step>,
+    /// Steps accumulated across sandbox + container startups, tagged with
+    /// the lifecycle phase each belongs to.
+    pub trace: StepTrace,
 }
 
 /// One container (module instance) inside a sandbox.
@@ -61,14 +66,12 @@ impl WasmSandboxer {
     /// Create a pod sandbox: one process in the pod cgroup, engine loaded
     /// lazily on the first container.
     pub fn create_sandbox(&self, pod_id: &str, pod_cgroup: CgroupId) -> KernelResult<WasmSandbox> {
-        let pid = self.kernel.spawn(&format!("wasm-sandbox:{pod_id}"), pod_cgroup)?;
-        let base = self.kernel.mmap_labeled(
-            pid,
-            SANDBOX_PROCESS_BASE,
-            MapKind::AnonPrivate,
-            "sandbox-base",
-        )?;
-        self.kernel.touch(pid, base, SANDBOX_PROCESS_BASE)?;
+        let pid = ProcessImage::spawn(&self.kernel, format!("wasm-sandbox:{pod_id}"), pod_cgroup)
+            .heap(SANDBOX_PROCESS_BASE, "sandbox-base")
+            .build()?
+            .detach();
+        let mut trace = StepTrace::new();
+        trace.push(Phase::Sandbox, Step::Cpu(SANDBOX_CREATE));
         Ok(WasmSandbox {
             pod_id: pod_id.to_string(),
             pod_cgroup,
@@ -77,7 +80,7 @@ impl WasmSandboxer {
             containers: Vec::new(),
             engine_loaded: false,
             bundles: Vec::new(),
-            steps: vec![Step::Cpu(SANDBOX_CREATE)],
+            trace,
         })
     }
 
@@ -143,7 +146,7 @@ impl WasmSandboxer {
                 sandbox.fuel,
             )
         };
-        let run = match run {
+        let mut run = match run {
             Ok(r) => r,
             Err(e) => {
                 let _ = bundle.destroy(&self.kernel);
@@ -152,7 +155,7 @@ impl WasmSandboxer {
         };
         sandbox.engine_loaded = true;
         sandbox.bundles.push(bundle);
-        sandbox.steps.extend(run.steps.iter().cloned());
+        sandbox.trace.append(&mut run.trace);
         sandbox.containers.push(SandboxContainer {
             id: id.to_string(),
             stdout: run.stdout,
@@ -200,19 +203,23 @@ fn instance_only(
     use wasm_core::{decode_module, Instance, InstanceConfig, Trap};
 
     let profile = engine.profile();
-    let mut steps = Vec::new();
+    let mut trace = StepTrace::new();
 
     let module_size = kernel.file_size(module_file)?;
-    let module_map =
-        kernel.mmap_labeled(pid, module_size, MapKind::FileShared(module_file), "module.wasm")?;
-    kernel.touch(pid, module_map, module_size)?;
+    // Warm by construction: the first container's full run already faulted
+    // the module in, so the cold-read result is ignored (no I/O step), as
+    // before the ProcessImage refactor.
+    let _warm = map_shared(kernel, pid, module_file, module_size, module_size, "module.wasm")?;
     let bytes: Bytes = kernel
         .read_file(pid, module_file)?
         .ok_or_else(|| KernelError::InvalidState("module has no content".into()))?;
     let module = std::sync::Arc::new(
         decode_module(bytes).map_err(|e| KernelError::InvalidState(format!("bad module: {e}")))?,
     );
-    steps.push(Step::Cpu(Duration::from_nanos(module_size * profile.validate_ns_per_byte)));
+    trace.push(
+        Phase::ModuleLoad,
+        Step::Cpu(Duration::from_nanos(module_size * profile.validate_ns_per_byte)),
+    );
 
     let mut ctx = wasi_sys::WasiCtx::new(kernel.clone(), pid)
         .args(wasi.args.iter().cloned())
@@ -226,49 +233,41 @@ fn instance_only(
     let config = InstanceConfig { tier: profile.tier, fuel: Some(fuel), ..Default::default() };
     let mut inst = Instance::instantiate(module, ctx.into_imports(), config)
         .map_err(|e| KernelError::InvalidState(format!("instantiate: {e}")))?;
-    steps.push(Step::Cpu(profile.instantiate));
+    trace.push(Phase::Instantiate, Step::Cpu(profile.instantiate));
     let exit_code = match inst.run_start() {
         Ok(()) => 0,
         Err(Trap::Exit(code)) => code,
         Err(t) => return Err(KernelError::InvalidState(format!("guest trapped: {t}"))),
     };
     let stats = inst.stats();
-    steps.push(Step::Cpu(Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr)));
+    trace.push(
+        Phase::Exec,
+        Step::Cpu(Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr)),
+    );
 
     // Per-instance memory: compiled code (if eager), metadata, linear mem.
     if profile.eager_compile() {
         let code_bytes =
             ((stats.lowered_bytes as f64 * profile.code_metadata_factor) as u64).max(4096);
-        steps.push(Step::Cpu(Duration::from_nanos(module_size * profile.compile_ns_per_byte)));
-        let m = kernel.mmap_labeled(pid, code_bytes, MapKind::AnonPrivate, "jit-code")?;
-        kernel.touch(pid, m, code_bytes)?;
+        trace.push(
+            Phase::Compile,
+            Step::Cpu(Duration::from_nanos(module_size * profile.compile_ns_per_byte)),
+        );
+        charge_anon(kernel, pid, code_bytes, "jit-code")?;
     } else if stats.side_table_bytes > 0 {
-        let m = kernel.mmap_labeled(
-            pid,
-            stats.side_table_bytes,
-            MapKind::AnonPrivate,
-            "side-tables",
-        )?;
-        kernel.touch(pid, m, stats.side_table_bytes)?;
+        charge_anon(kernel, pid, stats.side_table_bytes, "side-tables")?;
     }
-    let meta = kernel.mmap_labeled(
-        pid,
-        profile.embedded_per_instance,
-        MapKind::AnonPrivate,
-        "instance-meta",
-    )?;
-    kernel.touch(pid, meta, profile.embedded_per_instance)?;
+    charge_anon(kernel, pid, profile.embedded_per_instance, "instance-meta")?;
     if let Some(mem) = inst.memory() {
         let bytes = mem.size_bytes() as u64;
         if bytes > 0 {
-            let m = kernel.mmap_labeled(pid, bytes, MapKind::AnonPrivate, "linear-memory")?;
-            kernel.touch(pid, m, bytes)?;
+            charge_anon(kernel, pid, bytes, "linear-memory")?;
         }
     }
 
     let stdout = stdout.borrow().clone();
     let stderr = stderr.borrow().clone();
-    Ok(engines::EngineRun { steps, stdout, stderr, exit_code, stats, cache_hit: true })
+    Ok(engines::EngineRun { trace, stdout, stderr, exit_code, stats, cache_hit: true })
 }
 
 #[cfg(test)]

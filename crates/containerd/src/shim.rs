@@ -16,7 +16,9 @@
 //! section is what makes runwasi scale poorly to 400 pods (Fig. 9).
 
 use engines::EngineKind;
-use simkernel::{CgroupId, Duration, Kernel, KernelResult, MapKind, Pid, Step};
+use simkernel::{
+    CgroupId, Duration, Kernel, KernelResult, Phase, Pid, ProcGuard, ProcessImage, Step, StepTrace,
+};
 
 /// Characteristics of a shim binary.
 #[derive(Debug, Clone)]
@@ -108,7 +110,7 @@ pub fn install_shims(kernel: &Kernel) -> KernelResult<()> {
     Ok(())
 }
 
-/// A live shim process.
+/// A live shim process, registered in a sandbox that tears it down.
 #[derive(Debug)]
 pub struct Shim {
     pub pid: Pid,
@@ -116,33 +118,35 @@ pub struct Shim {
 }
 
 /// Spawn a shim process into `cgroup`, charging its binary (shared) and
-/// private base, and appending its spawn steps. `task_lock` is the daemon's
-/// task-service lock; the serialized section runs inside it.
-pub fn spawn_shim(
-    kernel: &Kernel,
+/// private base, and recording its spawn steps under [`Phase::Sandbox`].
+/// `task_lock` is the daemon's task-service lock; the serialized section
+/// runs inside it.
+///
+/// Returns the owning [`ProcGuard`]: until the caller commits the sandbox
+/// (detaching the guard into a [`Shim`]), any failure path drops the guard
+/// and the shim is exited and reaped — a half-built sandbox never leaks its
+/// shim process.
+pub fn spawn_shim<'k>(
+    kernel: &'k Kernel,
     profile: &'static ShimProfile,
     cgroup: CgroupId,
     task_lock: simkernel::LockId,
-    steps: &mut Vec<Step>,
-) -> KernelResult<Shim> {
-    let pid = kernel.spawn(profile.name, cgroup)?;
-    let bin = kernel.lookup(profile.binary_path)?;
+    trace: &mut StepTrace,
+) -> KernelResult<ProcGuard<'k>> {
     let resident = (profile.binary_size as f64 * profile.binary_resident_fraction) as u64;
-    let cold = kernel.file_cached(bin)? < resident;
-    let map =
-        kernel.mmap_labeled(pid, profile.binary_size, MapKind::FileShared(bin), profile.name)?;
-    kernel.touch(pid, map, resident)?;
-    let heap = kernel.mmap_labeled(pid, profile.private_base, MapKind::AnonPrivate, "shim-heap")?;
-    kernel.touch(pid, heap, profile.private_base)?;
+    let shim = ProcessImage::spawn(kernel, profile.name, cgroup)
+        .text(profile.binary_path, profile.binary_size, resident, profile.name)
+        .heap(profile.private_base, "shim-heap")
+        .build()?;
 
-    steps.push(Step::Acquire(task_lock));
-    steps.push(Step::Cpu(profile.spawn_serialized));
-    steps.push(Step::Release(task_lock));
-    if cold {
-        steps.push(Step::disk_read(resident));
+    trace.push(Phase::Sandbox, Step::Acquire(task_lock));
+    trace.push(Phase::Sandbox, Step::Cpu(profile.spawn_serialized));
+    trace.push(Phase::Sandbox, Step::Release(task_lock));
+    if let Some(io) = shim.cold_read_step() {
+        trace.push(Phase::Sandbox, io);
     }
-    steps.push(Step::Cpu(profile.init));
-    Ok(Shim { pid, profile })
+    trace.push(Phase::Sandbox, Step::Cpu(profile.init));
+    Ok(shim)
 }
 
 #[cfg(test)]
@@ -165,14 +169,34 @@ mod tests {
         let kernel = Kernel::boot(KernelConfig::default());
         install_shims(&kernel).unwrap();
         let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pod").unwrap();
-        let mut steps = Vec::new();
-        let shim = spawn_shim(&kernel, &SHIM_WASMTIME, cg, LockId(1), &mut steps).unwrap();
-        assert!(kernel.proc_rss(shim.pid).unwrap() > SHIM_WASMTIME.private_base);
-        assert!(steps.iter().any(|s| matches!(s, Step::Acquire(_))));
-        assert!(steps.iter().any(|s| matches!(s, Step::Io(_))), "first spawn is cold");
-        let mut steps2 = Vec::new();
-        spawn_shim(&kernel, &SHIM_WASMTIME, cg, LockId(1), &mut steps2).unwrap();
-        assert!(!steps2.iter().any(|s| matches!(s, Step::Io(_))), "second spawn is warm");
+        let mut trace = StepTrace::new();
+        let shim = spawn_shim(&kernel, &SHIM_WASMTIME, cg, LockId(1), &mut trace).unwrap();
+        assert!(kernel.proc_rss(shim.pid()).unwrap() > SHIM_WASMTIME.private_base);
+        assert!(trace.steps().iter().any(|s| matches!(s, Step::Acquire(_))));
+        assert!(trace.steps().iter().any(|s| matches!(s, Step::Io(_))), "first spawn is cold");
+        assert!(
+            trace.entries().iter().all(|(p, _)| *p == Phase::Sandbox),
+            "shim spawn is sandbox-phase work"
+        );
+        let _shim = Shim { pid: shim.detach(), profile: &SHIM_WASMTIME };
+        let mut trace2 = StepTrace::new();
+        let warm = spawn_shim(&kernel, &SHIM_WASMTIME, cg, LockId(1), &mut trace2).unwrap();
+        assert!(!trace2.steps().iter().any(|s| matches!(s, Step::Io(_))), "second spawn is warm");
+        warm.exit(0).unwrap();
+    }
+
+    #[test]
+    fn dropped_guard_reaps_the_shim() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        install_shims(&kernel).unwrap();
+        let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pod").unwrap();
+        let procs = kernel.live_procs();
+        {
+            let mut trace = StepTrace::new();
+            let _guard = spawn_shim(&kernel, &SHIM_RUNC_V2, cg, LockId(1), &mut trace).unwrap();
+            assert_eq!(kernel.live_procs(), procs + 1);
+        }
+        assert_eq!(kernel.live_procs(), procs, "abandoned sandbox reaps its shim");
     }
 
     #[test]

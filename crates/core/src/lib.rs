@@ -101,7 +101,7 @@ impl ContainerHandler for WamrHandler {
                 embedding: engines::Embedding::CApi,
             },
         )?;
-        Ok(HandlerOutcome { steps: run.steps, stdout: run.stdout, exit_code: run.exit_code })
+        Ok(HandlerOutcome { trace: run.trace, stdout: run.stdout, exit_code: run.exit_code })
     }
 }
 
@@ -258,7 +258,8 @@ mod tests {
         let rt = wamr_crun_runtime(w.kernel.clone(), WamrCrunConfig::default());
         let (c, _) = deploy(&w, &rt, "t");
         let cpu: u64 = c
-            .steps
+            .trace
+            .steps()
             .iter()
             .map(|s| match s {
                 Step::Cpu(d) => d.as_nanos(),

@@ -8,7 +8,8 @@
 //! wrappers around this function; the figures fall out of what it charges.
 
 use bytelite::Bytes;
-use simkernel::{Duration, FileId, Kernel, KernelResult, MapKind, Pid, Step};
+use simkernel::image::{charge_anon, map_cow, map_shared, ProcessImage};
+use simkernel::{Duration, FileId, Kernel, KernelResult, Phase, Pid, Step, StepTrace};
 use wasi_sys::WasiCtx;
 use wasm_core::{ArtifactCache, ExecStats, Instance, InstanceConfig, Trap};
 
@@ -64,8 +65,9 @@ impl Default for ExecOptions {
 /// Result of running a module inside a container process.
 #[derive(Debug)]
 pub struct EngineRun {
-    /// Latency steps for the DES startup program, in order.
-    pub steps: Vec<Step>,
+    /// Latency steps for the DES startup program, in order, tagged with the
+    /// lifecycle phase each belongs to.
+    pub trace: StepTrace,
     /// Captured stdout bytes.
     pub stdout: Vec<u8>,
     /// Captured stderr bytes.
@@ -134,62 +136,52 @@ pub fn execute_wasm_opts(
     fuel: u64,
     opts: ExecOptions,
 ) -> KernelResult<EngineRun> {
-    let mut steps = Vec::new();
+    let mut trace = StepTrace::new();
 
     // --- dlopen the engine library -------------------------------------
-    let lib = kernel.lookup(profile.lib_path)?;
+    // Shared text with cold-read accounting; the no-sharing ablation maps a
+    // private copy whose read is always cold.
     let lib_resident = profile.lib_resident();
-    if opts.share_lib {
-        let cold_lib = kernel.file_cached(lib)? < lib_resident;
-        let lib_map =
-            kernel.mmap_labeled(pid, profile.lib_size, MapKind::FileShared(lib), profile.name)?;
-        kernel.touch(pid, lib_map, lib_resident)?;
-        if cold_lib {
-            steps.push(io_step(lib_resident));
-        }
+    let image = ProcessImage::attach(kernel, pid);
+    let image = if opts.share_lib {
+        image.text(profile.lib_path, profile.lib_size, lib_resident, profile.name)
     } else {
-        // Ablation: no page sharing — every container carries the engine
-        // text privately.
-        let lib_map =
-            kernel.mmap_labeled(pid, profile.lib_size, MapKind::AnonPrivate, profile.name)?;
-        kernel.touch(pid, lib_map, lib_resident)?;
-        steps.push(io_step(lib_resident));
+        image.text_private(profile.lib_path, profile.lib_size, lib_resident, profile.name)
+    };
+    if let Some(io) = image.build()?.cold_read_step() {
+        trace.push(Phase::EngineInit, io);
     }
-    steps.push(Step::Cpu(Duration::from_nanos(profile.lib_size / 1024 * LINK_NS_PER_KIB)));
+    trace.push(
+        Phase::EngineInit,
+        Step::Cpu(Duration::from_nanos(profile.lib_size / 1024 * LINK_NS_PER_KIB)),
+    );
 
     // Engine-private baseline heap (embedding-dependent).
     let (baseline_bytes, per_instance) = match opts.embedding {
         Embedding::CApi => (profile.runtime_baseline, profile.per_instance_overhead),
         Embedding::Crate => (profile.embedded_baseline, profile.embedded_per_instance),
     };
-    let baseline = kernel.mmap_labeled(pid, baseline_bytes, MapKind::AnonPrivate, "engine-heap")?;
-    kernel.touch(pid, baseline, baseline_bytes)?;
-    steps.push(Step::Cpu(profile.init));
-    steps.push(Step::Io(match opts.embedding {
-        Embedding::CApi => profile.load_io,
-        Embedding::Crate => profile.embedded_load_io,
-    }));
+    charge_anon(kernel, pid, baseline_bytes, "engine-heap")?;
+    trace.push(Phase::EngineInit, Step::Cpu(profile.init));
+    trace.push(
+        Phase::EngineInit,
+        Step::Io(match opts.embedding {
+            Embedding::CApi => profile.load_io,
+            Embedding::Crate => profile.embedded_load_io,
+        }),
+    );
 
     // --- load the module -----------------------------------------------
     let module_size = kernel.file_size(module_file)?;
     if opts.share_module {
-        let cold_module = kernel.file_cached(module_file)? < module_size;
-        let module_map = kernel.mmap_labeled(
-            pid,
-            module_size,
-            MapKind::FileShared(module_file),
-            "module.wasm",
-        )?;
-        kernel.touch(pid, module_map, module_size)?;
-        if cold_module {
-            steps.push(io_step(module_size));
+        if map_shared(kernel, pid, module_file, module_size, module_size, "module.wasm")?.is_some()
+        {
+            trace.push(Phase::ModuleLoad, io_step(module_size));
         }
     } else {
         // Ablation: the engine copies the module into a private buffer.
-        let module_map =
-            kernel.mmap_labeled(pid, module_size, MapKind::AnonPrivate, "module-copy")?;
-        kernel.touch(pid, module_map, module_size)?;
-        steps.push(io_step(module_size));
+        charge_anon(kernel, pid, module_size, "module-copy")?;
+        trace.push(Phase::ModuleLoad, io_step(module_size));
     }
     let bytes: Bytes = kernel
         .read_file(pid, module_file)?
@@ -203,7 +195,10 @@ pub fn execute_wasm_opts(
     let module = ArtifactCache::global()
         .get_or_decode(&bytes)
         .map_err(|e| simkernel::KernelError::InvalidState(format!("bad module: {e}")))?;
-    steps.push(Step::Cpu(Duration::from_nanos(module_size * profile.validate_ns_per_byte)));
+    trace.push(
+        Phase::ModuleLoad,
+        Step::Cpu(Duration::from_nanos(module_size * profile.validate_ns_per_byte)),
+    );
 
     // --- WASI context ----------------------------------------------------
     let mut ctx = WasiCtx::new(kernel.clone(), pid)
@@ -221,7 +216,7 @@ pub fn execute_wasm_opts(
     // container.
     let mut inst = Instance::instantiate_prevalidated(module, ctx.into_imports(), config)
         .map_err(|e| simkernel::KernelError::InvalidState(format!("instantiate: {e}")))?;
-    steps.push(Step::Cpu(profile.instantiate));
+    trace.push(Phase::Instantiate, Step::Cpu(profile.instantiate));
 
     // --- run _start -------------------------------------------------------
     let exit_code = match inst.run_start() {
@@ -230,7 +225,10 @@ pub fn execute_wasm_opts(
         Err(t) => return Err(simkernel::KernelError::InvalidState(format!("guest trapped: {t}"))),
     };
     let stats = inst.stats();
-    steps.push(Step::Cpu(Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr)));
+    trace.push(
+        Phase::Exec,
+        Step::Cpu(Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr)),
+    );
 
     // --- charge what the run actually built -----------------------------
     let mut cache_hit = false;
@@ -247,26 +245,22 @@ pub fn execute_wasm_opts(
                     // code memory (only the metadata share is charged
                     // separately below).
                     cache_hit = true;
-                    let cold = kernel.file_cached(artifact)? < stats.lowered_bytes;
-                    let m = kernel.mmap_labeled(
-                        pid,
-                        stats.lowered_bytes,
-                        MapKind::FileCow(artifact),
-                        "code-cache",
-                    )?;
-                    kernel.touch(pid, m, stats.lowered_bytes)?;
-                    kernel.cow_write(pid, m, stats.lowered_bytes)?;
-                    if cold {
-                        steps.push(io_step(stats.lowered_bytes));
+                    if map_cow(kernel, pid, artifact, stats.lowered_bytes, "code-cache")?.is_some()
+                    {
+                        trace.push(Phase::Compile, io_step(stats.lowered_bytes));
                     }
-                    steps.push(Step::Cpu(Duration::from_nanos(
-                        stats.lowered_bytes / 1024 * RELOC_NS_PER_KIB,
-                    )));
+                    trace.push(
+                        Phase::Compile,
+                        Step::Cpu(Duration::from_nanos(
+                            stats.lowered_bytes / 1024 * RELOC_NS_PER_KIB,
+                        )),
+                    );
                 }
                 Err(_) => {
-                    steps.push(Step::Cpu(Duration::from_nanos(
-                        module_size * profile.compile_ns_per_byte,
-                    )));
+                    trace.push(
+                        Phase::Compile,
+                        Step::Cpu(Duration::from_nanos(module_size * profile.compile_ns_per_byte)),
+                    );
                     kernel.create_file(
                         &cache_path,
                         simkernel::vfs::FileContent::Synthetic(stats.lowered_bytes),
@@ -274,42 +268,35 @@ pub fn execute_wasm_opts(
                 }
             }
         } else {
-            steps.push(Step::Cpu(Duration::from_nanos(module_size * profile.compile_ns_per_byte)));
+            trace.push(
+                Phase::Compile,
+                Step::Cpu(Duration::from_nanos(module_size * profile.compile_ns_per_byte)),
+            );
         }
         // On a cache hit the raw code bytes already live in the COW'd
         // artifact mapping; only the codegen metadata share remains.
         let anon_code =
             if cache_hit { code_bytes.saturating_sub(stats.lowered_bytes) } else { code_bytes };
-        let code_map =
-            kernel.mmap_labeled(pid, anon_code.max(4096), MapKind::AnonPrivate, "jit-code")?;
-        kernel.touch(pid, code_map, anon_code.max(4096))?;
+        charge_anon(kernel, pid, anon_code.max(4096), "jit-code")?;
     } else {
         // In-place interpretation: only the control side-tables.
         if stats.side_table_bytes > 0 {
-            let m = kernel.mmap_labeled(
-                pid,
-                stats.side_table_bytes,
-                MapKind::AnonPrivate,
-                "side-tables",
-            )?;
-            kernel.touch(pid, m, stats.side_table_bytes)?;
+            charge_anon(kernel, pid, stats.side_table_bytes, "side-tables")?;
         }
     }
 
     // Instance overhead + linear memory (the real Vec the instance holds).
-    let overhead = kernel.mmap_labeled(pid, per_instance, MapKind::AnonPrivate, "instance-meta")?;
-    kernel.touch(pid, overhead, per_instance)?;
+    charge_anon(kernel, pid, per_instance, "instance-meta")?;
     if let Some(mem) = inst.memory() {
         let bytes = mem.size_bytes() as u64;
         if bytes > 0 {
-            let m = kernel.mmap_labeled(pid, bytes, MapKind::AnonPrivate, "linear-memory")?;
-            kernel.touch(pid, m, bytes)?;
+            charge_anon(kernel, pid, bytes, "linear-memory")?;
         }
     }
 
     let stdout = stdout.borrow().clone();
     let stderr = stderr.borrow().clone();
-    Ok(EngineRun { steps, stdout, stderr, exit_code, stats, cache_hit })
+    Ok(EngineRun { trace, stdout, stderr, exit_code, stats, cache_hit })
 }
 
 #[cfg(test)]
@@ -382,7 +369,7 @@ mod tests {
             assert_eq!(run.exit_code, 0, "{kind:?}");
             assert_eq!(run.stdout, b"service ready\n", "{kind:?}");
             assert!(run.stats.instrs_retired > 10_000, "{kind:?} ran the loop");
-            assert!(!run.steps.is_empty());
+            assert!(!run.trace.is_empty());
         }
     }
 
@@ -424,7 +411,8 @@ mod tests {
         assert!(second.cache_hit);
         // A hit replaces the big compile CPU step with a small relocation:
         let cpu = |run: &EngineRun| -> u64 {
-            run.steps
+            run.trace
+                .steps()
                 .iter()
                 .map(|s| match s {
                     Step::Cpu(d) => d.as_nanos(),
@@ -449,7 +437,8 @@ mod tests {
         let (_, first) = run_one(&kernel, module, EngineKind::WasmEdge, "c1");
         let (_, second) = run_one(&kernel, module, EngineKind::WasmEdge, "c2");
         let io = |run: &EngineRun| -> u64 {
-            run.steps
+            run.trace
+                .steps()
                 .iter()
                 .map(|s| match s {
                     Step::Io(d) => d.as_nanos(),

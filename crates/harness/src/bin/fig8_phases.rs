@@ -1,0 +1,22 @@
+//! Per-phase breakdown of Figure 8's startup time.
+//!
+//! The paper reports only the end-to-end "time to start 10 containers"
+//! (Fig. 8); this companion splits each configuration's per-pod busy time
+//! across the lifecycle phases (API dispatch, sandbox, CNI, volumes,
+//! runtime ops, engine init, module load, compile, instantiate, exec,
+//! teardown) to show *where* the integrations differ: the Kubernetes legs
+//! are runtime-independent, the engine legs are not.
+//!
+//! Usage: `cargo run --release -p harness --bin fig8_phases`
+
+use harness::figures;
+use harness::Workload;
+
+fn main() {
+    let workload = Workload::default();
+    let table = figures::fig8_phases(&workload, 10).expect("figure 8 phase breakdown");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig8_phases") {
+        println!("CSV written to {}", path.display());
+    }
+}

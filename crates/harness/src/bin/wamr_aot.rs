@@ -54,7 +54,7 @@ impl ContainerHandler for WamrAotHandler {
             &wasi,
             engines::profile::DEFAULT_STARTUP_FUEL,
         )?;
-        Ok(HandlerOutcome { steps: run.steps, stdout: run.stdout, exit_code: run.exit_code })
+        Ok(HandlerOutcome { trace: run.trace, stdout: run.stdout, exit_code: run.exit_code })
     }
 }
 

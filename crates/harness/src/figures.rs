@@ -5,12 +5,12 @@
 //! paper plots. Absolute values come from this reproduction's simulated
 //! testbed; EXPERIMENTS.md records them against the paper's claims.
 
-use simkernel::KernelResult;
+use simkernel::{KernelResult, Phase};
 
 use crate::config::{Config, Workload};
 use crate::parallel::{run_cells, Cell};
 use crate::report::{mb, Table};
-use crate::runner::MemorySample;
+use crate::runner::{deploy_density, MemorySample};
 
 /// The paper's deployment densities (Table II: 10 to 400 containers).
 pub const PAPER_DENSITIES: [usize; 3] = [10, 100, 400];
@@ -144,6 +144,27 @@ pub fn fig8(workload: &Workload) -> KernelResult<Table> {
     startup_figure("Figure 8: Time to start 10 concurrent containers", 10, workload)
 }
 
+/// Fig. 8 companion: where the startup time of Fig. 8 goes, per lifecycle
+/// phase. One row per runtime configuration, one column per [`Phase`],
+/// each value the mean per-pod busy time (CPU + I/O) charged to that
+/// phase. This is *serial* busy time, not the DES makespan: phases of
+/// different pods overlap under contention, so a row's sum exceeds its
+/// share of Fig. 8's wall-clock total.
+pub fn fig8_phases(workload: &Workload, n: usize) -> KernelResult<Table> {
+    let columns = Phase::ALL.iter().map(|p| p.label().to_string()).collect();
+    let mut table = Table::new(
+        format!("Figure 8 (phase breakdown): mean per-pod busy time, {n} concurrent containers"),
+        columns,
+        "s",
+    );
+    for &config in &Config::ALL {
+        let (_cluster, d) = deploy_density(config, n, workload)?;
+        let values = d.mean_phase_busy().iter().map(|b| b.as_secs_f64()).collect();
+        table.row(config.label(), values, config.is_ours());
+    }
+    Ok(table)
+}
+
 /// Fig. 9: time to start 400 concurrent containers' workloads.
 pub fn fig9(workload: &Workload) -> KernelResult<Table> {
     startup_figure("Figure 9: Time to start 400 concurrent containers", 400, workload)
@@ -229,6 +250,23 @@ mod tests {
                 assert!(ours < r.values[0], "{}: {} vs ours {}", r.label, r.values[0], ours);
             }
         }
+    }
+
+    #[test]
+    fn fig8_phases_shape() {
+        let w = Workload::light();
+        let t = fig8_phases(&w, 2).unwrap();
+        assert_eq!(t.columns.len(), Phase::ALL.len());
+        assert_eq!(t.rows.len(), Config::ALL.len());
+        let api = Phase::ApiDispatch.index();
+        let exec = Phase::Exec.index();
+        for r in &t.rows {
+            assert!(r.values[api] > 0.0, "{}: api-dispatch busy", r.label);
+            assert!(r.values[exec] > 0.0, "{}: exec busy", r.label);
+        }
+        // The API/scheduler leg is runtime-independent: identical across rows.
+        let first = t.rows[0].values[api];
+        assert!(t.rows.iter().all(|r| (r.values[api] - first).abs() < 1e-12));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Kubernetes API objects (the subset the experiments use).
 
-use simkernel::{CgroupId, SimTime, Step};
+use simkernel::{CgroupId, Duration, Phase, SimTime, StepTrace};
 
 /// A pod specification: one container per pod, as in the paper's
 /// experiments (Table II: "1 container per pod").
@@ -33,8 +33,9 @@ pub struct PodRecord {
     pub pod_cgroup: CgroupId,
     /// When the scheduler dispatched this pod to the kubelet.
     pub dispatched_at: SimTime,
-    /// The pod's startup program (for the DES latency run).
-    pub steps: Vec<Step>,
+    /// The pod's startup program (for the DES latency run), tagged with the
+    /// lifecycle phase each step belongs to.
+    pub trace: StepTrace,
     /// Captured workload stdout.
     pub stdout: Vec<u8>,
 }
@@ -57,6 +58,24 @@ impl Deployment {
     pub fn running(&self) -> usize {
         self.pods.iter().filter(|p| p.phase == PodPhase::Running).count()
     }
+
+    /// Mean per-pod busy time (CPU + I/O) charged to each lifecycle phase,
+    /// indexed as [`Phase::ALL`] — the serial per-phase startup breakdown
+    /// behind the harness's `fig8_phases` report.
+    pub fn mean_phase_busy(&self) -> [Duration; Phase::ALL.len()] {
+        let mut totals = [0u64; Phase::ALL.len()];
+        for pod in &self.pods {
+            for (i, d) in pod.trace.phase_busy().iter().enumerate() {
+                totals[i] += d.as_nanos();
+            }
+        }
+        let n = self.pods.len().max(1) as u64;
+        let mut means = [Duration::ZERO; Phase::ALL.len()];
+        for (i, t) in totals.iter().enumerate() {
+            means[i] = Duration::from_nanos(t / n);
+        }
+        means
+    }
 }
 
 #[cfg(test)]
@@ -77,10 +96,36 @@ mod tests {
             phase: PodPhase::Running,
             pod_cgroup: CgroupId(1),
             dispatched_at: SimTime::ZERO,
-            steps: vec![],
+            trace: StepTrace::new(),
             stdout: vec![],
         });
         assert_eq!(d.len(), 1);
         assert_eq!(d.running(), 1);
+    }
+
+    #[test]
+    fn mean_phase_busy_averages_over_pods() {
+        use simkernel::Step;
+        let mut d = Deployment::default();
+        for i in 0..2u64 {
+            let mut trace = StepTrace::new();
+            trace.push(Phase::Cni, Step::Cpu(Duration::from_micros(100 * (i + 1))));
+            d.pods.push(PodRecord {
+                spec: PodSpec {
+                    name: format!("p{i}"),
+                    image: "i".into(),
+                    runtime_class: "c".into(),
+                    memory_limit: None,
+                },
+                phase: PodPhase::Running,
+                pod_cgroup: CgroupId(1),
+                dispatched_at: SimTime::ZERO,
+                trace,
+                stdout: vec![],
+            });
+        }
+        let means = d.mean_phase_busy();
+        assert_eq!(means[Phase::Cni.index()], Duration::from_micros(150));
+        assert_eq!(means[Phase::Exec.index()], Duration::ZERO);
     }
 }

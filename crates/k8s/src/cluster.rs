@@ -23,6 +23,18 @@ pub struct Cluster {
     pub kubepods: CgroupId,
 }
 
+/// Cluster-level bookkeeping counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Pods the kubelet has successfully synced to Running since boot
+    /// (monotonic; teardown does not decrease it).
+    pub pods_synced: usize,
+    /// Pods currently managed by the kubelet.
+    pub pods_managed: usize,
+    /// Live simulated processes on the node.
+    pub live_procs: usize,
+}
+
 impl Cluster {
     /// Boot with the paper's testbed shape (20 cores, 256 GiB) and the
     /// 500-pod kubelet extension.
@@ -56,6 +68,15 @@ impl Cluster {
     /// The `free(1)` observer.
     pub fn free(&self) -> FreeReport {
         self.kernel.free()
+    }
+
+    /// Cluster bookkeeping counters (kubelet sync counter, process count).
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            pods_synced: self.kubelet.pods_synced(),
+            pods_managed: self.kubelet.pod_count(),
+            live_procs: self.kernel.live_procs(),
+        }
     }
 
     /// Deploy `n` identical pods of `image` under `runtime_class`.
@@ -96,7 +117,7 @@ impl Cluster {
             .map(|p| TaskSpec {
                 name: p.spec.name.clone(),
                 start_at: p.dispatched_at,
-                steps: p.steps.clone(),
+                steps: p.trace.steps(),
             })
             .collect();
         Sim::new(self.kernel.cores()).run(tasks)

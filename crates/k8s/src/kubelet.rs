@@ -15,7 +15,10 @@
 //!   experiments. [`NodeConfig::paper_extension`] reproduces that setting.
 
 use containerd_sim::Containerd;
-use simkernel::{CgroupId, Kernel, KernelError, KernelResult, MapKind, Pid, Step};
+use simkernel::image::charge_anon;
+use simkernel::{
+    CgroupId, Kernel, KernelError, KernelResult, Phase, Pid, ProcessImage, Step, StepTrace,
+};
 
 use crate::api::{PodPhase, PodRecord, PodSpec};
 
@@ -93,19 +96,25 @@ impl Kubelet {
             KUBELET_BINARY,
             simkernel::vfs::FileContent::Synthetic(KUBELET_BINARY_SIZE),
         )?;
-        let pid = kernel.spawn("kubelet", system_cgroup)?;
-        let bin = kernel.lookup(KUBELET_BINARY)?;
-        let map =
-            kernel.mmap_labeled(pid, KUBELET_BINARY_SIZE, MapKind::FileShared(bin), "kubelet")?;
-        kernel.touch(pid, map, KUBELET_BINARY_SIZE / 3)?;
-        let heap = kernel.mmap_labeled(pid, KUBELET_HEAP, MapKind::AnonPrivate, "kubelet-heap")?;
-        kernel.touch(pid, heap, KUBELET_HEAP)?;
+        // Resident daemon: a third of the Go binary's text plus its heap.
+        // Ownership moves to the Kubelet value (the node never stops it).
+        let pid = ProcessImage::spawn(&kernel, "kubelet", system_cgroup)
+            .text(KUBELET_BINARY, KUBELET_BINARY_SIZE, KUBELET_BINARY_SIZE / 3, "kubelet")
+            .heap(KUBELET_HEAP, "kubelet-heap")
+            .build()?
+            .detach();
         Ok(Kubelet { kernel, config, pid, infra_procs: Default::default(), pods_synced: 0 })
     }
 
     /// Number of pods currently managed.
     pub fn pod_count(&self) -> usize {
         self.infra_procs.len()
+    }
+
+    /// Pods successfully synced to Running since the kubelet started
+    /// (monotonic; unaffected by teardown).
+    pub fn pods_synced(&self) -> usize {
+        self.pods_synced
     }
 
     /// Sync one pod: run the full startup pipeline through the CRI.
@@ -127,59 +136,57 @@ impl Kubelet {
                 self.config.max_pods
             )));
         }
-        let mut steps =
-            vec![Step::Io(cost::API_DISPATCH), Step::Io(cost::QUEUE_IO), Step::Cpu(cost::SYNC_CPU)];
+        let mut trace = StepTrace::new();
+        trace.push(Phase::ApiDispatch, Step::Io(cost::API_DISPATCH));
+        trace.push(Phase::ApiDispatch, Step::Io(cost::QUEUE_IO));
+        trace.push(Phase::ApiDispatch, Step::Cpu(cost::SYNC_CPU));
 
         // RunPodSandbox (CRI RPC + containerd work).
-        steps.push(Step::Io(cost::CRI_RPC));
-        steps.extend(containerd.run_pod_sandbox(&spec.name, &spec.runtime_class)?);
+        trace.push(Phase::Sandbox, Step::Io(cost::CRI_RPC));
+        containerd.run_pod_sandbox(&spec.name, &spec.runtime_class, &mut trace)?;
 
         // CNI and volumes happen after the sandbox exists.
-        steps.push(Step::Io(cost::CNI_IO));
-        steps.push(Step::Cpu(cost::CNI_CPU));
-        steps.push(Step::Io(cost::VOLUMES_IO));
+        trace.push(Phase::Cni, Step::Io(cost::CNI_IO));
+        trace.push(Phase::Cni, Step::Cpu(cost::CNI_CPU));
+        trace.push(Phase::Volumes, Step::Io(cost::VOLUMES_IO));
 
-        // Pod infrastructure charged to the pod cgroup.
+        // Pod infrastructure charged to the pod cgroup: a pseudo-process
+        // owned by the kubelet's infra table (removed in `remove_pod`).
         let pod_cgroup = containerd.sandbox(&spec.name).expect("sandbox just created").pod_cgroup;
-        let infra_pid = self.kernel.spawn(&format!("pod-infra:{}", spec.name), pod_cgroup)?;
-        let infra = self.kernel.mmap_labeled(
-            infra_pid,
-            POD_INFRA_BYTES,
-            MapKind::AnonPrivate,
-            "pod-infra",
-        )?;
-        self.kernel.touch(infra_pid, infra, POD_INFRA_BYTES)?;
+        let infra_pid =
+            ProcessImage::spawn(&self.kernel, format!("pod-infra:{}", spec.name), pod_cgroup)
+                .heap(POD_INFRA_BYTES, "pod-infra")
+                .build()?
+                .detach();
         self.infra_procs.insert(spec.name.clone(), infra_pid);
 
         // kubelet bookkeeping growth.
-        let growth = self.kernel.mmap_labeled(
-            self.pid,
-            KUBELET_GROWTH_PER_POD,
-            MapKind::AnonPrivate,
-            "kubelet-pod",
-        )?;
-        self.kernel.touch(self.pid, growth, KUBELET_GROWTH_PER_POD)?;
+        charge_anon(&self.kernel, self.pid, KUBELET_GROWTH_PER_POD, "kubelet-pod")?;
 
         // CreateContainer + StartContainer. On failure the kubelet rolls
         // the pod back (sandbox, infra charge, bookkeeping) so a broken
         // image cannot leak node resources.
         let cid = format!("{}-c0", spec.name);
-        let result: KernelResult<Vec<Step>> = (|| {
-            let mut s = vec![Step::Io(cost::CRI_RPC)];
-            s.extend(containerd.create_container(
+        let result: KernelResult<StepTrace> = (|| {
+            let mut s = StepTrace::new();
+            s.push(Phase::RuntimeOp, Step::Io(cost::CRI_RPC));
+            containerd.create_container(
                 &spec.name,
                 &cid,
                 &spec.image,
                 spec.memory_limit,
-            )?);
-            s.push(Step::Io(cost::CRI_RPC));
-            s.extend(containerd.start_container(&spec.name, &cid)?);
+                &mut s,
+            )?;
+            s.push(Phase::RuntimeOp, Step::Io(cost::CRI_RPC));
+            containerd.start_container(&spec.name, &cid, &mut s)?;
             Ok(s)
         })();
         match result {
-            Ok(s) => steps.extend(s),
+            Ok(mut s) => trace.append(&mut s),
             Err(e) => {
-                self.remove_pod(containerd, &spec.name)?;
+                // Rollback is best-effort and must not shadow the original
+                // sync error: a second failure mid-teardown is dropped.
+                let _ = self.remove_pod(containerd, &spec.name);
                 return Err(e);
             }
         }
@@ -191,17 +198,38 @@ impl Kubelet {
             .unwrap_or_default();
 
         self.pods_synced += 1;
-        Ok(PodRecord { spec, phase: PodPhase::Running, pod_cgroup, dispatched_at, steps, stdout })
+        Ok(PodRecord { spec, phase: PodPhase::Running, pod_cgroup, dispatched_at, trace, stdout })
     }
 
     /// Tear a pod down: remove the sandbox and the infra charge.
+    ///
+    /// Idempotent and best-effort: every sub-step is attempted even when an
+    /// earlier one fails (so a mid-teardown error cannot strand the rest),
+    /// the first error is reported at the end, and removing a pod that is
+    /// already gone is a successful no-op.
     pub fn remove_pod(&mut self, containerd: &mut Containerd, pod_name: &str) -> KernelResult<()> {
+        let mut first_err: Option<KernelError> = None;
         if let Some(pid) = self.infra_procs.remove(pod_name) {
-            self.kernel.exit(pid, 0)?;
-            self.kernel.reap(pid)?;
+            // The infra process may already be dead (OOM-killed): reap
+            // whatever state it is in.
+            if matches!(self.kernel.proc_state(pid), Ok(simkernel::ProcState::Running)) {
+                if let Err(e) = self.kernel.exit(pid, 0) {
+                    first_err.get_or_insert(e);
+                }
+            }
+            if self.kernel.proc_state(pid).is_ok() {
+                if let Err(e) = self.kernel.reap(pid) {
+                    first_err.get_or_insert(e);
+                }
+            }
         }
-        containerd.remove_pod_sandbox(pod_name)?;
-        Ok(())
+        if let Err(e) = containerd.remove_pod_sandbox(pod_name) {
+            first_err.get_or_insert(e);
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 

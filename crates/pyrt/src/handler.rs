@@ -10,7 +10,8 @@
 
 use container_runtimes::handler::{ContainerHandler, HandlerOutcome};
 use oci_spec_lite::{Bundle, RuntimeSpec};
-use simkernel::{Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step};
+use simkernel::image::{charge_anon, ProcessImage};
+use simkernel::{Duration, Kernel, KernelError, KernelResult, Phase, Pid, Step, StepTrace};
 
 use crate::interp::{Interp, PyError};
 use crate::parser::parse;
@@ -122,21 +123,19 @@ impl ContainerHandler for PythonHandler {
         spec: &RuntimeSpec,
     ) -> KernelResult<HandlerOutcome> {
         let p = self.profile;
-        let mut steps = Vec::new();
+        let mut trace = StepTrace::new();
 
-        // Exec python3: binary text shared, cold read once per node.
-        let bin = kernel.lookup(p.binary_path)?;
+        // Exec python3: binary text shared (cold read once per node) plus
+        // the interpreter init heap.
         let resident = (p.binary_size as f64 * p.binary_resident_fraction) as u64;
-        let cold = kernel.file_cached(bin)? < resident;
-        let map = kernel.mmap_labeled(pid, p.binary_size, MapKind::FileShared(bin), "python3")?;
-        kernel.touch(pid, map, resident)?;
-        if cold {
-            steps.push(Step::disk_read(resident));
+        let image = ProcessImage::attach(kernel, pid)
+            .text(p.binary_path, p.binary_size, resident, "python3")
+            .heap(p.init_heap, "py-heap")
+            .build()?;
+        if let Some(io) = image.cold_read_step() {
+            trace.push(Phase::EngineInit, io);
         }
-        // Interpreter init heap.
-        let heap = kernel.mmap_labeled(pid, p.init_heap, MapKind::AnonPrivate, "py-heap")?;
-        kernel.touch(pid, heap, p.init_heap)?;
-        steps.push(Step::Cpu(p.init));
+        trace.push(Phase::EngineInit, Step::Cpu(p.init));
 
         // Load the script from the bundle rootfs.
         let script_guest = Self::script_path(spec)
@@ -154,10 +153,9 @@ impl ContainerHandler for PythonHandler {
         let program =
             parse(source).map_err(|e| KernelError::InvalidState(format!("python parse: {e}")))?;
         let nodes = program.node_count() as u64;
-        steps.push(Step::Cpu(Duration::from_nanos(nodes * p.parse_ns_per_node)));
+        trace.push(Phase::Compile, Step::Cpu(Duration::from_nanos(nodes * p.parse_ns_per_node)));
         let code_bytes = (nodes * p.bytes_per_ast_node).max(4096);
-        let code = kernel.mmap_labeled(pid, code_bytes, MapKind::AnonPrivate, "py-code")?;
-        kernel.touch(pid, code, code_bytes)?;
+        charge_anon(kernel, pid, code_bytes, "py-code")?;
 
         // Execute (real).
         let argv: Vec<String> =
@@ -169,7 +167,7 @@ impl ContainerHandler for PythonHandler {
             Err(e) => return Err(KernelError::InvalidState(format!("python runtime: {e}"))),
         };
         let stats = interp.stats();
-        steps.push(Step::Cpu(Duration::from_nanos(stats.ops * p.exec_ns_per_op)));
+        trace.push(Phase::Exec, Step::Cpu(Duration::from_nanos(stats.ops * p.exec_ns_per_op)));
 
         // Imports: stdlib reads (shared page cache) + private module dicts.
         for module in interp.imported_modules() {
@@ -178,20 +176,18 @@ impl ContainerHandler for PythonHandler {
                 let cold = kernel.file_cached(f)? == 0;
                 kernel.read_file(pid, f)?;
                 if cold {
-                    steps.push(Step::disk_read(p.stdlib_read_per_import));
+                    trace.push(Phase::ModuleLoad, Step::disk_read(p.stdlib_read_per_import));
                 }
             }
-            steps.push(Step::Cpu(p.import_each));
-            let m = kernel.mmap_labeled(pid, p.per_import, MapKind::AnonPrivate, "py-module")?;
-            kernel.touch(pid, m, p.per_import)?;
+            trace.push(Phase::ModuleLoad, Step::Cpu(p.import_each));
+            charge_anon(kernel, pid, p.per_import, "py-module")?;
         }
 
         // Object heap growth from real allocation counts.
         let heap_growth = (stats.allocs * p.bytes_per_alloc).max(4096);
-        let objs = kernel.mmap_labeled(pid, heap_growth, MapKind::AnonPrivate, "py-objects")?;
-        kernel.touch(pid, objs, heap_growth)?;
+        charge_anon(kernel, pid, heap_growth, "py-objects")?;
 
-        Ok(HandlerOutcome { steps, stdout: interp.stdout.clone(), exit_code })
+        Ok(HandlerOutcome { trace, stdout: interp.stdout.clone(), exit_code })
     }
 }
 
@@ -268,7 +264,10 @@ print(\"service ready\", total)
         let p2 = kernel.spawn("py2", cg2).unwrap();
         let out2 = h.execute(&kernel, p2, &bundle, &spec).unwrap();
         assert_eq!(kernel.free().buff_cache, cache_after_one, "no new cache");
-        assert!(!out2.steps.iter().any(|s| matches!(s, Step::Io(_))), "warm start has no I/O");
+        assert!(
+            !out2.trace.steps().iter().any(|s| matches!(s, Step::Io(_))),
+            "warm start has no I/O"
+        );
     }
 
     #[test]

@@ -10,13 +10,15 @@
 
 use engines::{execute_wasm, EngineKind, WasiSpec};
 use oci_spec_lite::{Bundle, RuntimeSpec};
-use simkernel::{Kernel, KernelError, KernelResult, MapKind, Pid, Step};
+use simkernel::image::charge_anon;
+use simkernel::{Kernel, KernelError, KernelResult, Phase, Pid, Step, StepTrace};
 
 /// Result of a handler executing a container workload.
 #[derive(Debug, Default)]
 pub struct HandlerOutcome {
-    /// DES latency steps contributed by workload startup.
-    pub steps: Vec<Step>,
+    /// DES latency steps contributed by workload startup, tagged with the
+    /// lifecycle phase each belongs to.
+    pub trace: StepTrace,
     /// Captured stdout.
     pub stdout: Vec<u8>,
     /// Workload exit code (the paper's microservices stay resident; 0 means
@@ -117,7 +119,7 @@ impl ContainerHandler for WasmEngineHandler {
         let module = resolve_module(bundle, spec)?;
         let wasi = wasi_spec_from_oci(bundle, spec);
         let run = execute_wasm(kernel, pid, self.engine.profile(), module, &wasi, self.fuel)?;
-        Ok(HandlerOutcome { steps: run.steps, stdout: run.stdout, exit_code: run.exit_code })
+        Ok(HandlerOutcome { trace: run.trace, stdout: run.stdout, exit_code: run.exit_code })
     }
 }
 
@@ -149,13 +151,10 @@ impl ContainerHandler for PauseHandler {
         _bundle: &Bundle,
         _spec: &RuntimeSpec,
     ) -> KernelResult<HandlerOutcome> {
-        let m = kernel.mmap_labeled(pid, PAUSE_RESIDENT, MapKind::AnonPrivate, "pause")?;
-        kernel.touch(pid, m, PAUSE_RESIDENT)?;
-        Ok(HandlerOutcome {
-            steps: vec![Step::Cpu(simkernel::Duration::from_micros(300))],
-            stdout: Vec::new(),
-            exit_code: 0,
-        })
+        charge_anon(kernel, pid, PAUSE_RESIDENT, "pause")?;
+        let mut trace = StepTrace::new();
+        trace.push(Phase::Exec, Step::Cpu(simkernel::Duration::from_micros(300)));
+        Ok(HandlerOutcome { trace, stdout: Vec::new(), exit_code: 0 })
     }
 }
 
@@ -200,7 +199,7 @@ mod tests {
         let out = handler.execute(&kernel, pid, &bundle, &spec).unwrap();
         assert_eq!(out.exit_code, 0);
         assert_eq!(out.stdout, b"ok\n");
-        assert!(!out.steps.is_empty());
+        assert!(!out.trace.is_empty());
     }
 
     #[test]

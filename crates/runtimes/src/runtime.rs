@@ -9,20 +9,20 @@
 //! real binaries do — so the steady-state memory the experiments measure
 //! contains only container (and pause) processes.
 
-use oci_spec_lite::{Bundle, RuntimeSpec};
+use oci_spec_lite::Bundle;
+use simkernel::lifecycle;
 use simkernel::proc::NamespaceKind;
-use simkernel::{CgroupId, Duration, Kernel, KernelError, KernelResult, MapKind, Pid, Step};
+use simkernel::{
+    CgroupId, Duration, Kernel, KernelError, KernelResult, Lifecycle, Phase, Pid, ProcessImage,
+    Step, StepTrace,
+};
 
 use crate::handler::{ContainerHandler, HandlerOutcome};
 use crate::profile::RuntimeProfile;
 
-/// Lifecycle state (OCI runtime spec §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ContainerState {
-    Created,
-    Running,
-    Stopped,
-}
+/// Lifecycle state (OCI runtime spec §5) — the shared state machine from
+/// `simkernel::lifecycle`, used identically by the runwasi shim path.
+pub use simkernel::LifecycleState as ContainerState;
 
 /// A container managed by a low-level runtime.
 #[derive(Debug)]
@@ -32,9 +32,11 @@ pub struct Container {
     pub pid: Pid,
     /// The container's own cgroup (child of the pod cgroup).
     pub cgroup: CgroupId,
-    pub state: ContainerState,
-    /// Accumulated DES startup steps (create + start + workload).
-    pub steps: Vec<Step>,
+    /// Position in the shared OCI lifecycle state machine.
+    pub state: Lifecycle,
+    /// Accumulated DES startup steps (create + start + workload), tagged
+    /// with the lifecycle phase each belongs to.
+    pub trace: StepTrace,
     /// Captured workload stdout.
     pub stdout: Vec<u8>,
     /// Name of the handler that ran the workload.
@@ -78,35 +80,33 @@ impl LowLevelRuntime {
 
     /// Run a transient runtime process for one lifecycle operation and
     /// account its footprint/latency; the process exits before returning.
+    /// The [`ProcessImage`] guard owns the transient pid, so an error
+    /// anywhere in `body` still exits and reaps it.
     fn transient_runtime_op(
         &self,
         ctx: &RuntimeCtx,
         op: &str,
-        steps: &mut Vec<Step>,
-        body: impl FnOnce(&Kernel, Pid, &mut Vec<Step>) -> KernelResult<()>,
+        trace: &mut StepTrace,
+        body: impl FnOnce(&Kernel, Pid, &mut StepTrace) -> KernelResult<()>,
     ) -> KernelResult<()> {
         let kernel = &self.kernel;
         let p = self.profile;
-        let rt_pid = kernel.spawn(&format!("{}:{op}", p.name), ctx.runtime_cgroup)?;
         // Exec: map the runtime binary; first exec pays the cold read.
-        let bin = kernel.lookup(p.binary_path)?;
-        let resident = p.binary_resident();
-        let cold = kernel.file_cached(bin)? < resident;
-        let map = kernel.mmap_labeled(rt_pid, p.binary_size, MapKind::FileShared(bin), p.name)?;
-        kernel.touch(rt_pid, map, resident)?;
-        if cold {
-            steps.push(Step::disk_read(resident));
+        let rt = ProcessImage::spawn(kernel, format!("{}:{op}", p.name), ctx.runtime_cgroup)
+            .text(p.binary_path, p.binary_size, p.binary_resident(), p.name)
+            .heap(p.startup_heap, "rt-heap")
+            .build()?;
+        if let Some(io) = rt.cold_read_step() {
+            trace.push(Phase::RuntimeOp, io);
         }
-        steps.push(Step::Cpu(p.exec));
-        steps.push(Step::Io(p.op_io));
-        let heap = kernel.mmap_labeled(rt_pid, p.startup_heap, MapKind::AnonPrivate, "rt-heap")?;
-        kernel.touch(rt_pid, heap, p.startup_heap)?;
+        trace.push(Phase::RuntimeOp, Step::Cpu(p.exec));
+        trace.push(Phase::RuntimeOp, Step::Io(p.op_io));
 
-        let result = body(kernel, rt_pid, steps);
+        let result = body(kernel, rt.pid(), trace);
 
-        kernel.exit(rt_pid, 0)?;
-        kernel.reap(rt_pid)?;
-        result
+        // The workload's error (if any) outranks a failure to retire the
+        // transient process.
+        result.and(rt.exit(0))
     }
 
     /// OCI `create`: parse the config, build the cgroup, spawn the init
@@ -119,17 +119,19 @@ impl LowLevelRuntime {
         pod_cgroup: CgroupId,
     ) -> KernelResult<Container> {
         let p = self.profile;
-        let mut steps = Vec::new();
-        let mut spec_slot: Option<RuntimeSpec> = None;
+        let mut trace = StepTrace::new();
         let mut pid_slot: Option<Pid> = None;
         let mut cg_slot: Option<CgroupId> = None;
 
         let op_result =
-            self.transient_runtime_op(ctx, "create", &mut steps, |kernel, rt_pid, steps| {
+            self.transient_runtime_op(ctx, "create", &mut trace, |kernel, rt_pid, trace| {
                 // Parse the real config.json bytes off the VFS.
                 let spec = bundle.load_spec(kernel, rt_pid)?;
                 let config_kib = kernel.file_size(bundle.config_file)?.div_ceil(1024);
-                steps.push(Step::Cpu(Duration::from_nanos(config_kib * p.parse_ns_per_kib)));
+                trace.push(
+                    Phase::RuntimeOp,
+                    Step::Cpu(Duration::from_nanos(config_kib * p.parse_ns_per_kib)),
+                );
 
                 // Container cgroup under the pod, with the spec's memory limit.
                 let cgroup = kernel.cgroup_create(pod_cgroup, id)?;
@@ -137,17 +139,17 @@ impl LowLevelRuntime {
                 if let Some(limit) = spec.linux.memory.limit {
                     kernel.cgroup_set_limit(cgroup, Some(limit))?;
                 }
-                steps.push(Step::Cpu(p.cgroup_setup));
+                trace.push(Phase::RuntimeOp, Step::Cpu(p.cgroup_setup));
 
                 // Container init process: a fork of the runtime, so it shares
                 // the runtime binary text and keeps a small private residual.
-                let pid = kernel.spawn(&format!("container:{id}"), cgroup)?;
-                pid_slot = Some(pid);
+                // The guard covers the window until unshare succeeds.
+                let init =
+                    ProcessImage::spawn(kernel, format!("container:{id}"), cgroup).build()?;
                 let kinds = namespace_kinds(&spec.linux.namespaces);
-                kernel.unshare(pid, &kinds)?;
-                steps.push(Step::Cpu(p.create_sandbox));
-
-                spec_slot = Some(spec);
+                kernel.unshare(init.pid(), &kinds)?;
+                pid_slot = Some(init.detach());
+                trace.push(Phase::RuntimeOp, Step::Cpu(p.create_sandbox));
                 Ok(())
             });
         if let Err(e) = op_result {
@@ -156,13 +158,12 @@ impl LowLevelRuntime {
             return Err(e);
         }
 
-        let _ = spec_slot;
         Ok(Container {
             id: id.to_string(),
             pid: pid_slot.expect("set in create body"),
             cgroup: cg_slot.expect("set in create body"),
-            state: ContainerState::Created,
-            steps,
+            state: Lifecycle::new(),
+            trace,
             stdout: Vec::new(),
             handler: String::new(),
         })
@@ -187,18 +188,19 @@ impl LowLevelRuntime {
         container: &mut Container,
         bundle: &Bundle,
     ) -> KernelResult<()> {
-        if container.state != ContainerState::Created {
+        if !lifecycle::legal(container.state.state(), ContainerState::Running) {
             return Err(KernelError::InvalidState(format!(
-                "container {} is {:?}, expected Created",
-                container.id, container.state
+                "start {}: illegal lifecycle transition {:?} -> Running",
+                container.id,
+                container.state.state()
             )));
         }
         let p = self.profile;
-        let mut steps = Vec::new();
+        let mut trace = StepTrace::new();
         let mut outcome_slot: Option<HandlerOutcome> = None;
         let mut handler_name = String::new();
 
-        self.transient_runtime_op(ctx, "start", &mut steps, |kernel, rt_pid, steps| {
+        self.transient_runtime_op(ctx, "start", &mut trace, |kernel, rt_pid, trace| {
             let spec = bundle.load_spec(kernel, rt_pid)?;
             let handler =
                 self.handlers.iter().find(|h| h.matches(&spec, bundle)).ok_or_else(|| {
@@ -212,43 +214,39 @@ impl LowLevelRuntime {
             // image resident in the container process — its (shared) binary
             // text and a private residual. exec()ing handlers (Python,
             // pause) replace the image entirely and map their own binaries.
+            // No cold-read step: the transient op above already faulted the
+            // binary in, so the fork's text pages are warm by construction.
             if handler.in_process() {
-                let bin = kernel.lookup(p.binary_path)?;
-                let text = kernel.mmap_labeled(
-                    container.pid,
+                let mut image = ProcessImage::attach(kernel, container.pid).text(
+                    p.binary_path,
                     p.binary_size,
-                    MapKind::FileShared(bin),
+                    p.binary_resident(),
                     p.name,
-                )?;
-                kernel.touch(container.pid, text, p.binary_resident())?;
+                );
                 if p.container_residual > 0 {
-                    let res = kernel.mmap_labeled(
-                        container.pid,
-                        p.container_residual,
-                        MapKind::AnonPrivate,
-                        "rt-residual",
-                    )?;
-                    kernel.touch(container.pid, res, p.container_residual)?;
+                    image = image.heap(p.container_residual, "rt-residual");
                 }
+                let _warm = image.build()?;
             }
-            let outcome = handler.execute(kernel, container.pid, bundle, &spec)?;
-            steps.extend(outcome.steps.iter().cloned());
+            let mut outcome = handler.execute(kernel, container.pid, bundle, &spec)?;
+            trace.append(&mut outcome.trace);
             outcome_slot = Some(outcome);
             Ok(())
         })?;
 
         let outcome = outcome_slot.expect("set in start body");
-        container.steps.extend(steps);
+        container.trace.append(&mut trace);
         container.stdout = outcome.stdout;
         container.handler = handler_name;
-        container.state = ContainerState::Running;
+        container.state.transition(ContainerState::Running, &container.id)?;
         Ok(())
     }
 
     /// OCI `kill` + `delete`: stop the init process and remove the cgroup.
+    /// Idempotent — a second delete (or deleting an already-stopped
+    /// container) is a no-op.
     pub fn delete(&self, container: &mut Container) -> KernelResult<()> {
-        if container.state == ContainerState::Running || container.state == ContainerState::Created
-        {
+        if container.state.stop() {
             // The init process may already be gone (OOM-killed by the
             // kernel); delete must still reap it and remove the cgroup.
             if matches!(self.kernel.proc_state(container.pid), Ok(simkernel::ProcState::Running)) {
@@ -258,8 +256,11 @@ impl LowLevelRuntime {
                 self.kernel.reap(container.pid)?;
             }
         }
+        if container.state.is(ContainerState::Deleted) {
+            return Ok(());
+        }
         self.kernel.cgroup_remove(container.cgroup)?;
-        container.state = ContainerState::Stopped;
+        container.state.transition(ContainerState::Deleted, &container.id)?;
         Ok(())
     }
 }
@@ -287,7 +288,7 @@ mod tests {
     use crate::handler::{PauseHandler, WasmEngineHandler};
     use crate::profile::{install_runtimes, CRUN, RUNC};
     use engines::EngineKind;
-    use oci_spec_lite::{ImageBuilder, ImageStore};
+    use oci_spec_lite::{ImageBuilder, ImageStore, RuntimeSpec};
     use simkernel::{Kernel, KernelConfig};
 
     fn microservice() -> Vec<u8> {
@@ -337,7 +338,7 @@ mod tests {
         assert_eq!(c.state, ContainerState::Running);
         assert_eq!(c.handler, "wamr");
         assert_eq!(c.stdout, b"ready\n");
-        assert!(!c.steps.is_empty());
+        assert!(!c.trace.is_empty());
 
         // Workload memory landed in the pod subtree.
         let pod_ws = kernel.cgroup_working_set(pod).unwrap();
@@ -346,7 +347,8 @@ mod tests {
         assert_eq!(kernel.live_procs(), 1, "only the container init remains");
 
         rt.delete(&mut c).unwrap();
-        assert_eq!(c.state, ContainerState::Stopped);
+        assert_eq!(c.state, ContainerState::Deleted);
+        rt.delete(&mut c).unwrap(); // idempotent
         assert_eq!(kernel.live_procs(), 0);
     }
 
@@ -398,7 +400,8 @@ mod tests {
         let pods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "pods").unwrap();
 
         let cpu_total = |c: &Container| -> u64 {
-            c.steps
+            c.trace
+                .steps()
                 .iter()
                 .map(|s| match s {
                     Step::Cpu(d) => d.as_nanos(),

@@ -1,0 +1,421 @@
+//! Process images: the one way the stack charges memory to processes.
+//!
+//! Every layer of the container stack used to hand-roll the same block —
+//! spawn a process, look up its binary, map the file shared, touch the
+//! resident fraction, note whether the read was cold, map a private heap,
+//! touch it — and every layer invented its own partial rollback when a step
+//! in the middle failed. [`ProcessImage`] is that block, written once:
+//!
+//! ```
+//! use simkernel::{Kernel, KernelConfig, ProcessImage};
+//! use simkernel::vfs::FileContent;
+//!
+//! let kernel = Kernel::boot(KernelConfig::default());
+//! kernel.ensure_file("/usr/bin/crun", FileContent::Synthetic(2 << 20)).unwrap();
+//! let guard = ProcessImage::spawn(&kernel, "crun:create", Kernel::ROOT_CGROUP)
+//!     .text("/usr/bin/crun", 2 << 20, 1 << 20, "crun")
+//!     .heap(256 << 10, "rt-heap")
+//!     .build()
+//!     .unwrap();
+//! assert!(guard.cold_read().is_some()); // first launch faults the binary in
+//! guard.exit(0).unwrap();               // or drop: the guard never leaks a pid
+//! ```
+//!
+//! The returned [`ProcGuard`] owns the simulated process: dropping it —
+//! including on an error path unwinding through `?` — exits and reaps the
+//! process, so failure paths cannot leak sim pids or pages. Long-lived
+//! daemons (kubelet, containerd, shims, container inits) call
+//! [`ProcGuard::detach`] once they are successfully registered with whoever
+//! tears them down later.
+//!
+//! Cold-read accounting is deliberately split from charging: mapping the
+//! text decides *whether* the launch paid a disk read ([`ProcGuard::cold_read`]),
+//! but the caller decides *where* in its step program the corresponding
+//! [`Step::disk_read`] lands (shims emit it after the serialized spawn
+//! section; transient runtime ops emit it immediately; warm restarts emit
+//! nothing), which is what keeps existing figures byte-identical.
+//!
+//! The free functions ([`charge_anon`], [`map_shared`], [`map_cow`]) are the
+//! same discipline for charging growth onto an *existing* process (daemon
+//! metadata, per-pod kubelet growth, engine heaps). Outside this module and
+//! the kernel's own tests, nothing calls `Kernel::spawn` or
+//! `Kernel::mmap_labeled` directly — `scripts/verify.sh` lints for it.
+
+use crate::cgroup::CgroupId;
+use crate::des::Step;
+use crate::error::KernelResult;
+use crate::kernel::Kernel;
+use crate::proc::{Pid, ProcState};
+use crate::vfs::FileId;
+use crate::MapKind;
+
+/// Declarative description of a process image: optional shared text plus any
+/// number of labeled private heaps. Built with [`ProcessImage::spawn`] (new
+/// process) or [`ProcessImage::attach`] (charge onto an existing one).
+pub struct ProcessImage<'k> {
+    kernel: &'k Kernel,
+    target: Target,
+    text: Option<TextSpec>,
+    heaps: Vec<HeapSpec>,
+}
+
+enum Target {
+    Spawn { name: String, cgroup: CgroupId },
+    Attach { pid: Pid },
+}
+
+struct TextSpec {
+    path: String,
+    map_len: u64,
+    resident: u64,
+    label: String,
+    shared: bool,
+}
+
+struct HeapSpec {
+    map_len: u64,
+    resident: u64,
+    label: String,
+}
+
+impl<'k> ProcessImage<'k> {
+    /// Image for a process to be spawned in `cgroup`. The returned guard
+    /// owns the process: dropping it exits and reaps.
+    pub fn spawn(kernel: &'k Kernel, name: impl Into<String>, cgroup: CgroupId) -> Self {
+        ProcessImage {
+            kernel,
+            target: Target::Spawn { name: name.into(), cgroup },
+            text: None,
+            heaps: Vec::new(),
+        }
+    }
+
+    /// Image charged onto an already-running process (`exec` into a container
+    /// init, an engine loaded inside a shim). The guard does not own the
+    /// process and its drop is a no-op.
+    pub fn attach(kernel: &'k Kernel, pid: Pid) -> Self {
+        ProcessImage { kernel, target: Target::Attach { pid }, text: None, heaps: Vec::new() }
+    }
+
+    /// Map the binary at `path` shared (`map_len` reserved, `resident` bytes
+    /// touched) with page-cache cold-read accounting.
+    pub fn text(
+        mut self,
+        path: impl Into<String>,
+        map_len: u64,
+        resident: u64,
+        label: impl Into<String>,
+    ) -> Self {
+        self.text = Some(TextSpec {
+            path: path.into(),
+            map_len,
+            resident,
+            label: label.into(),
+            shared: true,
+        });
+        self
+    }
+
+    /// Map the binary privately (the no-sharing ablation): every launch pays
+    /// its own anonymous copy and the cold read is unconditional.
+    pub fn text_private(
+        mut self,
+        path: impl Into<String>,
+        map_len: u64,
+        resident: u64,
+        label: impl Into<String>,
+    ) -> Self {
+        self.text = Some(TextSpec {
+            path: path.into(),
+            map_len,
+            resident,
+            label: label.into(),
+            shared: false,
+        });
+        self
+    }
+
+    /// Add a fully-touched private anonymous heap.
+    pub fn heap(mut self, bytes: u64, label: impl Into<String>) -> Self {
+        self.heaps.push(HeapSpec { map_len: bytes, resident: bytes, label: label.into() });
+        self
+    }
+
+    /// Add a private anonymous region where only `resident` of `map_len`
+    /// bytes are touched (residual runtime state, partial arenas).
+    pub fn heap_partial(mut self, map_len: u64, resident: u64, label: impl Into<String>) -> Self {
+        self.heaps.push(HeapSpec { map_len, resident, label: label.into() });
+        self
+    }
+
+    /// Spawn (if needed) and charge the image. On any failure the spawned
+    /// process is exited and reaped before the error is returned — a
+    /// half-built image never leaks.
+    pub fn build(self) -> KernelResult<ProcGuard<'k>> {
+        let ProcessImage { kernel, target, text, heaps } = self;
+        let mut guard = match target {
+            Target::Spawn { name, cgroup } => {
+                let pid = kernel.spawn(&name, cgroup)?;
+                ProcGuard { kernel, pid, owned: true, cold_read: None }
+            }
+            Target::Attach { pid } => ProcGuard { kernel, pid, owned: false, cold_read: None },
+        };
+        if let Some(t) = &text {
+            let file = kernel.lookup(&t.path)?;
+            guard.cold_read = if t.shared {
+                map_shared(kernel, guard.pid, file, t.map_len, t.resident, &t.label)?
+            } else {
+                // Private copy: reserve the full map, fault in the resident
+                // fraction as anonymous memory; the read is always cold.
+                let m =
+                    kernel.mmap_labeled(guard.pid, t.map_len, MapKind::AnonPrivate, &t.label)?;
+                kernel.touch(guard.pid, m, t.resident)?;
+                Some(t.resident)
+            };
+        }
+        for h in &heaps {
+            let m = kernel.mmap_labeled(guard.pid, h.map_len, MapKind::AnonPrivate, &h.label)?;
+            kernel.touch(guard.pid, m, h.resident)?;
+        }
+        Ok(guard)
+    }
+}
+
+/// RAII handle to a charged process. See the module docs: drop = exit+reap
+/// (owned spawns only), [`ProcGuard::detach`] hands ownership to the caller.
+#[must_use = "dropping the guard immediately would exit the process it owns"]
+pub struct ProcGuard<'k> {
+    kernel: &'k Kernel,
+    pid: Pid,
+    owned: bool,
+    cold_read: Option<u64>,
+}
+
+impl<'k> ProcGuard<'k> {
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Bytes the text mapping faulted in from disk, if the binary was not
+    /// already in the page cache.
+    pub fn cold_read(&self) -> Option<u64> {
+        self.cold_read
+    }
+
+    /// The I/O step for the cold read, if any — pushed by the caller at the
+    /// point in its program where the read actually happens.
+    pub fn cold_read_step(&self) -> Option<Step> {
+        self.cold_read.map(Step::disk_read)
+    }
+
+    /// Charge an additional fully-touched anonymous region.
+    pub fn charge_heap(&self, bytes: u64, label: &str) -> KernelResult<()> {
+        charge_anon(self.kernel, self.pid, bytes, label)
+    }
+
+    /// Keep the process alive past this guard: ownership moves to the caller
+    /// (a sandbox table, an infra-pid map), which is then responsible for
+    /// eventual exit+reap.
+    pub fn detach(mut self) -> Pid {
+        self.owned = false;
+        self.pid
+    }
+
+    /// Deliberate exit+reap with an explicit code (transient helper
+    /// processes). Robust to the process having already been OOM-killed.
+    pub fn exit(mut self, code: i32) -> KernelResult<()> {
+        self.owned = false;
+        reap_quietly(self.kernel, self.pid, code)
+    }
+}
+
+impl Drop for ProcGuard<'_> {
+    fn drop(&mut self) {
+        if self.owned {
+            // Best-effort: an unwinding error path must not leak the pid,
+            // and must tolerate the kernel having OOM-killed it already.
+            let kernel = self.kernel;
+            let _ = reap_quietly(kernel, self.pid, 1);
+        }
+    }
+}
+
+/// Exit (if still running) and reap `pid`, tolerating already-dead processes.
+fn reap_quietly(kernel: &Kernel, pid: Pid, code: i32) -> KernelResult<()> {
+    if matches!(kernel.proc_state(pid), Ok(ProcState::Running)) {
+        kernel.exit(pid, code)?;
+    }
+    if kernel.proc_state(pid).is_ok() {
+        kernel.reap(pid)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- charging
+//
+// Growth onto existing processes. These are the only blessed doorways to
+// `mmap_labeled` outside simkernel.
+
+/// Charge `bytes` of fully-touched private anonymous memory to `pid`.
+pub fn charge_anon(kernel: &Kernel, pid: Pid, bytes: u64, label: &str) -> KernelResult<()> {
+    let m = kernel.mmap_labeled(pid, bytes, MapKind::AnonPrivate, label)?;
+    kernel.touch(pid, m, bytes)
+}
+
+/// Map `file` shared into `pid`, touching `resident` of `map_len` bytes.
+/// Returns `Some(resident)` when the touch faulted the file in from disk
+/// (page cache was colder than the resident set), `None` on a warm map.
+pub fn map_shared(
+    kernel: &Kernel,
+    pid: Pid,
+    file: FileId,
+    map_len: u64,
+    resident: u64,
+    label: &str,
+) -> KernelResult<Option<u64>> {
+    let cold = kernel.file_cached(file)? < resident;
+    let m = kernel.mmap_labeled(pid, map_len, MapKind::FileShared(file), label)?;
+    kernel.touch(pid, m, resident)?;
+    Ok(if cold { Some(resident) } else { None })
+}
+
+/// Map `file` copy-on-write into `pid` and dirty all `bytes` (code-cache
+/// relocation: every page is patched). Same cold-read contract as
+/// [`map_shared`].
+pub fn map_cow(
+    kernel: &Kernel,
+    pid: Pid,
+    file: FileId,
+    bytes: u64,
+    label: &str,
+) -> KernelResult<Option<u64>> {
+    let cold = kernel.file_cached(file)? < bytes;
+    let m = kernel.mmap_labeled(pid, bytes, MapKind::FileCow(file), label)?;
+    kernel.touch(pid, m, bytes)?;
+    kernel.cow_write(pid, m, bytes)?;
+    Ok(if cold { Some(bytes) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use crate::vfs::FileContent;
+
+    fn boot() -> Kernel {
+        Kernel::boot(KernelConfig::default())
+    }
+
+    #[test]
+    fn spawn_charges_text_and_heap_with_cold_accounting() {
+        let kernel = boot();
+        kernel.ensure_file("/bin/x", FileContent::Synthetic(4 << 20)).unwrap();
+        let g = ProcessImage::spawn(&kernel, "x", Kernel::ROOT_CGROUP)
+            .text("/bin/x", 4 << 20, 2 << 20, "x")
+            .heap(512 << 10, "x-heap")
+            .build()
+            .unwrap();
+        assert_eq!(g.cold_read(), Some(2 << 20), "first launch is cold");
+        assert!(matches!(g.cold_read_step(), Some(Step::Io(_))));
+        assert_eq!(kernel.proc_rss(g.pid()).unwrap(), (2 << 20) + (512 << 10));
+        g.exit(0).unwrap();
+
+        // Second launch: the page cache is warm now.
+        let g2 = ProcessImage::spawn(&kernel, "x", Kernel::ROOT_CGROUP)
+            .text("/bin/x", 4 << 20, 2 << 20, "x")
+            .build()
+            .unwrap();
+        assert_eq!(g2.cold_read(), None, "warm relaunch reads nothing");
+        g2.exit(0).unwrap();
+    }
+
+    #[test]
+    fn drop_exits_and_reaps_owned_process() {
+        let kernel = boot();
+        let procs = kernel.live_procs();
+        {
+            let _g = ProcessImage::spawn(&kernel, "ephemeral", Kernel::ROOT_CGROUP)
+                .heap(64 << 10, "h")
+                .build()
+                .unwrap();
+            assert_eq!(kernel.live_procs(), procs + 1);
+        }
+        assert_eq!(kernel.live_procs(), procs, "guard drop reaps");
+    }
+
+    #[test]
+    fn build_failure_does_not_leak_the_spawned_process() {
+        let kernel = boot();
+        let procs = kernel.live_procs();
+        let err = ProcessImage::spawn(&kernel, "doomed", Kernel::ROOT_CGROUP)
+            .text("/no/such/binary", 1 << 20, 1 << 20, "x")
+            .build();
+        assert!(err.is_err());
+        assert_eq!(kernel.live_procs(), procs, "failed build reaps its spawn");
+    }
+
+    #[test]
+    fn drop_tolerates_oom_killed_process() {
+        let kernel = boot();
+        let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, "tiny").unwrap();
+        kernel.cgroup_set_limit(cg, Some(256 << 10)).unwrap();
+        let procs = kernel.live_procs();
+        let err = ProcessImage::spawn(&kernel, "oomer", cg).heap(4 << 20, "big").build();
+        assert!(err.is_err(), "touch over the limit must fail");
+        assert_eq!(kernel.live_procs(), procs, "OOM-killed spawn still reaped");
+    }
+
+    #[test]
+    fn attach_guard_does_not_own_the_process() {
+        let kernel = boot();
+        let pid = kernel.spawn("daemon", Kernel::ROOT_CGROUP).unwrap();
+        {
+            let g = ProcessImage::attach(&kernel, pid).heap(128 << 10, "meta").build().unwrap();
+            assert_eq!(g.pid(), pid);
+        }
+        assert_eq!(kernel.proc_state(pid).unwrap(), ProcState::Running);
+        kernel.exit(pid, 0).unwrap();
+        kernel.reap(pid).unwrap();
+    }
+
+    #[test]
+    fn detach_hands_over_ownership() {
+        let kernel = boot();
+        let pid = {
+            let g = ProcessImage::spawn(&kernel, "daemon", Kernel::ROOT_CGROUP)
+                .heap(64 << 10, "h")
+                .build()
+                .unwrap();
+            g.detach()
+        };
+        assert_eq!(kernel.proc_state(pid).unwrap(), ProcState::Running);
+        kernel.exit(pid, 0).unwrap();
+        kernel.reap(pid).unwrap();
+    }
+
+    #[test]
+    fn private_text_is_always_cold() {
+        let kernel = boot();
+        kernel.ensure_file("/bin/p", FileContent::Synthetic(1 << 20)).unwrap();
+        for _ in 0..2 {
+            let g = ProcessImage::spawn(&kernel, "p", Kernel::ROOT_CGROUP)
+                .text_private("/bin/p", 1 << 20, 512 << 10, "p")
+                .build()
+                .unwrap();
+            assert_eq!(g.cold_read(), Some(512 << 10));
+            g.exit(0).unwrap();
+        }
+    }
+
+    #[test]
+    fn map_cow_dirties_pages_privately() {
+        let kernel = boot();
+        let f = kernel.ensure_file("/cache/a.cwasm", FileContent::Synthetic(256 << 10)).unwrap();
+        let pid = kernel.spawn("eng", Kernel::ROOT_CGROUP).unwrap();
+        let cold = map_cow(&kernel, pid, f, 256 << 10, "code-cache").unwrap();
+        assert_eq!(cold, Some(256 << 10));
+        assert_eq!(kernel.proc_rss(pid).unwrap(), 256 << 10);
+        kernel.exit(pid, 0).unwrap();
+        kernel.reap(pid).unwrap();
+    }
+}

@@ -42,19 +42,25 @@
 pub mod cgroup;
 pub mod des;
 pub mod error;
+pub mod image;
 pub mod kernel;
+pub mod lifecycle;
 pub mod mem;
 pub mod proc;
 pub mod prop;
 pub mod rng;
 pub mod time;
+pub mod trace;
 pub mod vfs;
 
 pub use cgroup::{CgroupId, MemStat};
 pub use des::{LockId, Sim, SimOutcome, Step, TaskId, TaskSpec};
 pub use error::{KernelError, KernelResult};
+pub use image::{ProcGuard, ProcessImage};
 pub use kernel::{FreeReport, Kernel, KernelConfig, PAGE_SIZE};
+pub use lifecycle::{Lifecycle, LifecycleState};
 pub use mem::{MapKind, MappingId};
 pub use proc::{Pid, ProcState};
 pub use time::{Duration, SimTime};
+pub use trace::{Phase, StepTrace};
 pub use vfs::FileId;

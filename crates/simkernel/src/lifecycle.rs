@@ -1,0 +1,249 @@
+//! The OCI container lifecycle as a single shared state machine.
+//!
+//! Both execution paths in the stack — the crun-embedded runtime
+//! (`runtimes::LowLevelRuntime`) and the runwasi shim path inside
+//! `containerd` — previously tracked container state with their own ad-hoc
+//! enums and `if state != Created` checks, which is how asymmetric teardown
+//! creeps in: one path forgets to reject a double-start, the other forgets
+//! that delete-after-OOM is legal. This module is the one place transition
+//! legality lives:
+//!
+//! ```text
+//!            ┌──────────┐
+//!            │ Created  │──────────────┐
+//!            └────┬─────┘              │   (failed before first
+//!                 │ start              │    instruction, or killed)
+//!            ┌────▼─────┐              │
+//!            │ Running  │──────────────┤
+//!            └──────────┘   kill/exit  │
+//!                                 ┌────▼─────┐
+//!                                 │ Stopped  │
+//!                                 └────┬─────┘
+//!                                      │ delete
+//!                                 ┌────▼─────┐
+//!                                 │ Deleted  │   (terminal)
+//!                                 └──────────┘
+//! ```
+//!
+//! Every legal transition strictly advances the state's rank, so no sequence
+//! of legal operations can revisit an earlier state — the invariant the
+//! property test in this module checks with random operation sequences.
+
+use crate::error::{KernelError, KernelResult};
+
+/// The four OCI lifecycle states. `Deleted` is terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LifecycleState {
+    Created,
+    Running,
+    Stopped,
+    Deleted,
+}
+
+impl LifecycleState {
+    pub const ALL: [LifecycleState; 4] = [
+        LifecycleState::Created,
+        LifecycleState::Running,
+        LifecycleState::Stopped,
+        LifecycleState::Deleted,
+    ];
+
+    /// Rank in lifecycle order; legal transitions strictly increase it.
+    pub fn rank(self) -> u8 {
+        match self {
+            LifecycleState::Created => 0,
+            LifecycleState::Running => 1,
+            LifecycleState::Stopped => 2,
+            LifecycleState::Deleted => 3,
+        }
+    }
+}
+
+/// Is `from -> to` a legal OCI transition?
+pub const fn legal(from: LifecycleState, to: LifecycleState) -> bool {
+    use LifecycleState::*;
+    matches!(
+        (from, to),
+        (Created, Running) | (Created, Stopped) | (Running, Stopped) | (Stopped, Deleted)
+    )
+}
+
+/// A container's position in the lifecycle. Starts at `Created`; every state
+/// change goes through [`Lifecycle::transition`] (strict) or the idempotent
+/// teardown helpers [`Lifecycle::stop`] / [`Lifecycle::delete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lifecycle {
+    state: LifecycleState,
+}
+
+impl Default for Lifecycle {
+    fn default() -> Self {
+        Lifecycle::new()
+    }
+}
+
+impl Lifecycle {
+    pub fn new() -> Lifecycle {
+        Lifecycle { state: LifecycleState::Created }
+    }
+
+    pub fn state(&self) -> LifecycleState {
+        self.state
+    }
+
+    pub fn is(&self, s: LifecycleState) -> bool {
+        self.state == s
+    }
+
+    /// Strict transition: errors (leaving the state unchanged) unless
+    /// `from -> to` is in the legal set.
+    pub fn transition(&mut self, to: LifecycleState, what: &str) -> KernelResult<()> {
+        if legal(self.state, to) {
+            self.state = to;
+            Ok(())
+        } else {
+            Err(KernelError::InvalidState(format!(
+                "{what}: illegal lifecycle transition {:?} -> {to:?}",
+                self.state
+            )))
+        }
+    }
+
+    /// Idempotent stop for teardown paths: advances `Created`/`Running` to
+    /// `Stopped` and reports whether the caller must actually kill the
+    /// process. Already-`Stopped`/`Deleted` containers need no work.
+    pub fn stop(&mut self) -> bool {
+        match self.state {
+            LifecycleState::Created | LifecycleState::Running => {
+                self.state = LifecycleState::Stopped;
+                true
+            }
+            LifecycleState::Stopped | LifecycleState::Deleted => false,
+        }
+    }
+
+    /// Idempotent delete: advances `Stopped` to `Deleted` and reports whether
+    /// resources still need releasing. A second delete is a no-op; deleting a
+    /// container that was never stopped is rejected.
+    pub fn delete(&mut self, what: &str) -> KernelResult<bool> {
+        match self.state {
+            LifecycleState::Stopped => {
+                self.state = LifecycleState::Deleted;
+                Ok(true)
+            }
+            LifecycleState::Deleted => Ok(false),
+            s => Err(KernelError::InvalidState(format!(
+                "{what}: cannot delete container in state {s:?} (stop it first)"
+            ))),
+        }
+    }
+}
+
+impl PartialEq<LifecycleState> for Lifecycle {
+    fn eq(&self, other: &LifecycleState) -> bool {
+        self.state == *other
+    }
+}
+
+impl PartialEq<Lifecycle> for LifecycleState {
+    fn eq(&self, other: &Lifecycle) -> bool {
+        *self == other.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+
+    #[test]
+    fn happy_path() {
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        lc.transition(LifecycleState::Stopped, "c").unwrap();
+        lc.transition(LifecycleState::Deleted, "c").unwrap();
+        assert_eq!(lc.state(), LifecycleState::Deleted);
+    }
+
+    #[test]
+    fn created_can_stop_without_running() {
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Stopped, "c").unwrap();
+        assert_eq!(lc, LifecycleState::Stopped);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected_and_state_unchanged() {
+        let mut lc = Lifecycle::new();
+        assert!(lc.transition(LifecycleState::Deleted, "c").is_err());
+        assert_eq!(lc, LifecycleState::Created);
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        assert!(lc.transition(LifecycleState::Created, "c").is_err());
+        assert!(lc.transition(LifecycleState::Running, "c").is_err());
+        assert!(lc.transition(LifecycleState::Deleted, "c").is_err());
+        assert_eq!(lc, LifecycleState::Running);
+    }
+
+    #[test]
+    fn stop_and_delete_are_idempotent() {
+        let mut lc = Lifecycle::new();
+        assert!(lc.stop());
+        assert!(!lc.stop(), "second stop is a no-op");
+        assert!(lc.delete("c").unwrap());
+        assert!(!lc.delete("c").unwrap(), "second delete is a no-op");
+        assert_eq!(lc, LifecycleState::Deleted);
+    }
+
+    #[test]
+    fn delete_before_stop_is_rejected() {
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        assert!(lc.delete("c").is_err());
+        assert_eq!(lc, LifecycleState::Running);
+    }
+
+    #[test]
+    fn prop_random_op_sequences_never_reach_an_illegal_state() {
+        // Drive the machine with random operations (strict transitions to
+        // arbitrary targets plus the idempotent teardown helpers) and check
+        // the invariants: state only changes along legal edges, rank never
+        // decreases, and rejected operations leave the state untouched.
+        prop::check("lifecycle_legality", 400, |g| {
+            let mut lc = Lifecycle::new();
+            let mut prev = lc.state();
+            let ops = 1 + (g.next_u64() % 24) as usize;
+            for _ in 0..ops {
+                let before = lc.state();
+                match g.next_u64() % 6 {
+                    0..=3 => {
+                        let target = LifecycleState::ALL[(g.next_u64() % 4) as usize];
+                        let res = lc.transition(target, "prop");
+                        assert_eq!(res.is_ok(), legal(before, target), "{before:?}->{target:?}");
+                        if res.is_err() {
+                            assert_eq!(lc.state(), before, "failed transition mutated state");
+                        }
+                    }
+                    4 => {
+                        let acted = lc.stop();
+                        assert_eq!(lc.state() != before, acted);
+                        assert!(lc.state() != LifecycleState::Created);
+                    }
+                    _ => {
+                        if let Ok(acted) = lc.delete("prop") {
+                            assert_eq!(lc.state() != before, acted);
+                            assert_eq!(lc.state(), LifecycleState::Deleted);
+                        } else {
+                            assert_eq!(lc.state(), before);
+                        }
+                    }
+                }
+                assert!(
+                    lc.state().rank() >= prev.rank(),
+                    "rank regressed: {prev:?} -> {:?}",
+                    lc.state()
+                );
+                prev = lc.state();
+            }
+        });
+    }
+}

@@ -13,4 +13,26 @@ cargo test -q --offline
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== lint: process creation goes through ProcessImage =="
+# Outside simkernel (which owns the primitives), non-test code must build
+# processes via simkernel::image::ProcessImage, not raw kernel.spawn /
+# mmap_labeled. Test modules (everything from '#[cfg(test)]' down, by the
+# repo's tests-at-end convention) and comment lines are exempt.
+violations=0
+for f in $(grep -rlE 'kernel\.spawn\(|\.mmap_labeled\(' crates/*/src --include='*.rs' | grep -v '^crates/simkernel/' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nE 'kernel\.spawn\(|\.mmap_labeled\(' | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: direct kernel.spawn/mmap_labeled call site(s) found; use simkernel::image::ProcessImage" >&2
+  exit 1
+fi
+
+echo "== smoke: examples/quickstart =="
+cargo run --release --offline --example quickstart >/dev/null
+
 echo "verify: OK"

@@ -46,6 +46,61 @@ fn teardown_restores_memory_baseline() {
 }
 
 #[test]
+fn cluster_stats_expose_the_sync_counter() {
+    let w = Workload::light();
+    let mut cluster = new_cluster(&[Config::WamrCrun], &w).unwrap();
+    let boot = cluster.stats();
+    assert_eq!(boot.pods_synced, 0);
+    assert_eq!(boot.pods_managed, 0);
+    let d = cluster
+        .deploy("svc", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 3)
+        .unwrap();
+    let stats = cluster.stats();
+    assert_eq!(stats.pods_synced, 3);
+    assert_eq!(stats.pods_managed, 3);
+    assert!(stats.live_procs > boot.live_procs);
+    cluster.teardown(d).unwrap();
+    let after = cluster.stats();
+    assert_eq!(after.pods_synced, 3, "sync counter is monotonic across teardown");
+    assert_eq!(after.pods_managed, 0);
+    assert_eq!(after.live_procs, boot.live_procs);
+}
+
+#[test]
+fn every_wasm_config_returns_the_kernel_to_baseline() {
+    // All seven Wasm configurations route through the shared ProcessImage
+    // and lifecycle machinery; deploy → teardown of each must return the
+    // kernel to its baseline process and (anonymous) page population.
+    const WASM_CONFIGS: [Config; 7] = [
+        Config::WamrCrun,
+        Config::CrunWasmtime,
+        Config::CrunWasmer,
+        Config::CrunWasmEdge,
+        Config::ShimWasmtime,
+        Config::ShimWasmer,
+        Config::ShimWasmEdge,
+    ];
+    let w = Workload::light();
+    let mut cluster = new_cluster(&WASM_CONFIGS, &w).unwrap();
+    for &c in &WASM_CONFIGS {
+        warmup(&mut cluster, c).unwrap();
+    }
+    let procs_before = cluster.kernel.live_procs();
+    let used_before = cluster.free().used;
+    for &c in &WASM_CONFIGS {
+        let d = cluster.deploy(c.class_name(), c.image_ref(), c.class_name(), 2).unwrap();
+        assert_eq!(d.running(), 2, "{}", c.label());
+        cluster.teardown(d).unwrap();
+        assert_eq!(cluster.kernel.live_procs(), procs_before, "{}: leaked processes", c.label());
+    }
+    // Anonymous memory returns to baseline modulo the kubelet/daemon
+    // per-pod bookkeeping growth; the page cache may stay warm.
+    let leaked = cluster.free().used.saturating_sub(used_before);
+    assert!(leaked < 8 << 20, "anon leak across all configs: {leaked} bytes");
+    assert_eq!(cluster.stats().pods_managed, 0);
+}
+
+#[test]
 fn multiple_runtime_classes_coexist_on_one_cluster() {
     let w = Workload::light();
     let mut cluster =
