@@ -442,6 +442,22 @@ impl Containerd {
         }
     }
 
+    /// True when any process backing this sandbox has been OOM-killed by
+    /// the kernel — the shim, the pause container, or a container's init
+    /// process. The kubelet polls this from its reconcile loop to detect
+    /// pods that need a fault-forced teardown and restart. A sandbox that
+    /// no longer exists reports `false` (nothing left to have been killed).
+    pub fn pod_oom_killed(&self, pod_id: &str) -> bool {
+        let Some(s) = self.sandboxes.get(pod_id) else {
+            return false;
+        };
+        let oomed =
+            |pid: Pid| matches!(self.kernel.proc_state(pid), Ok(simkernel::ProcState::OomKilled));
+        oomed(s.shim.pid)
+            || s.pause.as_ref().map_or(false, |p| oomed(p.pid))
+            || s.containers.values().any(|c| c.oci.as_ref().map_or(false, |o| oomed(o.pid)))
+    }
+
     /// Pod working set as the metrics-server reads it.
     pub fn pod_working_set(&self, pod_id: &str) -> KernelResult<u64> {
         let s = self

@@ -211,6 +211,10 @@ pub fn execute_wasm_opts(
     let stderr = ctx.stderr_handle();
 
     // --- instantiate (and compile, for eager tiers) ---------------------
+    // Fault choke point: a transient engine-instantiation failure (resource
+    // exhaustion, linker race) surfaces here, before any instance state is
+    // built, so a retry of the whole pipeline can succeed.
+    kernel.inject_fault(simkernel::FaultSite::EngineInstantiate)?;
     let config = InstanceConfig { tier: profile.tier, fuel: Some(fuel), ..Default::default() };
     // The cache validated the module on insertion; skip re-validating per
     // container.

@@ -1,0 +1,54 @@
+//! Chaos sweep: deterministic fault injection across the Wasm configs.
+//!
+//! Usage: `cargo run -p harness --bin chaos [-- --smoke] [--seed N]`
+//!
+//! Deploys pods under kubelet supervision with every fault site armed,
+//! drives the reconcile loop until each node settles, and fails (exit 1)
+//! if any configuration does not converge or leaks past its baseline.
+//! `--smoke` runs the light CI plan `scripts/verify.sh` uses.
+
+use harness::chaos::{check_outcome, sweep, ChaosPlan};
+use harness::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xC4A0_5EED);
+
+    let (workload, plan) = if smoke {
+        (Workload::light(), ChaosPlan::smoke(seed))
+    } else {
+        (
+            Workload::default(),
+            ChaosPlan { seed, rate_ppm: 120_000, limit_per_site: 12, pods: 10, max_rounds: 200 },
+        )
+    };
+
+    let (table, outcomes) = sweep(&workload, &plan).expect("chaos sweep");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("chaos") {
+        println!("CSV written to {}", path.display());
+    }
+
+    let mut violations = 0;
+    for o in &outcomes {
+        if let Err(msg) = check_outcome(o, &plan) {
+            eprintln!("FAIL: {msg}");
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        eprintln!("{violations} configuration(s) violated the recovery contract");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} configurations converged; {} faults injected in total",
+        outcomes.len(),
+        outcomes.iter().map(|o| o.injected).sum::<u64>()
+    );
+}

@@ -1,0 +1,256 @@
+//! Chaos harness: seeded fault-injection sweeps across the Wasm configs.
+//!
+//! Each run boots a fresh warmed cluster, arms a deterministic
+//! [`FaultPlan`], deploys pods under kubelet supervision
+//! ([`RestartPolicy::Always`]), and drives the reconcile loop on the
+//! simulated clock until the node settles: every pod Running again or
+//! parked in a terminal phase. Because the plan's per-site budgets are
+//! finite, retries eventually stop being sabotaged and convergence is
+//! guaranteed — the sweep asserts it, plus leak-to-baseline after
+//! teardown, for all seven Wasm configurations.
+
+use k8s_sim::{DeployOpts, PodPhase, RestartPolicy};
+use simkernel::{Duration, FaultPlan, FaultSite, KernelResult};
+
+use crate::config::{Config, Workload};
+use crate::report::Table;
+use crate::runner::{new_cluster, warmup};
+
+/// The seven Wasm configurations the chaos sweep exercises (the paper's
+/// Figs. 3–5 rows; the Python baselines share no engine fault sites).
+pub const WASM_CONFIGS: [Config; 7] = [
+    Config::WamrCrun,
+    Config::CrunWasmtime,
+    Config::CrunWasmer,
+    Config::CrunWasmEdge,
+    Config::ShimWasmtime,
+    Config::ShimWasmer,
+    Config::ShimWasmEdge,
+];
+
+/// Parameters of one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    /// Base seed; each configuration derives its own stream from it.
+    pub seed: u64,
+    /// Injection rate in parts-per-million, armed at every fault site.
+    pub rate_ppm: u32,
+    /// Injection budget per site. A finite budget is what makes
+    /// convergence provable: once spent, retries run fault-free.
+    pub limit_per_site: u64,
+    /// Pods deployed per configuration.
+    pub pods: usize,
+    /// Reconcile rounds before declaring non-convergence.
+    pub max_rounds: usize,
+}
+
+impl ChaosPlan {
+    /// The CI smoke plan: small, hot, and bounded — a few pods under an
+    /// aggressive fault rate whose budget guarantees quick convergence.
+    pub fn smoke(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, rate_ppm: 200_000, limit_per_site: 6, pods: 4, max_rounds: 80 }
+    }
+}
+
+/// Outcome of one configuration's chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOutcome {
+    pub config: Config,
+    /// Faults actually injected (all sites).
+    pub injected: u64,
+    /// Successful restarts summed over pods.
+    pub restarts: u64,
+    /// Final phase counts.
+    pub running: usize,
+    pub evicted: usize,
+    pub failed: usize,
+    /// Reconcile rounds driven.
+    pub rounds: usize,
+    /// Every pod reached a steady phase within the round budget.
+    pub converged: bool,
+    /// Anon-memory growth over the pre-deploy baseline after teardown
+    /// (kubelet/daemon bookkeeping only when nothing leaks).
+    pub leaked_bytes: u64,
+    /// Process-count delta over the pre-deploy baseline after teardown.
+    pub leaked_procs: i64,
+}
+
+/// Arm every fault site of a fresh plan at the same rate and budget.
+fn armed_plan(seed: u64, rate_ppm: u32, limit: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for site in FaultSite::ALL {
+        plan = plan.with_rate(site, rate_ppm).with_limit(site, limit);
+    }
+    plan
+}
+
+/// Run one configuration through deploy-under-faults → reconcile-to-steady
+/// → fault-free teardown, and report what happened.
+pub fn run_config(
+    config: Config,
+    workload: &Workload,
+    plan: &ChaosPlan,
+) -> KernelResult<ChaosOutcome> {
+    let mut cluster = new_cluster(&[config], workload)?;
+    warmup(&mut cluster, config)?;
+    let procs_before = cluster.kernel.live_procs();
+    let used_before = cluster.free().used;
+
+    // Per-config seed stream, so configs fail independently.
+    let seed = plan.seed ^ (config as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    cluster.kernel.set_fault_plan(armed_plan(seed, plan.rate_ppm, plan.limit_per_site));
+
+    cluster.deploy_with(
+        "chaos",
+        config.image_ref(),
+        config.class_name(),
+        plan.pods,
+        DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+    )?;
+
+    let mut rounds = 0;
+    while !cluster.kubelet.settled() && rounds < plan.max_rounds {
+        let now = cluster.kernel.now();
+        match cluster.kubelet.next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
+            _ => cluster.kernel.advance(Duration::from_secs(1)),
+        }
+        cluster.reconcile();
+        rounds += 1;
+    }
+    let converged = cluster.kubelet.settled();
+
+    let injected = FaultSite::ALL.iter().map(|&s| cluster.kernel.faults_injected(s)).sum();
+    let restarts = cluster.kubelet.managed().map(|e| e.restarts as u64).sum();
+    let mut running = 0;
+    let mut evicted = 0;
+    let mut failed = 0;
+    for e in cluster.kubelet.managed() {
+        match e.phase {
+            PodPhase::Running => running += 1,
+            PodPhase::Evicted => evicted += 1,
+            PodPhase::Failed => failed += 1,
+            _ => {}
+        }
+    }
+
+    // Disarm and tear down fault-free: recovery must leave nothing behind.
+    cluster.kernel.set_fault_plan(FaultPlan::none());
+    cluster.teardown_managed()?;
+    let leaked_bytes = cluster.free().used.saturating_sub(used_before);
+    let leaked_procs = cluster.kernel.live_procs() as i64 - procs_before as i64;
+
+    Ok(ChaosOutcome {
+        config,
+        injected,
+        restarts,
+        running,
+        evicted,
+        failed,
+        rounds,
+        converged,
+        leaked_bytes,
+        leaked_procs,
+    })
+}
+
+/// Sweep every Wasm configuration under the plan and assemble the report
+/// table (one row per configuration).
+pub fn sweep(workload: &Workload, plan: &ChaosPlan) -> KernelResult<(Table, Vec<ChaosOutcome>)> {
+    let mut table = Table::new(
+        format!(
+            "Chaos sweep: {} pods/config, {} ppm fault rate, budget {}/site, seed {:#x}",
+            plan.pods, plan.rate_ppm, plan.limit_per_site, plan.seed
+        ),
+        ["injected", "restarts", "running", "evicted", "failed", "rounds", "leaked KiB"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        "count",
+    );
+    let mut outcomes = Vec::new();
+    for config in WASM_CONFIGS {
+        let o = run_config(config, workload, plan)?;
+        table.row(
+            config.label(),
+            vec![
+                o.injected as f64,
+                o.restarts as f64,
+                o.running as f64,
+                o.evicted as f64,
+                o.failed as f64,
+                o.rounds as f64,
+                (o.leaked_bytes >> 10) as f64,
+            ],
+            config.is_ours(),
+        );
+        outcomes.push(o);
+    }
+    Ok((table, outcomes))
+}
+
+/// Check an outcome against the recovery contract: convergence, every pod
+/// accounted for in a steady phase, no leaked processes, and residual
+/// growth bounded by the kubelet/daemon per-sync bookkeeping.
+pub fn check_outcome(o: &ChaosOutcome, plan: &ChaosPlan) -> Result<(), String> {
+    if !o.converged {
+        return Err(format!(
+            "{}: did not settle within {} rounds",
+            o.config.label(),
+            plan.max_rounds
+        ));
+    }
+    if o.running + o.evicted + o.failed != plan.pods {
+        return Err(format!(
+            "{}: {} running + {} evicted + {} failed != {} pods",
+            o.config.label(),
+            o.running,
+            o.evicted,
+            o.failed,
+            plan.pods
+        ));
+    }
+    if o.leaked_procs != 0 {
+        return Err(format!("{}: leaked {} processes", o.config.label(), o.leaked_procs));
+    }
+    // Every successful sync (initial + restarts) grows kubelet/daemon
+    // bookkeeping by a few hundred KiB that orderly teardown keeps; a real
+    // leak (a stranded heap or mapping) is megabytes per pod.
+    let syncs = plan.pods as u64 + o.restarts;
+    let allowance = (1 << 20) * (syncs + 4);
+    if o.leaked_bytes > allowance {
+        return Err(format!(
+            "{}: leaked {} bytes (> {} allowance for {} syncs)",
+            o.config.label(),
+            o.leaked_bytes,
+            allowance,
+            syncs
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_converges_and_returns_to_baseline() {
+        let w = Workload::light();
+        let plan = ChaosPlan::smoke(7);
+        let o = run_config(Config::WamrCrun, &w, &plan).unwrap();
+        assert!(o.injected > 0, "an aggressive smoke plan must inject something");
+        check_outcome(&o, &plan).unwrap();
+    }
+
+    #[test]
+    fn zero_rate_plan_injects_nothing_and_runs_clean() {
+        let w = Workload::light();
+        let plan = ChaosPlan { seed: 7, rate_ppm: 0, limit_per_site: 0, pods: 3, max_rounds: 5 };
+        let o = run_config(Config::WamrCrun, &w, &plan).unwrap();
+        assert_eq!(o.injected, 0);
+        assert_eq!(o.restarts, 0);
+        assert_eq!(o.rounds, 0, "a clean deploy is already settled");
+        check_outcome(&o, &plan).unwrap();
+    }
+}

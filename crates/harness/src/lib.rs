@@ -7,6 +7,7 @@
 //! Binaries (`cargo run -p harness --bin figN`) print the corresponding
 //! table and write a CSV under `target/experiments/`.
 
+pub mod chaos;
 pub mod claims;
 pub mod config;
 pub mod figures;

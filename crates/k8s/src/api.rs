@@ -16,12 +16,26 @@ pub struct PodSpec {
 }
 
 /// Pod lifecycle phase.
+///
+/// Beyond the classic four, the kubelet's supervision loop surfaces the
+/// recovery states of the fault model: a pod OOM-killed by the kernel, a
+/// pod evicted for node pressure, and a pod waiting out its restart
+/// backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PodPhase {
     Pending,
     Running,
+    /// Terminal: the pod cannot be (re)started — configuration error or
+    /// restart policy exhausted.
     Failed,
     Terminated,
+    /// Waiting out the exponential restart backoff after failed starts.
+    CrashLoopBackOff,
+    /// Removed by node-pressure eviction (terminal: never restarted).
+    Evicted,
+    /// Backing processes were killed by the kernel's OOM killer; a restart
+    /// is pending if the pod is supervised.
+    OomKilled,
 }
 
 /// A deployed pod's record.

@@ -11,8 +11,8 @@ use simkernel::{
     TaskSpec,
 };
 
-use crate::api::{Deployment, PodSpec};
-use crate::kubelet::{Kubelet, NodeConfig};
+use crate::api::{Deployment, PodPhase, PodSpec};
+use crate::kubelet::{Kubelet, NodeConfig, ReconcileReport, RestartPolicy};
 
 /// A booted single-node Kubernetes cluster.
 pub struct Cluster {
@@ -33,6 +33,24 @@ pub struct ClusterStats {
     pub pods_managed: usize,
     /// Live simulated processes on the node.
     pub live_procs: usize,
+    /// Supervised pods currently Running.
+    pub running: usize,
+    /// Supervised pods waiting out a restart backoff.
+    pub crash_loop: usize,
+    /// Supervised pods evicted for node pressure (terminal).
+    pub evicted: usize,
+    /// Supervised pods in the OomKilled phase (restart pending).
+    pub oom_killed: usize,
+}
+
+/// Options for [`Cluster::deploy_with`]: the fault-tolerance knobs of a
+/// deployment. The default reproduces [`Cluster::deploy`] exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeployOpts {
+    /// Restart policy for the pods' containers.
+    pub restart: RestartPolicy,
+    /// Optional `resources.limits.memory` applied to every pod.
+    pub memory_limit: Option<u64>,
 }
 
 impl Cluster {
@@ -70,13 +88,28 @@ impl Cluster {
         self.kernel.free()
     }
 
-    /// Cluster bookkeeping counters (kubelet sync counter, process count).
+    /// Cluster bookkeeping counters (kubelet sync counter, process count,
+    /// supervised-pod phase breakdown).
     pub fn stats(&self) -> ClusterStats {
-        ClusterStats {
+        let mut stats = ClusterStats {
             pods_synced: self.kubelet.pods_synced(),
             pods_managed: self.kubelet.pod_count(),
             live_procs: self.kernel.live_procs(),
+            running: 0,
+            crash_loop: 0,
+            evicted: 0,
+            oom_killed: 0,
+        };
+        for e in self.kubelet.managed() {
+            match e.phase {
+                PodPhase::Running => stats.running += 1,
+                PodPhase::CrashLoopBackOff => stats.crash_loop += 1,
+                PodPhase::Evicted => stats.evicted += 1,
+                PodPhase::OomKilled => stats.oom_killed += 1,
+                _ => {}
+            }
         }
+        stats
     }
 
     /// Deploy `n` identical pods of `image` under `runtime_class`.
@@ -91,6 +124,25 @@ impl Cluster {
         runtime_class: &str,
         n: usize,
     ) -> KernelResult<Deployment> {
+        self.deploy_with(name_prefix, image, runtime_class, n, DeployOpts::default())
+    }
+
+    /// [`Cluster::deploy`] with explicit fault-tolerance options.
+    ///
+    /// With [`RestartPolicy::Never`] (the default) this is the strict
+    /// figure path: the first sync error aborts the deploy. With
+    /// [`RestartPolicy::Always`] every pod is admitted under kubelet
+    /// supervision — failures become CrashLoopBackOff entries that
+    /// [`Cluster::reconcile`] retries — and the returned deployment holds
+    /// only the pods whose *first* sync succeeded.
+    pub fn deploy_with(
+        &mut self,
+        name_prefix: &str,
+        image: &str,
+        runtime_class: &str,
+        n: usize,
+        opts: DeployOpts,
+    ) -> KernelResult<Deployment> {
         let mut deployment = Deployment::default();
         let gap = Duration::from_secs_f64(1.0 / self.kubelet.config.dispatch_per_sec);
         for i in 0..n {
@@ -99,12 +151,38 @@ impl Cluster {
                 name: format!("{name_prefix}-{i}"),
                 image: image.to_string(),
                 runtime_class: runtime_class.to_string(),
-                memory_limit: None,
+                memory_limit: opts.memory_limit,
             };
-            let record = self.kubelet.sync_pod(&mut self.containerd, spec, dispatched_at)?;
-            deployment.pods.push(record);
+            match opts.restart {
+                RestartPolicy::Never => {
+                    let record =
+                        self.kubelet.sync_pod(&mut self.containerd, spec, dispatched_at)?;
+                    deployment.pods.push(record);
+                }
+                RestartPolicy::Always => {
+                    self.kubelet.manage_pod(&mut self.containerd, spec, dispatched_at);
+                }
+            }
         }
         Ok(deployment)
+    }
+
+    /// One kubelet supervision pass at the current simulated time: OOM
+    /// detection, node-pressure eviction, due restarts.
+    pub fn reconcile(&mut self) -> ReconcileReport {
+        let now = self.kernel.now();
+        self.kubelet.reconcile(&mut self.containerd, now)
+    }
+
+    /// Tear down every supervised pod (the counterpart of a
+    /// [`RestartPolicy::Always`] deploy, which returns no deployment
+    /// handle to pass to [`Cluster::teardown`]).
+    pub fn teardown_managed(&mut self) -> KernelResult<()> {
+        let names: Vec<String> = self.kubelet.managed().map(|e| e.spec.name.clone()).collect();
+        for name in names {
+            self.kubelet.remove_pod(&mut self.containerd, &name)?;
+        }
+        Ok(())
     }
 
     /// Run the DES over one or more deployments' startup programs. The

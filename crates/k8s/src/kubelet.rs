@@ -17,7 +17,8 @@
 use containerd_sim::Containerd;
 use simkernel::image::charge_anon;
 use simkernel::{
-    CgroupId, Kernel, KernelError, KernelResult, Phase, Pid, ProcessImage, Step, StepTrace,
+    CgroupId, Duration, Kernel, KernelError, KernelResult, Phase, Pid, ProcState, ProcessImage,
+    SimTime, Step, StepTrace,
 };
 
 use crate::api::{PodPhase, PodRecord, PodSpec};
@@ -30,12 +31,18 @@ pub struct NodeConfig {
     /// Scheduler/API-server dispatch rate (pods per second reaching the
     /// kubelet sync loop).
     pub dispatch_per_sec: f64,
+    /// Node-pressure eviction threshold: when the node's available memory
+    /// drops below this, [`Kubelet::reconcile`] evicts best-effort pods
+    /// (newest first) until pressure clears. The default (100 MiB) is never
+    /// reached by the paper's experiments on the 256 GiB testbed, so the
+    /// figure paths are unaffected.
+    pub eviction_threshold: u64,
 }
 
 impl Default for NodeConfig {
     /// Stock kubelet: 110 pods.
     fn default() -> Self {
-        NodeConfig { max_pods: 110, dispatch_per_sec: 50.0 }
+        NodeConfig { max_pods: 110, dispatch_per_sec: 50.0, eviction_threshold: 100 << 20 }
     }
 }
 
@@ -75,6 +82,67 @@ const KUBELET_BINARY: &str = "/usr/bin/kubelet";
 const KUBELET_BINARY_SIZE: u64 = 110 << 20;
 const KUBELET_HEAP: u64 = 70 << 20;
 
+/// Whether the kubelet restarts a pod's containers after a failure
+/// (Kubernetes `restartPolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Fail fast: the first sync error aborts the deploy. This is the
+    /// strict path every figure experiment uses.
+    #[default]
+    Never,
+    /// Absorb failures into a CrashLoopBackOff entry and retry with
+    /// exponential backoff from [`Kubelet::reconcile`].
+    Always,
+}
+
+/// A pod under kubelet supervision ([`RestartPolicy::Always`]): survives
+/// sync failures and OOM kills as a table entry whose phase tracks the
+/// recovery state machine.
+#[derive(Debug)]
+pub struct PodEntry {
+    pub spec: PodSpec,
+    /// Admission order (monotonic). Node-pressure eviction removes the
+    /// *newest* best-effort pod first, so this is the eviction key.
+    pub seq: u64,
+    pub phase: PodPhase,
+    /// Consecutive failed sync/restart attempts since the last success —
+    /// the exponent of the backoff schedule.
+    pub failures: u32,
+    /// Successful restarts over the pod's lifetime.
+    pub restarts: u32,
+    /// When the next restart attempt is due on the simulated clock.
+    pub next_restart_at: Option<SimTime>,
+    /// Stdout captured by the most recent successful start.
+    pub stdout: Vec<u8>,
+}
+
+/// What one [`Kubelet::reconcile`] pass did.
+#[derive(Debug, Default)]
+pub struct ReconcileReport {
+    /// Pods detected OOM-killed and torn down this pass.
+    pub oom_killed: Vec<String>,
+    /// Pods evicted for node pressure this pass (terminal).
+    pub evicted: Vec<String>,
+    /// Pods successfully restarted this pass.
+    pub restarted: Vec<String>,
+    /// Pods whose restart attempt failed again (backoff extended).
+    pub backoff: Vec<String>,
+    /// Recovery work performed, tagged [`Phase::TeardownAfterFault`] —
+    /// deliberately kept out of the pods' startup traces so the figure
+    /// pipelines never see it.
+    pub trace: StepTrace,
+}
+
+impl ReconcileReport {
+    /// Nothing was detected, evicted, or restarted this pass.
+    pub fn quiet(&self) -> bool {
+        self.oom_killed.is_empty()
+            && self.evicted.is_empty()
+            && self.restarted.is_empty()
+            && self.backoff.is_empty()
+    }
+}
+
 /// The node agent.
 pub struct Kubelet {
     kernel: Kernel,
@@ -82,6 +150,9 @@ pub struct Kubelet {
     pub pid: Pid,
     /// Pseudo-processes holding per-pod infrastructure charges.
     infra_procs: std::collections::BTreeMap<String, Pid>,
+    /// Supervised pods (admitted with [`RestartPolicy::Always`]).
+    pods: std::collections::BTreeMap<String, PodEntry>,
+    next_seq: u64,
     pods_synced: usize,
 }
 
@@ -103,7 +174,15 @@ impl Kubelet {
             .heap(KUBELET_HEAP, "kubelet-heap")
             .build()?
             .detach();
-        Ok(Kubelet { kernel, config, pid, infra_procs: Default::default(), pods_synced: 0 })
+        Ok(Kubelet {
+            kernel,
+            config,
+            pid,
+            infra_procs: Default::default(),
+            pods: Default::default(),
+            next_seq: 0,
+            pods_synced: 0,
+        })
     }
 
     /// Number of pods currently managed.
@@ -115,6 +194,48 @@ impl Kubelet {
     /// (monotonic; unaffected by teardown).
     pub fn pods_synced(&self) -> usize {
         self.pods_synced
+    }
+
+    /// Supervised pod entries, in name order.
+    pub fn managed(&self) -> impl Iterator<Item = &PodEntry> {
+        self.pods.values()
+    }
+
+    /// One supervised pod's entry.
+    pub fn managed_pod(&self, name: &str) -> Option<&PodEntry> {
+        self.pods.get(name)
+    }
+
+    /// Delay before restart attempt `n` (0-based) of a crash-looping pod:
+    /// kubelet's standard exponential schedule, 10s · 2ⁿ capped at 5
+    /// minutes — 10s, 20s, 40s, 80s, 160s, 300s, 300s, …
+    pub fn backoff_delay(n: u32) -> Duration {
+        const CAP_SECS: u64 = 300;
+        let secs = 10u64.checked_shl(n).map_or(CAP_SECS, |s| s.min(CAP_SECS));
+        Duration::from_secs(secs)
+    }
+
+    /// Whether a sync error is worth retrying: injected transient faults
+    /// and memory pressure can clear; everything else (unknown class, bad
+    /// image, node full) is a configuration error that a restart cannot
+    /// fix.
+    fn retryable(e: &KernelError) -> bool {
+        matches!(e, KernelError::FaultInjected(_) | KernelError::OutOfMemory { .. })
+    }
+
+    /// True when every supervised pod is in a steady phase (Running or a
+    /// terminal phase) with no restart pending — the chaos harness's
+    /// convergence condition.
+    pub fn settled(&self) -> bool {
+        self.pods.values().all(|e| {
+            e.next_restart_at.is_none()
+                && matches!(e.phase, PodPhase::Running | PodPhase::Evicted | PodPhase::Failed)
+        })
+    }
+
+    /// Earliest pending restart deadline across supervised pods.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pods.values().filter_map(|e| e.next_restart_at).min()
     }
 
     /// Sync one pod: run the full startup pipeline through the CRI.
@@ -185,8 +306,9 @@ impl Kubelet {
             Ok(mut s) => trace.append(&mut s),
             Err(e) => {
                 // Rollback is best-effort and must not shadow the original
-                // sync error: a second failure mid-teardown is dropped.
-                let _ = self.remove_pod(containerd, &spec.name);
+                // sync error: a second failure mid-teardown is dropped. Any
+                // supervision entry survives (reconcile retries from it).
+                let _ = self.teardown_pod_resources(containerd, &spec.name);
                 return Err(e);
             }
         }
@@ -201,13 +323,157 @@ impl Kubelet {
         Ok(PodRecord { spec, phase: PodPhase::Running, pod_cgroup, dispatched_at, trace, stdout })
     }
 
-    /// Tear a pod down: remove the sandbox and the infra charge.
+    /// Admit a pod under supervision ([`RestartPolicy::Always`]): a failed
+    /// sync is absorbed into a CrashLoopBackOff entry (retried by
+    /// [`Kubelet::reconcile`] on the backoff schedule) instead of failing
+    /// the deploy; a non-retryable error parks the pod as `Failed`.
+    /// Returns the pod's resulting phase.
+    pub fn manage_pod(
+        &mut self,
+        containerd: &mut Containerd,
+        spec: PodSpec,
+        dispatched_at: SimTime,
+    ) -> PodPhase {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let name = spec.name.clone();
+        let mut entry = PodEntry {
+            spec: spec.clone(),
+            seq,
+            phase: PodPhase::Pending,
+            failures: 0,
+            restarts: 0,
+            next_restart_at: None,
+            stdout: Vec::new(),
+        };
+        match self.sync_pod(containerd, spec, dispatched_at) {
+            Ok(record) => {
+                entry.phase = PodPhase::Running;
+                entry.stdout = record.stdout;
+            }
+            Err(ref e) if Self::retryable(e) => {
+                entry.phase = PodPhase::CrashLoopBackOff;
+                entry.next_restart_at = Some(self.kernel.now() + Self::backoff_delay(0));
+                entry.failures = 1;
+            }
+            Err(_) => entry.phase = PodPhase::Failed,
+        }
+        let phase = entry.phase;
+        self.pods.insert(name, entry);
+        phase
+    }
+
+    /// One pass of the supervision loop at simulated time `now`:
+    ///
+    /// 1. **OOM detection** — a Running pod whose backing processes (shim,
+    ///    pause, container init, pod infra) show an OOM kill is torn down
+    ///    and scheduled for restart on the backoff schedule.
+    /// 2. **Node-pressure eviction** — while available memory is below
+    ///    [`NodeConfig::eviction_threshold`], the newest best-effort pod is
+    ///    evicted (terminal: evicted pods are not restarted).
+    /// 3. **Due restarts** — pods whose backoff deadline has passed are
+    ///    re-synced from scratch; success resets the failure count, another
+    ///    failure doubles the backoff.
+    pub fn reconcile(&mut self, containerd: &mut Containerd, now: SimTime) -> ReconcileReport {
+        let mut report = ReconcileReport::default();
+
+        let running: Vec<String> = self
+            .pods
+            .iter()
+            .filter(|(_, e)| e.phase == PodPhase::Running)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in running {
+            let infra_oomed = self.infra_procs.get(&name).map_or(false, |&pid| {
+                matches!(self.kernel.proc_state(pid), Ok(ProcState::OomKilled))
+            });
+            if infra_oomed || containerd.pod_oom_killed(&name) {
+                let _ = self.teardown_pod_resources(containerd, &name);
+                report.trace.push(Phase::TeardownAfterFault, Step::Cpu(cost::SYNC_CPU));
+                let e = self.pods.get_mut(&name).expect("selected from table");
+                e.phase = PodPhase::OomKilled;
+                e.next_restart_at = Some(now + Self::backoff_delay(e.failures));
+                e.failures += 1;
+                report.oom_killed.push(name);
+            }
+        }
+
+        while self.kernel.free().available < self.config.eviction_threshold {
+            let victim = self
+                .pods
+                .iter()
+                .filter(|(_, e)| e.phase == PodPhase::Running && e.spec.memory_limit.is_none())
+                .max_by_key(|(_, e)| e.seq)
+                .map(|(n, _)| n.clone());
+            let Some(name) = victim else { break };
+            let _ = self.teardown_pod_resources(containerd, &name);
+            report.trace.push(Phase::TeardownAfterFault, Step::Cpu(cost::SYNC_CPU));
+            let e = self.pods.get_mut(&name).expect("selected from table");
+            e.phase = PodPhase::Evicted;
+            e.next_restart_at = None;
+            report.evicted.push(name);
+        }
+
+        let due: Vec<String> = self
+            .pods
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.phase, PodPhase::OomKilled | PodPhase::CrashLoopBackOff)
+                    && e.next_restart_at.map_or(false, |t| t <= now)
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in due {
+            let spec = self.pods.get(&name).expect("selected from table").spec.clone();
+            match self.sync_pod(containerd, spec, now) {
+                Ok(record) => {
+                    let e = self.pods.get_mut(&name).expect("selected from table");
+                    e.phase = PodPhase::Running;
+                    e.restarts += 1;
+                    e.failures = 0;
+                    e.next_restart_at = None;
+                    e.stdout = record.stdout;
+                    report.restarted.push(name);
+                }
+                Err(ref err) if Self::retryable(err) => {
+                    let e = self.pods.get_mut(&name).expect("selected from table");
+                    e.phase = PodPhase::CrashLoopBackOff;
+                    e.next_restart_at = Some(now + Self::backoff_delay(e.failures));
+                    e.failures += 1;
+                    report.backoff.push(name);
+                }
+                Err(_) => {
+                    let e = self.pods.get_mut(&name).expect("selected from table");
+                    e.phase = PodPhase::Failed;
+                    e.next_restart_at = None;
+                }
+            }
+        }
+        report
+    }
+
+    /// Tear a pod down: remove the sandbox, the infra charge, and any
+    /// supervision entry.
     ///
     /// Idempotent and best-effort: every sub-step is attempted even when an
     /// earlier one fails (so a mid-teardown error cannot strand the rest),
     /// the first error is reported at the end, and removing a pod that is
     /// already gone is a successful no-op.
     pub fn remove_pod(&mut self, containerd: &mut Containerd, pod_name: &str) -> KernelResult<()> {
+        self.pods.remove(pod_name);
+        self.teardown_pod_resources(containerd, pod_name)
+    }
+
+    /// Release a pod's node resources without touching the supervision
+    /// table — the shared teardown under both an orderly [`remove_pod`]
+    /// and a fault-forced restart (which must keep the entry to retry).
+    ///
+    /// [`remove_pod`]: Kubelet::remove_pod
+    fn teardown_pod_resources(
+        &mut self,
+        containerd: &mut Containerd,
+        pod_name: &str,
+    ) -> KernelResult<()> {
         let mut first_err: Option<KernelError> = None;
         if let Some(pid) = self.infra_procs.remove(pod_name) {
             // The infra process may already be dead (OOM-killed): reap
@@ -241,5 +507,15 @@ mod tests {
     fn node_config_defaults_and_extension() {
         assert_eq!(NodeConfig::default().max_pods, 110);
         assert_eq!(NodeConfig::paper_extension().max_pods, 500);
+        assert_eq!(NodeConfig::paper_extension().eviction_threshold, 100 << 20);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_capped_at_five_minutes() {
+        let secs: Vec<u64> =
+            (0..8).map(|n| Kubelet::backoff_delay(n).as_nanos() / 1_000_000_000).collect();
+        assert_eq!(secs, vec![10, 20, 40, 80, 160, 300, 300, 300]);
+        // Huge attempt counts saturate rather than overflow the shift.
+        assert_eq!(Kubelet::backoff_delay(u32::MAX), Duration::from_secs(300));
     }
 }

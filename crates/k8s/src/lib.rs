@@ -18,6 +18,6 @@ pub mod kubelet;
 pub mod metrics;
 
 pub use api::{Deployment, PodPhase, PodRecord, PodSpec};
-pub use cluster::{Cluster, ClusterStats};
-pub use kubelet::{Kubelet, NodeConfig, POD_INFRA_BYTES};
+pub use cluster::{Cluster, ClusterStats, DeployOpts};
+pub use kubelet::{Kubelet, NodeConfig, PodEntry, ReconcileReport, RestartPolicy, POD_INFRA_BYTES};
 pub use metrics::{average_working_set, scrape, working_set_stddev, PodMetrics};

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::cgroup::CgroupId;
+use crate::faults::FaultSite;
 use crate::mem::MappingId;
 use crate::proc::Pid;
 use crate::vfs::FileId;
@@ -32,6 +33,10 @@ pub enum KernelError {
     CgroupBusy(CgroupId),
     /// Touch/advise beyond the end of a mapping.
     MappingOverflow { mapping: MappingId, len: u64, offset: u64 },
+    /// A scheduled fault from the installed [`crate::FaultPlan`] fired at
+    /// this site. Transient by construction: retrying the operation draws a
+    /// fresh decision from the plan.
+    FaultInjected(FaultSite),
 }
 
 /// Convenience alias used throughout the kernel.
@@ -58,6 +63,9 @@ impl fmt::Display for KernelError {
             KernelError::CgroupBusy(c) => write!(f, "cgroup busy: {c:?}"),
             KernelError::MappingOverflow { mapping, len, offset } => {
                 write!(f, "access at {offset} beyond mapping {mapping:?} of length {len}")
+            }
+            KernelError::FaultInjected(site) => {
+                write!(f, "injected fault at {}", site.label())
             }
         }
     }

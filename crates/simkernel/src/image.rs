@@ -148,6 +148,15 @@ impl<'k> ProcessImage<'k> {
         self
     }
 
+    /// The private anonymous bytes this image will commit, page-rounded the
+    /// way each individual touch will round them.
+    fn anon_footprint(text: &Option<TextSpec>, heaps: &[HeapSpec]) -> u64 {
+        let page = |b: u64| crate::mem::round_up_pages(b, crate::kernel::PAGE_SIZE);
+        let private_text =
+            text.as_ref().filter(|t| !t.shared).map(|t| page(t.resident)).unwrap_or(0);
+        heaps.iter().map(|h| page(h.resident)).sum::<u64>() + private_text
+    }
+
     /// Spawn (if needed) and charge the image. On any failure the spawned
     /// process is exited and reaped before the error is returned — a
     /// half-built image never leaks.
@@ -155,6 +164,14 @@ impl<'k> ProcessImage<'k> {
         let ProcessImage { kernel, target, text, heaps } = self;
         let mut guard = match target {
             Target::Spawn { name, cgroup } => {
+                // memory.max admission: check the image's anonymous
+                // footprint against the cgroup hierarchy *before* spawning
+                // or charging anything. An image that cannot fit is refused
+                // outright — no spawn, no partial charges, no OOM kill.
+                let anon = Self::anon_footprint(&text, &heaps);
+                if anon > 0 {
+                    kernel.cgroup_check_charge(cgroup, anon)?;
+                }
                 let pid = kernel.spawn(&name, cgroup)?;
                 ProcGuard { kernel, pid, owned: true, cold_read: None }
             }
@@ -259,7 +276,14 @@ fn reap_quietly(kernel: &Kernel, pid: Pid, code: i32) -> KernelResult<()> {
 /// Charge `bytes` of fully-touched private anonymous memory to `pid`.
 pub fn charge_anon(kernel: &Kernel, pid: Pid, bytes: u64, label: &str) -> KernelResult<()> {
     let m = kernel.mmap_labeled(pid, bytes, MapKind::AnonPrivate, label)?;
-    kernel.touch(pid, m, bytes)
+    if let Err(e) = kernel.touch(pid, m, bytes) {
+        // A transient failure (injected fault) leaves the process alive with
+        // an empty reservation; drop it so a retry does not accumulate
+        // mappings. Best-effort: the process may be dead (OOM-killed).
+        let _ = kernel.munmap(pid, m);
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Map `file` shared into `pid`, touching `resident` of `map_len` bytes.
@@ -275,7 +299,10 @@ pub fn map_shared(
 ) -> KernelResult<Option<u64>> {
     let cold = kernel.file_cached(file)? < resident;
     let m = kernel.mmap_labeled(pid, map_len, MapKind::FileShared(file), label)?;
-    kernel.touch(pid, m, resident)?;
+    if let Err(e) = kernel.touch(pid, m, resident) {
+        let _ = kernel.munmap(pid, m);
+        return Err(e);
+    }
     Ok(if cold { Some(resident) } else { None })
 }
 
@@ -291,8 +318,10 @@ pub fn map_cow(
 ) -> KernelResult<Option<u64>> {
     let cold = kernel.file_cached(file)? < bytes;
     let m = kernel.mmap_labeled(pid, bytes, MapKind::FileCow(file), label)?;
-    kernel.touch(pid, m, bytes)?;
-    kernel.cow_write(pid, m, bytes)?;
+    if let Err(e) = kernel.touch(pid, m, bytes).and_then(|()| kernel.cow_write(pid, m, bytes)) {
+        let _ = kernel.munmap(pid, m);
+        return Err(e);
+    }
     Ok(if cold { Some(bytes) } else { None })
 }
 
@@ -363,6 +392,51 @@ mod tests {
         let err = ProcessImage::spawn(&kernel, "oomer", cg).heap(4 << 20, "big").build();
         assert!(err.is_err(), "touch over the limit must fail");
         assert_eq!(kernel.live_procs(), procs, "OOM-killed spawn still reaped");
+    }
+
+    #[test]
+    fn spawn_admission_checks_memory_max_before_charging() {
+        let kernel = boot();
+        let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, "tiny").unwrap();
+        kernel.cgroup_set_limit(cg, Some(256 << 10)).unwrap();
+        let err = ProcessImage::spawn(&kernel, "too-big", cg).heap(4 << 20, "big").build();
+        assert!(matches!(err, Err(crate::KernelError::OutOfMemory { .. })));
+        // Refused at admission: nothing was spawned or charged and no OOM
+        // event was recorded — the limit gated the charge up front.
+        assert_eq!(kernel.cgroup_oom_events(cg).unwrap(), 0);
+        assert_eq!(kernel.cgroup_stat(cg).unwrap().anon_bytes, 0);
+        // A fitting image in the same cgroup still builds.
+        let g = ProcessImage::spawn(&kernel, "fits", cg).heap(64 << 10, "small").build().unwrap();
+        g.exit(0).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_surface_through_build_without_leaks() {
+        use crate::{FaultPlan, FaultSite, KernelError};
+        for site in [FaultSite::Spawn, FaultSite::ColdRead, FaultSite::MmapCharge] {
+            let kernel = boot();
+            kernel.ensure_file("/bin/f", FileContent::Synthetic(1 << 20)).unwrap();
+            let procs = kernel.live_procs();
+            let used = kernel.free().used;
+            kernel.set_fault_plan(FaultPlan::new(5).fail_call(site, 0));
+            let err = ProcessImage::spawn(&kernel, "f", Kernel::ROOT_CGROUP)
+                .text("/bin/f", 1 << 20, 512 << 10, "f")
+                .heap(256 << 10, "h")
+                .build();
+            assert!(
+                matches!(err, Err(KernelError::FaultInjected(s)) if s == site),
+                "{site:?} must surface"
+            );
+            assert_eq!(kernel.live_procs(), procs, "{site:?}: no leaked process");
+            assert_eq!(kernel.free().used, used, "{site:?}: no leaked charges");
+            // Transient: an identical retry succeeds.
+            let g = ProcessImage::spawn(&kernel, "f", Kernel::ROOT_CGROUP)
+                .text("/bin/f", 1 << 20, 512 << 10, "f")
+                .heap(256 << 10, "h")
+                .build()
+                .unwrap();
+            g.exit(0).unwrap();
+        }
     }
 
     #[test]

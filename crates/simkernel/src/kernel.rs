@@ -13,6 +13,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use crate::cgroup::{CgroupId, CgroupTree, ChargeKind, MemStat};
 use crate::error::{KernelError, KernelResult};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::mem::{round_up_pages, MapKind, Mapping, MappingId};
 use crate::proc::{NamespaceKind, Pid, ProcState, Process};
 use crate::time::{Duration, SimTime};
@@ -87,6 +88,9 @@ struct KernelState {
     total_anon: u64,
     /// Machine-wide kernel-overhead bytes.
     total_kernel: u64,
+    /// Installed fault schedule. The default (zero) plan is inert: it never
+    /// draws from its RNG and never alters an operation.
+    faults: FaultPlan,
 }
 
 /// Handle to the simulated kernel. Clone freely.
@@ -118,6 +122,7 @@ impl Kernel {
             next_pid: 1,
             total_anon: 0,
             total_kernel: cfg.boot_used_bytes,
+            faults: FaultPlan::none(),
             cfg,
         };
         Kernel { state: Arc::new(Mutex::new(state)) }
@@ -130,6 +135,33 @@ impl Kernel {
 
     pub fn ram_bytes(&self) -> u64 {
         self.st().cfg.ram_bytes
+    }
+
+    // --------------------------------------------------------------- faults
+
+    /// Install a fault schedule. Replaces any existing plan, counters
+    /// included. Installing [`FaultPlan::none`] (or an unconfigured
+    /// `FaultPlan::new(seed)`) is observationally identical to never
+    /// installing a plan at all.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.st().faults = plan;
+    }
+
+    /// Snapshot of the installed plan, with its call/injection counters.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.st().faults.clone()
+    }
+
+    /// Consult the installed plan at an upper-layer choke point (the kernel
+    /// consults its own sites internally). Returns
+    /// [`KernelError::FaultInjected`] when the plan schedules a failure.
+    pub fn inject_fault(&self, site: FaultSite) -> KernelResult<()> {
+        self.st().inject(site)
+    }
+
+    /// Faults injected so far at `site`.
+    pub fn faults_injected(&self, site: FaultSite) -> u64 {
+        self.st().faults.injected(site)
     }
 
     // ---------------------------------------------------------------- clock
@@ -204,6 +236,20 @@ impl Kernel {
         self.st().cgroups.oom_events(cg).ok_or(KernelError::NoSuchCgroup(cg))
     }
 
+    /// Would charging `bytes` to `cg` breach `memory.max` anywhere up the
+    /// hierarchy? Admission control: checks without charging, killing, or
+    /// recording an OOM event (`ProcessImage` uses this before building).
+    pub fn cgroup_check_charge(&self, cg: CgroupId, bytes: u64) -> KernelResult<()> {
+        let st = self.st();
+        if !st.cgroups.exists(cg) {
+            return Err(KernelError::NoSuchCgroup(cg));
+        }
+        if let Some((offender, limit)) = st.cgroups.check_limit(cg, bytes) {
+            return Err(KernelError::OutOfMemory { cgroup: offender, requested: bytes, limit });
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------ processes
 
     /// Spawn a process into `cgroup`.
@@ -227,6 +273,7 @@ impl Kernel {
                 return Err(KernelError::NoSuchProcess(p));
             }
         }
+        st.inject(FaultSite::Spawn)?;
         let pid = Pid(st.next_pid);
         st.next_pid += 1;
         let base = st.cfg.proc_kernel_base;
@@ -530,6 +577,46 @@ impl KernelState {
         }
     }
 
+    /// Consult the fault plan at `site`. Injected faults are transient: the
+    /// operation fails with [`KernelError::FaultInjected`] but no process is
+    /// killed and no state is altered, so a retry can succeed.
+    fn inject(&mut self, site: FaultSite) -> KernelResult<()> {
+        if self.faults.should_fail(site) {
+            Err(KernelError::FaultInjected(site))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Is `cg` inside the subtree rooted at `root` (inclusive)?
+    fn cgroup_in_subtree(&self, mut cg: CgroupId, root: CgroupId) -> bool {
+        loop {
+            if cg == root {
+                return true;
+            }
+            match self.cgroups.parent(cg) {
+                Some(p) => cg = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// OOM victim selection, Linux-style: the largest-anon live process in
+    /// the offending cgroup's subtree (ties broken toward the lowest pid).
+    fn oom_victim(&self, offender: CgroupId) -> Option<Pid> {
+        let mut best: Option<(u64, Pid)> = None;
+        for p in self.procs.values().filter(|p| p.is_alive()) {
+            if !self.cgroup_in_subtree(p.cgroup, offender) {
+                continue;
+            }
+            let score = p.anon_bytes();
+            if best.map(|(b, _)| score > b).unwrap_or(true) {
+                best = Some((score, p.pid));
+            }
+        }
+        best.map(|(_, pid)| pid)
+    }
+
     /// Charge kernel bytes with physical-pressure handling. Kernel memory
     /// counts toward `memory.max`, as in cgroup v2.
     fn charge_kernel(&mut self, cg: CgroupId, bytes: u64) -> KernelResult<()> {
@@ -590,6 +677,8 @@ impl KernelState {
         if cached >= target {
             return Ok(0);
         }
+        // A cold read is about to hit the (simulated) disk — fault site.
+        self.inject(FaultSite::ColdRead)?;
         // ensure_physical may evict page cache — including THIS file if it
         // is unmapped — so the resident snapshot must be re-read until it is
         // stable, or the charge delta would be computed against stale state
@@ -642,15 +731,29 @@ impl KernelState {
                     return Ok(());
                 }
                 let delta = target - committed_anon;
-                if let Some((victim_cg, limit)) = self.cgroups.check_limit(cg, delta) {
-                    self.cgroups.record_oom(victim_cg);
-                    self.teardown(pid)?;
-                    self.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
-                    return Err(KernelError::OutOfMemory {
-                        cgroup: victim_cg,
-                        requested: delta,
-                        limit,
-                    });
+                self.inject(FaultSite::MmapCharge)?;
+                // OOM enforcement: while the charge would breach memory.max,
+                // kill the largest-anon process in the offending cgroup's
+                // subtree. Killing another process frees its pages, so the
+                // faulting process retries and may survive; if the faulter
+                // itself is the victim (or nothing is left to kill), the
+                // charge fails. Each round kills one live process, so the
+                // loop terminates.
+                while let Some((offender, limit)) = self.cgroups.check_limit(cg, delta) {
+                    self.cgroups.record_oom(offender);
+                    let victim = self.oom_victim(offender);
+                    let oom =
+                        KernelError::OutOfMemory { cgroup: offender, requested: delta, limit };
+                    match victim {
+                        Some(v) => {
+                            self.teardown(v)?;
+                            self.procs.get_mut(&v).expect("torn down").state = ProcState::OomKilled;
+                            if v == pid {
+                                return Err(oom);
+                            }
+                        }
+                        None => return Err(oom),
+                    }
                 }
                 self.ensure_physical(delta)?;
                 self.cgroups.charge(cg, ChargeKind::Anon, delta);
@@ -879,6 +982,124 @@ mod tests {
         assert_eq!(k.proc_state(pid).unwrap(), ProcState::OomKilled);
         assert_eq!(k.cgroup_oom_events(cg).unwrap(), 1);
         // Charges rolled back.
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
+    }
+
+    #[test]
+    fn hierarchical_oom_kills_largest_anon_victim() {
+        let k = kernel();
+        let parent = k.cgroup_create(Kernel::ROOT_CGROUP, "pods").unwrap();
+        k.cgroup_set_limit(parent, Some(10 << 20)).unwrap();
+        let cg_small = k.cgroup_create(parent, "small").unwrap();
+        let cg_big = k.cgroup_create(parent, "big").unwrap();
+        let small = k.spawn("small", cg_small).unwrap();
+        let big = k.spawn("big", cg_big).unwrap();
+        let mb = k.mmap(big, 8 << 20, MapKind::AnonPrivate).unwrap();
+        k.touch(big, mb, 8 << 20).unwrap();
+        let ms = k.mmap(small, 4 << 20, MapKind::AnonPrivate).unwrap();
+        // Charging 4 MiB breaches the PARENT limit (8 + 4 > 10). The victim
+        // is the largest-anon process in the offending subtree — the sibling
+        // `big`, not the faulting `small` — and once its pages are reaped
+        // the faulting charge retries and succeeds.
+        k.touch(small, ms, 4 << 20).unwrap();
+        assert_eq!(k.proc_state(big).unwrap(), ProcState::OomKilled);
+        assert_eq!(k.proc_state(small).unwrap(), ProcState::Running);
+        assert_eq!(k.proc_rss(small).unwrap(), 4 << 20);
+        assert!(k.cgroup_oom_events(parent).unwrap() >= 1, "event lands on the offender");
+        assert_eq!(k.cgroup_oom_events(cg_small).unwrap(), 0);
+        assert_eq!(k.cgroup_stat(cg_big).unwrap().anon_bytes, 0, "victim pages reaped");
+    }
+
+    #[test]
+    fn oom_gives_up_when_killing_cannot_help() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        k.cgroup_set_limit(cg, Some(1 << 20)).unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m = k.mmap(pid, 8 << 20, MapKind::AnonPrivate).unwrap();
+        // The faulter is the only (and largest) candidate: it is killed and
+        // the charge fails — the pre-existing single-process semantics.
+        let err = k.touch(pid, m, 4 << 20).unwrap_err();
+        assert!(matches!(err, KernelError::OutOfMemory { .. }));
+        assert_eq!(k.proc_state(pid).unwrap(), ProcState::OomKilled);
+    }
+
+    #[test]
+    fn injected_spawn_fault_is_transient() {
+        let k = kernel();
+        k.set_fault_plan(crate::FaultPlan::new(1).fail_call(crate::FaultSite::Spawn, 0));
+        let procs_before = k.live_procs();
+        let used_before = k.free().used;
+        let err = k.spawn("p", Kernel::ROOT_CGROUP).unwrap_err();
+        assert!(matches!(err, KernelError::FaultInjected(crate::FaultSite::Spawn)));
+        assert_eq!(k.live_procs(), procs_before, "nothing spawned");
+        assert_eq!(k.free().used, used_before, "nothing charged");
+        // The fault is transient: the retry succeeds.
+        let pid = k.spawn("p", Kernel::ROOT_CGROUP).unwrap();
+        assert!(matches!(k.proc_state(pid), Ok(ProcState::Running)));
+        assert_eq!(k.faults_injected(crate::FaultSite::Spawn), 1);
+    }
+
+    #[test]
+    fn injected_charge_fault_does_not_kill() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        let pid = k.spawn("p", cg).unwrap();
+        let m = k.mmap(pid, 1 << 20, MapKind::AnonPrivate).unwrap();
+        k.set_fault_plan(crate::FaultPlan::new(2).fail_call(crate::FaultSite::MmapCharge, 0));
+        let err = k.touch(pid, m, 1 << 20).unwrap_err();
+        assert!(matches!(err, KernelError::FaultInjected(_)));
+        // Unlike OOM, an injected fault leaves the process alive and the
+        // cgroup uncharged; retrying the same touch succeeds.
+        assert_eq!(k.proc_state(pid).unwrap(), ProcState::Running);
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
+        k.touch(pid, m, 1 << 20).unwrap();
+        assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn injected_cold_read_fault_spares_the_cache_state() {
+        let k = kernel();
+        let pid = k.spawn("p", Kernel::ROOT_CGROUP).unwrap();
+        let f = k.create_file("/f", FileContent::Synthetic(256 << 10)).unwrap();
+        k.set_fault_plan(crate::FaultPlan::new(3).fail_call(crate::FaultSite::ColdRead, 0));
+        let err = k.read_file(pid, f).unwrap_err();
+        assert!(matches!(err, KernelError::FaultInjected(crate::FaultSite::ColdRead)));
+        assert_eq!(k.proc_state(pid).unwrap(), ProcState::Running, "reader survives");
+        assert_eq!(k.file_cached(f).unwrap(), 0);
+        // Retry succeeds and caches the file; warm reads never hit the site.
+        k.read_file(pid, f).unwrap();
+        assert_eq!(k.file_cached(f).unwrap(), 256 << 10);
+        k.read_file(pid, f).unwrap();
+        assert_eq!(k.fault_plan().calls(crate::FaultSite::ColdRead), 2, "warm read skips site");
+    }
+
+    #[test]
+    fn zero_fault_plan_is_inert() {
+        let with_plan = kernel();
+        with_plan.set_fault_plan(crate::FaultPlan::new(12345)); // seeded but zero-rate
+        let without = kernel();
+        for k in [&with_plan, &without] {
+            let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+            let pid = k.spawn("p", cg).unwrap();
+            let m = k.mmap(pid, 1 << 20, MapKind::AnonPrivate).unwrap();
+            k.touch(pid, m, 1 << 20).unwrap();
+        }
+        assert_eq!(with_plan.free(), without.free());
+        assert_eq!(with_plan.ps(), without.ps());
+        assert_eq!(with_plan.fault_plan().total_injected(), 0);
+    }
+
+    #[test]
+    fn cgroup_check_charge_is_side_effect_free() {
+        let k = kernel();
+        let cg = k.cgroup_create(Kernel::ROOT_CGROUP, "c").unwrap();
+        k.cgroup_set_limit(cg, Some(1 << 20)).unwrap();
+        k.cgroup_check_charge(cg, 512 << 10).unwrap();
+        let err = k.cgroup_check_charge(cg, 2 << 20).unwrap_err();
+        assert!(matches!(err, KernelError::OutOfMemory { .. }));
+        // No event recorded, nothing charged.
+        assert_eq!(k.cgroup_oom_events(cg).unwrap(), 0);
         assert_eq!(k.cgroup_stat(cg).unwrap().anon_bytes, 0);
     }
 

@@ -42,6 +42,7 @@
 pub mod cgroup;
 pub mod des;
 pub mod error;
+pub mod faults;
 pub mod image;
 pub mod kernel;
 pub mod lifecycle;
@@ -56,6 +57,7 @@ pub mod vfs;
 pub use cgroup::{CgroupId, MemStat};
 pub use des::{LockId, Sim, SimOutcome, Step, TaskId, TaskSpec};
 pub use error::{KernelError, KernelResult};
+pub use faults::{FaultPlan, FaultSite};
 pub use image::{ProcGuard, ProcessImage};
 pub use kernel::{FreeReport, Kernel, KernelConfig, PAGE_SIZE};
 pub use lifecycle::{Lifecycle, LifecycleState};

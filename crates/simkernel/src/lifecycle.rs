@@ -10,52 +10,71 @@
 //!
 //! ```text
 //!            ┌──────────┐
-//!            │ Created  │──────────────┐
-//!            └────┬─────┘              │   (failed before first
-//!                 │ start              │    instruction, or killed)
-//!            ┌────▼─────┐              │
-//!            │ Running  │──────────────┤
-//!            └──────────┘   kill/exit  │
-//!                                 ┌────▼─────┐
-//!                                 │ Stopped  │
-//!                                 └────┬─────┘
-//!                                      │ delete
-//!                                 ┌────▼─────┐
+//!            │ Created  │──────────────┬──────────────┐
+//!            └────┬─────┘              │              │ setup error
+//!                 │ start              │              │
+//!            ┌────▼─────┐             │         ┌────▼─────┐
+//!            │ Running  │──────────────┤ crash ──▶│  Failed  │
+//!            └────┬─────┘   kill/exit  │          └────┬─────┘
+//!                 │ memory.max breach  │               │
+//!            ┌────▼──────┐       ┌────▼─────┐         │
+//!            │ OomKilled │       │ Stopped  │         │
+//!            └────┬──────┘       └────┬─────┘         │
+//!                 │ delete            │ delete        │ delete
+//!                 └──────────────▶┌───▼──────┐◀───────┘
 //!                                 │ Deleted  │   (terminal)
 //!                                 └──────────┘
 //! ```
 //!
-//! Every legal transition strictly advances the state's rank, so no sequence
-//! of legal operations can revisit an earlier state — the invariant the
-//! property test in this module checks with random operation sequences.
+//! `Stopped` is the orderly exit, `Failed` is an error exit (setup failure
+//! or crash), `OomKilled` is the kernel enforcing `memory.max`. All three
+//! are "down" states that only `delete` can leave. Every legal transition
+//! strictly advances the state's rank, so no sequence of legal operations
+//! can revisit an earlier state — the invariant the property test in this
+//! module checks with random operation sequences.
 
 use crate::error::{KernelError, KernelResult};
 
-/// The four OCI lifecycle states. `Deleted` is terminal.
+/// The OCI lifecycle states plus the two fault exits. `Deleted` is terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LifecycleState {
     Created,
     Running,
     Stopped,
+    /// Error exit: setup failure before the first instruction, or a crash
+    /// while running. Only `delete` leaves this state.
+    Failed,
+    /// The kernel killed the container enforcing `memory.max`. Only
+    /// `delete` leaves this state.
+    OomKilled,
     Deleted,
 }
 
 impl LifecycleState {
-    pub const ALL: [LifecycleState; 4] = [
+    pub const ALL: [LifecycleState; 6] = [
         LifecycleState::Created,
         LifecycleState::Running,
         LifecycleState::Stopped,
+        LifecycleState::Failed,
+        LifecycleState::OomKilled,
         LifecycleState::Deleted,
     ];
 
     /// Rank in lifecycle order; legal transitions strictly increase it.
+    /// The three "down" states share a rank — there is no legal edge among
+    /// them, so strictness holds.
     pub fn rank(self) -> u8 {
         match self {
             LifecycleState::Created => 0,
             LifecycleState::Running => 1,
-            LifecycleState::Stopped => 2,
+            LifecycleState::Stopped | LifecycleState::Failed | LifecycleState::OomKilled => 2,
             LifecycleState::Deleted => 3,
         }
+    }
+
+    /// A state the container cannot leave except via `delete`.
+    pub fn is_down(self) -> bool {
+        matches!(self, LifecycleState::Stopped | LifecycleState::Failed | LifecycleState::OomKilled)
     }
 }
 
@@ -64,7 +83,15 @@ pub const fn legal(from: LifecycleState, to: LifecycleState) -> bool {
     use LifecycleState::*;
     matches!(
         (from, to),
-        (Created, Running) | (Created, Stopped) | (Running, Stopped) | (Stopped, Deleted)
+        (Created, Running)
+            | (Created, Stopped)
+            | (Created, Failed)
+            | (Running, Stopped)
+            | (Running, Failed)
+            | (Running, OomKilled)
+            | (Stopped, Deleted)
+            | (Failed, Deleted)
+            | (OomKilled, Deleted)
     )
 }
 
@@ -111,23 +138,41 @@ impl Lifecycle {
 
     /// Idempotent stop for teardown paths: advances `Created`/`Running` to
     /// `Stopped` and reports whether the caller must actually kill the
-    /// process. Already-`Stopped`/`Deleted` containers need no work.
+    /// process. Containers that are already down (`Stopped`, `Failed`,
+    /// `OomKilled`) or `Deleted` need no work.
     pub fn stop(&mut self) -> bool {
         match self.state {
             LifecycleState::Created | LifecycleState::Running => {
                 self.state = LifecycleState::Stopped;
                 true
             }
-            LifecycleState::Stopped | LifecycleState::Deleted => false,
+            LifecycleState::Stopped
+            | LifecycleState::Failed
+            | LifecycleState::OomKilled
+            | LifecycleState::Deleted => false,
         }
     }
 
-    /// Idempotent delete: advances `Stopped` to `Deleted` and reports whether
-    /// resources still need releasing. A second delete is a no-op; deleting a
-    /// container that was never stopped is rejected.
+    /// Record a fault exit: `Created`/`Running` containers move to `Failed`
+    /// (or `OomKilled` when `oom` is set); already-down containers keep
+    /// their state. Reports whether the caller must reap the process.
+    pub fn fail(&mut self, oom: bool) -> bool {
+        match self.state {
+            LifecycleState::Created | LifecycleState::Running => {
+                self.state = if oom { LifecycleState::OomKilled } else { LifecycleState::Failed };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Idempotent delete: advances any down state (`Stopped`, `Failed`,
+    /// `OomKilled`) to `Deleted` and reports whether resources still need
+    /// releasing. A second delete is a no-op; deleting a container that is
+    /// still up is rejected.
     pub fn delete(&mut self, what: &str) -> KernelResult<bool> {
         match self.state {
-            LifecycleState::Stopped => {
+            s if s.is_down() => {
                 self.state = LifecycleState::Deleted;
                 Ok(true)
             }
@@ -203,6 +248,44 @@ mod tests {
     }
 
     #[test]
+    fn failed_and_oom_killed_are_down_but_deletable() {
+        // Setup failure before start.
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Failed, "c").unwrap();
+        assert!(!lc.stop(), "a failed container needs no kill");
+        assert!(lc.delete("c").unwrap(), "but its resources still release");
+        assert_eq!(lc, LifecycleState::Deleted);
+
+        // OOM kill while running.
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        lc.transition(LifecycleState::OomKilled, "c").unwrap();
+        assert!(!lc.stop());
+        assert!(lc.delete("c").unwrap());
+
+        // OomKilled is only reachable from Running (the kernel kills a
+        // process that is charging memory); Failed is also legal from
+        // Created (setup error).
+        assert!(!legal(LifecycleState::Created, LifecycleState::OomKilled));
+        assert!(!legal(LifecycleState::Stopped, LifecycleState::Failed));
+        assert!(!legal(LifecycleState::Failed, LifecycleState::Running), "no restart in place");
+    }
+
+    #[test]
+    fn fail_helper_routes_to_the_right_down_state() {
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        assert!(lc.fail(true), "first fault exits the process");
+        assert_eq!(lc, LifecycleState::OomKilled);
+        assert!(!lc.fail(false), "already down: keep the original cause");
+        assert_eq!(lc, LifecycleState::OomKilled);
+
+        let mut lc = Lifecycle::new();
+        assert!(lc.fail(false));
+        assert_eq!(lc, LifecycleState::Failed);
+    }
+
+    #[test]
     fn prop_random_op_sequences_never_reach_an_illegal_state() {
         // Drive the machine with random operations (strict transitions to
         // arbitrary targets plus the idempotent teardown helpers) and check
@@ -211,12 +294,13 @@ mod tests {
         prop::check("lifecycle_legality", 400, |g| {
             let mut lc = Lifecycle::new();
             let mut prev = lc.state();
+            let n = LifecycleState::ALL.len() as u64;
             let ops = 1 + (g.next_u64() % 24) as usize;
             for _ in 0..ops {
                 let before = lc.state();
-                match g.next_u64() % 6 {
+                match g.next_u64() % 7 {
                     0..=3 => {
-                        let target = LifecycleState::ALL[(g.next_u64() % 4) as usize];
+                        let target = LifecycleState::ALL[(g.next_u64() % n) as usize];
                         let res = lc.transition(target, "prop");
                         assert_eq!(res.is_ok(), legal(before, target), "{before:?}->{target:?}");
                         if res.is_err() {
@@ -227,6 +311,22 @@ mod tests {
                         let acted = lc.stop();
                         assert_eq!(lc.state() != before, acted);
                         assert!(lc.state() != LifecycleState::Created);
+                        if acted {
+                            assert_eq!(lc.state(), LifecycleState::Stopped);
+                        }
+                    }
+                    5 => {
+                        let oom = g.next_bool();
+                        let acted = lc.fail(oom);
+                        assert_eq!(lc.state() != before, acted);
+                        if acted {
+                            let want = if oom {
+                                LifecycleState::OomKilled
+                            } else {
+                                LifecycleState::Failed
+                            };
+                            assert_eq!(lc.state(), want);
+                        }
                     }
                     _ => {
                         if let Ok(acted) = lc.delete("prop") {
@@ -234,6 +334,7 @@ mod tests {
                             assert_eq!(lc.state(), LifecycleState::Deleted);
                         } else {
                             assert_eq!(lc.state(), before);
+                            assert!(!before.is_down(), "delete from a down state cannot fail");
                         }
                     }
                 }

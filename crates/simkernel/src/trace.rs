@@ -43,10 +43,32 @@ pub enum Phase {
     Exec,
     /// Container/pod teardown.
     Teardown,
+    /// Teardown forced by a fault (OOM kill, eviction, failed sync
+    /// rollback) rather than an orderly remove — kept distinct so recovery
+    /// work never blends into the startup-phase breakdown.
+    TeardownAfterFault,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
+        Phase::ApiDispatch,
+        Phase::Sandbox,
+        Phase::Cni,
+        Phase::Volumes,
+        Phase::RuntimeOp,
+        Phase::EngineInit,
+        Phase::ModuleLoad,
+        Phase::Compile,
+        Phase::Instantiate,
+        Phase::Exec,
+        Phase::Teardown,
+        Phase::TeardownAfterFault,
+    ];
+
+    /// The phases a fault-free pod startup can produce — the column set of
+    /// the fig8 per-phase report, frozen so the figure stays byte-identical
+    /// as fault-only phases are appended to [`Phase::ALL`].
+    pub const STARTUP: [Phase; 11] = [
         Phase::ApiDispatch,
         Phase::Sandbox,
         Phase::Cni,
@@ -74,6 +96,7 @@ impl Phase {
             Phase::Instantiate => "instantiate",
             Phase::Exec => "exec",
             Phase::Teardown => "teardown",
+            Phase::TeardownAfterFault => "teardown-after-fault",
         }
     }
 
@@ -91,6 +114,7 @@ impl Phase {
             Phase::Instantiate => 8,
             Phase::Exec => 9,
             Phase::Teardown => 10,
+            Phase::TeardownAfterFault => 11,
         }
     }
 }
@@ -226,5 +250,13 @@ mod tests {
             assert!(seen.insert(p.label()), "duplicate label {}", p.label());
             assert_eq!(Phase::ALL[p.index()], p);
         }
+    }
+
+    #[test]
+    fn startup_is_a_prefix_of_all() {
+        // fig8 indexes phase_busy() with STARTUP phases; that only stays
+        // valid while STARTUP is an exact prefix of ALL.
+        assert_eq!(&Phase::ALL[..Phase::STARTUP.len()], &Phase::STARTUP[..]);
+        assert!(!Phase::STARTUP.contains(&Phase::TeardownAfterFault));
     }
 }

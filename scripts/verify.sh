@@ -32,7 +32,31 @@ if [ "$violations" -ne 0 ]; then
   exit 1
 fi
 
+echo "== lint: fault-returning simkernel APIs must propagate errors =="
+# Any simkernel call that can return KernelError::FaultInjected must be
+# propagated (`?`) or matched in non-test code, never unwrap()/expect()ed:
+# a seeded fault plan would otherwise panic the stack instead of reaching
+# the kubelet's recovery path. Same tests-at-end/comment exemptions as
+# above.
+fault_apis='\.(build|touch|read_file|charge_anon|map_shared|map_cow|charge_heap)\([^)]*\)[[:space:]]*\.(unwrap|expect)\('
+violations=0
+for f in $(grep -rlE "$fault_apis" crates/*/src --include='*.rs' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nE "$fault_apis" | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: unwrap()/expect() on a fault-returning simkernel API; propagate the error so fault plans stay recoverable" >&2
+  exit 1
+fi
+
 echo "== smoke: examples/quickstart =="
 cargo run --release --offline --example quickstart >/dev/null
+
+echo "== smoke: chaos sweep (--smoke plan) =="
+cargo run --release --offline -p harness --bin chaos -- --smoke >/dev/null
 
 echo "verify: OK"

@@ -1,0 +1,184 @@
+//! Fault-injection integration tests: the full stack under the chaos
+//! harness's recovery contract.
+//!
+//! The hard invariant tested first: a *zero-fault* plan must leave every
+//! observable of a deployment — memory observers, startup makespan,
+//! per-pod traces and stdout — byte-identical to a cluster that never had
+//! a plan armed at all. Everything the fault model adds must be pay-as-
+//! you-go.
+
+use memwasm::harness::chaos::{check_outcome, run_config, ChaosPlan};
+use memwasm::harness::{new_cluster, warmup, Config, Workload};
+use memwasm::k8s_sim::{Cluster, DeployOpts, PodPhase, RestartPolicy};
+use memwasm::simkernel::{Duration, FaultPlan, FaultSite, MapKind};
+
+fn wamr_cluster(w: &Workload) -> Cluster {
+    let mut cluster = new_cluster(&[Config::WamrCrun], w).unwrap();
+    warmup(&mut cluster, Config::WamrCrun).unwrap();
+    cluster
+}
+
+#[test]
+fn zero_fault_plan_is_byte_identical_to_no_plan() {
+    let w = Workload::light();
+    let deploy = |armed: bool| {
+        let mut cluster = wamr_cluster(&w);
+        if armed {
+            // A seeded plan with every rate at zero: armed but inert.
+            cluster.kernel.set_fault_plan(FaultPlan::new(0xDEAD_BEEF));
+        }
+        let d = cluster
+            .deploy("svc", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 3)
+            .unwrap();
+        let metrics = cluster.average_working_set(&d).unwrap();
+        let startup = cluster.measure_startup(&[&d]).total();
+        let free = cluster.free();
+        let pods: Vec<_> =
+            d.pods.iter().map(|p| (p.trace.clone(), p.stdout.clone(), p.phase)).collect();
+        (metrics, startup, free.used, free.used_with_cache(), pods)
+    };
+    assert_eq!(deploy(false), deploy(true));
+}
+
+#[test]
+fn injected_sync_fault_becomes_crashloop_then_recovers() {
+    let w = Workload::light();
+    let mut cluster = wamr_cluster(&w);
+    // Exactly one fault: the next spawn (the pod's shim) fails.
+    cluster.kernel.set_fault_plan(FaultPlan::new(3).fail_call(FaultSite::Spawn, 0));
+    cluster
+        .deploy_with(
+            "svc",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+        )
+        .unwrap();
+    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::CrashLoopBackOff);
+    assert_eq!(entry.failures, 1);
+    assert_eq!(cluster.stats().crash_loop, 1);
+
+    // The backoff schedule: due 10s after the failure, not before.
+    cluster.kernel.advance(Duration::from_secs(5));
+    assert!(cluster.reconcile().quiet(), "restart must wait out the backoff");
+    cluster.kernel.advance(Duration::from_secs(5));
+    let report = cluster.reconcile();
+    assert_eq!(report.restarted, vec!["svc-0".to_string()]);
+
+    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::Running);
+    assert_eq!((entry.restarts, entry.failures), (1, 0));
+    assert_eq!(entry.stdout, b"microservice ready\n");
+    assert_eq!(cluster.stats().running, 1);
+    cluster.teardown_managed().unwrap();
+}
+
+#[test]
+fn engine_instantiate_fault_recovers_on_the_runwasi_path() {
+    let w = Workload::light();
+    let mut cluster = new_cluster(&[Config::ShimWasmtime], &w).unwrap();
+    warmup(&mut cluster, Config::ShimWasmtime).unwrap();
+    cluster.kernel.set_fault_plan(FaultPlan::new(9).fail_call(FaultSite::EngineInstantiate, 0));
+    cluster
+        .deploy_with(
+            "svc",
+            Config::ShimWasmtime.image_ref(),
+            Config::ShimWasmtime.class_name(),
+            1,
+            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+        )
+        .unwrap();
+    assert_eq!(cluster.kubelet.managed_pod("svc-0").unwrap().phase, PodPhase::CrashLoopBackOff);
+    assert_eq!(cluster.kernel.faults_injected(FaultSite::EngineInstantiate), 1);
+    cluster.kernel.advance(Duration::from_secs(10));
+    let report = cluster.reconcile();
+    assert_eq!(report.restarted.len(), 1);
+    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::Running);
+    assert_eq!(entry.stdout, b"microservice ready\n");
+    cluster.teardown_managed().unwrap();
+}
+
+#[test]
+fn oom_killed_pod_is_detected_and_restarted() {
+    let w = Workload::light();
+    let mut cluster = wamr_cluster(&w);
+    cluster
+        .deploy_with(
+            "svc",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+        )
+        .unwrap();
+    let kernel = cluster.kernel.clone();
+    let pod_cgroup = cluster.containerd.sandbox("svc-0").unwrap().pod_cgroup;
+
+    // Clamp the pod just above its current usage, then have a memory hog
+    // in the pod blow through it: the kernel must OOM-kill the pod's
+    // largest consumer (the container workload), not the hog.
+    let ws = kernel.cgroup_working_set(pod_cgroup).unwrap();
+    kernel.cgroup_set_limit(pod_cgroup, Some(ws + (1 << 20))).unwrap();
+    let hog = kernel.spawn("hog", pod_cgroup).unwrap();
+    let map = kernel.mmap(hog, 4 << 20, MapKind::AnonPrivate).unwrap();
+    kernel.touch(hog, map, 4 << 20).unwrap();
+    assert!(kernel.cgroup_oom_events(pod_cgroup).unwrap() >= 1);
+    assert!(cluster.containerd.pod_oom_killed("svc-0"), "a pod process was OOM-killed");
+    // The hog is ours, not the pod's: clean it up before recovery runs,
+    // and lift the limit so the restart can fit.
+    kernel.exit(hog, 0).unwrap();
+    kernel.reap(hog).unwrap();
+
+    let report = cluster.reconcile();
+    assert_eq!(report.oom_killed, vec!["svc-0".to_string()]);
+    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::OomKilled);
+    assert_eq!(cluster.stats().oom_killed, 1);
+
+    cluster.kernel.advance(Duration::from_secs(10));
+    let report = cluster.reconcile();
+    assert_eq!(report.restarted, vec!["svc-0".to_string()]);
+    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::Running);
+    assert_eq!(entry.restarts, 1);
+    cluster.teardown_managed().unwrap();
+    assert_eq!(cluster.stats().pods_managed, 0);
+}
+
+#[test]
+fn remove_pod_is_idempotent_on_a_crashlooping_pod() {
+    let w = Workload::light();
+    let mut cluster = wamr_cluster(&w);
+    cluster.kernel.set_fault_plan(FaultPlan::new(11).fail_call(FaultSite::Spawn, 0));
+    cluster
+        .deploy_with(
+            "svc",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+        )
+        .unwrap();
+    assert_eq!(cluster.stats().crash_loop, 1);
+    // Deleting a pod that failed mid-sync (nothing materialized) succeeds,
+    // and deleting it again is a no-op.
+    cluster.kubelet.remove_pod(&mut cluster.containerd, "svc-0").unwrap();
+    cluster.kubelet.remove_pod(&mut cluster.containerd, "svc-0").unwrap();
+    assert!(cluster.kubelet.managed_pod("svc-0").is_none());
+    assert_eq!(cluster.stats().crash_loop, 0);
+}
+
+#[test]
+fn seeded_chaos_converges_and_leaks_nothing() {
+    // The full recovery contract, end to end, on the paper's contribution
+    // config: aggressive seeded faults, reconcile to steady state, then a
+    // fault-free teardown back to baseline.
+    let w = Workload::light();
+    let plan = ChaosPlan::smoke(0x5EED);
+    let outcome = run_config(Config::WamrCrun, &w, &plan).unwrap();
+    assert!(outcome.injected > 0);
+    check_outcome(&outcome, &plan).unwrap();
+}
