@@ -20,9 +20,10 @@ use engines::{execute_wasm_opts, Embedding, EngineKind, ExecOptions};
 use oci_spec_lite::{Bundle, Image, ImageStore, RuntimeSpec};
 use simkernel::image::charge_anon;
 use simkernel::{
-    lifecycle, CgroupId, Duration, Kernel, KernelError, KernelResult, Lifecycle, LockId, Phase,
-    Pid, ProcessImage, Step, StepTrace,
+    lifecycle, CgroupId, Duration, FaultSite, Kernel, KernelError, KernelResult, Lifecycle, LockId,
+    Phase, Pid, ProcessImage, Step, StepTrace,
 };
+use wasm_core::EpochClock;
 
 use crate::shim::{install_shims, runwasi_shim, spawn_shim, Shim, SHIM_RUNC_V2};
 
@@ -54,6 +55,14 @@ pub struct CriContainer {
     /// machine `LowLevelRuntime` containers use.
     pub state: Lifecycle,
     pub stdout: Vec<u8>,
+    /// The workload overstayed its watchdog epoch budget during start: the
+    /// container is up but wedged (never reached ready). Liveness probes
+    /// report it unhealthy.
+    pub wedged: bool,
+    /// Watchdog clock retained from the engine run (present when the
+    /// container started with an epoch budget). [`Containerd::interrupt_pod`]
+    /// bumps it so the guest observes the kill at its next epoch safepoint.
+    epoch_clock: Option<EpochClock>,
     /// Present for OCI-class containers (init process of the container).
     oci: Option<Container>,
     bundle: Bundle,
@@ -286,6 +295,23 @@ impl Containerd {
         memory_limit: Option<u64>,
         trace: &mut StepTrace,
     ) -> KernelResult<()> {
+        self.create_container_with(pod_id, container_id, image_ref, memory_limit, &[], trace)
+    }
+
+    /// [`Containerd::create_container`] with extra OCI annotations merged
+    /// into the container spec (after the image's own) — the kubelet uses
+    /// this to arm the guest watchdog
+    /// ([`oci_spec_lite::WATCHDOG_BUDGET_ANNOTATION`]) from a pod's
+    /// liveness-probe window.
+    pub fn create_container_with(
+        &mut self,
+        pod_id: &str,
+        container_id: &str,
+        image_ref: &str,
+        memory_limit: Option<u64>,
+        annotations: &[(String, String)],
+        trace: &mut StepTrace,
+    ) -> KernelResult<()> {
         let image = self.images.get(image_ref)?.clone();
         self.grow_daemon(DAEMON_GROWTH_PER_CONTAINER)?;
         let sandbox = self
@@ -303,6 +329,9 @@ impl Containerd {
         spec.linux.memory.limit = memory_limit;
         spec.linux.cgroups_path = format!("/kubepods/{pod_id}/{container_id}");
         for (k, v) in &image.config.annotations {
+            spec.annotations.insert(k.clone(), v.clone());
+        }
+        for (k, v) in annotations {
             spec.annotations.insert(k.clone(), v.clone());
         }
         let bundle = Bundle::create(&self.kernel, container_id, &image, &spec)?;
@@ -339,6 +368,8 @@ impl Containerd {
                 image: image_ref.to_string(),
                 state: Lifecycle::new(),
                 stdout: Vec::new(),
+                wedged: false,
+                epoch_clock: None,
                 oci,
                 bundle,
                 spec,
@@ -378,6 +409,8 @@ impl Containerd {
                 runtime.start(&ctx, oci, &container.bundle)?;
                 trace.extend_entries(&oci.trace.entries()[before..]);
                 container.stdout = oci.stdout.clone();
+                container.wedged = oci.wedged;
+                container.epoch_clock = oci.epoch_clock.clone();
             }
             RuntimeClass::Runwasi { engine, fuel } => {
                 // The shim executes the module in-process.
@@ -390,10 +423,16 @@ impl Containerd {
                     module,
                     &wasi,
                     *fuel,
-                    ExecOptions { embedding: Embedding::Crate, ..Default::default() },
+                    ExecOptions {
+                        embedding: Embedding::Crate,
+                        epoch_budget: container.spec.watchdog_budget_ns().map(Duration::from_nanos),
+                        ..Default::default()
+                    },
                 )?;
                 trace.append(&mut run.trace);
                 container.stdout = run.stdout;
+                container.wedged = run.interrupted;
+                container.epoch_clock = run.epoch_clock;
             }
         }
         container.state.transition(ContainerState::Running, container_id)?;
@@ -440,6 +479,106 @@ impl Containerd {
             None => Ok(()),
             Some(e) => Err(e),
         }
+    }
+
+    /// A kubelet health-probe RPC against the pod's containers. Returns
+    /// `Ok(true)` when every container is Running and responsive: a wedged
+    /// container (watchdog-interrupted guest), a missing sandbox, or an
+    /// OOM-killed backing process all probe unhealthy. [`FaultSite::Probe`]
+    /// models a transient probe-RPC failure against a healthy pod — the
+    /// probe reports failure without the pod being wrong, which is why
+    /// probes carry a `failureThreshold` instead of acting on one miss.
+    pub fn probe(&self, pod_id: &str, trace: &mut StepTrace) -> KernelResult<bool> {
+        trace.push(Phase::RuntimeOp, Step::Io(Duration::from_micros(250)));
+        match self.kernel.inject_fault(FaultSite::Probe) {
+            Ok(()) => {}
+            Err(KernelError::FaultInjected(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        }
+        let Some(s) = self.sandboxes.get(pod_id) else {
+            return Ok(false);
+        };
+        if self.pod_oom_killed(pod_id) {
+            return Ok(false);
+        }
+        Ok(s.containers.values().all(|c| c.state.is(ContainerState::Running) && !c.wedged))
+    }
+
+    /// True when any container in the pod wedged on its watchdog budget and
+    /// is still up (Running or riding out a termination grace period).
+    pub fn pod_wedged(&self, pod_id: &str) -> bool {
+        self.sandboxes.get(pod_id).map_or(false, |s| {
+            s.containers.values().any(|c| {
+                c.wedged
+                    && matches!(
+                        c.state.state(),
+                        ContainerState::Running | ContainerState::Terminating
+                    )
+            })
+        })
+    }
+
+    /// Deliver SIGTERM to a pod's containers: each Running container moves
+    /// to [`ContainerState::Terminating`]. Returns `true` when any of them
+    /// is wedged — a wedged guest cannot honor SIGTERM, so the kubelet must
+    /// ride out the grace period and escalate to [`Containerd::interrupt_pod`].
+    /// Clean containers terminate promptly: the subsequent
+    /// [`Containerd::remove_pod_sandbox`] stops them with no clock advance.
+    pub fn begin_pod_termination(
+        &mut self,
+        pod_id: &str,
+        trace: &mut StepTrace,
+    ) -> KernelResult<bool> {
+        let Some(sandbox) = self.sandboxes.get_mut(pod_id) else {
+            return Ok(false);
+        };
+        let mut wedged = false;
+        for c in sandbox.containers.values_mut() {
+            if c.state.begin_termination() {
+                // SIGTERM delivery + signal-handler dispatch in the guest.
+                trace.push(Phase::Terminating, Step::Cpu(Duration::from_micros(150)));
+            }
+            if let Some(oci) = c.oci.as_mut() {
+                oci.state.begin_termination();
+            }
+            wedged |= c.wedged && c.state.is(ContainerState::Terminating);
+        }
+        Ok(wedged)
+    }
+
+    /// SIGKILL a pod's containers: bump each guest's watchdog epoch clock
+    /// (the stop lands at its next epoch safepoint), mark the containers
+    /// Failed, and kill their init processes. This is the only hard-kill
+    /// path — the kubelet reaches it from a failed liveness probe or from
+    /// termination-grace-period expiry, tagging the work with the phase the
+    /// escalation belongs to.
+    pub fn interrupt_pod(
+        &mut self,
+        pod_id: &str,
+        phase: Phase,
+        trace: &mut StepTrace,
+    ) -> KernelResult<()> {
+        let Some(sandbox) = self.sandboxes.get_mut(pod_id) else {
+            return Ok(());
+        };
+        for c in sandbox.containers.values_mut() {
+            if let Some(clock) = &c.epoch_clock {
+                clock.interrupt();
+            }
+            if let Some(oci) = c.oci.as_mut() {
+                if matches!(self.kernel.proc_state(oci.pid), Ok(simkernel::ProcState::Running)) {
+                    self.kernel.exit(oci.pid, 137)?;
+                }
+                if self.kernel.proc_state(oci.pid).is_ok() {
+                    self.kernel.reap(oci.pid)?;
+                }
+                oci.state.fail(false);
+            }
+            c.state.fail(false);
+            c.wedged = false;
+            trace.push(phase, Step::Cpu(Duration::from_micros(200)));
+        }
+        Ok(())
     }
 
     /// True when any process backing this sandbox has been OOM-killed by

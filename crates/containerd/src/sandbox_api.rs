@@ -267,7 +267,16 @@ fn instance_only(
 
     let stdout = stdout.borrow().clone();
     let stderr = stderr.borrow().clone();
-    Ok(engines::EngineRun { trace, stdout, stderr, exit_code, stats, cache_hit: true })
+    Ok(engines::EngineRun {
+        trace,
+        stdout,
+        stderr,
+        exit_code,
+        stats,
+        cache_hit: true,
+        interrupted: false,
+        epoch_clock: None,
+    })
 }
 
 #[cfg(test)]

@@ -99,9 +99,16 @@ impl ContainerHandler for WamrHandler {
                 share_lib: self.config.dynamic_lib_loading,
                 share_module: self.config.share_modules,
                 embedding: engines::Embedding::CApi,
+                epoch_budget: spec.watchdog_budget_ns().map(simkernel::Duration::from_nanos),
             },
         )?;
-        Ok(HandlerOutcome { trace: run.trace, stdout: run.stdout, exit_code: run.exit_code })
+        Ok(HandlerOutcome {
+            trace: run.trace,
+            stdout: run.stdout,
+            exit_code: run.exit_code,
+            interrupted: run.interrupted,
+            epoch_clock: run.epoch_clock,
+        })
     }
 }
 

@@ -11,7 +11,9 @@ use bytelite::Bytes;
 use simkernel::image::{charge_anon, map_cow, map_shared, ProcessImage};
 use simkernel::{Duration, FileId, Kernel, KernelResult, Phase, Pid, Step, StepTrace};
 use wasi_sys::WasiCtx;
-use wasm_core::{ArtifactCache, ExecStats, Instance, InstanceConfig, Trap};
+use wasm_core::{
+    ArtifactCache, EpochClock, EpochConfig, ExecStats, Instance, InstanceConfig, Trap,
+};
 
 use crate::profile::{EngineKind, EngineProfile};
 
@@ -19,6 +21,9 @@ use crate::profile::{EngineKind, EngineProfile};
 const LINK_NS_PER_KIB: u64 = 12;
 /// Relocation cost per KiB when loading compiled code from cache.
 const RELOC_NS_PER_KIB: u64 = 60;
+/// Instructions retired per epoch tick — the granularity at which the
+/// engine's (simulated) epoch-ticker thread checks the watchdog deadline.
+pub const EPOCH_TICK_INSTRS: u64 = 10_000;
 
 /// WASI configuration extracted from the OCI spec (paper §III-C item 2).
 #[derive(Debug, Clone, Default)]
@@ -54,11 +59,22 @@ pub struct ExecOptions {
     pub share_module: bool,
     /// Embedding flavor (baseline/per-instance footprint selection).
     pub embedding: Embedding,
+    /// Optional epoch-watchdog budget: the guest-time allowance before the
+    /// engine interrupts the run. The budget is converted to epoch ticks
+    /// through the profile's execution-time model, so interruption is
+    /// deterministic in retired instructions. `None` (the default) runs
+    /// without a watchdog — the figure paths are byte-identical.
+    pub epoch_budget: Option<Duration>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { share_lib: true, share_module: true, embedding: Embedding::CApi }
+        ExecOptions {
+            share_lib: true,
+            share_module: true,
+            embedding: Embedding::CApi,
+            epoch_budget: None,
+        }
     }
 }
 
@@ -78,6 +94,14 @@ pub struct EngineRun {
     pub stats: ExecStats,
     /// Whether Wasmtime's code cache was hit for this module.
     pub cache_hit: bool,
+    /// The guest overstayed its epoch budget and was interrupted: the
+    /// container is up (its memory stays charged, the process keeps
+    /// running) but wedged — it never reached its ready state. Health
+    /// probes are how the layers above discover this.
+    pub interrupted: bool,
+    /// Watchdog handle when an epoch budget was configured: `interrupt()`
+    /// models the engine stopping the guest at its next epoch check.
+    pub epoch_clock: Option<EpochClock>,
 }
 
 /// Install the four engine shared libraries (and the Wasmtime cache
@@ -215,17 +239,39 @@ pub fn execute_wasm_opts(
     // exhaustion, linker race) surfaces here, before any instance state is
     // built, so a retry of the whole pipeline can succeed.
     kernel.inject_fault(simkernel::FaultSite::EngineInstantiate)?;
-    let config = InstanceConfig { tier: profile.tier, fuel: Some(fuel), ..Default::default() };
+    // Epoch watchdog: convert the time budget to deadline ticks through the
+    // same execution-time model the Exec step below charges with, so the
+    // trap point is a pure function of the profile and the budget.
+    let epoch = opts.epoch_budget.map(|budget| {
+        let instrs = budget.as_nanos() / profile.exec_ns_per_instr.max(1);
+        EpochConfig {
+            clock: EpochClock::new(),
+            deadline: (instrs / EPOCH_TICK_INSTRS).max(1),
+            tick_instrs: EPOCH_TICK_INSTRS,
+        }
+    });
+    let config =
+        InstanceConfig { tier: profile.tier, fuel: Some(fuel), epoch, max_call_depth: 1024 };
     // The cache validated the module on insertion; skip re-validating per
     // container.
     let mut inst = Instance::instantiate_prevalidated(module, ctx.into_imports(), config)
         .map_err(|e| simkernel::KernelError::InvalidState(format!("instantiate: {e}")))?;
+    let epoch_clock = inst.epoch_clock();
     trace.push(Phase::Instantiate, Step::Cpu(profile.instantiate));
 
     // --- run _start -------------------------------------------------------
+    // An epoch interruption is NOT an error: the guest is wedged, not gone.
+    // Its pages stay charged and the container stays up, exactly like a
+    // real hung process — detection is the health probes' job. Fuel
+    // exhaustion stays a hard error (the figure paths' backstop).
+    let mut interrupted = false;
     let exit_code = match inst.run_start() {
         Ok(()) => 0,
         Err(Trap::Exit(code)) => code,
+        Err(Trap::Interrupted) => {
+            interrupted = true;
+            0
+        }
         Err(t) => return Err(simkernel::KernelError::InvalidState(format!("guest trapped: {t}"))),
     };
     let stats = inst.stats();
@@ -300,7 +346,7 @@ pub fn execute_wasm_opts(
 
     let stdout = stdout.borrow().clone();
     let stderr = stderr.borrow().clone();
-    Ok(EngineRun { trace, stdout, stderr, exit_code, stats, cache_hit })
+    Ok(EngineRun { trace, stdout, stderr, exit_code, stats, cache_hit, interrupted, epoch_clock })
 }
 
 #[cfg(test)]
@@ -502,6 +548,92 @@ mod tests {
         assert!(interp_stats.side_table_bytes > 0 && aot_stats.side_table_bytes == 0);
         // Same logical work either way.
         assert_eq!(aot_stats.host_calls, interp_stats.host_calls);
+    }
+
+    /// A guest that prints its ready line and then spins forever — the
+    /// hung-microservice shape the watchdog exists for.
+    fn hung_service_bytes() -> Vec<u8> {
+        let mut b = ModuleBuilder::new();
+        let fd_write = b.import_func(
+            "wasi_snapshot_preview1",
+            "fd_write",
+            FuncType::new(vec![ValType::I32; 4], vec![ValType::I32]),
+        );
+        let mem = b.memory(1, Some(4));
+        b.export_memory("memory", mem);
+        b.data(0, &b"hung\n"[..]);
+        b.data(16, &[0u8, 0, 0, 0, 5, 0, 0, 0][..]);
+        let start = b.func(FuncType::new(vec![], vec![]), |f| {
+            f.i32_const(1).i32_const(16).i32_const(1).i32_const(24).call(fd_write).drop_();
+            f.loop_(wasm_core::types::BlockType::Empty, |f| {
+                f.br(0);
+            });
+        });
+        b.export_func("_start", start);
+        b.build_bytes()
+    }
+
+    #[test]
+    fn epoch_budget_interrupts_a_hung_guest_without_leaking() {
+        let kernel = Kernel::boot(KernelConfig::default());
+        install_engines(&kernel).unwrap();
+        let module = kernel
+            .create_file(
+                "/images/hung/app.wasm",
+                simkernel::vfs::FileContent::Bytes(Bytes::from(hung_service_bytes())),
+            )
+            .unwrap();
+        let run_once = |name: &str| {
+            let cg = kernel.cgroup_create(Kernel::ROOT_CGROUP, name).unwrap();
+            let pid = kernel.spawn(name, cg).unwrap();
+            let run = execute_wasm_opts(
+                &kernel,
+                pid,
+                EngineKind::Wamr.profile(),
+                module,
+                &WasiSpec::default(),
+                u64::MAX,
+                ExecOptions {
+                    epoch_budget: Some(Duration::from_millis(500)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            (cg, pid, run)
+        };
+        let (cg, pid, run) = run_once("h1");
+        assert!(run.interrupted, "the spin must hit the epoch deadline");
+        assert_eq!(run.exit_code, 0, "a wedged guest has not exited");
+        assert_eq!(run.stdout, b"hung\n", "output before the hang is kept");
+        assert!(run.epoch_clock.is_some(), "watchdog handle retained");
+        // The wedged container still owns its memory.
+        assert!(kernel.cgroup_stat(cg).unwrap().anon_bytes > 0);
+
+        // Killing the wedged process releases everything it charged
+        // (ProcGuard semantics — no simulated-page leak from the trap
+        // unwinding mid-loop). Page-cache fills (lib, module) remain, so
+        // snapshot after the cold run and require the warm run to return
+        // the kernel to exactly that state.
+        kernel.exit(pid, 137).unwrap();
+        kernel.reap(pid).unwrap();
+        kernel.cgroup_remove(cg).unwrap();
+        let snapshot = kernel.free().used_with_cache();
+
+        // Determinism: a second identical run traps at the same point.
+        let (cg2, pid2, run2) = run_once("h2");
+        assert_eq!(run.stats.instrs_retired, run2.stats.instrs_retired);
+        kernel.exit(pid2, 137).unwrap();
+        kernel.reap(pid2).unwrap();
+        kernel.cgroup_remove(cg2).unwrap();
+        assert_eq!(kernel.free().used_with_cache(), snapshot, "warm wedged run leaked");
+    }
+
+    #[test]
+    fn no_epoch_budget_means_no_watchdog() {
+        let (kernel, module) = setup();
+        let (_, run) = run_one(&kernel, module, EngineKind::Wamr, "plain");
+        assert!(!run.interrupted);
+        assert!(run.epoch_clock.is_none());
     }
 
     #[test]

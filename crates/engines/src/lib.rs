@@ -29,5 +29,6 @@ pub mod profile;
 
 pub use exec::{
     execute_wasm, execute_wasm_opts, install_engines, Embedding, EngineRun, ExecOptions, WasiSpec,
+    EPOCH_TICK_INSTRS,
 };
 pub use profile::{EngineKind, EngineProfile};

@@ -5,10 +5,13 @@
 //! Deploys pods under kubelet supervision with every fault site armed,
 //! drives the reconcile loop until each node settles, and fails (exit 1)
 //! if any configuration does not converge or leaks past its baseline.
-//! `--smoke` runs the light CI plan `scripts/verify.sh` uses.
+//! The sweep includes the hung-guest watchdog scenario (liveness probes
+//! detect a wedged guest, the epoch clock interrupts it, CrashLoopBackOff
+//! restarts it). `--smoke` runs the light CI plan `scripts/verify.sh` uses.
 
-use harness::chaos::{check_outcome, sweep, ChaosPlan};
+use harness::chaos::{check_hung_outcome, check_outcome, sweep, ChaosPlan};
 use harness::Workload;
+use simkernel::FaultSite;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,26 +32,43 @@ fn main() {
         )
     };
 
-    let (table, outcomes) = sweep(&workload, &plan).expect("chaos sweep");
+    let (table, outcome) = sweep(&workload, &plan).expect("chaos sweep");
     println!("{}", table.render());
     if let Ok(path) = table.save_csv("chaos") {
         println!("CSV written to {}", path.display());
     }
 
     let mut violations = 0;
-    for o in &outcomes {
+    for o in &outcome.faults {
         if let Err(msg) = check_outcome(o, &plan) {
             eprintln!("FAIL: {msg}");
             violations += 1;
         }
     }
+    for o in &outcome.hung {
+        if let Err(msg) = check_hung_outcome(o, &plan) {
+            eprintln!("FAIL: hung-guest {msg}");
+            violations += 1;
+        }
+    }
     if violations > 0 {
-        eprintln!("{violations} configuration(s) violated the recovery contract");
+        eprintln!("{violations} scenario(s) violated the recovery contract");
         std::process::exit(1);
     }
+
+    // Per-site injection totals across every run of the sweep (the probe
+    // site only draws in scenarios that deploy probed pods).
+    let all: Vec<_> = outcome.faults.iter().chain(outcome.hung.iter().map(|h| &h.chaos)).collect();
+    let per_site: Vec<String> = FaultSite::ALL
+        .iter()
+        .map(|&s| format!("{}={}", s.label(), all.iter().map(|o| o.injected_at(s)).sum::<u64>()))
+        .collect();
     println!(
-        "all {} configurations converged; {} faults injected in total",
-        outcomes.len(),
-        outcomes.iter().map(|o| o.injected).sum::<u64>()
+        "all {} scenarios converged; faults injected per site: {}",
+        all.len(),
+        per_site.join(" ")
     );
+    let wedged: usize = outcome.hung.iter().map(|h| h.wedged).sum();
+    let kills: u64 = outcome.hung.iter().map(|h| h.probe_kills).sum();
+    println!("hung-guest: {wedged} wedged pods, {kills} liveness kills, all recovered");
 }

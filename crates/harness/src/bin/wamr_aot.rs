@@ -54,7 +54,13 @@ impl ContainerHandler for WamrAotHandler {
             &wasi,
             engines::profile::DEFAULT_STARTUP_FUEL,
         )?;
-        Ok(HandlerOutcome { trace: run.trace, stdout: run.stdout, exit_code: run.exit_code })
+        Ok(HandlerOutcome {
+            trace: run.trace,
+            stdout: run.stdout,
+            exit_code: run.exit_code,
+            interrupted: run.interrupted,
+            epoch_clock: run.epoch_clock,
+        })
     }
 }
 

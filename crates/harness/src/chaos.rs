@@ -8,8 +8,17 @@
 //! finite, retries eventually stop being sabotaged and convergence is
 //! guaranteed — the sweep asserts it, plus leak-to-baseline after
 //! teardown, for all seven Wasm configurations.
+//!
+//! The sweep also carries a **hung-guest** scenario ([`run_hung_guest`]):
+//! a service that busy-waits on the WASI clock past a readiness threshold,
+//! so every pod started before that instant wedges on its watchdog epoch
+//! budget. The recovery contract there is the watchdog pipeline end to
+//! end: liveness probes detect the wedge, the kubelet interrupts the guest
+//! through the epoch clock, CrashLoopBackOff restarts it after the backoff
+//! (by which point the simulated clock has passed the threshold), and the
+//! node converges with every pod Running *and* ready.
 
-use k8s_sim::{DeployOpts, PodPhase, RestartPolicy};
+use k8s_sim::{DeployOpts, PodPhase, ProbeSpec, RestartPolicy};
 use simkernel::{Duration, FaultPlan, FaultSite, KernelResult};
 
 use crate::config::{Config, Workload};
@@ -27,6 +36,31 @@ pub const WASM_CONFIGS: [Config; 7] = [
     Config::ShimWasmer,
     Config::ShimWasmEdge,
 ];
+
+/// Configurations the hung-guest scenario runs against. The contribution
+/// config exercises the OCI handler watchdog path; its 370 ns/instr
+/// interpreter profile also keeps the epoch deadline (budget ÷ cost) small
+/// enough that the wedged spin stays cheap to simulate.
+pub const HUNG_CONFIGS: [Config; 1] = [Config::WamrCrun];
+
+/// Image reference of the hung-guest service.
+pub const HUNG_IMAGE_REF: &str = "registry.local/hung-service:v1";
+
+/// How far past deploy time the hung guest's ready threshold sits. Must
+/// exceed the watchdog budget (so first starts wedge rather than ready)
+/// and stay under the first CrashLoopBackOff delay (so restarts succeed).
+pub const HUNG_READY_AFTER: Duration = Duration::from_secs(5);
+
+/// Liveness probe for the hung-guest scenario: 2 s period × 2 failures
+/// derives a 4 s watchdog epoch budget for the guest.
+pub fn hung_liveness_probe() -> ProbeSpec {
+    ProbeSpec { period: Duration::from_secs(2), failure_threshold: 2, ..ProbeSpec::default() }
+}
+
+/// Readiness probe for the hung-guest scenario.
+pub fn hung_readiness_probe() -> ProbeSpec {
+    ProbeSpec { period: Duration::from_secs(1), ..ProbeSpec::default() }
+}
 
 /// Parameters of one chaos run.
 #[derive(Debug, Clone, Copy)]
@@ -56,8 +90,8 @@ impl ChaosPlan {
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosOutcome {
     pub config: Config,
-    /// Faults actually injected (all sites).
-    pub injected: u64,
+    /// Faults actually injected, per site, indexed like [`FaultSite::ALL`].
+    pub injected: [u64; FaultSite::ALL.len()],
     /// Successful restarts summed over pods.
     pub restarts: u64,
     /// Final phase counts.
@@ -75,6 +109,35 @@ pub struct ChaosOutcome {
     pub leaked_procs: i64,
 }
 
+impl ChaosOutcome {
+    /// Faults injected across every site.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Faults injected at one site.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        let i = FaultSite::ALL.iter().position(|&s| s == site).expect("site in ALL");
+        self.injected[i]
+    }
+}
+
+/// Outcome of one configuration's hung-guest run: the fault-recovery
+/// accounting of [`ChaosOutcome`] plus the watchdog-specific counters the
+/// recovery contract is stated in.
+#[derive(Debug, Clone, Copy)]
+pub struct HungGuestOutcome {
+    /// Convergence/leak accounting shared with the fault sweep.
+    pub chaos: ChaosOutcome,
+    /// Pods whose first start wedged on the watchdog epoch budget.
+    pub wedged: usize,
+    /// Liveness-threshold kills performed by the kubelet (epoch interrupt
+    /// → teardown → CrashLoopBackOff).
+    pub probe_kills: u64,
+    /// Pods both Running and ready (readiness probe passing) at the end.
+    pub ready: usize,
+}
+
 /// Arm every fault site of a fresh plan at the same rate and budget.
 fn armed_plan(seed: u64, rate_ppm: u32, limit: u64) -> FaultPlan {
     let mut plan = FaultPlan::new(seed);
@@ -82,6 +145,11 @@ fn armed_plan(seed: u64, rate_ppm: u32, limit: u64) -> FaultPlan {
         plan = plan.with_rate(site, rate_ppm).with_limit(site, limit);
     }
     plan
+}
+
+/// Per-site injection counts as an array indexed like [`FaultSite::ALL`].
+fn injected_by_site(kernel: &simkernel::Kernel) -> [u64; FaultSite::ALL.len()] {
+    FaultSite::ALL.map(|s| kernel.faults_injected(s))
 }
 
 /// Run one configuration through deploy-under-faults → reconcile-to-steady
@@ -105,7 +173,7 @@ pub fn run_config(
         config.image_ref(),
         config.class_name(),
         plan.pods,
-        DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+        DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
     )?;
 
     let mut rounds = 0;
@@ -120,7 +188,7 @@ pub fn run_config(
     }
     let converged = cluster.kubelet.settled();
 
-    let injected = FaultSite::ALL.iter().map(|&s| cluster.kernel.faults_injected(s)).sum();
+    let injected = injected_by_site(&cluster.kernel);
     let restarts = cluster.kubelet.managed().map(|e| e.restarts as u64).sum();
     let mut running = 0;
     let mut evicted = 0;
@@ -154,39 +222,160 @@ pub fn run_config(
     })
 }
 
-/// Sweep every Wasm configuration under the plan and assemble the report
-/// table (one row per configuration).
-pub fn sweep(workload: &Workload, plan: &ChaosPlan) -> KernelResult<(Table, Vec<ChaosOutcome>)> {
+/// Run one configuration through the hung-guest watchdog scenario.
+///
+/// The guest busy-waits on the WASI clock until `HUNG_READY_AFTER` past
+/// deploy time; because the DES clock is frozen while a guest executes,
+/// every pod of the initial deployment wedges deterministically on its
+/// watchdog epoch budget, and restarts dispatched after the
+/// CrashLoopBackOff delay find the threshold already behind them and come
+/// up ready. Only [`FaultSite::Probe`] is armed — flaky probe RPCs on top
+/// of genuinely wedged guests — so the detect → interrupt → restart →
+/// converge contract must hold through spurious probe verdicts too.
+pub fn run_hung_guest(
+    config: Config,
+    workload: &Workload,
+    plan: &ChaosPlan,
+) -> KernelResult<HungGuestOutcome> {
+    let mut cluster = new_cluster(&[config], workload)?;
+    warmup(&mut cluster, config)?;
+    let procs_before = cluster.kernel.live_procs();
+    let used_before = cluster.free().used;
+
+    let ready_after = cluster.kernel.now() + HUNG_READY_AFTER;
+    cluster.pull_image(workloads::hung_service_image(HUNG_IMAGE_REF, ready_after.as_nanos()))?;
+
+    let seed = plan.seed ^ (config as u64 + 1).wrapping_mul(0xA11C_E55E_D5EE_D001);
+    cluster.kernel.set_fault_plan(
+        FaultPlan::new(seed)
+            .with_rate(FaultSite::Probe, plan.rate_ppm)
+            .with_limit(FaultSite::Probe, plan.limit_per_site),
+    );
+
+    cluster.deploy_with(
+        "hung",
+        HUNG_IMAGE_REF,
+        config.class_name(),
+        plan.pods,
+        DeployOpts {
+            restart: RestartPolicy::Always,
+            liveness_probe: Some(hung_liveness_probe()),
+            readiness_probe: Some(hung_readiness_probe()),
+            termination_grace: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    )?;
+    let wedged =
+        (0..plan.pods).filter(|i| cluster.containerd.pod_wedged(&format!("hung-{i}"))).count();
+
+    let mut probe_kills = 0u64;
+    let mut rounds = 0;
+    while !cluster.kubelet.settled() && rounds < plan.max_rounds {
+        let now = cluster.kernel.now();
+        match cluster.kubelet.next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
+            _ => cluster.kernel.advance(Duration::from_secs(1)),
+        }
+        let report = cluster.reconcile();
+        probe_kills += report.probe_killed.len() as u64;
+        rounds += 1;
+    }
+    let converged = cluster.kubelet.settled();
+
+    let injected = injected_by_site(&cluster.kernel);
+    let restarts = cluster.kubelet.managed().map(|e| e.restarts as u64).sum();
+    let mut running = 0;
+    let mut ready = 0;
+    let mut evicted = 0;
+    let mut failed = 0;
+    for e in cluster.kubelet.managed() {
+        match e.phase {
+            PodPhase::Running => {
+                running += 1;
+                if e.ready {
+                    ready += 1;
+                }
+            }
+            PodPhase::Evicted => evicted += 1,
+            PodPhase::Failed => failed += 1,
+            _ => {}
+        }
+    }
+
+    cluster.kernel.set_fault_plan(FaultPlan::none());
+    cluster.teardown_managed()?;
+    let leaked_bytes = cluster.free().used.saturating_sub(used_before);
+    let leaked_procs = cluster.kernel.live_procs() as i64 - procs_before as i64;
+
+    Ok(HungGuestOutcome {
+        chaos: ChaosOutcome {
+            config,
+            injected,
+            restarts,
+            running,
+            evicted,
+            failed,
+            rounds,
+            converged,
+            leaked_bytes,
+            leaked_procs,
+        },
+        wedged,
+        probe_kills,
+        ready,
+    })
+}
+
+/// Everything one sweep produced: the fault runs and the hung-guest runs.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    pub faults: Vec<ChaosOutcome>,
+    pub hung: Vec<HungGuestOutcome>,
+}
+
+/// Sweep every Wasm configuration under the plan — the all-sites fault run
+/// per configuration plus the hung-guest watchdog scenario — and assemble
+/// the report table (one row per run, per-site injection columns).
+pub fn sweep(workload: &Workload, plan: &ChaosPlan) -> KernelResult<(Table, SweepOutcome)> {
+    let mut columns: Vec<String> = FaultSite::ALL.iter().map(|s| s.label().to_string()).collect();
+    columns.extend(
+        ["restarts", "running", "evicted", "failed", "rounds", "leaked KiB"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
     let mut table = Table::new(
         format!(
             "Chaos sweep: {} pods/config, {} ppm fault rate, budget {}/site, seed {:#x}",
             plan.pods, plan.rate_ppm, plan.limit_per_site, plan.seed
         ),
-        ["injected", "restarts", "running", "evicted", "failed", "rounds", "leaked KiB"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        columns,
         "count",
     );
-    let mut outcomes = Vec::new();
+    let row_values = |o: &ChaosOutcome| {
+        let mut v: Vec<f64> = o.injected.iter().map(|&n| n as f64).collect();
+        v.extend([
+            o.restarts as f64,
+            o.running as f64,
+            o.evicted as f64,
+            o.failed as f64,
+            o.rounds as f64,
+            (o.leaked_bytes >> 10) as f64,
+        ]);
+        v
+    };
+    let mut faults = Vec::new();
     for config in WASM_CONFIGS {
         let o = run_config(config, workload, plan)?;
-        table.row(
-            config.label(),
-            vec![
-                o.injected as f64,
-                o.restarts as f64,
-                o.running as f64,
-                o.evicted as f64,
-                o.failed as f64,
-                o.rounds as f64,
-                (o.leaked_bytes >> 10) as f64,
-            ],
-            config.is_ours(),
-        );
-        outcomes.push(o);
+        table.row(config.label(), row_values(&o), config.is_ours());
+        faults.push(o);
     }
-    Ok((table, outcomes))
+    let mut hung = Vec::new();
+    for config in HUNG_CONFIGS {
+        let o = run_hung_guest(config, workload, plan)?;
+        table.row(&format!("hung-guest: {}", config.label()), row_values(&o.chaos), false);
+        hung.push(o);
+    }
+    Ok((table, SweepOutcome { faults, hung }))
 }
 
 /// Check an outcome against the recovery contract: convergence, every pod
@@ -230,6 +419,35 @@ pub fn check_outcome(o: &ChaosOutcome, plan: &ChaosPlan) -> Result<(), String> {
     Ok(())
 }
 
+/// Check a hung-guest outcome against the watchdog recovery contract:
+/// every pod of the initial deployment wedged, every wedged pod was killed
+/// through the liveness-probe path and restarted, and the node converged
+/// with every pod Running *and* ready — on top of the base chaos contract
+/// (steady phases, no leaks).
+pub fn check_hung_outcome(o: &HungGuestOutcome, plan: &ChaosPlan) -> Result<(), String> {
+    check_outcome(&o.chaos, plan)?;
+    let label = o.chaos.config.label();
+    if o.wedged != plan.pods {
+        return Err(format!("{label}: {} of {} pods wedged at deploy", o.wedged, plan.pods));
+    }
+    if (o.probe_kills as usize) < o.wedged {
+        return Err(format!(
+            "{label}: {} liveness kills for {} wedged pods",
+            o.probe_kills, o.wedged
+        ));
+    }
+    if (o.chaos.restarts as usize) < o.wedged {
+        return Err(format!("{label}: {} restarts for {} wedged pods", o.chaos.restarts, o.wedged));
+    }
+    if o.ready != plan.pods || o.chaos.running != plan.pods {
+        return Err(format!(
+            "{label}: {} running / {} ready != {} pods",
+            o.chaos.running, o.ready, plan.pods
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,7 +457,7 @@ mod tests {
         let w = Workload::light();
         let plan = ChaosPlan::smoke(7);
         let o = run_config(Config::WamrCrun, &w, &plan).unwrap();
-        assert!(o.injected > 0, "an aggressive smoke plan must inject something");
+        assert!(o.injected_total() > 0, "an aggressive smoke plan must inject something");
         check_outcome(&o, &plan).unwrap();
     }
 
@@ -248,9 +466,18 @@ mod tests {
         let w = Workload::light();
         let plan = ChaosPlan { seed: 7, rate_ppm: 0, limit_per_site: 0, pods: 3, max_rounds: 5 };
         let o = run_config(Config::WamrCrun, &w, &plan).unwrap();
-        assert_eq!(o.injected, 0);
+        assert_eq!(o.injected_total(), 0);
         assert_eq!(o.restarts, 0);
         assert_eq!(o.rounds, 0, "a clean deploy is already settled");
         check_outcome(&o, &plan).unwrap();
+    }
+
+    #[test]
+    fn hung_guest_smoke_recovers_every_wedged_pod() {
+        let w = Workload::light();
+        let plan = ChaosPlan::smoke(13);
+        let o = run_hung_guest(Config::WamrCrun, &w, &plan).unwrap();
+        assert_eq!(o.wedged, plan.pods, "every first start must wedge");
+        check_hung_outcome(&o, &plan).unwrap();
     }
 }

@@ -261,6 +261,15 @@ mod tests {
         let w = Workload::light();
         let t = fig8_phases(&w, 2).unwrap();
         assert_eq!(t.columns.len(), Phase::STARTUP.len());
+        // Fault-only and termination phases are frozen out of the figure:
+        // its CSV must stay byte-identical as the lifecycle taxonomy grows.
+        for frozen_out in [Phase::TeardownAfterFault, Phase::Terminating] {
+            assert!(
+                !t.columns.iter().any(|c| c == frozen_out.label()),
+                "{} must not widen the fig8 phase CSV",
+                frozen_out.label()
+            );
+        }
         assert_eq!(t.rows.len(), Config::ALL.len());
         let api = Phase::ApiDispatch.index();
         let exec = Phase::Exec.index();

@@ -2,9 +2,45 @@
 
 use simkernel::{CgroupId, Duration, Phase, SimTime, StepTrace};
 
+/// A kubelet health probe (`livenessProbe` / `readinessProbe` /
+/// `startupProbe`): fired on the simulated clock from the kubelet's
+/// reconcile loop as CRI probe RPCs against the pod's containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// `initialDelaySeconds`: quiet window after the container starts
+    /// before the first probe fires.
+    pub initial_delay: Duration,
+    /// `periodSeconds`: interval between probe firings.
+    pub period: Duration,
+    /// `failureThreshold`: consecutive failures before the probe verdict
+    /// flips (liveness/startup: kill and restart; readiness: unready).
+    pub failure_threshold: u32,
+}
+
+impl Default for ProbeSpec {
+    /// Kubernetes defaults: no initial delay, 10s period, 3 failures.
+    fn default() -> Self {
+        ProbeSpec {
+            initial_delay: Duration::ZERO,
+            period: Duration::from_secs(10),
+            failure_threshold: 3,
+        }
+    }
+}
+
+impl ProbeSpec {
+    /// The watchdog window this probe grants a guest before the kubelet
+    /// would declare it dead: `period × failureThreshold`. The kubelet arms
+    /// the container's epoch watchdog with this budget so a wedged guest is
+    /// parked (interrupted, memory retained) rather than spinning forever.
+    pub fn watchdog_budget(&self) -> Duration {
+        Duration::from_nanos(self.period.as_nanos().saturating_mul(self.failure_threshold as u64))
+    }
+}
+
 /// A pod specification: one container per pod, as in the paper's
 /// experiments (Table II: "1 container per pod").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PodSpec {
     pub name: String,
     /// Image reference for the single container.
@@ -13,6 +49,17 @@ pub struct PodSpec {
     pub runtime_class: String,
     /// Optional memory limit (resources.limits.memory).
     pub memory_limit: Option<u64>,
+    /// Liveness probe: consecutive failures interrupt the guest and route
+    /// the pod into restart supervision.
+    pub liveness_probe: Option<ProbeSpec>,
+    /// Readiness probe: gates the pod's contribution to cluster readiness.
+    pub readiness_probe: Option<ProbeSpec>,
+    /// Startup probe: holds liveness/readiness off until the first success.
+    pub startup_probe: Option<ProbeSpec>,
+    /// `terminationGracePeriodSeconds`: how long `remove_pod` waits between
+    /// SIGTERM and SIGKILL for containers that do not terminate promptly.
+    /// `None` uses the Kubernetes default (30s).
+    pub termination_grace: Option<Duration>,
 }
 
 /// Pod lifecycle phase.
@@ -105,7 +152,7 @@ mod tests {
                 name: "p".into(),
                 image: "i".into(),
                 runtime_class: "c".into(),
-                memory_limit: None,
+                ..Default::default()
             },
             phase: PodPhase::Running,
             pod_cgroup: CgroupId(1),
@@ -129,7 +176,7 @@ mod tests {
                     name: format!("p{i}"),
                     image: "i".into(),
                     runtime_class: "c".into(),
-                    memory_limit: None,
+                    ..Default::default()
                 },
                 phase: PodPhase::Running,
                 pod_cgroup: CgroupId(1),

@@ -11,7 +11,7 @@ use simkernel::{
     TaskSpec,
 };
 
-use crate::api::{Deployment, PodPhase, PodSpec};
+use crate::api::{Deployment, PodPhase, PodSpec, ProbeSpec};
 use crate::kubelet::{Kubelet, NodeConfig, ReconcileReport, RestartPolicy};
 
 /// A booted single-node Kubernetes cluster.
@@ -35,6 +35,11 @@ pub struct ClusterStats {
     pub live_procs: usize,
     /// Supervised pods currently Running.
     pub running: usize,
+    /// Supervised Running pods that are also ready: pods with a readiness
+    /// probe count only after a probe success (and stop counting once the
+    /// probe crosses its failure threshold); unprobed pods count whenever
+    /// they are Running.
+    pub ready: usize,
     /// Supervised pods waiting out a restart backoff.
     pub crash_loop: usize,
     /// Supervised pods evicted for node pressure (terminal).
@@ -51,6 +56,14 @@ pub struct DeployOpts {
     pub restart: RestartPolicy,
     /// Optional `resources.limits.memory` applied to every pod.
     pub memory_limit: Option<u64>,
+    /// Liveness probe applied to every pod (also arms the guest watchdog).
+    pub liveness_probe: Option<ProbeSpec>,
+    /// Readiness probe applied to every pod (gates [`ClusterStats::ready`]).
+    pub readiness_probe: Option<ProbeSpec>,
+    /// Startup probe applied to every pod.
+    pub startup_probe: Option<ProbeSpec>,
+    /// Per-pod SIGTERM → SIGKILL grace period (`None`: Kubernetes' 30s).
+    pub termination_grace: Option<Duration>,
 }
 
 impl Cluster {
@@ -96,13 +109,19 @@ impl Cluster {
             pods_managed: self.kubelet.pod_count(),
             live_procs: self.kernel.live_procs(),
             running: 0,
+            ready: 0,
             crash_loop: 0,
             evicted: 0,
             oom_killed: 0,
         };
         for e in self.kubelet.managed() {
             match e.phase {
-                PodPhase::Running => stats.running += 1,
+                PodPhase::Running => {
+                    stats.running += 1;
+                    if e.ready {
+                        stats.ready += 1;
+                    }
+                }
                 PodPhase::CrashLoopBackOff => stats.crash_loop += 1,
                 PodPhase::Evicted => stats.evicted += 1,
                 PodPhase::OomKilled => stats.oom_killed += 1,
@@ -152,6 +171,10 @@ impl Cluster {
                 image: image.to_string(),
                 runtime_class: runtime_class.to_string(),
                 memory_limit: opts.memory_limit,
+                liveness_probe: opts.liveness_probe,
+                readiness_probe: opts.readiness_probe,
+                startup_probe: opts.startup_probe,
+                termination_grace: opts.termination_grace,
             };
             match opts.restart {
                 RestartPolicy::Never => {

@@ -15,13 +15,14 @@
 //!   experiments. [`NodeConfig::paper_extension`] reproduces that setting.
 
 use containerd_sim::Containerd;
+use oci_spec_lite::WATCHDOG_BUDGET_ANNOTATION;
 use simkernel::image::charge_anon;
 use simkernel::{
     CgroupId, Duration, Kernel, KernelError, KernelResult, Phase, Pid, ProcState, ProcessImage,
     SimTime, Step, StepTrace,
 };
 
-use crate::api::{PodPhase, PodRecord, PodSpec};
+use crate::api::{PodPhase, PodRecord, PodSpec, ProbeSpec};
 
 /// Node-level kubelet configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +73,9 @@ mod cost {
     pub const CRI_RPC: Duration = Duration::from_millis(28);
 }
 
+/// Kubernetes default `terminationGracePeriodSeconds`.
+pub const DEFAULT_TERMINATION_GRACE: Duration = Duration::from_secs(30);
+
 /// Per-pod infrastructure in the pod cgroup: tmpfs volumes, the projected
 /// service-account token, container log buffers.
 pub const POD_INFRA_BYTES: u64 = 1_600 << 10;
@@ -95,6 +99,20 @@ pub enum RestartPolicy {
     Always,
 }
 
+/// Runtime state of one armed probe: when it next fires and how many
+/// consecutive failures it has seen.
+#[derive(Debug, Clone, Copy)]
+struct ProbeState {
+    due: SimTime,
+    failures: u32,
+}
+
+impl ProbeState {
+    fn arm(spec: &ProbeSpec, now: SimTime) -> ProbeState {
+        ProbeState { due: now + spec.initial_delay, failures: 0 }
+    }
+}
+
 /// A pod under kubelet supervision ([`RestartPolicy::Always`]): survives
 /// sync failures and OOM kills as a table entry whose phase tracks the
 /// recovery state machine.
@@ -114,6 +132,21 @@ pub struct PodEntry {
     pub next_restart_at: Option<SimTime>,
     /// Stdout captured by the most recent successful start.
     pub stdout: Vec<u8>,
+    /// Readiness gate: true when the pod counts toward cluster readiness.
+    /// Pods without a readiness probe are ready whenever they are Running;
+    /// probed pods earn it with a successful probe and lose it after
+    /// `failureThreshold` consecutive failures.
+    pub ready: bool,
+    /// Startup probe passed (liveness/readiness are held off until then).
+    /// True from the start for pods without a startup probe.
+    pub started: bool,
+    /// The most recent start wedged on its watchdog budget: the guest was
+    /// epoch-interrupted and parked. Only the probe machinery may act on
+    /// this — detection must flow through liveness, not this flag.
+    wedged: bool,
+    liveness: Option<ProbeState>,
+    readiness: Option<ProbeState>,
+    startup: Option<ProbeState>,
 }
 
 /// What one [`Kubelet::reconcile`] pass did.
@@ -127,6 +160,10 @@ pub struct ReconcileReport {
     pub restarted: Vec<String>,
     /// Pods whose restart attempt failed again (backoff extended).
     pub backoff: Vec<String>,
+    /// Pods whose liveness (or startup) probe crossed its failure
+    /// threshold this pass: the guest was epoch-interrupted, the pod torn
+    /// down, and a backoff restart scheduled.
+    pub probe_killed: Vec<String>,
     /// Recovery work performed, tagged [`Phase::TeardownAfterFault`] —
     /// deliberately kept out of the pods' startup traces so the figure
     /// pipelines never see it.
@@ -140,6 +177,7 @@ impl ReconcileReport {
             && self.evicted.is_empty()
             && self.restarted.is_empty()
             && self.backoff.is_empty()
+            && self.probe_killed.is_empty()
     }
 }
 
@@ -224,18 +262,53 @@ impl Kubelet {
     }
 
     /// True when every supervised pod is in a steady phase (Running or a
-    /// terminal phase) with no restart pending — the chaos harness's
-    /// convergence condition.
+    /// terminal phase) with no restart pending and no probe verdict still
+    /// in flight — the chaos harness's convergence condition. A Running pod
+    /// is *not* steady while its startup probe has yet to pass, while its
+    /// readiness probe holds it unready, or while its guest sits wedged
+    /// under a liveness/startup probe that will eventually fire the
+    /// detect → interrupt → restart path.
     pub fn settled(&self) -> bool {
         self.pods.values().all(|e| {
             e.next_restart_at.is_none()
-                && matches!(e.phase, PodPhase::Running | PodPhase::Evicted | PodPhase::Failed)
+                && match e.phase {
+                    PodPhase::Evicted | PodPhase::Failed => true,
+                    PodPhase::Running => {
+                        e.started
+                            && (e.ready || e.spec.readiness_probe.is_none())
+                            && !(e.wedged
+                                && (e.spec.liveness_probe.is_some()
+                                    || e.spec.startup_probe.is_some()))
+                    }
+                    _ => false,
+                }
         })
     }
 
-    /// Earliest pending restart deadline across supervised pods.
+    /// Earliest pending deadline across supervised pods: restart backoffs,
+    /// plus probe firings that still have a verdict to deliver (startup not
+    /// yet passed, readiness lost, or a wedged guest awaiting liveness
+    /// detection). Steady-state probes against settled pods are excluded —
+    /// they fire forever and would otherwise keep the chaos loop spinning.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.pods.values().filter_map(|e| e.next_restart_at).min()
+        self.pods
+            .values()
+            .flat_map(|e| {
+                let mut due = [e.next_restart_at, None, None, None];
+                if e.phase == PodPhase::Running {
+                    if !e.started {
+                        due[1] = e.startup.map(|p| p.due);
+                    }
+                    if e.started && !e.ready && e.spec.readiness_probe.is_some() {
+                        due[2] = e.readiness.map(|p| p.due);
+                    }
+                    if e.started && e.wedged {
+                        due[3] = e.liveness.map(|p| p.due);
+                    }
+                }
+                due.into_iter().flatten()
+            })
+            .min()
     }
 
     /// Sync one pod: run the full startup pipeline through the CRI.
@@ -288,14 +361,26 @@ impl Kubelet {
         // the pod back (sandbox, infra charge, bookkeeping) so a broken
         // image cannot leak node resources.
         let cid = format!("{}-c0", spec.name);
+        // Arm the guest watchdog from the liveness-probe window: a guest
+        // that would outlive `period × failureThreshold` is epoch-parked at
+        // start rather than left spinning, so the probes that follow find a
+        // wedged (but memory-accounted) container to act on.
+        let watchdog: Vec<(String, String)> = spec
+            .liveness_probe
+            .iter()
+            .map(|p| {
+                (WATCHDOG_BUDGET_ANNOTATION.to_string(), p.watchdog_budget().as_nanos().to_string())
+            })
+            .collect();
         let result: KernelResult<StepTrace> = (|| {
             let mut s = StepTrace::new();
             s.push(Phase::RuntimeOp, Step::Io(cost::CRI_RPC));
-            containerd.create_container(
+            containerd.create_container_with(
                 &spec.name,
                 &cid,
                 &spec.image,
                 spec.memory_limit,
+                &watchdog,
                 &mut s,
             )?;
             s.push(Phase::RuntimeOp, Step::Io(cost::CRI_RPC));
@@ -345,11 +430,19 @@ impl Kubelet {
             restarts: 0,
             next_restart_at: None,
             stdout: Vec::new(),
+            ready: false,
+            started: false,
+            wedged: false,
+            liveness: None,
+            readiness: None,
+            startup: None,
         };
         match self.sync_pod(containerd, spec, dispatched_at) {
             Ok(record) => {
                 entry.phase = PodPhase::Running;
                 entry.stdout = record.stdout;
+                entry.wedged = containerd.pod_wedged(&name);
+                Self::arm_probes(&mut entry, self.kernel.now());
             }
             Err(ref e) if Self::retryable(e) => {
                 entry.phase = PodPhase::CrashLoopBackOff;
@@ -363,15 +456,55 @@ impl Kubelet {
         phase
     }
 
+    /// Arm a freshly Running pod's probe machinery at time `now`.
+    fn arm_probes(e: &mut PodEntry, now: SimTime) {
+        e.started = e.spec.startup_probe.is_none();
+        e.ready = e.spec.readiness_probe.is_none();
+        e.startup = e.spec.startup_probe.as_ref().map(|p| ProbeState::arm(p, now));
+        e.liveness = e.spec.liveness_probe.as_ref().map(|p| ProbeState::arm(p, now));
+        e.readiness = e.spec.readiness_probe.as_ref().map(|p| ProbeState::arm(p, now));
+    }
+
+    /// Fire every `spec` probe due by `now` against `pod`, advancing
+    /// `state` one period per firing. Returns `(passed, killed)`: whether
+    /// any firing succeeded, and whether consecutive failures crossed the
+    /// probe's threshold.
+    fn fire_probes(
+        containerd: &Containerd,
+        pod: &str,
+        spec: &ProbeSpec,
+        state: &mut ProbeState,
+        now: SimTime,
+        trace: &mut StepTrace,
+    ) -> (bool, bool) {
+        let (mut passed, mut killed) = (false, false);
+        while state.due <= now && !killed {
+            state.due += spec.period;
+            if matches!(containerd.probe(pod, trace), Ok(true)) {
+                state.failures = 0;
+                passed = true;
+            } else {
+                state.failures += 1;
+                killed = state.failures >= spec.failure_threshold;
+            }
+        }
+        (passed, killed)
+    }
+
     /// One pass of the supervision loop at simulated time `now`:
     ///
     /// 1. **OOM detection** — a Running pod whose backing processes (shim,
     ///    pause, container init, pod infra) show an OOM kill is torn down
     ///    and scheduled for restart on the backoff schedule.
-    /// 2. **Node-pressure eviction** — while available memory is below
+    /// 2. **Health probes** — startup, liveness, and readiness probes due
+    ///    by `now` fire as CRI RPCs. A liveness (or startup) probe crossing
+    ///    its failure threshold interrupts the guest via its watchdog epoch
+    ///    clock, tears the pod down, and schedules a backoff restart; a
+    ///    readiness verdict only toggles the pod's readiness gate.
+    /// 3. **Node-pressure eviction** — while available memory is below
     ///    [`NodeConfig::eviction_threshold`], the newest best-effort pod is
     ///    evicted (terminal: evicted pods are not restarted).
-    /// 3. **Due restarts** — pods whose backoff deadline has passed are
+    /// 4. **Due restarts** — pods whose backoff deadline has passed are
     ///    re-synced from scratch; success resets the failure count, another
     ///    failure doubles the backoff.
     pub fn reconcile(&mut self, containerd: &mut Containerd, now: SimTime) -> ReconcileReport {
@@ -395,6 +528,95 @@ impl Kubelet {
                 e.next_restart_at = Some(now + Self::backoff_delay(e.failures));
                 e.failures += 1;
                 report.oom_killed.push(name);
+            }
+        }
+
+        // Health probes: every Running pod's due probes fire in admission
+        // order. The pods just torn down for OOM are no longer Running and
+        // probe nothing.
+        let probed: Vec<String> = self
+            .pods
+            .iter()
+            .filter(|(_, e)| e.phase == PodPhase::Running)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in probed {
+            let mut kill = false;
+            {
+                let e = self.pods.get_mut(&name).expect("selected from table");
+                // Startup probe: until it passes, nothing else fires.
+                if !e.started {
+                    if let (Some(p), Some(mut st)) = (e.spec.startup_probe, e.startup) {
+                        let (passed, killed) = Self::fire_probes(
+                            containerd,
+                            &name,
+                            &p,
+                            &mut st,
+                            now,
+                            &mut report.trace,
+                        );
+                        e.startup = Some(st);
+                        kill = killed;
+                        if passed {
+                            e.started = true;
+                            // Liveness/readiness start their clocks only
+                            // once the workload has proven it is up.
+                            e.liveness =
+                                e.spec.liveness_probe.as_ref().map(|lp| ProbeState::arm(lp, now));
+                            e.readiness =
+                                e.spec.readiness_probe.as_ref().map(|rp| ProbeState::arm(rp, now));
+                        }
+                    }
+                }
+                if e.started && !kill {
+                    if let (Some(p), Some(mut st)) = (e.spec.liveness_probe, e.liveness) {
+                        let (_, killed) = Self::fire_probes(
+                            containerd,
+                            &name,
+                            &p,
+                            &mut st,
+                            now,
+                            &mut report.trace,
+                        );
+                        e.liveness = Some(st);
+                        kill = killed;
+                    }
+                }
+                if e.started && !kill {
+                    if let (Some(p), Some(mut st)) = (e.spec.readiness_probe, e.readiness) {
+                        let (passed, unready) = Self::fire_probes(
+                            containerd,
+                            &name,
+                            &p,
+                            &mut st,
+                            now,
+                            &mut report.trace,
+                        );
+                        if unready {
+                            st.failures = 0;
+                            e.ready = false;
+                        } else if passed {
+                            e.ready = true;
+                        }
+                        e.readiness = Some(st);
+                    }
+                }
+            }
+            if kill {
+                // Detect → interrupt → restart: the wedged (or unhealthy)
+                // guest is stopped through its epoch clock, the pod torn
+                // down, and CrashLoopBackOff supervision takes over.
+                let _ =
+                    containerd.interrupt_pod(&name, Phase::TeardownAfterFault, &mut report.trace);
+                let _ = self.teardown_pod_resources(containerd, &name);
+                report.trace.push(Phase::TeardownAfterFault, Step::Cpu(cost::SYNC_CPU));
+                let e = self.pods.get_mut(&name).expect("selected from table");
+                e.phase = PodPhase::CrashLoopBackOff;
+                e.ready = false;
+                e.wedged = false;
+                e.next_restart_at = Some(now + Self::backoff_delay(e.failures));
+                e.failures += 1;
+                report.probe_killed.push(name);
             }
         }
 
@@ -427,12 +649,15 @@ impl Kubelet {
             let spec = self.pods.get(&name).expect("selected from table").spec.clone();
             match self.sync_pod(containerd, spec, now) {
                 Ok(record) => {
+                    let wedged = containerd.pod_wedged(&name);
                     let e = self.pods.get_mut(&name).expect("selected from table");
                     e.phase = PodPhase::Running;
                     e.restarts += 1;
                     e.failures = 0;
                     e.next_restart_at = None;
                     e.stdout = record.stdout;
+                    e.wedged = wedged;
+                    Self::arm_probes(e, now);
                     report.restarted.push(name);
                 }
                 Err(ref err) if Self::retryable(err) => {
@@ -452,16 +677,57 @@ impl Kubelet {
         report
     }
 
-    /// Tear a pod down: remove the sandbox, the infra charge, and any
-    /// supervision entry.
+    /// Tear a pod down gracefully: SIGTERM its containers, give wedged
+    /// guests the pod's termination grace period, escalate to SIGKILL via
+    /// the watchdog epoch clock, then remove the sandbox, the infra charge,
+    /// and any supervision entry.
+    ///
+    /// Clean pods honor SIGTERM promptly — no simulated time passes, which
+    /// keeps the paper's figure paths (deploy → measure → teardown)
+    /// byte-identical. Only a wedged guest rides out the grace period
+    /// (advancing the DES clock) before the hard kill.
     ///
     /// Idempotent and best-effort: every sub-step is attempted even when an
     /// earlier one fails (so a mid-teardown error cannot strand the rest),
     /// the first error is reported at the end, and removing a pod that is
     /// already gone is a successful no-op.
     pub fn remove_pod(&mut self, containerd: &mut Containerd, pod_name: &str) -> KernelResult<()> {
-        self.pods.remove(pod_name);
-        self.teardown_pod_resources(containerd, pod_name)
+        self.remove_pod_traced(containerd, pod_name).map(|_| ())
+    }
+
+    /// [`Kubelet::remove_pod`], returning the termination steps it recorded
+    /// ([`Phase::Terminating`]-tagged SIGTERM/SIGKILL work).
+    pub fn remove_pod_traced(
+        &mut self,
+        containerd: &mut Containerd,
+        pod_name: &str,
+    ) -> KernelResult<StepTrace> {
+        let grace = self
+            .pods
+            .remove(pod_name)
+            .and_then(|e| e.spec.termination_grace)
+            .unwrap_or(DEFAULT_TERMINATION_GRACE);
+        let mut trace = StepTrace::new();
+        let mut first_err: Option<KernelError> = None;
+        match containerd.begin_pod_termination(pod_name, &mut trace) {
+            Ok(true) => {
+                // A wedged guest cannot run a SIGTERM handler: wait out the
+                // grace period on the simulated clock, then hard-kill.
+                self.kernel.advance(grace);
+                if let Err(e) = containerd.interrupt_pod(pod_name, Phase::Terminating, &mut trace) {
+                    first_err = Some(e);
+                }
+            }
+            Ok(false) => {}
+            Err(e) => first_err = Some(e),
+        }
+        if let Err(e) = self.teardown_pod_resources(containerd, pod_name) {
+            first_err.get_or_insert(e);
+        }
+        match first_err {
+            None => Ok(trace),
+            Some(e) => Err(e),
+        }
     }
 
     /// Release a pod's node resources without touching the supervision

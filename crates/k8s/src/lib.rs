@@ -17,7 +17,10 @@ pub mod cluster;
 pub mod kubelet;
 pub mod metrics;
 
-pub use api::{Deployment, PodPhase, PodRecord, PodSpec};
+pub use api::{Deployment, PodPhase, PodRecord, PodSpec, ProbeSpec};
 pub use cluster::{Cluster, ClusterStats, DeployOpts};
-pub use kubelet::{Kubelet, NodeConfig, PodEntry, ReconcileReport, RestartPolicy, POD_INFRA_BYTES};
+pub use kubelet::{
+    Kubelet, NodeConfig, PodEntry, ReconcileReport, RestartPolicy, DEFAULT_TERMINATION_GRACE,
+    POD_INFRA_BYTES,
+};
 pub use metrics::{average_working_set, scrape, working_set_stddev, PodMetrics};

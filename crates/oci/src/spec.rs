@@ -9,6 +9,11 @@ use crate::json::{parse, JsonError, Value};
 /// (the `module.wasm.image/variant=compat` convention).
 pub const WASM_VARIANT_ANNOTATION: &str = "module.wasm.image/variant";
 
+/// Annotation carrying the guest watchdog's epoch budget in nanoseconds.
+/// The kubelet writes it (derived from the pod's liveness-probe window) and
+/// every guest handler honors it; absent means the guest runs unwatched.
+pub const WATCHDOG_BUDGET_ANNOTATION: &str = "container.sim/watchdog-epoch-budget-ns";
+
 /// `process` object: what to execute.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProcessSpec {
@@ -107,6 +112,12 @@ impl RuntimeSpec {
     pub fn wants_wasm(&self) -> bool {
         self.annotations.get(WASM_VARIANT_ANNOTATION).map(String::as_str) == Some("compat")
             || self.process.args.first().map(|a| a.ends_with(".wasm")).unwrap_or(false)
+    }
+
+    /// The guest watchdog's epoch budget in nanoseconds, if the
+    /// [`WATCHDOG_BUDGET_ANNOTATION`] is set (and parses).
+    pub fn watchdog_budget_ns(&self) -> Option<u64> {
+        self.annotations.get(WATCHDOG_BUDGET_ANNOTATION)?.parse().ok()
     }
 
     /// Serialize to `config.json` bytes.

@@ -13,8 +13,12 @@ use oci_spec_lite::{Bundle, RuntimeSpec};
 use simkernel::image::{charge_anon, ProcessImage};
 use simkernel::{Duration, Kernel, KernelError, KernelResult, Phase, Pid, Step, StepTrace};
 
-use crate::interp::{Interp, PyError};
+use crate::interp::{Interp, PyEpochClock, PyError};
 use crate::parser::parse;
+
+/// Interpreter ops per epoch tick — the granularity at which the watchdog
+/// deadline is checked (mirrors `engines::EPOCH_TICK_INSTRS` for Wasm).
+pub const PY_EPOCH_TICK_OPS: u64 = 1_000;
 
 /// CPython 3.10-scale footprint constants.
 #[derive(Debug, Clone)]
@@ -161,9 +165,27 @@ impl ContainerHandler for PythonHandler {
         let argv: Vec<String> =
             spec.process.args.iter().skip_while(|a| a.contains("python")).cloned().collect();
         let mut interp = Interp::new(argv, spec.process.env_pairs()).with_fuel(self.fuel);
+        // Watchdog: convert the annotated time budget to op ticks through
+        // the same execution model the Exec step below charges with.
+        if let Some(ns) = spec.watchdog_budget_ns() {
+            let ops = ns / p.exec_ns_per_op.max(1);
+            interp = interp.with_epoch(
+                PyEpochClock::new(),
+                (ops / PY_EPOCH_TICK_OPS).max(1),
+                PY_EPOCH_TICK_OPS,
+            );
+        }
+        // An epoch interruption is a wedged success, not an error: the
+        // interpreter is hung, its memory stays charged, and the container
+        // reaches Running — probes are how the kubelet finds out.
+        let mut interrupted = false;
         let exit_code = match interp.run(&program) {
             Ok(code) => code,
             Err(PyError::Exit(code)) => code,
+            Err(PyError::Interrupted) => {
+                interrupted = true;
+                0
+            }
             Err(e) => return Err(KernelError::InvalidState(format!("python runtime: {e}"))),
         };
         let stats = interp.stats();
@@ -187,7 +209,13 @@ impl ContainerHandler for PythonHandler {
         let heap_growth = (stats.allocs * p.bytes_per_alloc).max(4096);
         charge_anon(kernel, pid, heap_growth, "py-objects")?;
 
-        Ok(HandlerOutcome { trace, stdout: interp.stdout.clone(), exit_code })
+        Ok(HandlerOutcome {
+            trace,
+            stdout: interp.stdout.clone(),
+            exit_code,
+            interrupted,
+            epoch_clock: None,
+        })
     }
 }
 

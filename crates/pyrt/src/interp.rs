@@ -52,6 +52,10 @@ pub enum PyError {
     Runtime(String),
     /// Op budget exhausted.
     FuelExhausted,
+    /// The epoch deadline passed (watchdog interruption). Unlike
+    /// `FuelExhausted` this is an external, asynchronous-style stop: the
+    /// interpreter was healthy but overstayed its epoch budget.
+    Interrupted,
 }
 
 impl fmt::Display for PyError {
@@ -60,8 +64,53 @@ impl fmt::Display for PyError {
             PyError::Exit(c) => write!(f, "SystemExit: {c}"),
             PyError::Runtime(m) => write!(f, "RuntimeError: {m}"),
             PyError::FuelExhausted => write!(f, "op budget exhausted"),
+            PyError::Interrupted => write!(f, "epoch deadline reached; interpreter interrupted"),
         }
     }
+}
+
+/// A shared epoch counter mirroring `wasm_core::EpochClock` (the crates are
+/// deliberately independent): the interpreter advances it as ops retire and
+/// checks it against a deadline at each tick; any holder of a clone can
+/// force it past every deadline with [`PyEpochClock::interrupt`], observed
+/// at the interpreter's next epoch check.
+#[derive(Debug, Clone, Default)]
+pub struct PyEpochClock {
+    epoch: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl PyEpochClock {
+    pub fn new() -> PyEpochClock {
+        PyEpochClock::default()
+    }
+
+    /// Current epoch.
+    pub fn now(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Advance by `ticks` epochs and return the new value (saturating, so
+    /// an interrupted clock stays interrupted).
+    pub fn advance(&self, ticks: u64) -> u64 {
+        let now = self.now().saturating_add(ticks);
+        self.epoch.store(now, std::sync::atomic::Ordering::Relaxed);
+        now
+    }
+
+    /// Force the clock past every deadline: the interpreter raises
+    /// [`PyError::Interrupted`] at its next epoch check.
+    pub fn interrupt(&self) {
+        self.epoch.store(u64::MAX, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Live epoch-watchdog state for an interpreter.
+#[derive(Debug, Clone)]
+struct EpochState {
+    clock: PyEpochClock,
+    deadline: u64,
+    tick_ops: u64,
+    until_tick: u64,
 }
 
 impl std::error::Error for PyError {}
@@ -92,6 +141,7 @@ pub struct Interp {
     pub stdout: Vec<u8>,
     stats: PyStats,
     fuel: u64,
+    epoch: Option<EpochState>,
     imported: Vec<String>,
 }
 
@@ -104,12 +154,21 @@ impl Interp {
             stdout: Vec::new(),
             stats: PyStats::default(),
             fuel: 200_000_000,
+            epoch: None,
             imported: Vec::new(),
         }
     }
 
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Arm the epoch watchdog: raise [`PyError::Interrupted`] once `clock`
+    /// reaches `deadline`, checking every `tick_ops` interpreter ops.
+    pub fn with_epoch(mut self, clock: PyEpochClock, deadline: u64, tick_ops: u64) -> Self {
+        let tick_ops = tick_ops.max(1);
+        self.epoch = Some(EpochState { clock, deadline, tick_ops, until_tick: tick_ops });
         self
     }
 
@@ -136,6 +195,20 @@ impl Interp {
         self.stats.ops += n;
         if self.stats.ops > self.fuel {
             return Err(PyError::FuelExhausted);
+        }
+        if let Some(ep) = &mut self.epoch {
+            if n >= ep.until_tick {
+                // Crossed one or more tick boundaries: advance the shared
+                // clock and check the deadline (the epoch "safepoint").
+                let past = n - ep.until_tick;
+                let ticks = 1 + past / ep.tick_ops;
+                ep.until_tick = ep.tick_ops - past % ep.tick_ops;
+                if ep.clock.advance(ticks) >= ep.deadline {
+                    return Err(PyError::Interrupted);
+                }
+            } else {
+                ep.until_tick -= n;
+            }
         }
         Ok(())
     }
@@ -1062,6 +1135,33 @@ print(s, len(s), s[1], s * 2)
         let program = parse("while True:\n    pass").unwrap();
         let mut i = Interp::new(vec![], vec![]).with_fuel(10_000);
         assert_eq!(i.run(&program), Err(PyError::FuelExhausted));
+    }
+
+    #[test]
+    fn epoch_deadline_interrupts_deterministically() {
+        let program = parse("while True:\n    pass").unwrap();
+        let spin = |deadline: u64| {
+            let mut i = Interp::new(vec![], vec![]).with_epoch(PyEpochClock::new(), deadline, 100);
+            let res = i.run(&program);
+            (res, i.stats().ops)
+        };
+        let (res, ops) = spin(5);
+        assert_eq!(res, Err(PyError::Interrupted));
+        let (res2, ops2) = spin(5);
+        assert_eq!(res2, Err(PyError::Interrupted));
+        assert_eq!(ops, ops2, "same budget, same trap point");
+        let (_, ops_more) = spin(10);
+        assert!(ops_more > ops, "a later deadline retires more ops");
+    }
+
+    #[test]
+    fn external_interrupt_lands_at_the_next_epoch_check() {
+        let program = parse("while True:\n    pass").unwrap();
+        let clock = PyEpochClock::new();
+        let mut i = Interp::new(vec![], vec![]).with_epoch(clock.clone(), u64::MAX, 10);
+        clock.interrupt();
+        assert_eq!(i.run(&program), Err(PyError::Interrupted));
+        assert!(i.stats().ops <= 20, "stopped at the first safepoint, ran {}", i.stats().ops);
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod parser;
 
 pub use ast::{BinOp, Expr, Program, Stmt};
 pub use handler::{install_python, PythonHandler, PythonProfile, PYTHON};
-pub use interp::{Interp, PyError, PyStats, PyValue};
+pub use interp::{Interp, PyEpochClock, PyError, PyStats, PyValue};
 pub use parser::{parse, ParseError};

@@ -8,10 +8,10 @@
 //! (`wamr-crun` crate) is one implementation of this trait; this module
 //! provides the pre-existing integrations it is compared against.
 
-use engines::{execute_wasm, EngineKind, WasiSpec};
+use engines::{execute_wasm_opts, EngineKind, ExecOptions, WasiSpec};
 use oci_spec_lite::{Bundle, RuntimeSpec};
 use simkernel::image::charge_anon;
-use simkernel::{Kernel, KernelError, KernelResult, Phase, Pid, Step, StepTrace};
+use simkernel::{Duration, Kernel, KernelError, KernelResult, Phase, Pid, Step, StepTrace};
 
 /// Result of a handler executing a container workload.
 #[derive(Debug, Default)]
@@ -24,6 +24,15 @@ pub struct HandlerOutcome {
     /// Workload exit code (the paper's microservices stay resident; 0 means
     /// the service reached its ready state).
     pub exit_code: i32,
+    /// The guest overstayed its watchdog epoch budget and was interrupted:
+    /// the container is up but wedged (it never reached ready). Health
+    /// probes discover this; the kubelet routes it into restart supervision.
+    pub interrupted: bool,
+    /// Watchdog epoch clock retained from the engine run (present when the
+    /// container was started with an epoch budget). The kubelet's SIGKILL
+    /// path calls [`wasm_core::EpochClock::interrupt`] on it so the guest
+    /// observes the stop at its next epoch safepoint.
+    pub epoch_clock: Option<wasm_core::EpochClock>,
 }
 
 /// A workload executor embedded in the low-level runtime.
@@ -118,8 +127,25 @@ impl ContainerHandler for WasmEngineHandler {
     ) -> KernelResult<HandlerOutcome> {
         let module = resolve_module(bundle, spec)?;
         let wasi = wasi_spec_from_oci(bundle, spec);
-        let run = execute_wasm(kernel, pid, self.engine.profile(), module, &wasi, self.fuel)?;
-        Ok(HandlerOutcome { trace: run.trace, stdout: run.stdout, exit_code: run.exit_code })
+        let run = execute_wasm_opts(
+            kernel,
+            pid,
+            self.engine.profile(),
+            module,
+            &wasi,
+            self.fuel,
+            ExecOptions {
+                epoch_budget: spec.watchdog_budget_ns().map(Duration::from_nanos),
+                ..Default::default()
+            },
+        )?;
+        Ok(HandlerOutcome {
+            trace: run.trace,
+            stdout: run.stdout,
+            exit_code: run.exit_code,
+            interrupted: run.interrupted,
+            epoch_clock: run.epoch_clock,
+        })
     }
 }
 
@@ -154,7 +180,7 @@ impl ContainerHandler for PauseHandler {
         charge_anon(kernel, pid, PAUSE_RESIDENT, "pause")?;
         let mut trace = StepTrace::new();
         trace.push(Phase::Exec, Step::Cpu(simkernel::Duration::from_micros(300)));
-        Ok(HandlerOutcome { trace, stdout: Vec::new(), exit_code: 0 })
+        Ok(HandlerOutcome { trace, stdout: Vec::new(), exit_code: 0, ..Default::default() })
     }
 }
 

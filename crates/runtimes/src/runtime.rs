@@ -41,6 +41,12 @@ pub struct Container {
     pub stdout: Vec<u8>,
     /// Name of the handler that ran the workload.
     pub handler: String,
+    /// The workload overstayed its watchdog epoch budget: the container is
+    /// up but never reached ready. Liveness probes report failure for it.
+    pub wedged: bool,
+    /// Watchdog epoch clock retained from the workload run (present when
+    /// the handler armed an epoch budget).
+    pub epoch_clock: Option<wasm_core::EpochClock>,
 }
 
 /// Ambient context for runtime invocations.
@@ -166,6 +172,8 @@ impl LowLevelRuntime {
             trace,
             stdout: Vec::new(),
             handler: String::new(),
+            wedged: false,
+            epoch_clock: None,
         })
     }
 
@@ -238,6 +246,8 @@ impl LowLevelRuntime {
         container.trace.append(&mut trace);
         container.stdout = outcome.stdout;
         container.handler = handler_name;
+        container.wedged = outcome.interrupted;
+        container.epoch_clock = outcome.epoch_clock;
         container.state.transition(ContainerState::Running, &container.id)?;
         Ok(())
     }

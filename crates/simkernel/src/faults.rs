@@ -2,7 +2,8 @@
 //!
 //! A [`FaultPlan`] is a seeded schedule of failures for the named choke
 //! points ([`FaultSite`]) every layer of the stack funnels through: process
-//! spawn, cold file reads, anonymous mmap/charge, and engine instantiation.
+//! spawn, cold file reads, anonymous mmap/charge, engine instantiation, and
+//! kubelet health probes.
 //! The plan is installed on the kernel ([`crate::Kernel::set_fault_plan`])
 //! and consulted synchronously at each site, so injection is driven purely
 //! by the deterministic order of kernel operations — no wall clock, no OS
@@ -27,15 +28,19 @@ pub enum FaultSite {
     MmapCharge,
     /// Wasm engine instantiation (transient — a retry may succeed).
     EngineInstantiate,
+    /// A kubelet health-probe RPC against a running container (transient —
+    /// a flaky probe reports failure against a healthy guest).
+    Probe,
 }
 
 impl FaultSite {
     /// Every site, in injection-index order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::Spawn,
         FaultSite::ColdRead,
         FaultSite::MmapCharge,
         FaultSite::EngineInstantiate,
+        FaultSite::Probe,
     ];
 
     /// Stable kebab-case label (used in error messages and chaos CSVs).
@@ -45,6 +50,7 @@ impl FaultSite {
             FaultSite::ColdRead => "cold-read",
             FaultSite::MmapCharge => "mmap-charge",
             FaultSite::EngineInstantiate => "engine-instantiate",
+            FaultSite::Probe => "probe",
         }
     }
 
@@ -54,6 +60,7 @@ impl FaultSite {
             FaultSite::ColdRead => 1,
             FaultSite::MmapCharge => 2,
             FaultSite::EngineInstantiate => 3,
+            FaultSite::Probe => 4,
         }
     }
 }
@@ -117,6 +124,7 @@ impl FaultPlan {
                 SiteState::new(seed, 1),
                 SiteState::new(seed, 2),
                 SiteState::new(seed, 3),
+                SiteState::new(seed, 4),
             ],
         }
     }

@@ -15,20 +15,26 @@
 //!                 │ start              │              │
 //!            ┌────▼─────┐             │         ┌────▼─────┐
 //!            │ Running  │──────────────┤ crash ──▶│  Failed  │
-//!            └────┬─────┘   kill/exit  │          └────┬─────┘
-//!                 │ memory.max breach  │               │
-//!            ┌────▼──────┐       ┌────▼─────┐         │
-//!            │ OomKilled │       │ Stopped  │         │
-//!            └────┬──────┘       └────┬─────┘         │
-//!                 │ delete            │ delete        │ delete
-//!                 └──────────────▶┌───▼──────┐◀───────┘
-//!                                 │ Deleted  │   (terminal)
+//!            └──┬─┬─────┘   kill/exit  │          └────┬─────┘
+//!        SIGTERM│ │ memory.max breach  │               ▲ SIGKILL
+//!   ┌───────────▼┐│              ┌────▼─────┐    ┌────┴────────┐
+//!   │ Terminating ├┼─────────────▶│ Stopped  │◀───┤ Terminating │
+//!   └─────────────┘│ exits in     └────┬─────┘    │ grace over  │
+//!            ┌────▼──────┐ grace       │          └─────────────┘
+//!            │ OomKilled │             │ delete
+//!            └────┬──────┘             │
+//!                 │ delete        ┌───▼──────┐
+//!                 └──────────────▶│ Deleted  │   (terminal)
 //!                                 └──────────┘
 //! ```
 //!
 //! `Stopped` is the orderly exit, `Failed` is an error exit (setup failure
 //! or crash), `OomKilled` is the kernel enforcing `memory.max`. All three
-//! are "down" states that only `delete` can leave. Every legal transition
+//! are "down" states that only `delete` can leave. `Terminating` is the
+//! grace-period window between SIGTERM and the outcome: the guest either
+//! exits in time (`Stopped`) or ignores the signal and is hard-killed when
+//! the grace period lapses (`Failed`). A terminating container is still up
+//! — it cannot be deleted or restarted in place. Every legal transition
 //! strictly advances the state's rank, so no sequence of legal operations
 //! can revisit an earlier state — the invariant the property test in this
 //! module checks with random operation sequences.
@@ -40,6 +46,10 @@ use crate::error::{KernelError, KernelResult};
 pub enum LifecycleState {
     Created,
     Running,
+    /// SIGTERM delivered, grace period running. Still "up": the container
+    /// may exit orderly (`Stopped`) or be hard-killed (`Failed`), but it
+    /// cannot be deleted or resurrected to `Running`.
+    Terminating,
     Stopped,
     /// Error exit: setup failure before the first instruction, or a crash
     /// while running. Only `delete` leaves this state.
@@ -51,9 +61,10 @@ pub enum LifecycleState {
 }
 
 impl LifecycleState {
-    pub const ALL: [LifecycleState; 6] = [
+    pub const ALL: [LifecycleState; 7] = [
         LifecycleState::Created,
         LifecycleState::Running,
+        LifecycleState::Terminating,
         LifecycleState::Stopped,
         LifecycleState::Failed,
         LifecycleState::OomKilled,
@@ -67,8 +78,9 @@ impl LifecycleState {
         match self {
             LifecycleState::Created => 0,
             LifecycleState::Running => 1,
-            LifecycleState::Stopped | LifecycleState::Failed | LifecycleState::OomKilled => 2,
-            LifecycleState::Deleted => 3,
+            LifecycleState::Terminating => 2,
+            LifecycleState::Stopped | LifecycleState::Failed | LifecycleState::OomKilled => 3,
+            LifecycleState::Deleted => 4,
         }
     }
 
@@ -86,9 +98,12 @@ pub const fn legal(from: LifecycleState, to: LifecycleState) -> bool {
         (Created, Running)
             | (Created, Stopped)
             | (Created, Failed)
+            | (Running, Terminating)
             | (Running, Stopped)
             | (Running, Failed)
             | (Running, OomKilled)
+            | (Terminating, Stopped)
+            | (Terminating, Failed)
             | (Stopped, Deleted)
             | (Failed, Deleted)
             | (OomKilled, Deleted)
@@ -136,13 +151,28 @@ impl Lifecycle {
         }
     }
 
-    /// Idempotent stop for teardown paths: advances `Created`/`Running` to
-    /// `Stopped` and reports whether the caller must actually kill the
-    /// process. Containers that are already down (`Stopped`, `Failed`,
-    /// `OomKilled`) or `Deleted` need no work.
+    /// Begin graceful termination: a `Running` container moves to
+    /// `Terminating` (SIGTERM delivered, grace period started) and the call
+    /// reports `true`. Any other state — including an already-terminating
+    /// container — is left untouched, so re-delivering SIGTERM mid-grace is
+    /// a no-op rather than an error.
+    pub fn begin_termination(&mut self) -> bool {
+        match self.state {
+            LifecycleState::Running => {
+                self.state = LifecycleState::Terminating;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Idempotent stop for teardown paths: advances `Created`/`Running`/
+    /// `Terminating` to `Stopped` and reports whether the caller must
+    /// actually kill the process. Containers that are already down
+    /// (`Stopped`, `Failed`, `OomKilled`) or `Deleted` need no work.
     pub fn stop(&mut self) -> bool {
         match self.state {
-            LifecycleState::Created | LifecycleState::Running => {
+            LifecycleState::Created | LifecycleState::Running | LifecycleState::Terminating => {
                 self.state = LifecycleState::Stopped;
                 true
             }
@@ -153,13 +183,19 @@ impl Lifecycle {
         }
     }
 
-    /// Record a fault exit: `Created`/`Running` containers move to `Failed`
-    /// (or `OomKilled` when `oom` is set); already-down containers keep
-    /// their state. Reports whether the caller must reap the process.
+    /// Record a fault exit: `Created`/`Running`/`Terminating` containers
+    /// move to `Failed` (or `OomKilled` when `oom` is set — only legal while
+    /// `Running`, since a terminating guest is hard-killed, not OOM-billed);
+    /// already-down containers keep their state. Reports whether the caller
+    /// must reap the process.
     pub fn fail(&mut self, oom: bool) -> bool {
         match self.state {
             LifecycleState::Created | LifecycleState::Running => {
                 self.state = if oom { LifecycleState::OomKilled } else { LifecycleState::Failed };
+                true
+            }
+            LifecycleState::Terminating => {
+                self.state = LifecycleState::Failed;
                 true
             }
             _ => false,
@@ -169,7 +205,7 @@ impl Lifecycle {
     /// Idempotent delete: advances any down state (`Stopped`, `Failed`,
     /// `OomKilled`) to `Deleted` and reports whether resources still need
     /// releasing. A second delete is a no-op; deleting a container that is
-    /// still up is rejected.
+    /// still up — `Running` or mid-grace-period `Terminating` — is rejected.
     pub fn delete(&mut self, what: &str) -> KernelResult<bool> {
         match self.state {
             s if s.is_down() => {
@@ -286,6 +322,41 @@ mod tests {
     }
 
     #[test]
+    fn terminating_is_up_until_the_grace_period_resolves() {
+        // SIGTERM path: Running -> Terminating, then either an orderly exit
+        // within the grace period (Stopped) or a hard kill (Failed).
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        assert!(lc.begin_termination());
+        assert_eq!(lc, LifecycleState::Terminating);
+        assert!(!lc.begin_termination(), "SIGTERM re-delivery is a no-op");
+
+        // Illegal resurrection and premature delete both rejected mid-grace.
+        assert!(lc.transition(LifecycleState::Running, "c").is_err());
+        assert!(lc.delete("c").is_err(), "Terminating is still up");
+        assert_eq!(lc, LifecycleState::Terminating);
+
+        // Orderly exit inside the grace period.
+        assert!(lc.stop(), "the guest's exit still needs reaping");
+        assert_eq!(lc, LifecycleState::Stopped);
+        assert!(!lc.stop());
+        assert!(lc.delete("c").unwrap());
+
+        // Grace period lapses: escalation to SIGKILL is a fault exit.
+        let mut lc = Lifecycle::new();
+        lc.transition(LifecycleState::Running, "c").unwrap();
+        assert!(lc.begin_termination());
+        assert!(lc.fail(false));
+        assert_eq!(lc, LifecycleState::Failed);
+
+        // Terminating is only reachable from Running, and never via OOM.
+        assert!(!legal(LifecycleState::Created, LifecycleState::Terminating));
+        assert!(!legal(LifecycleState::Stopped, LifecycleState::Terminating));
+        assert!(!legal(LifecycleState::Terminating, LifecycleState::OomKilled));
+        assert!(!LifecycleState::Terminating.is_down());
+    }
+
+    #[test]
     fn prop_random_op_sequences_never_reach_an_illegal_state() {
         // Drive the machine with random operations (strict transitions to
         // arbitrary targets plus the idempotent teardown helpers) and check
@@ -298,7 +369,7 @@ mod tests {
             let ops = 1 + (g.next_u64() % 24) as usize;
             for _ in 0..ops {
                 let before = lc.state();
-                match g.next_u64() % 7 {
+                match g.next_u64() % 8 {
                     0..=3 => {
                         let target = LifecycleState::ALL[(g.next_u64() % n) as usize];
                         let res = lc.transition(target, "prop");
@@ -320,12 +391,23 @@ mod tests {
                         let acted = lc.fail(oom);
                         assert_eq!(lc.state() != before, acted);
                         if acted {
-                            let want = if oom {
+                            // An OOM bill is only legal while Running; a
+                            // terminating guest is hard-killed to Failed.
+                            let want = if oom && before != LifecycleState::Terminating {
                                 LifecycleState::OomKilled
                             } else {
                                 LifecycleState::Failed
                             };
                             assert_eq!(lc.state(), want);
+                        }
+                    }
+                    6 => {
+                        let acted = lc.begin_termination();
+                        assert_eq!(acted, before == LifecycleState::Running);
+                        if acted {
+                            assert_eq!(lc.state(), LifecycleState::Terminating);
+                        } else {
+                            assert_eq!(lc.state(), before, "SIGTERM re-delivery mutated state");
                         }
                     }
                     _ => {

@@ -47,10 +47,14 @@ pub enum Phase {
     /// rollback) rather than an orderly remove — kept distinct so recovery
     /// work never blends into the startup-phase breakdown.
     TeardownAfterFault,
+    /// Graceful termination: SIGTERM delivery, grace-period wait, and the
+    /// escalation to SIGKILL when the guest ignores it. Like
+    /// [`Phase::TeardownAfterFault`], frozen out of the STARTUP prefix.
+    Terminating,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::ApiDispatch,
         Phase::Sandbox,
         Phase::Cni,
@@ -63,6 +67,7 @@ impl Phase {
         Phase::Exec,
         Phase::Teardown,
         Phase::TeardownAfterFault,
+        Phase::Terminating,
     ];
 
     /// The phases a fault-free pod startup can produce — the column set of
@@ -97,6 +102,7 @@ impl Phase {
             Phase::Exec => "exec",
             Phase::Teardown => "teardown",
             Phase::TeardownAfterFault => "teardown-after-fault",
+            Phase::Terminating => "terminating",
         }
     }
 
@@ -115,6 +121,7 @@ impl Phase {
             Phase::Exec => 9,
             Phase::Teardown => 10,
             Phase::TeardownAfterFault => 11,
+            Phase::Terminating => 12,
         }
     }
 }
@@ -258,5 +265,6 @@ mod tests {
         // valid while STARTUP is an exact prefix of ALL.
         assert_eq!(&Phase::ALL[..Phase::STARTUP.len()], &Phase::STARTUP[..]);
         assert!(!Phase::STARTUP.contains(&Phase::TeardownAfterFault));
+        assert!(!Phase::STARTUP.contains(&Phase::Terminating));
     }
 }

@@ -16,6 +16,7 @@
 //! retired instructions (the engines' execution-time model).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::interp;
@@ -34,6 +35,56 @@ pub enum ExecTier {
     Lowered,
 }
 
+/// A shared epoch counter — the deterministic stand-in for the epoch-ticker
+/// thread real engines (wasmtime-style epoch interruption) run beside the
+/// guest. The executing instance advances it as instructions retire; any
+/// holder of a clone can observe it or force it past every deadline with
+/// [`EpochClock::interrupt`], which the guest notices at its next epoch
+/// check — exactly the "signal lands at the next safepoint" semantics of
+/// the real mechanism, with instruction counts standing in for time.
+#[derive(Debug, Clone, Default)]
+pub struct EpochClock {
+    epoch: Arc<AtomicU64>,
+}
+
+impl EpochClock {
+    pub fn new() -> EpochClock {
+        EpochClock::default()
+    }
+
+    /// Current epoch.
+    pub fn now(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advance by `ticks` epochs and return the new value. Saturating, so
+    /// an interrupted clock stays interrupted.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        let now = self.epoch.load(Ordering::Relaxed).saturating_add(ticks);
+        self.epoch.store(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Force the clock past every possible deadline: the guest traps with
+    /// `Trap::Interrupted` at its next epoch check.
+    pub fn interrupt(&self) {
+        self.epoch.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// Epoch-interruption settings: a clock shared with the embedder, a
+/// deadline, and how many retired instructions one epoch tick represents.
+#[derive(Debug, Clone)]
+pub struct EpochConfig {
+    /// The clock this instance advances and checks. Keep a clone to
+    /// interrupt the guest from outside.
+    pub clock: EpochClock,
+    /// Trap with `Trap::Interrupted` once the clock reaches this epoch.
+    pub deadline: u64,
+    /// Instructions retired per epoch tick (the check granularity).
+    pub tick_instrs: u64,
+}
+
 /// Instantiation/execution options.
 #[derive(Debug, Clone)]
 pub struct InstanceConfig {
@@ -42,11 +93,34 @@ pub struct InstanceConfig {
     pub fuel: Option<u64>,
     /// Maximum call depth before `Trap::StackOverflow`.
     pub max_call_depth: usize,
+    /// Optional epoch watchdog; `Trap::Interrupted` past the deadline.
+    pub epoch: Option<EpochConfig>,
 }
 
 impl Default for InstanceConfig {
     fn default() -> Self {
-        InstanceConfig { tier: ExecTier::InPlace, fuel: None, max_call_depth: 1024 }
+        InstanceConfig { tier: ExecTier::InPlace, fuel: None, max_call_depth: 1024, epoch: None }
+    }
+}
+
+/// Live epoch state: the countdown to the next tick of the shared clock.
+#[derive(Debug, Clone)]
+struct EpochState {
+    clock: EpochClock,
+    deadline: u64,
+    tick_instrs: u64,
+    until_tick: u64,
+}
+
+impl EpochState {
+    fn new(cfg: EpochConfig) -> EpochState {
+        let tick_instrs = cfg.tick_instrs.max(1);
+        EpochState {
+            clock: cfg.clock,
+            deadline: cfg.deadline,
+            tick_instrs,
+            until_tick: tick_instrs,
+        }
     }
 }
 
@@ -146,6 +220,7 @@ pub struct Instance {
     pub(crate) lowered: Vec<Option<Arc<LoweredFunc>>>,
     pub(crate) stats: ExecStats,
     pub(crate) fuel: Option<u64>,
+    epoch: Option<EpochState>,
     /// Reusable operand stack: cleared and handed to the interpreter on
     /// each invocation so repeated invokes don't reallocate.
     pub(crate) value_stack: Vec<Slot>,
@@ -243,6 +318,7 @@ impl Instance {
         let n_local_funcs = module.funcs.len();
         let mut inst = Instance {
             fuel: config.fuel,
+            epoch: config.epoch.clone().map(EpochState::new),
             config,
             memory,
             globals,
@@ -317,6 +393,13 @@ impl Instance {
         self.fuel = fuel;
     }
 
+    /// A handle to the epoch clock, if an epoch watchdog is configured.
+    /// Cloneable; `interrupt()` on any clone stops the guest at its next
+    /// epoch check.
+    pub fn epoch_clock(&self) -> Option<EpochClock> {
+        self.epoch.as_ref().map(|e| e.clock.clone())
+    }
+
     /// Access the linear memory (e.g. for test assertions).
     pub fn memory(&self) -> Option<&LinearMemory> {
         self.memory.as_ref()
@@ -381,7 +464,7 @@ impl Instance {
         result
     }
 
-    /// Burn fuel for `n` instructions.
+    /// Burn fuel for `n` instructions and service the epoch watchdog.
     #[inline]
     pub(crate) fn burn(&mut self, n: u64) -> Result<(), Trap> {
         self.stats.instrs_retired += n;
@@ -391,6 +474,20 @@ impl Instance {
                 return Err(Trap::OutOfFuel);
             }
             *fuel -= n;
+        }
+        if let Some(ep) = &mut self.epoch {
+            if n >= ep.until_tick {
+                // Crossed one or more tick boundaries: advance the shared
+                // clock and check the deadline (the epoch "safepoint").
+                let past = n - ep.until_tick;
+                let ticks = 1 + past / ep.tick_instrs;
+                ep.until_tick = ep.tick_instrs - past % ep.tick_instrs;
+                if ep.clock.advance(ticks) >= ep.deadline {
+                    return Err(Trap::Interrupted);
+                }
+            } else {
+                ep.until_tick -= n;
+            }
         }
         Ok(())
     }
@@ -507,5 +604,74 @@ mod tests {
             assert_eq!(inst.invoke("spin", &[]), Err(Trap::OutOfFuel));
             assert_eq!(inst.fuel_remaining(), Some(0));
         }
+    }
+
+    fn spin_module() -> Arc<Module> {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(FuncType::new(vec![], vec![]), |fb| {
+            fb.loop_(crate::types::BlockType::Empty, |fb| {
+                fb.br(0);
+            });
+        });
+        b.export_func("spin", f);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn epoch_deadline_interrupts_deterministically_on_both_tiers() {
+        let module = spin_module();
+        for tier in [ExecTier::InPlace, ExecTier::Lowered] {
+            let run = |deadline: u64| {
+                let cfg = InstanceConfig {
+                    tier,
+                    epoch: Some(EpochConfig {
+                        clock: EpochClock::new(),
+                        deadline,
+                        tick_instrs: 100,
+                    }),
+                    ..Default::default()
+                };
+                let mut inst =
+                    Instance::instantiate(Arc::clone(&module), Imports::new(), cfg).unwrap();
+                let res = inst.invoke("spin", &[]);
+                (res, inst.stats().instrs_retired, inst.epoch_clock().unwrap().now())
+            };
+            let (res, retired, epoch) = run(5);
+            assert_eq!(res, Err(Trap::Interrupted));
+            assert_eq!(epoch, 5, "trap lands exactly at the deadline tick");
+            let (res2, retired2, _) = run(5);
+            assert_eq!(res2, Err(Trap::Interrupted));
+            assert_eq!(retired, retired2, "same budget, same trap point");
+            // A later deadline retires strictly more instructions.
+            let (_, retired_more, _) = run(10);
+            assert!(retired_more > retired);
+        }
+    }
+
+    #[test]
+    fn external_interrupt_lands_at_the_next_epoch_check() {
+        let clock = EpochClock::new();
+        let cfg = InstanceConfig {
+            epoch: Some(EpochConfig { clock: clock.clone(), deadline: u64::MAX, tick_instrs: 10 }),
+            ..Default::default()
+        };
+        let mut inst = Instance::instantiate(spin_module(), Imports::new(), cfg).unwrap();
+        // Interrupt before the guest even starts: the first epoch check
+        // (after `tick_instrs` retired instructions) observes it.
+        clock.interrupt();
+        assert_eq!(inst.invoke("spin", &[]), Err(Trap::Interrupted));
+        assert!(inst.stats().instrs_retired <= 20, "stopped at the first safepoint");
+        assert_eq!(clock.now(), u64::MAX, "interrupted clock stays interrupted");
+    }
+
+    #[test]
+    fn epoch_clock_is_shared_across_clones() {
+        let clock = EpochClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(3), 3);
+        let other = clock.clone();
+        assert_eq!(other.now(), 3);
+        other.interrupt();
+        assert_eq!(clock.advance(1), u64::MAX, "saturates once interrupted");
     }
 }

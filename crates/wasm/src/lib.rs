@@ -47,7 +47,9 @@ pub use cache::{ArtifactCache, CacheStats};
 pub use decode::decode_module;
 pub use encode::encode_module;
 pub use error::{DecodeError, ValidationError};
-pub use instance::{ExecStats, ExecTier, HostFunc, Imports, Instance, InstanceConfig};
+pub use instance::{
+    EpochClock, EpochConfig, ExecStats, ExecTier, HostFunc, Imports, Instance, InstanceConfig,
+};
 pub use instr::Instruction;
 pub use memory::{LinearMemory, WASM_PAGE_SIZE};
 pub use module::{FuncBody, Module};

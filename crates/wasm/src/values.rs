@@ -165,6 +165,10 @@ pub enum Trap {
     StackOverflow,
     /// Instruction budget exhausted (engine-imposed fuel limit).
     OutOfFuel,
+    /// The engine's epoch deadline passed (watchdog interruption). Unlike
+    /// [`Trap::OutOfFuel`] this is an external, asynchronous-style stop:
+    /// the guest was healthy but overstayed its wall-clock (epoch) budget.
+    Interrupted,
     /// A host function failed (e.g. WASI error).
     HostError(String),
     /// `proc_exit` was called with this code (not an error, but unwinds).
@@ -184,6 +188,7 @@ impl fmt::Display for Trap {
             Trap::InvalidConversionToInteger => write!(f, "invalid conversion to integer"),
             Trap::StackOverflow => write!(f, "call stack exhausted"),
             Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Trap::Interrupted => write!(f, "epoch deadline reached; guest interrupted"),
             Trap::HostError(s) => write!(f, "host error: {s}"),
             Trap::Exit(code) => write!(f, "program exited with code {code}"),
         }

@@ -20,7 +20,9 @@
 pub mod module;
 pub mod python;
 
-pub use module::{microservice_module, microservice_module_bytes, MicroserviceConfig};
+pub use module::{
+    hung_service_module, microservice_module, microservice_module_bytes, MicroserviceConfig,
+};
 pub use python::{python_microservice_script, PythonScriptConfig};
 
 use oci_spec_lite::ImageBuilder;
@@ -35,6 +37,18 @@ pub fn wasm_microservice_image(reference: &str, cfg: &MicroserviceConfig) -> Ima
         // zero-copy byte string (which also keeps the engine-side module
         // artifact cache hot — identical bytes, identical content hash).
         .file("/app/main.wasm", microservice_module_bytes(cfg))
+}
+
+/// The hung-guest service image for the chaos sweep's watchdog scenario:
+/// the guest busy-waits until the simulated clock passes `ready_after_ns`
+/// (see [`hung_service_module`]), so starts dispatched earlier wedge on
+/// their watchdog budget and restarts dispatched later come up ready.
+pub fn hung_service_image(reference: &str, ready_after_ns: u64) -> ImageBuilder {
+    ImageBuilder::new(reference)
+        .entrypoint(["/app/hung.wasm".to_string()])
+        .annotation(oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
+        .env("SERVICE_NAME", "hung-service")
+        .file("/app/hung.wasm", hung_service_module(ready_after_ns))
 }
 
 /// The Python microservice image.

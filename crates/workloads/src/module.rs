@@ -182,6 +182,70 @@ fn build_microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {
     b.build_bytes()
 }
 
+/// The chaos sweep's hung-guest service: announces itself, then busy-waits
+/// on `clock_time_get` until the simulated clock passes `ready_after_ns`
+/// before printing its ready line.
+///
+/// The DES clock is frozen while a guest executes, so a start dispatched
+/// before `ready_after_ns` spins forever — only the watchdog epoch budget
+/// (armed by the kubelet from the liveness-probe window) parks it, leaving a
+/// wedged container for the probes to discover. A restart dispatched after
+/// `ready_after_ns` (the CrashLoopBackOff backoff has advanced the clock)
+/// sees the deadline already passed and reaches ready promptly — which makes
+/// the detect → interrupt → restart → converge contract fully deterministic.
+pub fn hung_service_module(ready_after_ns: u64) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let fd_write = b.import_func(
+        "wasi_snapshot_preview1",
+        "fd_write",
+        FuncType::new(vec![ValType::I32; 4], vec![ValType::I32]),
+    );
+    let clock_time_get = b.import_func(
+        "wasi_snapshot_preview1",
+        "clock_time_get",
+        FuncType::new(vec![ValType::I32, ValType::I64, ValType::I32], vec![ValType::I32]),
+    );
+    let mem = b.memory(40, Some(256));
+    b.export_memory("memory", mem);
+
+    // Layout: time at 8, iovecs at 16 (waiting) and 32 (ready), nwritten at
+    // 48, message bytes from 64.
+    let waiting = b"hung service: waiting\n".to_vec();
+    let ready = b"hung service: ready\n".to_vec();
+    let (waiting_ptr, ready_ptr) = (64i32, 128i32);
+    let mut iov = Vec::new();
+    iov.extend_from_slice(&waiting_ptr.to_le_bytes());
+    iov.extend_from_slice(&(waiting.len() as i32).to_le_bytes());
+    b.data(16, iov);
+    let mut iov = Vec::new();
+    iov.extend_from_slice(&ready_ptr.to_le_bytes());
+    iov.extend_from_slice(&(ready.len() as i32).to_le_bytes());
+    b.data(32, iov);
+    b.data(waiting_ptr, waiting);
+    b.data(ready_ptr, ready);
+
+    let start = b.func(FuncType::new(vec![], vec![]), |f| {
+        // fd_write(1, 16, 1, 48): announce before blocking.
+        f.i32_const(1).i32_const(16).i32_const(1).i32_const(48).call(fd_write).drop_();
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                // clock_time_get(realtime, 0, &time)
+                f.i32_const(0).i64_const(0).i32_const(8).call(clock_time_get).drop_();
+                f.i32_const(0)
+                    .i64_load(8)
+                    .i64_const(ready_after_ns as i64)
+                    .op(Instruction::I64GeU)
+                    .br_if(1);
+                f.br(0);
+            });
+        });
+        // fd_write(1, 32, 1, 48): the ready line.
+        f.i32_const(1).i32_const(32).i32_const(1).i32_const(48).call(fd_write).drop_();
+    });
+    b.export_func("_start", start);
+    b.build_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

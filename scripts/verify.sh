@@ -53,10 +53,34 @@ if [ "$violations" -ne 0 ]; then
   exit 1
 fi
 
+echo "== lint: hard kills go through the kubelet watchdog path =="
+# Containerd::interrupt_pod (epoch interrupt + SIGKILL + reap + lifecycle
+# fail) is the only sanctioned hard-kill verb, and only the kubelet may
+# call it: from the liveness-kill path and from the grace-period
+# escalation in remove_pod. New call sites elsewhere would bypass the
+# SIGTERM → grace → SIGKILL discipline. Same tests-at-end/comment
+# exemptions as above; the definition site (containerd's cri.rs) is
+# exempt too.
+violations=0
+for f in $(grep -rlF '.interrupt_pod(' crates/*/src --include='*.rs' \
+    | grep -v '^crates/containerd/src/cri.rs$' \
+    | grep -v '^crates/k8s/src/kubelet.rs$' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nF '.interrupt_pod(' | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: direct interrupt_pod call site(s) outside the kubelet; hard kills must ride the liveness/grace-period path" >&2
+  exit 1
+fi
+
 echo "== smoke: examples/quickstart =="
 cargo run --release --offline --example quickstart >/dev/null
 
-echo "== smoke: chaos sweep (--smoke plan) =="
+echo "== smoke: chaos sweep + hung-guest watchdog scenario (--smoke plan) =="
 cargo run --release --offline -p harness --bin chaos -- --smoke >/dev/null
 
 echo "verify: OK"

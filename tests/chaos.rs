@@ -7,10 +7,14 @@
 //! a plan armed at all. Everything the fault model adds must be pay-as-
 //! you-go.
 
-use memwasm::harness::chaos::{check_outcome, run_config, ChaosPlan};
+use memwasm::harness::chaos::{
+    check_hung_outcome, check_outcome, hung_liveness_probe, run_config, run_hung_guest, ChaosPlan,
+    HUNG_IMAGE_REF,
+};
 use memwasm::harness::{new_cluster, warmup, Config, Workload};
-use memwasm::k8s_sim::{Cluster, DeployOpts, PodPhase, RestartPolicy};
-use memwasm::simkernel::{Duration, FaultPlan, FaultSite, MapKind};
+use memwasm::k8s_sim::{Cluster, DeployOpts, PodPhase, ProbeSpec, RestartPolicy};
+use memwasm::simkernel::{Duration, FaultPlan, FaultSite, MapKind, Phase};
+use memwasm::workloads::hung_service_image;
 
 fn wamr_cluster(w: &Workload) -> Cluster {
     let mut cluster = new_cluster(&[Config::WamrCrun], w).unwrap();
@@ -52,7 +56,7 @@ fn injected_sync_fault_becomes_crashloop_then_recovers() {
             Config::WamrCrun.image_ref(),
             Config::WamrCrun.class_name(),
             1,
-            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+            DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
     let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
@@ -87,7 +91,7 @@ fn engine_instantiate_fault_recovers_on_the_runwasi_path() {
             Config::ShimWasmtime.image_ref(),
             Config::ShimWasmtime.class_name(),
             1,
-            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+            DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
     assert_eq!(cluster.kubelet.managed_pod("svc-0").unwrap().phase, PodPhase::CrashLoopBackOff);
@@ -111,7 +115,7 @@ fn oom_killed_pod_is_detected_and_restarted() {
             Config::WamrCrun.image_ref(),
             Config::WamrCrun.class_name(),
             1,
-            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+            DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
     let kernel = cluster.kernel.clone();
@@ -159,7 +163,7 @@ fn remove_pod_is_idempotent_on_a_crashlooping_pod() {
             Config::WamrCrun.image_ref(),
             Config::WamrCrun.class_name(),
             1,
-            DeployOpts { restart: RestartPolicy::Always, memory_limit: None },
+            DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
     assert_eq!(cluster.stats().crash_loop, 1);
@@ -179,6 +183,121 @@ fn seeded_chaos_converges_and_leaks_nothing() {
     let w = Workload::light();
     let plan = ChaosPlan::smoke(0x5EED);
     let outcome = run_config(Config::WamrCrun, &w, &plan).unwrap();
-    assert!(outcome.injected > 0);
+    assert!(outcome.injected_total() > 0);
     check_outcome(&outcome, &plan).unwrap();
+}
+
+#[test]
+fn hung_guest_is_detected_interrupted_restarted_and_converges() {
+    // The watchdog recovery contract, end to end: every pod of the initial
+    // deployment wedges on its epoch budget, the liveness probe detects it,
+    // the kubelet interrupts the guest through the epoch clock and parks
+    // the pod in CrashLoopBackOff, and the post-backoff restart comes up
+    // Running and ready — with flaky probe RPCs injected on top.
+    let w = Workload::light();
+    let plan = ChaosPlan::smoke(0xD06);
+    let outcome = run_hung_guest(Config::WamrCrun, &w, &plan).unwrap();
+    assert_eq!(outcome.wedged, plan.pods, "every first start must wedge");
+    assert!(outcome.probe_kills as usize >= plan.pods);
+    check_hung_outcome(&outcome, &plan).unwrap();
+}
+
+#[test]
+fn spurious_probe_faults_below_threshold_do_not_kill() {
+    // A single injected probe-RPC fault against a healthy pod: one failure
+    // is below the liveness failureThreshold, and the next success resets
+    // the counter — the pod must never be killed or restarted.
+    let w = Workload::light();
+    let mut cluster = wamr_cluster(&w);
+    cluster.kernel.set_fault_plan(FaultPlan::new(21).fail_call(FaultSite::Probe, 0));
+    let liveness =
+        ProbeSpec { period: Duration::from_secs(2), failure_threshold: 3, ..ProbeSpec::default() };
+    cluster
+        .deploy_with(
+            "svc",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts {
+                restart: RestartPolicy::Always,
+                liveness_probe: Some(liveness),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    for round in 0..4 {
+        cluster.kernel.advance(Duration::from_secs(2));
+        let report = cluster.reconcile();
+        assert!(report.probe_killed.is_empty(), "round {round} must not kill");
+        assert!(report.restarted.is_empty());
+    }
+    assert_eq!(cluster.kernel.faults_injected(FaultSite::Probe), 1, "the fault was drawn");
+    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::Running);
+    assert_eq!((entry.restarts, entry.failures), (0, 0));
+    cluster.teardown_managed().unwrap();
+}
+
+#[test]
+fn clean_pod_termination_advances_no_simulated_time() {
+    // SIGTERM to a responsive pod is honored promptly: the grace period
+    // never elapses on the DES clock, which is what keeps the paper's
+    // figure paths (deploy → measure → teardown) byte-identical.
+    let w = Workload::light();
+    let mut cluster = wamr_cluster(&w);
+    cluster
+        .deploy_with(
+            "svc",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
+        )
+        .unwrap();
+    let before = cluster.kernel.now();
+    let trace = cluster.kubelet.remove_pod_traced(&mut cluster.containerd, "svc-0").unwrap();
+    assert_eq!(cluster.kernel.now(), before, "no grace period for a clean pod");
+    assert!(
+        trace.entries().iter().any(|(p, _)| *p == Phase::Terminating),
+        "SIGTERM work is recorded under the Terminating phase"
+    );
+    assert!(cluster.kubelet.managed_pod("svc-0").is_none());
+}
+
+#[test]
+fn wedged_pod_termination_rides_out_the_grace_period_then_sigkills() {
+    let w = Workload::light();
+    let mut cluster = wamr_cluster(&w);
+    let procs_before = cluster.kernel.live_procs();
+    // A guest that will not be ready for a minute: its first start wedges
+    // on the 4 s watchdog budget the liveness probe derives.
+    let ready_after = cluster.kernel.now() + Duration::from_secs(60);
+    cluster.pull_image(hung_service_image(HUNG_IMAGE_REF, ready_after.as_nanos())).unwrap();
+    let grace = Duration::from_secs(3);
+    cluster
+        .deploy_with(
+            "hung",
+            HUNG_IMAGE_REF,
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts {
+                restart: RestartPolicy::Always,
+                liveness_probe: Some(hung_liveness_probe()),
+                termination_grace: Some(grace),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(cluster.containerd.pod_wedged("hung-0"), "the guest must wedge at deploy");
+
+    let before = cluster.kernel.now();
+    let trace = cluster.kubelet.remove_pod_traced(&mut cluster.containerd, "hung-0").unwrap();
+    assert_eq!(
+        cluster.kernel.now().since(before),
+        grace,
+        "a wedged guest rides out exactly the grace period"
+    );
+    assert!(trace.entries().iter().any(|(p, _)| *p == Phase::Terminating));
+    assert!(cluster.kubelet.managed_pod("hung-0").is_none());
+    assert_eq!(cluster.kernel.live_procs(), procs_before, "SIGKILL reaped everything");
 }
