@@ -16,7 +16,9 @@ pub mod report;
 pub mod runner;
 
 pub use config::{Config, Workload};
-pub use parallel::{run_cells, run_cells_on, worker_count, Cell};
+pub use parallel::{
+    effective_workers, run_cells, run_cells_on, run_cells_tracked, worker_count, Cell, GridRun,
+};
 pub use report::{mb, Table};
 pub use runner::{
     deploy_density, measure_cell, measure_memory, measure_startup, new_cluster, warmup, CellSample,

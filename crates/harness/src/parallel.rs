@@ -71,6 +71,41 @@ pub fn run_cells(cells: &[Cell], workload: &Workload) -> KernelResult<Vec<CellSa
     run_cells_on(cells, workload, worker_count(cells.len()))
 }
 
+/// The number of workers a grid run *actually* uses for `cells` cells
+/// when `threads` are requested: the serial fast path (one requested
+/// thread or a single-cell grid) runs on the calling thread, and a
+/// parallel run never spawns more workers than there are cells.
+///
+/// Benchmarks must record this — not the requested thread count — so a
+/// run that degraded to serial (e.g. a one-core host) is never labeled
+/// as parallel.
+pub fn effective_workers(cells: usize, threads: usize) -> usize {
+    if threads <= 1 || cells <= 1 {
+        1
+    } else {
+        threads.min(cells)
+    }
+}
+
+/// A completed grid run: the samples in grid order plus the worker
+/// count that actually measured them (see [`effective_workers`]).
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    pub samples: Vec<CellSample>,
+    pub workers: usize,
+}
+
+/// [`run_cells_on`], but also reporting the resolved worker count.
+pub fn run_cells_tracked(
+    cells: &[Cell],
+    workload: &Workload,
+    threads: usize,
+) -> KernelResult<GridRun> {
+    let workers = effective_workers(cells.len(), threads);
+    let samples = run_cells_on(cells, workload, threads)?;
+    Ok(GridRun { samples, workers })
+}
+
 /// [`run_cells`] with an explicit worker count (1 = serial in the calling
 /// thread). Output is identical for every `threads` value.
 pub fn run_cells_on(

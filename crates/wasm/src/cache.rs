@@ -15,6 +15,13 @@
 //! handful of workload images across hundreds of containers, so hit rates
 //! above 90% are expected and tested).
 //!
+//! The map is sharded into [`STRIPES`] independently locked stripes keyed
+//! by the low bits of the content hash, so parallel grid workers touching
+//! different modules never serialize on one global mutex. The (rare)
+//! occasions two workers *do* collide on a stripe are counted in
+//! [`CacheStats::lock_contentions`] — a driver-scaling canary the harness
+//! can watch.
+//!
 //! Modules returned by [`ArtifactCache::get_or_decode`] are **validated**:
 //! callers may instantiate them through
 //! [`Instance::instantiate_prevalidated`](crate::Instance::instantiate_prevalidated)
@@ -64,6 +71,9 @@ impl std::error::Error for ArtifactError {}
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Times a worker found its stripe's lock already held and had to
+    /// wait. Zero in serial runs; should stay near zero in parallel ones.
+    pub lock_contentions: u64,
 }
 
 impl CacheStats {
@@ -78,19 +88,51 @@ impl CacheStats {
     }
 }
 
+/// Lock stripes in the cache map. A power of two so stripe selection is a
+/// mask of the content hash; 16 is comfortably above any worker count the
+/// harness spawns.
+pub const STRIPES: usize = 16;
+
+type Shard = HashMap<u64, Vec<(Bytes, Arc<Module>)>>;
+
 /// A content-addressed map from module bytes to decoded+validated modules.
-#[derive(Default)]
 pub struct ArtifactCache {
-    /// hash → entries with that hash. Collisions are resolved by comparing
-    /// the stored bytes, so two distinct modules never alias.
-    inner: Mutex<HashMap<u64, Vec<(Bytes, Arc<Module>)>>>,
+    /// hash → entries with that hash, sharded by `hash & (STRIPES - 1)`.
+    /// Collisions are resolved by comparing the stored bytes, so two
+    /// distinct modules never alias.
+    stripes: [Mutex<Shard>; STRIPES],
     hits: AtomicU64,
     misses: AtomicU64,
+    contentions: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contentions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ArtifactCache {
     pub fn new() -> ArtifactCache {
         ArtifactCache::default()
+    }
+
+    /// Lock the stripe owning `key`, counting the contended acquisitions.
+    fn stripe(&self, key: u64) -> std::sync::MutexGuard<'_, Shard> {
+        let m = &self.stripes[(key & (STRIPES as u64 - 1)) as usize];
+        match m.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contentions.fetch_add(1, Ordering::Relaxed);
+                m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        }
     }
 
     /// The process-wide cache shared by every engine and worker thread.
@@ -112,8 +154,8 @@ impl ArtifactCache {
         let module = crate::decode::decode_module(bytes.clone()).map_err(ArtifactError::Decode)?;
         crate::validate::validate_module(&module).map_err(ArtifactError::Invalid)?;
         let module = Arc::new(module);
-        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let bucket = inner.entry(key).or_default();
+        let mut shard = self.stripe(key);
+        let bucket = shard.entry(key).or_default();
         // Another worker may have decoded the same bytes concurrently; keep
         // the first entry so every caller shares one Arc.
         if let Some((_, existing)) = bucket.iter().find(|(b, _)| b == bytes) {
@@ -126,14 +168,19 @@ impl ArtifactCache {
     }
 
     fn lookup(&self, key: u64, bytes: &Bytes) -> Option<Arc<Module>> {
-        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.get(&key)?.iter().find(|(b, _)| b == bytes).map(|(_, m)| Arc::clone(m))
+        let shard = self.stripe(key);
+        shard.get(&key)?.iter().find(|(b, _)| b == bytes).map(|(_, m)| Arc::clone(m))
     }
 
     /// Number of distinct modules cached.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.values().map(Vec::len).sum()
+        self.stripes
+            .iter()
+            .map(|m| {
+                let shard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                shard.values().map(Vec::len).sum::<usize>()
+            })
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -147,21 +194,23 @@ impl ArtifactCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            lock_contentions: self.contentions.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero the hit/miss counters (entries stay). Lets tests measure the
-    /// hit rate of one workload phase in isolation.
+    /// Zero the hit/miss/contention counters (entries stay). Lets tests
+    /// measure the hit rate of one workload phase in isolation.
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.contentions.store(0, Ordering::Relaxed);
     }
 
     /// Drop all entries and counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.clear();
-        drop(inner);
+        for m in &self.stripes {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        }
         self.reset_stats();
     }
 }
@@ -189,7 +238,7 @@ mod tests {
         let a = cache.get_or_decode(&bytes).unwrap();
         let b = cache.get_or_decode(&bytes.clone()).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same bytes must yield the same Arc");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, lock_contentions: 0 });
         assert_eq!(cache.len(), 1);
     }
 
@@ -199,7 +248,7 @@ mod tests {
         let a = cache.get_or_decode(&module_bytes(1)).unwrap();
         let b = cache.get_or_decode(&module_bytes(2)).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, lock_contentions: 0 });
         assert_eq!(cache.len(), 2);
     }
 
@@ -209,7 +258,7 @@ mod tests {
         let garbage = Bytes::from(&b"\x00asm\x01\x00\x00\x00\xff"[..]);
         assert!(cache.get_or_decode(&garbage).is_err());
         assert!(cache.is_empty());
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]
@@ -222,6 +271,44 @@ mod tests {
         assert!(cache.stats().hit_rate() >= 0.9);
         cache.reset_stats();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn striping_spreads_entries_and_counts_no_serial_contention() {
+        let cache = ArtifactCache::new();
+        // Enough distinct modules that at least two land on different
+        // stripes (keys are content hashes, stripes the low 4 bits).
+        let mut stripes_hit = std::collections::HashSet::new();
+        for marker in 0..32 {
+            let bytes = module_bytes(marker);
+            stripes_hit.insert(content_hash(&bytes) & (STRIPES as u64 - 1));
+            cache.get_or_decode(&bytes).unwrap();
+        }
+        assert!(stripes_hit.len() > 1, "32 hashes should span multiple stripes");
+        assert_eq!(cache.len(), 32);
+        // Single-threaded use never waits on a stripe lock.
+        assert_eq!(cache.stats().lock_contentions, 0);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn parallel_lookups_share_entries_across_stripes() {
+        let cache = ArtifactCache::new();
+        let all: Vec<Bytes> = (0..8).map(module_bytes).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for bytes in &all {
+                        cache.get_or_decode(bytes).unwrap();
+                    }
+                });
+            }
+        });
+        // Exactly one miss per distinct module regardless of interleaving.
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.stats().misses, 8);
+        assert_eq!(cache.stats().hits, 4 * 8 - 8);
     }
 
     #[test]

@@ -172,6 +172,9 @@ pub struct ExecStats {
     pub lowered_bytes: u64,
     /// High-water mark of the operand stack, in slots.
     pub peak_stack_slots: u64,
+    /// Superinstruction-fusion events in the code compiled for this
+    /// instance (lowered tier only; 0 on the in-place tier).
+    pub fused_ops: u64,
 }
 
 /// Errors during instantiation (before any code runs).
@@ -366,9 +369,10 @@ impl Instance {
             if self.lowered[i].is_none() {
                 let func_idx = module.num_imported_funcs() + i as u32;
                 let lf =
-                    lowered::lower_function(&module, func_idx).expect("validated function lowers");
+                    lowered::shared_lowered(&module, func_idx).expect("validated function lowers");
                 self.stats.lowered_bytes += lf.memory_bytes();
-                self.lowered[i] = Some(Arc::new(lf));
+                self.stats.fused_ops += lf.fused as u64;
+                self.lowered[i] = Some(lf);
             }
         }
     }

@@ -402,7 +402,7 @@ pub(crate) fn exec_simple(
 }
 
 /// Wasm `min`: NaN-propagating, -0 < +0.
-fn wasm_min_f32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_min_f32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -418,7 +418,7 @@ fn wasm_min_f32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_max_f32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_max_f32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -434,7 +434,7 @@ fn wasm_max_f32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_min_f64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_min_f64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -450,7 +450,7 @@ fn wasm_min_f64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn wasm_max_f64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_max_f64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {

@@ -1,7 +1,7 @@
 //! The Wasm microservice module generator.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use bytelite::Bytes;
 use wasm_core::types::BlockType;
@@ -84,15 +84,23 @@ pub fn microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {
 /// grids deploy hundreds of containers from a handful of configs; without
 /// the memo each deployment re-runs the module builder.
 pub fn microservice_module_bytes(cfg: &MicroserviceConfig) -> Bytes {
-    static MEMO: Mutex<Option<HashMap<MicroserviceConfig, Bytes>>> = Mutex::new(None);
-    let mut memo = MEMO.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    let memo = memo.get_or_insert_with(HashMap::new);
-    if let Some(bytes) = memo.get(cfg) {
+    static MEMO: RwLock<Option<HashMap<MicroserviceConfig, Bytes>>> = RwLock::new(None);
+    // Read-locked fast path: after warm-up every deployment on every
+    // driver worker hits here concurrently, so this must not serialize.
+    if let Some(bytes) = MEMO
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_ref()
+        .and_then(|m| m.get(cfg))
+    {
         return bytes.clone();
     }
+    // Build outside the write lock (generation is deterministic, so a
+    // racing duplicate build yields identical bytes and first-insert
+    // wins — cheaper than holding the lock across assembly).
     let bytes = Bytes::from(build_microservice_module(cfg));
-    memo.insert(cfg.clone(), bytes.clone());
-    bytes
+    let mut memo = MEMO.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    memo.get_or_insert_with(HashMap::new).entry(cfg.clone()).or_insert(bytes).clone()
 }
 
 fn build_microservice_module(cfg: &MicroserviceConfig) -> Vec<u8> {

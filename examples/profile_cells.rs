@@ -1,0 +1,25 @@
+//! Host-side profiling helper: time one grid cell per configuration so
+//! interpreter/driver optimisations can be attributed. Not part of verify.
+//!
+//! Usage: `cargo run --release --example profile_cells [density]`
+
+use std::time::Instant;
+
+use memwasm::harness::{measure_cell, Config, Observe, Workload};
+
+fn main() {
+    let density: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let w = Workload::default();
+    for config in Config::ALL {
+        let t = Instant::now();
+        let cell = measure_cell(config, density, &w, Observe::Memory).expect("cell");
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "{:<16} density {:>4}: {:>7.2}s  (metrics_avg {})",
+            config.label(),
+            density,
+            dt,
+            cell.memory.unwrap().metrics_avg
+        );
+    }
+}

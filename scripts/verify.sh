@@ -83,4 +83,9 @@ cargo run --release --offline --example quickstart >/dev/null
 echo "== smoke: chaos sweep + hung-guest watchdog scenario (--smoke plan) =="
 cargo run --release --offline -p harness --bin chaos -- --smoke >/dev/null
 
+echo "== perf smoke: fig8 grid, serial vs 2 workers =="
+# Fails if the 2-worker driver pass is >10% slower than the serial pass —
+# catches reintroduced shared-state serialization in harness::parallel.
+cargo run --release --offline -p harness --bin bench_trajectory -- --perf-smoke
+
 echo "verify: OK"

@@ -2,7 +2,15 @@
 //! across worker threads changes wall-clock only — the sample sequence and
 //! every rendered CSV byte are identical to the serial path.
 
-use memwasm::harness::{figures, run_cells_on, Cell, CellSample, Config, Observe, Workload};
+use std::sync::Mutex;
+
+use memwasm::harness::{
+    figures, run_cells_on, run_cells_tracked, Cell, CellSample, Config, Observe, Workload,
+};
+
+/// Serializes every test that mutates the process-wide `HARNESS_THREADS`
+/// environment variable — tests in one binary share the environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn grid() -> Vec<Cell> {
     let configs = [Config::WamrCrun, Config::CrunWasmtime, Config::CrunPython];
@@ -42,8 +50,9 @@ fn parallel_samples_match_serial_in_grid_order() {
 #[test]
 fn figure_csv_bytes_are_identical_across_drivers() {
     // HARNESS_THREADS steers the driver the figure functions use; both
-    // comparisons live in this one test so the env var is never mutated
+    // comparisons live under ENV_LOCK so the env var is never mutated
     // concurrently.
+    let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let w = Workload::light();
     let densities = [2usize, 4];
 
@@ -71,4 +80,47 @@ fn paired_figures_match_their_standalone_forms() {
     let (f3, f4) = figures::figs3_4(&w, &densities).unwrap();
     assert_eq!(f3.to_csv(), figures::fig3(&w, &densities).unwrap().to_csv());
     assert_eq!(f4.to_csv(), figures::fig4(&w, &densities).unwrap().to_csv());
+}
+
+#[test]
+fn pinned_thread_counts_are_byte_identical_and_parallel_is_not_slower() {
+    // Pin HARNESS_THREADS to 1, 2, and 8 and assert the merged grid is
+    // byte-identical every time (CSV bytes are the paper's ground truth).
+    let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let w = Workload::light();
+    let densities = [2usize, 4];
+
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("HARNESS_THREADS", threads);
+        let fig5 = figures::fig5(&w, &densities).unwrap();
+        runs.push((threads, fig5.to_csv().into_bytes(), fig5.render()));
+    }
+    std::env::remove_var("HARNESS_THREADS");
+    let (_, csv1, render1) = &runs[0];
+    for (threads, csv, render) in &runs[1..] {
+        assert_eq!(csv, csv1, "fig5 CSV bytes differ at HARNESS_THREADS={threads}");
+        assert_eq!(render, render1, "fig5 render differs at HARNESS_THREADS={threads}");
+    }
+
+    // Speedup sanity: with real cores available, the parallel driver must
+    // not be slower than serial (modulo 5% noise). On narrower hosts the
+    // comparison measures time-sharing, not the driver — skip it.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping speedup sanity: {cores} core(s) < 4");
+        return;
+    }
+    let cells = Cell::memory_grid(&[Config::WamrCrun, Config::CrunWasmtime], &[4, 8, 12, 16]);
+    let t = std::time::Instant::now();
+    run_cells_on(&cells, &w, 1).unwrap();
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let run = run_cells_tracked(&cells, &w, 4).unwrap();
+    let parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(run.workers, 4, "4 requested workers on a >=4-core host must all resolve");
+    assert!(
+        parallel_s <= serial_s * 1.05,
+        "parallel driver slower than serial: {parallel_s:.2}s vs {serial_s:.2}s"
+    );
 }
