@@ -416,6 +416,10 @@ impl Containerd {
                 // The shim executes the module in-process.
                 let module = resolve_module(&container.bundle, &container.spec)?;
                 let wasi = wasi_spec_from_oci(&container.bundle, &container.spec);
+                let (instantiate_churn, io_churn) = container_runtimes::handler::adversarial_opts(
+                    &container.bundle,
+                    &container.spec,
+                );
                 let mut run = execute_wasm_opts(
                     &self.kernel,
                     shim_pid,
@@ -426,6 +430,8 @@ impl Containerd {
                     ExecOptions {
                         embedding: Embedding::Crate,
                         epoch_budget: container.spec.watchdog_budget_ns().map(Duration::from_nanos),
+                        instantiate_churn,
+                        io_churn,
                         ..Default::default()
                     },
                 )?;

@@ -88,6 +88,8 @@ impl ContainerHandler for WamrHandler {
     ) -> KernelResult<HandlerOutcome> {
         let module = resolve_module(bundle, spec)?;
         let wasi = wasi_spec_from_oci(bundle, spec);
+        let (instantiate_churn, io_churn) =
+            container_runtimes::handler::adversarial_opts(bundle, spec);
         let run = execute_wasm_opts(
             kernel,
             pid,
@@ -100,6 +102,8 @@ impl ContainerHandler for WamrHandler {
                 share_module: self.config.share_modules,
                 embedding: engines::Embedding::CApi,
                 epoch_budget: spec.watchdog_budget_ns().map(simkernel::Duration::from_nanos),
+                instantiate_churn,
+                io_churn,
             },
         )?;
         Ok(HandlerOutcome {

@@ -63,8 +63,21 @@ pub struct ExecOptions {
     /// engine interrupts the run. The budget is converted to epoch ticks
     /// through the profile's execution-time model, so interruption is
     /// deterministic in retired instructions. `None` (the default) runs
-    /// without a watchdog — the figure paths are byte-identical.
+    /// without a watchdog — the figure paths are byte-identical. When the
+    /// pod's cgroup carries a `cpu.max` quota, the instruction budget is
+    /// scaled by quota/period: a throttled guest retires fewer instructions
+    /// per unit of wall time, so the same wall-time allowance catches a
+    /// spinner that an unthrottled deadline would let dodge.
     pub epoch_budget: Option<Duration>,
+    /// Adversarial knob: after `_start`, re-instantiate the module this many
+    /// times (a fork-bomb through the real `EngineInstantiate` fault site
+    /// and `ArtifactCache`), each instance's overhead staying charged — the
+    /// ratchet `memory.max` is there to stop.
+    pub instantiate_churn: u32,
+    /// Adversarial knob: after `_start`, stream `(file, passes)` cold reads
+    /// (self-evict, then re-fault) — the page-cache thrasher. Cold bytes and
+    /// io-queue delay become DES steps.
+    pub io_churn: Option<(FileId, u32)>,
 }
 
 impl Default for ExecOptions {
@@ -74,6 +87,8 @@ impl Default for ExecOptions {
             share_module: true,
             embedding: Embedding::CApi,
             epoch_budget: None,
+            instantiate_churn: 0,
+            io_churn: None,
         }
     }
 }
@@ -241,9 +256,20 @@ pub fn execute_wasm_opts(
     kernel.inject_fault(simkernel::FaultSite::EngineInstantiate)?;
     // Epoch watchdog: convert the time budget to deadline ticks through the
     // same execution-time model the Exec step below charges with, so the
-    // trap point is a pure function of the profile and the budget.
+    // trap point is a pure function of the profile, the budget, and the
+    // pod's cpu.max. Under a quota the guest only gets quota/period of each
+    // wall-time window, so the instruction allowance shrinks by that ratio —
+    // throttling stretches the guest's wall time rather than granting it
+    // more retired instructions.
+    let cpu_quota = kernel.cgroup_effective_cpu_max(kernel.proc_cgroup(pid)?)?;
     let epoch = opts.epoch_budget.map(|budget| {
-        let instrs = budget.as_nanos() / profile.exec_ns_per_instr.max(1);
+        let mut budget_ns = budget.as_nanos();
+        if let Some((quota, period)) = cpu_quota {
+            if quota < period {
+                budget_ns = (budget_ns as u128 * quota as u128 / period as u128) as u64;
+            }
+        }
+        let instrs = budget_ns / profile.exec_ns_per_instr.max(1);
         EpochConfig {
             clock: EpochClock::new(),
             deadline: (instrs / EPOCH_TICK_INSTRS).max(1),
@@ -275,10 +301,8 @@ pub fn execute_wasm_opts(
         Err(t) => return Err(simkernel::KernelError::InvalidState(format!("guest trapped: {t}"))),
     };
     let stats = inst.stats();
-    trace.push(
-        Phase::Exec,
-        Step::Cpu(Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr)),
-    );
+    let mut exec_cpu = Duration::from_nanos(stats.instrs_retired * profile.exec_ns_per_instr);
+    trace.push(Phase::Exec, Step::Cpu(exec_cpu));
 
     // --- charge what the run actually built -----------------------------
     let mut cache_hit = false;
@@ -342,6 +366,53 @@ pub fn execute_wasm_opts(
         if bytes > 0 {
             charge_anon(kernel, pid, bytes, "linear-memory")?;
         }
+    }
+
+    // --- adversarial churn (isolation harness only) ----------------------
+    // Instantiation fork-bomb: each spin goes through the real choke points
+    // — the EngineInstantiate fault site, the shared ArtifactCache, a real
+    // instantiation — and leaves the per-instance overhead charged, so the
+    // only thing standing between the churn and the node is memory.max.
+    for _ in 0..opts.instantiate_churn {
+        kernel.inject_fault(simkernel::FaultSite::EngineInstantiate)?;
+        let spare = ArtifactCache::global()
+            .get_or_decode(&bytes)
+            .map_err(|e| simkernel::KernelError::InvalidState(format!("bad module: {e}")))?;
+        let churn_cfg =
+            InstanceConfig { tier: profile.tier, fuel: Some(0), epoch: None, max_call_depth: 1024 };
+        let imports = WasiCtx::new(kernel.clone(), pid).into_imports();
+        Instance::instantiate_prevalidated(spare, imports, churn_cfg)
+            .map_err(|e| simkernel::KernelError::InvalidState(format!("instantiate: {e}")))?;
+        trace.push(Phase::Exec, Step::Cpu(profile.instantiate));
+        exec_cpu = exec_cpu.saturating_add(profile.instantiate);
+        charge_anon(kernel, pid, per_instance, "churn-instance")?;
+    }
+    // Page-cache thrasher: stream the file cold, over and over. Each pass
+    // self-evicts, then re-faults through the kernel's full cold-read path —
+    // io budget accounting, backlog queueing, and (with an armed IoModel)
+    // displacement of the neighbors' warm cache.
+    if let Some((stream, passes)) = opts.io_churn {
+        for _ in 0..passes {
+            kernel.evict_file(stream)?;
+            let (cold, queued) = kernel.read_file_cold(pid, stream)?;
+            if cold > 0 {
+                trace.push(Phase::Exec, io_step(cold));
+            }
+            if queued > 0 {
+                trace.push(Phase::Exec, Step::Io(Duration::from_nanos(queued)));
+            }
+        }
+    }
+
+    // --- cpu.max throttling ----------------------------------------------
+    // Charge the guest CPU this run consumed against the pod's quota; the
+    // returned sleep is off-CPU wall time appended to the program — a
+    // throttled tenant finishes late, it does not finish less. ZERO (no
+    // quota anywhere) pushes nothing, keeping the default path
+    // byte-identical.
+    let throttle = kernel.cgroup_charge_cpu(kernel.proc_cgroup(pid)?, exec_cpu)?;
+    if throttle > Duration::ZERO {
+        trace.push(Phase::Exec, Step::Io(throttle));
     }
 
     let stdout = stdout.borrow().clone();

@@ -25,7 +25,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use harness::figures::PAPER_DENSITIES;
-use harness::{run_cells_tracked, worker_count, Cell, Config, Workload};
+use harness::isolation::{isolation_sweep, throttle_totals, Attacker, IsolationPlan};
+use harness::{run_cells_tracked, worker_count, Cell, Config, ThrottleTotals, Workload};
+use wasm_core::{ArtifactCache, CacheStats};
 
 struct Sweep {
     name: &'static str,
@@ -101,8 +103,18 @@ fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Counters surfaced alongside the timings: shared-artifact-cache traffic
+/// (including the `lock_contentions` driver-scaling canary) and the cgroup
+/// throttle totals of the isolation smoke grid.
+struct Counters {
+    cache: CacheStats,
+    isolation_cells: usize,
+    isolation_s: f64,
+    throttle: ThrottleTotals,
+}
+
 /// Hand-rolled JSON (the workspace is std-only by design).
-fn render_json(requested: usize, timings: &[Timing]) -> String {
+fn render_json(requested: usize, timings: &[Timing], counters: &Counters) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"host_cores\": {},", host_cores());
     let _ = writeln!(out, "  \"requested_workers\": {requested},");
@@ -135,7 +147,25 @@ fn render_json(requested: usize, timings: &[Timing]) -> String {
         }
         out.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let c = &counters.cache;
+    let _ = writeln!(
+        out,
+        "  \"artifact_cache\": {{\"hits\": {}, \"misses\": {}, \"lock_contentions\": {}}},",
+        c.hits, c.misses, c.lock_contentions
+    );
+    let t = &counters.throttle;
+    let _ = writeln!(
+        out,
+        "  \"isolation\": {{\"cells\": {}, \"wall_s\": {:.3}, \"cpu_throttle_events\": {}, \"cpu_throttled_ns\": {}, \"io_throttle_events\": {}, \"io_queued_ns\": {}}}",
+        counters.isolation_cells,
+        counters.isolation_s,
+        t.cpu_throttle_events,
+        t.cpu_throttled_ns,
+        t.io_throttle_events,
+        t.io_queued_ns
+    );
+    out.push_str("}\n");
     out
 }
 
@@ -236,7 +266,29 @@ fn main() {
         timings.push(t);
     }
 
-    let json = render_json(requested, &timings);
+    // The isolation smoke grid rides along: its wall time tracks the chaos
+    // scenario's cost, and its cgroup throttle totals pin the containment
+    // counters the sweep depends on (zero here would mean the isolation
+    // score table stopped measuring anything).
+    let iso_plan = IsolationPlan::smoke();
+    let iso_cells = 1 + Attacker::ALL.len();
+    let t = Instant::now();
+    let (_, scores) = isolation_sweep(&[Config::WamrCrun], &Attacker::ALL, &workload, &iso_plan)
+        .expect("isolation sweep");
+    let isolation_s = t.elapsed().as_secs_f64();
+    let throttle = throttle_totals(&scores);
+    println!(
+        "isolation smoke: {} cells in {:.2}s, {} cpu / {} io throttle events",
+        iso_cells, isolation_s, throttle.cpu_throttle_events, throttle.io_throttle_events
+    );
+
+    let counters = Counters {
+        cache: ArtifactCache::global().stats(),
+        isolation_cells: iso_cells,
+        isolation_s,
+        throttle,
+    };
+    let json = render_json(requested, &timings, &counters);
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
     println!("\nwrote BENCH_harness.json");
 }

@@ -1,27 +1,73 @@
 //! Chaos sweep: deterministic fault injection across the Wasm configs.
 //!
-//! Usage: `cargo run -p harness --bin chaos [-- --smoke] [--seed N]`
+//! Usage: `cargo run -p harness --bin chaos [-- --smoke | --isolation-smoke] [--seed N]`
 //!
 //! Deploys pods under kubelet supervision with every fault site armed,
 //! drives the reconcile loop until each node settles, and fails (exit 1)
 //! if any configuration does not converge or leaks past its baseline.
 //! The sweep includes the hung-guest watchdog scenario (liveness probes
 //! detect a wedged guest, the epoch clock interrupts it, CrashLoopBackOff
-//! restarts it). `--smoke` runs the light CI plan `scripts/verify.sh` uses.
+//! restarts it) and — in the full run — the adversarial isolation grid
+//! (every Wasm config × every attacker, scored against an attacker-free
+//! baseline). `--smoke` runs the light CI fault plan `scripts/verify.sh`
+//! uses; `--isolation-smoke` runs only the isolation scenario on the
+//! contribution config, checking the containment contracts and that the
+//! zero-attacker path is byte-identical across repeated runs.
 
-use harness::chaos::{check_hung_outcome, check_outcome, sweep, ChaosPlan};
-use harness::Workload;
+use harness::chaos::{check_hung_outcome, check_outcome, sweep, ChaosPlan, WASM_CONFIGS};
+use harness::isolation::{check_isolation, isolation_sweep, run_tenants, Attacker, IsolationPlan};
+use harness::{Config, Workload};
 use simkernel::FaultSite;
+
+/// Run the isolation grid, print/save its table, and count contract
+/// violations. Returns the number of violations.
+fn run_isolation(configs: &[Config], workload: &Workload, plan: &IsolationPlan) -> usize {
+    let (table, scores) =
+        isolation_sweep(configs, &Attacker::ALL, workload, plan).expect("isolation sweep");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("isolation") {
+        println!("CSV written to {}", path.display());
+    }
+    let mut violations = 0;
+    for s in &scores {
+        if let Err(msg) = check_isolation(s, plan) {
+            eprintln!("FAIL: isolation {msg}");
+            violations += 1;
+        }
+    }
+    violations
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let isolation_smoke = args.iter().any(|a| a == "--isolation-smoke");
     let seed = args
         .iter()
         .position(|a| a == "--seed")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0xC4A0_5EED);
+
+    if isolation_smoke {
+        let workload = Workload::light();
+        let plan = IsolationPlan::smoke();
+        let mut violations = run_isolation(&[Config::WamrCrun], &workload, &plan);
+        // Zero-attacker determinism: the baseline leg must be a pure
+        // observer — repeated runs byte-identical.
+        let a = run_tenants(Config::WamrCrun, &workload, &plan, None).expect("baseline");
+        let b = run_tenants(Config::WamrCrun, &workload, &plan, None).expect("baseline");
+        if a != b {
+            eprintln!("FAIL: zero-attacker baseline not byte-identical:\n{a:?}\n{b:?}");
+            violations += 1;
+        }
+        if violations > 0 {
+            eprintln!("{violations} isolation scenario(s) violated the containment contract");
+            std::process::exit(1);
+        }
+        println!("isolation smoke: all attackers contained, victims ready, baseline deterministic");
+        return;
+    }
 
     let (workload, plan) = if smoke {
         (Workload::light(), ChaosPlan::smoke(seed))
@@ -51,6 +97,14 @@ fn main() {
             violations += 1;
         }
     }
+
+    // Full runs also sweep the adversarial isolation grid across every
+    // Wasm config (the smoke path has its own dedicated flag).
+    if !smoke {
+        let iso_plan = IsolationPlan { victims: 8, max_rounds: 24 };
+        violations += run_isolation(&WASM_CONFIGS, &workload, &iso_plan);
+    }
+
     if violations > 0 {
         eprintln!("{violations} scenario(s) violated the recovery contract");
         std::process::exit(1);

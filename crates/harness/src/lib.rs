@@ -11,11 +11,16 @@ pub mod chaos;
 pub mod claims;
 pub mod config;
 pub mod figures;
+pub mod isolation;
 pub mod parallel;
 pub mod report;
 pub mod runner;
 
 pub use config::{Config, Workload};
+pub use isolation::{
+    check_isolation, isolation_sweep, run_tenants, throttle_totals, Attacker, AttackerFate,
+    IsolationPlan, IsolationRun, IsolationScore, ThrottleTotals, VictimObservation,
+};
 pub use parallel::{
     effective_workers, run_cells, run_cells_on, run_cells_tracked, worker_count, Cell, GridRun,
 };

@@ -49,6 +49,14 @@ pub struct PodSpec {
     pub runtime_class: String,
     /// Optional memory limit (resources.limits.memory).
     pub memory_limit: Option<u64>,
+    /// Optional `cpu.max` quota as `(quota_ns, period_ns)` applied to the
+    /// pod's cgroup: the guest is throttled to quota/period of each period,
+    /// stretching its wall time and shrinking its epoch-watchdog allowance.
+    pub cpu_max: Option<(u64, u64)>,
+    /// Optional per-window cold-read byte budget applied to the pod's
+    /// cgroup (windows are [`simkernel::IO_WINDOW_NS`] long): reads past
+    /// the budget queue for the next window.
+    pub io_read_budget: Option<u64>,
     /// Liveness probe: consecutive failures interrupt the guest and route
     /// the pod into restart supervision.
     pub liveness_probe: Option<ProbeSpec>,

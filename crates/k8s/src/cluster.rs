@@ -42,8 +42,12 @@ pub struct ClusterStats {
     pub ready: usize,
     /// Supervised pods waiting out a restart backoff.
     pub crash_loop: usize,
-    /// Supervised pods evicted for node pressure (terminal).
+    /// Supervised pods evicted for node memory pressure (terminal).
     pub evicted: usize,
+    /// Supervised pods evicted for sustained cpu/io pressure — cgroup
+    /// throttle events past [`NodeConfig::pressure_eviction_threshold`]
+    /// (terminal, disjoint from [`ClusterStats::evicted`]).
+    pub pressure_evicted: usize,
     /// Supervised pods in the OomKilled phase (restart pending).
     pub oom_killed: usize,
 }
@@ -56,6 +60,10 @@ pub struct DeployOpts {
     pub restart: RestartPolicy,
     /// Optional `resources.limits.memory` applied to every pod.
     pub memory_limit: Option<u64>,
+    /// Optional `cpu.max` `(quota_ns, period_ns)` applied to every pod.
+    pub cpu_max: Option<(u64, u64)>,
+    /// Optional per-window cold-read byte budget applied to every pod.
+    pub io_read_budget: Option<u64>,
     /// Liveness probe applied to every pod (also arms the guest watchdog).
     pub liveness_probe: Option<ProbeSpec>,
     /// Readiness probe applied to every pod (gates [`ClusterStats::ready`]).
@@ -112,6 +120,7 @@ impl Cluster {
             ready: 0,
             crash_loop: 0,
             evicted: 0,
+            pressure_evicted: 0,
             oom_killed: 0,
         };
         for e in self.kubelet.managed() {
@@ -123,7 +132,13 @@ impl Cluster {
                     }
                 }
                 PodPhase::CrashLoopBackOff => stats.crash_loop += 1,
-                PodPhase::Evicted => stats.evicted += 1,
+                PodPhase::Evicted => {
+                    if e.pressure_evicted {
+                        stats.pressure_evicted += 1;
+                    } else {
+                        stats.evicted += 1;
+                    }
+                }
                 PodPhase::OomKilled => stats.oom_killed += 1,
                 _ => {}
             }
@@ -171,6 +186,8 @@ impl Cluster {
                 image: image.to_string(),
                 runtime_class: runtime_class.to_string(),
                 memory_limit: opts.memory_limit,
+                cpu_max: opts.cpu_max,
+                io_read_budget: opts.io_read_budget,
                 liveness_probe: opts.liveness_probe,
                 readiness_probe: opts.readiness_probe,
                 startup_probe: opts.startup_probe,

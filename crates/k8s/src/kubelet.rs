@@ -38,12 +38,23 @@ pub struct NodeConfig {
     /// reached by the paper's experiments on the 256 GiB testbed, so the
     /// figure paths are unaffected.
     pub eviction_threshold: u64,
+    /// Sustained-pressure eviction: a Running pod whose cgroup shows at
+    /// least this many cpu-throttle + io-throttle events is evicted with a
+    /// distinct reason ([`PodEntry::pressure_evicted`]). `None` (the
+    /// default) disables the stage entirely, so existing paths see no
+    /// behavior change.
+    pub pressure_eviction_threshold: Option<u64>,
 }
 
 impl Default for NodeConfig {
     /// Stock kubelet: 110 pods.
     fn default() -> Self {
-        NodeConfig { max_pods: 110, dispatch_per_sec: 50.0, eviction_threshold: 100 << 20 }
+        NodeConfig {
+            max_pods: 110,
+            dispatch_per_sec: 50.0,
+            eviction_threshold: 100 << 20,
+            pressure_eviction_threshold: None,
+        }
     }
 }
 
@@ -140,6 +151,14 @@ pub struct PodEntry {
     /// Startup probe passed (liveness/readiness are held off until then).
     /// True from the start for pods without a startup probe.
     pub started: bool,
+    /// The pod was evicted for sustained cpu/io throttle pressure (distinct
+    /// from the memory-pressure `Evicted` reason).
+    pub pressure_evicted: bool,
+    /// Startup program of the most recent successful sync (the DES replay
+    /// input for supervised pods, mirroring `PodRecord::trace`).
+    pub trace: StepTrace,
+    /// Dispatch time of the most recent successful sync.
+    pub dispatched_at: SimTime,
     /// The most recent start wedged on its watchdog budget: the guest was
     /// epoch-interrupted and parked. Only the probe machinery may act on
     /// this — detection must flow through liveness, not this flag.
@@ -156,6 +175,9 @@ pub struct ReconcileReport {
     pub oom_killed: Vec<String>,
     /// Pods evicted for node pressure this pass (terminal).
     pub evicted: Vec<String>,
+    /// Pods evicted for sustained cpu/io throttle pressure this pass
+    /// (terminal, distinct reason).
+    pub pressure_evicted: Vec<String>,
     /// Pods successfully restarted this pass.
     pub restarted: Vec<String>,
     /// Pods whose restart attempt failed again (backoff extended).
@@ -175,6 +197,7 @@ impl ReconcileReport {
     pub fn quiet(&self) -> bool {
         self.oom_killed.is_empty()
             && self.evicted.is_empty()
+            && self.pressure_evicted.is_empty()
             && self.restarted.is_empty()
             && self.backoff.is_empty()
             && self.probe_killed.is_empty()
@@ -347,6 +370,15 @@ impl Kubelet {
         // Pod infrastructure charged to the pod cgroup: a pseudo-process
         // owned by the kubelet's infra table (removed in `remove_pod`).
         let pod_cgroup = containerd.sandbox(&spec.name).expect("sandbox just created").pod_cgroup;
+        // Apply the pod's cpu/io controllers before any container runs in
+        // the cgroup; pods without them never touch the controllers (the
+        // figure paths stay byte-identical).
+        if spec.cpu_max.is_some() {
+            self.kernel.cgroup_set_cpu_max(pod_cgroup, spec.cpu_max)?;
+        }
+        if spec.io_read_budget.is_some() {
+            self.kernel.cgroup_set_io_read_budget(pod_cgroup, spec.io_read_budget)?;
+        }
         let infra_pid =
             ProcessImage::spawn(&self.kernel, format!("pod-infra:{}", spec.name), pod_cgroup)
                 .heap(POD_INFRA_BYTES, "pod-infra")
@@ -432,6 +464,9 @@ impl Kubelet {
             stdout: Vec::new(),
             ready: false,
             started: false,
+            pressure_evicted: false,
+            trace: StepTrace::new(),
+            dispatched_at,
             wedged: false,
             liveness: None,
             readiness: None,
@@ -441,6 +476,8 @@ impl Kubelet {
             Ok(record) => {
                 entry.phase = PodPhase::Running;
                 entry.stdout = record.stdout;
+                entry.trace = record.trace;
+                entry.dispatched_at = record.dispatched_at;
                 entry.wedged = containerd.pod_wedged(&name);
                 Self::arm_probes(&mut entry, self.kernel.now());
             }
@@ -636,6 +673,35 @@ impl Kubelet {
             report.evicted.push(name);
         }
 
+        // Sustained-pressure eviction: a Running pod whose cgroup has
+        // accumulated enough cpu/io throttle events is the tenant the
+        // controllers keep having to restrain — evict it through the same
+        // best-effort path, with its own reason. Off unless configured.
+        if let Some(threshold) = self.config.pressure_eviction_threshold {
+            let offenders: Vec<String> = self
+                .pods
+                .iter()
+                .filter(|(_, e)| e.phase == PodPhase::Running)
+                .filter(|(name, _)| {
+                    containerd.sandbox(name).map_or(false, |s| {
+                        self.kernel.cgroup_stats(s.pod_cgroup).map_or(false, |st| {
+                            st.nr_cpu_throttled + st.io_throttle_events >= threshold
+                        })
+                    })
+                })
+                .map(|(n, _)| n.clone())
+                .collect();
+            for name in offenders {
+                let _ = self.teardown_pod_resources(containerd, &name);
+                report.trace.push(Phase::TeardownAfterFault, Step::Cpu(cost::SYNC_CPU));
+                let e = self.pods.get_mut(&name).expect("selected from table");
+                e.phase = PodPhase::Evicted;
+                e.pressure_evicted = true;
+                e.next_restart_at = None;
+                report.pressure_evicted.push(name);
+            }
+        }
+
         let due: Vec<String> = self
             .pods
             .iter()
@@ -656,6 +722,8 @@ impl Kubelet {
                     e.failures = 0;
                     e.next_restart_at = None;
                     e.stdout = record.stdout;
+                    e.trace = record.trace;
+                    e.dispatched_at = record.dispatched_at;
                     e.wedged = wedged;
                     Self::arm_probes(e, now);
                     report.restarted.push(name);

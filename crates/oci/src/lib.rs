@@ -22,5 +22,6 @@ pub use image::{Image, ImageBuilder, ImageConfig, ImageStore, LayerFile};
 pub use json::{parse as parse_json, JsonError, Value};
 pub use spec::{
     LinuxSpec, MemoryResources, MountSpec, ProcessSpec, RootSpec, RuntimeSpec,
-    WASM_VARIANT_ANNOTATION, WATCHDOG_BUDGET_ANNOTATION,
+    INSTANTIATE_CHURN_ANNOTATION, IO_CHURN_ANNOTATION, WASM_VARIANT_ANNOTATION,
+    WATCHDOG_BUDGET_ANNOTATION,
 };

@@ -14,6 +14,16 @@ pub const WASM_VARIANT_ANNOTATION: &str = "module.wasm.image/variant";
 /// every guest handler honors it; absent means the guest runs unwatched.
 pub const WATCHDOG_BUDGET_ANNOTATION: &str = "container.sim/watchdog-epoch-budget-ns";
 
+/// Adversarial annotation: instantiate the module this many extra times
+/// after `_start` (the fork-bomb workload). Absent or unparsable means no
+/// churn.
+pub const INSTANTIATE_CHURN_ANNOTATION: &str = "container.sim/instantiate-churn";
+
+/// Adversarial annotation: stream this many cold-read passes over the
+/// image's stream file after `_start` (the page-cache thrasher). Absent or
+/// unparsable means no churn.
+pub const IO_CHURN_ANNOTATION: &str = "container.sim/io-churn-passes";
+
 /// `process` object: what to execute.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProcessSpec {
@@ -118,6 +128,16 @@ impl RuntimeSpec {
     /// [`WATCHDOG_BUDGET_ANNOTATION`] is set (and parses).
     pub fn watchdog_budget_ns(&self) -> Option<u64> {
         self.annotations.get(WATCHDOG_BUDGET_ANNOTATION)?.parse().ok()
+    }
+
+    /// Fork-bomb churn count, if [`INSTANTIATE_CHURN_ANNOTATION`] is set.
+    pub fn instantiate_churn(&self) -> Option<u32> {
+        self.annotations.get(INSTANTIATE_CHURN_ANNOTATION)?.parse().ok()
+    }
+
+    /// Thrasher pass count, if [`IO_CHURN_ANNOTATION`] is set.
+    pub fn io_churn_passes(&self) -> Option<u32> {
+        self.annotations.get(IO_CHURN_ANNOTATION)?.parse().ok()
     }
 
     /// Serialize to `config.json` bytes.

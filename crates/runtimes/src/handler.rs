@@ -71,6 +71,26 @@ pub fn resolve_module(bundle: &Bundle, spec: &RuntimeSpec) -> KernelResult<simke
     bundle.resolve(entry).ok_or_else(|| KernelError::PathNotFound(format!("{entry} not in rootfs")))
 }
 
+/// Guest path of the streaming data file adversarial thrasher images carry.
+pub const THRASH_STREAM_PATH: &str = "/data/stream.bin";
+
+/// Extract the adversarial [`ExecOptions`] knobs from the spec's
+/// annotations: fork-bomb churn count, and thrasher passes resolved against
+/// the bundle's [`THRASH_STREAM_PATH`] file. Both default to off; a thrash
+/// annotation on an image without a stream file is silently inert. Shared
+/// by every guest-execution path (crun handlers and runwasi shims) so the
+/// attacker workloads behave identically under all seven configs.
+pub fn adversarial_opts(
+    bundle: &Bundle,
+    spec: &RuntimeSpec,
+) -> (u32, Option<(simkernel::FileId, u32)>) {
+    let churn = spec.instantiate_churn().unwrap_or(0);
+    let io = spec
+        .io_churn_passes()
+        .and_then(|passes| bundle.resolve(THRASH_STREAM_PATH).map(|fid| (fid, passes)));
+    (churn, io)
+}
+
 /// Build the WASI configuration from the OCI process spec — the paper's
 /// §III-C integration aspect 2 (arguments, environment, preopens).
 pub fn wasi_spec_from_oci(bundle: &Bundle, spec: &RuntimeSpec) -> WasiSpec {
@@ -127,6 +147,7 @@ impl ContainerHandler for WasmEngineHandler {
     ) -> KernelResult<HandlerOutcome> {
         let module = resolve_module(bundle, spec)?;
         let wasi = wasi_spec_from_oci(bundle, spec);
+        let (instantiate_churn, io_churn) = adversarial_opts(bundle, spec);
         let run = execute_wasm_opts(
             kernel,
             pid,
@@ -136,6 +157,8 @@ impl ContainerHandler for WasmEngineHandler {
             self.fuel,
             ExecOptions {
                 epoch_budget: spec.watchdog_budget_ns().map(Duration::from_nanos),
+                instantiate_churn,
+                io_churn,
                 ..Default::default()
             },
         )?;

@@ -1,4 +1,4 @@
-//! cgroup v2 memory controller.
+//! cgroup v2 memory, cpu, and io controllers.
 //!
 //! The Kubernetes metrics-server observer in the reproduction reads per-pod
 //! cgroup *working set* — `memory.current` minus reclaimable file pages —
@@ -12,8 +12,26 @@
 //!   makes every later container look (and be) cheap;
 //! * `memory.current` is hierarchical: a charge anywhere in a subtree is
 //!   visible at every ancestor.
+//!
+//! Beyond `memory.max`, two more controllers contain noisy neighbors:
+//!
+//! * **`cpu.max`** (quota/period): guest CPU time charged through
+//!   [`CgroupTree::charge_cpu`] beyond the quota share becomes *throttled
+//!   sleep* — off-CPU time that stretches the guest's simulated wall clock
+//!   without consuming cores. The most restrictive quota on the path to
+//!   root applies, and throttle events are recorded on the limiting group.
+//! * **io read budget**: cold page-cache reads charged through
+//!   [`CgroupTree::charge_io_cold`] are admitted against a per-window byte
+//!   budget; bytes beyond it are deferred (the reader stalls until the
+//!   window refills) and counted as throttle events.
+//!
+//! Both controllers are inert when unset: a cgroup without `cpu.max` or an
+//! io budget behaves byte-for-byte as before they existed.
 
 use std::collections::BTreeMap;
+
+/// Length of the io read-budget accounting window (1 simulated second).
+pub const IO_WINDOW_NS: u64 = 1_000_000_000;
 
 /// Identifier of a cgroup in the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -42,6 +60,30 @@ impl MemStat {
     }
 }
 
+/// Full per-cgroup controller snapshot (memory + cpu + io), the analogue of
+/// reading `memory.stat`, `cpu.stat`, and `io.stat` together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CgroupStats {
+    /// Subtree-inclusive memory counters.
+    pub mem: MemStat,
+    /// Times this cgroup's `memory.max` triggered an OOM.
+    pub oom_events: u64,
+    /// `cpu.max` as `(quota_ns, period_ns)`; `None` means unlimited.
+    pub cpu_max: Option<(u64, u64)>,
+    /// `cpu.stat nr_throttled`: charge operations that hit the quota.
+    pub nr_cpu_throttled: u64,
+    /// `cpu.stat throttled_usec` analogue: total throttled sleep, ns.
+    pub cpu_throttled_ns: u64,
+    /// Cold-read byte budget per [`IO_WINDOW_NS`]; `None` means unlimited.
+    pub io_read_budget: Option<u64>,
+    /// Subtree-inclusive cold-read bytes (all time).
+    pub io_cold_bytes: u64,
+    /// Cold reads that exceeded the window budget.
+    pub io_throttle_events: u64,
+    /// Total queueing delay experienced by this subtree's reads, ns.
+    pub io_queued_ns: u64,
+}
+
 #[derive(Debug, Clone)]
 struct Cgroup {
     name: String,
@@ -54,10 +96,53 @@ struct Cgroup {
     mapped_file: u64,
     /// `memory.max`: `None` means unlimited.
     limit: Option<u64>,
+    /// `cpu.max` as `(quota_ns, period_ns)`: the subtree may run `quota` of
+    /// CPU time per `period` of wall time. `None` means unlimited.
+    cpu_max: Option<(u64, u64)>,
+    /// Throttle events recorded on the limiting cgroup.
+    nr_cpu_throttled: u64,
+    /// Total throttled sleep imposed by this cgroup's quota, ns.
+    cpu_throttled_ns: u64,
+    /// Cold-read byte budget per [`IO_WINDOW_NS`]. `None` means unlimited.
+    io_read_budget: Option<u64>,
+    /// Start of the current io accounting window (ns of simulated time).
+    io_window_start_ns: u64,
+    /// Bytes admitted in the current window.
+    io_window_bytes: u64,
+    /// Subtree-inclusive cold-read bytes (all time).
+    io_cold_bytes: u64,
+    /// Reads that exceeded the window budget.
+    io_throttle_events: u64,
+    /// Subtree-inclusive queueing delay, ns.
+    io_queued_ns: u64,
     /// Number of processes directly in this cgroup.
     procs: u64,
     /// Times this cgroup's limit triggered an OOM.
     oom_events: u64,
+}
+
+impl Cgroup {
+    fn new(name: &str, parent: Option<CgroupId>) -> Cgroup {
+        Cgroup {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+            stat: MemStat::default(),
+            mapped_file: 0,
+            limit: None,
+            cpu_max: None,
+            nr_cpu_throttled: 0,
+            cpu_throttled_ns: 0,
+            io_read_budget: None,
+            io_window_start_ns: 0,
+            io_window_bytes: 0,
+            io_cold_bytes: 0,
+            io_throttle_events: 0,
+            io_queued_ns: 0,
+            procs: 0,
+            oom_events: 0,
+        }
+    }
 }
 
 /// The cgroup hierarchy.
@@ -80,19 +165,7 @@ impl CgroupTree {
     pub fn new() -> Self {
         let root = CgroupId(0);
         let mut groups = BTreeMap::new();
-        groups.insert(
-            root,
-            Cgroup {
-                name: "/".to_string(),
-                parent: None,
-                children: Vec::new(),
-                stat: MemStat::default(),
-                mapped_file: 0,
-                limit: None,
-                procs: 0,
-                oom_events: 0,
-            },
-        );
+        groups.insert(root, Cgroup::new("/", None));
         CgroupTree { next_id: 1, groups, root }
     }
 
@@ -110,19 +183,7 @@ impl CgroupTree {
         }
         let id = CgroupId(self.next_id);
         self.next_id += 1;
-        self.groups.insert(
-            id,
-            Cgroup {
-                name: name.to_string(),
-                parent: Some(parent),
-                children: Vec::new(),
-                stat: MemStat::default(),
-                mapped_file: 0,
-                limit: None,
-                procs: 0,
-                oom_events: 0,
-            },
-        );
+        self.groups.insert(id, Cgroup::new(name, Some(parent)));
         self.groups.get_mut(&parent).unwrap().children.push(id);
         Some(id)
     }
@@ -159,6 +220,150 @@ impl CgroupTree {
 
     pub fn limit(&self, id: CgroupId) -> Option<u64> {
         self.groups.get(&id).and_then(|g| g.limit)
+    }
+
+    /// Set `cpu.max` as `(quota_ns, period_ns)`. A zero quota or period is
+    /// rejected (Linux requires both positive); `None` lifts the limit.
+    pub fn set_cpu_max(&mut self, id: CgroupId, cpu_max: Option<(u64, u64)>) -> bool {
+        if let Some((q, p)) = cpu_max {
+            if q == 0 || p == 0 {
+                return false;
+            }
+        }
+        match self.groups.get_mut(&id) {
+            Some(g) => {
+                g.cpu_max = cpu_max;
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn cpu_max(&self, id: CgroupId) -> Option<(u64, u64)> {
+        self.groups.get(&id).and_then(|g| g.cpu_max)
+    }
+
+    /// The most restrictive `cpu.max` on the path to root (lowest
+    /// quota/period ratio), with the cgroup it is set on.
+    pub fn effective_cpu_max(&self, id: CgroupId) -> Option<(CgroupId, u64, u64)> {
+        let mut best: Option<(CgroupId, u64, u64)> = None;
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let g = self.groups.get(&c)?;
+            if let Some((q, p)) = g.cpu_max {
+                let tighter = match best {
+                    // Compare q/p < bq/bp without division: q*bp < bq*p.
+                    Some((_, bq, bp)) => (q as u128) * (bp as u128) < (bq as u128) * (p as u128),
+                    None => true,
+                };
+                if tighter {
+                    best = Some((c, q, p));
+                }
+            }
+            cur = g.parent;
+        }
+        best
+    }
+
+    /// Charge `cpu_ns` of guest CPU time against the subtree's `cpu.max`.
+    /// Returns the throttled sleep the guest must serve: running `cpu_ns`
+    /// at a quota/period duty cycle takes `cpu_ns * period / quota` of wall
+    /// time, of which all but `cpu_ns` is off-CPU throttled sleep. Records
+    /// the throttle event on the limiting cgroup. With no `cpu.max` on the
+    /// path this returns 0 and records nothing.
+    pub fn charge_cpu(&mut self, id: CgroupId, cpu_ns: u64) -> u64 {
+        let Some((limiter, quota, period)) = self.effective_cpu_max(id) else {
+            return 0;
+        };
+        if quota >= period || cpu_ns == 0 {
+            return 0;
+        }
+        let sleep = ((cpu_ns as u128) * (period as u128 - quota as u128) / (quota as u128)) as u64;
+        if sleep == 0 {
+            return 0;
+        }
+        let g = self.groups.get_mut(&limiter).expect("limiter found by ancestor walk");
+        g.nr_cpu_throttled += 1;
+        g.cpu_throttled_ns += sleep;
+        sleep
+    }
+
+    /// Set the cold-read byte budget per [`IO_WINDOW_NS`]; `None` lifts it.
+    pub fn set_io_read_budget(&mut self, id: CgroupId, budget: Option<u64>) -> bool {
+        match self.groups.get_mut(&id) {
+            Some(g) => {
+                g.io_read_budget = budget;
+                g.io_window_start_ns = 0;
+                g.io_window_bytes = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn io_read_budget(&self, id: CgroupId) -> Option<u64> {
+        self.groups.get(&id).and_then(|g| g.io_read_budget)
+    }
+
+    /// Account `bytes` of cold page-cache read by `id` at simulated instant
+    /// `now_ns`. Cold bytes accumulate subtree-inclusively (like memory
+    /// charges); the nearest io budget on the path to root admits bytes
+    /// against its current window and defers the excess. Returns the
+    /// deferred (throttled) byte count — 0 when no budget is set.
+    pub fn charge_io_cold(&mut self, id: CgroupId, bytes: u64, now_ns: u64) -> u64 {
+        if !self.groups.contains_key(&id) || bytes == 0 {
+            return 0;
+        }
+        let mut budget_owner = None;
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let g = self.groups.get_mut(&c).expect("ancestor exists");
+            g.io_cold_bytes += bytes;
+            if budget_owner.is_none() && g.io_read_budget.is_some() {
+                budget_owner = Some(c);
+            }
+            cur = g.parent;
+        }
+        let Some(owner) = budget_owner else { return 0 };
+        let g = self.groups.get_mut(&owner).expect("owner found by ancestor walk");
+        let budget = g.io_read_budget.expect("owner has a budget");
+        if now_ns.saturating_sub(g.io_window_start_ns) >= IO_WINDOW_NS {
+            g.io_window_start_ns = now_ns;
+            g.io_window_bytes = 0;
+        }
+        let admitted = bytes.min(budget.saturating_sub(g.io_window_bytes));
+        g.io_window_bytes += admitted;
+        let throttled = bytes - admitted;
+        if throttled > 0 {
+            g.io_throttle_events += 1;
+        }
+        throttled
+    }
+
+    /// Record `ns` of io queueing delay, subtree-inclusively.
+    pub fn record_io_queue(&mut self, id: CgroupId, ns: u64) {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(g) = self.groups.get_mut(&c) else { break };
+            g.io_queued_ns += ns;
+            cur = g.parent;
+        }
+    }
+
+    /// Full controller snapshot for one cgroup.
+    pub fn stats(&self, id: CgroupId) -> Option<CgroupStats> {
+        let g = self.groups.get(&id)?;
+        Some(CgroupStats {
+            mem: g.stat,
+            oom_events: g.oom_events,
+            cpu_max: g.cpu_max,
+            nr_cpu_throttled: g.nr_cpu_throttled,
+            cpu_throttled_ns: g.cpu_throttled_ns,
+            io_read_budget: g.io_read_budget,
+            io_cold_bytes: g.io_cold_bytes,
+            io_throttle_events: g.io_throttle_events,
+            io_queued_ns: g.io_queued_ns,
+        })
     }
 
     pub fn stat(&self, id: CgroupId) -> Option<MemStat> {
@@ -351,6 +556,68 @@ mod tests {
         t.record_oom(g);
         t.record_oom(g);
         assert_eq!(t.oom_events(g), Some(2));
+    }
+
+    #[test]
+    fn cpu_max_throttles_and_records() {
+        let mut t = CgroupTree::new();
+        let g = t.create(t.root(), "g").unwrap();
+        // No quota: charge is free and records nothing.
+        assert_eq!(t.charge_cpu(g, 1_000_000), 0);
+        assert_eq!(t.stats(g).unwrap().nr_cpu_throttled, 0);
+        // 25% duty cycle: 1ms of CPU costs 3ms of throttled sleep.
+        assert!(t.set_cpu_max(g, Some((25_000_000, 100_000_000))));
+        assert_eq!(t.charge_cpu(g, 1_000_000), 3_000_000);
+        let s = t.stats(g).unwrap();
+        assert_eq!(s.nr_cpu_throttled, 1);
+        assert_eq!(s.cpu_throttled_ns, 3_000_000);
+        assert_eq!(s.cpu_max, Some((25_000_000, 100_000_000)));
+        // Quota >= period means unthrottled; zero quota is rejected.
+        assert!(t.set_cpu_max(g, Some((2, 1))));
+        assert_eq!(t.charge_cpu(g, 1_000_000), 0);
+        assert!(!t.set_cpu_max(g, Some((0, 1))));
+    }
+
+    #[test]
+    fn cpu_max_is_hierarchical_and_tightest_wins() {
+        let mut t = CgroupTree::new();
+        let parent = t.create(t.root(), "p").unwrap();
+        let child = t.create(parent, "c").unwrap();
+        t.set_cpu_max(parent, Some((50, 100)));
+        t.set_cpu_max(child, Some((75, 100)));
+        // Parent's 50% is tighter than the child's 75%.
+        let (limiter, q, p) = t.effective_cpu_max(child).unwrap();
+        assert_eq!((limiter, q, p), (parent, 50, 100));
+        assert_eq!(t.charge_cpu(child, 1_000), 1_000);
+        assert_eq!(t.stats(parent).unwrap().nr_cpu_throttled, 1);
+        assert_eq!(t.stats(child).unwrap().nr_cpu_throttled, 0);
+    }
+
+    #[test]
+    fn io_budget_admits_per_window_and_defers_excess() {
+        let mut t = CgroupTree::new();
+        let g = t.create(t.root(), "g").unwrap();
+        // No budget: nothing deferred, cold bytes still counted.
+        assert_eq!(t.charge_io_cold(g, 4096, 0), 0);
+        assert_eq!(t.stats(g).unwrap().io_cold_bytes, 4096);
+        assert_eq!(t.stats(t.root()).unwrap().io_cold_bytes, 4096);
+        t.set_io_read_budget(g, Some(10_000));
+        assert_eq!(t.charge_io_cold(g, 8_000, 0), 0);
+        assert_eq!(t.charge_io_cold(g, 8_000, 0), 6_000, "window has 2_000 left");
+        assert_eq!(t.stats(g).unwrap().io_throttle_events, 1);
+        // A new window refills the budget.
+        assert_eq!(t.charge_io_cold(g, 8_000, IO_WINDOW_NS), 0);
+        assert_eq!(t.stats(g).unwrap().io_throttle_events, 1);
+    }
+
+    #[test]
+    fn io_queue_delay_records_up_the_tree() {
+        let mut t = CgroupTree::new();
+        let parent = t.create(t.root(), "p").unwrap();
+        let child = t.create(parent, "c").unwrap();
+        t.record_io_queue(child, 500);
+        assert_eq!(t.stats(child).unwrap().io_queued_ns, 500);
+        assert_eq!(t.stats(parent).unwrap().io_queued_ns, 500);
     }
 
     #[test]

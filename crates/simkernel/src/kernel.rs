@@ -11,7 +11,7 @@ use std::sync::Arc;
 use bytelite::Bytes;
 use std::sync::{Mutex, MutexGuard};
 
-use crate::cgroup::{CgroupId, CgroupTree, ChargeKind, MemStat};
+use crate::cgroup::{CgroupId, CgroupStats, CgroupTree, ChargeKind, MemStat, IO_WINDOW_NS};
 use crate::error::{KernelError, KernelResult};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::mem::{round_up_pages, MapKind, Mapping, MappingId};
@@ -76,6 +76,26 @@ impl FreeReport {
     }
 }
 
+/// Global io-pressure model for cold reads. Like [`FaultPlan`], it must be
+/// armed explicitly ([`Kernel::set_io_model`]); an unarmed kernel charges io
+/// counters but never delays, displaces, or queues anything, so the default
+/// figure path is byte-identical to a kernel that predates the model.
+///
+/// When armed, every cold read queues behind a machine-wide byte backlog
+/// (`queue_ns_per_mib` per MiB already queued), the backlog drains at
+/// `drain_bytes_per_sec` as the simulated clock advances, and — with
+/// `displace` — a cold read evicts other tenants' unmapped page cache, which
+/// is how a streaming thrasher makes its neighbors pay cold re-reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoModel {
+    /// Queue delay per MiB of outstanding backlog at read time.
+    pub queue_ns_per_mib: u64,
+    /// Backlog drain rate while the clock advances.
+    pub drain_bytes_per_sec: u64,
+    /// Cold reads displace other tenants' unmapped page cache.
+    pub displace: bool,
+}
+
 #[derive(Debug)]
 struct KernelState {
     cfg: KernelConfig,
@@ -91,6 +111,10 @@ struct KernelState {
     /// Installed fault schedule. The default (zero) plan is inert: it never
     /// draws from its RNG and never alters an operation.
     faults: FaultPlan,
+    /// Armed io-pressure model; `None` (the default) is inert.
+    io_model: Option<IoModel>,
+    /// Machine-wide bytes of cold-read traffic not yet drained by the disk.
+    io_backlog: u64,
 }
 
 /// Handle to the simulated kernel. Clone freely.
@@ -123,6 +147,8 @@ impl Kernel {
             total_anon: 0,
             total_kernel: cfg.boot_used_bytes,
             faults: FaultPlan::none(),
+            io_model: None,
+            io_backlog: 0,
             cfg,
         };
         Kernel { state: Arc::new(Mutex::new(state)) }
@@ -171,10 +197,37 @@ impl Kernel {
         self.st().clock
     }
 
-    /// Advance the simulated clock.
+    /// Advance the simulated clock. With an armed [`IoModel`], elapsed time
+    /// also drains the cold-read backlog at the model's disk rate.
     pub fn advance(&self, d: Duration) {
         let mut st = self.st();
         st.clock += d;
+        if st.io_backlog > 0 {
+            if let Some(m) = st.io_model {
+                let drained =
+                    (d.as_nanos() as u128 * m.drain_bytes_per_sec as u128 / 1_000_000_000) as u64;
+                st.io_backlog = st.io_backlog.saturating_sub(drained);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- io pressure
+
+    /// Arm (or disarm, with `None`) the io-pressure model. Arming resets the
+    /// backlog so runs are independent.
+    pub fn set_io_model(&self, model: Option<IoModel>) {
+        let mut st = self.st();
+        st.io_model = model;
+        st.io_backlog = 0;
+    }
+
+    pub fn io_model(&self) -> Option<IoModel> {
+        self.st().io_model
+    }
+
+    /// Current undrained cold-read backlog in bytes (always 0 when unarmed).
+    pub fn io_backlog(&self) -> u64 {
+        self.st().io_backlog
     }
 
     // -------------------------------------------------------------- cgroups
@@ -234,6 +287,69 @@ impl Kernel {
 
     pub fn cgroup_oom_events(&self, cg: CgroupId) -> KernelResult<u64> {
         self.st().cgroups.oom_events(cg).ok_or(KernelError::NoSuchCgroup(cg))
+    }
+
+    /// Set (or clear) `cpu.max` as `(quota_ns, period_ns)`. Rejects zero
+    /// quota or period.
+    pub fn cgroup_set_cpu_max(&self, cg: CgroupId, max: Option<(u64, u64)>) -> KernelResult<()> {
+        let mut st = self.st();
+        if !st.cgroups.exists(cg) {
+            return Err(KernelError::NoSuchCgroup(cg));
+        }
+        if st.cgroups.set_cpu_max(cg, max) {
+            Ok(())
+        } else {
+            Err(KernelError::InvalidState(format!("invalid cpu.max {max:?} for {cg:?}")))
+        }
+    }
+
+    pub fn cgroup_cpu_max(&self, cg: CgroupId) -> KernelResult<Option<(u64, u64)>> {
+        let st = self.st();
+        if !st.cgroups.exists(cg) {
+            return Err(KernelError::NoSuchCgroup(cg));
+        }
+        Ok(st.cgroups.cpu_max(cg))
+    }
+
+    /// The tightest `(quota_ns, period_ns)` on the path from `cg` to the
+    /// root, or `None` when the whole path is unlimited.
+    pub fn cgroup_effective_cpu_max(&self, cg: CgroupId) -> KernelResult<Option<(u64, u64)>> {
+        let st = self.st();
+        if !st.cgroups.exists(cg) {
+            return Err(KernelError::NoSuchCgroup(cg));
+        }
+        Ok(st.cgroups.effective_cpu_max(cg).map(|(_, q, p)| (q, p)))
+    }
+
+    /// Charge guest CPU time against the tightest `cpu.max` on the path to
+    /// the root. Returns the extra off-CPU time the caller must serve before
+    /// running again — [`Duration::ZERO`] when no quota applies, so the
+    /// unlimited path is byte-identical to a kernel without the controller.
+    pub fn cgroup_charge_cpu(&self, cg: CgroupId, cpu: Duration) -> KernelResult<Duration> {
+        let mut st = self.st();
+        if !st.cgroups.exists(cg) {
+            return Err(KernelError::NoSuchCgroup(cg));
+        }
+        Ok(Duration::from_nanos(st.cgroups.charge_cpu(cg, cpu.as_nanos())))
+    }
+
+    /// Set (or clear) the per-window cold-read byte budget
+    /// ([`IO_WINDOW_NS`]-sized windows). Rejects a zero budget.
+    pub fn cgroup_set_io_read_budget(&self, cg: CgroupId, budget: Option<u64>) -> KernelResult<()> {
+        let mut st = self.st();
+        if !st.cgroups.exists(cg) {
+            return Err(KernelError::NoSuchCgroup(cg));
+        }
+        if st.cgroups.set_io_read_budget(cg, budget) {
+            Ok(())
+        } else {
+            Err(KernelError::InvalidState(format!("invalid io budget {budget:?} for {cg:?}")))
+        }
+    }
+
+    /// Full controller snapshot: memory, cpu throttling, io pressure.
+    pub fn cgroup_stats(&self, cg: CgroupId) -> KernelResult<CgroupStats> {
+        self.st().cgroups.stats(cg).ok_or(KernelError::NoSuchCgroup(cg))
     }
 
     /// Would charging `bytes` to `cg` breach `memory.max` anywhere up the
@@ -506,6 +622,24 @@ impl Kernel {
         Ok(f.content.bytes().cloned())
     }
 
+    /// Like [`Kernel::read_file`], but returns `(cold bytes faulted, io
+    /// queue delay ns)` instead of content — the adversarial thrash loop
+    /// uses this to turn each pass into DES disk + queue steps.
+    pub fn read_file_cold(&self, pid: Pid, id: FileId) -> KernelResult<(u64, u64)> {
+        let mut st = self.st();
+        let cg = st.alive(pid)?.cgroup;
+        match st.fault_file(cg, id, u64::MAX) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                if let KernelError::OutOfMemory { .. } = e {
+                    st.teardown(pid)?;
+                    st.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Bytes of a file currently in the page cache.
     pub fn file_cached(&self, id: FileId) -> KernelResult<u64> {
         self.st().vfs.get(id).map(|f| f.cached_bytes).ok_or(KernelError::NoSuchFile(id))
@@ -666,8 +800,9 @@ impl KernelState {
     }
 
     /// Fault up to `limit` bytes of a file into the page cache, charging the
-    /// first-toucher cgroup. Returns newly cached bytes.
-    fn fault_file(&mut self, cg: CgroupId, id: FileId, limit: u64) -> KernelResult<u64> {
+    /// first-toucher cgroup. Returns `(newly cached bytes, io queue delay in
+    /// ns)`; the delay is always 0 unless an [`IoModel`] is armed.
+    fn fault_file(&mut self, cg: CgroupId, id: FileId, limit: u64) -> KernelResult<(u64, u64)> {
         let (size, cached) = {
             let f = self.vfs.get(id).ok_or(KernelError::NoSuchFile(id))?;
             (f.size(), f.cached_bytes)
@@ -675,7 +810,7 @@ impl KernelState {
         let target =
             round_up_pages(size.min(limit), PAGE_SIZE).min(round_up_pages(size, PAGE_SIZE));
         if cached >= target {
-            return Ok(0);
+            return Ok((0, 0));
         }
         // A cold read is about to hit the (simulated) disk — fault site.
         self.inject(FaultSite::ColdRead)?;
@@ -705,7 +840,63 @@ impl KernelState {
         let f = self.vfs.get_mut(id).expect("checked above");
         f.cached_bytes = target;
         self.cgroups.charge(charge_to, ChargeKind::File, delta);
-        Ok(delta)
+        let queued = self.io_pressure(cg, id, delta);
+        Ok((delta, queued))
+    }
+
+    /// Account a cold read of `bytes` against the reader's io controllers
+    /// and, when the [`IoModel`] is armed, against the machine-wide backlog.
+    /// Returns the queue delay in ns the read must serve.
+    ///
+    /// The budget/counter half (`charge_io_cold`) always runs — counters are
+    /// observers and change no figure output. The backlog, window-stall, and
+    /// displacement halves only run when armed, which is what keeps the
+    /// default path byte-identical.
+    fn io_pressure(&mut self, cg: CgroupId, id: FileId, bytes: u64) -> u64 {
+        let now_ns = self.clock.as_nanos();
+        let throttled = self.cgroups.charge_io_cold(cg, bytes, now_ns);
+        let Some(model) = self.io_model else {
+            return 0;
+        };
+        // The read waits behind everything already queued for the disk.
+        let mut queued =
+            (self.io_backlog as u128 * model.queue_ns_per_mib as u128 / (1 << 20)) as u64;
+        if throttled > 0 {
+            // The over-budget tail of the read waits for the next window.
+            queued = queued.saturating_add(IO_WINDOW_NS);
+        }
+        self.io_backlog = self.io_backlog.saturating_add(bytes);
+        if model.displace {
+            self.displace_cache(cg, id, bytes);
+        }
+        if queued > 0 {
+            self.cgroups.record_io_queue(cg, queued);
+        }
+        queued
+    }
+
+    /// A streaming cold read displaces other tenants' unmapped page cache,
+    /// one victim file at a time in `FileId` order, up to `budget` bytes.
+    /// Files charged to the reader's own cgroup are skipped — a thrasher
+    /// evicts its neighbors, not itself.
+    fn displace_cache(&mut self, reader: CgroupId, keep: FileId, mut budget: u64) {
+        let victims: Vec<FileId> = self.vfs.evictable().filter(|&fid| fid != keep).collect();
+        for fid in victims {
+            if budget == 0 {
+                break;
+            }
+            let f = self.vfs.get_mut(fid).expect("evictable file exists");
+            if f.charged_to == Some(reader) {
+                continue;
+            }
+            let evicted = f.cached_bytes;
+            let charged = f.charged_to.take();
+            f.cached_bytes = 0;
+            if let Some(cg) = charged {
+                self.cgroups.uncharge(cg, ChargeKind::File, evicted);
+            }
+            budget = budget.saturating_sub(evicted);
+        }
     }
 
     fn touch_inner(

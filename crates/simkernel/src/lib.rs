@@ -54,12 +54,12 @@ pub mod time;
 pub mod trace;
 pub mod vfs;
 
-pub use cgroup::{CgroupId, MemStat};
+pub use cgroup::{CgroupId, CgroupStats, MemStat, IO_WINDOW_NS};
 pub use des::{LockId, Sim, SimOutcome, Step, TaskId, TaskSpec};
 pub use error::{KernelError, KernelResult};
 pub use faults::{FaultPlan, FaultSite};
 pub use image::{ProcGuard, ProcessImage};
-pub use kernel::{FreeReport, Kernel, KernelConfig, PAGE_SIZE};
+pub use kernel::{FreeReport, IoModel, Kernel, KernelConfig, PAGE_SIZE};
 pub use lifecycle::{Lifecycle, LifecycleState};
 pub use mem::{MapKind, MappingId};
 pub use proc::{Pid, ProcState};

@@ -21,7 +21,8 @@ pub mod module;
 pub mod python;
 
 pub use module::{
-    hung_service_module, microservice_module, microservice_module_bytes, MicroserviceConfig,
+    balloon_module, hung_service_module, microservice_module, microservice_module_bytes,
+    MicroserviceConfig,
 };
 pub use python::{python_microservice_script, PythonScriptConfig};
 
@@ -49,6 +50,48 @@ pub fn hung_service_image(reference: &str, ready_after_ns: u64) -> ImageBuilder 
         .annotation(oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
         .env("SERVICE_NAME", "hung-service")
         .file("/app/hung.wasm", hung_service_module(ready_after_ns))
+}
+
+/// The memory-growth balloon attacker image (see [`balloon_module`]).
+pub fn balloon_image(reference: &str, step_pages: i32, steps: i32) -> ImageBuilder {
+    ImageBuilder::new(reference)
+        .entrypoint(["/app/balloon.wasm".to_string()])
+        .annotation(oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
+        .env("SERVICE_NAME", "balloon")
+        .file("/app/balloon.wasm", balloon_module(step_pages, steps))
+}
+
+/// The CPU spinner attacker image: a microservice whose burn is sized to
+/// sit just under the epoch deadline (see [`MicroserviceConfig::spinner`]).
+pub fn spinner_image(reference: &str, loop_iterations: i32) -> ImageBuilder {
+    wasm_microservice_image(reference, &MicroserviceConfig::spinner(loop_iterations))
+}
+
+/// The page-cache thrasher attacker image: a tiny service that carries a
+/// `/data/stream.bin` payload and the io-churn annotation, so every guest
+/// execution path streams `passes` cold reads over it.
+pub fn thrasher_image(reference: &str, stream_bytes: usize, passes: u32) -> ImageBuilder {
+    let quiet = MicroserviceConfig {
+        loop_iterations: 100,
+        ready_message: "thrasher ready\n",
+        ..Default::default()
+    };
+    wasm_microservice_image(reference, &quiet)
+        .annotation(oci_spec_lite::IO_CHURN_ANNOTATION, &passes.to_string())
+        .file("/data/stream.bin", vec![0u8; stream_bytes])
+}
+
+/// The instantiation fork-bomb attacker image: the churn annotation makes
+/// the engine re-instantiate the module `churn` extra times, each instance's
+/// overhead staying charged.
+pub fn fork_bomb_image(reference: &str, churn: u32) -> ImageBuilder {
+    let quiet = MicroserviceConfig {
+        loop_iterations: 100,
+        ready_message: "fork-bomb ready\n",
+        ..Default::default()
+    };
+    wasm_microservice_image(reference, &quiet)
+        .annotation(oci_spec_lite::INSTANTIATE_CHURN_ANNOTATION, &churn.to_string())
 }
 
 /// The Python microservice image.

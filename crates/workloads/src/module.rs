@@ -58,6 +58,20 @@ impl MicroserviceConfig {
             ready_message: "cache service ready\n",
         }
     }
+
+    /// The adversarial CPU spinner: a bounded burn sized by the attacker to
+    /// sit just under the epoch deadline, so the watchdog never fires —
+    /// until `cpu.max` scales the deadline down and the same burn overshoots
+    /// it. Light on code padding: the spin is the workload.
+    pub fn spinner(loop_iterations: i32) -> Self {
+        MicroserviceConfig {
+            memory_pages: 40,
+            max_memory_pages: Some(256),
+            code_padding_funcs: 8,
+            loop_iterations,
+            ready_message: "spinner ready\n",
+        }
+    }
 }
 
 /// Build the microservice module binary.
@@ -254,6 +268,50 @@ pub fn hung_service_module(ready_after_ns: u64) -> Vec<u8> {
     b.build_bytes()
 }
 
+/// The memory-growth balloon: announces itself, then ratchets linear memory
+/// with `memory.grow(step_pages)` up to `steps` times, stopping early if a
+/// grow fails. The grown memory stays held when `_start` returns, so the
+/// engine charges it all to the pod — `memory.max` on the attacker's cgroup
+/// is the only thing between this and the node's free list.
+pub fn balloon_module(step_pages: i32, steps: i32) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let fd_write = b.import_func(
+        "wasi_snapshot_preview1",
+        "fd_write",
+        FuncType::new(vec![ValType::I32; 4], vec![ValType::I32]),
+    );
+    // No declared max: growth is bounded by the step count, not the module.
+    let mem = b.memory(16, None);
+    b.export_memory("memory", mem);
+
+    let msg = b"balloon ready\n".to_vec();
+    let msg_len = msg.len() as i32;
+    b.data(64, msg);
+    let mut iov = Vec::new();
+    iov.extend_from_slice(&64i32.to_le_bytes());
+    iov.extend_from_slice(&msg_len.to_le_bytes());
+    b.data(16, iov);
+
+    let start = b.func(FuncType::new(vec![], vec![]), move |f| {
+        // fd_write(1, 16, 1, 32): the ready line, before inflating.
+        f.i32_const(1).i32_const(16).i32_const(1).i32_const(32).call(fd_write).drop_();
+        let i = f.local(ValType::I32);
+        f.i32_const(steps).local_set(i);
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                f.local_get(i).op(Instruction::I32Eqz).br_if(1);
+                // memory.grow(step) == -1 means the ratchet hit a wall.
+                f.i32_const(step_pages).op(Instruction::MemoryGrow);
+                f.i32_const(-1).op(Instruction::I32Eq).br_if(1);
+                f.local_get(i).i32_const(1).op(Instruction::I32Sub).local_set(i);
+                f.br(0);
+            });
+        });
+    });
+    b.export_func("_start", start);
+    b.build_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +385,29 @@ mod tests {
         assert_eq!(&a[..], &microservice_module(&cfg)[..]);
         let heavy = microservice_module_bytes(&MicroserviceConfig::compute_heavy());
         assert_ne!(&a[..], &heavy[..]);
+    }
+
+    #[test]
+    fn balloon_grows_and_holds() {
+        let bytes = balloon_module(16, 8); // 16 + 128 pages = 9 MiB
+        let module = Arc::new(decode_module(bytes).unwrap());
+        validate_module(&module).unwrap();
+        let imports = Imports::new().func("wasi_snapshot_preview1", "fd_write", |_m, _a| {
+            Ok(vec![wasm_core::Value::I32(0)])
+        });
+        let mut inst = Instance::instantiate(
+            module,
+            imports,
+            InstanceConfig {
+                tier: ExecTier::InPlace,
+                fuel: Some(100_000_000),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        inst.run_start().unwrap();
+        let mem = inst.memory().expect("exported memory");
+        assert_eq!(mem.size_bytes(), (16 + 16 * 8) * 64 * 1024, "ratcheted to full size");
     }
 
     #[test]

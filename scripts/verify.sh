@@ -77,11 +77,43 @@ if [ "$violations" -ne 0 ]; then
   exit 1
 fi
 
+echo "== lint: cgroup charge/limit verbs ride their sanctioned choke points =="
+# Cgroup CPU charging and limit-setting are accounting choke points: guest
+# CPU is charged once per execution (engines' exec pipeline), and cpu/io
+# limits are applied once per pod sync (the kubelet). Call sites anywhere
+# else would double-charge or bypass the pod-spec path — page/byte charges
+# must never reach cgroup accounting around those verbs. Same
+# tests-at-end/comment exemptions as above; simkernel (the definition
+# site) is exempt.
+cgroup_verbs='\.cgroup_charge_cpu\(|\.cgroup_set_cpu_max\(|\.cgroup_set_io_read_budget\('
+violations=0
+for f in $(grep -rlE "$cgroup_verbs" crates/*/src --include='*.rs' \
+    | grep -v '^crates/simkernel/' \
+    | grep -v '^crates/engines/src/exec.rs$' \
+    | grep -v '^crates/k8s/src/kubelet.rs$' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nE "$cgroup_verbs" | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: cgroup charge/limit call site(s) outside the exec pipeline / kubelet sync; charges must not bypass cgroup accounting" >&2
+  exit 1
+fi
+
 echo "== smoke: examples/quickstart =="
 cargo run --release --offline --example quickstart >/dev/null
 
 echo "== smoke: chaos sweep + hung-guest watchdog scenario (--smoke plan) =="
 cargo run --release --offline -p harness --bin chaos -- --smoke >/dev/null
+
+echo "== smoke: adversarial isolation (1 attacker × 4 kinds vs 4 victims) =="
+# Containment contracts on the contribution config: every attacker
+# throttled / OOM-killed / backed-off / pressure-evicted, victims Running
+# and ready, and the zero-attacker baseline byte-identical across runs.
+cargo run --release --offline -p harness --bin chaos -- --isolation-smoke >/dev/null
 
 echo "== perf smoke: fig8 grid, serial vs 2 workers =="
 # Fails if the 2-worker driver pass is >10% slower than the serial pass —

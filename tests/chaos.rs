@@ -7,14 +7,25 @@
 //! a plan armed at all. Everything the fault model adds must be pay-as-
 //! you-go.
 
+use std::sync::Mutex;
+
 use memwasm::harness::chaos::{
     check_hung_outcome, check_outcome, hung_liveness_probe, run_config, run_hung_guest, ChaosPlan,
     HUNG_IMAGE_REF,
 };
+use memwasm::harness::isolation::{
+    self, attacker_liveness_probe, isolation_sweep, observe_victims, run_tenants,
+    victim_readiness_probe, Attacker, IsolationPlan, ATTACKER_CPU_MAX, ATTACKER_IO_BUDGET,
+    ATTACKER_MEMORY_LIMIT, ISOLATION_CORES,
+};
 use memwasm::harness::{new_cluster, warmup, Config, Workload};
-use memwasm::k8s_sim::{Cluster, DeployOpts, PodPhase, ProbeSpec, RestartPolicy};
-use memwasm::simkernel::{Duration, FaultPlan, FaultSite, MapKind, Phase};
+use memwasm::k8s_sim::{Cluster, DeployOpts, NodeConfig, PodPhase, ProbeSpec, RestartPolicy};
+use memwasm::simkernel::{Duration, FaultPlan, FaultSite, KernelConfig, MapKind, Phase};
 use memwasm::workloads::hung_service_image;
+
+/// Serializes the tests that mutate the process-wide `HARNESS_THREADS`
+/// environment variable (shared with every test in this binary).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn wamr_cluster(w: &Workload) -> Cluster {
     let mut cluster = new_cluster(&[Config::WamrCrun], w).unwrap();
@@ -300,4 +311,148 @@ fn wedged_pod_termination_rides_out_the_grace_period_then_sigkills() {
     assert!(trace.entries().iter().any(|(p, _)| *p == Phase::Terminating));
     assert!(cluster.kubelet.managed_pod("hung-0").is_none());
     assert_eq!(cluster.kernel.live_procs(), procs_before, "SIGKILL reaped everything");
+}
+
+#[test]
+fn zero_attacker_isolation_run_matches_plain_supervised_deploy() {
+    // The isolation baseline must be a pure observer: a cluster with the
+    // sustained-pressure eviction rule armed (but never tripped) and the
+    // cgroup controllers present (but never set) yields victim observables
+    // byte-identical to a plain supervised deploy on a stock node of the
+    // same shape — the zero-attacker path costs nothing.
+    let w = Workload::light();
+    let plan = IsolationPlan { victims: 3, max_rounds: 8 };
+    let baseline = run_tenants(Config::WamrCrun, &w, &plan, None).unwrap();
+
+    // The plain path: same kernel shape, *no* pressure-eviction rule, the
+    // pre-existing deploy/reconcile loop, measured the same way.
+    let kcfg = KernelConfig { cores: ISOLATION_CORES, ..KernelConfig::default() };
+    let mut cluster = Cluster::bootstrap_with(kcfg, NodeConfig::paper_extension()).unwrap();
+    Config::WamrCrun.install(&mut cluster, &w).unwrap();
+    warmup(&mut cluster, Config::WamrCrun).unwrap();
+    cluster
+        .deploy_with(
+            "victim",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            plan.victims,
+            DeployOpts {
+                restart: RestartPolicy::Always,
+                readiness_probe: Some(victim_readiness_probe()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let mut rounds = 0;
+    while !cluster.kubelet.settled() && rounds < plan.max_rounds {
+        let now = cluster.kernel.now();
+        match cluster.kubelet.next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
+            _ => cluster.kernel.advance(Duration::from_secs(1)),
+        }
+        cluster.reconcile();
+        rounds += 1;
+    }
+    let plain = observe_victims(&cluster, "victim").unwrap();
+
+    assert_eq!(baseline.victims, plain, "armed-but-idle controllers must not perturb victims");
+    assert_eq!(baseline.rounds, rounds);
+}
+
+#[test]
+fn pressure_eviction_is_a_distinct_cluster_stats_reason() {
+    // Satellite contract: sustained cpu/io throttle pressure routes
+    // through the kubelet's eviction with its own reason — the thrasher
+    // lands in `pressure_evicted`, never in the memory-pressure `evicted`
+    // bucket, while its victims keep running.
+    let w = Workload::light();
+    let mut cluster = isolation::isolation_cluster(Config::WamrCrun, &w).unwrap();
+    cluster.kernel.set_io_model(Some(isolation::isolation_io_model()));
+    let thrasher = Attacker::Thrasher;
+    cluster.pull_image(thrasher.image()).unwrap();
+    cluster
+        .deploy_with(
+            "attacker",
+            thrasher.image_ref(),
+            Config::WamrCrun.class_name(),
+            1,
+            DeployOpts {
+                restart: RestartPolicy::Always,
+                memory_limit: Some(ATTACKER_MEMORY_LIMIT),
+                cpu_max: Some(ATTACKER_CPU_MAX),
+                io_read_budget: Some(ATTACKER_IO_BUDGET),
+                liveness_probe: Some(attacker_liveness_probe()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    cluster
+        .deploy_with(
+            "victim",
+            Config::WamrCrun.image_ref(),
+            Config::WamrCrun.class_name(),
+            2,
+            DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
+        )
+        .unwrap();
+
+    cluster.kernel.advance(Duration::from_secs(1));
+    let report = cluster.reconcile();
+    assert_eq!(report.pressure_evicted, vec!["attacker-0".to_string()]);
+    assert!(report.evicted.is_empty());
+
+    let entry = cluster.kubelet.managed_pod("attacker-0").unwrap();
+    assert_eq!(entry.phase, PodPhase::Evicted);
+    assert!(entry.pressure_evicted);
+    assert!(entry.next_restart_at.is_none(), "pressure eviction is terminal");
+
+    let stats = cluster.stats();
+    assert_eq!(stats.pressure_evicted, 1, "distinct reason, own counter");
+    assert_eq!(stats.evicted, 0, "memory-pressure bucket stays empty");
+    assert_eq!(stats.running, 2, "victims keep running");
+    cluster.teardown_managed().unwrap();
+}
+
+#[test]
+fn isolation_score_table_is_byte_identical_across_worker_counts() {
+    // Satellite contract: the chaos-sweep isolation table renders to the
+    // same bytes under HARNESS_THREADS=1, 2, and 8 — cells merge in grid
+    // order, so worker count changes wall-clock only.
+    let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let w = Workload::light();
+    let plan = IsolationPlan { victims: 2, max_rounds: 4 };
+    let configs = [Config::WamrCrun, Config::CrunWasmtime];
+    let attackers = [Attacker::Thrasher, Attacker::Balloon];
+
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("HARNESS_THREADS", threads);
+        let (table, scores) = isolation_sweep(&configs, &attackers, &w, &plan).unwrap();
+        runs.push((threads, table.to_csv().into_bytes(), table.render(), scores.len()));
+    }
+    std::env::remove_var("HARNESS_THREADS");
+
+    let (_, csv1, render1, n1) = &runs[0];
+    assert_eq!(*n1, configs.len() * attackers.len());
+    for (threads, csv, render, n) in &runs[1..] {
+        assert_eq!(csv, csv1, "isolation CSV differs at HARNESS_THREADS={threads}");
+        assert_eq!(render, render1, "isolation render differs at HARNESS_THREADS={threads}");
+        assert_eq!(n, n1);
+    }
+}
+
+#[test]
+fn balloon_attacker_is_oom_contained_with_victims_unharmed() {
+    let w = Workload::light();
+    let plan = IsolationPlan { victims: 2, max_rounds: 6 };
+    let base = run_tenants(Config::WamrCrun, &w, &plan, None).unwrap();
+    let hit = run_tenants(Config::WamrCrun, &w, &plan, Some(Attacker::Balloon)).unwrap();
+    let fate = hit.fate.unwrap();
+    // The ratchet dies against memory.max every time it is retried: the
+    // pod never reaches Running and sits in CrashLoopBackOff.
+    assert!(fate.failures > 0, "balloon must keep failing on memory.max: {fate:?}");
+    assert_eq!(fate.phase, Some(PodPhase::CrashLoopBackOff));
+    assert!(fate.contained());
+    let s = isolation::score_runs(&base, hit);
+    isolation::check_isolation(&s, &plan).unwrap();
 }
