@@ -25,7 +25,7 @@ use wasm_core::{decode_module, ExecTier, Imports, Instance, InstanceConfig};
 /// config (both ablation toggles live in [`WamrCrunConfig`]).
 fn wamr_memory(w: &Workload, config: WamrCrunConfig) -> u64 {
     let mut cluster = new_cluster(&[], w).expect("cluster");
-    let rt = wamr_crun_runtime(cluster.kernel.clone(), config);
+    let rt = wamr_crun_runtime(cluster.kernel().clone(), config);
     cluster.register_class("wamr-ablate", RuntimeClass::Oci { runtime: rt });
     cluster
         .pull_image(workloads::wasm_microservice_image(Config::WamrCrun.image_ref(), &w.wasm))

@@ -154,6 +154,12 @@ impl Containerd {
         self.sandboxes.get(pod_id)
     }
 
+    /// Pod cgroups of every live sandbox, in pod-id order — the per-pod
+    /// counters a node-pressure observer (e.g. the scheduler) sums over.
+    pub fn sandbox_cgroups(&self) -> impl Iterator<Item = CgroupId> + '_ {
+        self.sandboxes.values().map(|s| s.pod_cgroup)
+    }
+
     pub fn kubepods_cgroup(&self) -> CgroupId {
         self.kubepods
     }

@@ -24,9 +24,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use harness::cluster_scale::measure_scale;
 use harness::figures::PAPER_DENSITIES;
 use harness::isolation::{isolation_sweep, throttle_totals, Attacker, IsolationPlan};
+use harness::runner::deploy_density;
 use harness::{run_cells_tracked, worker_count, Cell, Config, ThrottleTotals, Workload};
+use k8s_sim::Policy;
+use simkernel::{Sim, TaskSpec};
 use wasm_core::{ArtifactCache, CacheStats};
 
 struct Sweep {
@@ -111,6 +115,67 @@ struct Counters {
     isolation_cells: usize,
     isolation_s: f64,
     throttle: ThrottleTotals,
+    cluster: ClusterCounters,
+}
+
+/// Cluster-scale numbers: one multi-node placement point plus the DES
+/// queue comparison (calendar queue vs the pinned reference scan) on a
+/// figure-sized task set.
+struct ClusterCounters {
+    nodes: usize,
+    pods: usize,
+    max_pods_node: usize,
+    startup_s: f64,
+    wall_s: f64,
+    des_tasks: usize,
+    des_events: u64,
+    calendar_s: f64,
+    reference_s: f64,
+}
+
+/// Measure one multi-node placement point and time the calendar-queue DES
+/// against the pinned reference loop on a 400-pod figure task set. The
+/// two loops must agree exactly — the bench doubles as an equivalence
+/// check on real traces.
+fn cluster_counters(workload: &Workload) -> ClusterCounters {
+    let (nodes, pods) = (5, 1_000);
+    let t = Instant::now();
+    let sample = measure_scale(Config::WamrCrun, nodes, pods, Policy::Spread, workload)
+        .expect("cluster scale point");
+    let wall_s = t.elapsed().as_secs_f64();
+
+    let (cluster, d) =
+        deploy_density(Config::WamrCrun, 400, workload).expect("DES bench deployment");
+    let tasks: Vec<TaskSpec> = d
+        .pods
+        .iter()
+        .map(|p| TaskSpec {
+            name: p.spec.name.clone(),
+            start_at: p.dispatched_at,
+            steps: p.trace.steps(),
+        })
+        .collect();
+    let cores = cluster.kernel().cores();
+    let t = Instant::now();
+    let new = Sim::new(cores).run(tasks.clone());
+    let calendar_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let old = Sim::new(cores).run_reference(tasks);
+    let reference_s = t.elapsed().as_secs_f64();
+    assert_eq!(new.makespan, old.makespan, "calendar queue diverged from reference");
+    assert_eq!(new.events, old.events, "calendar queue event count diverged");
+
+    ClusterCounters {
+        nodes,
+        pods,
+        max_pods_node: sample.max_pods_node,
+        startup_s: sample.startup.as_secs_f64(),
+        wall_s,
+        des_tasks: 400,
+        des_events: new.events,
+        calendar_s,
+        reference_s,
+    }
 }
 
 /// Hand-rolled JSON (the workspace is std-only by design).
@@ -157,13 +222,30 @@ fn render_json(requested: usize, timings: &[Timing], counters: &Counters) -> Str
     let t = &counters.throttle;
     let _ = writeln!(
         out,
-        "  \"isolation\": {{\"cells\": {}, \"wall_s\": {:.3}, \"cpu_throttle_events\": {}, \"cpu_throttled_ns\": {}, \"io_throttle_events\": {}, \"io_queued_ns\": {}}}",
+        "  \"isolation\": {{\"cells\": {}, \"wall_s\": {:.3}, \"cpu_throttle_events\": {}, \"cpu_throttled_ns\": {}, \"io_throttle_events\": {}, \"io_queued_ns\": {}}},",
         counters.isolation_cells,
         counters.isolation_s,
         t.cpu_throttle_events,
         t.cpu_throttled_ns,
         t.io_throttle_events,
         t.io_queued_ns
+    );
+    let cl = &counters.cluster;
+    let _ = writeln!(
+        out,
+        "  \"cluster\": {{\"nodes\": {}, \"pods\": {}, \"max_pods_node\": {}, \"startup_s\": {:.3}, \"wall_s\": {:.3}, \"des_tasks\": {}, \"des_events\": {}, \"calendar_s\": {:.4}, \"calendar_events_per_s\": {:.0}, \"reference_s\": {:.4}, \"reference_events_per_s\": {:.0}, \"des_speedup\": {:.2}}}",
+        cl.nodes,
+        cl.pods,
+        cl.max_pods_node,
+        cl.startup_s,
+        cl.wall_s,
+        cl.des_tasks,
+        cl.des_events,
+        cl.calendar_s,
+        cl.des_events as f64 / cl.calendar_s.max(1e-9),
+        cl.reference_s,
+        cl.des_events as f64 / cl.reference_s.max(1e-9),
+        cl.reference_s / cl.calendar_s.max(1e-9)
     );
     out.push_str("}\n");
     out
@@ -282,11 +364,27 @@ fn main() {
         iso_cells, isolation_s, throttle.cpu_throttle_events, throttle.io_throttle_events
     );
 
+    // Cluster-scale point: multi-node placement cost plus the DES queue
+    // comparison (events/sec, calendar vs reference) for the trajectory.
+    let cluster = cluster_counters(&workload);
+    println!(
+        "cluster: {} pods on {} nodes in {:.2}s wall (startup {:.2}s); DES {} events: calendar {:.3}s vs reference {:.3}s ({:.2}x)",
+        cluster.pods,
+        cluster.nodes,
+        cluster.wall_s,
+        cluster.startup_s,
+        cluster.des_events,
+        cluster.calendar_s,
+        cluster.reference_s,
+        cluster.reference_s / cluster.calendar_s.max(1e-9)
+    );
+
     let counters = Counters {
         cache: ArtifactCache::global().stats(),
         isolation_cells: iso_cells,
         isolation_s,
         throttle,
+        cluster,
     };
     let json = render_json(requested, &timings, &counters);
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");

@@ -1,6 +1,7 @@
 //! Chaos sweep: deterministic fault injection across the Wasm configs.
 //!
-//! Usage: `cargo run -p harness --bin chaos [-- --smoke | --isolation-smoke] [--seed N]`
+//! Usage: `cargo run -p harness --bin chaos
+//! [-- --smoke | --isolation-smoke | --multinode-smoke] [--seed N]`
 //!
 //! Deploys pods under kubelet supervision with every fault site armed,
 //! drives the reconcile loop until each node settles, and fails (exit 1)
@@ -15,6 +16,7 @@
 //! zero-attacker path is byte-identical across repeated runs.
 
 use harness::chaos::{check_hung_outcome, check_outcome, sweep, ChaosPlan, WASM_CONFIGS};
+use harness::cluster_scale::run_drain;
 use harness::isolation::{check_isolation, isolation_sweep, run_tenants, Attacker, IsolationPlan};
 use harness::{Config, Workload};
 use simkernel::FaultSite;
@@ -38,10 +40,49 @@ fn run_isolation(configs: &[Config], workload: &Workload, plan: &IsolationPlan) 
     violations
 }
 
+/// The multi-node drain scenario: 3 nodes, a spread controller-managed
+/// deployment, drain one node, assert the controller reconverges with
+/// every replica Running and ready on the survivors.
+fn run_multinode_smoke() {
+    let workload = Workload::light();
+    let (nodes, replicas) = (3, 6);
+    let o = run_drain(Config::WamrCrun, nodes, replicas, &workload).expect("drain scenario");
+    let mut violations = 0;
+    if !o.converged {
+        eprintln!("FAIL: controller did not reconverge after the drain");
+        violations += 1;
+    }
+    if o.drained.is_empty() {
+        eprintln!("FAIL: drained node carried no pods — scenario vacuous");
+        violations += 1;
+    }
+    if o.ready != replicas {
+        eprintln!("FAIL: {} of {replicas} replicas ready after drain", o.ready);
+        violations += 1;
+    }
+    if o.pods_on_drained != 0 {
+        eprintln!("FAIL: {} pod(s) left on the drained node", o.pods_on_drained);
+        violations += 1;
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "multinode smoke: drained {} pod(s) from 1 of {nodes} nodes; \
+         {replicas} replicas rescheduled Running+ready on survivors",
+        o.drained.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let isolation_smoke = args.iter().any(|a| a == "--isolation-smoke");
+    let multinode_smoke = args.iter().any(|a| a == "--multinode-smoke");
+    if multinode_smoke {
+        run_multinode_smoke();
+        return;
+    }
     let seed = args
         .iter()
         .position(|a| a == "--seed")

@@ -1,0 +1,30 @@
+//! The multi-node figures: pods-per-cluster density sweep (25 nodes,
+//! swept to 10k pods) and the scheduler-policy ablation table.
+//!
+//! Usage: `cargo run --release -p harness --bin cluster_sweep [-- --smoke]`
+//!
+//! `--smoke` runs the CI-sized plan (3 nodes, tens of pods) instead of
+//! the full 25-node/10k sweep.
+
+use harness::cluster_scale::{density_sweep, policy_ablation, ScalePlan};
+use harness::{Config, Workload};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workload = Workload::default();
+    let plan = if smoke { ScalePlan::smoke() } else { ScalePlan::tenk() };
+
+    let (table, _) = density_sweep(&plan, &workload).expect("density sweep");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("cluster_density") {
+        println!("CSV written to {}", path.display());
+    }
+
+    let (nodes, pods) = if smoke { (3, 30) } else { (8, 2_000) };
+    let ablation =
+        policy_ablation(Config::WamrCrun, nodes, pods, &workload).expect("policy ablation");
+    println!("{}", ablation.render());
+    if let Ok(path) = ablation.save_csv("scheduler_ablation") {
+        println!("CSV written to {}", path.display());
+    }
+}

@@ -23,7 +23,7 @@ fn wamr_in(
     workload: &Workload,
 ) -> (u64, u64) {
     let mut cluster = new_cluster(&[], workload).expect("cluster");
-    let mut rt = LowLevelRuntime::new(cluster.kernel.clone(), profile);
+    let mut rt = LowLevelRuntime::new(cluster.kernel().clone(), profile);
     rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     rt.register_handler(Box::new(PauseHandler));
     cluster.register_class("q2", RuntimeClass::Oci { runtime: rt });

@@ -66,7 +66,7 @@ impl ContainerHandler for WamrAotHandler {
 
 fn measure_aot(workload: &Workload, density: usize) -> (u64, f64) {
     let mut cluster = new_cluster(&[], workload).expect("cluster");
-    let mut rt = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+    let mut rt = LowLevelRuntime::new(cluster.kernel().clone(), &CRUN);
     rt.register_handler(Box::new(WamrAotHandler));
     rt.register_handler(Box::new(PauseHandler));
     cluster.register_class("crun-wamr-aot", RuntimeClass::Oci { runtime: rt });

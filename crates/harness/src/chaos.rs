@@ -161,12 +161,12 @@ pub fn run_config(
 ) -> KernelResult<ChaosOutcome> {
     let mut cluster = new_cluster(&[config], workload)?;
     warmup(&mut cluster, config)?;
-    let procs_before = cluster.kernel.live_procs();
+    let procs_before = cluster.kernel().live_procs();
     let used_before = cluster.free().used;
 
     // Per-config seed stream, so configs fail independently.
     let seed = plan.seed ^ (config as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    cluster.kernel.set_fault_plan(armed_plan(seed, plan.rate_ppm, plan.limit_per_site));
+    cluster.kernel().set_fault_plan(armed_plan(seed, plan.rate_ppm, plan.limit_per_site));
 
     cluster.deploy_with(
         "chaos",
@@ -177,23 +177,23 @@ pub fn run_config(
     )?;
 
     let mut rounds = 0;
-    while !cluster.kubelet.settled() && rounds < plan.max_rounds {
-        let now = cluster.kernel.now();
-        match cluster.kubelet.next_deadline() {
-            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
-            _ => cluster.kernel.advance(Duration::from_secs(1)),
+    while !cluster.kubelet().settled() && rounds < plan.max_rounds {
+        let now = cluster.kernel().now();
+        match cluster.kubelet().next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel().advance(deadline - now),
+            _ => cluster.kernel().advance(Duration::from_secs(1)),
         }
         cluster.reconcile();
         rounds += 1;
     }
-    let converged = cluster.kubelet.settled();
+    let converged = cluster.kubelet().settled();
 
-    let injected = injected_by_site(&cluster.kernel);
-    let restarts = cluster.kubelet.managed().map(|e| e.restarts as u64).sum();
+    let injected = injected_by_site(cluster.kernel());
+    let restarts = cluster.kubelet().managed().map(|e| e.restarts as u64).sum();
     let mut running = 0;
     let mut evicted = 0;
     let mut failed = 0;
-    for e in cluster.kubelet.managed() {
+    for e in cluster.kubelet().managed() {
         match e.phase {
             PodPhase::Running => running += 1,
             PodPhase::Evicted => evicted += 1,
@@ -203,10 +203,10 @@ pub fn run_config(
     }
 
     // Disarm and tear down fault-free: recovery must leave nothing behind.
-    cluster.kernel.set_fault_plan(FaultPlan::none());
+    cluster.kernel().set_fault_plan(FaultPlan::none());
     cluster.teardown_managed()?;
     let leaked_bytes = cluster.free().used.saturating_sub(used_before);
-    let leaked_procs = cluster.kernel.live_procs() as i64 - procs_before as i64;
+    let leaked_procs = cluster.kernel().live_procs() as i64 - procs_before as i64;
 
     Ok(ChaosOutcome {
         config,
@@ -239,14 +239,14 @@ pub fn run_hung_guest(
 ) -> KernelResult<HungGuestOutcome> {
     let mut cluster = new_cluster(&[config], workload)?;
     warmup(&mut cluster, config)?;
-    let procs_before = cluster.kernel.live_procs();
+    let procs_before = cluster.kernel().live_procs();
     let used_before = cluster.free().used;
 
-    let ready_after = cluster.kernel.now() + HUNG_READY_AFTER;
+    let ready_after = cluster.kernel().now() + HUNG_READY_AFTER;
     cluster.pull_image(workloads::hung_service_image(HUNG_IMAGE_REF, ready_after.as_nanos()))?;
 
     let seed = plan.seed ^ (config as u64 + 1).wrapping_mul(0xA11C_E55E_D5EE_D001);
-    cluster.kernel.set_fault_plan(
+    cluster.kernel().set_fault_plan(
         FaultPlan::new(seed)
             .with_rate(FaultSite::Probe, plan.rate_ppm)
             .with_limit(FaultSite::Probe, plan.limit_per_site),
@@ -266,29 +266,29 @@ pub fn run_hung_guest(
         },
     )?;
     let wedged =
-        (0..plan.pods).filter(|i| cluster.containerd.pod_wedged(&format!("hung-{i}"))).count();
+        (0..plan.pods).filter(|i| cluster.containerd().pod_wedged(&format!("hung-{i}"))).count();
 
     let mut probe_kills = 0u64;
     let mut rounds = 0;
-    while !cluster.kubelet.settled() && rounds < plan.max_rounds {
-        let now = cluster.kernel.now();
-        match cluster.kubelet.next_deadline() {
-            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
-            _ => cluster.kernel.advance(Duration::from_secs(1)),
+    while !cluster.kubelet().settled() && rounds < plan.max_rounds {
+        let now = cluster.kernel().now();
+        match cluster.kubelet().next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel().advance(deadline - now),
+            _ => cluster.kernel().advance(Duration::from_secs(1)),
         }
         let report = cluster.reconcile();
         probe_kills += report.probe_killed.len() as u64;
         rounds += 1;
     }
-    let converged = cluster.kubelet.settled();
+    let converged = cluster.kubelet().settled();
 
-    let injected = injected_by_site(&cluster.kernel);
-    let restarts = cluster.kubelet.managed().map(|e| e.restarts as u64).sum();
+    let injected = injected_by_site(cluster.kernel());
+    let restarts = cluster.kubelet().managed().map(|e| e.restarts as u64).sum();
     let mut running = 0;
     let mut ready = 0;
     let mut evicted = 0;
     let mut failed = 0;
-    for e in cluster.kubelet.managed() {
+    for e in cluster.kubelet().managed() {
         match e.phase {
             PodPhase::Running => {
                 running += 1;
@@ -302,10 +302,10 @@ pub fn run_hung_guest(
         }
     }
 
-    cluster.kernel.set_fault_plan(FaultPlan::none());
+    cluster.kernel().set_fault_plan(FaultPlan::none());
     cluster.teardown_managed()?;
     let leaked_bytes = cluster.free().used.saturating_sub(used_before);
-    let leaked_procs = cluster.kernel.live_procs() as i64 - procs_before as i64;
+    let leaked_procs = cluster.kernel().live_procs() as i64 - procs_before as i64;
 
     Ok(HungGuestOutcome {
         chaos: ChaosOutcome {

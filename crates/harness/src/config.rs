@@ -95,9 +95,25 @@ impl Config {
     }
 
     /// Register this configuration's runtime class (and its image, if not
-    /// yet pulled) on a cluster.
+    /// yet pulled) on every node of a cluster. Runtime state is per-node:
+    /// each node's containerd gets a runtime bound to that node's kernel,
+    /// and each node pulls its own copy of the image (node-local layer
+    /// stores, as on real clusters).
     pub fn install(self, cluster: &mut Cluster, workload: &Workload) -> KernelResult<()> {
-        let kernel = cluster.kernel.clone();
+        for node in 0..cluster.node_count() {
+            self.install_on(cluster, node, workload)?;
+        }
+        Ok(())
+    }
+
+    /// [`Config::install`] for a single node.
+    pub fn install_on(
+        self,
+        cluster: &mut Cluster,
+        node: usize,
+        workload: &Workload,
+    ) -> KernelResult<()> {
+        let kernel = cluster.node(node).kernel.clone();
         let fuel = engines::profile::DEFAULT_STARTUP_FUEL;
         let class = match self {
             Config::WamrCrun => {
@@ -121,7 +137,7 @@ impl Config {
             Config::ShimWasmer => RuntimeClass::Runwasi { engine: EngineKind::Wasmer, fuel },
             Config::ShimWasmEdge => RuntimeClass::Runwasi { engine: EngineKind::WasmEdge, fuel },
             Config::CrunPython | Config::RuncPython => {
-                pyrt::install_python(&cluster.kernel)?;
+                pyrt::install_python(&cluster.node(node).kernel)?;
                 let profile = if self == Config::CrunPython { &CRUN } else { &RUNC };
                 let mut rt = LowLevelRuntime::new(kernel, profile);
                 rt.register_handler(Box::new(PythonHandler::default()));
@@ -129,7 +145,7 @@ impl Config {
                 RuntimeClass::Oci { runtime: rt }
             }
         };
-        cluster.register_class(self.class_name(), class);
+        cluster.register_class_on(node, self.class_name(), class);
 
         // Pull the image (idempotent thanks to the layer store).
         let image = if self.is_wasm() {
@@ -137,7 +153,7 @@ impl Config {
         } else {
             python_microservice_image(self.image_ref(), &workload.python)
         };
-        cluster.pull_image(image)?;
+        cluster.pull_image_on(node, image)?;
         Ok(())
     }
 }

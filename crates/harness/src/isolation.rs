@@ -277,8 +277,8 @@ pub fn isolation_cluster(config: Config, workload: &Workload) -> KernelResult<Cl
 }
 
 fn sample_attacker(cluster: &Cluster, fate: &mut AttackerFate) {
-    if let Some(sandbox) = cluster.containerd.sandbox("attacker-0") {
-        if let Ok(st) = cluster.kernel.cgroup_stats(sandbox.pod_cgroup) {
+    if let Some(sandbox) = cluster.containerd().sandbox("attacker-0") {
+        if let Ok(st) = cluster.kernel().cgroup_stats(sandbox.pod_cgroup) {
             fate.cpu_throttle_events = fate.cpu_throttle_events.max(st.nr_cpu_throttled);
             fate.cpu_throttled_ns = fate.cpu_throttled_ns.max(st.cpu_throttled_ns);
             fate.io_throttle_events = fate.io_throttle_events.max(st.io_throttle_events);
@@ -292,7 +292,7 @@ fn sample_attacker(cluster: &Cluster, fate: &mut AttackerFate) {
 /// mean working set, restart and readiness counts.
 pub fn observe_victims(cluster: &Cluster, prefix: &str) -> KernelResult<VictimObservation> {
     let tasks: Vec<TaskSpec> = cluster
-        .kubelet
+        .kubelet()
         .managed()
         .map(|e| TaskSpec {
             name: e.spec.name.clone(),
@@ -300,7 +300,7 @@ pub fn observe_victims(cluster: &Cluster, prefix: &str) -> KernelResult<VictimOb
             steps: e.trace.steps(),
         })
         .collect();
-    let outcome = Sim::new(cluster.kernel.cores()).run(tasks);
+    let outcome = Sim::new(cluster.kernel().cores()).run(tasks);
     let makespan = outcome
         .results
         .iter()
@@ -319,7 +319,7 @@ pub fn observe_victims(cluster: &Cluster, prefix: &str) -> KernelResult<VictimOb
         ready: 0,
         victims: 0,
     };
-    for e in cluster.kubelet.managed().filter(|e| e.spec.name.starts_with(prefix)) {
+    for e in cluster.kubelet().managed().filter(|e| e.spec.name.starts_with(prefix)) {
         obs.victims += 1;
         obs.restarts += e.restarts as u64;
         if e.phase == PodPhase::Running {
@@ -328,8 +328,8 @@ pub fn observe_victims(cluster: &Cluster, prefix: &str) -> KernelResult<VictimOb
                 obs.ready += 1;
             }
         }
-        if let Some(sandbox) = cluster.containerd.sandbox(&e.spec.name) {
-            ws_total += cluster.kernel.cgroup_working_set(sandbox.pod_cgroup)?;
+        if let Some(sandbox) = cluster.containerd().sandbox(&e.spec.name) {
+            ws_total += cluster.kernel().cgroup_working_set(sandbox.pod_cgroup)?;
             ws_pods += 1;
         }
     }
@@ -356,7 +356,7 @@ pub fn run_tenants(
     if let Some(a) = attacker {
         // Arm the io-pressure model first: the attacker's own deploy (and
         // every later restart) must already feel — and exert — pressure.
-        cluster.kernel.set_io_model(Some(isolation_io_model()));
+        cluster.kernel().set_io_model(Some(isolation_io_model()));
         cluster.pull_image(a.image())?;
         cluster.deploy_with(
             "attacker",
@@ -395,13 +395,13 @@ pub fn run_tenants(
         if let Some(f) = fate.as_mut() {
             sample_attacker(&cluster, f);
         }
-        if cluster.kubelet.settled() || rounds >= plan.max_rounds {
+        if cluster.kubelet().settled() || rounds >= plan.max_rounds {
             break;
         }
-        let now = cluster.kernel.now();
-        match cluster.kubelet.next_deadline() {
-            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
-            _ => cluster.kernel.advance(Duration::from_secs(1)),
+        let now = cluster.kernel().now();
+        match cluster.kubelet().next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel().advance(deadline - now),
+            _ => cluster.kernel().advance(Duration::from_secs(1)),
         }
         let report = cluster.reconcile();
         if let Some(f) = fate.as_mut() {
@@ -415,7 +415,7 @@ pub fn run_tenants(
     }
 
     if let Some(f) = fate.as_mut() {
-        if let Some(e) = cluster.kubelet.managed_pod("attacker-0") {
+        if let Some(e) = cluster.kubelet().managed_pod("attacker-0") {
             f.phase = Some(e.phase);
             f.restarts = e.restarts as u64;
             f.failures = e.failures;

@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod claims;
+pub mod cluster_scale;
 pub mod config;
 pub mod figures;
 pub mod isolation;
@@ -16,6 +17,9 @@ pub mod parallel;
 pub mod report;
 pub mod runner;
 
+pub use cluster_scale::{
+    density_sweep, measure_scale, policy_ablation, run_drain, DrainOutcome, ScalePlan, ScaleSample,
+};
 pub use config::{Config, Workload};
 pub use isolation::{
     check_isolation, isolation_sweep, run_tenants, throttle_totals, Attacker, AttackerFate,

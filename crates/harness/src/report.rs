@@ -44,7 +44,10 @@ impl Table {
         let label_w = self.rows.iter().map(|r| r.label.len() + 2).chain([12]).max().unwrap_or(12);
         let _ = write!(out, "{:label_w$}", "runtime");
         for c in &self.columns {
-            let _ = write!(out, "{:>14}", format!("{c} [{}]", self.unit));
+            // An empty unit means the columns name their own units.
+            let header =
+                if self.unit.is_empty() { c.clone() } else { format!("{c} [{}]", self.unit) };
+            let _ = write!(out, "{:>14}", header);
         }
         let _ = writeln!(out);
         for r in &self.rows {

@@ -100,6 +100,8 @@ pub struct PodRecord {
     pub phase: PodPhase,
     /// The pod's cgroup (what the metrics-server scrapes).
     pub pod_cgroup: CgroupId,
+    /// Index of the node the scheduler placed this pod on.
+    pub node: usize,
     /// When the scheduler dispatched this pod to the kubelet.
     pub dispatched_at: SimTime,
     /// The pod's startup program (for the DES latency run), tagged with the
@@ -147,6 +149,133 @@ impl Deployment {
     }
 }
 
+/// Specification of a controller-managed deployment: what a Kubernetes
+/// `Deployment` object declares. The cluster's controller loop
+/// ([`crate::Cluster::reconcile_controller`]) converges the world onto it.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Pod-name prefix (`{name}-r{revision}-{ordinal}`).
+    pub name: String,
+    pub image: String,
+    pub runtime_class: String,
+    /// Desired replica count.
+    pub replicas: usize,
+    /// `maxSurge`: extra pods allowed above `replicas` during a rolling
+    /// update.
+    pub max_surge: usize,
+    /// `maxUnavailable`: pods that may be not-ready below `replicas`
+    /// during a rolling update.
+    pub max_unavailable: usize,
+    /// Per-pod fault-tolerance knobs (restart policy is forced to
+    /// `Always`: a controller supervises its pods).
+    pub opts: crate::cluster::DeployOpts,
+}
+
+impl DeploymentSpec {
+    pub fn new(
+        name: impl Into<String>,
+        image: impl Into<String>,
+        runtime_class: impl Into<String>,
+        replicas: usize,
+    ) -> DeploymentSpec {
+        DeploymentSpec {
+            name: name.into(),
+            image: image.into(),
+            runtime_class: runtime_class.into(),
+            replicas,
+            max_surge: 1,
+            max_unavailable: 0,
+            opts: crate::cluster::DeployOpts::default(),
+        }
+    }
+}
+
+/// One controller-owned replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaEntry {
+    /// Pod name on the owning node's kubelet.
+    pub pod: String,
+    /// Node index the scheduler placed it on.
+    pub node: usize,
+    /// Template revision the pod was created from.
+    pub revision: u32,
+}
+
+/// A Deployment controller: desired state plus the replicas it owns.
+///
+/// The controller is plain bookkeeping — every state change goes through
+/// the cluster (scheduler placement, kubelet sync/removal); the cluster's
+/// `reconcile_controller` / `rolling_update` / `autoscale` methods drive
+/// it.
+#[derive(Debug, Clone)]
+pub struct DeploymentController {
+    pub spec: DeploymentSpec,
+    /// Current template revision; bumped by rolling updates.
+    pub revision: u32,
+    /// Replicas the controller believes exist.
+    pub replicas: Vec<ReplicaEntry>,
+    /// Monotonic ordinal so replacement pods never reuse a name.
+    pub next_ordinal: u64,
+}
+
+impl DeploymentController {
+    pub fn new(spec: DeploymentSpec) -> DeploymentController {
+        DeploymentController { spec, revision: 1, replicas: Vec::new(), next_ordinal: 0 }
+    }
+
+    /// Mint the next pod name for the given revision.
+    pub fn next_pod_name(&mut self, revision: u32) -> String {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        format!("{}-r{}-{}", self.spec.name, revision, ordinal)
+    }
+
+    /// Replicas created from a revision older than the current one.
+    pub fn stale(&self) -> impl Iterator<Item = &ReplicaEntry> {
+        let rev = self.revision;
+        self.replicas.iter().filter(move |r| r.revision < rev)
+    }
+}
+
+/// Horizontal pod autoscaler policy for one controller.
+#[derive(Debug, Clone, Copy)]
+pub struct HpaSpec {
+    pub min_replicas: usize,
+    pub max_replicas: usize,
+    /// Scale so that average working set per pod approaches this target
+    /// (the metrics-server signal; `desired = ceil(live × avg / target)`).
+    pub target_working_set: Option<u64>,
+    /// Scale up while average cpu-throttle events per pod exceed this
+    /// rate (the cgroup pressure signal).
+    pub target_cpu_throttle: Option<u64>,
+}
+
+/// What one HPA evaluation observed and decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpaDecision {
+    /// Average working set per live pod at evaluation time.
+    pub observed_working_set: u64,
+    /// Average cpu-throttle events per live pod at evaluation time.
+    pub observed_cpu_throttle: u64,
+    /// Replicas before.
+    pub from: usize,
+    /// Replicas after (clamped to `[min_replicas, max_replicas]`).
+    pub to: usize,
+}
+
+/// Outcome of a rolling update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutReport {
+    /// New-revision pods created.
+    pub created: usize,
+    /// Old-revision pods deleted.
+    pub deleted: usize,
+    /// Reconcile rounds the rollout took.
+    pub rounds: usize,
+    /// All replicas on the new revision and ready within the round budget.
+    pub converged: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +293,7 @@ mod tests {
             },
             phase: PodPhase::Running,
             pod_cgroup: CgroupId(1),
+            node: 0,
             dispatched_at: SimTime::ZERO,
             trace: StepTrace::new(),
             stdout: vec![],
@@ -188,6 +318,7 @@ mod tests {
                 },
                 phase: PodPhase::Running,
                 pod_cgroup: CgroupId(1),
+                node: 0,
                 dispatched_at: SimTime::ZERO,
                 trace,
                 stdout: vec![],

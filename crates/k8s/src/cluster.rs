@@ -1,37 +1,50 @@
-//! The single-node cluster: kernel + containerd + kubelet, wired together.
+//! The cluster: N worker nodes behind one scheduler.
 //!
 //! [`Cluster`] is the experiment entry point: register runtime classes and
-//! images, deploy N identical pods (the paper's 10–400 densities), measure
-//! startup with the DES, read both memory observers, tear down.
+//! images, deploy N identical pods (the paper's 10–400 densities and the
+//! 10k+ cluster sweeps), measure startup with the DES, read both memory
+//! observers, tear down. A one-node cluster is byte-identical to the old
+//! single-node code path — every placement lands on node 0 and every
+//! accessor resolves to that node — so the paper figures are untouched by
+//! the N-node generalization.
+//!
+//! Above plain deployments sits a small controller plane:
+//! [`DeploymentController`] reconciliation (replace lost replicas via the
+//! scheduler), rolling updates (`maxSurge`/`maxUnavailable` gated on the
+//! readiness machinery), a horizontal pod autoscaler keyed off the
+//! metrics-server working set and cgroup cpu-throttle rates, and node
+//! drain/cordon for rescheduling chaos.
 
 use containerd_sim::{Containerd, RuntimeClass};
-use oci_spec_lite::{ImageBuilder, ImageStore};
+use oci_spec_lite::ImageBuilder;
 use simkernel::{
-    CgroupId, Duration, FreeReport, Kernel, KernelConfig, KernelResult, Sim, SimOutcome, SimTime,
-    TaskSpec,
+    CgroupId, Duration, FreeReport, Kernel, KernelConfig, KernelError, KernelResult, Sim,
+    SimOutcome, SimTime, TaskResult, TaskSpec,
 };
 
-use crate::api::{Deployment, PodPhase, PodSpec, ProbeSpec};
+use crate::api::{
+    Deployment, DeploymentController, HpaDecision, HpaSpec, PodPhase, PodSpec, ProbeSpec,
+    ReplicaEntry, RolloutReport,
+};
 use crate::kubelet::{Kubelet, NodeConfig, ReconcileReport, RestartPolicy};
+use crate::node::Node;
+use crate::scheduler::{Policy, Scheduler};
 
-/// A booted single-node Kubernetes cluster.
+/// A booted Kubernetes cluster: one or more [`Node`]s and a [`Scheduler`].
 pub struct Cluster {
-    pub kernel: Kernel,
-    pub containerd: Containerd,
-    pub kubelet: Kubelet,
-    pub system_cgroup: CgroupId,
-    pub kubepods: CgroupId,
+    pub nodes: Vec<Node>,
+    pub scheduler: Scheduler,
 }
 
-/// Cluster-level bookkeeping counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Cluster-level bookkeeping counters (summed over all nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClusterStats {
-    /// Pods the kubelet has successfully synced to Running since boot
+    /// Pods the kubelets have successfully synced to Running since boot
     /// (monotonic; teardown does not decrease it).
     pub pods_synced: usize,
-    /// Pods currently managed by the kubelet.
+    /// Pods currently managed by the kubelets.
     pub pods_managed: usize,
-    /// Live simulated processes on the node.
+    /// Live simulated processes across all nodes.
     pub live_procs: usize,
     /// Supervised pods currently Running.
     pub running: usize,
@@ -74,73 +87,154 @@ pub struct DeployOpts {
     pub termination_grace: Option<Duration>,
 }
 
+impl DeployOpts {
+    /// Build the [`PodSpec`] these options imply for one pod name.
+    fn pod_spec(&self, name: String, image: &str, runtime_class: &str) -> PodSpec {
+        PodSpec {
+            name,
+            image: image.to_string(),
+            runtime_class: runtime_class.to_string(),
+            memory_limit: self.memory_limit,
+            cpu_max: self.cpu_max,
+            io_read_budget: self.io_read_budget,
+            liveness_probe: self.liveness_probe,
+            readiness_probe: self.readiness_probe,
+            startup_probe: self.startup_probe,
+            termination_grace: self.termination_grace,
+        }
+    }
+}
+
 impl Cluster {
-    /// Boot with the paper's testbed shape (20 cores, 256 GiB) and the
-    /// 500-pod kubelet extension.
+    /// Boot one node with the paper's testbed shape (20 cores, 256 GiB)
+    /// and the 500-pod kubelet extension.
     pub fn bootstrap() -> KernelResult<Cluster> {
         Cluster::bootstrap_with(KernelConfig::default(), NodeConfig::paper_extension())
     }
 
-    /// Boot with explicit kernel/node configuration.
+    /// Boot one node with explicit kernel/node configuration.
     pub fn bootstrap_with(kcfg: KernelConfig, ncfg: NodeConfig) -> KernelResult<Cluster> {
-        let kernel = Kernel::boot(kcfg);
-        engines::install_engines(&kernel)?;
-        container_runtimes::profile::install_runtimes(&kernel)?;
-        let system_cgroup = kernel.cgroup_create(Kernel::ROOT_CGROUP, "system.slice")?;
-        let kubepods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "kubepods")?;
-        let containerd =
-            Containerd::boot(kernel.clone(), system_cgroup, kubepods, ImageStore::new())?;
-        let kubelet = Kubelet::start(kernel.clone(), system_cgroup, ncfg)?;
-        Ok(Cluster { kernel, containerd, kubelet, system_cgroup, kubepods })
+        Cluster::bootstrap_nodes(1, kcfg, ncfg, Policy::default())
     }
 
-    /// Register a runtime class.
+    /// Boot an N-node cluster; every node gets the same kernel/node shape.
+    pub fn bootstrap_nodes(
+        n: usize,
+        kcfg: KernelConfig,
+        ncfg: NodeConfig,
+        policy: Policy,
+    ) -> KernelResult<Cluster> {
+        assert!(n > 0, "a cluster needs at least one node");
+        let nodes = (0..n)
+            .map(|i| Node::bootstrap(i, kcfg.clone(), ncfg.clone()))
+            .collect::<KernelResult<Vec<Node>>>()?;
+        Ok(Cluster { nodes, scheduler: Scheduler::new(policy) })
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.nodes[i]
+    }
+
+    /// Node 0's kernel — the cluster clock reference, and *the* kernel of
+    /// a single-node cluster (the figure paths).
+    pub fn kernel(&self) -> &Kernel {
+        &self.nodes[0].kernel
+    }
+
+    /// Node 0's containerd (the single-node daemon).
+    pub fn containerd(&self) -> &Containerd {
+        &self.nodes[0].containerd
+    }
+
+    pub fn containerd_mut(&mut self) -> &mut Containerd {
+        &mut self.nodes[0].containerd
+    }
+
+    /// Node 0's kubelet (the single-node kubelet).
+    pub fn kubelet(&self) -> &Kubelet {
+        &self.nodes[0].kubelet
+    }
+
+    pub fn system_cgroup(&self) -> CgroupId {
+        self.nodes[0].system_cgroup
+    }
+
+    pub fn kubepods(&self) -> CgroupId {
+        self.nodes[0].kubepods
+    }
+
+    /// Current simulated time (node clocks advance in lockstep).
+    pub fn now(&self) -> SimTime {
+        self.nodes[0].kernel.now()
+    }
+
+    /// Advance every node's clock by `d` (lockstep).
+    pub fn advance(&self, d: Duration) {
+        for node in &self.nodes {
+            node.kernel.advance(d);
+        }
+    }
+
+    /// Register a runtime class on node 0 (single-node path).
     pub fn register_class(&mut self, name: &str, class: RuntimeClass) {
-        self.containerd.register_class(name, class);
+        self.nodes[0].containerd.register_class(name, class);
     }
 
-    /// Pull an image.
+    /// Register a runtime class on one node of a multi-node cluster.
+    pub fn register_class_on(&mut self, node: usize, name: &str, class: RuntimeClass) {
+        self.nodes[node].containerd.register_class(name, class);
+    }
+
+    /// Pull an image on node 0 (single-node path).
     pub fn pull_image(&mut self, builder: ImageBuilder) -> KernelResult<String> {
-        self.containerd.pull_image(builder)
+        self.nodes[0].containerd.pull_image(builder)
     }
 
-    /// The `free(1)` observer.
+    /// Pull an image on one node of a multi-node cluster.
+    pub fn pull_image_on(&mut self, node: usize, builder: ImageBuilder) -> KernelResult<String> {
+        self.nodes[node].containerd.pull_image(builder)
+    }
+
+    /// The `free(1)` observer on node 0 (the single-node observer).
     pub fn free(&self) -> FreeReport {
-        self.kernel.free()
+        self.nodes[0].kernel.free()
     }
 
-    /// Cluster bookkeeping counters (kubelet sync counter, process count,
-    /// supervised-pod phase breakdown).
+    /// Cluster bookkeeping counters (kubelet sync counters, process
+    /// counts, supervised-pod phase breakdown), summed over all nodes.
     pub fn stats(&self) -> ClusterStats {
-        let mut stats = ClusterStats {
-            pods_synced: self.kubelet.pods_synced(),
-            pods_managed: self.kubelet.pod_count(),
-            live_procs: self.kernel.live_procs(),
-            running: 0,
-            ready: 0,
-            crash_loop: 0,
-            evicted: 0,
-            pressure_evicted: 0,
-            oom_killed: 0,
-        };
-        for e in self.kubelet.managed() {
-            match e.phase {
-                PodPhase::Running => {
-                    stats.running += 1;
-                    if e.ready {
-                        stats.ready += 1;
+        let mut stats = ClusterStats::default();
+        for node in &self.nodes {
+            stats.pods_synced += node.kubelet.pods_synced();
+            stats.pods_managed += node.kubelet.pod_count();
+            stats.live_procs += node.kernel.live_procs();
+            for e in node.kubelet.managed() {
+                match e.phase {
+                    PodPhase::Running => {
+                        stats.running += 1;
+                        if e.ready {
+                            stats.ready += 1;
+                        }
                     }
-                }
-                PodPhase::CrashLoopBackOff => stats.crash_loop += 1,
-                PodPhase::Evicted => {
-                    if e.pressure_evicted {
-                        stats.pressure_evicted += 1;
-                    } else {
-                        stats.evicted += 1;
+                    PodPhase::CrashLoopBackOff => stats.crash_loop += 1,
+                    PodPhase::Evicted => {
+                        if e.pressure_evicted {
+                            stats.pressure_evicted += 1;
+                        } else {
+                            stats.evicted += 1;
+                        }
                     }
+                    PodPhase::OomKilled => stats.oom_killed += 1,
+                    _ => {}
                 }
-                PodPhase::OomKilled => stats.oom_killed += 1,
-                _ => {}
             }
         }
         stats
@@ -163,9 +257,11 @@ impl Cluster {
 
     /// [`Cluster::deploy`] with explicit fault-tolerance options.
     ///
-    /// With [`RestartPolicy::Never`] (the default) this is the strict
-    /// figure path: the first sync error aborts the deploy. With
-    /// [`RestartPolicy::Always`] every pod is admitted under kubelet
+    /// Every pod goes through the scheduler ([`Scheduler::place`]); on a
+    /// one-node cluster that is always node 0, keeping the figure paths
+    /// byte-identical. With [`RestartPolicy::Never`] (the default) this is
+    /// the strict figure path: the first sync error aborts the deploy.
+    /// With [`RestartPolicy::Always`] every pod is admitted under kubelet
     /// supervision — failures become CrashLoopBackOff entries that
     /// [`Cluster::reconcile`] retries — and the returned deployment holds
     /// only the pods whose *first* sync succeeded.
@@ -178,49 +274,103 @@ impl Cluster {
         opts: DeployOpts,
     ) -> KernelResult<Deployment> {
         let mut deployment = Deployment::default();
-        let gap = Duration::from_secs_f64(1.0 / self.kubelet.config.dispatch_per_sec);
+        let gap = Duration::from_secs_f64(1.0 / self.nodes[0].kubelet.config.dispatch_per_sec);
+        // Dispatch stamps count from the current simulated time: a deploy
+        // after the clock has advanced (rolling updates, chaos rounds)
+        // must not back-date its pods to boot.
+        let base = self.now();
         for i in 0..n {
-            let dispatched_at = SimTime::ZERO + gap.scaled(i as u64);
-            let spec = PodSpec {
-                name: format!("{name_prefix}-{i}"),
-                image: image.to_string(),
-                runtime_class: runtime_class.to_string(),
-                memory_limit: opts.memory_limit,
-                cpu_max: opts.cpu_max,
-                io_read_budget: opts.io_read_budget,
-                liveness_probe: opts.liveness_probe,
-                readiness_probe: opts.readiness_probe,
-                startup_probe: opts.startup_probe,
-                termination_grace: opts.termination_grace,
-            };
+            let dispatched_at = base + gap.scaled(i as u64);
+            let spec = opts.pod_spec(format!("{name_prefix}-{i}"), image, runtime_class);
+            let idx = self.place_pod()?;
+            let node = &mut self.nodes[idx];
             match opts.restart {
                 RestartPolicy::Never => {
-                    let record =
-                        self.kubelet.sync_pod(&mut self.containerd, spec, dispatched_at)?;
+                    let mut record =
+                        node.kubelet.sync_pod(&mut node.containerd, spec, dispatched_at)?;
+                    record.node = idx;
                     deployment.pods.push(record);
                 }
                 RestartPolicy::Always => {
-                    self.kubelet.manage_pod(&mut self.containerd, spec, dispatched_at);
+                    node.kubelet.manage_pod(&mut node.containerd, spec, dispatched_at);
                 }
             }
         }
         Ok(deployment)
     }
 
-    /// One kubelet supervision pass at the current simulated time: OOM
-    /// detection, node-pressure eviction, due restarts.
-    pub fn reconcile(&mut self) -> ReconcileReport {
-        let now = self.kernel.now();
-        self.kubelet.reconcile(&mut self.containerd, now)
+    /// Scheduler decision for one pod (the single placement choke point).
+    fn place_pod(&self) -> KernelResult<usize> {
+        self.scheduler.place(&self.nodes).ok_or_else(|| {
+            KernelError::InvalidState(
+                "scheduler: no feasible node (every node cordoned or at max-pods)".to_string(),
+            )
+        })
     }
 
-    /// Tear down every supervised pod (the counterpart of a
+    /// One kubelet supervision pass per node at the current simulated
+    /// time: OOM detection, node-pressure eviction, due restarts. Reports
+    /// are merged across nodes.
+    pub fn reconcile(&mut self) -> ReconcileReport {
+        let mut merged = ReconcileReport::default();
+        for node in &mut self.nodes {
+            let now = node.kernel.now();
+            let mut r = node.kubelet.reconcile(&mut node.containerd, now);
+            merged.oom_killed.append(&mut r.oom_killed);
+            merged.evicted.append(&mut r.evicted);
+            merged.pressure_evicted.append(&mut r.pressure_evicted);
+            merged.restarted.append(&mut r.restarted);
+            merged.backoff.append(&mut r.backoff);
+            merged.probe_killed.append(&mut r.probe_killed);
+            merged.trace.append(&mut r.trace);
+        }
+        merged
+    }
+
+    /// Are all kubelets settled (no supervised pod mid-transition)?
+    pub fn settled(&self) -> bool {
+        self.nodes.iter().all(|n| n.kubelet.settled())
+    }
+
+    /// Earliest pending kubelet deadline across all nodes.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.nodes.iter().filter_map(|n| n.kubelet.next_deadline()).min()
+    }
+
+    /// The node hosting a pod, by supervised entry or live sandbox.
+    fn host_of(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| {
+            n.kubelet.managed_pod(name).is_some() || n.containerd.sandbox(name).is_some()
+        })
+    }
+
+    /// Remove one pod wherever it lives (graceful: SIGTERM → grace →
+    /// SIGKILL via its node's kubelet). Idempotent like
+    /// [`Kubelet::remove_pod`]: removing a pod that is already gone
+    /// everywhere is a successful no-op.
+    pub fn remove_pod(&mut self, name: &str) -> KernelResult<()> {
+        self.remove_pod_traced(name).map(|_| ())
+    }
+
+    /// [`Cluster::remove_pod`], returning the termination steps recorded
+    /// ([`simkernel::Phase::Terminating`]-tagged SIGTERM/SIGKILL work).
+    pub fn remove_pod_traced(&mut self, name: &str) -> KernelResult<simkernel::StepTrace> {
+        let Some(idx) = self.host_of(name) else {
+            return Ok(simkernel::StepTrace::new());
+        };
+        let node = &mut self.nodes[idx];
+        node.kubelet.remove_pod_traced(&mut node.containerd, name)
+    }
+
+    /// Tear down every supervised pod on every node (the counterpart of a
     /// [`RestartPolicy::Always`] deploy, which returns no deployment
     /// handle to pass to [`Cluster::teardown`]).
     pub fn teardown_managed(&mut self) -> KernelResult<()> {
-        let names: Vec<String> = self.kubelet.managed().map(|e| e.spec.name.clone()).collect();
-        for name in names {
-            self.kubelet.remove_pod(&mut self.containerd, &name)?;
+        for node in &mut self.nodes {
+            let names: Vec<String> = node.kubelet.managed().map(|e| e.spec.name.clone()).collect();
+            for name in names {
+                node.kubelet.remove_pod(&mut node.containerd, &name)?;
+            }
         }
         Ok(())
     }
@@ -228,36 +378,304 @@ impl Cluster {
     /// Run the DES over one or more deployments' startup programs. The
     /// outcome's total is the paper's "time to start N containers" (start
     /// of deployment to the last container's workload executing).
+    ///
+    /// Each node is its own core pool: pods contend for CPU only with
+    /// pods on the same node, so a multi-node run is one [`Sim`] per node
+    /// with the cluster makespan the maximum over nodes. A one-node
+    /// cluster takes the single-`Sim` path unchanged.
     pub fn measure_startup(&self, deployments: &[&Deployment]) -> SimOutcome {
-        let tasks: Vec<TaskSpec> = deployments
-            .iter()
-            .flat_map(|d| d.pods.iter())
-            .map(|p| TaskSpec {
-                name: p.spec.name.clone(),
-                start_at: p.dispatched_at,
-                steps: p.trace.steps(),
-            })
-            .collect();
-        Sim::new(self.kernel.cores()).run(tasks)
+        let pods: Vec<&crate::api::PodRecord> =
+            deployments.iter().flat_map(|d| d.pods.iter()).collect();
+        let task_for = |p: &crate::api::PodRecord| TaskSpec {
+            name: p.spec.name.clone(),
+            start_at: p.dispatched_at,
+            steps: p.trace.steps(),
+        };
+        if self.nodes.len() == 1 {
+            let tasks: Vec<TaskSpec> = pods.iter().map(|p| task_for(p)).collect();
+            return Sim::new(self.nodes[0].kernel.cores()).run(tasks);
+        }
+
+        // Group pods by node, remembering their position in the input
+        // order so results come back in deployment order with global ids.
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (pos, p) in pods.iter().enumerate() {
+            per_node[p.node].push(pos);
+        }
+        let mut results: Vec<Option<TaskResult>> = (0..pods.len()).map(|_| None).collect();
+        let mut makespan = SimTime::ZERO;
+        let mut events = 0u64;
+        for (node, members) in per_node.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let tasks: Vec<TaskSpec> = members.iter().map(|&pos| task_for(pods[pos])).collect();
+            let out = Sim::new(self.nodes[node].kernel.cores()).run(tasks);
+            makespan = makespan.max(out.makespan);
+            events += out.events;
+            for (local, r) in out.results.into_iter().enumerate() {
+                let pos = members[local];
+                results[pos] = Some(TaskResult { id: simkernel::TaskId(pos), ..r });
+            }
+        }
+        let results: Vec<TaskResult> =
+            results.into_iter().map(|r| r.expect("every pod simulated")).collect();
+        SimOutcome { results, makespan, events }
     }
 
-    /// Average metrics-server working set per pod.
+    /// Average metrics-server working set per pod, reading each pod's
+    /// cgroup on the node that hosts it.
     pub fn average_working_set(&self, deployment: &Deployment) -> KernelResult<u64> {
-        crate::metrics::average_working_set(&self.kernel, deployment)
+        if self.nodes.len() == 1 {
+            return crate::metrics::average_working_set(&self.nodes[0].kernel, deployment);
+        }
+        if deployment.is_empty() {
+            return Ok(0);
+        }
+        let mut total = 0u64;
+        for p in &deployment.pods {
+            total += self.nodes[p.node].kernel.cgroup_working_set(p.pod_cgroup)?;
+        }
+        Ok(total / deployment.len() as u64)
     }
 
     /// Tear down a deployment completely.
     pub fn teardown(&mut self, deployment: Deployment) -> KernelResult<()> {
         for pod in deployment.pods {
-            self.kubelet.remove_pod(&mut self.containerd, &pod.spec.name)?;
+            let node = &mut self.nodes[pod.node];
+            node.kubelet.remove_pod(&mut node.containerd, &pod.spec.name)?;
         }
         Ok(())
+    }
+
+    // ---- node lifecycle -------------------------------------------------
+
+    /// Mark a node unschedulable; running pods are unaffected.
+    pub fn cordon(&mut self, node: usize) {
+        self.nodes[node].schedulable = false;
+    }
+
+    pub fn uncordon(&mut self, node: usize) {
+        self.nodes[node].schedulable = true;
+    }
+
+    /// Drain a node: cordon it, then gracefully remove every supervised
+    /// pod (SIGTERM → grace → SIGKILL via the node's kubelet). Controller
+    /// reconciliation reschedules the victims onto the remaining nodes.
+    /// Returns the names of the removed pods.
+    pub fn drain_node(&mut self, node: usize) -> KernelResult<Vec<String>> {
+        self.cordon(node);
+        let n = &mut self.nodes[node];
+        let names: Vec<String> = n.kubelet.managed().map(|e| e.spec.name.clone()).collect();
+        for name in &names {
+            n.kubelet.remove_pod(&mut n.containerd, name)?;
+        }
+        Ok(names)
+    }
+
+    // ---- the controller plane -------------------------------------------
+
+    /// One controller reconcile pass: forget replicas that vanished or
+    /// reached a terminal phase (Failed, Evicted), then create replicas
+    /// through the scheduler until the desired count is met. Returns the
+    /// number of pods created.
+    pub fn reconcile_controller(&mut self, ctrl: &mut DeploymentController) -> KernelResult<usize> {
+        let mut dead: Vec<ReplicaEntry> = Vec::new();
+        let nodes = &self.nodes;
+        ctrl.replicas.retain(|r| {
+            match nodes[r.node].kubelet.managed_pod(&r.pod).map(|e| e.phase) {
+                None | Some(PodPhase::Failed) | Some(PodPhase::Evicted) => {
+                    dead.push(r.clone());
+                    false
+                }
+                _ => true,
+            }
+        });
+        for r in dead {
+            // Clear any terminal supervision entry so the slot frees up
+            // (idempotent; the pod may be gone entirely).
+            let node = &mut self.nodes[r.node];
+            let _ = node.kubelet.remove_pod(&mut node.containerd, &r.pod);
+        }
+        let mut created = 0usize;
+        while ctrl.replicas.len() < ctrl.spec.replicas {
+            self.create_replica(ctrl, ctrl.revision)?;
+            created += 1;
+        }
+        Ok(created)
+    }
+
+    /// Place and start one replica of the controller's template at the
+    /// given revision.
+    fn create_replica(
+        &mut self,
+        ctrl: &mut DeploymentController,
+        revision: u32,
+    ) -> KernelResult<usize> {
+        let idx = self.place_pod()?;
+        let name = ctrl.next_pod_name(revision);
+        let spec =
+            ctrl.spec.opts.pod_spec(name.clone(), &ctrl.spec.image, &ctrl.spec.runtime_class);
+        let dispatched_at = self.now();
+        let node = &mut self.nodes[idx];
+        node.kubelet.manage_pod(&mut node.containerd, spec, dispatched_at);
+        ctrl.replicas.push(ReplicaEntry { pod: name, node: idx, revision });
+        Ok(idx)
+    }
+
+    /// Is this replica Running and ready on its node?
+    fn replica_ready(&self, r: &ReplicaEntry) -> bool {
+        self.nodes[r.node]
+            .kubelet
+            .managed_pod(&r.pod)
+            .is_some_and(|e| e.phase == PodPhase::Running && e.ready)
+    }
+
+    /// Replicas currently Running and ready.
+    pub fn ready_replicas(&self, ctrl: &DeploymentController) -> usize {
+        ctrl.replicas.iter().filter(|r| self.replica_ready(r)).count()
+    }
+
+    /// Drive controller + kubelet reconciliation until every replica is
+    /// Running and ready, or `max_rounds` elapse. Each round advances the
+    /// clock to the next kubelet deadline (or one second).
+    pub fn settle_controller(
+        &mut self,
+        ctrl: &mut DeploymentController,
+        max_rounds: usize,
+    ) -> KernelResult<bool> {
+        for _ in 0..max_rounds {
+            self.reconcile_controller(ctrl)?;
+            self.reconcile();
+            if ctrl.replicas.len() == ctrl.spec.replicas
+                && self.ready_replicas(ctrl) == ctrl.spec.replicas
+            {
+                return Ok(true);
+            }
+            let now = self.now();
+            match self.next_deadline() {
+                Some(d) if d > now => self.advance(d - now),
+                _ => self.advance(Duration::from_secs(1)),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Rolling update to a new image: bump the template revision, surge
+    /// new-revision pods up to `replicas + maxSurge`, and retire
+    /// old-revision pods (oldest first) while at least
+    /// `replicas − maxUnavailable` replicas stay ready — the readiness
+    /// machinery gates every step.
+    pub fn rolling_update(
+        &mut self,
+        ctrl: &mut DeploymentController,
+        image: &str,
+        max_rounds: usize,
+    ) -> KernelResult<RolloutReport> {
+        ctrl.revision += 1;
+        ctrl.spec.image = image.to_string();
+        let rev = ctrl.revision;
+        let replicas = ctrl.spec.replicas;
+        let mut created = 0usize;
+        let mut deleted = 0usize;
+        for round in 1..=max_rounds {
+            // Surge: create new-revision pods while headroom allows.
+            while ctrl.replicas.iter().filter(|r| r.revision == rev).count() < replicas
+                && ctrl.replicas.len() < replicas + ctrl.spec.max_surge
+            {
+                self.create_replica(ctrl, rev)?;
+                created += 1;
+            }
+            // Retire old-revision pods (oldest first) within the
+            // availability budget.
+            while let Some(pos) = ctrl.replicas.iter().position(|r| r.revision < rev) {
+                let ready = self.ready_replicas(ctrl);
+                let victim_ready = self.replica_ready(&ctrl.replicas[pos]) as usize;
+                if ready - victim_ready + ctrl.spec.max_unavailable < replicas {
+                    break;
+                }
+                let victim = ctrl.replicas.remove(pos);
+                let node = &mut self.nodes[victim.node];
+                node.kubelet.remove_pod(&mut node.containerd, &victim.pod)?;
+                deleted += 1;
+            }
+            self.reconcile_controller(ctrl)?;
+            self.reconcile();
+            let done = ctrl.replicas.len() == replicas
+                && ctrl.replicas.iter().all(|r| r.revision == rev)
+                && self.ready_replicas(ctrl) == replicas;
+            if done {
+                return Ok(RolloutReport { created, deleted, rounds: round, converged: true });
+            }
+            let now = self.now();
+            match self.next_deadline() {
+                Some(d) if d > now => self.advance(d - now),
+                _ => self.advance(Duration::from_secs(1)),
+            }
+            self.reconcile();
+        }
+        Ok(RolloutReport { created, deleted, rounds: max_rounds, converged: false })
+    }
+
+    /// One HPA evaluation: observe average working set and cpu-throttle
+    /// events per live replica, derive the desired replica count
+    /// (`ceil(total_ws / target)`, plus one while throttle rates exceed
+    /// their target), clamp to `[min, max]`, and converge — scale-ups go
+    /// through the scheduler, scale-downs retire the newest replicas.
+    pub fn autoscale(
+        &mut self,
+        ctrl: &mut DeploymentController,
+        hpa: &HpaSpec,
+    ) -> KernelResult<HpaDecision> {
+        let mut live = 0u64;
+        let mut ws_total = 0u64;
+        let mut throttle_total = 0u64;
+        for r in &ctrl.replicas {
+            let node = &self.nodes[r.node];
+            let running =
+                node.kubelet.managed_pod(&r.pod).is_some_and(|e| e.phase == PodPhase::Running);
+            if !running {
+                continue;
+            }
+            live += 1;
+            if let Some(sb) = node.containerd.sandbox(&r.pod) {
+                ws_total += node.kernel.cgroup_working_set(sb.pod_cgroup)?;
+                throttle_total += node.kernel.cgroup_stats(sb.pod_cgroup)?.nr_cpu_throttled;
+            }
+        }
+        let from = ctrl.spec.replicas;
+        let observed_working_set = if live > 0 { ws_total / live } else { 0 };
+        let observed_cpu_throttle = if live > 0 { throttle_total / live } else { 0 };
+        let mut wants: Vec<usize> = Vec::new();
+        if let Some(target) = hpa.target_working_set {
+            if live > 0 && target > 0 {
+                wants.push(ws_total.div_ceil(target) as usize);
+            }
+        }
+        if let Some(target) = hpa.target_cpu_throttle {
+            if live > 0 && observed_cpu_throttle > target {
+                wants.push(from + 1);
+            }
+        }
+        let to = wants.into_iter().max().unwrap_or(from).clamp(hpa.min_replicas, hpa.max_replicas);
+        ctrl.spec.replicas = to;
+        if to > from {
+            self.reconcile_controller(ctrl)?;
+        } else {
+            while ctrl.replicas.len() > to {
+                let victim = ctrl.replicas.pop().expect("len > to >= 0");
+                let node = &mut self.nodes[victim.node];
+                node.kubelet.remove_pod(&mut node.containerd, &victim.pod)?;
+            }
+        }
+        Ok(HpaDecision { observed_working_set, observed_cpu_throttle, from, to })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::DeploymentSpec;
     use container_runtimes::handler::PauseHandler;
     use container_runtimes::profile::CRUN;
     use container_runtimes::LowLevelRuntime;
@@ -267,19 +685,26 @@ mod tests {
         wasm_core::builder::demo_wasi_module("svc up\n")
     }
 
+    fn install_wamr(cluster: &mut Cluster) {
+        for i in 0..cluster.node_count() {
+            let mut crun = LowLevelRuntime::new(cluster.node(i).kernel.clone(), &CRUN);
+            crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+            crun.register_handler(Box::new(PauseHandler));
+            cluster.register_class_on(i, "crun-wamr", RuntimeClass::Oci { runtime: crun });
+            cluster
+                .pull_image_on(
+                    i,
+                    ImageBuilder::new("svc:v1")
+                        .entrypoint(["/app/main.wasm".to_string()])
+                        .file("/app/main.wasm", microservice()),
+                )
+                .unwrap();
+        }
+    }
+
     fn cluster_with_wamr() -> Cluster {
         let mut cluster = Cluster::bootstrap().unwrap();
-        let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
-        crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
-        crun.register_handler(Box::new(PauseHandler));
-        cluster.register_class("crun-wamr", RuntimeClass::Oci { runtime: crun });
-        cluster
-            .pull_image(
-                ImageBuilder::new("svc:v1")
-                    .entrypoint(["/app/main.wasm".to_string()])
-                    .file("/app/main.wasm", microservice()),
-            )
-            .unwrap();
+        install_wamr(&mut cluster);
         cluster
     }
 
@@ -290,11 +715,12 @@ mod tests {
         let d = cluster.deploy("web", "svc:v1", "crun-wamr", 10).unwrap();
         assert_eq!(d.running(), 10);
         assert_eq!(d.pods[0].stdout, b"svc up\n");
+        assert!(d.pods.iter().all(|p| p.node == 0));
 
         // Metrics-server average is nonzero and per-pod deviation small.
         let avg = cluster.average_working_set(&d).unwrap();
         assert!(avg > 1 << 20, "avg {avg}");
-        let dev = crate::metrics::working_set_stddev(&cluster.kernel, &d).unwrap();
+        let dev = crate::metrics::working_set_stddev(cluster.kernel(), &d).unwrap();
         assert!(dev < 300.0 * 1024.0, "stddev {dev} (paper: < 0.1 MB, first pod pays cache)");
 
         // free sees more than metrics (shims, kubelet growth, kernel).
@@ -308,7 +734,7 @@ mod tests {
         assert!(total > 1.0 && total < 10.0, "total {total}s");
 
         cluster.teardown(d).unwrap();
-        assert_eq!(cluster.kubelet.pod_count(), 0);
+        assert_eq!(cluster.kubelet().pod_count(), 0);
     }
 
     #[test]
@@ -318,17 +744,7 @@ mod tests {
             NodeConfig { max_pods: 3, ..Default::default() },
         )
         .unwrap();
-        let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
-        crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
-        crun.register_handler(Box::new(PauseHandler));
-        cluster.register_class("crun-wamr", RuntimeClass::Oci { runtime: crun });
-        cluster
-            .pull_image(
-                ImageBuilder::new("svc:v1")
-                    .entrypoint(["/app/main.wasm".to_string()])
-                    .file("/app/main.wasm", microservice()),
-            )
-            .unwrap();
+        install_wamr(&mut cluster);
         let err = cluster.deploy("web", "svc:v1", "crun-wamr", 4).unwrap_err();
         assert!(err.to_string().contains("max-pods"));
     }
@@ -339,5 +755,120 @@ mod tests {
         // the stock limit of 110, hence the §III-C extension.
         assert!(NodeConfig::default().max_pods < 400);
         assert!(NodeConfig::paper_extension().max_pods >= 400);
+    }
+
+    #[test]
+    fn spread_places_across_nodes() {
+        let mut cluster = Cluster::bootstrap_nodes(
+            3,
+            KernelConfig::default(),
+            NodeConfig::paper_extension(),
+            Policy::Spread,
+        )
+        .unwrap();
+        install_wamr(&mut cluster);
+        let d = cluster.deploy("web", "svc:v1", "crun-wamr", 9).unwrap();
+        for i in 0..3 {
+            assert_eq!(d.pods.iter().filter(|p| p.node == i).count(), 3, "node {i}");
+            assert_eq!(cluster.node(i).kubelet.pod_count(), 3);
+        }
+        cluster.teardown(d).unwrap();
+    }
+
+    #[test]
+    fn binpack_fills_one_node_first() {
+        let mut cluster = Cluster::bootstrap_nodes(
+            3,
+            KernelConfig::default(),
+            NodeConfig::paper_extension(),
+            Policy::BinPack,
+        )
+        .unwrap();
+        install_wamr(&mut cluster);
+        let d = cluster.deploy("web", "svc:v1", "crun-wamr", 6).unwrap();
+        assert!(d.pods.iter().all(|p| p.node == 0));
+        cluster.teardown(d).unwrap();
+    }
+
+    #[test]
+    fn controller_reconcile_and_drain_reschedules() {
+        let mut cluster = Cluster::bootstrap_nodes(
+            3,
+            KernelConfig::default(),
+            NodeConfig::paper_extension(),
+            Policy::Spread,
+        )
+        .unwrap();
+        install_wamr(&mut cluster);
+        let spec = DeploymentSpec::new("svc", "svc:v1", "crun-wamr", 6);
+        let mut ctrl = DeploymentController::new(spec);
+        assert!(cluster.settle_controller(&mut ctrl, 50).unwrap());
+        assert_eq!(cluster.ready_replicas(&ctrl), 6);
+        assert!(ctrl.replicas.iter().any(|r| r.node == 1));
+
+        let drained = cluster.drain_node(1).unwrap();
+        assert!(!drained.is_empty());
+        assert!(cluster.settle_controller(&mut ctrl, 100).unwrap());
+        assert_eq!(cluster.ready_replicas(&ctrl), 6);
+        assert!(ctrl.replicas.iter().all(|r| r.node != 1), "{:?}", ctrl.replicas);
+        assert_eq!(cluster.node(1).kubelet.pod_count(), 0);
+    }
+
+    #[test]
+    fn rolling_update_replaces_all_replicas() {
+        let mut cluster = cluster_with_wamr();
+        cluster
+            .pull_image(
+                ImageBuilder::new("svc:v2")
+                    .entrypoint(["/app/main.wasm".to_string()])
+                    .file("/app/main.wasm", microservice()),
+            )
+            .unwrap();
+        let spec = DeploymentSpec::new("svc", "svc:v1", "crun-wamr", 4);
+        let mut ctrl = DeploymentController::new(spec);
+        assert!(cluster.settle_controller(&mut ctrl, 50).unwrap());
+
+        let report = cluster.rolling_update(&mut ctrl, "svc:v2", 100).unwrap();
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.created, 4);
+        assert_eq!(report.deleted, 4);
+        assert!(ctrl.replicas.iter().all(|r| r.revision == 2));
+        for r in &ctrl.replicas {
+            let e = cluster.node(r.node).kubelet.managed_pod(&r.pod).unwrap();
+            assert_eq!(e.spec.image, "svc:v2");
+        }
+        assert_eq!(cluster.ready_replicas(&ctrl), 4);
+    }
+
+    #[test]
+    fn hpa_scales_on_working_set_and_clamps() {
+        let mut cluster = cluster_with_wamr();
+        let spec = DeploymentSpec::new("svc", "svc:v1", "crun-wamr", 2);
+        let mut ctrl = DeploymentController::new(spec);
+        assert!(cluster.settle_controller(&mut ctrl, 50).unwrap());
+
+        // Tiny target: total working set wants many replicas; clamp at 5.
+        let hpa = HpaSpec {
+            min_replicas: 1,
+            max_replicas: 5,
+            target_working_set: Some(1 << 20),
+            target_cpu_throttle: None,
+        };
+        let up = cluster.autoscale(&mut ctrl, &hpa).unwrap();
+        assert!(up.observed_working_set > 1 << 20, "{up:?}");
+        assert_eq!(up.to, 5, "{up:?}");
+        assert_eq!(ctrl.replicas.len(), 5);
+
+        // Huge target: scale down to the floor.
+        let hpa = HpaSpec {
+            min_replicas: 2,
+            max_replicas: 5,
+            target_working_set: Some(1 << 40),
+            target_cpu_throttle: None,
+        };
+        let down = cluster.autoscale(&mut ctrl, &hpa).unwrap();
+        assert_eq!(down.to, 2, "{down:?}");
+        assert_eq!(ctrl.replicas.len(), 2);
+        assert!(cluster.settle_controller(&mut ctrl, 50).unwrap());
     }
 }

@@ -257,6 +257,15 @@ impl Kubelet {
         self.pods_synced
     }
 
+    /// Pods occupying an admission slot on this node: every synced pod
+    /// (supervised or not) plus supervised entries between restarts whose
+    /// resources are torn down. This is the count the scheduler holds
+    /// against [`NodeConfig::max_pods`].
+    pub fn occupancy(&self) -> usize {
+        self.infra_procs.len()
+            + self.pods.keys().filter(|k| !self.infra_procs.contains_key(*k)).count()
+    }
+
     /// Supervised pod entries, in name order.
     pub fn managed(&self) -> impl Iterator<Item = &PodEntry> {
         self.pods.values()
@@ -437,7 +446,15 @@ impl Kubelet {
             .unwrap_or_default();
 
         self.pods_synced += 1;
-        Ok(PodRecord { spec, phase: PodPhase::Running, pod_cgroup, dispatched_at, trace, stdout })
+        Ok(PodRecord {
+            spec,
+            phase: PodPhase::Running,
+            pod_cgroup,
+            node: 0,
+            dispatched_at,
+            trace,
+            stdout,
+        })
     }
 
     /// Admit a pod under supervision ([`RestartPolicy::Always`]): a failed

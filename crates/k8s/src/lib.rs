@@ -1,9 +1,12 @@
-//! # k8s-sim — the Kubernetes layer: kubelet, metrics-server, cluster
+//! # k8s-sim — the Kubernetes layer: kubelet, scheduler, cluster
 //!
-//! The top of the paper's Figure 1 stack: a single-node cluster (the
-//! testbed is one 20-core/256 GiB machine) whose kubelet drives containerd
-//! through the CRI, with the §III-C extension raising max-pods to 500 so
-//! that the 400-container density experiments can run.
+//! The top of the paper's Figure 1 stack: an N-node cluster of worker
+//! [`node::Node`]s (the paper's testbed is one 20-core/256 GiB machine —
+//! the 1-node special case) whose kubelets drive containerd through the
+//! CRI, with the §III-C extension raising max-pods to 500 so that the
+//! 400-container density experiments can run. Placement goes through
+//! [`scheduler::Scheduler`]; [`api::DeploymentController`] adds replica
+//! reconciliation, rolling updates and an HPA on top.
 //!
 //! Two observers produce the paper's memory numbers:
 //! * [`metrics`] — the metrics-server reading per-pod cgroup working sets
@@ -16,11 +19,18 @@ pub mod api;
 pub mod cluster;
 pub mod kubelet;
 pub mod metrics;
+pub mod node;
+pub mod scheduler;
 
-pub use api::{Deployment, PodPhase, PodRecord, PodSpec, ProbeSpec};
+pub use api::{
+    Deployment, DeploymentController, DeploymentSpec, HpaDecision, HpaSpec, PodPhase, PodRecord,
+    PodSpec, ProbeSpec, ReplicaEntry, RolloutReport,
+};
 pub use cluster::{Cluster, ClusterStats, DeployOpts};
 pub use kubelet::{
     Kubelet, NodeConfig, PodEntry, ReconcileReport, RestartPolicy, DEFAULT_TERMINATION_GRACE,
     POD_INFRA_BYTES,
 };
 pub use metrics::{average_working_set, scrape, working_set_stddev, PodMetrics};
+pub use node::Node;
+pub use scheduler::{NodeSnapshot, Policy, Scheduler};

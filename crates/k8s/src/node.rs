@@ -1,0 +1,74 @@
+//! One worker node: kernel + containerd + kubelet, wired together.
+//!
+//! A [`Node`] owns everything the single-node cluster used to own — its
+//! own [`Kernel`] (clock, page store, cgroup tree), a [`Containerd`]
+//! daemon, and a [`Kubelet`] — so an N-node [`crate::Cluster`] is a vector
+//! of nodes sharing nothing but the scheduler above them. Each node's
+//! simulated clock ticks independently; the cluster advances them in
+//! lockstep so cross-node deadlines (probes, backoffs, grace periods)
+//! stay comparable.
+
+use containerd_sim::Containerd;
+use oci_spec_lite::ImageStore;
+use simkernel::{CgroupId, Kernel, KernelConfig, KernelResult};
+
+use crate::kubelet::{Kubelet, NodeConfig};
+
+/// A booted worker node.
+pub struct Node {
+    /// Node name (`node-0`, `node-1`, …) as the scheduler reports it.
+    pub name: String,
+    /// Position in the cluster's node vector; [`crate::api::PodRecord`]
+    /// placements refer to this index.
+    pub index: usize,
+    pub kernel: Kernel,
+    pub containerd: Containerd,
+    pub kubelet: Kubelet,
+    pub system_cgroup: CgroupId,
+    pub kubepods: CgroupId,
+    /// Cordoned nodes (`schedulable == false`) are skipped by every
+    /// scheduling policy; running pods are unaffected until drained.
+    pub schedulable: bool,
+}
+
+impl Node {
+    /// Boot a node: kernel, engines, runtimes, cgroup roots, containerd,
+    /// kubelet — exactly the old single-node bootstrap.
+    pub fn bootstrap(index: usize, kcfg: KernelConfig, ncfg: NodeConfig) -> KernelResult<Node> {
+        let kernel = Kernel::boot(kcfg);
+        engines::install_engines(&kernel)?;
+        container_runtimes::profile::install_runtimes(&kernel)?;
+        let system_cgroup = kernel.cgroup_create(Kernel::ROOT_CGROUP, "system.slice")?;
+        let kubepods = kernel.cgroup_create(Kernel::ROOT_CGROUP, "kubepods")?;
+        let containerd =
+            Containerd::boot(kernel.clone(), system_cgroup, kubepods, ImageStore::new())?;
+        let kubelet = Kubelet::start(kernel.clone(), system_cgroup, ncfg)?;
+        Ok(Node {
+            name: format!("node-{index}"),
+            index,
+            kernel,
+            containerd,
+            kubelet,
+            system_cgroup,
+            kubepods,
+            schedulable: true,
+        })
+    }
+
+    /// Supervised pods currently managed by this node's kubelet.
+    pub fn pod_count(&self) -> usize {
+        self.kubelet.pod_count()
+    }
+
+    /// Total cgroup throttle events (cpu + io) charged to this node's
+    /// pod sandboxes — the pressure signal the scheduler scores on.
+    pub fn throttle_events(&self) -> u64 {
+        let mut total = 0u64;
+        for pod_cgroup in self.containerd.sandbox_cgroups() {
+            if let Ok(stats) = self.kernel.cgroup_stats(pod_cgroup) {
+                total += stats.nr_cpu_throttled + stats.io_throttle_events;
+            }
+        }
+        total
+    }
+}

@@ -126,6 +126,9 @@ pub struct SimOutcome {
     pub results: Vec<TaskResult>,
     /// Instant the last task finished.
     pub makespan: SimTime,
+    /// State-transition events processed (admissions, CPU completions,
+    /// sleep wakeups) — the DES cost metric the perf trajectory records.
+    pub events: u64,
 }
 
 impl SimOutcome {
@@ -171,6 +174,144 @@ struct TaskRt {
     finished_at: SimTime,
 }
 
+/// A calendar (bucketed) event queue over `(time, task)` pairs.
+///
+/// Timed events — pending admissions and sleep ends — land in a bucket
+/// keyed by `time / width mod buckets`; within a bucket entries stay
+/// sorted ascending by `(time, task)`. Locating the minimum walks one
+/// calendar revolution starting at the bucket of the last popped time and
+/// returns the first bucket whose head falls inside its own "year" window;
+/// a sparse far-future tail falls back to a direct scan of bucket heads.
+/// The bucket count doubles (and the width is re-derived from the live
+/// time range) when the load factor grows, so push/pop stay O(1) amortized
+/// where the old `BTreeMap` event map paid O(log n) — the difference that
+/// keeps 10k-pod cluster sweeps tractable.
+///
+/// Invariant: every queued time is `>=` the last popped time (the DES
+/// never schedules into the past).
+#[derive(Debug, Clone)]
+pub struct CalendarQueue {
+    buckets: Vec<Vec<(u64, usize)>>,
+    /// Bucket width in nanoseconds.
+    width: u64,
+    len: usize,
+    /// Lower bound on every queued time (advanced on pop).
+    cursor: u64,
+}
+
+const INITIAL_BUCKETS: usize = 16;
+/// 50ms initial width — the dispatch-gap scale of the startup programs.
+const INITIAL_WIDTH: u64 = 50_000_000;
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    pub fn new() -> CalendarQueue {
+        CalendarQueue {
+            buckets: vec![Vec::new(); INITIAL_BUCKETS],
+            width: INITIAL_WIDTH,
+            len: 0,
+            cursor: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn push(&mut self, t: SimTime, id: usize) {
+        let t = t.as_nanos();
+        debug_assert!(t >= self.cursor, "event scheduled in the past");
+        let b = ((t / self.width) as usize) % self.buckets.len();
+        let bucket = &mut self.buckets[b];
+        let at = bucket.partition_point(|&e| e < (t, id));
+        bucket.insert(at, (t, id));
+        self.len += 1;
+        if self.len > self.buckets.len() * 4 {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Earliest `(time, task)` without removing it; ties broken by task id.
+    pub fn peek(&self) -> Option<(SimTime, usize)> {
+        let b = self.locate()?;
+        let (t, id) = self.buckets[b][0];
+        Some((SimTime(t), id))
+    }
+
+    /// Remove and return the earliest `(time, task)`.
+    pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let b = self.locate()?;
+        let (t, id) = self.buckets[b].remove(0);
+        self.cursor = t;
+        self.len -= 1;
+        Some((SimTime(t), id))
+    }
+
+    /// Bucket whose head is the global minimum.
+    fn locate(&self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len() as u64;
+        let start_epoch = self.cursor / self.width;
+        // One revolution: the first bucket whose head lies in the epoch
+        // window being visited holds the global minimum (windows are
+        // disjoint and visited in increasing time order).
+        for k in 0..nb {
+            let epoch = start_epoch + k;
+            let b = (epoch % nb) as usize;
+            if let Some(&(t, _)) = self.buckets[b].first() {
+                if t / self.width == epoch {
+                    return Some(b);
+                }
+            }
+        }
+        // Every event is more than one revolution ahead: direct scan.
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(&(t, id)) = bucket.first() {
+                if best.is_none_or(|(bt, bid, _)| (t, id) < (bt, bid)) {
+                    best = Some((t, id, b));
+                }
+            }
+        }
+        best.map(|(_, _, b)| b)
+    }
+
+    fn resize(&mut self, nbuckets: usize) {
+        let mut entries: Vec<(u64, usize)> = self.buckets.iter().flatten().copied().collect();
+        let min = entries.iter().map(|e| e.0).min().unwrap_or(0);
+        let max = entries.iter().map(|e| e.0).max().unwrap_or(0);
+        // Spread the live range across one rotation.
+        self.width = ((max - min) / nbuckets as u64 + 1).max(1);
+        self.buckets = vec![Vec::new(); nbuckets];
+        entries.sort_unstable();
+        for &(t, id) in &entries {
+            let b = ((t / self.width) as usize) % nbuckets;
+            self.buckets[b].push((t, id)); // ascending input keeps buckets sorted
+        }
+    }
+}
+
+/// Extra bookkeeping the calendar-queue run threads through `advance`:
+/// sleep ends become queue entries and tasks that land on a CPU step are
+/// recorded so the runnable set can be maintained incrementally.
+struct EventHooks<'a> {
+    sleepers: &'a mut CalendarQueue,
+    made_runnable: &'a mut Vec<usize>,
+}
+
+const EPS: f64 = 1e-6;
+
 /// The simulator. Construct with the core count, then [`Sim::run`].
 #[derive(Debug, Clone)]
 pub struct Sim {
@@ -184,6 +325,14 @@ impl Sim {
     }
 
     /// Run every task to completion and report per-task finish times.
+    ///
+    /// Event-driven over a [`CalendarQueue`]: the runnable set is
+    /// maintained incrementally and timed events (admissions, sleep ends)
+    /// come off the calendar, so cost scales with events rather than with
+    /// `events × tasks` as the scan loop did. Every float operation, its
+    /// order, and the task-id processing order match
+    /// [`Sim::run_reference`] exactly — outcomes are byte-identical (the
+    /// equivalence tests pin this).
     ///
     /// Panics if a task releases a lock it does not hold (a programming
     /// error in a startup program) or if the task set deadlocks.
@@ -203,15 +352,175 @@ impl Sim {
         let mut lock_waiters: BTreeMap<LockId, VecDeque<usize>> = BTreeMap::new();
         let mut now = SimTime::ZERO;
         let mut finished = 0usize;
+        let mut events = 0u64;
+
+        let mut queue = CalendarQueue::new();
+        let mut made_runnable: Vec<usize> = Vec::new();
+        // Runnable task ids, ascending — mirrors the reference loop's
+        // `(0..n).filter(state == Running)` scan.
+        let mut runnable: Vec<usize> = Vec::new();
+
+        // Every task enters the calendar at its start time; draining the
+        // due entries admits the t=0 tasks in id order, exactly like the
+        // reference pre-loop.
+        for (i, rt) in rts.iter().enumerate() {
+            queue.push(rt.spec.start_at, i);
+        }
+        while queue.peek().is_some_and(|(t, _)| t <= now) {
+            let (_, i) = queue.pop().expect("peeked entry");
+            events += 1;
+            let mut hooks = EventHooks { sleepers: &mut queue, made_runnable: &mut made_runnable };
+            admit(
+                &mut rts,
+                i,
+                now,
+                &mut lock_holder,
+                &mut lock_waiters,
+                &mut finished,
+                Some(&mut hooks),
+            );
+        }
+        merge_runnable(&mut runnable, &mut made_runnable, &rts);
+
+        let mut candidates: Vec<usize> = Vec::new();
+        while finished < n {
+            debug_assert!(
+                runnable.iter().copied().eq((0..n).filter(|&i| rts[i].state == TaskState::Running)),
+                "runnable set diverged from task states"
+            );
+            // Current processor-sharing rate.
+            let rate = if runnable.is_empty() {
+                0.0
+            } else {
+                (self.cores as f64 / runnable.len() as f64).min(1.0)
+            };
+
+            // Candidate next events: CPU completions and the calendar head.
+            let mut next: Option<SimTime> = None;
+            let mut consider = |t: SimTime| {
+                next = Some(match next {
+                    Some(cur) if cur <= t => cur,
+                    _ => t,
+                });
+            };
+            for &i in &runnable {
+                let dt = (rts[i].remaining / rate).ceil().max(0.0);
+                consider(now + Duration(dt as u64));
+            }
+            if let Some((t, _)) = queue.peek() {
+                consider(t.max(now));
+            }
+            let next = next.unwrap_or_else(|| {
+                panic!("deadlock: {} of {} tasks blocked on locks", n - finished, n)
+            });
+            let dt = (next - now).as_nanos() as f64;
+
+            // Progress CPU work.
+            for &i in &runnable {
+                rts[i].remaining -= dt * rate;
+            }
+            now = next;
+
+            // Due events: finished CPU steps and due calendar entries
+            // (sleep ends, pending admissions), in task-id order.
+            candidates.clear();
+            candidates.extend(
+                runnable
+                    .iter()
+                    .copied()
+                    .filter(|&i| rts[i].state == TaskState::Running && rts[i].remaining <= EPS),
+            );
+            while queue.peek().is_some_and(|(t, _)| t <= now) {
+                let (_, i) = queue.pop().expect("peeked entry");
+                candidates.push(i);
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for idx in 0..candidates.len() {
+                let i = candidates[idx];
+                let mut hooks =
+                    EventHooks { sleepers: &mut queue, made_runnable: &mut made_runnable };
+                match rts[i].state {
+                    TaskState::Running if rts[i].remaining <= EPS => {
+                        events += 1;
+                        rts[i].pc += 1;
+                        advance(
+                            &mut rts,
+                            i,
+                            now,
+                            &mut lock_holder,
+                            &mut lock_waiters,
+                            &mut finished,
+                            Some(&mut hooks),
+                        );
+                    }
+                    TaskState::Sleeping(end) if end <= now => {
+                        events += 1;
+                        rts[i].pc += 1;
+                        advance(
+                            &mut rts,
+                            i,
+                            now,
+                            &mut lock_holder,
+                            &mut lock_waiters,
+                            &mut finished,
+                            Some(&mut hooks),
+                        );
+                    }
+                    TaskState::Pending if rts[i].spec.start_at <= now => {
+                        events += 1;
+                        admit(
+                            &mut rts,
+                            i,
+                            now,
+                            &mut lock_holder,
+                            &mut lock_waiters,
+                            &mut finished,
+                            Some(&mut hooks),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+
+            runnable.retain(|&i| rts[i].state == TaskState::Running);
+            merge_runnable(&mut runnable, &mut made_runnable, &rts);
+        }
+
+        finish(rts, events)
+    }
+
+    /// The pre-calendar-queue run loop: a full O(tasks) scan per event.
+    ///
+    /// Kept verbatim as the equivalence oracle for [`Sim::run`] — the
+    /// old-vs-new tests pin byte-identical outcomes on every figure path —
+    /// and as the baseline side of the DES events/sec trajectory numbers.
+    pub fn run_reference(&self, tasks: Vec<TaskSpec>) -> SimOutcome {
+        let mut rts: Vec<TaskRt> = tasks
+            .into_iter()
+            .map(|spec| TaskRt {
+                state: TaskState::Pending,
+                pc: 0,
+                remaining: 0.0,
+                finished_at: SimTime::ZERO,
+                spec,
+            })
+            .collect();
+        let n = rts.len();
+        let mut lock_holder: BTreeMap<LockId, usize> = BTreeMap::new();
+        let mut lock_waiters: BTreeMap<LockId, VecDeque<usize>> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        let mut finished = 0usize;
+        let mut events = 0u64;
 
         // Admit tasks that start at t=0 and process their zero-width steps.
         for i in 0..n {
             if rts[i].spec.start_at <= now {
-                admit(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                events += 1;
+                admit(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished, None);
             }
         }
 
-        const EPS: f64 = 1e-6;
         while finished < n {
             // Current processor-sharing rate.
             let runnable: Vec<usize> =
@@ -256,6 +565,7 @@ impl Sim {
             for i in 0..n {
                 match rts[i].state {
                     TaskState::Running if rts[i].remaining <= EPS => {
+                        events += 1;
                         rts[i].pc += 1;
                         advance(
                             &mut rts,
@@ -264,9 +574,11 @@ impl Sim {
                             &mut lock_holder,
                             &mut lock_waiters,
                             &mut finished,
+                            None,
                         );
                     }
                     TaskState::Sleeping(end) if end <= now => {
+                        events += 1;
                         rts[i].pc += 1;
                         advance(
                             &mut rts,
@@ -275,31 +587,56 @@ impl Sim {
                             &mut lock_holder,
                             &mut lock_waiters,
                             &mut finished,
+                            None,
                         );
                     }
                     TaskState::Pending if rts[i].spec.start_at <= now => {
-                        admit(&mut rts, i, now, &mut lock_holder, &mut lock_waiters, &mut finished);
+                        events += 1;
+                        admit(
+                            &mut rts,
+                            i,
+                            now,
+                            &mut lock_holder,
+                            &mut lock_waiters,
+                            &mut finished,
+                            None,
+                        );
                     }
                     _ => {}
                 }
             }
         }
 
-        let makespan = rts.iter().map(|r| r.finished_at).max().unwrap_or(SimTime::ZERO);
-        let results = rts
-            .into_iter()
-            .enumerate()
-            .map(|(i, rt)| TaskResult {
-                id: TaskId(i),
-                name: rt.spec.name,
-                started: rt.spec.start_at,
-                finished: rt.finished_at,
-            })
-            .collect();
-        SimOutcome { results, makespan }
+        finish(rts, events)
     }
 }
 
+fn finish(rts: Vec<TaskRt>, events: u64) -> SimOutcome {
+    let makespan = rts.iter().map(|r| r.finished_at).max().unwrap_or(SimTime::ZERO);
+    let results = rts
+        .into_iter()
+        .enumerate()
+        .map(|(i, rt)| TaskResult {
+            id: TaskId(i),
+            name: rt.spec.name,
+            started: rt.spec.start_at,
+            finished: rt.finished_at,
+        })
+        .collect();
+    SimOutcome { results, makespan, events }
+}
+
+/// Fold tasks that just landed on a CPU step into the sorted runnable set.
+fn merge_runnable(runnable: &mut Vec<usize>, made_runnable: &mut Vec<usize>, rts: &[TaskRt]) {
+    if made_runnable.is_empty() {
+        return;
+    }
+    runnable.extend(made_runnable.drain(..).filter(|&i| rts[i].state == TaskState::Running));
+    runnable.sort_unstable();
+    runnable.dedup();
+}
+
+#[allow(clippy::too_many_arguments)]
 fn admit(
     rts: &mut [TaskRt],
     i: usize,
@@ -307,9 +644,10 @@ fn admit(
     holders: &mut BTreeMap<LockId, usize>,
     waiters: &mut BTreeMap<LockId, VecDeque<usize>>,
     finished: &mut usize,
+    hooks: Option<&mut EventHooks<'_>>,
 ) {
     rts[i].state = TaskState::Running; // placeholder; advance() fixes it up
-    advance(rts, i, now, holders, waiters, finished);
+    advance(rts, i, now, holders, waiters, finished, hooks);
 }
 
 /// Drive task `i` through consecutive zero-width steps until it lands in a
@@ -317,6 +655,7 @@ fn admit(
 /// the lock to the first waiter; woken tasks are advanced iteratively via a
 /// worklist (a recursive hand-off would overflow the stack when hundreds of
 /// waiters hold zero-width critical sections).
+#[allow(clippy::too_many_arguments)]
 fn advance(
     rts: &mut [TaskRt],
     start: usize,
@@ -324,6 +663,7 @@ fn advance(
     holders: &mut BTreeMap<LockId, usize>,
     waiters: &mut BTreeMap<LockId, VecDeque<usize>>,
     finished: &mut usize,
+    mut hooks: Option<&mut EventHooks<'_>>,
 ) {
     let mut worklist: VecDeque<usize> = VecDeque::from([start]);
     while let Some(i) = worklist.pop_front() {
@@ -344,6 +684,9 @@ fn advance(
                     }
                     rts[i].state = TaskState::Running;
                     rts[i].remaining = d.as_nanos() as f64;
+                    if let Some(h) = hooks.as_deref_mut() {
+                        h.made_runnable.push(i);
+                    }
                     break;
                 }
                 Some(Step::Io(d)) => {
@@ -352,6 +695,9 @@ fn advance(
                         continue;
                     }
                     rts[i].state = TaskState::Sleeping(now + d);
+                    if let Some(h) = hooks.as_deref_mut() {
+                        h.sleepers.push(now + d, i);
+                    }
                     break;
                 }
                 Some(Step::Acquire(l)) => {
@@ -533,5 +879,103 @@ mod tests {
         let out = Sim::new(2).run(tasks);
         assert_eq!(out.max_elapsed(), ms(30));
         assert_eq!(out.mean_elapsed(), ms(20));
+    }
+
+    #[test]
+    fn calendar_queue_orders_events() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(300), 2);
+        q.push(SimTime(100), 7);
+        q.push(SimTime(100), 3);
+        q.push(SimTime(200), 1);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((SimTime(100), 3)));
+        assert_eq!(q.pop(), Some((SimTime(100), 7)));
+        assert_eq!(q.peek(), Some((SimTime(200), 1)));
+        assert_eq!(q.pop(), Some((SimTime(200), 1)));
+        assert_eq!(q.pop(), Some((SimTime(300), 2)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_queue_survives_resize_and_sparse_tails() {
+        // Enough entries to force multiple resizes, spread over a wide,
+        // ragged time range including far-future outliers; interleave pops
+        // so the cursor advances through rotations.
+        let mut q = CalendarQueue::new();
+        let mut expect: Vec<(u64, usize)> = Vec::new();
+        let mut t = 1u64;
+        for i in 0..500usize {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let time = (t >> 20) % 10_000_000_000; // 0..10s, pseudo-random
+            expect.push((time, i));
+            q.push(SimTime(time), i);
+        }
+        // A handful of events a full simulated year ahead (sparse tail).
+        for i in 500..505usize {
+            let time = 3_000_000_000_000 + (i as u64) * 7;
+            expect.push((time, i));
+            q.push(SimTime(time), i);
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            got.push((t.as_nanos(), id));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn calendar_run_matches_reference() {
+        // A gnarly mix: staggered starts, lock convoys, zero-width steps,
+        // long sleeps, oversubscription — every code path of the loop.
+        let build = || {
+            let l1 = LockId(1);
+            let l2 = LockId(2);
+            let mut tasks: Vec<TaskSpec> = (0..120)
+                .map(|i| {
+                    TaskSpec::new(format!("t{i}"))
+                        .starting_at(SimTime::ZERO + ms(7 * (i % 13)))
+                        .cpu(ms(3 + (i % 7)))
+                        .acquire(l1)
+                        .cpu(ms(1))
+                        .release(l1)
+                        .io(ms(10 + (i % 5) * 100))
+                        .acquire(l2)
+                        .release(l2)
+                        .cpu(ms(5))
+                })
+                .collect();
+            tasks.push(TaskSpec::new("zero").cpu(Duration::ZERO).io(Duration::ZERO));
+            tasks.push(TaskSpec::new("late").starting_at(SimTime::ZERO + ms(5000)).cpu(ms(1)));
+            tasks
+        };
+        for cores in [1, 4, 20] {
+            let new = Sim::new(cores).run(build());
+            let old = Sim::new(cores).run_reference(build());
+            assert_eq!(new.makespan, old.makespan, "cores {cores}");
+            assert_eq!(new.events, old.events, "cores {cores}");
+            assert_eq!(new.results.len(), old.results.len());
+            for (a, b) in new.results.iter().zip(old.results.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.started, b.started);
+                assert_eq!(a.finished, b.finished, "task {} cores {cores}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn events_counted() {
+        // One admission, CPU completion, sleep wakeup, final completion.
+        let out = Sim::new(1).run(vec![TaskSpec::new("t").cpu(ms(1)).io(ms(1)).cpu(ms(1))]);
+        assert_eq!(out.events, 4);
+        assert_eq!(
+            out.events,
+            Sim::new(1)
+                .run_reference(vec![TaskSpec::new("t").cpu(ms(1)).io(ms(1)).cpu(ms(1)),])
+                .events
+        );
     }
 }

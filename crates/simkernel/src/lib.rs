@@ -55,7 +55,7 @@ pub mod trace;
 pub mod vfs;
 
 pub use cgroup::{CgroupId, CgroupStats, MemStat, IO_WINDOW_NS};
-pub use des::{LockId, Sim, SimOutcome, Step, TaskId, TaskSpec};
+pub use des::{CalendarQueue, LockId, Sim, SimOutcome, Step, TaskId, TaskResult, TaskSpec};
 pub use error::{KernelError, KernelResult};
 pub use faults::{FaultPlan, FaultSite};
 pub use image::{ProcGuard, ProcessImage};

@@ -22,12 +22,12 @@ use memwasm::workloads::{
 
 fn main() {
     let mut cluster = Cluster::bootstrap().expect("cluster");
-    memwasm::pyrt::install_python(&cluster.kernel).expect("python install");
+    memwasm::pyrt::install_python(cluster.kernel()).expect("python install");
 
     // The modified crun: WAMR for .wasm entrypoints, Python for .py,
     // pause for the sandbox — all in one binary, as the paper's
     // integration allows.
-    let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+    let mut crun = LowLevelRuntime::new(cluster.kernel().clone(), &CRUN);
     crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     crun.register_handler(Box::new(PythonHandler::default()));
     crun.register_handler(Box::new(PauseHandler));

@@ -20,11 +20,11 @@ use memwasm::workloads::{wasm_microservice_image, MicroserviceConfig};
 
 fn main() {
     let cluster = memwasm::k8s_sim::Cluster::bootstrap().expect("cluster");
-    let kernel = cluster.kernel.clone();
+    let kernel = cluster.kernel().clone();
 
     // Tenant cgroup subtrees under kubepods, each with a hard budget.
-    let tenant_a = kernel.cgroup_create(cluster.kubepods, "tenant-a").unwrap();
-    let tenant_b = kernel.cgroup_create(cluster.kubepods, "tenant-b").unwrap();
+    let tenant_a = kernel.cgroup_create(cluster.kubepods(), "tenant-a").unwrap();
+    let tenant_b = kernel.cgroup_create(cluster.kubepods(), "tenant-b").unwrap();
     kernel.cgroup_set_limit(tenant_a, Some(64 << 20)).unwrap();
     kernel.cgroup_set_limit(tenant_b, Some(8 << 20)).unwrap();
 
@@ -37,7 +37,7 @@ fn main() {
     let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
     rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     rt.register_handler(Box::new(PauseHandler));
-    let ctx = RuntimeCtx { runtime_cgroup: cluster.system_cgroup };
+    let ctx = RuntimeCtx { runtime_cgroup: cluster.system_cgroup() };
 
     // Tenant A: deploy Wasm microservices until the 64 MiB budget refuses.
     let mut fitted = 0;

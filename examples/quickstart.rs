@@ -26,7 +26,7 @@ fn main() {
 
     // Observer 1: the Kubernetes metrics-server (per-pod working set).
     let avg = cluster.average_working_set(&deployment).expect("metrics");
-    let dev = working_set_stddev(&cluster.kernel, &deployment).expect("stddev");
+    let dev = working_set_stddev(cluster.kernel(), &deployment).expect("stddev");
     println!(
         "metrics-server: {:.2} MB/container (stddev {:.3} MB)",
         avg as f64 / (1 << 20) as f64,

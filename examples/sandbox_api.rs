@@ -24,7 +24,7 @@ const CONTAINERS_PER_POD: usize = 6;
 
 fn main() {
     let cluster = memwasm::k8s_sim::Cluster::bootstrap().expect("cluster");
-    let kernel = cluster.kernel.clone();
+    let kernel = cluster.kernel().clone();
     let mut store = ImageStore::new();
     let image = store
         .register(&kernel, wasm_microservice_image("svc:v1", &MicroserviceConfig::default()))
@@ -33,11 +33,11 @@ fn main() {
 
     // --- A: the paper's integration — one WAMR-crun container process per
     // container, all in one pod cgroup.
-    let pod_a = kernel.cgroup_create(cluster.kubepods, "pod-crun").unwrap();
+    let pod_a = kernel.cgroup_create(cluster.kubepods(), "pod-crun").unwrap();
     let mut rt = LowLevelRuntime::new(kernel.clone(), &CRUN);
     rt.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     rt.register_handler(Box::new(PauseHandler));
-    let ctx = RuntimeCtx { runtime_cgroup: cluster.system_cgroup };
+    let ctx = RuntimeCtx { runtime_cgroup: cluster.system_cgroup() };
     for i in 0..CONTAINERS_PER_POD {
         let id = format!("a{i}");
         let mut spec = RuntimeSpec::for_command(&id, image.command());
@@ -51,7 +51,7 @@ fn main() {
     let a = kernel.cgroup_working_set(pod_a).unwrap();
 
     // --- B: the Sandbox API — one sandbox process hosting every container.
-    let pod_b = kernel.cgroup_create(cluster.kubepods, "pod-sandbox").unwrap();
+    let pod_b = kernel.cgroup_create(cluster.kubepods(), "pod-sandbox").unwrap();
     let sandboxer = WasmSandboxer::new(kernel.clone(), EngineKind::Wamr);
     let mut sandbox = sandboxer.create_sandbox("pod-sandbox", pod_b).unwrap();
     for i in 0..CONTAINERS_PER_POD {

@@ -103,11 +103,39 @@ if [ "$violations" -ne 0 ]; then
   exit 1
 fi
 
+echo "== lint: pod placement goes through the scheduler =="
+# Placement is the scheduler's monopoly: outside crates/k8s (where the
+# cluster drives kubelets through Scheduler::place), non-test code must
+# never call kubelet.manage_pod / kubelet.sync_pod directly — harness and
+# example code would otherwise bypass policy scoring, feasibility checks
+# and the placement determinism the sweep tables pin. Same
+# tests-at-end/comment exemptions as above.
+placement_verbs='\.manage_pod\(|\.sync_pod\('
+violations=0
+for f in $(grep -rlE "$placement_verbs" crates/*/src examples src --include='*.rs' \
+    | grep -v '^crates/k8s/' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nE "$placement_verbs" | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: direct manage_pod/sync_pod call site(s) outside crates/k8s; placement must go through the scheduler" >&2
+  exit 1
+fi
+
 echo "== smoke: examples/quickstart =="
 cargo run --release --offline --example quickstart >/dev/null
 
 echo "== smoke: chaos sweep + hung-guest watchdog scenario (--smoke plan) =="
 cargo run --release --offline -p harness --bin chaos -- --smoke >/dev/null
+
+echo "== smoke: multi-node drain (3 nodes, drain one, controller reconverges) =="
+# A spread deployment over 3 nodes, one node drained: every victim must be
+# rescheduled by the controller and come back Running+ready on a survivor.
+cargo run --release --offline -p harness --bin chaos -- --multinode-smoke >/dev/null
 
 echo "== smoke: adversarial isolation (1 attacker × 4 kinds vs 4 victims) =="
 # Containment contracts on the contribution config: every attacker

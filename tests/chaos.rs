@@ -40,7 +40,7 @@ fn zero_fault_plan_is_byte_identical_to_no_plan() {
         let mut cluster = wamr_cluster(&w);
         if armed {
             // A seeded plan with every rate at zero: armed but inert.
-            cluster.kernel.set_fault_plan(FaultPlan::new(0xDEAD_BEEF));
+            cluster.kernel().set_fault_plan(FaultPlan::new(0xDEAD_BEEF));
         }
         let d = cluster
             .deploy("svc", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 3)
@@ -60,7 +60,7 @@ fn injected_sync_fault_becomes_crashloop_then_recovers() {
     let w = Workload::light();
     let mut cluster = wamr_cluster(&w);
     // Exactly one fault: the next spawn (the pod's shim) fails.
-    cluster.kernel.set_fault_plan(FaultPlan::new(3).fail_call(FaultSite::Spawn, 0));
+    cluster.kernel().set_fault_plan(FaultPlan::new(3).fail_call(FaultSite::Spawn, 0));
     cluster
         .deploy_with(
             "svc",
@@ -70,19 +70,19 @@ fn injected_sync_fault_becomes_crashloop_then_recovers() {
             DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
-    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    let entry = cluster.kubelet().managed_pod("svc-0").unwrap();
     assert_eq!(entry.phase, PodPhase::CrashLoopBackOff);
     assert_eq!(entry.failures, 1);
     assert_eq!(cluster.stats().crash_loop, 1);
 
     // The backoff schedule: due 10s after the failure, not before.
-    cluster.kernel.advance(Duration::from_secs(5));
+    cluster.kernel().advance(Duration::from_secs(5));
     assert!(cluster.reconcile().quiet(), "restart must wait out the backoff");
-    cluster.kernel.advance(Duration::from_secs(5));
+    cluster.kernel().advance(Duration::from_secs(5));
     let report = cluster.reconcile();
     assert_eq!(report.restarted, vec!["svc-0".to_string()]);
 
-    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    let entry = cluster.kubelet().managed_pod("svc-0").unwrap();
     assert_eq!(entry.phase, PodPhase::Running);
     assert_eq!((entry.restarts, entry.failures), (1, 0));
     assert_eq!(entry.stdout, b"microservice ready\n");
@@ -95,7 +95,7 @@ fn engine_instantiate_fault_recovers_on_the_runwasi_path() {
     let w = Workload::light();
     let mut cluster = new_cluster(&[Config::ShimWasmtime], &w).unwrap();
     warmup(&mut cluster, Config::ShimWasmtime).unwrap();
-    cluster.kernel.set_fault_plan(FaultPlan::new(9).fail_call(FaultSite::EngineInstantiate, 0));
+    cluster.kernel().set_fault_plan(FaultPlan::new(9).fail_call(FaultSite::EngineInstantiate, 0));
     cluster
         .deploy_with(
             "svc",
@@ -105,12 +105,12 @@ fn engine_instantiate_fault_recovers_on_the_runwasi_path() {
             DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
-    assert_eq!(cluster.kubelet.managed_pod("svc-0").unwrap().phase, PodPhase::CrashLoopBackOff);
-    assert_eq!(cluster.kernel.faults_injected(FaultSite::EngineInstantiate), 1);
-    cluster.kernel.advance(Duration::from_secs(10));
+    assert_eq!(cluster.kubelet().managed_pod("svc-0").unwrap().phase, PodPhase::CrashLoopBackOff);
+    assert_eq!(cluster.kernel().faults_injected(FaultSite::EngineInstantiate), 1);
+    cluster.kernel().advance(Duration::from_secs(10));
     let report = cluster.reconcile();
     assert_eq!(report.restarted.len(), 1);
-    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    let entry = cluster.kubelet().managed_pod("svc-0").unwrap();
     assert_eq!(entry.phase, PodPhase::Running);
     assert_eq!(entry.stdout, b"microservice ready\n");
     cluster.teardown_managed().unwrap();
@@ -129,8 +129,8 @@ fn oom_killed_pod_is_detected_and_restarted() {
             DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
-    let kernel = cluster.kernel.clone();
-    let pod_cgroup = cluster.containerd.sandbox("svc-0").unwrap().pod_cgroup;
+    let kernel = cluster.kernel().clone();
+    let pod_cgroup = cluster.containerd().sandbox("svc-0").unwrap().pod_cgroup;
 
     // Clamp the pod just above its current usage, then have a memory hog
     // in the pod blow through it: the kernel must OOM-kill the pod's
@@ -141,7 +141,7 @@ fn oom_killed_pod_is_detected_and_restarted() {
     let map = kernel.mmap(hog, 4 << 20, MapKind::AnonPrivate).unwrap();
     kernel.touch(hog, map, 4 << 20).unwrap();
     assert!(kernel.cgroup_oom_events(pod_cgroup).unwrap() >= 1);
-    assert!(cluster.containerd.pod_oom_killed("svc-0"), "a pod process was OOM-killed");
+    assert!(cluster.containerd().pod_oom_killed("svc-0"), "a pod process was OOM-killed");
     // The hog is ours, not the pod's: clean it up before recovery runs,
     // and lift the limit so the restart can fit.
     kernel.exit(hog, 0).unwrap();
@@ -149,14 +149,14 @@ fn oom_killed_pod_is_detected_and_restarted() {
 
     let report = cluster.reconcile();
     assert_eq!(report.oom_killed, vec!["svc-0".to_string()]);
-    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    let entry = cluster.kubelet().managed_pod("svc-0").unwrap();
     assert_eq!(entry.phase, PodPhase::OomKilled);
     assert_eq!(cluster.stats().oom_killed, 1);
 
-    cluster.kernel.advance(Duration::from_secs(10));
+    cluster.kernel().advance(Duration::from_secs(10));
     let report = cluster.reconcile();
     assert_eq!(report.restarted, vec!["svc-0".to_string()]);
-    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    let entry = cluster.kubelet().managed_pod("svc-0").unwrap();
     assert_eq!(entry.phase, PodPhase::Running);
     assert_eq!(entry.restarts, 1);
     cluster.teardown_managed().unwrap();
@@ -167,7 +167,7 @@ fn oom_killed_pod_is_detected_and_restarted() {
 fn remove_pod_is_idempotent_on_a_crashlooping_pod() {
     let w = Workload::light();
     let mut cluster = wamr_cluster(&w);
-    cluster.kernel.set_fault_plan(FaultPlan::new(11).fail_call(FaultSite::Spawn, 0));
+    cluster.kernel().set_fault_plan(FaultPlan::new(11).fail_call(FaultSite::Spawn, 0));
     cluster
         .deploy_with(
             "svc",
@@ -180,9 +180,9 @@ fn remove_pod_is_idempotent_on_a_crashlooping_pod() {
     assert_eq!(cluster.stats().crash_loop, 1);
     // Deleting a pod that failed mid-sync (nothing materialized) succeeds,
     // and deleting it again is a no-op.
-    cluster.kubelet.remove_pod(&mut cluster.containerd, "svc-0").unwrap();
-    cluster.kubelet.remove_pod(&mut cluster.containerd, "svc-0").unwrap();
-    assert!(cluster.kubelet.managed_pod("svc-0").is_none());
+    cluster.remove_pod("svc-0").unwrap();
+    cluster.remove_pod("svc-0").unwrap();
+    assert!(cluster.kubelet().managed_pod("svc-0").is_none());
     assert_eq!(cluster.stats().crash_loop, 0);
 }
 
@@ -220,7 +220,7 @@ fn spurious_probe_faults_below_threshold_do_not_kill() {
     // the counter — the pod must never be killed or restarted.
     let w = Workload::light();
     let mut cluster = wamr_cluster(&w);
-    cluster.kernel.set_fault_plan(FaultPlan::new(21).fail_call(FaultSite::Probe, 0));
+    cluster.kernel().set_fault_plan(FaultPlan::new(21).fail_call(FaultSite::Probe, 0));
     let liveness =
         ProbeSpec { period: Duration::from_secs(2), failure_threshold: 3, ..ProbeSpec::default() };
     cluster
@@ -237,13 +237,13 @@ fn spurious_probe_faults_below_threshold_do_not_kill() {
         )
         .unwrap();
     for round in 0..4 {
-        cluster.kernel.advance(Duration::from_secs(2));
+        cluster.kernel().advance(Duration::from_secs(2));
         let report = cluster.reconcile();
         assert!(report.probe_killed.is_empty(), "round {round} must not kill");
         assert!(report.restarted.is_empty());
     }
-    assert_eq!(cluster.kernel.faults_injected(FaultSite::Probe), 1, "the fault was drawn");
-    let entry = cluster.kubelet.managed_pod("svc-0").unwrap();
+    assert_eq!(cluster.kernel().faults_injected(FaultSite::Probe), 1, "the fault was drawn");
+    let entry = cluster.kubelet().managed_pod("svc-0").unwrap();
     assert_eq!(entry.phase, PodPhase::Running);
     assert_eq!((entry.restarts, entry.failures), (0, 0));
     cluster.teardown_managed().unwrap();
@@ -265,24 +265,24 @@ fn clean_pod_termination_advances_no_simulated_time() {
             DeployOpts { restart: RestartPolicy::Always, ..Default::default() },
         )
         .unwrap();
-    let before = cluster.kernel.now();
-    let trace = cluster.kubelet.remove_pod_traced(&mut cluster.containerd, "svc-0").unwrap();
-    assert_eq!(cluster.kernel.now(), before, "no grace period for a clean pod");
+    let before = cluster.kernel().now();
+    let trace = cluster.remove_pod_traced("svc-0").unwrap();
+    assert_eq!(cluster.kernel().now(), before, "no grace period for a clean pod");
     assert!(
         trace.entries().iter().any(|(p, _)| *p == Phase::Terminating),
         "SIGTERM work is recorded under the Terminating phase"
     );
-    assert!(cluster.kubelet.managed_pod("svc-0").is_none());
+    assert!(cluster.kubelet().managed_pod("svc-0").is_none());
 }
 
 #[test]
 fn wedged_pod_termination_rides_out_the_grace_period_then_sigkills() {
     let w = Workload::light();
     let mut cluster = wamr_cluster(&w);
-    let procs_before = cluster.kernel.live_procs();
+    let procs_before = cluster.kernel().live_procs();
     // A guest that will not be ready for a minute: its first start wedges
     // on the 4 s watchdog budget the liveness probe derives.
-    let ready_after = cluster.kernel.now() + Duration::from_secs(60);
+    let ready_after = cluster.kernel().now() + Duration::from_secs(60);
     cluster.pull_image(hung_service_image(HUNG_IMAGE_REF, ready_after.as_nanos())).unwrap();
     let grace = Duration::from_secs(3);
     cluster
@@ -299,18 +299,18 @@ fn wedged_pod_termination_rides_out_the_grace_period_then_sigkills() {
             },
         )
         .unwrap();
-    assert!(cluster.containerd.pod_wedged("hung-0"), "the guest must wedge at deploy");
+    assert!(cluster.containerd().pod_wedged("hung-0"), "the guest must wedge at deploy");
 
-    let before = cluster.kernel.now();
-    let trace = cluster.kubelet.remove_pod_traced(&mut cluster.containerd, "hung-0").unwrap();
+    let before = cluster.kernel().now();
+    let trace = cluster.remove_pod_traced("hung-0").unwrap();
     assert_eq!(
-        cluster.kernel.now().since(before),
+        cluster.kernel().now().since(before),
         grace,
         "a wedged guest rides out exactly the grace period"
     );
     assert!(trace.entries().iter().any(|(p, _)| *p == Phase::Terminating));
-    assert!(cluster.kubelet.managed_pod("hung-0").is_none());
-    assert_eq!(cluster.kernel.live_procs(), procs_before, "SIGKILL reaped everything");
+    assert!(cluster.kubelet().managed_pod("hung-0").is_none());
+    assert_eq!(cluster.kernel().live_procs(), procs_before, "SIGKILL reaped everything");
 }
 
 #[test]
@@ -344,11 +344,11 @@ fn zero_attacker_isolation_run_matches_plain_supervised_deploy() {
         )
         .unwrap();
     let mut rounds = 0;
-    while !cluster.kubelet.settled() && rounds < plan.max_rounds {
-        let now = cluster.kernel.now();
-        match cluster.kubelet.next_deadline() {
-            Some(deadline) if deadline > now => cluster.kernel.advance(deadline - now),
-            _ => cluster.kernel.advance(Duration::from_secs(1)),
+    while !cluster.kubelet().settled() && rounds < plan.max_rounds {
+        let now = cluster.kernel().now();
+        match cluster.kubelet().next_deadline() {
+            Some(deadline) if deadline > now => cluster.kernel().advance(deadline - now),
+            _ => cluster.kernel().advance(Duration::from_secs(1)),
         }
         cluster.reconcile();
         rounds += 1;
@@ -367,7 +367,7 @@ fn pressure_eviction_is_a_distinct_cluster_stats_reason() {
     // bucket, while its victims keep running.
     let w = Workload::light();
     let mut cluster = isolation::isolation_cluster(Config::WamrCrun, &w).unwrap();
-    cluster.kernel.set_io_model(Some(isolation::isolation_io_model()));
+    cluster.kernel().set_io_model(Some(isolation::isolation_io_model()));
     let thrasher = Attacker::Thrasher;
     cluster.pull_image(thrasher.image()).unwrap();
     cluster
@@ -396,12 +396,12 @@ fn pressure_eviction_is_a_distinct_cluster_stats_reason() {
         )
         .unwrap();
 
-    cluster.kernel.advance(Duration::from_secs(1));
+    cluster.kernel().advance(Duration::from_secs(1));
     let report = cluster.reconcile();
     assert_eq!(report.pressure_evicted, vec!["attacker-0".to_string()]);
     assert!(report.evicted.is_empty());
 
-    let entry = cluster.kubelet.managed_pod("attacker-0").unwrap();
+    let entry = cluster.kubelet().managed_pod("attacker-0").unwrap();
     assert_eq!(entry.phase, PodPhase::Evicted);
     assert!(entry.pressure_evicted);
     assert!(entry.next_restart_at.is_none(), "pressure eviction is terminal");

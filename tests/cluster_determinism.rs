@@ -1,0 +1,117 @@
+//! Multi-node determinism: scheduler placement and the cluster-scale
+//! tables are pure functions of the plan — byte-identical across repeated
+//! runs and across `HARNESS_THREADS` worker counts — and the calendar-
+//! queue DES matches the pinned reference loop on every figure path.
+
+use std::sync::Mutex;
+
+use memwasm::harness::{
+    cluster_scale, density_sweep, policy_ablation, run_drain, Config, ScalePlan, Workload,
+};
+use memwasm::k8s_sim::Policy;
+use memwasm::simkernel::{Sim, TaskSpec};
+
+/// Serializes every test that mutates the process-wide `HARNESS_THREADS`
+/// environment variable — tests in one binary share the environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn density_sweep_is_byte_identical_across_worker_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let w = Workload::light();
+    let plan = ScalePlan::smoke();
+
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("HARNESS_THREADS", threads);
+        let (table, samples) = density_sweep(&plan, &w).unwrap();
+        runs.push((threads, table.to_csv().into_bytes(), samples));
+    }
+    std::env::remove_var("HARNESS_THREADS");
+    let (_, csv1, samples1) = &runs[0];
+    for (threads, csv, samples) in &runs[1..] {
+        assert_eq!(csv, csv1, "sweep CSV bytes differ at HARNESS_THREADS={threads}");
+        assert_eq!(samples, samples1, "samples differ at HARNESS_THREADS={threads}");
+    }
+}
+
+#[test]
+fn repeated_runs_place_identically() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let w = Workload::light();
+
+    // Same plan, fresh clusters: placement and the rendered ablation table
+    // must not depend on host state.
+    let a = policy_ablation(Config::WamrCrun, 3, 9, &w).unwrap();
+    let b = policy_ablation(Config::WamrCrun, 3, 9, &w).unwrap();
+    assert_eq!(a.to_csv().into_bytes(), b.to_csv().into_bytes());
+
+    let d1 = run_drain(Config::WamrCrun, 3, 6, &w).unwrap();
+    let d2 = run_drain(Config::WamrCrun, 3, 6, &w).unwrap();
+    assert_eq!(d1.placements, d2.placements);
+    assert_eq!(d1.drained, d2.drained);
+    assert_eq!((d1.converged, d1.ready), (d2.converged, d2.ready));
+}
+
+#[test]
+fn single_node_sweep_matches_the_single_node_figure_path() {
+    // A 1-node "cluster sweep" is the old single-node experiment: every
+    // pod on node 0, metrics identical to the per-density figure cells.
+    let w = Workload::light();
+    let plan = ScalePlan {
+        config: Config::WamrCrun,
+        nodes: 1,
+        densities: vec![5],
+        policy: Policy::Spread,
+    };
+    let (_, samples) = density_sweep(&plan, &w).unwrap();
+    assert_eq!(samples[0].min_pods_node, 5);
+    assert_eq!(samples[0].max_pods_node, 5);
+    let cell = memwasm::harness::measure_memory(Config::WamrCrun, 5, &w).unwrap();
+    assert_eq!(samples[0].metrics_avg, cell.metrics_avg);
+}
+
+#[test]
+fn calendar_queue_matches_reference_on_every_figure_path() {
+    // The DES refactor's contract: for every runtime configuration's real
+    // startup trace (the figure workloads, not synthetic tasks), the
+    // calendar-queue loop and the pinned reference loop agree exactly —
+    // same per-task times, same makespan, same event count.
+    let w = Workload::light();
+    for config in [Config::WamrCrun, Config::ShimWasmtime, Config::CrunPython] {
+        let (cluster, d) = memwasm::harness::deploy_density(config, 8, &w).unwrap();
+        let tasks: Vec<TaskSpec> = d
+            .pods
+            .iter()
+            .map(|p| TaskSpec {
+                name: p.spec.name.clone(),
+                start_at: p.dispatched_at,
+                steps: p.trace.steps(),
+            })
+            .collect();
+        let sim = Sim::new(cluster.kernel().cores());
+        let new = sim.run(tasks.clone());
+        let old = sim.run_reference(tasks);
+        assert_eq!(new.makespan, old.makespan, "{config:?}");
+        assert_eq!(new.events, old.events, "{config:?}");
+        assert_eq!(new.results.len(), old.results.len(), "{config:?}");
+        for (n, o) in new.results.iter().zip(&old.results) {
+            assert_eq!(n.id, o.id, "{config:?}");
+            assert_eq!(n.started, o.started, "{config:?}/{}", n.name);
+            assert_eq!(n.finished, o.finished, "{config:?}/{}", n.name);
+        }
+    }
+}
+
+#[test]
+fn multinode_smoke_contract() {
+    // The verify.sh scenario: 3 nodes, drain one, convergence on the rest.
+    let w = Workload::light();
+    let o = run_drain(Config::WamrCrun, 3, 6, &w).unwrap();
+    assert!(o.converged, "{o:?}");
+    assert_eq!(o.ready, 6);
+    assert_eq!(o.pods_on_drained, 0);
+    // A spread deployment put pods on the victim, so the drain was real.
+    assert!(!o.drained.is_empty());
+    let _ = cluster_scale::ScalePlan::smoke();
+}

@@ -30,7 +30,7 @@ fn teardown_restores_memory_baseline() {
     let mut cluster = new_cluster(&[Config::WamrCrun], &w).unwrap();
     warmup(&mut cluster, Config::WamrCrun).unwrap();
     let before = cluster.free().used;
-    let procs_before = cluster.kernel.live_procs();
+    let procs_before = cluster.kernel().live_procs();
     let d = cluster
         .deploy("svc", Config::WamrCrun.image_ref(), Config::WamrCrun.class_name(), 10)
         .unwrap();
@@ -42,7 +42,7 @@ fn teardown_restores_memory_baseline() {
         after.saturating_sub(before) < 6 << 20,
         "resident leak: before {before}, after {after} (kubelet/daemon growth only)"
     );
-    assert_eq!(cluster.kernel.live_procs(), procs_before);
+    assert_eq!(cluster.kernel().live_procs(), procs_before);
 }
 
 #[test]
@@ -85,13 +85,13 @@ fn every_wasm_config_returns_the_kernel_to_baseline() {
     for &c in &WASM_CONFIGS {
         warmup(&mut cluster, c).unwrap();
     }
-    let procs_before = cluster.kernel.live_procs();
+    let procs_before = cluster.kernel().live_procs();
     let used_before = cluster.free().used;
     for &c in &WASM_CONFIGS {
         let d = cluster.deploy(c.class_name(), c.image_ref(), c.class_name(), 2).unwrap();
         assert_eq!(d.running(), 2, "{}", c.label());
         cluster.teardown(d).unwrap();
-        assert_eq!(cluster.kernel.live_procs(), procs_before, "{}: leaked processes", c.label());
+        assert_eq!(cluster.kernel().live_procs(), procs_before, "{}: leaked processes", c.label());
     }
     // Anonymous memory returns to baseline modulo the kubelet/daemon
     // per-pod bookkeeping growth; the page cache may stay warm.
@@ -128,7 +128,7 @@ fn oom_killed_container_via_memory_limit() {
     // Deploy through the low-level runtime with a tiny memory limit; the
     // kernel must OOM-kill the container when the workload commits memory.
     let cluster = Cluster::bootstrap().unwrap();
-    let kernel = cluster.kernel.clone();
+    let kernel = cluster.kernel().clone();
     memwasm::engines::install_engines(&kernel).unwrap();
     let mut store = memwasm::oci_spec_lite::ImageStore::new();
     let image = store
@@ -165,7 +165,7 @@ fn oom_killed_container_via_memory_limit() {
 #[test]
 fn invalid_module_fails_cleanly() {
     let cluster = Cluster::bootstrap().unwrap();
-    let kernel = cluster.kernel.clone();
+    let kernel = cluster.kernel().clone();
     memwasm::engines::install_engines(&kernel).unwrap();
     let mut store = memwasm::oci_spec_lite::ImageStore::new();
     let image = store
@@ -197,7 +197,7 @@ fn python_handler_in_hybrid_runtime_prefers_first_match() {
     // A runtime with both WAMR and Python handlers routes by spec.
     let w = Workload::light();
     let mut cluster = new_cluster(&[Config::CrunPython], &w).unwrap();
-    let mut crun = LowLevelRuntime::new(cluster.kernel.clone(), &CRUN);
+    let mut crun = LowLevelRuntime::new(cluster.kernel().clone(), &CRUN);
     crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
     crun.register_handler(Box::new(PythonHandler::default()));
     crun.register_handler(Box::new(PauseHandler));
@@ -232,14 +232,14 @@ fn failed_pod_sync_rolls_back_cleanly() {
                 .file("/app/bad.wasm", &b"garbage"[..]),
         )
         .unwrap();
-    let procs_before = cluster.kernel.live_procs();
+    let procs_before = cluster.kernel().live_procs();
     let used_before = cluster.free().used;
 
     let err = cluster.deploy("bad", "broken:v1", Config::WamrCrun.class_name(), 1);
     assert!(err.is_err(), "broken module must fail the deployment");
 
-    assert_eq!(cluster.kernel.live_procs(), procs_before, "no leaked processes");
-    assert_eq!(cluster.kubelet.pod_count(), 0, "no leaked pod records");
+    assert_eq!(cluster.kernel().live_procs(), procs_before, "no leaked processes");
+    assert_eq!(cluster.kubelet().pod_count(), 0, "no leaked pod records");
     let leaked = cluster.free().used.saturating_sub(used_before);
     assert!(leaked < 1 << 20, "no leaked anon memory: {leaked} bytes");
     // The node still works afterwards.
