@@ -1,7 +1,17 @@
 //! Chaos sweep: deterministic fault injection across the Wasm configs.
 //!
 //! Usage: `cargo run -p harness --bin chaos
-//! [-- --smoke | --isolation-smoke | --multinode-smoke] [--seed N]`
+//! [-- --smoke | --isolation-smoke | --multinode-smoke
+//!  | --node-crash-smoke | --explore [--schedules N] | --recovery]
+//! [--seed N]`
+//!
+//! `--node-crash-smoke` crashes 1 of 3 nodes under a 6-replica deployment
+//! and asserts lease-driven detection, eviction and reconvergence on the
+//! survivors. `--explore` enumerates seeded fault schedules (crash,
+//! restart, partition, heal) through the deterministic explorer, checking
+//! the convergence invariants after every schedule and shrinking any
+//! violation to a minimal failing prefix. `--recovery` prints the
+//! crash/partition recovery-time table across the Wasm configs.
 //!
 //! Deploys pods under kubelet supervision with every fault site armed,
 //! drives the reconcile loop until each node settles, and fails (exit 1)
@@ -17,8 +27,9 @@
 
 use harness::chaos::{check_hung_outcome, check_outcome, sweep, ChaosPlan, WASM_CONFIGS};
 use harness::cluster_scale::run_drain;
+use harness::explorer::{explore, recovery_table, run_schedule, ExplorePlan, InvariantKnobs};
 use harness::isolation::{check_isolation, isolation_sweep, run_tenants, Attacker, IsolationPlan};
-use harness::{Config, Workload};
+use harness::{Config, FaultEvent, Workload};
 use simkernel::FaultSite;
 
 /// Run the isolation grid, print/save its table, and count contract
@@ -74,6 +85,58 @@ fn run_multinode_smoke() {
     );
 }
 
+/// The node-crash scenario: 3 nodes, a 6-replica deployment, one node
+/// power-failed mid-run. Detection must be lease-driven (NotReady after
+/// the grace), eviction must re-home the lost replicas, and the
+/// deployment must reconverge on the survivors with nothing leaked.
+fn run_node_crash_smoke(seed: u64) {
+    let workload = Workload::light();
+    let plan = ExplorePlan::smoke(seed);
+    let o =
+        run_schedule(&plan, seed, &[FaultEvent::Crash(1)], &workload, InvariantKnobs::default())
+            .expect("node-crash scenario");
+    if !o.violations.is_empty() {
+        for v in &o.violations {
+            eprintln!("FAIL: node-crash {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "node-crash smoke: crashed 1 of {} nodes under {} replicas; lease expired, \
+         replicas evicted and rescheduled, reconverged in {} rounds",
+        plan.nodes, plan.replicas, o.rounds
+    );
+}
+
+/// The fault-schedule explorer: enumerate seeded schedules, check the
+/// convergence invariants after each, shrink any violation.
+fn run_explore(seed: u64, schedules: Option<usize>) {
+    let workload = Workload::light();
+    let mut plan = ExplorePlan::standard(seed);
+    if let Some(n) = schedules {
+        plan.schedules = n;
+    }
+    let report = explore(&plan, &workload, InvariantKnobs::default()).expect("explorer");
+    print!("{}", report.render());
+    if !report.counterexamples.is_empty() {
+        eprintln!(
+            "{} schedule(s) violated the convergence invariants",
+            report.counterexamples.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Print the crash/partition recovery-time table across the Wasm configs.
+fn run_recovery() {
+    let workload = Workload::light();
+    let table = recovery_table(&workload).expect("recovery table");
+    println!("{}", table.render());
+    if let Ok(path) = table.save_csv("recovery") {
+        println!("CSV written to {}", path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -89,6 +152,23 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0xC4A0_5EED);
+    if args.iter().any(|a| a == "--node-crash-smoke") {
+        run_node_crash_smoke(seed);
+        return;
+    }
+    if args.iter().any(|a| a == "--explore") {
+        let schedules = args
+            .iter()
+            .position(|a| a == "--schedules")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse::<usize>().ok());
+        run_explore(seed, schedules);
+        return;
+    }
+    if args.iter().any(|a| a == "--recovery") {
+        run_recovery();
+        return;
+    }
 
     if isolation_smoke {
         let workload = Workload::light();

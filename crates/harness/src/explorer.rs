@@ -1,0 +1,645 @@
+//! Deterministic fault-schedule explorer: seeded sequences of node
+//! crashes, restarts, partitions and heals against a controller-managed
+//! deployment, with convergence invariants checked after every schedule.
+//!
+//! A schedule is a pure function of its seed ([`generate_schedule`]): the
+//! generator tracks per-node state so every event is semantically valid
+//! (only live nodes crash or partition, only crashed nodes restart, only
+//! partitioned nodes heal) and at least one node stays reachable — the
+//! cluster is wounded, never beheaded. Each schedule runs on a fresh
+//! cluster, so schedules are independent and [`explore`] can fan them
+//! across `HARNESS_THREADS` workers with results merged in seed order:
+//! the rendered report is byte-identical for any worker count.
+//!
+//! After the last event the harness drives lease ticks, controller and
+//! kubelet reconciliation until the deployment reconverges, then checks
+//! the invariants ([`check_invariants`]): exactly `replicas` replicas
+//! Running and ready, none bound to a crashed or NotReady node, every pod
+//! on a Ready node known to the controller (no stale duplicates surviving
+//! a fence), and — once convergence is reached — the ready count never
+//! regressing. A violated schedule is shrunk to its minimal failing
+//! prefix ([`shrink`]), reproducible from the printed seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use k8s_sim::{Cluster, DeploymentController, DeploymentSpec, NodeCondition, Policy};
+use simkernel::rng::SplitMix64;
+use simkernel::{Duration, KernelResult};
+
+use crate::cluster_scale::{new_scaled_cluster, warmup_nodes};
+use crate::config::{Config, Workload};
+use crate::parallel::worker_count;
+
+/// One step of a fault schedule, naming its target node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Instant power loss (ungraceful: no SIGTERM, no teardown).
+    Crash(usize),
+    /// Reboot a crashed node as a fresh machine (re-provisioned before
+    /// the scheduler may use it again).
+    Restart(usize),
+    /// Cut the node off from the control plane; pods keep running.
+    Partition(usize),
+    /// Reconnect a partitioned node (fenced at its next renewal).
+    Heal(usize),
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultEvent::Crash(n) => write!(f, "crash({n})"),
+            FaultEvent::Restart(n) => write!(f, "restart({n})"),
+            FaultEvent::Partition(n) => write!(f, "partition({n})"),
+            FaultEvent::Heal(n) => write!(f, "heal({n})"),
+        }
+    }
+}
+
+/// Render a schedule as a single space-separated line.
+pub fn schedule_line(events: &[FaultEvent]) -> String {
+    events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+/// Parameters of one exploration run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorePlan {
+    /// Base seed; schedule `i` derives its own stream from it.
+    pub seed: u64,
+    /// Number of seeded schedules to enumerate.
+    pub schedules: usize,
+    /// Cluster size each schedule runs against.
+    pub nodes: usize,
+    /// Replicas of the controller-managed deployment under test.
+    pub replicas: usize,
+    /// Maximum events per schedule (each schedule draws 1..=max).
+    pub max_events: usize,
+    /// Runtime configuration deployed.
+    pub config: Config,
+}
+
+impl ExplorePlan {
+    /// The CI smoke plan: a handful of schedules, small cluster.
+    pub fn smoke(seed: u64) -> ExplorePlan {
+        ExplorePlan {
+            seed,
+            schedules: 12,
+            nodes: 3,
+            replicas: 6,
+            max_events: 4,
+            config: Config::WamrCrun,
+        }
+    }
+
+    /// The acceptance-sized run: 200+ seeded schedules.
+    pub fn standard(seed: u64) -> ExplorePlan {
+        ExplorePlan { seed, schedules: 200, ..ExplorePlan::smoke(seed) }
+    }
+
+    /// The seed of schedule `i` — reproducible in isolation.
+    pub fn schedule_seed(&self, i: usize) -> u64 {
+        self.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Invariant knobs. The production set is the default; the test-only
+/// sabotage knob exists so the explorer's detection and shrinking
+/// machinery is itself testable against a guaranteed violation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvariantKnobs {
+    /// Deliberately broken invariant for tests: declare *any* NotReady
+    /// node observed during the run a violation. Lease-based detection
+    /// makes NotReady unavoidable after a crash or partition, so any
+    /// schedule containing one fails — and shrinks to a one-event prefix.
+    pub forbid_not_ready: bool,
+}
+
+/// What running one schedule produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+    /// Invariant violations, empty when the schedule passed.
+    pub violations: Vec<String>,
+    /// Reconcile rounds driven after the last event.
+    pub rounds: usize,
+}
+
+/// Node state the schedule generator tracks (mirrors the cluster's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimState {
+    Up,
+    Crashed,
+    Partitioned,
+}
+
+/// Generate the seeded schedule: a pure function of `(seed, nodes,
+/// max_events)`. Every event is valid when applied in order, and at
+/// least one node stays Up throughout.
+pub fn generate_schedule(seed: u64, nodes: usize, max_events: usize) -> Vec<FaultEvent> {
+    let mut rng = SplitMix64::new(seed);
+    let mut state = vec![SimState::Up; nodes];
+    let count = 1 + rng.index(max_events.max(1));
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ups = state.iter().filter(|&&s| s == SimState::Up).count();
+        // Legal moves in deterministic (node, kind) order.
+        let mut moves: Vec<FaultEvent> = Vec::new();
+        for (n, &s) in state.iter().enumerate() {
+            match s {
+                SimState::Up => {
+                    if ups > 1 {
+                        moves.push(FaultEvent::Crash(n));
+                        moves.push(FaultEvent::Partition(n));
+                    }
+                }
+                SimState::Crashed => moves.push(FaultEvent::Restart(n)),
+                SimState::Partitioned => {
+                    // A partitioned machine can reconnect — or lose power.
+                    moves.push(FaultEvent::Heal(n));
+                    moves.push(FaultEvent::Crash(n));
+                }
+            }
+        }
+        if moves.is_empty() {
+            break;
+        }
+        let ev = *rng.choose(&moves);
+        state[match ev {
+            FaultEvent::Crash(n)
+            | FaultEvent::Restart(n)
+            | FaultEvent::Partition(n)
+            | FaultEvent::Heal(n) => n,
+        }] = match ev {
+            FaultEvent::Crash(_) => SimState::Crashed,
+            FaultEvent::Restart(_) | FaultEvent::Heal(_) => SimState::Up,
+            FaultEvent::Partition(_) => SimState::Partitioned,
+        };
+        events.push(ev);
+    }
+    events
+}
+
+/// Drive one bounded reconcile round: controller pass, kubelet/lease
+/// pass, clock step to the next deadline (or one second).
+fn drive_round(cluster: &mut Cluster, ctrl: &mut DeploymentController) -> KernelResult<()> {
+    cluster.reconcile_controller(ctrl)?;
+    cluster.reconcile();
+    let now = cluster.now();
+    match cluster.next_deadline() {
+        Some(d) if d > now => cluster.advance(d - now),
+        _ => cluster.advance(Duration::from_secs(1)),
+    }
+    Ok(())
+}
+
+/// Has the deployment reconverged: full replica count, all ready, all on
+/// Ready nodes?
+fn reconverged(cluster: &Cluster, ctrl: &DeploymentController) -> bool {
+    ctrl.replicas.len() == ctrl.spec.replicas
+        && cluster.ready_replicas(ctrl) == ctrl.spec.replicas
+        && ctrl.replicas.iter().all(|r| cluster.node(r.node).ready())
+}
+
+/// Check the post-convergence invariants, appending violations.
+pub fn check_invariants(
+    cluster: &Cluster,
+    ctrl: &DeploymentController,
+    violations: &mut Vec<String>,
+) {
+    let replicas = ctrl.spec.replicas;
+    if ctrl.replicas.len() != replicas {
+        violations.push(format!("{} of {replicas} replicas exist", ctrl.replicas.len()));
+    }
+    let ready = cluster.ready_replicas(ctrl);
+    if ready != replicas {
+        violations.push(format!("{ready} of {replicas} replicas ready"));
+    }
+    for r in &ctrl.replicas {
+        let node = cluster.node(r.node);
+        if !node.ready() {
+            violations.push(format!("replica {} bound to unreachable node {}", r.pod, r.node));
+        }
+    }
+    // No stale duplicates: every pod a Ready node runs must be a current
+    // controller replica (fencing removed the re-homed ones), and the
+    // node's sandbox count must match its supervised pods (no leaked
+    // sandboxes on survivors).
+    for node in &cluster.nodes {
+        if !node.ready() {
+            continue;
+        }
+        let mut managed = node.kubelet.managed_names();
+        managed.sort_unstable();
+        let mut expected: Vec<String> =
+            ctrl.replicas.iter().filter(|r| r.node == node.index).map(|r| r.pod.clone()).collect();
+        expected.sort_unstable();
+        if managed != expected {
+            violations.push(format!(
+                "node {} runs {:?}, controller expects {:?}",
+                node.index, managed, expected
+            ));
+        }
+        for name in &managed {
+            if node.containerd.sandbox(name).is_none() {
+                violations.push(format!("pod {name} on node {} has no live sandbox", node.index));
+            }
+        }
+    }
+}
+
+/// Run one schedule on a fresh cluster and check every invariant.
+pub fn run_schedule(
+    plan: &ExplorePlan,
+    seed: u64,
+    events: &[FaultEvent],
+    workload: &Workload,
+    knobs: InvariantKnobs,
+) -> KernelResult<ScheduleOutcome> {
+    let mut violations = Vec::new();
+    let mut cluster = new_scaled_cluster(plan.config, plan.nodes, Policy::Spread, workload)?;
+    warmup_nodes(&mut cluster, plan.config)?;
+    let spec = DeploymentSpec::new(
+        "svc",
+        plan.config.image_ref(),
+        plan.config.class_name(),
+        plan.replicas,
+    );
+    let mut ctrl = DeploymentController::new(spec);
+    if !cluster.settle_controller(&mut ctrl, 100)? {
+        violations.push("initial deployment did not settle".to_string());
+        return Ok(ScheduleOutcome { seed, events: events.to_vec(), violations, rounds: 0 });
+    }
+
+    let mut not_ready_seen = false;
+    let observe_not_ready =
+        |cluster: &Cluster| cluster.nodes.iter().any(|n| n.condition == NodeCondition::NotReady);
+
+    for ev in events {
+        match *ev {
+            FaultEvent::Crash(n) => cluster.crash_node(n)?,
+            FaultEvent::Restart(n) => {
+                cluster.restart_node(n)?;
+                // A replacement machine is provisioned from scratch.
+                plan.config.install_on(&mut cluster, n, workload)?;
+            }
+            FaultEvent::Partition(n) => cluster.partition_node(n)?,
+            FaultEvent::Heal(n) => cluster.heal_node(n)?,
+        }
+        // A bounded settle between events, so later events land at
+        // varying detection stages (before expiry, mid-grace, after
+        // eviction) — that interleaving is the point of the explorer.
+        for _ in 0..10 {
+            drive_round(&mut cluster, &mut ctrl)?;
+            not_ready_seen |= observe_not_ready(&cluster);
+        }
+    }
+
+    // Post-schedule convergence. First wait out the detection horizon —
+    // an un-healed partition looks Ready (hence "converged") until its
+    // lease expires, so judging the invariants any earlier would pass
+    // schedules whose damage simply hasn't been detected yet. Then drive
+    // until the deployment reconverges.
+    let cfg = cluster.leases;
+    let horizon = cluster.now()
+        + cfg.grace
+        + cfg.pod_eviction_grace
+        + cfg.renew_interval
+        + cfg.renew_interval;
+    let mut rounds = 0;
+    let max_rounds = 500;
+    while cluster.now() < horizon && rounds < max_rounds {
+        drive_round(&mut cluster, &mut ctrl)?;
+        not_ready_seen |= observe_not_ready(&cluster);
+        rounds += 1;
+    }
+    while !reconverged(&cluster, &ctrl) && rounds < max_rounds {
+        drive_round(&mut cluster, &mut ctrl)?;
+        not_ready_seen |= observe_not_ready(&cluster);
+        rounds += 1;
+    }
+    if !reconverged(&cluster, &ctrl) {
+        violations.push(format!("did not reconverge within {max_rounds} rounds"));
+    }
+    check_invariants(&cluster, &ctrl, &mut violations);
+
+    // Monotonicity after convergence: with no further faults the ready
+    // count must never regress.
+    if violations.is_empty() {
+        for _ in 0..10 {
+            drive_round(&mut cluster, &mut ctrl)?;
+            not_ready_seen |= observe_not_ready(&cluster);
+            let ready = cluster.ready_replicas(&ctrl);
+            if ready < ctrl.spec.replicas {
+                violations.push(format!("ready count regressed to {ready} after convergence"));
+                break;
+            }
+        }
+    }
+
+    if knobs.forbid_not_ready && not_ready_seen {
+        violations.push("a node was observed NotReady (forbidden by knob)".to_string());
+    }
+    Ok(ScheduleOutcome { seed, events: events.to_vec(), violations, rounds })
+}
+
+/// Shrink a failing schedule to its minimal failing *prefix*: the
+/// shortest `events[..k]` that still violates an invariant, found by
+/// replaying prefixes of growing length on fresh clusters. Returns the
+/// prefix outcome (`None` if no prefix fails — the violation needed the
+/// full schedule).
+pub fn shrink(
+    plan: &ExplorePlan,
+    seed: u64,
+    events: &[FaultEvent],
+    workload: &Workload,
+    knobs: InvariantKnobs,
+) -> KernelResult<Option<ScheduleOutcome>> {
+    for k in 1..=events.len() {
+        let outcome = run_schedule(plan, seed, &events[..k], workload, knobs)?;
+        if !outcome.violations.is_empty() {
+            return Ok(Some(outcome));
+        }
+    }
+    Ok(None)
+}
+
+/// A violated schedule with its shrunk counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    pub index: usize,
+    pub full: ScheduleOutcome,
+    /// Minimal failing prefix (falls back to the full schedule when no
+    /// strict prefix fails).
+    pub shrunk: ScheduleOutcome,
+}
+
+/// Everything one exploration produced.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    pub plan: ExplorePlan,
+    pub outcomes: Vec<ScheduleOutcome>,
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl ExploreReport {
+    /// Render the full run as text — one line per schedule plus one block
+    /// per counterexample. Byte-identical across worker counts and
+    /// repeated runs (the determinism tests compare exactly this).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let verdict = if o.violations.is_empty() { "ok" } else { "VIOLATED" };
+            out.push_str(&format!(
+                "schedule {i:3} seed {:#018x} [{}] rounds {:3} {verdict}\n",
+                o.seed,
+                schedule_line(&o.events),
+                o.rounds,
+            ));
+        }
+        for c in &self.counterexamples {
+            out.push_str(&format!(
+                "counterexample: schedule {} seed {:#018x}\n  full   [{}]\n  shrunk [{}]\n",
+                c.index,
+                c.full.seed,
+                schedule_line(&c.full.events),
+                schedule_line(&c.shrunk.events),
+            ));
+            for v in &c.shrunk.violations {
+                out.push_str(&format!("  violation: {v}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{} schedules, {} violated\n",
+            self.outcomes.len(),
+            self.counterexamples.len()
+        ));
+        out
+    }
+}
+
+/// Enumerate and run every schedule of the plan, fanned across
+/// `HARNESS_THREADS` work-stealing workers (each schedule runs on its own
+/// fresh cluster), results merged in seed order; then shrink every
+/// violated schedule serially, in order. Byte-identical output for any
+/// worker count.
+pub fn explore(
+    plan: &ExplorePlan,
+    workload: &Workload,
+    knobs: InvariantKnobs,
+) -> KernelResult<ExploreReport> {
+    let run_one = |i: usize| -> KernelResult<ScheduleOutcome> {
+        let seed = plan.schedule_seed(i);
+        let events = generate_schedule(seed, plan.nodes, plan.max_events);
+        run_schedule(plan, seed, &events, workload, knobs)
+    };
+    let threads = worker_count(plan.schedules);
+    let outcomes: Vec<ScheduleOutcome> = if threads <= 1 || plan.schedules <= 1 {
+        (0..plan.schedules).map(run_one).collect::<KernelResult<_>>()?
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<KernelResult<ScheduleOutcome>>>> =
+            (0..plan.schedules).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(plan.schedules) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plan.schedules {
+                        break;
+                    }
+                    let result = run_one(i);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every claimed slot is filled before scope exit")
+            })
+            .collect::<KernelResult<_>>()?
+    };
+
+    let mut counterexamples = Vec::new();
+    for (index, full) in outcomes.iter().enumerate() {
+        if full.violations.is_empty() {
+            continue;
+        }
+        let shrunk =
+            shrink(plan, full.seed, &full.events, workload, knobs)?.unwrap_or_else(|| full.clone());
+        counterexamples.push(Counterexample { index, full: full.clone(), shrunk });
+    }
+    Ok(ExploreReport { plan: *plan, outcomes, counterexamples })
+}
+
+// ---- recovery-time scenarios -------------------------------------------
+
+/// Recovery timings of the crash and partition scenarios for one config.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySample {
+    pub config: Config,
+    /// Crash → node marked NotReady (lease-expiry detection latency).
+    pub detect: Duration,
+    /// Crash → deployment fully re-converged on the survivors.
+    pub crash_reconverge: Duration,
+    /// Partition heal → stale node fenced and deployment re-converged.
+    pub heal_reconverge: Duration,
+}
+
+/// Measure detection latency and time-to-reconverge for one runtime
+/// configuration: a 3-node cluster under a 6-replica deployment, one
+/// crash scenario and one partition/heal scenario on fresh clusters.
+pub fn recovery_times(config: Config, workload: &Workload) -> KernelResult<RecoverySample> {
+    let (nodes, replicas, victim) = (3, 6, 1);
+    let max_rounds = 600;
+
+    // Crash: time from power loss to NotReady, and to reconvergence.
+    let mut cluster = new_scaled_cluster(config, nodes, Policy::Spread, workload)?;
+    warmup_nodes(&mut cluster, config)?;
+    let spec = DeploymentSpec::new("svc", config.image_ref(), config.class_name(), replicas);
+    let mut ctrl = DeploymentController::new(spec.clone());
+    cluster.settle_controller(&mut ctrl, 100)?;
+    let t0 = cluster.now();
+    cluster.crash_node(victim)?;
+    let mut detect = None;
+    let mut rounds = 0;
+    while !(reconverged(&cluster, &ctrl) && detect.is_some()) && rounds < max_rounds {
+        drive_round(&mut cluster, &mut ctrl)?;
+        if detect.is_none() && cluster.node(victim).condition == NodeCondition::NotReady {
+            detect = Some(cluster.now().since(t0));
+        }
+        rounds += 1;
+    }
+    let detect = detect.unwrap_or(Duration(u64::MAX));
+    let crash_reconverge = cluster.now().since(t0);
+
+    // Partition + heal: time from heal to fenced reconvergence.
+    let mut cluster = new_scaled_cluster(config, nodes, Policy::Spread, workload)?;
+    warmup_nodes(&mut cluster, config)?;
+    let mut ctrl = DeploymentController::new(spec);
+    cluster.settle_controller(&mut ctrl, 100)?;
+    cluster.partition_node(victim)?;
+    // Drive until the partition has been detected and the victim's
+    // replicas re-homed (an undetected partition still looks converged).
+    let mut rounds = 0;
+    while !(ctrl.replicas.iter().all(|r| r.node != victim) && reconverged(&cluster, &ctrl))
+        && rounds < max_rounds
+    {
+        drive_round(&mut cluster, &mut ctrl)?;
+        rounds += 1;
+    }
+    cluster.heal_node(victim)?;
+    let t1 = cluster.now();
+    let mut rounds = 0;
+    while !(cluster.node(victim).ready()
+        && cluster.node(victim).kubelet.pod_count() == 0
+        && reconverged(&cluster, &ctrl))
+        && rounds < max_rounds
+    {
+        drive_round(&mut cluster, &mut ctrl)?;
+        rounds += 1;
+    }
+    let heal_reconverge = cluster.now().since(t1);
+
+    Ok(RecoverySample { config, detect, crash_reconverge, heal_reconverge })
+}
+
+/// The crash/partition recovery-time table over the seven Wasm configs
+/// (EXPERIMENTS.md): detection latency and time-to-reconverge.
+pub fn recovery_table(workload: &Workload) -> KernelResult<crate::report::Table> {
+    let mut table = crate::report::Table::new(
+        "Node-failure recovery: lease detection and reconvergence times".to_string(),
+        vec![
+            "detect [s]".to_string(),
+            "crash reconverge [s]".to_string(),
+            "heal reconverge [s]".to_string(),
+        ],
+        "",
+    );
+    for config in crate::chaos::WASM_CONFIGS {
+        let s = recovery_times(config, workload)?;
+        table.row(
+            config.label(),
+            vec![
+                s.detect.as_secs_f64(),
+                s.crash_reconverge.as_secs_f64(),
+                s.heal_reconverge.as_secs_f64(),
+            ],
+            config.is_ours(),
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_the_seed() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = generate_schedule(seed, 3, 6);
+            let b = generate_schedule(seed, 3, 6);
+            assert_eq!(a, b);
+            assert!(!a.is_empty() && a.len() <= 6);
+        }
+        assert_ne!(generate_schedule(1, 3, 6), generate_schedule(2, 3, 6));
+    }
+
+    #[test]
+    fn generated_schedules_are_semantically_valid() {
+        for seed in 0..200u64 {
+            let events = generate_schedule(seed, 3, 6);
+            let mut state = vec![SimState::Up; 3];
+            for ev in events {
+                let ups = state.iter().filter(|&&s| s == SimState::Up).count();
+                match ev {
+                    FaultEvent::Crash(n) => {
+                        assert_ne!(state[n], SimState::Crashed, "seed {seed}");
+                        if state[n] == SimState::Up {
+                            assert!(ups > 1, "seed {seed}: beheaded the cluster");
+                        }
+                        state[n] = SimState::Crashed;
+                    }
+                    FaultEvent::Restart(n) => {
+                        assert_eq!(state[n], SimState::Crashed, "seed {seed}");
+                        state[n] = SimState::Up;
+                    }
+                    FaultEvent::Partition(n) => {
+                        assert_eq!(state[n], SimState::Up, "seed {seed}");
+                        assert!(ups > 1, "seed {seed}: partitioned the last node");
+                        state[n] = SimState::Partitioned;
+                    }
+                    FaultEvent::Heal(n) => {
+                        assert_eq!(state[n], SimState::Partitioned, "seed {seed}");
+                        state[n] = SimState::Up;
+                    }
+                }
+                assert!(state.iter().any(|&s| s == SimState::Up), "seed {seed}: no node left Up");
+            }
+        }
+    }
+
+    #[test]
+    fn single_crash_schedule_reconverges() {
+        let plan = ExplorePlan::smoke(7);
+        let w = Workload::light();
+        let o =
+            run_schedule(&plan, 7, &[FaultEvent::Crash(1)], &w, InvariantKnobs::default()).unwrap();
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn broken_invariant_is_caught_and_shrinks_to_first_fault() {
+        let plan = ExplorePlan::smoke(7);
+        let w = Workload::light();
+        let knobs = InvariantKnobs { forbid_not_ready: true };
+        let events = [FaultEvent::Crash(1), FaultEvent::Restart(1), FaultEvent::Partition(2)];
+        let o = run_schedule(&plan, 7, &events, &w, knobs).unwrap();
+        assert!(!o.violations.is_empty());
+        let shrunk = shrink(&plan, 7, &events, &w, knobs).unwrap().expect("a failing prefix");
+        assert_eq!(shrunk.events, vec![FaultEvent::Crash(1)], "minimal prefix is the first fault");
+    }
+}

@@ -11,6 +11,7 @@ pub mod chaos;
 pub mod claims;
 pub mod cluster_scale;
 pub mod config;
+pub mod explorer;
 pub mod figures;
 pub mod isolation;
 pub mod parallel;
@@ -21,6 +22,11 @@ pub use cluster_scale::{
     density_sweep, measure_scale, policy_ablation, run_drain, DrainOutcome, ScalePlan, ScaleSample,
 };
 pub use config::{Config, Workload};
+pub use explorer::{
+    explore, generate_schedule, recovery_table, recovery_times, run_schedule, shrink,
+    Counterexample, ExplorePlan, ExploreReport, FaultEvent, InvariantKnobs, RecoverySample,
+    ScheduleOutcome,
+};
 pub use isolation::{
     check_isolation, isolation_sweep, run_tenants, throttle_totals, Attacker, AttackerFate,
     IsolationPlan, IsolationRun, IsolationScore, ThrottleTotals, VictimObservation,

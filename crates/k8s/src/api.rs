@@ -263,6 +263,21 @@ pub struct HpaDecision {
     pub to: usize,
 }
 
+/// Outcome of one rolling-update round ([`crate::Cluster::rollout_step`]):
+/// what the surge/retire pass did and whether the rollout has converged.
+/// [`crate::Cluster::rolling_update`] is a loop of these; callers that
+/// need to interleave other cluster events with a rollout (a drain racing
+/// an update, chaos schedules) drive the steps themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutStep {
+    /// New-revision pods created this round.
+    pub created: usize,
+    /// Old-revision pods deleted this round.
+    pub deleted: usize,
+    /// Every replica on the new revision and ready.
+    pub done: bool,
+}
+
 /// Outcome of a rolling update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RolloutReport {

@@ -14,26 +14,75 @@
 //! readiness machinery), a horizontal pod autoscaler keyed off the
 //! metrics-server working set and cgroup cpu-throttle rates, and node
 //! drain/cordon for rescheduling chaos.
+//!
+//! Nodes can also leave the cluster ungracefully. [`Cluster::crash_node`]
+//! is instant power loss and [`Cluster::partition_node`] cuts a node off
+//! without killing it; both are detected the same way a real cluster
+//! detects them — the node's lease ([`LeaseConfig`]) goes stale, the node
+//! turns NotReady, the scheduler stops placing on it, and after
+//! [`LeaseConfig::pod_eviction_grace`] the controller gives up its
+//! replicas and reschedules them on survivors. A healed partition is
+//! *fenced* on reconnection: the stale duplicates are terminated before
+//! the node turns Ready again, so replica counts reconverge without
+//! split-brain double-counting.
 
 use containerd_sim::{Containerd, RuntimeClass};
 use oci_spec_lite::ImageBuilder;
 use simkernel::{
-    CgroupId, Duration, FreeReport, Kernel, KernelConfig, KernelError, KernelResult, Sim,
-    SimOutcome, SimTime, TaskResult, TaskSpec,
+    CgroupId, Duration, FaultSite, FreeReport, Kernel, KernelConfig, KernelError, KernelResult,
+    Sim, SimOutcome, SimTime, TaskResult, TaskSpec,
 };
 
 use crate::api::{
     Deployment, DeploymentController, HpaDecision, HpaSpec, PodPhase, PodSpec, ProbeSpec,
-    ReplicaEntry, RolloutReport,
+    ReplicaEntry, RolloutReport, RolloutStep,
 };
 use crate::kubelet::{Kubelet, NodeConfig, ReconcileReport, RestartPolicy};
-use crate::node::Node;
+use crate::node::{Node, NodeCondition};
 use crate::scheduler::{Policy, Scheduler};
+
+/// Lease-based failure-detection parameters, on Kubernetes' defaults: a
+/// 10 s renew interval against a 40 s grace window, plus the controller's
+/// pod-eviction grace counted from the moment a node turns NotReady.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// How often a reachable node renews its lease.
+    pub renew_interval: Duration,
+    /// Lease staleness past which the node is marked NotReady — the upper
+    /// bound on failure-detection latency.
+    pub grace: Duration,
+    /// How long after NotReady the controller keeps a node's replicas
+    /// before giving them up for rescheduling on survivors.
+    pub pod_eviction_grace: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            renew_interval: Duration::from_secs(10),
+            grace: Duration::from_secs(40),
+            pod_eviction_grace: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one [`Cluster::tick_leases`] pass observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeaseReport {
+    /// Nodes whose lease expired this pass (marked NotReady).
+    pub expired: Vec<usize>,
+    /// Nodes whose renewal recovered an expired lease (marked Ready).
+    pub recovered: Vec<usize>,
+    /// Stale replicas fenced on recovering nodes.
+    pub fenced: Vec<String>,
+}
 
 /// A booted Kubernetes cluster: one or more [`Node`]s and a [`Scheduler`].
 pub struct Cluster {
     pub nodes: Vec<Node>,
     pub scheduler: Scheduler,
+    /// Failure-detection parameters shared by every node's lease.
+    pub leases: LeaseConfig,
 }
 
 /// Cluster-level bookkeeping counters (summed over all nodes).
@@ -125,10 +174,25 @@ impl Cluster {
         policy: Policy,
     ) -> KernelResult<Cluster> {
         assert!(n > 0, "a cluster needs at least one node");
-        let nodes = (0..n)
-            .map(|i| Node::bootstrap(i, kcfg.clone(), ncfg.clone()))
+        let configs: Vec<(KernelConfig, NodeConfig)> =
+            (0..n).map(|_| (kcfg.clone(), ncfg.clone())).collect();
+        Cluster::new_with_configs(&configs, policy)
+    }
+
+    /// Boot a heterogeneous cluster: one (kernel, kubelet) shape per node,
+    /// so mixed memory sizes, core counts and max-pods ceilings can share
+    /// a scheduler. The uniform constructors delegate here.
+    pub fn new_with_configs(
+        configs: &[(KernelConfig, NodeConfig)],
+        policy: Policy,
+    ) -> KernelResult<Cluster> {
+        assert!(!configs.is_empty(), "a cluster needs at least one node");
+        let nodes = configs
+            .iter()
+            .enumerate()
+            .map(|(i, (kcfg, ncfg))| Node::bootstrap(i, kcfg.clone(), ncfg.clone()))
             .collect::<KernelResult<Vec<Node>>>()?;
-        Ok(Cluster { nodes, scheduler: Scheduler::new(policy) })
+        Ok(Cluster { nodes, scheduler: Scheduler::new(policy), leases: LeaseConfig::default() })
     }
 
     pub fn node_count(&self) -> usize {
@@ -213,6 +277,11 @@ impl Cluster {
     pub fn stats(&self) -> ClusterStats {
         let mut stats = ClusterStats::default();
         for node in &self.nodes {
+            if !node.alive {
+                // A crashed node's kubelet is frozen stale state: its pods
+                // died with the power and must not inflate the counters.
+                continue;
+            }
             stats.pods_synced += node.kubelet.pods_synced();
             stats.pods_managed += node.kubelet.pod_count();
             stats.live_procs += node.kernel.live_procs();
@@ -303,17 +372,68 @@ impl Cluster {
     fn place_pod(&self) -> KernelResult<usize> {
         self.scheduler.place(&self.nodes).ok_or_else(|| {
             KernelError::InvalidState(
-                "scheduler: no feasible node (every node cordoned or at max-pods)".to_string(),
+                "scheduler: no feasible node (every node cordoned, NotReady or at max-pods)"
+                    .to_string(),
             )
         })
     }
 
+    /// One lease pass at the current simulated time — the cluster's
+    /// failure detector. Every node that is due attempts a heartbeat
+    /// renewal: reachable nodes renew unless the [`FaultSite::Heartbeat`]
+    /// plan flakes the RPC; crashed and partitioned nodes never renew. A
+    /// lease staler than [`LeaseConfig::grace`] marks its node NotReady.
+    /// The first successful renewal of an expired lease fences the stale
+    /// replicas the controller re-homed in the meantime, then marks the
+    /// node Ready again; if fencing is interrupted mid-drain the node
+    /// stays NotReady and the next due renewal retries.
+    pub fn tick_leases(&mut self) -> LeaseReport {
+        let now = self.now();
+        let cfg = self.leases;
+        let mut report = LeaseReport::default();
+        for node in &mut self.nodes {
+            let due = now.since(node.lease.last_renewal) >= cfg.renew_interval;
+            let reachable = node.alive && !node.partitioned;
+            if due && reachable && node.kernel.inject_fault(FaultSite::Heartbeat).is_ok() {
+                node.lease.last_renewal = now;
+                if node.condition == NodeCondition::NotReady {
+                    match node.fence() {
+                        Ok(mut fenced) => {
+                            report.fenced.append(&mut fenced);
+                            node.condition = NodeCondition::Ready;
+                            node.not_ready_since = None;
+                            report.recovered.push(node.index);
+                        }
+                        Err(_) => {
+                            // Partial fence: the un-drained names stayed
+                            // queued; stay NotReady until a later renewal
+                            // finishes the job.
+                        }
+                    }
+                }
+            } else if node.condition == NodeCondition::Ready
+                && now.since(node.lease.last_renewal) >= cfg.grace
+            {
+                node.condition = NodeCondition::NotReady;
+                node.not_ready_since = Some(now);
+                report.expired.push(node.index);
+            }
+        }
+        report
+    }
+
     /// One kubelet supervision pass per node at the current simulated
-    /// time: OOM detection, node-pressure eviction, due restarts. Reports
-    /// are merged across nodes.
+    /// time: lease renewal/expiry first, then OOM detection, node-pressure
+    /// eviction and due restarts on every live node. Reports are merged
+    /// across nodes; crashed nodes are skipped (nothing to supervise until
+    /// the machine reboots).
     pub fn reconcile(&mut self) -> ReconcileReport {
+        self.tick_leases();
         let mut merged = ReconcileReport::default();
         for node in &mut self.nodes {
+            if !node.alive {
+                continue;
+            }
             let now = node.kernel.now();
             let mut r = node.kubelet.reconcile(&mut node.containerd, now);
             merged.oom_killed.append(&mut r.oom_killed);
@@ -328,19 +448,22 @@ impl Cluster {
     }
 
     /// Are all kubelets settled (no supervised pod mid-transition)?
+    /// Crashed nodes don't count: their frozen state must not wedge the
+    /// survivors' convergence loop.
     pub fn settled(&self) -> bool {
-        self.nodes.iter().all(|n| n.kubelet.settled())
+        self.nodes.iter().filter(|n| n.alive).all(|n| n.kubelet.settled())
     }
 
-    /// Earliest pending kubelet deadline across all nodes.
+    /// Earliest pending kubelet deadline across live nodes.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.nodes.iter().filter_map(|n| n.kubelet.next_deadline()).min()
+        self.nodes.iter().filter(|n| n.alive).filter_map(|n| n.kubelet.next_deadline()).min()
     }
 
-    /// The node hosting a pod, by supervised entry or live sandbox.
+    /// The live node hosting a pod, by supervised entry or live sandbox.
     fn host_of(&self, name: &str) -> Option<usize> {
         self.nodes.iter().position(|n| {
-            n.kubelet.managed_pod(name).is_some() || n.containerd.sandbox(name).is_some()
+            n.alive
+                && (n.kubelet.managed_pod(name).is_some() || n.containerd.sandbox(name).is_some())
         })
     }
 
@@ -367,8 +490,10 @@ impl Cluster {
     /// handle to pass to [`Cluster::teardown`]).
     pub fn teardown_managed(&mut self) -> KernelResult<()> {
         for node in &mut self.nodes {
-            let names: Vec<String> = node.kubelet.managed().map(|e| e.spec.name.clone()).collect();
-            for name in names {
+            if !node.alive {
+                continue;
+            }
+            for name in node.kubelet.managed_names() {
                 node.kubelet.remove_pod(&mut node.containerd, &name)?;
             }
         }
@@ -450,13 +575,26 @@ impl Cluster {
 
     // ---- node lifecycle -------------------------------------------------
 
-    /// Mark a node unschedulable; running pods are unaffected.
-    pub fn cordon(&mut self, node: usize) {
-        self.nodes[node].schedulable = false;
+    /// Typed bounds check shared by every by-index node operation.
+    fn check_node(&self, node: usize) -> KernelResult<()> {
+        if node < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(KernelError::NoSuchNode(node))
+        }
     }
 
-    pub fn uncordon(&mut self, node: usize) {
+    /// Mark a node unschedulable; running pods are unaffected.
+    pub fn cordon(&mut self, node: usize) -> KernelResult<()> {
+        self.check_node(node)?;
+        self.nodes[node].schedulable = false;
+        Ok(())
+    }
+
+    pub fn uncordon(&mut self, node: usize) -> KernelResult<()> {
+        self.check_node(node)?;
         self.nodes[node].schedulable = true;
+        Ok(())
     }
 
     /// Drain a node: cordon it, then gracefully remove every supervised
@@ -464,31 +602,90 @@ impl Cluster {
     /// reconciliation reschedules the victims onto the remaining nodes.
     /// Returns the names of the removed pods.
     pub fn drain_node(&mut self, node: usize) -> KernelResult<Vec<String>> {
-        self.cordon(node);
+        self.cordon(node)?;
         let n = &mut self.nodes[node];
-        let names: Vec<String> = n.kubelet.managed().map(|e| e.spec.name.clone()).collect();
+        let names = n.kubelet.managed_names();
         for name in &names {
             n.kubelet.remove_pod(&mut n.containerd, name)?;
         }
         Ok(names)
     }
 
+    /// Ungraceful node death: instant power loss. No SIGTERM, no cgroup
+    /// teardown — the node's pods vanish with its memory. Detection is
+    /// *not* instant: the node stays Ready until its lease outlives
+    /// [`LeaseConfig::grace`], exactly the detection latency a real
+    /// cluster pays.
+    pub fn crash_node(&mut self, node: usize) -> KernelResult<()> {
+        self.check_node(node)?;
+        self.nodes[node].crash()
+    }
+
+    /// Reboot a crashed node as a fresh, empty machine at cluster time,
+    /// with a just-renewed lease. Runtime classes and images do not
+    /// survive the reboot — re-provision the node (the harness `Config`
+    /// installers do this) before scheduling onto it.
+    pub fn restart_node(&mut self, node: usize) -> KernelResult<()> {
+        self.check_node(node)?;
+        let now = self.now();
+        self.nodes[node].restart(now)
+    }
+
+    /// Cut a node off from the control plane without killing it: its pods
+    /// keep running, but lease renewals stop, so after
+    /// [`LeaseConfig::grace`] the node turns NotReady and the controller
+    /// re-homes its replicas.
+    pub fn partition_node(&mut self, node: usize) -> KernelResult<()> {
+        self.check_node(node)?;
+        self.nodes[node].partition()
+    }
+
+    /// Heal a partition. The node turns Ready again only at its next
+    /// successful lease renewal, after its stale replicas are fenced — so
+    /// replica counts reconverge without split-brain double-counting.
+    pub fn heal_node(&mut self, node: usize) -> KernelResult<()> {
+        self.check_node(node)?;
+        self.nodes[node].heal()
+    }
+
     // ---- the controller plane -------------------------------------------
 
     /// One controller reconcile pass: forget replicas that vanished or
-    /// reached a terminal phase (Failed, Evicted), then create replicas
-    /// through the scheduler until the desired count is met. Returns the
-    /// number of pods created.
+    /// reached a terminal phase (Failed, Evicted), give up on replicas
+    /// stranded on unreachable nodes once [`LeaseConfig::pod_eviction_grace`]
+    /// expires (queueing them for fencing on reconnection), then create
+    /// replicas through the scheduler until the desired count is met — or
+    /// no node is feasible, in which case creation resumes on a later pass
+    /// rather than failing the reconcile. Returns the number of pods
+    /// created.
     pub fn reconcile_controller(&mut self, ctrl: &mut DeploymentController) -> KernelResult<usize> {
+        let now = self.now();
+        let eviction_grace = self.leases.pod_eviction_grace;
         let mut dead: Vec<ReplicaEntry> = Vec::new();
+        let mut stranded: Vec<ReplicaEntry> = Vec::new();
         let nodes = &self.nodes;
         ctrl.replicas.retain(|r| {
-            match nodes[r.node].kubelet.managed_pod(&r.pod).map(|e| e.phase) {
-                None | Some(PodPhase::Failed) | Some(PodPhase::Evicted) => {
-                    dead.push(r.clone());
-                    false
+            let node = &nodes[r.node];
+            if !node.ready() {
+                // The node is unreachable (crashed or NotReady): its pods
+                // can be neither inspected nor terminated. Keep the
+                // replica for the eviction grace — the node may come back
+                // — then give it up for rescheduling on survivors.
+                match node.not_ready_since {
+                    Some(since) if now.since(since) >= eviction_grace => {
+                        stranded.push(r.clone());
+                        false
+                    }
+                    _ => true,
                 }
-                _ => true,
+            } else {
+                match node.kubelet.managed_pod(&r.pod).map(|e| e.phase) {
+                    None | Some(PodPhase::Failed) | Some(PodPhase::Evicted) => {
+                        dead.push(r.clone());
+                        false
+                    }
+                    _ => true,
+                }
             }
         });
         for r in dead {
@@ -497,22 +694,48 @@ impl Cluster {
             let node = &mut self.nodes[r.node];
             let _ = node.kubelet.remove_pod(&mut node.containerd, &r.pod);
         }
+        for r in stranded {
+            // The pod cannot be killed now — the node is unreachable. If
+            // it was a partition (pod still running), fencing on
+            // reconnection terminates the duplicate; if a crash, restart
+            // clears the queue (those pods died with the power).
+            self.nodes[r.node].fence_pending.push(r.pod);
+        }
         let mut created = 0usize;
         while ctrl.replicas.len() < ctrl.spec.replicas {
-            self.create_replica(ctrl, ctrl.revision)?;
+            if self.try_create_replica(ctrl, ctrl.revision)?.is_none() {
+                break;
+            }
             created += 1;
         }
         Ok(created)
     }
 
     /// Place and start one replica of the controller's template at the
-    /// given revision.
+    /// given revision; error when no node is feasible.
     fn create_replica(
         &mut self,
         ctrl: &mut DeploymentController,
         revision: u32,
     ) -> KernelResult<usize> {
-        let idx = self.place_pod()?;
+        self.try_create_replica(ctrl, revision)?.ok_or_else(|| {
+            KernelError::InvalidState(
+                "scheduler: no feasible node (every node cordoned, NotReady or at max-pods)"
+                    .to_string(),
+            )
+        })
+    }
+
+    /// [`Cluster::create_replica`], returning `Ok(None)` instead of an
+    /// error when no node is feasible (the controller retries next pass).
+    fn try_create_replica(
+        &mut self,
+        ctrl: &mut DeploymentController,
+        revision: u32,
+    ) -> KernelResult<Option<usize>> {
+        let Some(idx) = self.scheduler.place(&self.nodes) else {
+            return Ok(None);
+        };
         let name = ctrl.next_pod_name(revision);
         let spec =
             ctrl.spec.opts.pod_spec(name.clone(), &ctrl.spec.image, &ctrl.spec.runtime_class);
@@ -520,7 +743,7 @@ impl Cluster {
         let node = &mut self.nodes[idx];
         node.kubelet.manage_pod(&mut node.containerd, spec, dispatched_at);
         ctrl.replicas.push(ReplicaEntry { pod: name, node: idx, revision });
-        Ok(idx)
+        Ok(Some(idx))
     }
 
     /// Is this replica Running and ready on its node?
@@ -561,50 +784,73 @@ impl Cluster {
         Ok(false)
     }
 
-    /// Rolling update to a new image: bump the template revision, surge
-    /// new-revision pods up to `replicas + maxSurge`, and retire
-    /// old-revision pods (oldest first) while at least
-    /// `replicas − maxUnavailable` replicas stay ready — the readiness
-    /// machinery gates every step.
+    /// Flip a controller's template to a new image and bump the revision:
+    /// the declarative half of a rolling update. Drive convergence with
+    /// [`Cluster::rollout_step`], or let [`Cluster::rolling_update`] loop
+    /// it for you.
+    pub fn begin_rolling_update(&mut self, ctrl: &mut DeploymentController, image: &str) {
+        ctrl.revision += 1;
+        ctrl.spec.image = image.to_string();
+    }
+
+    /// One rolling-update round: surge new-revision pods up to
+    /// `replicas + maxSurge`, retire old-revision pods (oldest first)
+    /// while at least `replicas − maxUnavailable` replicas stay ready —
+    /// the readiness machinery gates every step — then run the controller
+    /// and kubelet reconcile passes. Does not advance the clock: the
+    /// caller owns pacing, so drains, crashes and partitions can
+    /// interleave with a rollout mid-surge.
+    pub fn rollout_step(&mut self, ctrl: &mut DeploymentController) -> KernelResult<RolloutStep> {
+        let rev = ctrl.revision;
+        let replicas = ctrl.spec.replicas;
+        let mut created = 0usize;
+        let mut deleted = 0usize;
+        // Surge: create new-revision pods while headroom allows.
+        while ctrl.replicas.iter().filter(|r| r.revision == rev).count() < replicas
+            && ctrl.replicas.len() < replicas + ctrl.spec.max_surge
+        {
+            self.create_replica(ctrl, rev)?;
+            created += 1;
+        }
+        // Retire old-revision pods (oldest first) within the availability
+        // budget.
+        while let Some(pos) = ctrl.replicas.iter().position(|r| r.revision < rev) {
+            let ready = self.ready_replicas(ctrl);
+            let victim_ready = self.replica_ready(&ctrl.replicas[pos]) as usize;
+            if ready - victim_ready + ctrl.spec.max_unavailable < replicas {
+                break;
+            }
+            let victim = ctrl.replicas.remove(pos);
+            let node = &mut self.nodes[victim.node];
+            node.kubelet.remove_pod(&mut node.containerd, &victim.pod)?;
+            deleted += 1;
+        }
+        self.reconcile_controller(ctrl)?;
+        self.reconcile();
+        let done = ctrl.replicas.len() == replicas
+            && ctrl.replicas.iter().all(|r| r.revision == rev)
+            && self.ready_replicas(ctrl) == replicas;
+        Ok(RolloutStep { created, deleted, done })
+    }
+
+    /// Rolling update to a new image: [`Cluster::begin_rolling_update`]
+    /// followed by [`Cluster::rollout_step`] rounds until converged or
+    /// `max_rounds` elapse, advancing the clock to the next kubelet
+    /// deadline between rounds.
     pub fn rolling_update(
         &mut self,
         ctrl: &mut DeploymentController,
         image: &str,
         max_rounds: usize,
     ) -> KernelResult<RolloutReport> {
-        ctrl.revision += 1;
-        ctrl.spec.image = image.to_string();
-        let rev = ctrl.revision;
-        let replicas = ctrl.spec.replicas;
+        self.begin_rolling_update(ctrl, image);
         let mut created = 0usize;
         let mut deleted = 0usize;
         for round in 1..=max_rounds {
-            // Surge: create new-revision pods while headroom allows.
-            while ctrl.replicas.iter().filter(|r| r.revision == rev).count() < replicas
-                && ctrl.replicas.len() < replicas + ctrl.spec.max_surge
-            {
-                self.create_replica(ctrl, rev)?;
-                created += 1;
-            }
-            // Retire old-revision pods (oldest first) within the
-            // availability budget.
-            while let Some(pos) = ctrl.replicas.iter().position(|r| r.revision < rev) {
-                let ready = self.ready_replicas(ctrl);
-                let victim_ready = self.replica_ready(&ctrl.replicas[pos]) as usize;
-                if ready - victim_ready + ctrl.spec.max_unavailable < replicas {
-                    break;
-                }
-                let victim = ctrl.replicas.remove(pos);
-                let node = &mut self.nodes[victim.node];
-                node.kubelet.remove_pod(&mut node.containerd, &victim.pod)?;
-                deleted += 1;
-            }
-            self.reconcile_controller(ctrl)?;
-            self.reconcile();
-            let done = ctrl.replicas.len() == replicas
-                && ctrl.replicas.iter().all(|r| r.revision == rev)
-                && self.ready_replicas(ctrl) == replicas;
-            if done {
+            let step = self.rollout_step(ctrl)?;
+            created += step.created;
+            deleted += step.deleted;
+            if step.done {
                 return Ok(RolloutReport { created, deleted, rounds: round, converged: true });
             }
             let now = self.now();
@@ -685,20 +931,24 @@ mod tests {
         wasm_core::builder::demo_wasi_module("svc up\n")
     }
 
+    fn install_wamr_on(cluster: &mut Cluster, i: usize) {
+        let mut crun = LowLevelRuntime::new(cluster.node(i).kernel.clone(), &CRUN);
+        crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
+        crun.register_handler(Box::new(PauseHandler));
+        cluster.register_class_on(i, "crun-wamr", RuntimeClass::Oci { runtime: crun });
+        cluster
+            .pull_image_on(
+                i,
+                ImageBuilder::new("svc:v1")
+                    .entrypoint(["/app/main.wasm".to_string()])
+                    .file("/app/main.wasm", microservice()),
+            )
+            .unwrap();
+    }
+
     fn install_wamr(cluster: &mut Cluster) {
         for i in 0..cluster.node_count() {
-            let mut crun = LowLevelRuntime::new(cluster.node(i).kernel.clone(), &CRUN);
-            crun.register_handler(Box::new(WamrHandler::new(WamrCrunConfig::default())));
-            crun.register_handler(Box::new(PauseHandler));
-            cluster.register_class_on(i, "crun-wamr", RuntimeClass::Oci { runtime: crun });
-            cluster
-                .pull_image_on(
-                    i,
-                    ImageBuilder::new("svc:v1")
-                        .entrypoint(["/app/main.wasm".to_string()])
-                        .file("/app/main.wasm", microservice()),
-                )
-                .unwrap();
+            install_wamr_on(cluster, i);
         }
     }
 
@@ -838,6 +1088,141 @@ mod tests {
             assert_eq!(e.spec.image, "svc:v2");
         }
         assert_eq!(cluster.ready_replicas(&ctrl), 4);
+    }
+
+    /// Advance the clock in renew-interval steps, reconciling each step,
+    /// long enough for a lease to expire and the pod-eviction grace to
+    /// pass.
+    fn advance_past_eviction(cluster: &mut Cluster) {
+        let step = cluster.leases.renew_interval;
+        let horizon = cluster.leases.grace + cluster.leases.pod_eviction_grace;
+        let mut elapsed = Duration::from_secs(0);
+        while elapsed < horizon + step {
+            cluster.advance(step);
+            cluster.reconcile();
+            elapsed = elapsed.saturating_add(step);
+        }
+    }
+
+    #[test]
+    fn crash_detected_by_lease_expiry_then_rescheduled_and_restarted() {
+        let mut cluster = Cluster::bootstrap_nodes(
+            3,
+            KernelConfig::default(),
+            NodeConfig::paper_extension(),
+            Policy::Spread,
+        )
+        .unwrap();
+        install_wamr(&mut cluster);
+        let spec = DeploymentSpec::new("svc", "svc:v1", "crun-wamr", 6);
+        let mut ctrl = DeploymentController::new(spec);
+        assert!(cluster.settle_controller(&mut ctrl, 50).unwrap());
+        assert!(ctrl.replicas.iter().any(|r| r.node == 1));
+
+        cluster.crash_node(1).unwrap();
+        // Detection is not instant: until the lease expires the node's
+        // condition is still Ready and the controller still counts its
+        // replicas (nobody has told it otherwise).
+        assert_eq!(cluster.node(1).condition, NodeCondition::Ready);
+        assert!(ctrl.replicas.iter().any(|r| r.node == 1));
+        assert!(cluster.node(1).kernel.powered_off());
+        assert!(matches!(
+            cluster.node(1).kernel.spawn("x", cluster.node(1).system_cgroup),
+            Err(KernelError::PoweredOff)
+        ));
+
+        advance_past_eviction(&mut cluster);
+        assert_eq!(cluster.node(1).condition, NodeCondition::NotReady);
+        assert!(cluster.settle_controller(&mut ctrl, 100).unwrap());
+        assert_eq!(cluster.ready_replicas(&ctrl), 6);
+        assert!(ctrl.replicas.iter().all(|r| r.node != 1), "{:?}", ctrl.replicas);
+        assert_eq!(cluster.stats().ready, 6);
+
+        // Reboot: fresh empty machine, clock at cluster time, Ready lease.
+        cluster.restart_node(1).unwrap();
+        assert!(cluster.node(1).ready());
+        assert_eq!(cluster.node(1).kubelet.pod_count(), 0);
+        assert_eq!(cluster.node(1).kernel.now(), cluster.now());
+        // Re-provision (classes and images died with the node), then the
+        // scheduler places on it again: Spread picks the emptiest node.
+        install_wamr_on(&mut cluster, 1);
+        let d = cluster.deploy("extra", "svc:v1", "crun-wamr", 1).unwrap();
+        assert_eq!(d.pods[0].node, 1);
+        cluster.teardown(d).unwrap();
+    }
+
+    #[test]
+    fn partition_heal_fences_stale_replicas_without_double_count() {
+        let mut cluster = Cluster::bootstrap_nodes(
+            3,
+            KernelConfig::default(),
+            NodeConfig::paper_extension(),
+            Policy::Spread,
+        )
+        .unwrap();
+        install_wamr(&mut cluster);
+        let spec = DeploymentSpec::new("svc", "svc:v1", "crun-wamr", 6);
+        let mut ctrl = DeploymentController::new(spec);
+        assert!(cluster.settle_controller(&mut ctrl, 50).unwrap());
+
+        cluster.partition_node(2).unwrap();
+        let stale = cluster.node(2).kubelet.pod_count();
+        assert!(stale > 0);
+
+        advance_past_eviction(&mut cluster);
+        assert_eq!(cluster.node(2).condition, NodeCondition::NotReady);
+        assert!(cluster.settle_controller(&mut ctrl, 100).unwrap());
+        assert_eq!(cluster.ready_replicas(&ctrl), 6);
+        assert!(ctrl.replicas.iter().all(|r| r.node != 2));
+        // Unlike a crash, the partitioned node's pods kept running: the
+        // cluster momentarily runs duplicates (split-brain).
+        assert_eq!(cluster.node(2).kubelet.pod_count(), stale);
+        assert_eq!(cluster.stats().running, 6 + stale);
+
+        // Heal: the first successful renewal fences the stale replicas
+        // *before* the node turns Ready, so counts reconverge.
+        cluster.heal_node(2).unwrap();
+        let report = cluster.tick_leases();
+        assert_eq!(report.recovered, vec![2]);
+        assert_eq!(report.fenced.len(), stale);
+        assert!(cluster.node(2).ready());
+        assert_eq!(cluster.node(2).kubelet.pod_count(), 0);
+        assert_eq!(cluster.ready_replicas(&ctrl), 6);
+        assert_eq!(cluster.stats().running, 6);
+    }
+
+    #[test]
+    fn heterogeneous_nodes_respect_per_node_max_pods() {
+        let configs = vec![
+            (KernelConfig::default(), NodeConfig { max_pods: 2, ..NodeConfig::paper_extension() }),
+            (KernelConfig::default(), NodeConfig::paper_extension()),
+        ];
+        let mut cluster = Cluster::new_with_configs(&configs, Policy::Spread).unwrap();
+        install_wamr(&mut cluster);
+        let d = cluster.deploy("web", "svc:v1", "crun-wamr", 6).unwrap();
+        // The small node admits only its 2; the rest spill to the big one.
+        assert_eq!(d.pods.iter().filter(|p| p.node == 0).count(), 2);
+        assert_eq!(d.pods.iter().filter(|p| p.node == 1).count(), 4);
+        cluster.teardown(d).unwrap();
+    }
+
+    #[test]
+    fn node_ops_reject_bad_indices_and_invalid_states() {
+        let mut cluster = cluster_with_wamr();
+        assert!(matches!(cluster.cordon(7), Err(KernelError::NoSuchNode(7))));
+        assert!(matches!(cluster.uncordon(7), Err(KernelError::NoSuchNode(7))));
+        assert!(matches!(cluster.drain_node(7), Err(KernelError::NoSuchNode(7))));
+        assert!(matches!(cluster.crash_node(7), Err(KernelError::NoSuchNode(7))));
+        assert!(matches!(cluster.restart_node(7), Err(KernelError::NoSuchNode(7))));
+        assert!(matches!(cluster.partition_node(7), Err(KernelError::NoSuchNode(7))));
+        assert!(matches!(cluster.heal_node(7), Err(KernelError::NoSuchNode(7))));
+        // State machine: no restarting a live node, no healing an
+        // unpartitioned one, no double-crash.
+        assert!(cluster.restart_node(0).is_err());
+        assert!(cluster.heal_node(0).is_err());
+        cluster.crash_node(0).unwrap();
+        assert!(cluster.crash_node(0).is_err());
+        assert!(cluster.partition_node(0).is_err());
     }
 
     #[test]

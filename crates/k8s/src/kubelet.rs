@@ -276,6 +276,12 @@ impl Kubelet {
         self.pods.get(name)
     }
 
+    /// Names of every supervised pod, in name order (drain/teardown paths
+    /// collect these before removing pods one by one).
+    pub fn managed_names(&self) -> Vec<String> {
+        self.pods.keys().cloned().collect()
+    }
+
     /// Delay before restart attempt `n` (0-based) of a crash-looping pod:
     /// kubelet's standard exponential schedule, 10s · 2ⁿ capped at 5
     /// minutes — 10s, 20s, 40s, 80s, 160s, 300s, 300s, …

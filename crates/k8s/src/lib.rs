@@ -24,13 +24,14 @@ pub mod scheduler;
 
 pub use api::{
     Deployment, DeploymentController, DeploymentSpec, HpaDecision, HpaSpec, PodPhase, PodRecord,
-    PodSpec, ProbeSpec, ReplicaEntry, RolloutReport,
+    PodSpec, ProbeSpec, ReplicaEntry, RolloutReport, RolloutStep,
 };
 pub use cluster::{Cluster, ClusterStats, DeployOpts};
+pub use cluster::{LeaseConfig, LeaseReport};
 pub use kubelet::{
     Kubelet, NodeConfig, PodEntry, ReconcileReport, RestartPolicy, DEFAULT_TERMINATION_GRACE,
     POD_INFRA_BYTES,
 };
 pub use metrics::{average_working_set, scrape, working_set_stddev, PodMetrics};
-pub use node::Node;
+pub use node::{Node, NodeCondition, NodeLease};
 pub use scheduler::{NodeSnapshot, Policy, Scheduler};

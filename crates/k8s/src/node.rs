@@ -7,12 +7,42 @@
 //! simulated clock ticks independently; the cluster advances them in
 //! lockstep so cross-node deadlines (probes, backoffs, grace periods)
 //! stay comparable.
+//!
+//! Nodes can also die the *impolite* way. [`Node::crash`] is instant power
+//! loss — no SIGTERM, no cgroup teardown, pods vanish with their memory —
+//! and [`Node::restart`] reboots the machine from scratch: a fresh kernel
+//! advanced to cluster time, empty cgroup roots, a containerd with no
+//! sandboxes and a kubelet with no pods (the crash's orphans are garbage-
+//! collected by construction — nothing of the old kernel survives the
+//! reboot). A [`Node::partition`]ed node keeps running its pods but cannot
+//! renew its [`NodeLease`], so the cluster eventually marks it
+//! [`NodeCondition::NotReady`]; on heal the first successful renewal
+//! [`Node::fence`]s whatever replicas the controller re-homed in the
+//! meantime.
 
 use containerd_sim::Containerd;
 use oci_spec_lite::ImageStore;
-use simkernel::{CgroupId, Kernel, KernelConfig, KernelResult};
+use simkernel::{CgroupId, Kernel, KernelConfig, KernelError, KernelResult, SimTime};
 
 use crate::kubelet::{Kubelet, NodeConfig};
+
+/// Node readiness as the control plane sees it: driven purely by the
+/// node's lease (heartbeats on the DES clock), never by direct inspection
+/// — a crashed node stays `Ready` until its lease expires, exactly the
+/// detection latency a real cluster pays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeCondition {
+    Ready,
+    NotReady,
+}
+
+/// The node's lease: the last instant a heartbeat renewal succeeded. The
+/// cluster's lease config says how often renewals fire and how stale the
+/// lease may go before the node is marked NotReady.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLease {
+    pub last_renewal: SimTime,
+}
 
 /// A booted worker node.
 pub struct Node {
@@ -29,6 +59,25 @@ pub struct Node {
     /// Cordoned nodes (`schedulable == false`) are skipped by every
     /// scheduling policy; running pods are unaffected until drained.
     pub schedulable: bool,
+    /// Powered on? A crashed node keeps its (stale, frozen) kubelet and
+    /// containerd state around until [`Node::restart`] rebuilds them.
+    pub alive: bool,
+    /// Partitioned from the control plane: pods keep running, heartbeat
+    /// renewals don't go through.
+    pub partitioned: bool,
+    /// Lease-driven readiness; the scheduler only places on `Ready`.
+    pub condition: NodeCondition,
+    /// When the lease expired (cleared on recovery). The controller's
+    /// pod-eviction grace counts from here.
+    pub not_ready_since: Option<SimTime>,
+    pub lease: NodeLease,
+    /// Replicas the controller gave up on while this node was unreachable.
+    /// The node cannot be told to kill them while unreachable; the first
+    /// successful renewal after a partition heals drains this list
+    /// ([`Node::fence`]) so replica counts reconverge without split-brain
+    /// double-counting. A restart clears it — a crash already took the
+    /// pods down with the power.
+    pub fence_pending: Vec<String>,
 }
 
 impl Node {
@@ -52,7 +101,92 @@ impl Node {
             system_cgroup,
             kubepods,
             schedulable: true,
+            alive: true,
+            partitioned: false,
+            condition: NodeCondition::Ready,
+            not_ready_since: None,
+            lease: NodeLease { last_renewal: SimTime::ZERO },
+            fence_pending: Vec::new(),
         })
+    }
+
+    /// Is this node a feasible placement target: powered on and its lease
+    /// current? (Cordoning is a separate, orthogonal bit.)
+    pub fn ready(&self) -> bool {
+        self.alive && self.condition == NodeCondition::Ready
+    }
+
+    /// Instant power loss. No SIGTERM, no grace, no cgroup teardown: the
+    /// kernel is powered off in place and every pod vanishes with its
+    /// memory. The node's kubelet/containerd state is left frozen (stale)
+    /// — the control plane only learns of the death when the lease
+    /// expires.
+    pub fn crash(&mut self) -> KernelResult<()> {
+        if !self.alive {
+            return Err(KernelError::InvalidState(format!("{} is already crashed", self.name)));
+        }
+        self.alive = false;
+        self.partitioned = false;
+        self.kernel.power_off();
+        Ok(())
+    }
+
+    /// Reboot a crashed node as a fresh, empty machine re-registered with
+    /// the scheduler: a new kernel of the same shape advanced to `now`
+    /// (the cluster's lockstep clock), rebuilt cgroup roots, a containerd
+    /// with no sandboxes and a kubelet with no pods. Orphaned sandboxes,
+    /// mappings and cgroups of the old kernel are gone by construction.
+    /// Runtime classes and images are *not* carried over — a replacement
+    /// node is provisioned from scratch, so the caller re-installs them
+    /// (the harness's `Config::install_on`).
+    pub fn restart(&mut self, now: SimTime) -> KernelResult<()> {
+        if self.alive {
+            return Err(KernelError::InvalidState(format!("{} is not crashed", self.name)));
+        }
+        let fresh = Node::bootstrap(self.index, self.kernel.config(), self.kubelet.config.clone())?;
+        fresh.kernel.advance(now.since(SimTime::ZERO));
+        *self = Node { lease: NodeLease { last_renewal: now }, ..fresh };
+        Ok(())
+    }
+
+    /// Cut the node off from the control plane without killing it: pods
+    /// keep running, heartbeat renewals stop going through.
+    pub fn partition(&mut self) -> KernelResult<()> {
+        if !self.alive {
+            return Err(KernelError::InvalidState(format!("{} is crashed", self.name)));
+        }
+        if self.partitioned {
+            return Err(KernelError::InvalidState(format!("{} is already partitioned", self.name)));
+        }
+        self.partitioned = true;
+        Ok(())
+    }
+
+    /// Heal a partition. The node does not become `Ready` here — that
+    /// happens at its next successful lease renewal, which also fences
+    /// whatever the controller re-homed in the meantime.
+    pub fn heal(&mut self) -> KernelResult<()> {
+        if !self.partitioned {
+            return Err(KernelError::InvalidState(format!("{} is not partitioned", self.name)));
+        }
+        self.partitioned = false;
+        Ok(())
+    }
+
+    /// Fence the stale replicas the controller gave up on while this node
+    /// was unreachable: gracefully terminate every pod in `fence_pending`.
+    /// Runs on reconnection (first successful renewal of an expired
+    /// lease); idempotent for pods already gone. Returns the fenced names.
+    /// On error the un-drained names stay queued, so a later renewal can
+    /// retry the fence.
+    pub fn fence(&mut self) -> KernelResult<Vec<String>> {
+        let mut fenced = Vec::new();
+        while let Some(name) = self.fence_pending.first().cloned() {
+            self.kubelet.remove_pod(&mut self.containerd, &name)?;
+            self.fence_pending.remove(0);
+            fenced.push(name);
+        }
+        Ok(fenced)
     }
 
     /// Supervised pods currently managed by this node's kubelet.

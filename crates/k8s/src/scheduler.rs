@@ -42,7 +42,10 @@ impl NodeSnapshot {
     pub fn observe_with(node: &Node, with_throttle: bool) -> NodeSnapshot {
         NodeSnapshot {
             index: node.index,
-            schedulable: node.schedulable,
+            // Crashed and NotReady nodes are unschedulable regardless of
+            // the cordon bit: the scheduler must never place onto a node
+            // whose lease has expired.
+            schedulable: node.schedulable && node.ready(),
             pods: node.kubelet.occupancy(),
             max_pods: node.kubelet.config.max_pods,
             available: node.kernel.free().available,

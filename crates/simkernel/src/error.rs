@@ -37,6 +37,12 @@ pub enum KernelError {
     /// this site. Transient by construction: retrying the operation draws a
     /// fresh decision from the plan.
     FaultInjected(FaultSite),
+    /// State-mutating operation against a powered-off kernel (a crashed
+    /// node). The clock and read-only observers keep working; everything
+    /// else waits for the node to be rebooted.
+    PoweredOff,
+    /// Referenced a cluster node index that does not exist.
+    NoSuchNode(usize),
 }
 
 /// Convenience alias used throughout the kernel.
@@ -67,6 +73,8 @@ impl fmt::Display for KernelError {
             KernelError::FaultInjected(site) => {
                 write!(f, "injected fault at {}", site.label())
             }
+            KernelError::PoweredOff => write!(f, "kernel is powered off (node crashed)"),
+            KernelError::NoSuchNode(i) => write!(f, "no such node: {i}"),
         }
     }
 }

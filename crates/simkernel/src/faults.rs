@@ -2,8 +2,8 @@
 //!
 //! A [`FaultPlan`] is a seeded schedule of failures for the named choke
 //! points ([`FaultSite`]) every layer of the stack funnels through: process
-//! spawn, cold file reads, anonymous mmap/charge, engine instantiation, and
-//! kubelet health probes.
+//! spawn, cold file reads, anonymous mmap/charge, engine instantiation,
+//! kubelet health probes, and node-lease heartbeat renewals.
 //! The plan is installed on the kernel ([`crate::Kernel::set_fault_plan`])
 //! and consulted synchronously at each site, so injection is driven purely
 //! by the deterministic order of kernel operations — no wall clock, no OS
@@ -31,16 +31,21 @@ pub enum FaultSite {
     /// A kubelet health-probe RPC against a running container (transient —
     /// a flaky probe reports failure against a healthy guest).
     Probe,
+    /// A node-lease heartbeat renewal against the cluster control plane
+    /// (transient — one flaked renewal only matters if enough consecutive
+    /// renewals flake for the lease to outlive its grace period).
+    Heartbeat,
 }
 
 impl FaultSite {
     /// Every site, in injection-index order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::Spawn,
         FaultSite::ColdRead,
         FaultSite::MmapCharge,
         FaultSite::EngineInstantiate,
         FaultSite::Probe,
+        FaultSite::Heartbeat,
     ];
 
     /// Stable kebab-case label (used in error messages and chaos CSVs).
@@ -51,6 +56,7 @@ impl FaultSite {
             FaultSite::MmapCharge => "mmap-charge",
             FaultSite::EngineInstantiate => "engine-instantiate",
             FaultSite::Probe => "probe",
+            FaultSite::Heartbeat => "heartbeat",
         }
     }
 
@@ -61,6 +67,7 @@ impl FaultSite {
             FaultSite::MmapCharge => 2,
             FaultSite::EngineInstantiate => 3,
             FaultSite::Probe => 4,
+            FaultSite::Heartbeat => 5,
         }
     }
 }
@@ -125,6 +132,7 @@ impl FaultPlan {
                 SiteState::new(seed, 2),
                 SiteState::new(seed, 3),
                 SiteState::new(seed, 4),
+                SiteState::new(seed, 5),
             ],
         }
     }

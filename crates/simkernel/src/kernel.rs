@@ -115,6 +115,12 @@ struct KernelState {
     io_model: Option<IoModel>,
     /// Machine-wide bytes of cold-read traffic not yet drained by the disk.
     io_backlog: u64,
+    /// Instant power loss (node crash): every state-mutating operation
+    /// fails with [`KernelError::PoweredOff`]; the clock and read-only
+    /// observers keep working so the surviving cluster can reason about
+    /// the dead node. There is no power-on — a restarted node boots a
+    /// fresh kernel.
+    powered_off: bool,
 }
 
 /// Handle to the simulated kernel. Clone freely.
@@ -149,6 +155,7 @@ impl Kernel {
             faults: FaultPlan::none(),
             io_model: None,
             io_backlog: 0,
+            powered_off: false,
             cfg,
         };
         Kernel { state: Arc::new(Mutex::new(state)) }
@@ -161,6 +168,26 @@ impl Kernel {
 
     pub fn ram_bytes(&self) -> u64 {
         self.st().cfg.ram_bytes
+    }
+
+    /// The configuration this kernel was booted with (a crashed node's
+    /// replacement boots the same shape).
+    pub fn config(&self) -> KernelConfig {
+        self.st().cfg.clone()
+    }
+
+    /// Ungraceful power loss: no process teardown, no cgroup cleanup —
+    /// everything resident simply stops mattering. From here on every
+    /// state-mutating call returns [`KernelError::PoweredOff`]; `now`,
+    /// `advance`, `free` and the other read-only observers keep working
+    /// (the cluster clock must not die with one node).
+    pub fn power_off(&self) {
+        self.st().powered_off = true;
+    }
+
+    /// Has this kernel suffered a power loss?
+    pub fn powered_off(&self) -> bool {
+        self.st().powered_off
     }
 
     // --------------------------------------------------------------- faults
@@ -234,6 +261,7 @@ impl Kernel {
 
     pub fn cgroup_create(&self, parent: CgroupId, name: &str) -> KernelResult<CgroupId> {
         let mut st = self.st();
+        st.check_power()?;
         st.cgroups.create(parent, name).ok_or(KernelError::NoSuchCgroup(parent))
     }
 
@@ -241,6 +269,7 @@ impl Kernel {
     /// lingering page-cache charges are reparented, as Linux does.
     pub fn cgroup_remove(&self, cg: CgroupId) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         let stat = st.cgroups.stat(cg).ok_or(KernelError::NoSuchCgroup(cg))?;
         let children = st.cgroups.children(cg);
         let has_procs = st.procs.values().any(|p| p.cgroup == cg && p.is_alive());
@@ -381,6 +410,7 @@ impl Kernel {
         cgroup: CgroupId,
     ) -> KernelResult<Pid> {
         let mut st = self.st();
+        st.check_power()?;
         if !st.cgroups.exists(cgroup) {
             return Err(KernelError::NoSuchCgroup(cgroup));
         }
@@ -404,6 +434,7 @@ impl Kernel {
     /// Create fresh namespaces owned by a process (runtime `create` step).
     pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         // Namespaces cost slab memory; ~4 KiB apiece is the right order.
         let extra = 4096 * kinds.len() as u64;
         let cg = st.alive(pid)?.cgroup;
@@ -418,6 +449,7 @@ impl Kernel {
     /// migrate; page-cache charges stay where they were faulted (Linux).
     pub fn move_process(&self, pid: Pid, to: CgroupId) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         if !st.cgroups.exists(to) {
             return Err(KernelError::NoSuchCgroup(to));
         }
@@ -445,6 +477,7 @@ impl Kernel {
     /// except page-cache residency (which persists machine-wide).
     pub fn exit(&self, pid: Pid, code: i32) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         st.teardown(pid)?;
         st.procs.get_mut(&pid).expect("torn down").state = ProcState::Exited(code);
         Ok(())
@@ -453,6 +486,7 @@ impl Kernel {
     /// Kernel OOM-kill: like exit, but recorded as such.
     pub fn oom_kill(&self, pid: Pid) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         st.teardown(pid)?;
         st.procs.get_mut(&pid).expect("torn down").state = ProcState::OomKilled;
         Ok(())
@@ -461,6 +495,7 @@ impl Kernel {
     /// Forget an exited process entirely.
     pub fn reap(&self, pid: Pid) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         match st.procs.get(&pid) {
             Some(p) if !p.is_alive() => {
                 st.procs.remove(&pid);
@@ -504,6 +539,7 @@ impl Kernel {
         label: &str,
     ) -> KernelResult<MappingId> {
         let mut st = self.st();
+        st.check_power()?;
         if let Some(fid) = kind.file() {
             let f = st.vfs.get_mut(fid).ok_or(KernelError::NoSuchFile(fid))?;
             f.map_refs += 1;
@@ -524,6 +560,7 @@ impl Kernel {
     /// `OutOfMemory` is returned.
     pub fn touch(&self, pid: Pid, mapping: MappingId, bytes: u64) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         st.touch_inner(pid, mapping, bytes, false)
     }
 
@@ -531,12 +568,14 @@ impl Kernel {
     /// private anonymous memory.
     pub fn cow_write(&self, pid: Pid, mapping: MappingId, bytes: u64) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         st.touch_inner(pid, mapping, bytes, true)
     }
 
     /// Grow an existing mapping's reservation (e.g. `memory.grow`).
     pub fn mremap(&self, pid: Pid, mapping: MappingId, new_len: u64) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         let p = st.alive_mut(pid)?;
         let m = p.mappings.get_mut(&mapping).ok_or(KernelError::NoSuchMapping(pid, mapping))?;
         if new_len < m.committed_anon + m.touched_file {
@@ -549,6 +588,7 @@ impl Kernel {
     /// Unmap a region, uncharging this process's share.
     pub fn munmap(&self, pid: Pid, mapping: MappingId) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         let (cg, m) = {
             let p = st.alive_mut(pid)?;
             let m = p.mappings.remove(&mapping).ok_or(KernelError::NoSuchMapping(pid, mapping))?;
@@ -564,6 +604,7 @@ impl Kernel {
     /// Create a file with real or synthetic content.
     pub fn create_file(&self, path: &str, content: FileContent) -> KernelResult<FileId> {
         let mut st = self.st();
+        st.check_power()?;
         st.vfs.create(path, content).ok_or_else(|| KernelError::PathExists(path.to_string()))
     }
 
@@ -572,6 +613,7 @@ impl Kernel {
     /// trees installed once per node).
     pub fn ensure_file(&self, path: &str, content: FileContent) -> KernelResult<FileId> {
         let mut st = self.st();
+        st.check_power()?;
         if let Some(existing) = st.vfs.lookup(path) {
             return Ok(existing);
         }
@@ -581,6 +623,7 @@ impl Kernel {
     /// Replace a file's content (drops its cache).
     pub fn overwrite_file(&self, id: FileId, content: FileContent) -> KernelResult<()> {
         let mut st = self.st();
+        st.check_power()?;
         let charged = st.vfs.get(id).and_then(|f| f.charged_to);
         let evicted = st.vfs.overwrite(id, content).ok_or(KernelError::NoSuchFile(id))?;
         if evicted > 0 {
@@ -608,6 +651,7 @@ impl Kernel {
     /// file has them.
     pub fn read_file(&self, pid: Pid, id: FileId) -> KernelResult<Option<Bytes>> {
         let mut st = self.st();
+        st.check_power()?;
         let cg = st.alive(pid)?.cgroup;
         if let Err(e) = st.fault_file(cg, id, u64::MAX) {
             if let KernelError::OutOfMemory { .. } = e {
@@ -627,6 +671,7 @@ impl Kernel {
     /// uses this to turn each pass into DES disk + queue steps.
     pub fn read_file_cold(&self, pid: Pid, id: FileId) -> KernelResult<(u64, u64)> {
         let mut st = self.st();
+        st.check_power()?;
         let cg = st.alive(pid)?.cgroup;
         match st.fault_file(cg, id, u64::MAX) {
             Ok(out) => Ok(out),
@@ -695,6 +740,15 @@ impl Kernel {
 }
 
 impl KernelState {
+    /// Reject state mutation on a powered-off kernel.
+    fn check_power(&self) -> KernelResult<()> {
+        if self.powered_off {
+            Err(KernelError::PoweredOff)
+        } else {
+            Ok(())
+        }
+    }
+
     fn alive(&self, pid: Pid) -> KernelResult<&Process> {
         match self.procs.get(&pid) {
             Some(p) if p.is_alive() => Ok(p),

@@ -126,6 +126,31 @@ if [ "$violations" -ne 0 ]; then
   exit 1
 fi
 
+echo "== lint: node-kill verbs stay inside the cluster layer =="
+# Node::crash / Node::fence / Kernel::power_off are the ungraceful-death
+# primitives; only crates/k8s (the cluster drives them through crash_node
+# and the lease tick) may call them — harness and example code must go
+# through Cluster::crash_node/restart_node/partition_node so lease
+# bookkeeping, fencing and eviction stay consistent. simkernel (the
+# power_off definition site) is exempt. Same tests-at-end/comment
+# exemptions as above.
+kill_verbs='\.crash\(|\.fence\(|\.power_off\('
+violations=0
+for f in $(grep -rlE "$kill_verbs" crates/*/src examples src --include='*.rs' \
+    | grep -v '^crates/k8s/' \
+    | grep -v '^crates/simkernel/' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nE "$kill_verbs" | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: node-kill verb call site(s) outside crates/k8s; ungraceful death must go through Cluster::crash_node and the lease tick" >&2
+  exit 1
+fi
+
 echo "== smoke: examples/quickstart =="
 cargo run --release --offline --example quickstart >/dev/null
 
@@ -136,6 +161,18 @@ echo "== smoke: multi-node drain (3 nodes, drain one, controller reconverges) ==
 # A spread deployment over 3 nodes, one node drained: every victim must be
 # rescheduled by the controller and come back Running+ready on a survivor.
 cargo run --release --offline -p harness --bin chaos -- --multinode-smoke >/dev/null
+
+echo "== smoke: node crash (3 nodes, power-fail one, lease-driven recovery) =="
+# A 6-replica deployment over 3 nodes, one node power-failed: the lease
+# must expire, the controller evict and re-home the lost replicas, and
+# the deployment reconverge on the survivors with nothing leaked.
+cargo run --release --offline -p harness --bin chaos -- --node-crash-smoke >/dev/null
+
+echo "== smoke: fault-schedule explorer (12 seeded schedules) =="
+# Seeded schedules of {crash, restart, partition, heal}; every schedule
+# must reconverge and pass the invariants, violations shrink to a minimal
+# failing prefix (exit 1 if any survive).
+cargo run --release --offline -p harness --bin chaos -- --explore --schedules 12 >/dev/null
 
 echo "== smoke: adversarial isolation (1 attacker × 4 kinds vs 4 victims) =="
 # Containment contracts on the contribution config: every attacker
