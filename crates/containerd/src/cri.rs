@@ -150,6 +150,13 @@ impl Containerd {
         Ok(image.reference.clone())
     }
 
+    /// Look up a pulled image by reference — how the service layer reads
+    /// workload capability annotations (e.g. the brownout optional-work
+    /// share) back from the deployed artifact.
+    pub fn image(&self, reference: &str) -> Option<&Image> {
+        self.images.get(reference).ok()
+    }
+
     pub fn sandbox(&self, pod_id: &str) -> Option<&Sandbox> {
         self.sandboxes.get(pod_id)
     }

@@ -24,10 +24,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use harness::chaos::WASM_CONFIGS;
 use harness::cluster_scale::measure_scale;
 use harness::figures::PAPER_DENSITIES;
 use harness::isolation::{isolation_sweep, throttle_totals, Attacker, IsolationPlan};
 use harness::runner::deploy_density;
+use harness::traffic::{traffic_sweep, SweepPlan};
 use harness::{run_cells_tracked, worker_count, Cell, Config, ThrottleTotals, Workload};
 use k8s_sim::Policy;
 use simkernel::{Sim, TaskSpec};
@@ -116,6 +118,51 @@ struct Counters {
     isolation_s: f64,
     throttle: ThrottleTotals,
     cluster: ClusterCounters,
+    traffic: TrafficCounters,
+}
+
+/// Request-path numbers: the smoke-sized steady traffic sweep per Wasm
+/// config (latency percentiles, goodput, shed rate, memory-per-RPS).
+struct TrafficCounters {
+    requests_per_config: usize,
+    wall_s: f64,
+    rows: Vec<TrafficRow>,
+}
+
+struct TrafficRow {
+    label: &'static str,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    goodput_rps: f64,
+    shed_pct: f64,
+    mib_per_rps: f64,
+}
+
+/// Time the smoke-sized traffic sweep over every Wasm config and record
+/// each config's latency/goodput/shed/memory-per-RPS row.
+fn traffic_counters() -> TrafficCounters {
+    let workload = Workload::serving();
+    let plan = SweepPlan::smoke(0xC4A0_5EED);
+    let t = Instant::now();
+    let (_, summaries) = traffic_sweep(&WASM_CONFIGS, &workload, &plan).expect("traffic sweep");
+    let wall_s = t.elapsed().as_secs_f64();
+    TrafficCounters {
+        requests_per_config: plan.requests,
+        wall_s,
+        rows: summaries
+            .iter()
+            .map(|s| TrafficRow {
+                label: s.config.label(),
+                p50_ms: s.p50.as_secs_f64() * 1e3,
+                p99_ms: s.p99.as_secs_f64() * 1e3,
+                p999_ms: s.p999.as_secs_f64() * 1e3,
+                goodput_rps: s.goodput_rps,
+                shed_pct: s.shed_rate * 100.0,
+                mib_per_rps: s.mem_per_rps / (1u64 << 20) as f64,
+            })
+            .collect(),
+    }
 }
 
 /// Cluster-scale numbers: one multi-node placement point plus the DES
@@ -247,6 +294,22 @@ fn render_json(requested: usize, timings: &[Timing], counters: &Counters) -> Str
         cl.des_events as f64 / cl.reference_s.max(1e-9),
         cl.reference_s / cl.calendar_s.max(1e-9)
     );
+    let tr = &counters.traffic;
+    let _ = writeln!(out, ",");
+    let _ = writeln!(
+        out,
+        "  \"traffic\": {{\"requests_per_config\": {}, \"wall_s\": {:.3}, \"configs\": [",
+        tr.requests_per_config, tr.wall_s
+    );
+    for (i, r) in tr.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"config\": \"{}\", \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"goodput_rps\": {:.1}, \"shed_pct\": {:.2}, \"mib_per_rps\": {:.4}}}",
+            r.label, r.p50_ms, r.p99_ms, r.p999_ms, r.goodput_rps, r.shed_pct, r.mib_per_rps
+        );
+        out.push_str(if i + 1 < tr.rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]}\n");
     out.push_str("}\n");
     out
 }
@@ -379,12 +442,24 @@ fn main() {
         cluster.reference_s / cluster.calendar_s.max(1e-9)
     );
 
+    // Request-path point: the smoke traffic sweep per Wasm config rides
+    // along so latency/goodput/shed/memory-per-RPS regressions show in
+    // the trajectory alongside startup and memory.
+    let traffic = traffic_counters();
+    println!(
+        "traffic: {} requests/config over {} configs in {:.2}s wall",
+        traffic.requests_per_config,
+        traffic.rows.len(),
+        traffic.wall_s
+    );
+
     let counters = Counters {
         cache: ArtifactCache::global().stats(),
         isolation_cells: iso_cells,
         isolation_s,
         throttle,
         cluster,
+        traffic,
     };
     let json = render_json(requested, &timings, &counters);
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");

@@ -176,6 +176,22 @@ impl Workload {
             python: PythonScriptConfig::default(),
         }
     }
+
+    /// The serving workload: [`Workload::light`] plus a brownout
+    /// annotation declaring that 35% of per-request work is optional —
+    /// the service layer may drop it in degraded mode. The annotation
+    /// does not change the module bytes, so images stay byte-identical
+    /// with prior runs except for the declared capability.
+    pub fn serving() -> Workload {
+        Workload {
+            wasm: MicroserviceConfig {
+                loop_iterations: 50,
+                optional_work_ppm: 350_000,
+                ..MicroserviceConfig::default()
+            },
+            python: PythonScriptConfig::default(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ pub mod isolation;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod traffic;
 
 pub use cluster_scale::{
     density_sweep, measure_scale, policy_ablation, run_drain, DrainOutcome, ScalePlan, ScaleSample,
@@ -38,6 +39,12 @@ pub use report::{mb, Table};
 pub use runner::{
     deploy_density, measure_cell, measure_memory, measure_startup, new_cluster, warmup, CellSample,
     MemorySample, Observe, StartupSample,
+};
+pub use traffic::{
+    check_contract, check_scenario, contract_sweep, contract_table, pod_capacity_rps, request_exec,
+    run_overload_contract, run_scenario, run_steady_cell, run_traffic, traffic_sweep,
+    ArrivalProfile, ContractOutcome, ContractPlan, PhaseSpec, PhaseStats, ScenarioObservation,
+    SweepPlan, TrafficPlan, TrafficRun, TrafficSummary,
 };
 
 use simkernel::KernelResult;

@@ -248,6 +248,13 @@ pub struct HpaSpec {
     /// Scale up while average cpu-throttle events per pod exceed this
     /// rate (the cgroup pressure signal).
     pub target_cpu_throttle: Option<u64>,
+    /// Scale up while the service's mean endpoint queue depth (thousandths,
+    /// from [`crate::service::ServiceSignal`]) exceeds this — the
+    /// request-path pressure signal.
+    pub target_queue_depth_x1000: Option<u64>,
+    /// Scale up while the service's observed p99 latency exceeds this
+    /// many nanoseconds (the latency SLO signal).
+    pub target_p99_ns: Option<u64>,
 }
 
 /// What one HPA evaluation observed and decided.

@@ -40,6 +40,7 @@ use crate::api::{
 use crate::kubelet::{Kubelet, NodeConfig, ReconcileReport, RestartPolicy};
 use crate::node::{Node, NodeCondition};
 use crate::scheduler::{Policy, Scheduler};
+use crate::service::ServiceSignal;
 
 /// Lease-based failure-detection parameters, on Kubernetes' defaults: a
 /// 10 s renew interval against a 40 s grace window, plus the controller's
@@ -873,6 +874,20 @@ impl Cluster {
         ctrl: &mut DeploymentController,
         hpa: &HpaSpec,
     ) -> KernelResult<HpaDecision> {
+        self.autoscale_observed(ctrl, hpa, None)
+    }
+
+    /// [`Cluster::autoscale`] with the request-path signal attached: when a
+    /// [`ServiceSignal`] is supplied, the HPA also scales up while the
+    /// service's mean endpoint queue depth or observed p99 latency exceed
+    /// their targets — so saturation the working-set signal can't see
+    /// (requests queueing, not memory growing) still adds replicas.
+    pub fn autoscale_observed(
+        &mut self,
+        ctrl: &mut DeploymentController,
+        hpa: &HpaSpec,
+        service: Option<&ServiceSignal>,
+    ) -> KernelResult<HpaDecision> {
         let mut live = 0u64;
         let mut ws_total = 0u64;
         let mut throttle_total = 0u64;
@@ -901,6 +916,18 @@ impl Cluster {
         if let Some(target) = hpa.target_cpu_throttle {
             if live > 0 && observed_cpu_throttle > target {
                 wants.push(from + 1);
+            }
+        }
+        if let Some(signal) = service {
+            if let Some(target) = hpa.target_queue_depth_x1000 {
+                if live > 0 && signal.mean_depth_x1000 > target {
+                    wants.push(from + 1);
+                }
+            }
+            if let Some(target) = hpa.target_p99_ns {
+                if live > 0 && signal.p99.as_nanos() > target {
+                    wants.push(from + 1);
+                }
             }
         }
         let to = wants.into_iter().max().unwrap_or(from).clamp(hpa.min_replicas, hpa.max_replicas);
@@ -1238,6 +1265,8 @@ mod tests {
             max_replicas: 5,
             target_working_set: Some(1 << 20),
             target_cpu_throttle: None,
+            target_queue_depth_x1000: None,
+            target_p99_ns: None,
         };
         let up = cluster.autoscale(&mut ctrl, &hpa).unwrap();
         assert!(up.observed_working_set > 1 << 20, "{up:?}");
@@ -1250,6 +1279,8 @@ mod tests {
             max_replicas: 5,
             target_working_set: Some(1 << 40),
             target_cpu_throttle: None,
+            target_queue_depth_x1000: None,
+            target_p99_ns: None,
         };
         let down = cluster.autoscale(&mut ctrl, &hpa).unwrap();
         assert_eq!(down.to, 2, "{down:?}");

@@ -21,6 +21,7 @@ pub mod kubelet;
 pub mod metrics;
 pub mod node;
 pub mod scheduler;
+pub mod service;
 
 pub use api::{
     Deployment, DeploymentController, DeploymentSpec, HpaDecision, HpaSpec, PodPhase, PodRecord,
@@ -35,3 +36,8 @@ pub use kubelet::{
 pub use metrics::{average_working_set, scrape, working_set_stddev, PodMetrics};
 pub use node::{Node, NodeCondition, NodeLease};
 pub use scheduler::{NodeSnapshot, Policy, Scheduler};
+pub use service::{
+    Admitted, BreakerState, CircuitBreaker, Completion, Endpoint, LatencyHistogram,
+    ResilientClient, RetryBudget, RetryPolicy, Service, ServiceConfig, ServiceSignal, ShedReason,
+    Started,
+};

@@ -21,7 +21,7 @@ pub use bundle::Bundle;
 pub use image::{Image, ImageBuilder, ImageConfig, ImageStore, LayerFile};
 pub use json::{parse as parse_json, JsonError, Value};
 pub use spec::{
-    LinuxSpec, MemoryResources, MountSpec, ProcessSpec, RootSpec, RuntimeSpec,
+    LinuxSpec, MemoryResources, MountSpec, ProcessSpec, RootSpec, RuntimeSpec, BROWNOUT_ANNOTATION,
     INSTANTIATE_CHURN_ANNOTATION, IO_CHURN_ANNOTATION, WASM_VARIANT_ANNOTATION,
     WATCHDOG_BUDGET_ANNOTATION,
 };

@@ -24,6 +24,13 @@ pub const INSTANTIATE_CHURN_ANNOTATION: &str = "container.sim/instantiate-churn"
 /// unparsable means no churn.
 pub const IO_CHURN_ANNOTATION: &str = "container.sim/io-churn-passes";
 
+/// Annotation declaring how much of the function's per-request work is
+/// *optional* (parts-per-million): work the service layer may tell the
+/// guest to skip in brownout/degraded mode (smaller response, no
+/// enrichment). Absent or unparsable means the function has no degraded
+/// mode.
+pub const BROWNOUT_ANNOTATION: &str = "container.sim/brownout-optional-work-ppm";
+
 /// `process` object: what to execute.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProcessSpec {
@@ -138,6 +145,12 @@ impl RuntimeSpec {
     /// Thrasher pass count, if [`IO_CHURN_ANNOTATION`] is set.
     pub fn io_churn_passes(&self) -> Option<u32> {
         self.annotations.get(IO_CHURN_ANNOTATION)?.parse().ok()
+    }
+
+    /// The function's optional-work share (ppm), if [`BROWNOUT_ANNOTATION`]
+    /// is set — the fraction of request work skippable in degraded mode.
+    pub fn brownout_optional_work_ppm(&self) -> Option<u32> {
+        self.annotations.get(BROWNOUT_ANNOTATION)?.parse().ok()
     }
 
     /// Serialize to `config.json` bytes.

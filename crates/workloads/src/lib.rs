@@ -29,15 +29,22 @@ pub use python::{python_microservice_script, PythonScriptConfig};
 use oci_spec_lite::ImageBuilder;
 
 /// The Wasm microservice image (annotated for Wasm handler dispatch).
+/// Configs with a nonzero `optional_work_ppm` additionally carry the
+/// brownout annotation declaring how much request work the service layer
+/// may tell the guest to skip in degraded mode.
 pub fn wasm_microservice_image(reference: &str, cfg: &MicroserviceConfig) -> ImageBuilder {
-    ImageBuilder::new(reference)
+    let mut b = ImageBuilder::new(reference)
         .entrypoint(["/app/main.wasm".to_string()])
         .annotation(oci_spec_lite::WASM_VARIANT_ANNOTATION, "compat")
         .env("SERVICE_NAME", "microservice")
         // Memoized: every image built from the same config shares one
         // zero-copy byte string (which also keeps the engine-side module
         // artifact cache hot — identical bytes, identical content hash).
-        .file("/app/main.wasm", microservice_module_bytes(cfg))
+        .file("/app/main.wasm", microservice_module_bytes(cfg));
+    if cfg.optional_work_ppm > 0 {
+        b = b.annotation(oci_spec_lite::BROWNOUT_ANNOTATION, &cfg.optional_work_ppm.to_string());
+    }
+    b
 }
 
 /// The hung-guest service image for the chaos sweep's watchdog scenario:

@@ -21,6 +21,13 @@ pub struct MicroserviceConfig {
     pub loop_iterations: i32,
     /// The readiness line written to stdout.
     pub ready_message: &'static str,
+    /// Share of per-request work (parts-per-million) that is *optional* —
+    /// skippable when the service layer asks for brownout/degraded mode
+    /// (smaller response, no enrichment). Zero means no degraded mode; the
+    /// image builder emits it as the brownout OCI annotation when set.
+    /// Does not affect the generated module bytes, so existing images stay
+    /// byte-identical.
+    pub optional_work_ppm: u32,
 }
 
 impl Default for MicroserviceConfig {
@@ -31,6 +38,7 @@ impl Default for MicroserviceConfig {
             code_padding_funcs: 48,
             loop_iterations: 2_000,
             ready_message: "microservice ready\n",
+            optional_work_ppm: 0,
         }
     }
 }
@@ -45,6 +53,7 @@ impl MicroserviceConfig {
             code_padding_funcs: 160,
             loop_iterations: 20_000,
             ready_message: "compute service ready\n",
+            optional_work_ppm: 0,
         }
     }
 
@@ -56,6 +65,7 @@ impl MicroserviceConfig {
             code_padding_funcs: 48,
             loop_iterations: 4_000,
             ready_message: "cache service ready\n",
+            optional_work_ppm: 0,
         }
     }
 
@@ -70,6 +80,7 @@ impl MicroserviceConfig {
             code_padding_funcs: 8,
             loop_iterations,
             ready_message: "spinner ready\n",
+            optional_work_ppm: 0,
         }
     }
 }

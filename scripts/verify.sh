@@ -180,6 +180,38 @@ echo "== smoke: adversarial isolation (1 attacker × 4 kinds vs 4 victims) =="
 # and ready, and the zero-attacker baseline byte-identical across runs.
 cargo run --release --offline -p harness --bin chaos -- --isolation-smoke >/dev/null
 
+echo "== lint: overload-control verbs stay inside k8s::service =="
+# Deadline propagation, shedding and breaker bookkeeping are the service
+# layer's monopoly: outside crates/k8s, non-test code must consume the
+# Service API (route/admit/try_start/complete) rather than poking breaker
+# state machines, retry-budget token accounting or shed taxonomies
+# directly — the traffic harness would otherwise fork its own overload
+# policy and drift from the one the contracts pin. Same tests-at-end/
+# comment exemptions as above.
+service_verbs='ShedReason::|BreakerState::|\.on_failure\(|\.on_success\(|\.try_withdraw\(|\.admits\(|\.backoff_for\('
+violations=0
+for f in $(grep -rlE "$service_verbs" crates/*/src examples src --include='*.rs' \
+    | grep -v '^crates/k8s/' || true); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+    | grep -nE "$service_verbs" | sed "s|^|$f:|" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    violations=1
+  fi
+done
+if [ "$violations" -ne 0 ]; then
+  echo "lint: overload-control verb call site(s) outside crates/k8s; shedding/breaker/budget policy lives in k8s::service" >&2
+  exit 1
+fi
+
+echo "== smoke: traffic (steady cell + overload-and-recover + rollout/HPA scenario) =="
+# The request path under open-loop load on the contribution config: the
+# steady cell serves, the overload contract holds (goodput floor at 3×,
+# bounded p99 for admitted requests, p99 reconverges after the load
+# drops, control arm with the retry budget disabled demonstrably
+# degrades), and the live-traffic rollout + HPA scenario passes.
+cargo run --release --offline -p harness --bin traffic -- --smoke >/dev/null
+
 echo "== perf smoke: fig8 grid, serial vs 2 workers =="
 # Fails if the 2-worker driver pass is >10% slower than the serial pass —
 # catches reintroduced shared-state serialization in harness::parallel.

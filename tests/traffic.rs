@@ -1,0 +1,97 @@
+//! The traffic plane's contracts: the overload-and-recover scenario holds
+//! on the contribution config (with its retry-budget control arm), the
+//! sweep is byte-identical across `HARNESS_THREADS` worker counts and
+//! repeated runs, and the scenario driver steps a rolling update and the
+//! HPA from the live request loop without breaching maxUnavailable.
+
+use std::sync::Mutex;
+
+use memwasm::harness::traffic::{
+    check_contract, check_scenario, pod_capacity_rps, request_exec, run_overload_contract,
+    run_scenario, run_steady_cell, traffic_sweep, ContractPlan, SweepPlan,
+};
+use memwasm::harness::{Config, Workload};
+
+/// Serializes every test that mutates the process-wide `HARNESS_THREADS`
+/// environment variable — tests in one binary share the environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 0xC4A0_5EED;
+
+#[test]
+fn overload_contract_holds_on_the_contribution_config() {
+    let w = Workload::serving();
+    let plan = ContractPlan::smoke(SEED);
+    let outcome = run_overload_contract(Config::WamrCrun, &w, &plan).unwrap();
+    check_contract(&outcome, &plan).unwrap();
+
+    // The arms differ in the intended direction, not just by the check's
+    // thresholds: budget off means amplified attempts and melted goodput.
+    assert!(outcome.control_attempts > outcome.treatment_attempts);
+    assert!(outcome.control_goodput_rps < outcome.overload_goodput_rps);
+    // Overload actually shed (the scenario is not vacuous).
+    assert!(outcome.overload_shed_rate > 0.2);
+}
+
+#[test]
+fn traffic_sweep_is_byte_identical_across_worker_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let w = Workload::serving();
+    let plan = SweepPlan::smoke(SEED);
+    let configs = [Config::WamrCrun, Config::CrunWasmtime, Config::CrunWasmEdge];
+
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("HARNESS_THREADS", threads);
+        let (table, summaries) = traffic_sweep(&configs, &w, &plan).unwrap();
+        let stats: Vec<_> = summaries
+            .iter()
+            .map(|s| (s.config, s.p50, s.p99, s.p999, s.run.measured().completed, s.run.admitted))
+            .collect();
+        runs.push((threads, table.to_csv().into_bytes(), stats));
+    }
+    std::env::remove_var("HARNESS_THREADS");
+    let (_, csv1, stats1) = &runs[0];
+    for (threads, csv, stats) in &runs[1..] {
+        assert_eq!(csv, csv1, "sweep CSV bytes differ at HARNESS_THREADS={threads}");
+        assert_eq!(stats, stats1, "summaries differ at HARNESS_THREADS={threads}");
+    }
+}
+
+#[test]
+fn repeated_steady_cells_are_identical() {
+    let w = Workload::serving();
+    let plan = SweepPlan::smoke(SEED);
+    let a = run_steady_cell(Config::WamrCrun, &w, &plan).unwrap();
+    let b = run_steady_cell(Config::WamrCrun, &w, &plan).unwrap();
+    assert_eq!((a.p50, a.p99, a.p999), (b.p50, b.p99, b.p999));
+    assert_eq!(a.run.measured().completed, b.run.measured().completed);
+    assert_eq!(a.run.sheds_by_reason, b.run.sheds_by_reason);
+    assert_eq!(a.run.attempts, b.run.attempts);
+    assert_eq!(a.run.endpoint_working_set, b.run.endpoint_working_set);
+}
+
+#[test]
+fn scenario_driver_rolls_and_scales_under_live_traffic() {
+    let w = Workload::serving();
+    let run = run_scenario(Config::WamrCrun, &w, SEED).unwrap();
+    check_scenario(&run).unwrap();
+    let obs = run.scenario.unwrap();
+    // The rollout held the maxUnavailable floor with requests in flight,
+    // and the queue-depth HPA trigger added replicas during the surge.
+    assert!(obs.min_ready_during_rollout >= obs.ready_floor);
+    assert!(obs.inflight_during_rollout);
+    assert!(obs.final_replicas > 3);
+}
+
+#[test]
+fn per_config_service_times_follow_the_engine_profiles() {
+    // crun and shim variants of one engine share request latency; the
+    // memory axis (working set per RPS) is where they differ.
+    assert_eq!(request_exec(Config::CrunWasmtime), request_exec(Config::ShimWasmtime));
+    assert!(pod_capacity_rps(Config::CrunWasmtime) > pod_capacity_rps(Config::WamrCrun));
+    // Capacity is the reciprocal of service time.
+    let exec = request_exec(Config::WamrCrun).as_secs_f64();
+    let rps = pod_capacity_rps(Config::WamrCrun);
+    assert!((rps * exec - 1.0).abs() < 1e-9);
+}
